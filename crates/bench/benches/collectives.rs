@@ -1,0 +1,70 @@
+//! Criterion bench for the collective operations exercised by the
+//! functionality suite (§3.4): barrier, broadcast and allreduce on four
+//! ranks, through the wrapper. Not a paper figure, but the ablation data
+//! DESIGN.md calls for when judging the collective algorithms.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpijava::{Datatype, MpiRuntime, Op};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn run_collective(kind: &str, count: usize) {
+    MpiRuntime::new(4)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+            match kind {
+                "barrier" => {
+                    for _ in 0..10 {
+                        world.barrier()?;
+                    }
+                }
+                "bcast" => {
+                    let mut buf = vec![rank as f64; count];
+                    for _ in 0..10 {
+                        world.bcast(&mut buf, 0, count, &Datatype::double(), 0)?;
+                    }
+                }
+                "allreduce" => {
+                    let send = vec![rank as f64; count];
+                    let mut recv = vec![0f64; count];
+                    for _ in 0..10 {
+                        world.allreduce(&send, 0, &mut recv, 0, count, &Datatype::double(), &Op::sum())?;
+                    }
+                }
+                other => panic!("unknown collective {other}"),
+            }
+            Ok(())
+        })
+        .expect("collective run");
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives_4_ranks");
+    group.bench_function("barrier", |b| b.iter(|| run_collective("barrier", 0)));
+    for &count in &[64usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("bcast_doubles", count), &count, |b, &n| {
+            b.iter(|| run_collective("bcast", n))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_doubles", count),
+            &count,
+            |b, &n| b.iter(|| run_collective("allreduce", n)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_collectives
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench behind Table 1: 1-byte message latency per stack in
+//! shared-memory mode, and the raw-transport floor.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpi_bench::pingpong::{run_pingpong, Calibration, Mode, PingPongSpec, Stack};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_table1_sm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_one_byte_sm");
+    for stack in Stack::all() {
+        group.bench_function(stack.label(), |b| {
+            b.iter(|| {
+                run_pingpong(&PingPongSpec {
+                    stack,
+                    mode: Mode::SharedMemory,
+                    calibration: Calibration::Structural,
+                    sizes: vec![1],
+                    reps: 50,
+                    warmup: 5,
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_table1_sm
+}
+criterion_main!(benches);

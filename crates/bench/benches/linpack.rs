@@ -1,0 +1,28 @@
+//! Criterion bench for the §4.6 LinPack aside: compiled vs interpreted
+//! execution of the same LU factorisation kernel.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpi_bench::linpack::{linpack_compiled, linpack_interpreted};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_linpack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linpack_order_100");
+    group.bench_function("compiled", |b| b.iter(|| linpack_compiled(100)));
+    group.bench_function("interpreted", |b| b.iter(|| linpack_interpreted(100)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_linpack
+}
+criterion_main!(benches);

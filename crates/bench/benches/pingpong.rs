@@ -1,0 +1,72 @@
+//! Criterion bench behind Figures 5 and 6: round-trip time of the PingPong
+//! at representative message sizes, native engine vs mpijava wrapper, in
+//! SM mode (Figure 5) and DM mode (Figure 6, shaped 10 Mbps link).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpi_bench::pingpong::{run_pingpong, Mode, PingPongSpec, Stack};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn spec(stack: Stack, mode: Mode, size: usize) -> PingPongSpec {
+    PingPongSpec {
+        stack,
+        mode,
+        calibration: mpi_bench::pingpong::Calibration::Structural,
+        sizes: vec![size],
+        reps: 20,
+        warmup: 2,
+    }
+}
+
+fn bench_figure5_sm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5_sm_pingpong");
+    for &size in &[1usize, 4096, 65536] {
+        for stack in [Stack::WmpiC, Stack::WmpiJava, Stack::MpichC, Stack::MpichJava] {
+            group.bench_with_input(
+                BenchmarkId::new(stack.label(), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| run_pingpong(&spec(stack, Mode::SharedMemory, size)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_figure6_dm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_dm_pingpong");
+    group.sample_size(10);
+    for &size in &[1usize, 4096] {
+        for stack in [Stack::WmpiC, Stack::WmpiJava] {
+            group.bench_with_input(
+                BenchmarkId::new(stack.label(), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        run_pingpong(&PingPongSpec {
+                            reps: 3,
+                            warmup: 1,
+                            ..spec(stack, Mode::DistributedMemory, size)
+                        })
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_figure5_sm, bench_figure6_dm
+}
+criterion_main!(benches);

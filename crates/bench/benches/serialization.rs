@@ -1,0 +1,79 @@
+//! Criterion bench for the §2.2 trade-off: shipping strided data with a
+//! derived datatype versus as serialized objects (`MPI.OBJECT`), plus the
+//! raw cost of the object serializer itself.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpijava::serial::{deserialize, serialize};
+use mpijava::{Datatype, MpiRuntime};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn column_exchange(use_object: bool, n: usize) {
+    MpiRuntime::new(2)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+            let matrix: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+            if use_object {
+                if rank == 0 {
+                    let column: Vec<f64> = (0..n).map(|row| matrix[row * n]).collect();
+                    world.send_object(&[column], 0, 1, 1, 0)?;
+                } else {
+                    let _ = world.recv_object::<Vec<f64>>(1, 0, 0)?;
+                }
+            } else {
+                let column = Datatype::vector(n, 1, n as isize, &Datatype::double())
+                    .expect("column type");
+                if rank == 0 {
+                    world.send(&matrix, 0, 1, &column, 1, 0)?;
+                } else {
+                    let mut recv = vec![0f64; n * n];
+                    world.recv(&mut recv, 0, 1, &column, 0, 0)?;
+                }
+            }
+            Ok(())
+        })
+        .expect("exchange");
+}
+
+fn bench_object_vs_derived(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strided_column_exchange");
+    for &n in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("derived_datatype", n), &n, |b, &n| {
+            b.iter(|| column_exchange(false, n))
+        });
+        group.bench_with_input(BenchmarkId::new("mpi_object", n), &n, |b, &n| {
+            b.iter(|| column_exchange(true, n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_serializer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("object_serializer");
+    let payload: Vec<(i32, String)> = (0..100)
+        .map(|i| (i, format!("element number {i} with some text")))
+        .collect();
+    group.bench_function("roundtrip_100_records", |b| {
+        b.iter(|| {
+            let bytes = serialize(&payload);
+            let back: Vec<(i32, String)> = deserialize(&bytes).expect("deserialize");
+            back
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_object_vs_derived, bench_serializer
+}
+criterion_main!(benches);

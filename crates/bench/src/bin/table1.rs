@@ -1,0 +1,68 @@
+//! Reproduction of **Table 1** of the paper: one-way time for 1-byte
+//! messages over every stack, in Shared-Memory and Distributed-Memory mode.
+//!
+//! ```text
+//! cargo run --release -p mpi-bench --bin table1 [--calibrate-1999] [--reps N]
+//! ```
+
+use mpi_bench::pingpong::{run_pingpong, Calibration, Mode, PingPongSpec, Stack};
+use mpi_bench::report::format_table1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let calibration = if args.iter().any(|a| a == "--calibrate-1999") {
+        Calibration::Era1999
+    } else {
+        Calibration::Structural
+    };
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200usize);
+
+    println!("mpiJava reproduction — Table 1 (1-byte message latency)");
+    println!(
+        "calibration: {}  reps per measurement: {reps}",
+        match calibration {
+            Calibration::Structural => "structural (no synthetic 1999 costs)",
+            Calibration::Era1999 => "calibrated to the paper's 1999 hardware regime",
+        }
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    for mode in [Mode::SharedMemory, Mode::DistributedMemory] {
+        let mut entries = Vec::new();
+        for stack in Stack::all() {
+            let spec = PingPongSpec {
+                stack,
+                mode,
+                calibration,
+                sizes: vec![1],
+                reps: if mode == Mode::DistributedMemory {
+                    reps.min(50)
+                } else {
+                    reps
+                },
+                warmup: 5,
+            };
+            let points = run_pingpong(&spec);
+            entries.push((stack, points[0].one_way_us));
+            eprintln!(
+                "  measured {:>8} {:>2}: {:>10.1} us",
+                stack.label(),
+                mode.label(),
+                points[0].one_way_us
+            );
+        }
+        rows.push((mode, entries));
+    }
+
+    println!("{}", format_table1(&rows));
+    println!("Paper's Table 1 for comparison (one-way microseconds, 1999 hardware):");
+    println!("      Wsock     WMPI-C     WMPI-J    MPICH-C    MPICH-J");
+    println!("  SM  144.8       67.2      161.4      148.7      374.6");
+    println!("  DM  244.9      623.9      689.7      679.1      961.2");
+}

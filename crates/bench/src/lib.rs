@@ -1,0 +1,41 @@
+//! Benchmark harness for the mpiJava (IPPS 1999) reproduction.
+//!
+//! The paper's evaluation is a PingPong microbenchmark (§4.2) run over five
+//! software stacks — raw WinSock, WMPI from C, WMPI from mpiJava, MPICH
+//! from C, MPICH from mpiJava — in two configurations: Shared Memory (SM,
+//! both processes on one host) and Distributed Memory (DM, two hosts on
+//! 10 Mbps Ethernet). Table 1 reports 1-byte latencies; Figures 5 and 6
+//! report bandwidth against message size.
+//!
+//! This crate maps each of those stacks onto the reproduction:
+//!
+//! | paper stack | here ([`Stack`]) |
+//! |---|---|
+//! | Wsock       | raw transport endpoints, no MPI engine |
+//! | WMPI-C      | `mpi-native` engine directly on the `shm-fast` (SM) / `tcp` (DM) device |
+//! | WMPI-Java   | the `mpijava` wrapper (simulated JNI boundary) on the same device |
+//! | MPICH-C     | `mpi-native` engine on the staged `shm-p4` device (SM) / `tcp` + portable-device cost (DM) |
+//! | MPICH-Java  | the `mpijava` wrapper on the MPICH-like device |
+//!
+//! and each mode onto a fabric configuration ([`Mode`]): SM uses the
+//! in-process devices, DM uses loopback TCP shaped by the paper's 10BaseT
+//! Ethernet model.
+//!
+//! Two calibration levels are provided:
+//!
+//! * **structural** (default): no synthetic costs at all. The numbers are
+//!   2026-hardware numbers; the *relationships* (who wins, constant wrapper
+//!   offset, convergence at large messages, DM collapse onto the link
+//!   bandwidth) are the reproduction targets.
+//! * **calibrated-1999** ([`Calibration::Era1999`]): per-message device
+//!   costs and per-call JNI costs chosen so the 1-byte latencies land in
+//!   the same few-hundred-microsecond regime as Table 1, for side-by-side
+//!   reading with the paper.
+
+pub mod linpack;
+pub mod pingpong;
+pub mod report;
+
+pub use linpack::{linpack_compiled, linpack_interpreted, LinpackResult};
+pub use pingpong::{run_pingpong, Calibration, Mode, PingPongPoint, PingPongSpec, Stack};
+pub use report::{format_bandwidth_table, format_table1, Series};

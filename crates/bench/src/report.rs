@@ -1,0 +1,137 @@
+//! Table and figure formatting: prints the same rows/series the paper
+//! reports (Table 1, Figures 5 and 6) as aligned text and CSV.
+
+use crate::pingpong::{Mode, PingPongPoint, Stack};
+
+/// One named bandwidth-vs-size series (one curve of Figure 5 / Figure 6).
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<PingPongPoint>,
+}
+
+/// Format the reproduction of Table 1: one row per mode, one column per
+/// stack, entries in microseconds for a 1-byte message.
+pub fn format_table1(rows: &[(Mode, Vec<(Stack, f64)>)]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: time for 1-byte messages (one-way, microseconds)\n");
+    out.push_str(&format!("{:>4}", ""));
+    for stack in Stack::all() {
+        out.push_str(&format!(" {:>10}", stack.label()));
+    }
+    out.push('\n');
+    for (mode, entries) in rows {
+        out.push_str(&format!("{:>4}", mode.label()));
+        for stack in Stack::all() {
+            match entries.iter().find(|(s, _)| *s == stack) {
+                Some((_, us)) => out.push_str(&format!(" {us:>10.1}")),
+                None => out.push_str(&format!(" {:>10}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a bandwidth-vs-size table (the data behind Figure 5 / Figure 6):
+/// one row per message size, one column per series, bandwidth in MBytes/s.
+pub fn format_bandwidth_table(title: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:>10}", "bytes"));
+    for s in series {
+        out.push_str(&format!(" {:>12}", s.label));
+    }
+    out.push('\n');
+    let sizes: Vec<usize> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.size).collect())
+        .unwrap_or_default();
+    for (i, size) in sizes.iter().enumerate() {
+        out.push_str(&format!("{size:>10}"));
+        for s in series {
+            match s.points.get(i) {
+                Some(p) => out.push_str(&format!(" {:>12.3}", p.bandwidth_mb_s)),
+                None => out.push_str(&format!(" {:>12}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV form of a set of series (size, then one bandwidth column per
+/// series), convenient for re-plotting the figures.
+pub fn to_csv(series: &[Series]) -> String {
+    let mut out = String::from("bytes");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label);
+    }
+    out.push('\n');
+    let sizes: Vec<usize> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.size).collect())
+        .unwrap_or_default();
+    for (i, size) in sizes.iter().enumerate() {
+        out.push_str(&size.to_string());
+        for s in series {
+            out.push(',');
+            if let Some(p) = s.points.get(i) {
+                out.push_str(&format!("{:.4}", p.bandwidth_mb_s));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(size: usize, us: f64) -> PingPongPoint {
+        PingPongPoint {
+            size,
+            one_way_us: us,
+            bandwidth_mb_s: size as f64 / us,
+        }
+    }
+
+    #[test]
+    fn table1_lists_every_stack_column() {
+        let rows = vec![
+            (
+                Mode::SharedMemory,
+                Stack::all().iter().map(|&s| (s, 10.0)).collect(),
+            ),
+            (Mode::DistributedMemory, vec![(Stack::WmpiC, 250.0)]),
+        ];
+        let text = format_table1(&rows);
+        for stack in Stack::all() {
+            assert!(text.contains(stack.label()));
+        }
+        assert!(text.contains("SM") && text.contains("DM"));
+        assert!(text.contains("250.0"));
+    }
+
+    #[test]
+    fn bandwidth_table_has_one_row_per_size() {
+        let series = vec![
+            Series {
+                label: "WMPI-C".into(),
+                points: vec![point(1, 10.0), point(1024, 20.0)],
+            },
+            Series {
+                label: "WMPI-J".into(),
+                points: vec![point(1, 15.0), point(1024, 25.0)],
+            },
+        ];
+        let text = format_bandwidth_table("Figure 5", &series);
+        assert_eq!(text.lines().count(), 2 + 2);
+        let csv = to_csv(&series);
+        assert!(csv.starts_with("bytes,WMPI-C,WMPI-J"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

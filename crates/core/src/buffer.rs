@@ -1,0 +1,174 @@
+//! Message buffers with Java-array semantics.
+//!
+//! In mpiJava every communication call takes `(Object buf, int offset,
+//! int count, Datatype datatype, ...)` where `buf` must be a
+//! one-dimensional Java array of a primitive type (the paper, §2). This
+//! module gives the Rust binding the same shape: the [`BufferElement`]
+//! trait marks the Rust element types that correspond to the Java
+//! primitive element types of Figure 2, and provides the byte views the
+//! simulated JNI layer marshals across the boundary.
+
+use mpi_native::PrimitiveKind;
+
+/// Marker + byte-view trait for element types usable in message buffers.
+///
+/// The Java `char` (UTF-16 code unit) maps to `u16`; Java `byte` to `i8`
+/// (with `u8` also accepted for convenience); `boolean` to `bool`.
+pub trait BufferElement: Copy + Default + Send + Sync + 'static {
+    /// The MPI basic datatype this element corresponds to (paper Figure 2).
+    const KIND: PrimitiveKind;
+
+    /// Serialize one element into little-endian bytes.
+    fn write_le(&self, out: &mut [u8]);
+    /// Deserialize one element from little-endian bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+
+    /// Width of one element in bytes.
+    fn width() -> usize {
+        Self::KIND.size()
+    }
+}
+
+macro_rules! impl_buffer_element {
+    ($($ty:ty => $kind:expr),* $(,)?) => {$(
+        impl BufferElement for $ty {
+            const KIND: PrimitiveKind = $kind;
+            fn write_le(&self, out: &mut [u8]) {
+                out[..std::mem::size_of::<$ty>()].copy_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(bytes: &[u8]) -> Self {
+                <$ty>::from_le_bytes(bytes[..std::mem::size_of::<$ty>()].try_into().unwrap())
+            }
+        }
+    )*}
+}
+
+impl_buffer_element!(
+    i8 => PrimitiveKind::Byte,
+    u8 => PrimitiveKind::Byte,
+    i16 => PrimitiveKind::Short,
+    u16 => PrimitiveKind::Char,
+    i32 => PrimitiveKind::Int,
+    i64 => PrimitiveKind::Long,
+    f32 => PrimitiveKind::Float,
+    f64 => PrimitiveKind::Double,
+);
+
+impl BufferElement for bool {
+    const KIND: PrimitiveKind = PrimitiveKind::Boolean;
+    fn write_le(&self, out: &mut [u8]) {
+        out[0] = *self as u8;
+    }
+    fn read_le(bytes: &[u8]) -> Self {
+        bytes[0] != 0
+    }
+}
+
+impl BufferElement for char {
+    // Java's char is a UTF-16 code unit; mpiJava sends it as MPI.CHAR
+    // (2 bytes). Characters outside the BMP are truncated exactly as a
+    // Java cast to char would truncate them.
+    const KIND: PrimitiveKind = PrimitiveKind::Char;
+    fn write_le(&self, out: &mut [u8]) {
+        let code = *self as u32 as u16;
+        out[..2].copy_from_slice(&code.to_le_bytes());
+    }
+    fn read_le(bytes: &[u8]) -> Self {
+        let code = u16::from_le_bytes(bytes[..2].try_into().unwrap());
+        char::from_u32(code as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+/// Convert `buf[offset..]` (element indices, like the Java `offset`
+/// argument) to a little-endian byte image covering `elem_count` elements.
+pub fn elements_to_bytes<T: BufferElement>(buf: &[T], offset: usize, elem_count: usize) -> Vec<u8> {
+    let width = T::width();
+    let mut out = vec![0u8; elem_count * width];
+    for (i, e) in buf[offset..offset + elem_count].iter().enumerate() {
+        e.write_le(&mut out[i * width..(i + 1) * width]);
+    }
+    out
+}
+
+/// Convert the whole slice to bytes (no offset), used for holes-aware
+/// derived-datatype packing where element selection happens later.
+pub fn slice_to_bytes<T: BufferElement>(buf: &[T]) -> Vec<u8> {
+    elements_to_bytes(buf, 0, buf.len())
+}
+
+/// Scatter little-endian `bytes` back into `buf[offset..]`.
+/// Returns the number of whole elements written.
+pub fn bytes_to_elements<T: BufferElement>(buf: &mut [T], offset: usize, bytes: &[u8]) -> usize {
+    let width = T::width();
+    let n = (bytes.len() / width).min(buf.len().saturating_sub(offset));
+    for i in 0..n {
+        buf[offset + i] = T::read_le(&bytes[i * width..(i + 1) * width]);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_kinds_match_figure_2() {
+        assert_eq!(<i8 as BufferElement>::KIND, PrimitiveKind::Byte);
+        assert_eq!(<u16 as BufferElement>::KIND, PrimitiveKind::Char);
+        assert_eq!(<bool as BufferElement>::KIND, PrimitiveKind::Boolean);
+        assert_eq!(<i16 as BufferElement>::KIND, PrimitiveKind::Short);
+        assert_eq!(<i32 as BufferElement>::KIND, PrimitiveKind::Int);
+        assert_eq!(<i64 as BufferElement>::KIND, PrimitiveKind::Long);
+        assert_eq!(<f32 as BufferElement>::KIND, PrimitiveKind::Float);
+        assert_eq!(<f64 as BufferElement>::KIND, PrimitiveKind::Double);
+        assert_eq!(<char as BufferElement>::KIND, PrimitiveKind::Char);
+    }
+
+    #[test]
+    fn roundtrip_every_type() {
+        let ints = [1i32, -7, i32::MAX];
+        let bytes = elements_to_bytes(&ints, 0, 3);
+        let mut back = [0i32; 3];
+        assert_eq!(bytes_to_elements(&mut back, 0, &bytes), 3);
+        assert_eq!(back, ints);
+
+        let doubles = [3.5f64, -0.25, f64::MIN_POSITIVE];
+        let bytes = elements_to_bytes(&doubles, 0, 3);
+        let mut back = [0f64; 3];
+        bytes_to_elements(&mut back, 0, &bytes);
+        assert_eq!(back, doubles);
+
+        let bools = [true, false, true];
+        let bytes = elements_to_bytes(&bools, 0, 3);
+        let mut back = [false; 3];
+        bytes_to_elements(&mut back, 0, &bytes);
+        assert_eq!(back, bools);
+    }
+
+    #[test]
+    fn offsets_select_a_window() {
+        let data = [10i32, 20, 30, 40, 50];
+        let bytes = elements_to_bytes(&data, 1, 3);
+        let mut back = [0i32; 5];
+        bytes_to_elements(&mut back, 2, &bytes);
+        assert_eq!(back, [0, 0, 20, 30, 40]);
+    }
+
+    #[test]
+    fn chars_round_trip_like_java_chars() {
+        let chars = ['H', 'i', '!'];
+        let bytes = elements_to_bytes(&chars, 0, 3);
+        assert_eq!(bytes.len(), 6);
+        let mut back = ['\0'; 3];
+        bytes_to_elements(&mut back, 0, &bytes);
+        assert_eq!(back, chars);
+    }
+
+    #[test]
+    fn short_byte_input_writes_partial_elements() {
+        let mut buf = [0i32; 4];
+        let n = bytes_to_elements(&mut buf, 0, &elements_to_bytes(&[7i32, 8], 0, 2));
+        assert_eq!(n, 2);
+        assert_eq!(buf, [7, 8, 0, 0]);
+    }
+}

@@ -1,0 +1,106 @@
+//! The `Cartcomm` class: communicators with a cartesian virtual topology
+//! (mpiJava `Cartcomm extends Intracomm`).
+
+use std::ops::Deref;
+
+use mpi_native::topology;
+
+use crate::exception::MpiResult;
+use crate::intracomm::Intracomm;
+
+/// Result of `Cartcomm.Shift`: the ranks to receive from and send to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShiftParms {
+    /// Rank messages arrive from (`MPI.PROC_NULL` off a non-periodic edge).
+    pub rank_source: i32,
+    /// Rank messages go to (`MPI.PROC_NULL` off a non-periodic edge).
+    pub rank_dest: i32,
+}
+
+/// Description returned by `Cartcomm.Get()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CartParms {
+    /// Grid extents.
+    pub dims: Vec<usize>,
+    /// Per-dimension periodicity.
+    pub periods: Vec<bool>,
+    /// This process's coordinates.
+    pub coords: Vec<usize>,
+}
+
+/// A communicator with an attached cartesian grid.
+#[derive(Clone, Debug)]
+pub struct Cartcomm {
+    base: Intracomm,
+}
+
+impl Deref for Cartcomm {
+    type Target = Intracomm;
+    fn deref(&self) -> &Intracomm {
+        &self.base
+    }
+}
+
+impl Cartcomm {
+    pub(crate) fn new(base: Intracomm) -> Cartcomm {
+        Cartcomm { base }
+    }
+
+    /// `Cartcomm.Get()`.
+    pub fn get(&self) -> MpiResult<CartParms> {
+        self.env.jni.enter("Cartcomm.Get");
+        let (dims, periods, coords) = self.env.engine.lock().cart_get(self.handle())?;
+        Ok(CartParms {
+            dims,
+            periods,
+            coords,
+        })
+    }
+
+    /// `Cartcomm.Dim_get()` (number of dimensions).
+    pub fn dim_get(&self) -> MpiResult<usize> {
+        self.env.jni.enter("Cartcomm.Dim_get");
+        Ok(self.env.engine.lock().cartdim_get(self.handle())?)
+    }
+
+    /// `Cartcomm.Rank(coords)`.
+    pub fn rank_of_coords(&self, coords: &[i64]) -> MpiResult<usize> {
+        self.env.jni.enter("Cartcomm.Rank");
+        Ok(self.env.engine.lock().cart_rank(self.handle(), coords)?)
+    }
+
+    /// `Cartcomm.Coords(rank)`.
+    pub fn coords(&self, rank: usize) -> MpiResult<Vec<usize>> {
+        self.env.jni.enter("Cartcomm.Coords");
+        Ok(self.env.engine.lock().cart_coords(self.handle(), rank)?)
+    }
+
+    /// `Cartcomm.Shift(direction, disp)`.
+    pub fn shift(&self, direction: usize, disp: i64) -> MpiResult<ShiftParms> {
+        self.env.jni.enter("Cartcomm.Shift");
+        let (rank_source, rank_dest) = self
+            .env
+            .engine
+            .lock()
+            .cart_shift(self.handle(), direction, disp)?;
+        Ok(ShiftParms {
+            rank_source,
+            rank_dest,
+        })
+    }
+
+    /// `Cartcomm.Sub(remain_dims)`.
+    pub fn sub(&self, remain: &[bool]) -> MpiResult<Cartcomm> {
+        self.env.jni.enter("Cartcomm.Sub");
+        let handle = self.env.engine.lock().cart_sub(self.handle(), remain)?;
+        Ok(Cartcomm::new(Intracomm::new(
+            std::sync::Arc::clone(&self.env),
+            handle,
+        )))
+    }
+
+    /// `Cartcomm.Dims_create(nnodes, dims)` (static helper).
+    pub fn dims_create(nnodes: usize, dims: &mut [usize]) -> MpiResult<()> {
+        topology::dims_create(nnodes, dims).map_err(Into::into)
+    }
+}

@@ -1,0 +1,716 @@
+//! The `Comm` class: point-to-point communication, probes, packing and
+//! communicator queries (paper §2, Figure 1).
+//!
+//! All communication methods follow the mpiJava argument conventions the
+//! paper describes in §2.1:
+//!
+//! * buffers are one-dimensional arrays of a primitive element type,
+//!   passed together with an element `offset`,
+//! * results come back through return values (`Status` objects, fresh
+//!   arrays) rather than out-parameters,
+//! * array lengths replace explicit count arguments where possible.
+//!
+//! Every call crosses the simulated JNI boundary of [`crate::jni`]; that is
+//! where the wrapper overhead the paper measures lives.
+
+use mpi_native::{pack, ErrorClass, PrimitiveKind, SendMode};
+use mpi_native::comm::CommHandle;
+
+use crate::buffer::{bytes_to_elements, slice_to_bytes, BufferElement};
+use crate::datatype::Datatype;
+use crate::exception::{MPIException, MpiResult};
+use crate::group::Group;
+use crate::request::{Prequest, Request};
+use crate::serial::{deserialize, serialize, Serializable};
+use crate::status::Status;
+use crate::RankEnv;
+use std::sync::Arc;
+
+/// Base communicator class. `Intracomm`, `Cartcomm` and `Graphcomm` all
+/// dereference to `Comm`.
+#[derive(Clone)]
+pub struct Comm {
+    pub(crate) env: Arc<RankEnv>,
+    pub(crate) handle: CommHandle,
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm").field("handle", &self.handle).finish()
+    }
+}
+
+/// How many buffer elements (each `elem_width` bytes wide) a transfer of
+/// `count` instances of `datatype` spans (used for bounds checking against
+/// the Java-style `offset`).
+fn span_elements(datatype: &Datatype, count: usize, elem_width: usize) -> usize {
+    if count == 0 {
+        return 0;
+    }
+    let width = elem_width.max(1);
+    let bytes = (count as isize - 1) * datatype.extent() + datatype.ub();
+    (bytes.max(0) as usize).div_ceil(width)
+}
+
+impl Comm {
+    pub(crate) fn new(env: Arc<RankEnv>, handle: CommHandle) -> Comm {
+        Comm { env, handle }
+    }
+
+    /// Engine-level handle (used by the benchmark harness for the direct
+    /// "native C" baseline on the same communicator).
+    pub fn handle(&self) -> CommHandle {
+        self.handle
+    }
+
+    /// `Comm.Rank()`.
+    pub fn rank(&self) -> MpiResult<usize> {
+        self.env.jni.enter("Comm.Rank");
+        Ok(self.env.engine.lock().comm_rank(self.handle)?)
+    }
+
+    /// `Comm.Size()`.
+    pub fn size(&self) -> MpiResult<usize> {
+        self.env.jni.enter("Comm.Size");
+        Ok(self.env.engine.lock().comm_size(self.handle)?)
+    }
+
+    /// `Comm.Group()`.
+    pub fn group(&self) -> MpiResult<Group> {
+        self.env.jni.enter("Comm.Group");
+        Ok(Group::from_engine(
+            self.env.engine.lock().comm_group(self.handle)?,
+        ))
+    }
+
+    /// `Comm.Compare(comm1, comm2)`.
+    pub fn compare(a: &Comm, b: &Comm) -> MpiResult<mpi_native::CompareResult> {
+        a.env.jni.enter("Comm.Compare");
+        Ok(a.env.engine.lock().comm_compare(a.handle, b.handle)?)
+    }
+
+    /// `Comm.Free()`. Only has an observable effect on explicitly created
+    /// communicators; the paper (§2.1) notes `Comm` keeps an explicit
+    /// `Free` because freeing can have visible side effects.
+    pub fn free(&self) -> MpiResult<()> {
+        self.env.jni.enter("Comm.Free");
+        Ok(self.env.engine.lock().comm_free(self.handle)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer marshalling helpers (the simulated JNI stub layer)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn check_type<T: BufferElement>(&self, datatype: &Datatype) -> MpiResult<()> {
+        if datatype.is_object() {
+            return Err(MPIException::new(
+                ErrorClass::Type,
+                "MPI.OBJECT buffers must use the send_object/recv_object methods",
+            ));
+        }
+        let compatible = datatype.base_kind() == T::KIND
+            || (datatype.base_kind() == PrimitiveKind::Packed && T::KIND == PrimitiveKind::Byte)
+            || (datatype.base_kind().is_pair()
+                && datatype.base_kind().size() % T::KIND.size() == 0
+                && pair_component_matches(datatype.base_kind(), T::KIND));
+        if compatible {
+            Ok(())
+        } else {
+            Err(MPIException::new(
+                ErrorClass::Type,
+                format!(
+                    "buffer element type {:?} does not match datatype base {:?}",
+                    T::KIND,
+                    datatype.base_kind()
+                ),
+            ))
+        }
+    }
+
+    /// Marshal `count` instances of `datatype` starting at element `offset`
+    /// of `buf` into a contiguous byte payload (the `Get*ArrayRegion` +
+    /// `MPI_Pack` step of the real stub layer).
+    pub(crate) fn pack_buffer<T: BufferElement>(
+        &self,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+    ) -> MpiResult<Vec<u8>> {
+        self.check_type::<T>(datatype)?;
+        let span = span_elements(datatype, count, T::KIND.size());
+        if offset + span > buf.len() {
+            return Err(MPIException::new(
+                ErrorClass::Buffer,
+                format!(
+                    "buffer too small: offset {offset} + span {span} > length {}",
+                    buf.len()
+                ),
+            ));
+        }
+        let window = &buf[offset..offset + span];
+        let bytes = slice_to_bytes(window);
+        self.env.jni.note_pinned_in(0); // no-op, keeps pin/copy symmetric
+        let image = self.env.jni.marshal_in(&bytes);
+        let packed = pack::pack(&image, 0, count, datatype.def())?;
+        Ok(packed)
+    }
+
+    /// Scatter a received contiguous payload back into the user buffer
+    /// (the `MPI_Unpack` + `Set*ArrayRegion` step).
+    pub(crate) fn unpack_buffer<T: BufferElement>(
+        &self,
+        wire: &[u8],
+        buf: &mut [T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+    ) -> MpiResult<()> {
+        self.check_type::<T>(datatype)?;
+        let span = span_elements(datatype, count, T::KIND.size());
+        if offset + span > buf.len() {
+            return Err(MPIException::new(
+                ErrorClass::Truncate,
+                format!(
+                    "receive buffer too small: offset {offset} + span {span} > length {}",
+                    buf.len()
+                ),
+            ));
+        }
+        self.env.jni.note_out(wire.len());
+        let window = &buf[offset..offset + span];
+        let mut image = slice_to_bytes(window);
+        pack::unpack(wire, &mut image, 0, count, datatype.def())?;
+        bytes_to_elements(buf, offset, &image);
+        Ok(())
+    }
+
+    fn send_mode<T: BufferElement>(
+        &self,
+        name: &'static str,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        dest: i32,
+        tag: i32,
+        mode: SendMode,
+    ) -> MpiResult<()> {
+        self.env.jni.enter(name);
+        let payload = self.pack_buffer(buf, offset, count, datatype)?;
+        self.env
+            .engine
+            .lock()
+            .send(self.handle, dest, tag, &payload, mode)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking point-to-point (paper §2: Send / Recv signatures)
+    // ------------------------------------------------------------------
+
+    /// `Comm.Send(buf, offset, count, datatype, dest, tag)`.
+    pub fn send<T: BufferElement>(
+        &self,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        dest: i32,
+        tag: i32,
+    ) -> MpiResult<()> {
+        self.send_mode("Comm.Send", buf, offset, count, datatype, dest, tag, SendMode::Standard)
+    }
+
+    /// `Comm.Bsend`.
+    pub fn bsend<T: BufferElement>(
+        &self,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        dest: i32,
+        tag: i32,
+    ) -> MpiResult<()> {
+        self.send_mode("Comm.Bsend", buf, offset, count, datatype, dest, tag, SendMode::Buffered)
+    }
+
+    /// `Comm.Ssend`.
+    pub fn ssend<T: BufferElement>(
+        &self,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        dest: i32,
+        tag: i32,
+    ) -> MpiResult<()> {
+        self.send_mode(
+            "Comm.Ssend",
+            buf,
+            offset,
+            count,
+            datatype,
+            dest,
+            tag,
+            SendMode::Synchronous,
+        )
+    }
+
+    /// `Comm.Rsend`.
+    pub fn rsend<T: BufferElement>(
+        &self,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        dest: i32,
+        tag: i32,
+    ) -> MpiResult<()> {
+        self.send_mode("Comm.Rsend", buf, offset, count, datatype, dest, tag, SendMode::Ready)
+    }
+
+    /// `Comm.Recv(buf, offset, count, datatype, source, tag)`.
+    pub fn recv<T: BufferElement>(
+        &self,
+        buf: &mut [T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        source: i32,
+        tag: i32,
+    ) -> MpiResult<Status> {
+        self.env.jni.enter("Comm.Recv");
+        self.check_type::<T>(datatype)?;
+        let max_len = datatype.size() * count;
+        let (data, info) = self
+            .env
+            .engine
+            .lock()
+            .recv(self.handle, source, tag, Some(max_len))?;
+        self.unpack_buffer(&data, buf, offset, count, datatype)?;
+        Ok(Status::from_info(info))
+    }
+
+    /// `Comm.Sendrecv`: combined exchange.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv<S: BufferElement, R: BufferElement>(
+        &self,
+        send_buf: &[S],
+        send_offset: usize,
+        send_count: usize,
+        send_type: &Datatype,
+        dest: i32,
+        send_tag: i32,
+        recv_buf: &mut [R],
+        recv_offset: usize,
+        recv_count: usize,
+        recv_type: &Datatype,
+        source: i32,
+        recv_tag: i32,
+    ) -> MpiResult<Status> {
+        self.env.jni.enter("Comm.Sendrecv");
+        let payload = self.pack_buffer(send_buf, send_offset, send_count, send_type)?;
+        self.check_type::<R>(recv_type)?;
+        let max_len = recv_type.size() * recv_count;
+        let (data, info) = self.env.engine.lock().sendrecv(
+            self.handle,
+            dest,
+            send_tag,
+            &payload,
+            source,
+            recv_tag,
+            Some(max_len),
+        )?;
+        self.unpack_buffer(&data, recv_buf, recv_offset, recv_count, recv_type)?;
+        Ok(Status::from_info(info))
+    }
+
+    // ------------------------------------------------------------------
+    // Non-blocking point-to-point
+    // ------------------------------------------------------------------
+
+    fn isend_mode<T: BufferElement>(
+        &self,
+        name: &'static str,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        dest: i32,
+        tag: i32,
+        mode: SendMode,
+    ) -> MpiResult<Request<'static>> {
+        self.env.jni.enter(name);
+        let payload = self.pack_buffer(buf, offset, count, datatype)?;
+        let id = self
+            .env
+            .engine
+            .lock()
+            .isend(self.handle, dest, tag, &payload, mode)?;
+        Ok(Request::send(Arc::clone(&self.env), id))
+    }
+
+    /// `Comm.Isend`.
+    pub fn isend<T: BufferElement>(
+        &self,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        dest: i32,
+        tag: i32,
+    ) -> MpiResult<Request<'static>> {
+        self.isend_mode("Comm.Isend", buf, offset, count, datatype, dest, tag, SendMode::Standard)
+    }
+
+    /// `Comm.Ibsend`.
+    pub fn ibsend<T: BufferElement>(
+        &self,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        dest: i32,
+        tag: i32,
+    ) -> MpiResult<Request<'static>> {
+        self.isend_mode("Comm.Ibsend", buf, offset, count, datatype, dest, tag, SendMode::Buffered)
+    }
+
+    /// `Comm.Issend`.
+    pub fn issend<T: BufferElement>(
+        &self,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        dest: i32,
+        tag: i32,
+    ) -> MpiResult<Request<'static>> {
+        self.isend_mode(
+            "Comm.Issend",
+            buf,
+            offset,
+            count,
+            datatype,
+            dest,
+            tag,
+            SendMode::Synchronous,
+        )
+    }
+
+    /// `Comm.Irsend`.
+    pub fn irsend<T: BufferElement>(
+        &self,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        dest: i32,
+        tag: i32,
+    ) -> MpiResult<Request<'static>> {
+        self.isend_mode("Comm.Irsend", buf, offset, count, datatype, dest, tag, SendMode::Ready)
+    }
+
+    /// `Comm.Irecv(buf, offset, count, datatype, source, tag)`.
+    ///
+    /// The returned [`Request`] borrows `buf` mutably until it is waited
+    /// on — the Rust-safe equivalent of mpiJava handing the Java array to
+    /// the JNI layer for the duration of the receive.
+    pub fn irecv<'buf, T: BufferElement>(
+        &self,
+        buf: &'buf mut [T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        source: i32,
+        tag: i32,
+    ) -> MpiResult<Request<'buf>> {
+        self.env.jni.enter("Comm.Irecv");
+        self.check_type::<T>(datatype)?;
+        let max_len = datatype.size() * count;
+        let id = self
+            .env
+            .engine
+            .lock()
+            .irecv(self.handle, source, tag, Some(max_len))?;
+        let comm = self.clone();
+        let datatype = datatype.clone();
+        Ok(Request::recv(
+            Arc::clone(&self.env),
+            id,
+            Box::new(move |wire: &[u8]| comm.unpack_buffer(wire, buf, offset, count, &datatype)),
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent requests
+    // ------------------------------------------------------------------
+
+    /// `Comm.Send_init`: build a persistent send request (a `Prequest`).
+    pub fn send_init<'buf, T: BufferElement>(
+        &self,
+        buf: &'buf [T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        dest: i32,
+        tag: i32,
+    ) -> MpiResult<Prequest<'buf>> {
+        self.env.jni.enter("Comm.Send_init");
+        let payload = self.pack_buffer(buf, offset, count, datatype)?;
+        let id = self
+            .env
+            .engine
+            .lock()
+            .send_init(self.handle, dest, tag, &payload, SendMode::Standard)?;
+        let comm = self.clone();
+        let datatype = datatype.clone();
+        Ok(Prequest::send(
+            Arc::clone(&self.env),
+            id,
+            Box::new(move || comm.pack_buffer(buf, offset, count, &datatype)),
+        ))
+    }
+
+    /// `Comm.Recv_init`: build a persistent receive request.
+    pub fn recv_init<'buf, T: BufferElement>(
+        &self,
+        buf: &'buf mut [T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        source: i32,
+        tag: i32,
+    ) -> MpiResult<Prequest<'buf>> {
+        self.env.jni.enter("Comm.Recv_init");
+        self.check_type::<T>(datatype)?;
+        let max_len = datatype.size() * count;
+        let id = self
+            .env
+            .engine
+            .lock()
+            .recv_init(self.handle, source, tag, Some(max_len))?;
+        let comm = self.clone();
+        let datatype = datatype.clone();
+        Ok(Prequest::recv(
+            Arc::clone(&self.env),
+            id,
+            Box::new(move |wire: &[u8]| {
+                comm.unpack_buffer(wire, &mut buf[..], offset, count, &datatype)
+            }),
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Probe
+    // ------------------------------------------------------------------
+
+    /// `Comm.Probe(source, tag)`.
+    pub fn probe(&self, source: i32, tag: i32) -> MpiResult<Status> {
+        self.env.jni.enter("Comm.Probe");
+        let info = self.env.engine.lock().probe(self.handle, source, tag)?;
+        Ok(Status::from_info(info))
+    }
+
+    /// `Comm.Iprobe(source, tag)`: `None` when no matching message has
+    /// arrived (the paper's convention of returning `null` for the failed
+    /// case, §2.1).
+    pub fn iprobe(&self, source: i32, tag: i32) -> MpiResult<Option<Status>> {
+        self.env.jni.enter("Comm.Iprobe");
+        let info = self.env.engine.lock().iprobe(self.handle, source, tag)?;
+        Ok(info.map(Status::from_info))
+    }
+
+    // ------------------------------------------------------------------
+    // Pack / Unpack
+    // ------------------------------------------------------------------
+
+    /// `Comm.Pack_size(count, datatype)`: bytes needed to pack `count`
+    /// instances.
+    pub fn pack_size(&self, count: usize, datatype: &Datatype) -> usize {
+        datatype.size() * count
+    }
+
+    /// `Comm.Pack`: append `count` instances of `datatype` from `buf` to
+    /// `out`, returning the new position (mirrors the C `position`
+    /// in/out argument by returning the updated value).
+    pub fn pack<T: BufferElement>(
+        &self,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+        out: &mut Vec<u8>,
+    ) -> MpiResult<usize> {
+        self.env.jni.enter("Comm.Pack");
+        let payload = self.pack_buffer(buf, offset, count, datatype)?;
+        out.extend_from_slice(&payload);
+        Ok(out.len())
+    }
+
+    /// `Comm.Unpack`: extract `count` instances of `datatype` from
+    /// `packed[position..]` into `buf`, returning the new position.
+    #[allow(clippy::too_many_arguments)]
+    pub fn unpack<T: BufferElement>(
+        &self,
+        packed: &[u8],
+        position: usize,
+        buf: &mut [T],
+        offset: usize,
+        count: usize,
+        datatype: &Datatype,
+    ) -> MpiResult<usize> {
+        self.env.jni.enter("Comm.Unpack");
+        let needed = datatype.size() * count;
+        if position + needed > packed.len() {
+            return Err(MPIException::new(
+                ErrorClass::Truncate,
+                format!(
+                    "unpack: need {needed} bytes at position {position}, packed buffer has {}",
+                    packed.len()
+                ),
+            ));
+        }
+        self.unpack_buffer(&packed[position..position + needed], buf, offset, count, datatype)?;
+        Ok(position + needed)
+    }
+
+    // ------------------------------------------------------------------
+    // MPI.OBJECT: serialized object messages (paper §2.2)
+    // ------------------------------------------------------------------
+
+    /// Send `count` objects from `buf[offset..]` using the `MPI.OBJECT`
+    /// datatype: each object is serialized in the wrapper, exactly as the
+    /// paper proposes.
+    pub fn send_object<T: Serializable>(
+        &self,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+        dest: i32,
+        tag: i32,
+    ) -> MpiResult<()> {
+        self.env.jni.enter("Comm.Send[OBJECT]");
+        let payload = self.serialize_objects(buf, offset, count)?;
+        self.env
+            .engine
+            .lock()
+            .send(self.handle, dest, tag, &payload, SendMode::Standard)?;
+        Ok(())
+    }
+
+    /// Receive up to `count` objects into fresh values (returned rather
+    /// than written in place — objects are immutable-by-construction here).
+    pub fn recv_object<T: Serializable>(
+        &self,
+        count: usize,
+        source: i32,
+        tag: i32,
+    ) -> MpiResult<(Vec<T>, Status)> {
+        self.env.jni.enter("Comm.Recv[OBJECT]");
+        let (data, info) = self.env.engine.lock().recv(self.handle, source, tag, None)?;
+        self.env.jni.note_out(data.len());
+        let objects = self.deserialize_objects(&data, count)?;
+        Ok((objects, Status::from_info(info)))
+    }
+
+    pub(crate) fn serialize_objects<T: Serializable>(
+        &self,
+        buf: &[T],
+        offset: usize,
+        count: usize,
+    ) -> MpiResult<Vec<u8>> {
+        if offset + count > buf.len() {
+            return Err(MPIException::new(
+                ErrorClass::Buffer,
+                "object buffer too small for offset + count",
+            ));
+        }
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(count as u64).to_le_bytes());
+        for obj in &buf[offset..offset + count] {
+            let bytes = serialize(obj);
+            payload.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            payload.extend_from_slice(&bytes);
+        }
+        self.env.jni.note_pinned_in(payload.len());
+        Ok(payload)
+    }
+
+    pub(crate) fn deserialize_objects<T: Serializable>(
+        &self,
+        data: &[u8],
+        max_count: usize,
+    ) -> MpiResult<Vec<T>> {
+        if data.len() < 8 {
+            return Err(MPIException::new(
+                ErrorClass::Truncate,
+                "object message shorter than its header",
+            ));
+        }
+        let n = u64::from_le_bytes(data[0..8].try_into().unwrap()) as usize;
+        if n > max_count {
+            return Err(MPIException::new(
+                ErrorClass::Truncate,
+                format!("received {n} objects but the receive asked for at most {max_count}"),
+            ));
+        }
+        let mut cursor = 8usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            if cursor + 8 > data.len() {
+                return Err(MPIException::new(ErrorClass::Truncate, "object stream truncated"));
+            }
+            let len = u64::from_le_bytes(data[cursor..cursor + 8].try_into().unwrap()) as usize;
+            cursor += 8;
+            if cursor + len > data.len() {
+                return Err(MPIException::new(ErrorClass::Truncate, "object stream truncated"));
+            }
+            out.push(deserialize(&data[cursor..cursor + len])?);
+            cursor += len;
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Low-level escape hatch used by the benchmark harness
+    // ------------------------------------------------------------------
+
+    /// Send raw bytes through the wrapper (still crosses the simulated JNI
+    /// boundary). Used by the "mpiJava" series of the PingPong benchmark.
+    pub fn send_bytes(&self, bytes: &[u8], dest: i32, tag: i32) -> MpiResult<()> {
+        self.env.jni.enter("Comm.Send[bytes]");
+        let image = self.env.jni.marshal_in(bytes);
+        self.env
+            .engine
+            .lock()
+            .send(self.handle, dest, tag, &image, SendMode::Standard)?;
+        Ok(())
+    }
+
+    /// Receive raw bytes through the wrapper into `buf`, returning the
+    /// status (counterpart of [`Comm::send_bytes`]).
+    pub fn recv_bytes(&self, buf: &mut [u8], source: i32, tag: i32) -> MpiResult<Status> {
+        self.env.jni.enter("Comm.Recv[bytes]");
+        let (data, info) = self
+            .env
+            .engine
+            .lock()
+            .recv(self.handle, source, tag, Some(buf.len()))?;
+        self.env.jni.note_out(data.len());
+        buf[..data.len()].copy_from_slice(&data);
+        Ok(Status::from_info(info))
+    }
+}
+
+fn pair_component_matches(pair: PrimitiveKind, elem: PrimitiveKind) -> bool {
+    matches!(
+        (pair, elem),
+        (PrimitiveKind::Int2, PrimitiveKind::Int)
+            | (PrimitiveKind::Long2, PrimitiveKind::Long)
+            | (PrimitiveKind::Float2, PrimitiveKind::Float)
+            | (PrimitiveKind::Double2, PrimitiveKind::Double)
+            | (PrimitiveKind::Short2, PrimitiveKind::Short)
+    )
+}

@@ -1,0 +1,341 @@
+//! The `Datatype` class of the binding (paper §2, Figure 2, and §2.2).
+//!
+//! Basic datatypes mirror the Java primitive types; derived datatype
+//! constructors (`contiguous`, `vector`, `hvector`, `indexed`, `hindexed`,
+//! `struct`) mirror standard MPI with the restriction the paper describes:
+//! because mpiJava buffers are mono-typed Java arrays, all components of a
+//! `Struct` must share the buffer's base type. `OBJECT` is the extension
+//! datatype of §2.2 whose buffers are arrays of serializable objects.
+
+use mpi_native::{DatatypeDef, ErrorClass, PrimitiveKind};
+
+use crate::exception::{MPIException, MpiResult};
+
+/// A basic or derived message datatype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Datatype {
+    def: DatatypeDef,
+    base: PrimitiveKind,
+    object: bool,
+}
+
+impl Datatype {
+    // ------------------------------------------------------------------
+    // Basic datatypes (Figure 2 of the paper)
+    // ------------------------------------------------------------------
+
+    fn basic(kind: PrimitiveKind) -> Datatype {
+        Datatype {
+            def: DatatypeDef::basic(kind),
+            base: kind,
+            object: false,
+        }
+    }
+
+    /// `MPI.BYTE`
+    pub fn byte() -> Datatype {
+        Datatype::basic(PrimitiveKind::Byte)
+    }
+    /// `MPI.CHAR`
+    pub fn char() -> Datatype {
+        Datatype::basic(PrimitiveKind::Char)
+    }
+    /// `MPI.BOOLEAN`
+    pub fn boolean() -> Datatype {
+        Datatype::basic(PrimitiveKind::Boolean)
+    }
+    /// `MPI.SHORT`
+    pub fn short() -> Datatype {
+        Datatype::basic(PrimitiveKind::Short)
+    }
+    /// `MPI.INT`
+    pub fn int() -> Datatype {
+        Datatype::basic(PrimitiveKind::Int)
+    }
+    /// `MPI.LONG`
+    pub fn long() -> Datatype {
+        Datatype::basic(PrimitiveKind::Long)
+    }
+    /// `MPI.FLOAT`
+    pub fn float() -> Datatype {
+        Datatype::basic(PrimitiveKind::Float)
+    }
+    /// `MPI.DOUBLE`
+    pub fn double() -> Datatype {
+        Datatype::basic(PrimitiveKind::Double)
+    }
+    /// `MPI.PACKED`
+    pub fn packed() -> Datatype {
+        Datatype::basic(PrimitiveKind::Packed)
+    }
+    /// `MPI.INT2` (for `MAXLOC`/`MINLOC`)
+    pub fn int2() -> Datatype {
+        Datatype::basic(PrimitiveKind::Int2)
+    }
+    /// `MPI.LONG2`
+    pub fn long2() -> Datatype {
+        Datatype::basic(PrimitiveKind::Long2)
+    }
+    /// `MPI.FLOAT2`
+    pub fn float2() -> Datatype {
+        Datatype::basic(PrimitiveKind::Float2)
+    }
+    /// `MPI.DOUBLE2`
+    pub fn double2() -> Datatype {
+        Datatype::basic(PrimitiveKind::Double2)
+    }
+    /// `MPI.SHORT2`
+    pub fn short2() -> Datatype {
+        Datatype::basic(PrimitiveKind::Short2)
+    }
+
+    /// `MPI.OBJECT` — the serializable-object datatype of paper §2.2.
+    /// Buffers using it are arrays of objects; the wrapper serializes them
+    /// on send and deserializes at the destination.
+    pub fn object() -> Datatype {
+        Datatype {
+            def: DatatypeDef::basic(PrimitiveKind::Byte),
+            base: PrimitiveKind::Byte,
+            object: true,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Derived datatype constructors
+    // ------------------------------------------------------------------
+
+    /// `Datatype.Contiguous(count, oldtype)`.
+    pub fn contiguous(count: usize, old: &Datatype) -> MpiResult<Datatype> {
+        old.ensure_not_object("Contiguous")?;
+        Ok(Datatype {
+            def: old.def.contiguous(count)?,
+            base: old.base,
+            object: false,
+        })
+    }
+
+    /// `Datatype.Vector(count, blocklength, stride, oldtype)` — stride in
+    /// elements of `oldtype`.
+    pub fn vector(
+        count: usize,
+        blocklength: usize,
+        stride: isize,
+        old: &Datatype,
+    ) -> MpiResult<Datatype> {
+        old.ensure_not_object("Vector")?;
+        Ok(Datatype {
+            def: old.def.vector(count, blocklength, stride)?,
+            base: old.base,
+            object: false,
+        })
+    }
+
+    /// `Datatype.Hvector(count, blocklength, stride, oldtype)` — stride in
+    /// bytes.
+    pub fn hvector(
+        count: usize,
+        blocklength: usize,
+        stride_bytes: isize,
+        old: &Datatype,
+    ) -> MpiResult<Datatype> {
+        old.ensure_not_object("Hvector")?;
+        Ok(Datatype {
+            def: old.def.hvector(count, blocklength, stride_bytes)?,
+            base: old.base,
+            object: false,
+        })
+    }
+
+    /// `Datatype.Indexed(blocklengths, displacements, oldtype)` —
+    /// displacements in elements of `oldtype`.
+    pub fn indexed(
+        blocklengths: &[usize],
+        displacements: &[isize],
+        old: &Datatype,
+    ) -> MpiResult<Datatype> {
+        old.ensure_not_object("Indexed")?;
+        Ok(Datatype {
+            def: old.def.indexed(blocklengths, displacements)?,
+            base: old.base,
+            object: false,
+        })
+    }
+
+    /// `Datatype.Hindexed(blocklengths, displacements, oldtype)` —
+    /// displacements in bytes.
+    pub fn hindexed(
+        blocklengths: &[usize],
+        displacements: &[isize],
+        old: &Datatype,
+    ) -> MpiResult<Datatype> {
+        old.ensure_not_object("Hindexed")?;
+        Ok(Datatype {
+            def: old.def.hindexed(blocklengths, displacements)?,
+            base: old.base,
+            object: false,
+        })
+    }
+
+    /// `Datatype.Struct(blocklengths, displacements, types)`.
+    ///
+    /// The paper (§2.2) restricts mpiJava's `Struct`: because message
+    /// buffers are mono-typed Java arrays, **all component types must have
+    /// the same base type**, which must also be the buffer's element type.
+    /// That restriction is enforced here (the engine underneath could do
+    /// more, but the binding reproduces the paper's API contract).
+    pub fn struct_type(
+        blocklengths: &[usize],
+        displacements: &[isize],
+        types: &[Datatype],
+    ) -> MpiResult<Datatype> {
+        if types.is_empty() {
+            return Err(MPIException::new(
+                ErrorClass::Type,
+                "Struct requires at least one component type",
+            ));
+        }
+        let base = types[0].base;
+        for t in types {
+            t.ensure_not_object("Struct")?;
+            if t.base != base {
+                return Err(MPIException::new(
+                    ErrorClass::Type,
+                    "mpiJava restriction: all components of Struct must share one base type \
+                     (paper §2.2)",
+                ));
+            }
+        }
+        let defs: Vec<DatatypeDef> = types.iter().map(|t| t.def.clone()).collect();
+        Ok(Datatype {
+            def: DatatypeDef::struct_type(blocklengths, displacements, &defs)?,
+            base,
+            object: false,
+        })
+    }
+
+    fn ensure_not_object(&self, operation: &str) -> MpiResult<()> {
+        if self.object {
+            Err(MPIException::new(
+                ErrorClass::Type,
+                format!("MPI.OBJECT cannot be used as the base of Datatype.{operation}"),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// `Datatype.Size()`: bytes of data per instance (holes excluded).
+    pub fn size(&self) -> usize {
+        self.def.size()
+    }
+
+    /// `Datatype.Extent()`: span per instance in bytes (holes included).
+    pub fn extent(&self) -> isize {
+        self.def.extent()
+    }
+
+    /// `Datatype.Lb()`.
+    pub fn lb(&self) -> isize {
+        self.def.lb()
+    }
+
+    /// `Datatype.Ub()`.
+    pub fn ub(&self) -> isize {
+        self.def.ub()
+    }
+
+    /// Base primitive kind of the buffer elements this type describes.
+    pub fn base_kind(&self) -> PrimitiveKind {
+        self.base
+    }
+
+    /// True for `MPI.OBJECT`.
+    pub fn is_object(&self) -> bool {
+        self.object
+    }
+
+    /// Engine-level definition (used by the communicator implementation).
+    pub(crate) fn def(&self) -> &DatatypeDef {
+        &self.def
+    }
+
+    /// Number of base-type elements one instance selects from the buffer.
+    pub fn elements_per_instance(&self) -> usize {
+        self.def.num_entries()
+    }
+
+    /// Span of one instance measured in base-type elements (how far the
+    /// read cursor advances per instance in a mono-typed buffer).
+    pub fn extent_elements(&self) -> usize {
+        let width = self.base.size().max(1);
+        (self.extent().max(0) as usize).div_ceil(width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_types_report_java_sizes() {
+        assert_eq!(Datatype::byte().size(), 1);
+        assert_eq!(Datatype::char().size(), 2);
+        assert_eq!(Datatype::boolean().size(), 1);
+        assert_eq!(Datatype::short().size(), 2);
+        assert_eq!(Datatype::int().size(), 4);
+        assert_eq!(Datatype::long().size(), 8);
+        assert_eq!(Datatype::float().size(), 4);
+        assert_eq!(Datatype::double().size(), 8);
+    }
+
+    #[test]
+    fn derived_types_compose() {
+        let v = Datatype::vector(3, 2, 4, &Datatype::int()).unwrap();
+        assert_eq!(v.size(), 24);
+        assert_eq!(v.base_kind(), PrimitiveKind::Int);
+        let c = Datatype::contiguous(5, &Datatype::double()).unwrap();
+        assert_eq!(c.size(), 40);
+        assert_eq!(c.extent(), 40);
+        let idx = Datatype::indexed(&[1, 2], &[0, 3], &Datatype::float()).unwrap();
+        assert_eq!(idx.size(), 12);
+    }
+
+    #[test]
+    fn struct_enforces_the_paper_restriction() {
+        // Same base type: allowed.
+        let ok = Datatype::struct_type(
+            &[2, 1],
+            &[0, 12],
+            &[Datatype::int(), Datatype::int()],
+        );
+        assert!(ok.is_ok());
+        // Mixed base types: rejected, exactly as the paper describes.
+        let err = Datatype::struct_type(
+            &[1, 1],
+            &[0, 8],
+            &[Datatype::double(), Datatype::int()],
+        )
+        .unwrap_err();
+        assert_eq!(err.class, ErrorClass::Type);
+        assert!(err.message.contains("base type"));
+    }
+
+    #[test]
+    fn object_datatype_cannot_be_derived_from() {
+        assert!(Datatype::contiguous(2, &Datatype::object()).is_err());
+        assert!(Datatype::vector(1, 1, 1, &Datatype::object()).is_err());
+        assert!(Datatype::object().is_object());
+    }
+
+    #[test]
+    fn extent_elements_accounts_for_holes() {
+        // 2 blocks of 1 int, stride 3 ints: extent = (3+1)*4 = 16 bytes = 4 ints
+        let v = Datatype::vector(2, 1, 3, &Datatype::int()).unwrap();
+        assert_eq!(v.elements_per_instance(), 2);
+        assert_eq!(v.extent_elements(), 4);
+    }
+}

@@ -1,0 +1,75 @@
+//! `MPIException`, the error type of the binding.
+//!
+//! The mpiJava paper's API surfaces MPI failures as Java exceptions thrown
+//! from the wrapper methods; in Rust they become a `Result` error type that
+//! carries the underlying engine error class and code.
+
+use std::fmt;
+
+use mpi_native::{ErrorClass, MpiError};
+
+/// Error thrown by every binding method (the Java `MPIException`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MPIException {
+    /// Engine error class.
+    pub class: ErrorClass,
+    /// Numeric error code (stable per class).
+    pub code: i32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Convenience alias used by every binding method.
+pub type MpiResult<T> = std::result::Result<T, MPIException>;
+
+impl MPIException {
+    /// Build an exception directly (used by the binding's own argument
+    /// checks, which happen before the engine is reached — the same checks
+    /// the JNI stub layer performs in the paper's implementation).
+    pub fn new(class: ErrorClass, message: impl Into<String>) -> MPIException {
+        let message = message.into();
+        MPIException {
+            code: class.code(),
+            class,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for MPIException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MPIException({:?}, code {}): {}", self.class, self.code, self.message)
+    }
+}
+
+impl std::error::Error for MPIException {}
+
+impl From<MpiError> for MPIException {
+    fn from(e: MpiError) -> Self {
+        MPIException {
+            code: e.code(),
+            class: e.class,
+            message: e.message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_errors_convert_with_code() {
+        let e = MpiError::new(ErrorClass::Rank, "bad rank");
+        let x: MPIException = e.into();
+        assert_eq!(x.class, ErrorClass::Rank);
+        assert_eq!(x.code, ErrorClass::Rank.code());
+        assert!(x.to_string().contains("bad rank"));
+    }
+
+    #[test]
+    fn direct_construction_sets_matching_code() {
+        let x = MPIException::new(ErrorClass::Buffer, "too small");
+        assert_eq!(x.code, ErrorClass::Buffer.code());
+    }
+}

@@ -1,0 +1,65 @@
+//! The `Graphcomm` class: communicators with a general graph topology
+//! (mpiJava `Graphcomm extends Intracomm`).
+
+use std::ops::Deref;
+
+use crate::exception::MpiResult;
+use crate::intracomm::Intracomm;
+
+/// Description returned by `Graphcomm.Get()`: the MPI-1 `index`/`edges`
+/// encoding of the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphParms {
+    /// Cumulative neighbour counts per node.
+    pub index: Vec<usize>,
+    /// Flattened adjacency lists.
+    pub edges: Vec<usize>,
+}
+
+/// A communicator with an attached process graph.
+#[derive(Clone, Debug)]
+pub struct Graphcomm {
+    base: Intracomm,
+}
+
+impl Deref for Graphcomm {
+    type Target = Intracomm;
+    fn deref(&self) -> &Intracomm {
+        &self.base
+    }
+}
+
+impl Graphcomm {
+    pub(crate) fn new(base: Intracomm) -> Graphcomm {
+        Graphcomm { base }
+    }
+
+    /// `Graphcomm.Get()`.
+    pub fn get(&self) -> MpiResult<GraphParms> {
+        self.env.jni.enter("Graphcomm.Get");
+        let (index, edges) = self.env.engine.lock().graph_get(self.handle())?;
+        Ok(GraphParms { index, edges })
+    }
+
+    /// `Graphcomm.Dims_get()`: (number of nodes, number of edges).
+    pub fn dims_get(&self) -> MpiResult<(usize, usize)> {
+        self.env.jni.enter("Graphcomm.Dims_get");
+        Ok(self.env.engine.lock().graphdims_get(self.handle())?)
+    }
+
+    /// `Graphcomm.Neighbours_count(rank)`.
+    pub fn neighbours_count(&self, rank: usize) -> MpiResult<usize> {
+        self.env.jni.enter("Graphcomm.Neighbours_count");
+        Ok(self
+            .env
+            .engine
+            .lock()
+            .graph_neighbors_count(self.handle(), rank)?)
+    }
+
+    /// `Graphcomm.Neighbours(rank)`.
+    pub fn neighbours(&self, rank: usize) -> MpiResult<Vec<usize>> {
+        self.env.jni.enter("Graphcomm.Neighbours");
+        Ok(self.env.engine.lock().graph_neighbors(self.handle(), rank)?)
+    }
+}

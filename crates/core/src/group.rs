@@ -1,0 +1,139 @@
+//! The `Group` class of the binding (mpiJava `Group`, MPI-1.1 §5.3).
+
+use mpi_native::{CompareResult, Group as EngineGroup};
+
+use crate::exception::MpiResult;
+
+/// An ordered set of processes, detached from any communicator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    inner: EngineGroup,
+}
+
+impl Group {
+    pub(crate) fn from_engine(inner: EngineGroup) -> Group {
+        Group { inner }
+    }
+
+    pub(crate) fn engine(&self) -> &EngineGroup {
+        &self.inner
+    }
+
+    /// `MPI.GROUP_EMPTY`.
+    pub fn empty() -> Group {
+        Group {
+            inner: EngineGroup::empty(),
+        }
+    }
+
+    /// `Group.Size()`.
+    pub fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    /// `Group.Rank()`: the rank of world rank `world_rank` in this group,
+    /// or `None` (Java would return `MPI.UNDEFINED`).
+    pub fn rank_of_world(&self, world_rank: usize) -> Option<usize> {
+        self.inner.rank_of(world_rank)
+    }
+
+    /// World ranks of the members, in group order.
+    pub fn ranks(&self) -> &[usize] {
+        self.inner.ranks()
+    }
+
+    /// `Group.Translate_ranks(group1, ranks1, group2)`.
+    pub fn translate_ranks(&self, ranks: &[usize], other: &Group) -> MpiResult<Vec<Option<usize>>> {
+        self.inner
+            .translate_ranks(ranks, &other.inner)
+            .map_err(Into::into)
+    }
+
+    /// `Group.Compare`.
+    pub fn compare(&self, other: &Group) -> CompareResult {
+        self.inner.compare(&other.inner)
+    }
+
+    /// `Group.Union`.
+    pub fn union(&self, other: &Group) -> Group {
+        Group {
+            inner: self.inner.union(&other.inner),
+        }
+    }
+
+    /// `Group.Intersection`.
+    pub fn intersection(&self, other: &Group) -> Group {
+        Group {
+            inner: self.inner.intersection(&other.inner),
+        }
+    }
+
+    /// `Group.Difference`.
+    pub fn difference(&self, other: &Group) -> Group {
+        Group {
+            inner: self.inner.difference(&other.inner),
+        }
+    }
+
+    /// `Group.Incl(ranks)`.
+    pub fn incl(&self, ranks: &[usize]) -> MpiResult<Group> {
+        Ok(Group {
+            inner: self.inner.incl(ranks)?,
+        })
+    }
+
+    /// `Group.Excl(ranks)`.
+    pub fn excl(&self, ranks: &[usize]) -> MpiResult<Group> {
+        Ok(Group {
+            inner: self.inner.excl(ranks)?,
+        })
+    }
+
+    /// `Group.Range_incl(ranges)` with `(first, last, stride)` triplets.
+    pub fn range_incl(&self, ranges: &[(i32, i32, i32)]) -> MpiResult<Group> {
+        Ok(Group {
+            inner: self.inner.range_incl(ranges)?,
+        })
+    }
+
+    /// `Group.Range_excl(ranges)`.
+    pub fn range_excl(&self, ranges: &[(i32, i32, i32)]) -> MpiResult<Group> {
+        Ok(Group {
+            inner: self.inner.range_excl(ranges)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(n: usize) -> Group {
+        Group::from_engine(EngineGroup::world(n))
+    }
+
+    #[test]
+    fn wrapper_exposes_set_algebra() {
+        let g = world(6);
+        let a = g.incl(&[0, 2, 4]).unwrap();
+        let b = g.incl(&[4, 5]).unwrap();
+        assert_eq!(a.union(&b).size(), 4);
+        assert_eq!(a.intersection(&b).ranks(), &[4]);
+        assert_eq!(a.difference(&b).ranks(), &[0, 2]);
+        assert_eq!(a.compare(&a.clone()), CompareResult::Ident);
+    }
+
+    #[test]
+    fn empty_group_has_no_members() {
+        assert_eq!(Group::empty().size(), 0);
+        assert!(Group::empty().rank_of_world(0).is_none());
+    }
+
+    #[test]
+    fn translate_ranks_works_through_wrapper() {
+        let g = world(4);
+        let a = g.incl(&[3, 1]).unwrap();
+        let t = a.translate_ranks(&[0, 1], &g).unwrap();
+        assert_eq!(t, vec![Some(3), Some(1)]);
+    }
+}

@@ -1,0 +1,168 @@
+//! The `Op` class: predefined reduction operations and user functions
+//! (mpiJava `MPI.MAX`, `MPI.SUM`, ..., and `Op(User_function, commute)`).
+
+use std::sync::Arc;
+
+use mpi_native::{Op as EngineOp, PredefinedOp, PrimitiveKind};
+
+use crate::exception::MpiResult;
+
+/// A reduction operation usable with `Reduce`, `Allreduce`,
+/// `Reduce_scatter` and `Scan`.
+#[derive(Debug, Clone)]
+pub struct Op {
+    inner: EngineOp,
+    commutative: bool,
+    name: &'static str,
+}
+
+impl Op {
+    fn predefined(op: PredefinedOp, name: &'static str) -> Op {
+        Op {
+            inner: EngineOp::Predefined(op),
+            commutative: true,
+            name,
+        }
+    }
+
+    /// `MPI.MAX`
+    pub fn max() -> Op {
+        Op::predefined(PredefinedOp::Max, "MPI.MAX")
+    }
+    /// `MPI.MIN`
+    pub fn min() -> Op {
+        Op::predefined(PredefinedOp::Min, "MPI.MIN")
+    }
+    /// `MPI.SUM`
+    pub fn sum() -> Op {
+        Op::predefined(PredefinedOp::Sum, "MPI.SUM")
+    }
+    /// `MPI.PROD`
+    pub fn prod() -> Op {
+        Op::predefined(PredefinedOp::Prod, "MPI.PROD")
+    }
+    /// `MPI.LAND`
+    pub fn land() -> Op {
+        Op::predefined(PredefinedOp::Land, "MPI.LAND")
+    }
+    /// `MPI.BAND`
+    pub fn band() -> Op {
+        Op::predefined(PredefinedOp::Band, "MPI.BAND")
+    }
+    /// `MPI.LOR`
+    pub fn lor() -> Op {
+        Op::predefined(PredefinedOp::Lor, "MPI.LOR")
+    }
+    /// `MPI.BOR`
+    pub fn bor() -> Op {
+        Op::predefined(PredefinedOp::Bor, "MPI.BOR")
+    }
+    /// `MPI.LXOR`
+    pub fn lxor() -> Op {
+        Op::predefined(PredefinedOp::Lxor, "MPI.LXOR")
+    }
+    /// `MPI.BXOR`
+    pub fn bxor() -> Op {
+        Op::predefined(PredefinedOp::Bxor, "MPI.BXOR")
+    }
+    /// `MPI.MAXLOC` (use with the pair datatypes `MPI.INT2`, `MPI.DOUBLE2`, ...)
+    pub fn maxloc() -> Op {
+        Op::predefined(PredefinedOp::Maxloc, "MPI.MAXLOC")
+    }
+    /// `MPI.MINLOC`
+    pub fn minloc() -> Op {
+        Op::predefined(PredefinedOp::Minloc, "MPI.MINLOC")
+    }
+
+    /// `new Op(User_function, commute)`: a user-defined reduction.
+    ///
+    /// The function receives `(incoming, accumulator, kind, count)` and
+    /// folds the incoming vector into the accumulator. The engine always
+    /// applies contributions in rank order, so non-commutative functions
+    /// are deterministic.
+    pub fn user<F>(function: F, commutative: bool) -> Op
+    where
+        F: Fn(&[u8], &mut [u8], PrimitiveKind, usize) -> mpi_native::Result<()>
+            + Send
+            + Sync
+            + 'static,
+    {
+        Op {
+            inner: EngineOp::User(Arc::new(function)),
+            commutative,
+            name: "user-defined",
+        }
+    }
+
+    /// Whether the operation was declared commutative.
+    pub fn is_commutative(&self) -> bool {
+        self.commutative
+    }
+
+    /// Display name (`MPI.SUM`, ...).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub(crate) fn engine_op(&self) -> &EngineOp {
+        &self.inner
+    }
+
+    /// Apply the operation locally (used by tests and by `Reduce_local`-style
+    /// helpers).
+    pub fn apply_local(
+        &self,
+        incoming: &[u8],
+        accumulator: &mut [u8],
+        kind: PrimitiveKind,
+        count: usize,
+    ) -> MpiResult<()> {
+        self.inner
+            .apply(incoming, accumulator, kind, count)
+            .map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_ops_have_names_and_commutativity() {
+        assert_eq!(Op::sum().name(), "MPI.SUM");
+        assert!(Op::sum().is_commutative());
+        assert_eq!(Op::maxloc().name(), "MPI.MAXLOC");
+    }
+
+    #[test]
+    fn apply_local_sums_ints() {
+        let a: Vec<u8> = [1i32, 2].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut acc: Vec<u8> = [10i32, 20].iter().flat_map(|v| v.to_le_bytes()).collect();
+        Op::sum()
+            .apply_local(&a, &mut acc, PrimitiveKind::Int, 2)
+            .unwrap();
+        let out: Vec<i32> = acc
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(out, vec![11, 22]);
+    }
+
+    #[test]
+    fn user_op_is_usable_and_non_commutative() {
+        let op = Op::user(
+            |incoming, acc, _kind, count| {
+                for i in 0..count {
+                    acc[i] = acc[i].wrapping_sub(incoming[i]);
+                }
+                Ok(())
+            },
+            false,
+        );
+        assert!(!op.is_commutative());
+        let mut acc = vec![10u8, 10];
+        op.apply_local(&[3u8, 4], &mut acc, PrimitiveKind::Byte, 2)
+            .unwrap();
+        assert_eq!(acc, vec![7, 6]);
+    }
+}

@@ -1,0 +1,296 @@
+//! The `Request` and `Prequest` classes (mpiJava `Request`, `Prequest`).
+//!
+//! A non-blocking receive in mpiJava hands the Java array to the wrapper,
+//! which fills it when the communication completes. The Rust equivalent is
+//! a [`Request`] that mutably borrows the receive buffer until it has been
+//! waited on (or freed), so the type system enforces the rule MPI states
+//! informally: do not touch a buffer while a non-blocking operation is
+//! using it.
+//!
+//! `Prequest` is the persistent variant created by `Send_init` /
+//! `Recv_init` and restarted with `Start` / `Startall` (mpiJava routes
+//! `Start` through `Prequest`).
+
+use std::sync::Arc;
+
+use mpi_native::{ErrorClass, RequestId};
+
+use crate::exception::{MPIException, MpiResult};
+use crate::status::Status;
+use crate::RankEnv;
+
+type UnpackOnce<'buf> = Box<dyn FnOnce(&[u8]) -> MpiResult<()> + Send + 'buf>;
+type UnpackMut<'buf> = Box<dyn FnMut(&[u8]) -> MpiResult<()> + Send + 'buf>;
+type Repack<'buf> = Box<dyn Fn() -> MpiResult<Vec<u8>> + Send + 'buf>;
+
+/// Handle to an outstanding non-blocking operation.
+pub struct Request<'buf> {
+    env: Arc<RankEnv>,
+    id: RequestId,
+    unpack: Option<UnpackOnce<'buf>>,
+    done: bool,
+}
+
+impl std::fmt::Debug for Request<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Request")
+            .field("id", &self.id)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl<'buf> Request<'buf> {
+    pub(crate) fn send(env: Arc<RankEnv>, id: RequestId) -> Request<'static> {
+        Request {
+            env,
+            id,
+            unpack: None,
+            done: false,
+        }
+    }
+
+    pub(crate) fn recv(env: Arc<RankEnv>, id: RequestId, unpack: UnpackOnce<'buf>) -> Request<'buf> {
+        Request {
+            env,
+            id,
+            unpack: Some(unpack),
+            done: false,
+        }
+    }
+
+    /// Engine-level id (exposed for diagnostics).
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// True once the request has been waited on / tested to completion.
+    pub fn is_void(&self) -> bool {
+        self.done
+    }
+
+    fn finish(&mut self, completion: mpi_native::request::Completion) -> MpiResult<Status> {
+        self.done = true;
+        if let (Some(unpack), Some(data)) = (self.unpack.take(), completion.data.as_ref()) {
+            unpack(data)?;
+        }
+        Ok(Status::from_info(completion.status))
+    }
+
+    /// `Request.Wait()`: block until complete, fill the receive buffer and
+    /// return the `Status`.
+    pub fn wait(&mut self) -> MpiResult<Status> {
+        if self.done {
+            return Err(MPIException::new(
+                ErrorClass::Request,
+                "request has already completed",
+            ));
+        }
+        self.env.jni.enter("Request.Wait");
+        let completion = self.env.engine.lock().wait(self.id)?;
+        self.finish(completion)
+    }
+
+    /// `Request.Test()`: `Some(status)` if complete, `None` otherwise (the
+    /// paper's null-for-failure convention, §2.1).
+    pub fn test(&mut self) -> MpiResult<Option<Status>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.env.jni.enter("Request.Test");
+        let completion = self.env.engine.lock().test(self.id)?;
+        match completion {
+            Some(c) => Ok(Some(self.finish(c)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// `Request.Cancel()`.
+    pub fn cancel(&mut self) -> MpiResult<()> {
+        self.env.jni.enter("Request.Cancel");
+        Ok(self.env.engine.lock().cancel(self.id)?)
+    }
+
+    /// `Request.Free()`: release the request without completing it.
+    pub fn free(mut self) -> MpiResult<()> {
+        self.env.jni.enter("Request.Free");
+        self.done = true;
+        Ok(self.env.engine.lock().request_free(self.id)?)
+    }
+
+    /// `Request.Waitall(requests)`: complete every request, returning the
+    /// statuses in order.
+    pub fn wait_all(requests: &mut [Request<'buf>]) -> MpiResult<Vec<Status>> {
+        requests.iter_mut().map(|r| r.wait()).collect()
+    }
+
+    /// `Request.Waitany(requests)`: wait for one to complete; its index is
+    /// recorded in the returned status (`status.index()`), mirroring the
+    /// extra field the paper adds to `Status`.
+    pub fn wait_any(requests: &mut [Request<'buf>]) -> MpiResult<Status> {
+        if requests.is_empty() {
+            return Err(MPIException::new(ErrorClass::Request, "Waitany on empty array"));
+        }
+        let env = Arc::clone(&requests[0].env);
+        env.jni.enter("Request.Waitany");
+        let pending: Vec<RequestId> = requests
+            .iter()
+            .filter(|r| !r.done)
+            .map(|r| r.id)
+            .collect();
+        if pending.is_empty() {
+            return Err(MPIException::new(
+                ErrorClass::Request,
+                "Waitany: every request has already completed",
+            ));
+        }
+        let (_, completion) = env.engine.lock().wait_any(&pending)?;
+        // Map the completed engine request back to its position in the
+        // caller's array.
+        let completed_id = pending[completion.status.index as usize];
+        let slot = requests
+            .iter()
+            .position(|r| r.id == completed_id)
+            .expect("completed request came from this array");
+        let mut status = requests[slot].finish(completion)?;
+        status = Status::from_info(mpi_native::StatusInfo {
+            index: slot as i32,
+            source: status.source(),
+            tag: status.tag(),
+            count_bytes: status.count_bytes(),
+            cancelled: status.test_cancelled(),
+        });
+        Ok(status)
+    }
+
+    /// `Request.Testall(requests)`: statuses if every request is complete,
+    /// `None` otherwise.
+    pub fn test_all(requests: &mut [Request<'buf>]) -> MpiResult<Option<Vec<Status>>> {
+        if requests.is_empty() {
+            return Ok(Some(Vec::new()));
+        }
+        let env = Arc::clone(&requests[0].env);
+        env.jni.enter("Request.Testall");
+        let ids: Vec<RequestId> = requests.iter().filter(|r| !r.done).map(|r| r.id).collect();
+        let completions = env.engine.lock().test_all(&ids)?;
+        match completions {
+            None => Ok(None),
+            Some(completions) => {
+                let mut statuses = Vec::with_capacity(requests.len());
+                let mut it = completions.into_iter();
+                for request in requests.iter_mut() {
+                    if request.done {
+                        statuses.push(Status::from_info(mpi_native::StatusInfo::empty()));
+                    } else {
+                        let completion = it.next().expect("one completion per pending request");
+                        statuses.push(request.finish(completion)?);
+                    }
+                }
+                Ok(Some(statuses))
+            }
+        }
+    }
+}
+
+/// A persistent request created by `Send_init` / `Recv_init`.
+pub struct Prequest<'buf> {
+    env: Arc<RankEnv>,
+    id: RequestId,
+    kind: PrequestKind<'buf>,
+    active: bool,
+}
+
+enum PrequestKind<'buf> {
+    Send { repack: Repack<'buf> },
+    Recv { unpack: UnpackMut<'buf> },
+}
+
+impl std::fmt::Debug for Prequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prequest")
+            .field("id", &self.id)
+            .field("active", &self.active)
+            .finish()
+    }
+}
+
+impl<'buf> Prequest<'buf> {
+    pub(crate) fn send(env: Arc<RankEnv>, id: RequestId, repack: Repack<'buf>) -> Prequest<'buf> {
+        Prequest {
+            env,
+            id,
+            kind: PrequestKind::Send { repack },
+            active: false,
+        }
+    }
+
+    pub(crate) fn recv(env: Arc<RankEnv>, id: RequestId, unpack: UnpackMut<'buf>) -> Prequest<'buf> {
+        Prequest {
+            env,
+            id,
+            kind: PrequestKind::Recv { unpack },
+            active: false,
+        }
+    }
+
+    /// `Prequest.Start()`: (re)activate the persistent communication.
+    /// For a persistent send the current contents of the user buffer are
+    /// re-marshalled, matching the C semantics of reusing the buffer by
+    /// address.
+    pub fn start(&mut self) -> MpiResult<()> {
+        if self.active {
+            return Err(MPIException::new(
+                ErrorClass::Request,
+                "persistent request is already active",
+            ));
+        }
+        self.env.jni.enter("Prequest.Start");
+        if let PrequestKind::Send { repack } = &self.kind {
+            let payload = repack()?;
+            self.env
+                .engine
+                .lock()
+                .persistent_set_data(self.id, &payload)?;
+        }
+        self.env.engine.lock().start(self.id)?;
+        self.active = true;
+        Ok(())
+    }
+
+    /// `Prequest.Startall(requests)`.
+    pub fn start_all(requests: &mut [Prequest<'buf>]) -> MpiResult<()> {
+        for r in requests.iter_mut() {
+            r.start()?;
+        }
+        Ok(())
+    }
+
+    /// `Request.Wait()` on the persistent request: completes the active
+    /// communication and returns the request to the inactive state.
+    pub fn wait(&mut self) -> MpiResult<Status> {
+        if !self.active {
+            return Err(MPIException::new(
+                ErrorClass::Request,
+                "persistent request is not active",
+            ));
+        }
+        self.env.jni.enter("Prequest.Wait");
+        let completion = self.env.engine.lock().wait(self.id)?;
+        self.active = false;
+        if let (PrequestKind::Recv { unpack }, Some(data)) = (&mut self.kind, completion.data.as_ref()) {
+            unpack(data)?;
+        }
+        Ok(Status::from_info(completion.status))
+    }
+
+    /// `Request.Free()` on the persistent request.
+    pub fn free(self) -> MpiResult<()> {
+        self.env.jni.enter("Prequest.Free");
+        Ok(self.env.engine.lock().request_free(self.id)?)
+    }
+
+    /// True while a started communication has not yet been waited on.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+}

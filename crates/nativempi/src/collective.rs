@@ -1,0 +1,646 @@
+//! Collective operations (MPI-1.1 §4) built over the point-to-point layer.
+//!
+//! Every communicator owns a second context id reserved for collectives, so
+//! collective traffic can never match user point-to-point receives. The
+//! algorithms are the simple deterministic ones (linear fan-in/fan-out,
+//! gather-then-broadcast): with the rank counts of the paper's experiments
+//! (2–8) they are within a small constant of the tree algorithms, and the
+//! deterministic rank-order reduction keeps user-defined non-commutative
+//! operations well defined.
+//!
+//! All byte payloads here are already packed contiguous buffers; the
+//! binding layer (or the caller) is responsible for datatype packing.
+
+use crate::comm::CommHandle;
+use crate::error::{err, ErrorClass, Result};
+use crate::ops::Op;
+use crate::p2p::COLLECTIVE_TAG_BASE;
+use crate::types::PrimitiveKind;
+use crate::Engine;
+
+/// Tags distinguishing the collective operations (purely diagnostic — the
+/// ordering guarantees come from the collective context plus MPI's
+/// same-order-on-all-ranks rule).
+mod tag {
+    use super::COLLECTIVE_TAG_BASE;
+    pub const BARRIER_IN: i32 = COLLECTIVE_TAG_BASE - 1;
+    pub const BARRIER_OUT: i32 = COLLECTIVE_TAG_BASE - 2;
+    pub const BCAST: i32 = COLLECTIVE_TAG_BASE - 3;
+    pub const GATHER: i32 = COLLECTIVE_TAG_BASE - 4;
+    pub const SCATTER: i32 = COLLECTIVE_TAG_BASE - 5;
+    pub const ALLTOALL: i32 = COLLECTIVE_TAG_BASE - 6;
+    pub const REDUCE: i32 = COLLECTIVE_TAG_BASE - 7;
+    pub const SCAN: i32 = COLLECTIVE_TAG_BASE - 8;
+}
+
+impl Engine {
+    fn validate_root(&self, comm: CommHandle, root: usize) -> Result<()> {
+        let size = self.comm_size(comm)?;
+        if root >= size {
+            return err(
+                ErrorClass::Root,
+                format!("root {root} out of range for communicator of size {size}"),
+            );
+        }
+        Ok(())
+    }
+
+    /// `MPI_Barrier`: linear fan-in to rank 0 followed by fan-out.
+    pub fn barrier(&mut self, comm: CommHandle) -> Result<()> {
+        self.check_live()?;
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        if size == 1 {
+            return Ok(());
+        }
+        if rank == 0 {
+            for src in 1..size {
+                self.recv_collective(comm, src as i32, tag::BARRIER_IN)?;
+            }
+            for dst in 1..size {
+                self.send_collective(comm, dst as i32, tag::BARRIER_OUT, &[])?;
+            }
+        } else {
+            self.send_collective(comm, 0, tag::BARRIER_IN, &[])?;
+            self.recv_collective(comm, 0, tag::BARRIER_OUT)?;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Bcast`: `buf` is the payload on the root and is overwritten on
+    /// every other rank.
+    pub fn bcast(&mut self, comm: CommHandle, root: usize, buf: &mut Vec<u8>) -> Result<()> {
+        self.check_live()?;
+        self.validate_root(comm, root)?;
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        if size == 1 {
+            return Ok(());
+        }
+        if rank == root {
+            for dst in 0..size {
+                if dst != root {
+                    self.send_collective(comm, dst as i32, tag::BCAST, buf)?;
+                }
+            }
+        } else {
+            let (data, _) = self.recv_collective(comm, root as i32, tag::BCAST)?;
+            *buf = data;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Gather` / `MPI_Gatherv`: every rank contributes `send`; the root
+    /// receives one buffer per rank (in rank order), everyone else `None`.
+    pub fn gather(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        send: &[u8],
+    ) -> Result<Option<Vec<Vec<u8>>>> {
+        self.check_live()?;
+        self.validate_root(comm, root)?;
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        if rank == root {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
+            out[root] = send.to_vec();
+            for src in 0..size {
+                if src != root {
+                    let (data, _) = self.recv_collective(comm, src as i32, tag::GATHER)?;
+                    out[src] = data;
+                }
+            }
+            Ok(Some(out))
+        } else {
+            self.send_collective(comm, root as i32, tag::GATHER, send)?;
+            Ok(None)
+        }
+    }
+
+    /// `MPI_Scatter` / `MPI_Scatterv`: the root supplies one buffer per rank
+    /// (`chunks`, rank order); every rank receives its own chunk.
+    pub fn scatter(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        chunks: Option<&[Vec<u8>]>,
+    ) -> Result<Vec<u8>> {
+        self.check_live()?;
+        self.validate_root(comm, root)?;
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        if rank == root {
+            let chunks = chunks.ok_or_else(|| {
+                crate::error::MpiError::new(ErrorClass::Buffer, "root must supply scatter chunks")
+            })?;
+            if chunks.len() != size {
+                return err(
+                    ErrorClass::Count,
+                    format!("scatter needs {size} chunks, got {}", chunks.len()),
+                );
+            }
+            for dst in 0..size {
+                if dst != root {
+                    self.send_collective(comm, dst as i32, tag::SCATTER, &chunks[dst])?;
+                }
+            }
+            Ok(chunks[root].clone())
+        } else {
+            let (data, _) = self.recv_collective(comm, root as i32, tag::SCATTER)?;
+            Ok(data)
+        }
+    }
+
+    /// `MPI_Allgather` / `MPI_Allgatherv`: gather to rank 0, then broadcast
+    /// the concatenation. Returns one buffer per rank on every rank.
+    pub fn allgather(&mut self, comm: CommHandle, send: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let size = self.comm_size(comm)?;
+        let gathered = self.gather(comm, 0, send)?;
+        // Serialize the per-rank buffers (they may have different lengths —
+        // that is what makes this double as allgatherv).
+        let mut wire = Vec::new();
+        if let Some(parts) = gathered {
+            wire.extend_from_slice(&(parts.len() as u64).to_le_bytes());
+            for p in &parts {
+                wire.extend_from_slice(&(p.len() as u64).to_le_bytes());
+                wire.extend_from_slice(p);
+            }
+        }
+        self.bcast(comm, 0, &mut wire)?;
+        let mut parts = Vec::with_capacity(size);
+        let mut cursor = 8usize;
+        let n = u64::from_le_bytes(wire[0..8].try_into().unwrap()) as usize;
+        for _ in 0..n {
+            let len = u64::from_le_bytes(wire[cursor..cursor + 8].try_into().unwrap()) as usize;
+            cursor += 8;
+            parts.push(wire[cursor..cursor + len].to_vec());
+            cursor += len;
+        }
+        Ok(parts)
+    }
+
+    /// Engine-internal alias used by communicator construction.
+    pub(crate) fn allgather_bytes(&mut self, comm: CommHandle, send: &[u8]) -> Result<Vec<Vec<u8>>> {
+        self.allgather(comm, send)
+    }
+
+    /// `MPI_Alltoall` / `MPI_Alltoallv`: `chunks[d]` goes to rank `d`;
+    /// returns the chunk received from every rank.
+    pub fn alltoall(&mut self, comm: CommHandle, chunks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        self.check_live()?;
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        if chunks.len() != size {
+            return err(
+                ErrorClass::Count,
+                format!("alltoall needs {size} chunks, got {}", chunks.len()),
+            );
+        }
+        // Post every receive first, then the sends, then complete.
+        let mut recv_reqs = Vec::with_capacity(size);
+        for src in 0..size {
+            if src != rank {
+                recv_reqs.push((
+                    src,
+                    self.irecv_on_context(comm, src as i32, tag::ALLTOALL, None, true)?,
+                ));
+            }
+        }
+        let mut send_reqs = Vec::with_capacity(size);
+        for dst in 0..size {
+            if dst != rank {
+                send_reqs.push(self.isend_on_context(
+                    comm,
+                    dst as i32,
+                    tag::ALLTOALL,
+                    &chunks[dst],
+                    crate::types::SendMode::Standard,
+                    true,
+                )?);
+            }
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
+        out[rank] = chunks[rank].clone();
+        for (src, req) in recv_reqs {
+            let completion = self.wait(req)?;
+            out[src] = completion.data.unwrap_or_default();
+        }
+        for req in send_reqs {
+            self.wait(req)?;
+        }
+        Ok(out)
+    }
+
+    /// `MPI_Reduce`: element-wise reduction of `count` elements of `kind`
+    /// with `op`, rank order, result on the root.
+    pub fn reduce(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<Option<Vec<u8>>> {
+        self.check_live()?;
+        self.validate_root(comm, root)?;
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let need = kind.size() * count;
+        if send.len() < need {
+            return err(
+                ErrorClass::Count,
+                format!("reduce: buffer has {} bytes, need {}", send.len(), need),
+            );
+        }
+        if rank == root {
+            // Collect contributions and fold them in rank order so the
+            // result is deterministic even for non-commutative user ops.
+            let mut contributions: Vec<Vec<u8>> = vec![Vec::new(); size];
+            contributions[root] = send[..need].to_vec();
+            for src in 0..size {
+                if src != root {
+                    let (data, _) = self.recv_collective(comm, src as i32, tag::REDUCE)?;
+                    if data.len() < need {
+                        return err(ErrorClass::Count, "reduce contribution too short");
+                    }
+                    contributions[src] = data;
+                }
+            }
+            let mut acc = contributions[0][..need].to_vec();
+            for contribution in contributions.iter().skip(1) {
+                op.apply(&contribution[..need], &mut acc, kind, count)?;
+            }
+            Ok(Some(acc))
+        } else {
+            self.send_collective(comm, root as i32, tag::REDUCE, &send[..need])?;
+            Ok(None)
+        }
+    }
+
+    /// `MPI_Allreduce`: reduce to rank 0 then broadcast the result.
+    pub fn allreduce(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<Vec<u8>> {
+        let reduced = self.reduce(comm, 0, send, kind, count, op)?;
+        let mut buf = reduced.unwrap_or_default();
+        self.bcast(comm, 0, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// `MPI_Reduce_scatter`: reduce the full vector, then scatter segments
+    /// of `counts[i]` elements to rank `i`.
+    pub fn reduce_scatter(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+        counts: &[usize],
+        kind: PrimitiveKind,
+        op: &Op,
+    ) -> Result<Vec<u8>> {
+        let size = self.comm_size(comm)?;
+        let rank = self.comm_rank(comm)?;
+        if counts.len() != size {
+            return err(
+                ErrorClass::Count,
+                format!("reduce_scatter needs {size} counts, got {}", counts.len()),
+            );
+        }
+        let total: usize = counts.iter().sum();
+        let reduced = self.reduce(comm, 0, send, kind, total, op)?;
+        let chunks: Option<Vec<Vec<u8>>> = reduced.map(|full| {
+            let mut out = Vec::with_capacity(size);
+            let mut cursor = 0usize;
+            for &c in counts {
+                let bytes = c * kind.size();
+                out.push(full[cursor..cursor + bytes].to_vec());
+                cursor += bytes;
+            }
+            out
+        });
+        let my_chunk = self.scatter(comm, 0, chunks.as_deref())?;
+        debug_assert_eq!(my_chunk.len(), counts[rank] * kind.size());
+        Ok(my_chunk)
+    }
+
+    /// `MPI_Scan`: inclusive prefix reduction in rank order.
+    pub fn scan(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<Vec<u8>> {
+        self.check_live()?;
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let need = kind.size() * count;
+        if send.len() < need {
+            return err(
+                ErrorClass::Count,
+                format!("scan: buffer has {} bytes, need {}", send.len(), need),
+            );
+        }
+        let mut acc = send[..need].to_vec();
+        if rank > 0 {
+            let (prefix, _) = self.recv_collective(comm, (rank - 1) as i32, tag::SCAN)?;
+            // acc = prefix op own  (rank order: lower ranks first)
+            let mut folded = prefix;
+            op.apply(&acc, &mut folded, kind, count)?;
+            acc = folded;
+        }
+        if rank + 1 < size {
+            self.send_collective(comm, (rank + 1) as i32, tag::SCAN, &acc)?;
+        }
+        Ok(acc)
+    }
+
+    /// Agree on the maximum of a `u32` across the communicator (used for
+    /// context-id allocation).
+    pub(crate) fn allreduce_u32_max(&mut self, comm: CommHandle, value: u32) -> Result<u32> {
+        let bytes = (value as i64).to_le_bytes();
+        let out = self.allreduce(
+            comm,
+            &bytes,
+            PrimitiveKind::Long,
+            1,
+            &Op::Predefined(crate::ops::PredefinedOp::Max),
+        )?;
+        Ok(i64::from_le_bytes(out[..8].try_into().unwrap()) as u32)
+    }
+
+    fn send_collective(&mut self, comm: CommHandle, dest: i32, tag: i32, data: &[u8]) -> Result<()> {
+        self.send_on_context(comm, dest, tag, data, true)
+    }
+
+    fn recv_collective(
+        &mut self,
+        comm: CommHandle,
+        src: i32,
+        tag: i32,
+    ) -> Result<(Vec<u8>, crate::types::StatusInfo)> {
+        self.recv_on_context(comm, src, tag, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::COMM_WORLD;
+    use crate::ops::PredefinedOp;
+    use crate::universe::Universe;
+    use mpi_transport::DeviceKind;
+
+    fn ints(values: &[i32]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn to_ints(bytes: &[u8]) -> Vec<i32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn barrier_completes_on_all_ranks() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            for _ in 0..3 {
+                engine.barrier(COMM_WORLD).unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bcast_distributes_roots_buffer() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let mut buf = if engine.world_rank() == 2 {
+                b"broadcast payload".to_vec()
+            } else {
+                Vec::new()
+            };
+            engine.bcast(COMM_WORLD, 2, &mut buf).unwrap();
+            assert_eq!(&buf, b"broadcast payload");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let send = vec![rank as u8; rank + 1]; // different lengths (gatherv)
+            let got = engine.gather(COMM_WORLD, 0, &send).unwrap();
+            if rank == 0 {
+                let parts = got.unwrap();
+                assert_eq!(parts.len(), 4);
+                for (r, p) in parts.iter().enumerate() {
+                    assert_eq!(p.len(), r + 1);
+                    assert!(p.iter().all(|&b| b == r as u8));
+                }
+            } else {
+                assert!(got.is_none());
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn scatter_delivers_per_rank_chunks() {
+        Universe::run(3, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let chunks: Option<Vec<Vec<u8>>> = if rank == 1 {
+                Some((0..3).map(|r| vec![r as u8 * 10; r + 1]).collect())
+            } else {
+                None
+            };
+            let mine = engine.scatter(COMM_WORLD, 1, chunks.as_deref()).unwrap();
+            assert_eq!(mine.len(), rank + 1);
+            assert!(mine.iter().all(|&b| b == rank as u8 * 10));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let parts = engine
+                .allgather(COMM_WORLD, &[rank as u8, (rank * 2) as u8])
+                .unwrap();
+            assert_eq!(parts.len(), 4);
+            for (r, p) in parts.iter().enumerate() {
+                assert_eq!(p, &vec![r as u8, (r * 2) as u8]);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn alltoall_transposes_chunks() {
+        Universe::run(3, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            // chunk sent from rank r to rank d = [r, d]
+            let chunks: Vec<Vec<u8>> = (0..3).map(|d| vec![rank as u8, d as u8]).collect();
+            let got = engine.alltoall(COMM_WORLD, &chunks).unwrap();
+            for (src, chunk) in got.iter().enumerate() {
+                assert_eq!(chunk, &vec![src as u8, rank as u8]);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reduce_sums_in_rank_order() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank() as i32;
+            let send = ints(&[rank, rank * 10]);
+            let got = engine
+                .reduce(
+                    COMM_WORLD,
+                    0,
+                    &send,
+                    PrimitiveKind::Int,
+                    2,
+                    &Op::Predefined(PredefinedOp::Sum),
+                )
+                .unwrap();
+            if engine.world_rank() == 0 {
+                assert_eq!(to_ints(&got.unwrap()), vec![6, 60]);
+            } else {
+                assert!(got.is_none());
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn allreduce_max_everywhere() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank() as i32;
+            let send = ints(&[rank, -rank]);
+            let got = engine
+                .allreduce(
+                    COMM_WORLD,
+                    &send,
+                    PrimitiveKind::Int,
+                    2,
+                    &Op::Predefined(PredefinedOp::Max),
+                )
+                .unwrap();
+            assert_eq!(to_ints(&got), vec![3, 0]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn scan_computes_inclusive_prefix() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank() as i32;
+            let send = ints(&[rank + 1]);
+            let got = engine
+                .scan(
+                    COMM_WORLD,
+                    &send,
+                    PrimitiveKind::Int,
+                    1,
+                    &Op::Predefined(PredefinedOp::Sum),
+                )
+                .unwrap();
+            let expected: i32 = (1..=rank + 1).sum();
+            assert_eq!(to_ints(&got), vec![expected]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reduce_scatter_splits_reduced_vector() {
+        Universe::run(3, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank() as i32;
+            // Every rank contributes [rank; 6]; sum = [0+1+2; 6] = [3; 6].
+            let send = ints(&[rank; 6]);
+            let counts = [1usize, 2, 3];
+            let got = engine
+                .reduce_scatter(
+                    COMM_WORLD,
+                    &send,
+                    &counts,
+                    PrimitiveKind::Int,
+                    &Op::Predefined(PredefinedOp::Sum),
+                )
+                .unwrap();
+            let vals = to_ints(&got);
+            assert_eq!(vals.len(), counts[rank as usize]);
+            assert!(vals.iter().all(|&v| v == 3));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn collectives_work_on_split_communicators() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let sub = engine
+                .comm_split(COMM_WORLD, (rank % 2) as i32, rank as i32)
+                .unwrap()
+                .unwrap();
+            let send = ints(&[rank as i32]);
+            let got = engine
+                .allreduce(
+                    sub,
+                    &send,
+                    PrimitiveKind::Int,
+                    1,
+                    &Op::Predefined(PredefinedOp::Sum),
+                )
+                .unwrap();
+            // evens: 0 + 2 = 2; odds: 1 + 3 = 4
+            let expected = if rank % 2 == 0 { 2 } else { 4 };
+            assert_eq!(to_ints(&got), vec![expected]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn user_defined_op_in_allreduce() {
+        Universe::run(3, DeviceKind::ShmFast, |engine| {
+            use std::sync::Arc;
+            let op = Op::User(Arc::new(|incoming, acc, _kind, count| {
+                for i in 0..count {
+                    let a = i32::from_le_bytes(acc[i * 4..(i + 1) * 4].try_into().unwrap());
+                    let b = i32::from_le_bytes(incoming[i * 4..(i + 1) * 4].try_into().unwrap());
+                    acc[i * 4..(i + 1) * 4].copy_from_slice(&(a * 10 + b).to_le_bytes());
+                }
+                Ok(())
+            }));
+            let rank = engine.world_rank() as i32;
+            let got = engine
+                .allreduce(COMM_WORLD, &ints(&[rank + 1]), PrimitiveKind::Int, 1, &op)
+                .unwrap();
+            // fold in rank order: ((1*10+2)*10+3) = 123
+            assert_eq!(to_ints(&got), vec![123]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn invalid_roots_and_counts_are_rejected() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let mut buf = Vec::new();
+            assert!(engine.bcast(COMM_WORLD, 5, &mut buf).is_err());
+            assert!(engine.gather(COMM_WORLD, 9, b"x").is_err());
+            assert!(engine
+                .alltoall(COMM_WORLD, &[vec![0u8]])
+                .is_err());
+        })
+        .unwrap();
+    }
+}

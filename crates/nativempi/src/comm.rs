@@ -1,0 +1,362 @@
+//! Communicator management: context ids, `dup`, `split`, `create`,
+//! comparison and the built-in `MPI_COMM_WORLD` / `MPI_COMM_SELF`.
+//!
+//! Every communicator owns two private context ids — one for point-to-point
+//! traffic and one for collectives — so that traffic on different
+//! communicators (and collective vs p2p traffic on the same communicator)
+//! can never match each other. New context ids are agreed collectively by
+//! an allreduce(MAX) over the parent communicator, exactly the scheme small
+//! MPI implementations use.
+
+use crate::error::{err, ErrorClass, MpiError, Result};
+use crate::group::{CompareResult, Group};
+use crate::topology::Topology;
+use crate::types::UNDEFINED;
+use crate::Engine;
+
+/// Handle to a communicator within one engine.
+pub type CommHandle = usize;
+
+/// Handle of `MPI_COMM_WORLD`.
+pub const COMM_WORLD: CommHandle = 0;
+/// Handle of `MPI_COMM_SELF`.
+pub const COMM_SELF: CommHandle = 1;
+
+/// Internal record of one communicator.
+#[derive(Debug, Clone)]
+pub struct CommRecord {
+    /// Context id used by point-to-point operations.
+    pub context_p2p: u32,
+    /// Context id used by collective operations.
+    pub context_coll: u32,
+    /// The communicator's group (ordered world ranks).
+    pub group: Group,
+    /// This process's rank within the group, if it is a member.
+    pub my_rank: Option<usize>,
+    /// Attached virtual topology, if any.
+    pub topology: Option<Topology>,
+}
+
+impl CommRecord {
+    /// Number of processes in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.size()
+    }
+}
+
+impl Engine {
+    pub(crate) fn install_builtin_comms(&mut self) {
+        // COMM_WORLD: contexts 0 (p2p) and 1 (coll).
+        let world = CommRecord {
+            context_p2p: 0,
+            context_coll: 1,
+            group: Group::world(self.world_size),
+            my_rank: Some(self.world_rank),
+            topology: None,
+        };
+        // COMM_SELF: contexts 2 and 3.
+        let selfc = CommRecord {
+            context_p2p: 2,
+            context_coll: 3,
+            group: Group::from_ranks(vec![self.world_rank]).expect("single rank group"),
+            my_rank: Some(0),
+            topology: None,
+        };
+        self.comms = vec![Some(world), Some(selfc)];
+        self.context_to_comm.insert(0, COMM_WORLD);
+        self.context_to_comm.insert(1, COMM_WORLD);
+        self.context_to_comm.insert(2, COMM_SELF);
+        self.context_to_comm.insert(3, COMM_SELF);
+        self.next_context = 4;
+    }
+
+    pub(crate) fn comm(&self, comm: CommHandle) -> Result<&CommRecord> {
+        self.comms
+            .get(comm)
+            .and_then(|c| c.as_ref())
+            .ok_or_else(|| MpiError::new(ErrorClass::Comm, format!("invalid communicator handle {comm}")))
+    }
+
+    pub(crate) fn comm_mut(&mut self, comm: CommHandle) -> Result<&mut CommRecord> {
+        self.comms
+            .get_mut(comm)
+            .and_then(|c| c.as_mut())
+            .ok_or_else(|| MpiError::new(ErrorClass::Comm, format!("invalid communicator handle {comm}")))
+    }
+
+    fn register_comm(&mut self, record: CommRecord) -> CommHandle {
+        let handle = self.comms.len();
+        self.context_to_comm.insert(record.context_p2p, handle);
+        self.context_to_comm.insert(record.context_coll, handle);
+        self.comms.push(Some(record));
+        handle
+    }
+
+    /// `MPI_Comm_rank`: this process's rank within `comm`.
+    pub fn comm_rank(&self, comm: CommHandle) -> Result<usize> {
+        self.comm(comm)?
+            .my_rank
+            .ok_or_else(|| MpiError::new(ErrorClass::Comm, "process is not a member of this communicator"))
+    }
+
+    /// `MPI_Comm_size`.
+    pub fn comm_size(&self, comm: CommHandle) -> Result<usize> {
+        Ok(self.comm(comm)?.size())
+    }
+
+    /// `MPI_Comm_group`: the communicator's group.
+    pub fn comm_group(&self, comm: CommHandle) -> Result<Group> {
+        Ok(self.comm(comm)?.group.clone())
+    }
+
+    /// `MPI_Comm_compare`.
+    pub fn comm_compare(&self, a: CommHandle, b: CommHandle) -> Result<CompareResult> {
+        if a == b {
+            // Verify the handle is valid before declaring identity.
+            self.comm(a)?;
+            return Ok(CompareResult::Ident);
+        }
+        let ca = self.comm(a)?;
+        let cb = self.comm(b)?;
+        Ok(match ca.group.compare(&cb.group) {
+            CompareResult::Ident => CompareResult::Congruent,
+            other => other,
+        })
+    }
+
+    /// `MPI_Comm_free`. The built-in communicators cannot be freed.
+    pub fn comm_free(&mut self, comm: CommHandle) -> Result<()> {
+        if comm == COMM_WORLD || comm == COMM_SELF {
+            return err(ErrorClass::Comm, "cannot free a built-in communicator");
+        }
+        let record = self
+            .comms
+            .get_mut(comm)
+            .and_then(|c| c.take())
+            .ok_or_else(|| MpiError::new(ErrorClass::Comm, format!("invalid communicator handle {comm}")))?;
+        self.context_to_comm.remove(&record.context_p2p);
+        self.context_to_comm.remove(&record.context_coll);
+        Ok(())
+    }
+
+    /// Agree on a fresh pair of context ids across all members of `parent`.
+    ///
+    /// Collective over `parent`. Every member proposes its local
+    /// `next_context`; the maximum is adopted by everyone, guaranteeing the
+    /// pair is unused on every member.
+    pub(crate) fn allocate_context_pair(&mut self, parent: CommHandle) -> Result<(u32, u32)> {
+        let proposal = self.next_context;
+        let agreed = self.allreduce_u32_max(parent, proposal)?;
+        self.next_context = agreed + 2;
+        Ok((agreed, agreed + 1))
+    }
+
+    /// `MPI_Comm_dup`: same group, fresh context ids. Collective.
+    pub fn comm_dup(&mut self, comm: CommHandle) -> Result<CommHandle> {
+        self.check_live()?;
+        let (p2p, coll) = self.allocate_context_pair(comm)?;
+        let src = self.comm(comm)?;
+        let record = CommRecord {
+            context_p2p: p2p,
+            context_coll: coll,
+            group: src.group.clone(),
+            my_rank: src.my_rank,
+            topology: src.topology.clone(),
+        };
+        Ok(self.register_comm(record))
+    }
+
+    /// `MPI_Comm_create`: a new communicator containing only the processes
+    /// of `group` (which must be a subset of `comm`'s group, identical on
+    /// all callers). Collective over `comm`. Returns `None` on processes
+    /// that are not members of `group`.
+    pub fn comm_create(&mut self, comm: CommHandle, group: &Group) -> Result<Option<CommHandle>> {
+        self.check_live()?;
+        let parent_group = self.comm(comm)?.group.clone();
+        for &r in group.ranks() {
+            if parent_group.rank_of(r).is_none() {
+                return err(
+                    ErrorClass::Group,
+                    format!("world rank {r} is not a member of the parent communicator"),
+                );
+            }
+        }
+        let (p2p, coll) = self.allocate_context_pair(comm)?;
+        let my_rank = group.rank_of(self.world_rank);
+        if my_rank.is_none() {
+            return Ok(None);
+        }
+        let record = CommRecord {
+            context_p2p: p2p,
+            context_coll: coll,
+            group: group.clone(),
+            my_rank,
+            topology: None,
+        };
+        Ok(Some(self.register_comm(record)))
+    }
+
+    /// `MPI_Comm_split`: partition `comm` by `color`; ranks within each new
+    /// communicator are ordered by `key`, ties broken by rank in `comm`.
+    /// A color of [`UNDEFINED`] yields `None`. Collective over `comm`.
+    pub fn comm_split(
+        &mut self,
+        comm: CommHandle,
+        color: i32,
+        key: i32,
+    ) -> Result<Option<CommHandle>> {
+        self.check_live()?;
+        let my_rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        // Allgather (color, key) from every member over the collective
+        // context of the parent.
+        let mine = [color.to_le_bytes(), key.to_le_bytes()].concat();
+        let all = self.allgather_bytes(comm, &mine)?;
+        let mut entries: Vec<(i32, i32, usize)> = Vec::with_capacity(size);
+        for (rank, bytes) in all.iter().enumerate() {
+            if bytes.len() != 8 {
+                return err(ErrorClass::Intern, "malformed split exchange");
+            }
+            let c = i32::from_le_bytes(bytes[0..4].try_into().unwrap());
+            let k = i32::from_le_bytes(bytes[4..8].try_into().unwrap());
+            entries.push((c, k, rank));
+        }
+        let (p2p, coll) = self.allocate_context_pair(comm)?;
+        if color == UNDEFINED {
+            return Ok(None);
+        }
+        // Members with my color, ordered by (key, parent rank).
+        let mut members: Vec<(i32, usize)> = entries
+            .iter()
+            .filter(|(c, _, _)| *c == color)
+            .map(|(_, k, r)| (*k, *r))
+            .collect();
+        members.sort();
+        let parent_group = self.comm(comm)?.group.clone();
+        let world_ranks: Vec<usize> = members
+            .iter()
+            .map(|(_, parent_rank)| parent_group.world_rank(*parent_rank))
+            .collect::<Result<Vec<_>>>()?;
+        let group = Group::from_ranks(world_ranks)?;
+        let my_new_rank = members.iter().position(|(_, r)| *r == my_rank);
+        let record = CommRecord {
+            context_p2p: p2p,
+            context_coll: coll,
+            group,
+            my_rank: my_new_rank,
+            topology: None,
+        };
+        Ok(Some(self.register_comm(record)))
+    }
+
+    /// Translate a rank in `comm` to the world rank the transport uses.
+    pub fn world_rank_of(&self, comm: CommHandle, rank: usize) -> Result<usize> {
+        self.comm(comm)?.group.world_rank(rank)
+    }
+
+    /// Translate a world rank to its rank in `comm`, if it is a member.
+    pub(crate) fn comm_rank_of_world(&self, comm: CommHandle, world: usize) -> Result<Option<usize>> {
+        Ok(self.comm(comm)?.group.rank_of(world))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+    use mpi_transport::DeviceKind;
+
+    #[test]
+    fn builtin_comms_exist() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            assert_eq!(engine.comm_size(COMM_WORLD).unwrap(), 2);
+            assert_eq!(engine.comm_size(COMM_SELF).unwrap(), 1);
+            assert_eq!(engine.comm_rank(COMM_SELF).unwrap(), 0);
+            let g = engine.comm_group(COMM_WORLD).unwrap();
+            assert_eq!(g.size(), 2);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn builtin_comms_cannot_be_freed() {
+        Universe::run(1, DeviceKind::ShmFast, |engine| {
+            assert!(engine.comm_free(COMM_WORLD).is_err());
+            assert!(engine.comm_free(COMM_SELF).is_err());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn dup_is_congruent_not_identical() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let dup = engine.comm_dup(COMM_WORLD).unwrap();
+            assert_eq!(
+                engine.comm_compare(COMM_WORLD, dup).unwrap(),
+                CompareResult::Congruent
+            );
+            assert_eq!(
+                engine.comm_compare(dup, dup).unwrap(),
+                CompareResult::Ident
+            );
+            assert_eq!(engine.comm_size(dup).unwrap(), 2);
+            engine.comm_free(dup).unwrap();
+            assert!(engine.comm_rank(dup).is_err());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn split_partitions_by_color_and_orders_by_key() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank() as i32;
+            // ranks 0,2 -> color 0; ranks 1,3 -> color 1; key reverses order
+            let new = engine
+                .comm_split(COMM_WORLD, rank % 2, -rank)
+                .unwrap()
+                .expect("every rank gets a communicator");
+            assert_eq!(engine.comm_size(new).unwrap(), 2);
+            let my_new_rank = engine.comm_rank(new).unwrap();
+            // higher world rank has smaller key, so it becomes rank 0
+            if rank >= 2 {
+                assert_eq!(my_new_rank, 0);
+            } else {
+                assert_eq!(my_new_rank, 1);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn split_with_undefined_color_returns_none() {
+        Universe::run(3, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank() as i32;
+            let color = if rank == 0 { UNDEFINED } else { 7 };
+            let got = engine.comm_split(COMM_WORLD, color, 0).unwrap();
+            if rank == 0 {
+                assert!(got.is_none());
+            } else {
+                let comm = got.unwrap();
+                assert_eq!(engine.comm_size(comm).unwrap(), 2);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn comm_create_selects_subgroup() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let world_group = engine.comm_group(COMM_WORLD).unwrap();
+            let evens = world_group.incl(&[0, 2]).unwrap();
+            let got = engine.comm_create(COMM_WORLD, &evens).unwrap();
+            if engine.world_rank() % 2 == 0 {
+                let comm = got.expect("member of the new communicator");
+                assert_eq!(engine.comm_size(comm).unwrap(), 2);
+                assert_eq!(engine.comm_rank(comm).unwrap(), engine.world_rank() / 2);
+            } else {
+                assert!(got.is_none());
+            }
+        })
+        .unwrap();
+    }
+}

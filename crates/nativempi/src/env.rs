@@ -1,0 +1,210 @@
+//! Environmental management (MPI-1.1 §7): timers, processor name,
+//! predefined attributes, and abort.
+
+use std::time::Duration;
+
+use mpi_transport::{Frame, FrameHeader, FrameKind};
+
+use crate::comm::CommHandle;
+use crate::error::{err, ErrorClass, Result};
+use crate::types::TAG_UB;
+use crate::Engine;
+
+/// Keys of the predefined communicator attributes (`MPI_TAG_UB`,
+/// `MPI_HOST`, `MPI_IO`, `MPI_WTIME_IS_GLOBAL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredefinedAttr {
+    /// Upper bound on tag values.
+    TagUb,
+    /// Rank of a host process (this engine has none: `PROC_NULL`).
+    Host,
+    /// Rank that can perform I/O (every rank can here).
+    Io,
+    /// Whether `Wtime` is synchronized across ranks.
+    WtimeIsGlobal,
+}
+
+impl Engine {
+    /// `MPI_Wtime`: seconds since an arbitrary (per-job) origin.
+    ///
+    /// The paper's §4.2 had to work around WMPI's millisecond-resolution
+    /// `MPI_Wtime`; this engine uses the Rust monotonic clock, whose
+    /// resolution is far below a microsecond.
+    pub fn wtime(&self) -> f64 {
+        self.start_time.elapsed().as_secs_f64()
+    }
+
+    /// `MPI_Wtick`: the resolution of [`Engine::wtime`] in seconds.
+    pub fn wtick(&self) -> f64 {
+        // std::time::Instant on the supported platforms is nanosecond-grained.
+        Duration::from_nanos(1).as_secs_f64()
+    }
+
+    /// `MPI_Get_processor_name`.
+    pub fn processor_name(&self) -> &str {
+        &self.processor_name
+    }
+
+    /// Override the processor name (used by the launcher to label ranks in
+    /// DM mode like the paper labels its two workstations).
+    pub fn set_processor_name(&mut self, name: impl Into<String>) {
+        self.processor_name = name.into();
+    }
+
+    /// Value of a predefined attribute on a communicator
+    /// (`MPI_Attr_get` for the built-in keys).
+    pub fn attr_predefined(&self, comm: CommHandle, key: PredefinedAttr) -> Result<i64> {
+        self.comm(comm)?; // validate the handle
+        Ok(match key {
+            PredefinedAttr::TagUb => TAG_UB as i64,
+            PredefinedAttr::Host => crate::types::PROC_NULL as i64,
+            PredefinedAttr::Io => self.world_rank as i64,
+            PredefinedAttr::WtimeIsGlobal => 0,
+        })
+    }
+
+    /// `MPI_Attr_put` for user keyvals: store an integer-keyed blob on the
+    /// engine (communicator attribute caching, simplified to engine scope).
+    pub fn attr_put(&mut self, key: i32, value: Vec<u8>) -> Result<()> {
+        if key < 0 {
+            return err(ErrorClass::Arg, "user attribute keys must be non-negative");
+        }
+        self.keyvals.insert(key, value);
+        Ok(())
+    }
+
+    /// `MPI_Attr_get` for user keyvals.
+    pub fn attr_get(&self, key: i32) -> Option<&[u8]> {
+        self.keyvals.get(&key).map(|v| v.as_slice())
+    }
+
+    /// `MPI_Attr_delete`.
+    pub fn attr_delete(&mut self, key: i32) -> Result<()> {
+        match self.keyvals.remove(&key) {
+            Some(_) => Ok(()),
+            None => err(ErrorClass::Arg, format!("attribute key {key} is not set")),
+        }
+    }
+
+    /// `MPI_Abort`: broadcast an abort notification to every other rank and
+    /// mark this engine dead. Unlike the C binding this does not call
+    /// `exit()` — the caller (or the binding's error handler) decides.
+    pub fn abort(&mut self, _comm: CommHandle, errorcode: i32) -> Result<()> {
+        for world in 0..self.world_size {
+            if world == self.world_rank {
+                continue;
+            }
+            let header = FrameHeader {
+                kind: FrameKind::Control,
+                src: self.world_rank as u32,
+                dst: world as u32,
+                tag: errorcode,
+                context: u32::MAX,
+                token: 0,
+                msg_len: 0,
+            };
+            // Best effort: a dead peer must not stop the abort.
+            let _ = self.endpoint.send(Frame::control(header));
+        }
+        self.aborted = true;
+        Ok(())
+    }
+
+    /// True once this engine has aborted or observed another rank's abort.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::COMM_WORLD;
+    use crate::types::SendMode;
+    use crate::universe::Universe;
+    use mpi_transport::DeviceKind;
+
+    #[test]
+    fn wtime_is_monotonic_and_fine_grained() {
+        Universe::run(1, DeviceKind::ShmFast, |engine| {
+            let t0 = engine.wtime();
+            let mut x = 0u64;
+            for i in 0..10_000u64 {
+                x = x.wrapping_add(i);
+            }
+            std::hint::black_box(x);
+            let t1 = engine.wtime();
+            assert!(t1 >= t0);
+            assert!(engine.wtick() < 1e-6, "paper needed µs resolution; we have ns");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn processor_name_distinguishes_ranks() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let name = engine.processor_name().to_string();
+            assert!(name.contains(&format!("rank-{}", engine.world_rank())));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn predefined_attributes_are_available() {
+        Universe::run(1, DeviceKind::ShmFast, |engine| {
+            assert_eq!(
+                engine
+                    .attr_predefined(COMM_WORLD, PredefinedAttr::TagUb)
+                    .unwrap(),
+                TAG_UB as i64
+            );
+            assert!(engine
+                .attr_predefined(COMM_WORLD, PredefinedAttr::WtimeIsGlobal)
+                .is_ok());
+            assert!(engine.attr_predefined(99, PredefinedAttr::TagUb).is_err());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn user_attributes_roundtrip() {
+        Universe::run(1, DeviceKind::ShmFast, |engine| {
+            assert!(engine.attr_get(7).is_none());
+            engine.attr_put(7, b"seven".to_vec()).unwrap();
+            assert_eq!(engine.attr_get(7).unwrap(), b"seven");
+            engine.attr_delete(7).unwrap();
+            assert!(engine.attr_delete(7).is_err());
+            assert!(engine.attr_put(-1, Vec::new()).is_err());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn abort_poisons_remote_engines() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                engine.abort(COMM_WORLD, 3).unwrap();
+                assert!(engine.is_aborted());
+                assert!(engine
+                    .send(COMM_WORLD, 1, 0, b"", SendMode::Standard)
+                    .is_err());
+            } else {
+                // Wait until the abort control frame has been processed.
+                loop {
+                    // iprobe drives the progress engine.
+                    match engine.iprobe(COMM_WORLD, 0, 0) {
+                        Err(_) => break, // check_live already failed
+                        Ok(_) => {
+                            if engine.is_aborted() {
+                                break;
+                            }
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+                assert!(engine.is_aborted());
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,315 @@
+//! Process groups and their set algebra (MPI-1.1 §5.3).
+//!
+//! A group is an ordered set of world ranks; the rank of a process *in the
+//! group* is its index. All the MPI group constructors are provided:
+//! union, intersection, difference, incl/excl and their range variants,
+//! plus rank translation and comparison.
+
+use crate::error::{err, ErrorClass, Result};
+
+/// Result of comparing two groups or communicators (`MPI_IDENT`,
+/// `MPI_CONGRUENT`, `MPI_SIMILAR`, `MPI_UNEQUAL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareResult {
+    /// Same members in the same order (same object for communicators).
+    Ident,
+    /// Same members in the same order but different context (communicators).
+    Congruent,
+    /// Same members, different order.
+    Similar,
+    /// Different membership.
+    Unequal,
+}
+
+/// An ordered set of world ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    ranks: Vec<usize>,
+}
+
+impl Group {
+    /// The empty group (`MPI_GROUP_EMPTY`).
+    pub fn empty() -> Group {
+        Group { ranks: Vec::new() }
+    }
+
+    /// Group containing world ranks `0..n` in order (the group of
+    /// `MPI_COMM_WORLD`).
+    pub fn world(n: usize) -> Group {
+        Group {
+            ranks: (0..n).collect(),
+        }
+    }
+
+    /// Build a group from an explicit list of world ranks.
+    /// Duplicates are rejected.
+    pub fn from_ranks(ranks: Vec<usize>) -> Result<Group> {
+        let mut seen = std::collections::HashSet::new();
+        for &r in &ranks {
+            if !seen.insert(r) {
+                return err(ErrorClass::Group, format!("duplicate rank {r} in group"));
+            }
+        }
+        Ok(Group { ranks })
+    }
+
+    /// Number of processes in the group (`MPI_Group_size`).
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True when the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// The ordered world ranks of the members.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Rank of world rank `world` within this group (`MPI_Group_rank`),
+    /// or `None` if it is not a member (`MPI_UNDEFINED`).
+    pub fn rank_of(&self, world: usize) -> Option<usize> {
+        self.ranks.iter().position(|&r| r == world)
+    }
+
+    /// World rank of group rank `idx`.
+    pub fn world_rank(&self, idx: usize) -> Result<usize> {
+        self.ranks
+            .get(idx)
+            .copied()
+            .ok_or_else(|| crate::error::MpiError::new(
+                ErrorClass::Rank,
+                format!("group rank {idx} out of range (size {})", self.ranks.len()),
+            ))
+    }
+
+    /// `MPI_Group_translate_ranks`: map ranks of `self` onto ranks in
+    /// `other`; `None` entries correspond to `MPI_UNDEFINED`.
+    pub fn translate_ranks(&self, ranks: &[usize], other: &Group) -> Result<Vec<Option<usize>>> {
+        let mut out = Vec::with_capacity(ranks.len());
+        for &r in ranks {
+            let world = self.world_rank(r)?;
+            out.push(other.rank_of(world));
+        }
+        Ok(out)
+    }
+
+    /// `MPI_Group_compare`.
+    pub fn compare(&self, other: &Group) -> CompareResult {
+        if self.ranks == other.ranks {
+            return CompareResult::Ident;
+        }
+        let a: std::collections::BTreeSet<usize> = self.ranks.iter().copied().collect();
+        let b: std::collections::BTreeSet<usize> = other.ranks.iter().copied().collect();
+        if a == b {
+            CompareResult::Similar
+        } else {
+            CompareResult::Unequal
+        }
+    }
+
+    /// `MPI_Group_union`: members of `self` in order, then members of
+    /// `other` not already present.
+    pub fn union(&self, other: &Group) -> Group {
+        let mut ranks = self.ranks.clone();
+        for &r in &other.ranks {
+            if !ranks.contains(&r) {
+                ranks.push(r);
+            }
+        }
+        Group { ranks }
+    }
+
+    /// `MPI_Group_intersection`: members of `self` (in `self`'s order) that
+    /// are also in `other`.
+    pub fn intersection(&self, other: &Group) -> Group {
+        Group {
+            ranks: self
+                .ranks
+                .iter()
+                .copied()
+                .filter(|r| other.ranks.contains(r))
+                .collect(),
+        }
+    }
+
+    /// `MPI_Group_difference`: members of `self` that are not in `other`.
+    pub fn difference(&self, other: &Group) -> Group {
+        Group {
+            ranks: self
+                .ranks
+                .iter()
+                .copied()
+                .filter(|r| !other.ranks.contains(r))
+                .collect(),
+        }
+    }
+
+    /// `MPI_Group_incl`: the listed group ranks, in the listed order.
+    pub fn incl(&self, members: &[usize]) -> Result<Group> {
+        let mut ranks = Vec::with_capacity(members.len());
+        for &m in members {
+            ranks.push(self.world_rank(m)?);
+        }
+        Group::from_ranks(ranks)
+    }
+
+    /// `MPI_Group_excl`: all members except the listed group ranks,
+    /// preserving order.
+    pub fn excl(&self, members: &[usize]) -> Result<Group> {
+        for &m in members {
+            if m >= self.ranks.len() {
+                return err(ErrorClass::Rank, format!("excl rank {m} out of range"));
+            }
+        }
+        let excluded: std::collections::HashSet<usize> = members.iter().copied().collect();
+        Ok(Group {
+            ranks: self
+                .ranks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !excluded.contains(i))
+                .map(|(_, &r)| r)
+                .collect(),
+        })
+    }
+
+    /// `MPI_Group_range_incl`: include ranks described by
+    /// `(first, last, stride)` triplets.
+    pub fn range_incl(&self, ranges: &[(i32, i32, i32)]) -> Result<Group> {
+        let mut members = Vec::new();
+        for &(first, last, stride) in ranges {
+            for r in expand_range(first, last, stride)? {
+                members.push(r);
+            }
+        }
+        self.incl(&members)
+    }
+
+    /// `MPI_Group_range_excl`: exclude ranks described by
+    /// `(first, last, stride)` triplets.
+    pub fn range_excl(&self, ranges: &[(i32, i32, i32)]) -> Result<Group> {
+        let mut members = Vec::new();
+        for &(first, last, stride) in ranges {
+            for r in expand_range(first, last, stride)? {
+                members.push(r);
+            }
+        }
+        self.excl(&members)
+    }
+}
+
+/// Expand an MPI range triplet into the group ranks it denotes.
+fn expand_range(first: i32, last: i32, stride: i32) -> Result<Vec<usize>> {
+    if stride == 0 {
+        return err(ErrorClass::Arg, "range stride must be non-zero");
+    }
+    if first < 0 || last < 0 {
+        return err(ErrorClass::Rank, "range bounds must be non-negative");
+    }
+    let mut out = Vec::new();
+    let mut r = first;
+    if stride > 0 {
+        while r <= last {
+            out.push(r as usize);
+            r += stride;
+        }
+    } else {
+        while r >= last {
+            out.push(r as usize);
+            r += stride;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world8() -> Group {
+        Group::world(8)
+    }
+
+    #[test]
+    fn world_group_is_identity_ordered() {
+        let g = world8();
+        assert_eq!(g.size(), 8);
+        for i in 0..8 {
+            assert_eq!(g.rank_of(i), Some(i));
+            assert_eq!(g.world_rank(i).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn incl_preserves_listed_order() {
+        let g = world8().incl(&[5, 1, 3]).unwrap();
+        assert_eq!(g.ranks(), &[5, 1, 3]);
+        assert_eq!(g.rank_of(3), Some(2));
+    }
+
+    #[test]
+    fn excl_removes_and_preserves_order() {
+        let g = world8().excl(&[0, 7, 3]).unwrap();
+        assert_eq!(g.ranks(), &[1, 2, 4, 5, 6]);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = world8().incl(&[0, 1, 2, 3]).unwrap();
+        let b = world8().incl(&[2, 3, 4, 5]).unwrap();
+        assert_eq!(a.union(&b).ranks(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(a.intersection(&b).ranks(), &[2, 3]);
+        assert_eq!(a.difference(&b).ranks(), &[0, 1]);
+        assert_eq!(b.difference(&a).ranks(), &[4, 5]);
+    }
+
+    #[test]
+    fn compare_distinguishes_ident_similar_unequal() {
+        let a = world8().incl(&[1, 2, 3]).unwrap();
+        let b = world8().incl(&[1, 2, 3]).unwrap();
+        let c = world8().incl(&[3, 2, 1]).unwrap();
+        let d = world8().incl(&[1, 2, 4]).unwrap();
+        assert_eq!(a.compare(&b), CompareResult::Ident);
+        assert_eq!(a.compare(&c), CompareResult::Similar);
+        assert_eq!(a.compare(&d), CompareResult::Unequal);
+    }
+
+    #[test]
+    fn translate_ranks_maps_through_world() {
+        let a = world8().incl(&[0, 2, 4, 6]).unwrap();
+        let b = world8().incl(&[6, 4, 0]).unwrap();
+        let t = a.translate_ranks(&[0, 1, 2, 3], &b).unwrap();
+        assert_eq!(t, vec![Some(2), None, Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn range_incl_and_excl() {
+        let g = world8().range_incl(&[(0, 6, 2)]).unwrap();
+        assert_eq!(g.ranks(), &[0, 2, 4, 6]);
+        let h = world8().range_excl(&[(0, 6, 2)]).unwrap();
+        assert_eq!(h.ranks(), &[1, 3, 5, 7]);
+        let rev = world8().range_incl(&[(3, 1, -1)]).unwrap();
+        assert_eq!(rev.ranks(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        assert!(Group::from_ranks(vec![1, 1]).is_err());
+        assert!(world8().incl(&[9]).is_err());
+        assert!(world8().excl(&[8]).is_err());
+        assert!(world8().range_incl(&[(0, 4, 0)]).is_err());
+    }
+
+    #[test]
+    fn empty_group_behaves() {
+        let e = Group::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.size(), 0);
+        assert_eq!(e.rank_of(0), None);
+        assert_eq!(e.union(&world8()).size(), 8);
+        assert_eq!(world8().intersection(&e).size(), 0);
+    }
+}

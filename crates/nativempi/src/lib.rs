@@ -1,0 +1,252 @@
+//! # mpi-native
+//!
+//! A from-scratch MPI-1.1 message-passing engine, playing the role of the
+//! *native MPI library* (MPICH / WMPI) that the mpiJava wrapper of
+//! Baker, Carpenter, Fox, Ko & Lim (IPPS 1999) binds to through JNI.
+//!
+//! The engine is deliberately structured like a small MPICH: a *device*
+//! (from the `mpi-transport` crate) moves byte frames between ranks, and
+//! this crate layers on top of it
+//!
+//! * message **matching** (context id, source, tag, wildcards,
+//!   non-overtaking order) and the eager / rendezvous protocols
+//!   ([`p2p`]),
+//! * blocking, non-blocking and **persistent requests** with the full
+//!   `Wait*`/`Test*` families ([`request`]),
+//! * **groups** and their set algebra ([`group`]),
+//! * **communicators** with private context ids, `dup`/`split`/`create`
+//!   ([`comm`]),
+//! * **collective operations** — barrier, broadcast, gather(v), scatter(v),
+//!   allgather(v), alltoall(v), reduce, allreduce, reduce-scatter, scan —
+//!   built over point-to-point on a separate collective context
+//!   ([`collective`]),
+//! * **reduction operations** including `MAXLOC`/`MINLOC` and user
+//!   functions ([`ops`]),
+//! * **derived datatypes** and pack/unpack ([`datatype`], [`pack`]),
+//! * **virtual topologies** (cartesian and graph, [`topology`]),
+//! * environment services — `Wtime`, processor name, attributes, abort
+//!   ([`env`]),
+//! * a [`universe::Universe`] launcher that plays `mpirun`, creating one
+//!   engine per rank over a shared fabric and running them on threads.
+//!
+//! Every rank owns exactly one [`Engine`]; all MPI calls of that rank go
+//! through it. The object-oriented binding of the paper is implemented in
+//! the `mpijava` crate on top of this engine.
+
+pub mod collective;
+pub mod comm;
+pub mod datatype;
+pub mod env;
+pub mod error;
+pub mod group;
+pub mod ops;
+pub mod p2p;
+pub mod pack;
+pub mod request;
+pub mod topology;
+pub mod types;
+pub mod universe;
+
+pub use comm::{CommHandle, COMM_SELF, COMM_WORLD};
+pub use datatype::DatatypeDef;
+pub use error::{ErrorClass, MpiError, Result};
+pub use group::{CompareResult, Group};
+pub use ops::{Op, PredefinedOp};
+pub use request::RequestId;
+pub use types::{PrimitiveKind, SendMode, StatusInfo, ANY_SOURCE, ANY_TAG, PROC_NULL, UNDEFINED};
+pub use universe::{Universe, UniverseConfig};
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+use mpi_transport::Endpoint;
+
+use comm::CommRecord;
+use p2p::{PendingRendezvous, PostedRecv, UnexpectedMsg};
+use request::RequestState;
+
+/// Counters the engine keeps about its own activity. The benchmark harness
+/// reads these to report, e.g., how many messages went eager vs rendezvous.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Messages sent with the eager protocol.
+    pub eager_sends: u64,
+    /// Messages sent with the rendezvous protocol.
+    pub rendezvous_sends: u64,
+    /// Messages that were matched from the unexpected queue.
+    pub unexpected_hits: u64,
+    /// Messages that matched an already-posted receive on arrival.
+    pub posted_hits: u64,
+    /// Total payload bytes sent (excluding engine control traffic).
+    pub bytes_sent: u64,
+    /// Total payload bytes received.
+    pub bytes_received: u64,
+}
+
+/// Per-rank MPI engine. See the crate documentation.
+pub struct Engine {
+    pub(crate) endpoint: Box<dyn Endpoint>,
+    pub(crate) world_rank: usize,
+    pub(crate) world_size: usize,
+    pub(crate) comms: Vec<Option<CommRecord>>,
+    pub(crate) context_to_comm: HashMap<u32, usize>,
+    pub(crate) next_context: u32,
+    pub(crate) requests: HashMap<u64, RequestState>,
+    pub(crate) next_request: u64,
+    pub(crate) posted: VecDeque<PostedRecv>,
+    pub(crate) unexpected: VecDeque<UnexpectedMsg>,
+    pub(crate) pending_rendezvous: HashMap<u64, PendingRendezvous>,
+    pub(crate) awaiting_rendezvous_data: HashMap<u64, u64>,
+    pub(crate) next_token: u64,
+    pub(crate) eager_threshold: usize,
+    pub(crate) attached_buffer: Option<p2p::BsendBuffer>,
+    pub(crate) start_time: Instant,
+    pub(crate) processor_name: String,
+    pub(crate) finalized: bool,
+    pub(crate) aborted: bool,
+    pub(crate) stats: EngineStats,
+    pub(crate) keyvals: HashMap<i32, Vec<u8>>,
+}
+
+/// Default payload size (bytes) above which standard-mode sends switch from
+/// the eager to the rendezvous protocol. Matches the order of magnitude at
+/// which the paper's SM-mode curves converge (Figure 5: offsets vanish
+/// around 256 KB).
+pub const DEFAULT_EAGER_THRESHOLD: usize = 128 * 1024;
+
+impl Engine {
+    /// Build an engine for one rank over the given endpoint.
+    ///
+    /// This is `MPI_Init` for a single rank; most users go through
+    /// [`Universe::run`](universe::Universe::run), which builds the fabric
+    /// and one engine per rank.
+    pub fn new(endpoint: Box<dyn Endpoint>) -> Engine {
+        let world_rank = endpoint.rank();
+        let world_size = endpoint.size();
+        let mut engine = Engine {
+            endpoint,
+            world_rank,
+            world_size,
+            comms: Vec::new(),
+            context_to_comm: HashMap::new(),
+            next_context: 0,
+            requests: HashMap::new(),
+            next_request: 1,
+            posted: VecDeque::new(),
+            unexpected: VecDeque::new(),
+            pending_rendezvous: HashMap::new(),
+            awaiting_rendezvous_data: HashMap::new(),
+            next_token: 1,
+            eager_threshold: DEFAULT_EAGER_THRESHOLD,
+            attached_buffer: None,
+            start_time: Instant::now(),
+            processor_name: format!("rank-{world_rank}.mpijava-rs.local"),
+            finalized: false,
+            aborted: false,
+            stats: EngineStats::default(),
+            keyvals: HashMap::new(),
+        };
+        engine.install_builtin_comms();
+        engine
+    }
+
+    /// Override the eager/rendezvous switch-over point (bytes).
+    pub fn set_eager_threshold(&mut self, bytes: usize) {
+        self.eager_threshold = bytes;
+    }
+
+    /// Current eager/rendezvous switch-over point (bytes).
+    pub fn eager_threshold(&self) -> usize {
+        self.eager_threshold
+    }
+
+    /// This process's rank in `MPI_COMM_WORLD`.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Number of processes in `MPI_COMM_WORLD`.
+    pub fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    /// Activity counters (see [`EngineStats`]).
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// True once [`Engine::finalize`] has run.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// `MPI_Finalize`: no further communication is allowed afterwards.
+    ///
+    /// The engine checks that no receive is still posted and no rendezvous
+    /// is still outstanding, mirroring the standard's requirement that all
+    /// pending communication is completed before finalizing.
+    pub fn finalize(&mut self) -> Result<()> {
+        if self.finalized {
+            return error::err(ErrorClass::NotInitialized, "finalize called twice");
+        }
+        if !self.posted.is_empty() || !self.pending_rendezvous.is_empty() {
+            return error::err(
+                ErrorClass::Other,
+                "finalize called with outstanding communication",
+            );
+        }
+        self.finalized = true;
+        Ok(())
+    }
+
+    pub(crate) fn check_live(&self) -> Result<()> {
+        if self.finalized {
+            return error::err(ErrorClass::NotInitialized, "MPI already finalized");
+        }
+        if self.aborted {
+            return error::err(ErrorClass::Aborted, "job aborted");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_transport::{DeviceKind, Fabric, FabricConfig};
+
+    fn pair() -> (Engine, Engine) {
+        let mut eps = Fabric::build(FabricConfig::new(2, DeviceKind::ShmFast))
+            .unwrap()
+            .into_endpoints();
+        let b = Engine::new(eps.pop().unwrap());
+        let a = Engine::new(eps.pop().unwrap());
+        (a, b)
+    }
+
+    #[test]
+    fn engine_reports_rank_and_size() {
+        let (a, b) = pair();
+        assert_eq!(a.world_rank(), 0);
+        assert_eq!(b.world_rank(), 1);
+        assert_eq!(a.world_size(), 2);
+        assert_eq!(b.world_size(), 2);
+    }
+
+    #[test]
+    fn finalize_is_idempotent_error() {
+        let (mut a, _b) = pair();
+        a.finalize().unwrap();
+        assert!(a.is_finalized());
+        assert!(a.finalize().is_err());
+        assert!(a.check_live().is_err());
+    }
+
+    #[test]
+    fn eager_threshold_is_configurable() {
+        let (mut a, _b) = pair();
+        assert_eq!(a.eager_threshold(), DEFAULT_EAGER_THRESHOLD);
+        a.set_eager_threshold(1024);
+        assert_eq!(a.eager_threshold(), 1024);
+    }
+}

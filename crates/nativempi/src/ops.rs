@@ -1,0 +1,497 @@
+//! Reduction operations (MPI-1.1 §4.9.2) over raw byte buffers.
+//!
+//! The engine's collective layer hands this module two byte buffers that
+//! contain `count` elements of a [`PrimitiveKind`]; `apply` combines the
+//! incoming buffer into the accumulator element by element. All the MPI
+//! predefined operations are provided, plus user-defined operations as
+//! boxed closures (mirroring `MPI_Op_create` / the mpiJava `User_function`).
+
+use std::sync::Arc;
+
+use crate::error::{err, ErrorClass, Result};
+use crate::types::PrimitiveKind;
+
+/// The MPI predefined reduction operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredefinedOp {
+    Max,
+    Min,
+    Sum,
+    Prod,
+    Land,
+    Band,
+    Lor,
+    Bor,
+    Lxor,
+    Bxor,
+    Maxloc,
+    Minloc,
+}
+
+/// A reduction operation: predefined or user supplied.
+///
+/// User functions receive `(incoming, accumulator, kind, count)` and must
+/// fold `incoming` into `accumulator`; this is the `commute = true` shape of
+/// `MPI_Op_create` (the engine always reduces in rank order, so
+/// non-commutative user operations still see a deterministic order).
+#[derive(Clone)]
+pub enum Op {
+    Predefined(PredefinedOp),
+    User(Arc<dyn Fn(&[u8], &mut [u8], PrimitiveKind, usize) -> Result<()> + Send + Sync>),
+}
+
+impl std::fmt::Debug for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Predefined(p) => write!(f, "Op::{p:?}"),
+            Op::User(_) => write!(f, "Op::User(..)"),
+        }
+    }
+}
+
+impl Op {
+    /// Fold `incoming` into `acc`, treating both as `count` elements of
+    /// `kind`.
+    pub fn apply(&self, incoming: &[u8], acc: &mut [u8], kind: PrimitiveKind, count: usize) -> Result<()> {
+        let elem = kind.size();
+        let need = elem * count;
+        if incoming.len() < need || acc.len() < need {
+            return err(
+                ErrorClass::Count,
+                format!(
+                    "reduce: need {} bytes, have {} (in) / {} (acc)",
+                    need,
+                    incoming.len(),
+                    acc.len()
+                ),
+            );
+        }
+        match self {
+            Op::User(f) => f(incoming, acc, kind, count),
+            Op::Predefined(op) => apply_predefined(*op, incoming, acc, kind, count),
+        }
+    }
+}
+
+/// Integer scalar types the engine reduces directly.
+trait IntScalar:
+    Copy
+    + PartialOrd
+    + PartialEq
+    + std::ops::Add<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::BitAnd<Output = Self>
+    + std::ops::BitOr<Output = Self>
+    + std::ops::BitXor<Output = Self>
+{
+    const ZERO: Self;
+    const ONE: Self;
+    const WIDTH: usize;
+    fn read_le(bytes: &[u8]) -> Self;
+    fn write_le(&self, out: &mut [u8]);
+}
+
+macro_rules! impl_int_scalar {
+    ($($t:ty),*) => {$(
+        impl IntScalar for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes[..Self::WIDTH].try_into().unwrap())
+            }
+            fn write_le(&self, out: &mut [u8]) {
+                out[..Self::WIDTH].copy_from_slice(&self.to_le_bytes());
+            }
+        }
+    )*}
+}
+impl_int_scalar!(u8, u16, i16, i32, i64);
+
+fn apply_predefined(
+    op: PredefinedOp,
+    incoming: &[u8],
+    acc: &mut [u8],
+    kind: PrimitiveKind,
+    count: usize,
+) -> Result<()> {
+    use PrimitiveKind as K;
+    match kind {
+        K::Byte | K::Packed => int_reduce::<u8>(op, incoming, acc, count),
+        K::Boolean => logical_reduce(op, incoming, acc, count),
+        K::Char => int_reduce::<u16>(op, incoming, acc, count),
+        K::Short => int_reduce::<i16>(op, incoming, acc, count),
+        K::Int => int_reduce::<i32>(op, incoming, acc, count),
+        K::Long => int_reduce::<i64>(op, incoming, acc, count),
+        K::Float => float_reduce::<f32, 4>(op, incoming, acc, count),
+        K::Double => float_reduce::<f64, 8>(op, incoming, acc, count),
+        K::Int2 => pairloc_reduce::<i32, 4>(op, incoming, acc, count),
+        K::Long2 => pairloc_reduce::<i64, 8>(op, incoming, acc, count),
+        K::Short2 => pairloc_reduce::<i16, 2>(op, incoming, acc, count),
+        K::Float2 => pairloc_float_reduce::<f32, 4>(op, incoming, acc, count),
+        K::Double2 => pairloc_float_reduce::<f64, 8>(op, incoming, acc, count),
+    }
+}
+
+fn int_reduce<T: IntScalar>(
+    op: PredefinedOp,
+    incoming: &[u8],
+    acc: &mut [u8],
+    count: usize,
+) -> Result<()> {
+    for i in 0..count {
+        let lo = i * T::WIDTH;
+        let hi = lo + T::WIDTH;
+        let a = T::read_le(&acc[lo..hi]);
+        let b = T::read_le(&incoming[lo..hi]);
+        let r = int_combine(op, a, b)?;
+        r.write_le(&mut acc[lo..hi]);
+    }
+    Ok(())
+}
+
+/// Integer combine covering every predefined op valid on integers.
+fn int_combine<T: IntScalar>(op: PredefinedOp, a: T, b: T) -> Result<T> {
+    Ok(match op {
+        PredefinedOp::Max => {
+            if a >= b {
+                a
+            } else {
+                b
+            }
+        }
+        PredefinedOp::Min => {
+            if a <= b {
+                a
+            } else {
+                b
+            }
+        }
+        PredefinedOp::Sum => a + b,
+        PredefinedOp::Prod => a * b,
+        PredefinedOp::Band => a & b,
+        PredefinedOp::Bor => a | b,
+        PredefinedOp::Bxor => a ^ b,
+        PredefinedOp::Land => {
+            if a != T::ZERO && b != T::ZERO {
+                T::ONE
+            } else {
+                T::ZERO
+            }
+        }
+        PredefinedOp::Lor => {
+            if a != T::ZERO || b != T::ZERO {
+                T::ONE
+            } else {
+                T::ZERO
+            }
+        }
+        PredefinedOp::Lxor => {
+            if (a != T::ZERO) ^ (b != T::ZERO) {
+                T::ONE
+            } else {
+                T::ZERO
+            }
+        }
+        PredefinedOp::Maxloc | PredefinedOp::Minloc => {
+            return err(
+                ErrorClass::Op,
+                "MAXLOC/MINLOC require a pair datatype (INT2, DOUBLE2, ...)",
+            )
+        }
+    })
+}
+
+fn logical_reduce(op: PredefinedOp, incoming: &[u8], acc: &mut [u8], count: usize) -> Result<()> {
+    for i in 0..count {
+        let a = acc[i] != 0;
+        let b = incoming[i] != 0;
+        let r = match op {
+            PredefinedOp::Land | PredefinedOp::Band | PredefinedOp::Prod | PredefinedOp::Min => a && b,
+            PredefinedOp::Lor | PredefinedOp::Bor | PredefinedOp::Max => a || b,
+            PredefinedOp::Lxor | PredefinedOp::Bxor => a ^ b,
+            PredefinedOp::Sum => a || b,
+            PredefinedOp::Maxloc | PredefinedOp::Minloc => {
+                return err(ErrorClass::Op, "MAXLOC/MINLOC on boolean is invalid")
+            }
+        };
+        acc[i] = r as u8;
+    }
+    Ok(())
+}
+
+/// Float combine via a trait bound that excludes the bitwise ops.
+fn float_reduce<T, const W: usize>(
+    op: PredefinedOp,
+    incoming: &[u8],
+    acc: &mut [u8],
+    count: usize,
+) -> Result<()>
+where
+    T: Copy + PartialOrd + std::ops::Add<Output = T> + std::ops::Mul<Output = T> + FromLeBytes<W> + Default,
+{
+    for i in 0..count {
+        let a = T::from_le(&acc[i * W..(i + 1) * W]);
+        let b = T::from_le(&incoming[i * W..(i + 1) * W]);
+        let zero = T::default();
+        let r = match op {
+            PredefinedOp::Max => {
+                if a >= b {
+                    a
+                } else {
+                    b
+                }
+            }
+            PredefinedOp::Min => {
+                if a <= b {
+                    a
+                } else {
+                    b
+                }
+            }
+            PredefinedOp::Sum => a + b,
+            PredefinedOp::Prod => a * b,
+            PredefinedOp::Land | PredefinedOp::Band | PredefinedOp::Lor | PredefinedOp::Bor
+            | PredefinedOp::Lxor | PredefinedOp::Bxor => {
+                return err(ErrorClass::Op, "bitwise/logical ops are invalid on floating types")
+            }
+            PredefinedOp::Maxloc | PredefinedOp::Minloc => {
+                return err(ErrorClass::Op, "MAXLOC/MINLOC require a pair datatype")
+            }
+        };
+        let _ = zero;
+        acc[i * W..(i + 1) * W].copy_from_slice(&r.to_le());
+    }
+    Ok(())
+}
+
+/// (value, index) pairs of an integer value type.
+fn pairloc_reduce<T, const W: usize>(
+    op: PredefinedOp,
+    incoming: &[u8],
+    acc: &mut [u8],
+    count: usize,
+) -> Result<()>
+where
+    T: Copy + PartialOrd + FromLeBytes<W>,
+{
+    let pair = 2 * W;
+    for i in 0..count {
+        let av = T::from_le(&acc[i * pair..i * pair + W]);
+        let ai = T::from_le(&acc[i * pair + W..(i + 1) * pair]);
+        let bv = T::from_le(&incoming[i * pair..i * pair + W]);
+        let bi = T::from_le(&incoming[i * pair + W..(i + 1) * pair]);
+        let (rv, ri) = combine_loc(op, (av, ai), (bv, bi))?;
+        acc[i * pair..i * pair + W].copy_from_slice(&rv.to_le());
+        acc[i * pair + W..(i + 1) * pair].copy_from_slice(&ri.to_le());
+    }
+    Ok(())
+}
+
+/// (value, index) pairs of a floating value type.
+fn pairloc_float_reduce<T, const W: usize>(
+    op: PredefinedOp,
+    incoming: &[u8],
+    acc: &mut [u8],
+    count: usize,
+) -> Result<()>
+where
+    T: Copy + PartialOrd + FromLeBytes<W>,
+{
+    pairloc_reduce::<T, W>(op, incoming, acc, count)
+}
+
+fn combine_loc<T: Copy + PartialOrd>(
+    op: PredefinedOp,
+    a: (T, T),
+    b: (T, T),
+) -> Result<(T, T)> {
+    match op {
+        PredefinedOp::Maxloc => Ok(if b.0 > a.0 { b } else { a }),
+        PredefinedOp::Minloc => Ok(if b.0 < a.0 { b } else { a }),
+        _ => err(
+            ErrorClass::Op,
+            "pair datatypes are only valid with MAXLOC/MINLOC",
+        ),
+    }
+}
+
+/// Helper trait: fixed-width little-endian decode/encode.
+pub trait FromLeBytes<const W: usize>: Sized {
+    fn from_le(bytes: &[u8]) -> Self;
+    fn to_le(&self) -> [u8; W];
+}
+
+macro_rules! impl_from_le {
+    ($($t:ty => $w:expr),*) => {$(
+        impl FromLeBytes<$w> for $t {
+            fn from_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes[..$w].try_into().unwrap())
+            }
+            fn to_le(&self) -> [u8; $w] {
+                self.to_le_bytes()
+            }
+        }
+    )*}
+}
+impl_from_le!(i16 => 2, i32 => 4, i64 => 8, f32 => 4, f64 => 8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(values: &[i32]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn to_ints(bytes: &[u8]) -> Vec<i32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    fn doubles(values: &[f64]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn to_doubles(bytes: &[u8]) -> Vec<f64> {
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn int_sum_prod_max_min() {
+        let a = ints(&[1, 5, -3]);
+        let b = ints(&[4, 2, -7]);
+        for (op, expect) in [
+            (PredefinedOp::Sum, vec![5, 7, -10]),
+            (PredefinedOp::Prod, vec![4, 10, 21]),
+            (PredefinedOp::Max, vec![4, 5, -3]),
+            (PredefinedOp::Min, vec![1, 2, -7]),
+        ] {
+            let mut acc = a.clone();
+            Op::Predefined(op)
+                .apply(&b, &mut acc, PrimitiveKind::Int, 3)
+                .unwrap();
+            assert_eq!(to_ints(&acc), expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn int_bitwise_and_logical() {
+        let a = ints(&[0b1100, 0, 1]);
+        let b = ints(&[0b1010, 0, 0]);
+        let cases = [
+            (PredefinedOp::Band, vec![0b1000, 0, 0]),
+            (PredefinedOp::Bor, vec![0b1110, 0, 1]),
+            (PredefinedOp::Bxor, vec![0b0110, 0, 1]),
+            (PredefinedOp::Land, vec![1, 0, 0]),
+            (PredefinedOp::Lor, vec![1, 0, 1]),
+            (PredefinedOp::Lxor, vec![0, 0, 1]),
+        ];
+        for (op, expect) in cases {
+            let mut acc = a.clone();
+            Op::Predefined(op)
+                .apply(&b, &mut acc, PrimitiveKind::Int, 3)
+                .unwrap();
+            assert_eq!(to_ints(&acc), expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn double_sum_and_max() {
+        let a = doubles(&[1.5, -2.0]);
+        let b = doubles(&[2.5, -3.0]);
+        let mut acc = a.clone();
+        Op::Predefined(PredefinedOp::Sum)
+            .apply(&b, &mut acc, PrimitiveKind::Double, 2)
+            .unwrap();
+        assert_eq!(to_doubles(&acc), vec![4.0, -5.0]);
+        let mut acc = a;
+        Op::Predefined(PredefinedOp::Max)
+            .apply(&b, &mut acc, PrimitiveKind::Double, 2)
+            .unwrap();
+        assert_eq!(to_doubles(&acc), vec![2.5, -2.0]);
+    }
+
+    #[test]
+    fn bitwise_on_floats_is_rejected() {
+        let a = doubles(&[1.0]);
+        let mut acc = a.clone();
+        assert!(Op::Predefined(PredefinedOp::Band)
+            .apply(&a, &mut acc, PrimitiveKind::Double, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn maxloc_tracks_index_of_winner() {
+        // pairs (value, rank-index)
+        let a: Vec<u8> = [10i32, 0, 3, 0].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let b: Vec<u8> = [7i32, 1, 9, 1].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut acc = a.clone();
+        Op::Predefined(PredefinedOp::Maxloc)
+            .apply(&b, &mut acc, PrimitiveKind::Int2, 2)
+            .unwrap();
+        assert_eq!(to_ints(&acc), vec![10, 0, 9, 1]);
+        let mut acc = a;
+        Op::Predefined(PredefinedOp::Minloc)
+            .apply(&b, &mut acc, PrimitiveKind::Int2, 2)
+            .unwrap();
+        assert_eq!(to_ints(&acc), vec![7, 1, 3, 0]);
+    }
+
+    #[test]
+    fn maxloc_on_scalar_type_is_rejected() {
+        let a = ints(&[1]);
+        let mut acc = a.clone();
+        assert!(Op::Predefined(PredefinedOp::Maxloc)
+            .apply(&a, &mut acc, PrimitiveKind::Int, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn user_op_is_invoked() {
+        let op = Op::User(Arc::new(|incoming, acc, kind, count| {
+            assert_eq!(kind, PrimitiveKind::Int);
+            for i in 0..count {
+                let a = i32::from_le_bytes(acc[i * 4..(i + 1) * 4].try_into().unwrap());
+                let b = i32::from_le_bytes(incoming[i * 4..(i + 1) * 4].try_into().unwrap());
+                acc[i * 4..(i + 1) * 4].copy_from_slice(&(a.max(b) * 2).to_le_bytes());
+            }
+            Ok(())
+        }));
+        let a = ints(&[3, 4]);
+        let b = ints(&[5, 1]);
+        let mut acc = a;
+        op.apply(&b, &mut acc, PrimitiveKind::Int, 2).unwrap();
+        assert_eq!(to_ints(&acc), vec![10, 8]);
+    }
+
+    #[test]
+    fn short_buffers_are_rejected() {
+        let a = ints(&[1, 2]);
+        let mut acc = ints(&[1]);
+        assert!(Op::Predefined(PredefinedOp::Sum)
+            .apply(&a, &mut acc, PrimitiveKind::Int, 2)
+            .is_err());
+    }
+
+    #[test]
+    fn boolean_logical_ops() {
+        let a = vec![1u8, 0, 1, 0];
+        let b = vec![1u8, 1, 0, 0];
+        let mut acc = a.clone();
+        Op::Predefined(PredefinedOp::Land)
+            .apply(&b, &mut acc, PrimitiveKind::Boolean, 4)
+            .unwrap();
+        assert_eq!(acc, vec![1, 0, 0, 0]);
+        let mut acc = a;
+        Op::Predefined(PredefinedOp::Lor)
+            .apply(&b, &mut acc, PrimitiveKind::Boolean, 4)
+            .unwrap();
+        assert_eq!(acc, vec![1, 1, 1, 0]);
+    }
+}

@@ -1,0 +1,912 @@
+//! Point-to-point messaging: envelopes, matching, the eager and rendezvous
+//! protocols, probes and send modes (MPI-1.1 §3).
+//!
+//! ## Protocol
+//!
+//! * **Eager** — standard-mode messages up to the engine's eager threshold,
+//!   plus all buffered and ready sends, travel as a single
+//!   [`FrameKind::Eager`] frame carrying the payload. The send completes
+//!   locally.
+//! * **Rendezvous** — standard-mode messages above the threshold and *all*
+//!   synchronous sends first announce themselves with a
+//!   [`FrameKind::RendezvousRequest`] (envelope only). When the receiver
+//!   has a matching receive posted it replies with a
+//!   [`FrameKind::RendezvousAck`]; the sender then ships the payload in a
+//!   [`FrameKind::RendezvousData`] frame and completes. Because the ack is
+//!   only generated once a matching receive exists, this doubles as the
+//!   synchronous-mode completion rule.
+//!
+//! ## Matching
+//!
+//! Envelopes are `(context id, source, tag)`. Each engine keeps a FIFO
+//! *posted-receive* queue and a FIFO *unexpected-message* queue; arrival
+//! scans the posted queue in order, posting scans the unexpected queue in
+//! order, which together give MPI's non-overtaking guarantee over the
+//! per-pair FIFO the transport provides. `ANY_SOURCE` / `ANY_TAG` wildcards
+//! are handled at both scan points.
+
+use bytes::Bytes;
+use mpi_transport::{Frame, FrameHeader, FrameKind};
+
+use crate::comm::CommHandle;
+use crate::error::{err, ErrorClass, MpiError, Result};
+use crate::request::{RequestId, RequestState};
+use crate::types::{SendMode, StatusInfo, ANY_SOURCE, ANY_TAG, PROC_NULL};
+use crate::Engine;
+
+/// Tag space reserved for engine-internal collective traffic. User tags
+/// must be non-negative (checked in `validate_tag`), so the negative space
+/// below `ANY_TAG` is free for the engine.
+pub(crate) const COLLECTIVE_TAG_BASE: i32 = -1000;
+
+/// A receive that has been posted but not yet matched.
+#[derive(Debug)]
+pub(crate) struct PostedRecv {
+    pub req: u64,
+    pub comm: CommHandle,
+    pub context: u32,
+    /// Source rank *within the communicator*, or `ANY_SOURCE`.
+    pub src: i32,
+    pub tag: i32,
+    pub max_len: Option<usize>,
+}
+
+/// What kind of unexpected arrival is parked in the queue.
+#[derive(Debug)]
+pub(crate) enum UnexpectedKind {
+    /// Full payload already here.
+    Eager(Bytes),
+    /// Envelope of a rendezvous; payload still held by the sender.
+    Rendezvous,
+}
+
+/// A message that arrived before a matching receive was posted.
+#[derive(Debug)]
+pub(crate) struct UnexpectedMsg {
+    pub context: u32,
+    pub src_world: u32,
+    pub tag: i32,
+    pub token: u64,
+    pub msg_len: u64,
+    pub kind: UnexpectedKind,
+}
+
+/// Payload parked on the sender side until the receiver grants the
+/// rendezvous.
+#[derive(Debug)]
+pub(crate) struct PendingRendezvous {
+    pub req: u64,
+    pub dst_world: u32,
+    pub context: u32,
+    pub tag: i32,
+    pub data: Bytes,
+}
+
+/// Book-keeping for `MPI_Buffer_attach` / `MPI_Buffer_detach`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BsendBuffer {
+    /// Total capacity in bytes the user attached.
+    pub capacity: usize,
+    /// Bytes of that capacity notionally in use by in-flight buffered sends.
+    pub in_use: usize,
+}
+
+fn validate_tag(tag: i32, allow_any: bool) -> Result<()> {
+    if tag >= 0 || (allow_any && tag == ANY_TAG) || tag <= COLLECTIVE_TAG_BASE {
+        Ok(())
+    } else {
+        err(ErrorClass::Tag, format!("invalid tag {tag}"))
+    }
+}
+
+fn envelope_matches(want_src: i32, want_tag: i32, src: i32, tag: i32) -> bool {
+    (want_src == ANY_SOURCE || want_src == src) && (want_tag == ANY_TAG || want_tag == tag)
+}
+
+impl Engine {
+    fn next_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn alloc_request(&mut self, state: RequestState) -> RequestId {
+        let id = self.next_request;
+        self.next_request += 1;
+        self.requests.insert(id, state);
+        RequestId(id)
+    }
+
+    /// Translate `dest` (communicator rank) and build a frame header.
+    fn make_header(
+        &self,
+        comm: CommHandle,
+        dest: usize,
+        tag: i32,
+        kind: FrameKind,
+        token: u64,
+        msg_len: u64,
+        collective: bool,
+    ) -> Result<FrameHeader> {
+        let record = self.comm(comm)?;
+        let context = if collective {
+            record.context_coll
+        } else {
+            record.context_p2p
+        };
+        let dst_world = record.group.world_rank(dest)?;
+        Ok(FrameHeader {
+            kind,
+            src: self.world_rank as u32,
+            dst: dst_world as u32,
+            tag,
+            context,
+            token,
+            msg_len,
+        })
+    }
+
+    // ---------------------------------------------------------------------
+    // Non-blocking sends and receives
+    // ---------------------------------------------------------------------
+
+    /// `MPI_Isend` / `Ibsend` / `Issend` / `Irsend`, selected by `mode`.
+    /// `data` is the already-packed contiguous payload.
+    pub fn isend(
+        &mut self,
+        comm: CommHandle,
+        dest: i32,
+        tag: i32,
+        data: &[u8],
+        mode: SendMode,
+    ) -> Result<RequestId> {
+        self.isend_on_context(comm, dest, tag, data, mode, false)
+    }
+
+    pub(crate) fn isend_on_context(
+        &mut self,
+        comm: CommHandle,
+        dest: i32,
+        tag: i32,
+        data: &[u8],
+        mode: SendMode,
+        collective: bool,
+    ) -> Result<RequestId> {
+        self.check_live()?;
+        validate_tag(tag, false)?;
+        if dest == PROC_NULL {
+            return Ok(self.alloc_request(RequestState::SendComplete));
+        }
+        if dest < 0 {
+            return err(ErrorClass::Rank, format!("invalid destination rank {dest}"));
+        }
+        let dest = dest as usize;
+        let size = self.comm_size(comm)?;
+        if dest >= size {
+            return err(
+                ErrorClass::Rank,
+                format!("destination rank {dest} out of range for communicator of size {size}"),
+            );
+        }
+        if matches!(mode, SendMode::Buffered) {
+            let available = self
+                .attached_buffer
+                .as_ref()
+                .map(|b| b.capacity - b.in_use)
+                .unwrap_or(0);
+            if data.len() > available {
+                return err(
+                    ErrorClass::BufferExhausted,
+                    format!(
+                        "buffered send of {} bytes exceeds attached buffer space of {} bytes",
+                        data.len(),
+                        available
+                    ),
+                );
+            }
+        }
+
+        let use_rendezvous = match mode {
+            SendMode::Synchronous => true,
+            SendMode::Buffered | SendMode::Ready => false,
+            SendMode::Standard => data.len() > self.eager_threshold,
+        };
+        self.stats.bytes_sent += data.len() as u64;
+
+        if use_rendezvous {
+            let token = self.next_token();
+            let req = self.alloc_request(RequestState::SendPendingRendezvous);
+            let RequestId(req_raw) = req;
+            let header = self.make_header(
+                comm,
+                dest,
+                tag,
+                FrameKind::RendezvousRequest,
+                token,
+                data.len() as u64,
+                collective,
+            )?;
+            self.pending_rendezvous.insert(
+                token,
+                PendingRendezvous {
+                    req: req_raw,
+                    dst_world: header.dst,
+                    context: header.context,
+                    tag,
+                    data: Bytes::copy_from_slice(data),
+                },
+            );
+            self.endpoint.send(Frame::control(header))?;
+            self.stats.rendezvous_sends += 1;
+            Ok(req)
+        } else {
+            let token = self.next_token();
+            let header = self.make_header(
+                comm,
+                dest,
+                tag,
+                FrameKind::Eager,
+                token,
+                data.len() as u64,
+                collective,
+            )?;
+            self.endpoint
+                .send(Frame::new(header, Bytes::copy_from_slice(data)))?;
+            self.stats.eager_sends += 1;
+            Ok(self.alloc_request(RequestState::SendComplete))
+        }
+    }
+
+    /// `MPI_Irecv`. `src` is a communicator rank, `ANY_SOURCE` or
+    /// `PROC_NULL`; `max_len` is the receive buffer capacity in bytes used
+    /// for truncation checking (`None` = unlimited).
+    pub fn irecv(
+        &mut self,
+        comm: CommHandle,
+        src: i32,
+        tag: i32,
+        max_len: Option<usize>,
+    ) -> Result<RequestId> {
+        self.irecv_on_context(comm, src, tag, max_len, false)
+    }
+
+    pub(crate) fn irecv_on_context(
+        &mut self,
+        comm: CommHandle,
+        src: i32,
+        tag: i32,
+        max_len: Option<usize>,
+        collective: bool,
+    ) -> Result<RequestId> {
+        self.check_live()?;
+        validate_tag(tag, true)?;
+        if src == PROC_NULL {
+            return Ok(self.alloc_request(RequestState::RecvComplete {
+                data: Vec::new(),
+                status: StatusInfo::empty(),
+                error: None,
+            }));
+        }
+        if src != ANY_SOURCE {
+            if src < 0 {
+                return err(ErrorClass::Rank, format!("invalid source rank {src}"));
+            }
+            let size = self.comm_size(comm)?;
+            if src as usize >= size {
+                return err(
+                    ErrorClass::Rank,
+                    format!("source rank {src} out of range for communicator of size {size}"),
+                );
+            }
+        }
+        let record = self.comm(comm)?;
+        let context = if collective {
+            record.context_coll
+        } else {
+            record.context_p2p
+        };
+
+        let req = self.alloc_request(RequestState::RecvPending);
+        let RequestId(req_raw) = req;
+
+        // Look for an already-arrived match, in arrival order.
+        let mut matched_idx: Option<usize> = None;
+        for (i, msg) in self.unexpected.iter().enumerate() {
+            if msg.context != context {
+                continue;
+            }
+            let Some(src_comm) = self.comm_rank_of_world(comm, msg.src_world as usize)? else {
+                continue;
+            };
+            if envelope_matches(src, tag, src_comm as i32, msg.tag) {
+                matched_idx = Some(i);
+                break;
+            }
+        }
+
+        if let Some(idx) = matched_idx {
+            let msg = self.unexpected.remove(idx).expect("index valid");
+            self.stats.unexpected_hits += 1;
+            let src_comm = self
+                .comm_rank_of_world(comm, msg.src_world as usize)?
+                .expect("matched above") as i32;
+            match msg.kind {
+                UnexpectedKind::Eager(data) => {
+                    self.complete_recv(req_raw, data, src_comm, msg.tag, max_len);
+                }
+                UnexpectedKind::Rendezvous => {
+                    // Grant the rendezvous; completion happens when the data
+                    // frame arrives.
+                    self.awaiting_rendezvous_data.insert(msg.token, req_raw);
+                    self.requests.insert(
+                        req_raw,
+                        RequestState::RecvAwaitingData {
+                            src: src_comm,
+                            tag: msg.tag,
+                            max_len,
+                        },
+                    );
+                    let ack = FrameHeader {
+                        kind: FrameKind::RendezvousAck,
+                        src: self.world_rank as u32,
+                        dst: msg.src_world,
+                        tag: msg.tag,
+                        context: msg.context,
+                        token: msg.token,
+                        msg_len: msg.msg_len,
+                    };
+                    self.endpoint.send(Frame::control(ack))?;
+                }
+            }
+            return Ok(req);
+        }
+
+        self.posted.push_back(PostedRecv {
+            req: req_raw,
+            comm,
+            context,
+            src,
+            tag,
+            max_len,
+        });
+        Ok(req)
+    }
+
+    // ---------------------------------------------------------------------
+    // Blocking convenience wrappers
+    // ---------------------------------------------------------------------
+
+    /// Blocking send (`MPI_Send` / `Bsend` / `Ssend` / `Rsend`).
+    pub fn send(
+        &mut self,
+        comm: CommHandle,
+        dest: i32,
+        tag: i32,
+        data: &[u8],
+        mode: SendMode,
+    ) -> Result<()> {
+        let req = self.isend(comm, dest, tag, data, mode)?;
+        self.wait(req)?;
+        Ok(())
+    }
+
+    /// Blocking receive (`MPI_Recv`). Returns the payload and status.
+    pub fn recv(
+        &mut self,
+        comm: CommHandle,
+        src: i32,
+        tag: i32,
+        max_len: Option<usize>,
+    ) -> Result<(Vec<u8>, StatusInfo)> {
+        let req = self.irecv(comm, src, tag, max_len)?;
+        let completion = self.wait(req)?;
+        Ok((completion.data.unwrap_or_default(), completion.status))
+    }
+
+    /// `MPI_Sendrecv`: exchange with possibly different partners without
+    /// deadlocking.
+    pub fn sendrecv(
+        &mut self,
+        comm: CommHandle,
+        dest: i32,
+        send_tag: i32,
+        send_data: &[u8],
+        src: i32,
+        recv_tag: i32,
+        max_len: Option<usize>,
+    ) -> Result<(Vec<u8>, StatusInfo)> {
+        let recv_req = self.irecv(comm, src, recv_tag, max_len)?;
+        let send_req = self.isend(comm, dest, send_tag, send_data, SendMode::Standard)?;
+        let completion = self.wait(recv_req)?;
+        self.wait(send_req)?;
+        Ok((completion.data.unwrap_or_default(), completion.status))
+    }
+
+    pub(crate) fn send_on_context(
+        &mut self,
+        comm: CommHandle,
+        dest: i32,
+        tag: i32,
+        data: &[u8],
+        collective: bool,
+    ) -> Result<()> {
+        let req = self.isend_on_context(comm, dest, tag, data, SendMode::Standard, collective)?;
+        self.wait(req)?;
+        Ok(())
+    }
+
+    pub(crate) fn recv_on_context(
+        &mut self,
+        comm: CommHandle,
+        src: i32,
+        tag: i32,
+        collective: bool,
+    ) -> Result<(Vec<u8>, StatusInfo)> {
+        let req = self.irecv_on_context(comm, src, tag, None, collective)?;
+        let completion = self.wait(req)?;
+        Ok((completion.data.unwrap_or_default(), completion.status))
+    }
+
+    // ---------------------------------------------------------------------
+    // Probe
+    // ---------------------------------------------------------------------
+
+    /// `MPI_Iprobe`: check (without receiving) whether a matching message
+    /// has arrived.
+    pub fn iprobe(&mut self, comm: CommHandle, src: i32, tag: i32) -> Result<Option<StatusInfo>> {
+        self.check_live()?;
+        // Drain anything the transport already has so the probe sees it.
+        while let Some(frame) = self.endpoint.try_recv()? {
+            self.on_frame(frame)?;
+        }
+        let context = self.comm(comm)?.context_p2p;
+        for msg in self.unexpected.iter() {
+            if msg.context != context {
+                continue;
+            }
+            let Some(src_comm) = self.comm_rank_of_world(comm, msg.src_world as usize)? else {
+                continue;
+            };
+            if envelope_matches(src, tag, src_comm as i32, msg.tag) {
+                return Ok(Some(StatusInfo {
+                    source: src_comm as i32,
+                    tag: msg.tag,
+                    count_bytes: msg.msg_len as usize,
+                    cancelled: false,
+                    index: 0,
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// `MPI_Probe`: block until a matching message is available.
+    pub fn probe(&mut self, comm: CommHandle, src: i32, tag: i32) -> Result<StatusInfo> {
+        loop {
+            if let Some(status) = self.iprobe(comm, src, tag)? {
+                return Ok(status);
+            }
+            if self.aborted {
+                return err(ErrorClass::Aborted, "job aborted while probing");
+            }
+            let frame = self.endpoint.recv()?;
+            self.on_frame(frame)?;
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Buffer attach / detach (MPI_Bsend support)
+    // ---------------------------------------------------------------------
+
+    /// `MPI_Buffer_attach`.
+    pub fn buffer_attach(&mut self, capacity: usize) -> Result<()> {
+        if self.attached_buffer.is_some() {
+            return err(ErrorClass::Buffer, "a buffer is already attached");
+        }
+        self.attached_buffer = Some(BsendBuffer {
+            capacity,
+            in_use: 0,
+        });
+        Ok(())
+    }
+
+    /// `MPI_Buffer_detach`: returns the capacity that was attached.
+    pub fn buffer_detach(&mut self) -> Result<usize> {
+        match self.attached_buffer.take() {
+            Some(b) => Ok(b.capacity),
+            None => err(ErrorClass::Buffer, "no buffer attached"),
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Progress: frame dispatch
+    // ---------------------------------------------------------------------
+
+    pub(crate) fn complete_recv(
+        &mut self,
+        req: u64,
+        data: Bytes,
+        src_comm: i32,
+        tag: i32,
+        max_len: Option<usize>,
+    ) {
+        self.stats.bytes_received += data.len() as u64;
+        let error = match max_len {
+            Some(cap) if data.len() > cap => Some(MpiError::new(
+                ErrorClass::Truncate,
+                format!("message of {} bytes truncated to buffer of {} bytes", data.len(), cap),
+            )),
+            _ => None,
+        };
+        let status = StatusInfo {
+            source: src_comm,
+            tag,
+            count_bytes: data.len().min(max_len.unwrap_or(usize::MAX)),
+            cancelled: false,
+            index: 0,
+        };
+        self.requests.insert(
+            req,
+            RequestState::RecvComplete {
+                data: data.to_vec(),
+                status,
+                error,
+            },
+        );
+    }
+
+    /// Handle one incoming frame. Called from every blocking/polling loop.
+    pub(crate) fn on_frame(&mut self, frame: Frame) -> Result<()> {
+        match frame.header.kind {
+            FrameKind::Eager => self.on_eager(frame),
+            FrameKind::RendezvousRequest => self.on_rendezvous_request(frame),
+            FrameKind::RendezvousAck => self.on_rendezvous_ack(frame),
+            FrameKind::RendezvousData => self.on_rendezvous_data(frame),
+            FrameKind::SyncAck => Ok(()),
+            FrameKind::Control => {
+                // The only control traffic today is the abort broadcast.
+                self.aborted = true;
+                Ok(())
+            }
+        }
+    }
+
+    fn find_posted(&self, context: u32, src_world: u32, tag: i32) -> Result<Option<usize>> {
+        for (i, p) in self.posted.iter().enumerate() {
+            if p.context != context {
+                continue;
+            }
+            let Some(src_comm) = self.comm_rank_of_world(p.comm, src_world as usize)? else {
+                continue;
+            };
+            if envelope_matches(p.src, p.tag, src_comm as i32, tag) {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+
+    fn on_eager(&mut self, frame: Frame) -> Result<()> {
+        let header = frame.header;
+        match self.find_posted(header.context, header.src, header.tag)? {
+            Some(idx) => {
+                let posted = self.posted.remove(idx).expect("index valid");
+                self.stats.posted_hits += 1;
+                let src_comm = self
+                    .comm_rank_of_world(posted.comm, header.src as usize)?
+                    .expect("matched above") as i32;
+                self.complete_recv(posted.req, frame.payload, src_comm, header.tag, posted.max_len);
+                Ok(())
+            }
+            None => {
+                self.unexpected.push_back(UnexpectedMsg {
+                    context: header.context,
+                    src_world: header.src,
+                    tag: header.tag,
+                    token: header.token,
+                    msg_len: header.msg_len,
+                    kind: UnexpectedKind::Eager(frame.payload),
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn on_rendezvous_request(&mut self, frame: Frame) -> Result<()> {
+        let header = frame.header;
+        match self.find_posted(header.context, header.src, header.tag)? {
+            Some(idx) => {
+                let posted = self.posted.remove(idx).expect("index valid");
+                self.stats.posted_hits += 1;
+                let src_comm = self
+                    .comm_rank_of_world(posted.comm, header.src as usize)?
+                    .expect("matched above") as i32;
+                self.awaiting_rendezvous_data.insert(header.token, posted.req);
+                self.requests.insert(
+                    posted.req,
+                    RequestState::RecvAwaitingData {
+                        src: src_comm,
+                        tag: header.tag,
+                        max_len: posted.max_len,
+                    },
+                );
+                let ack = FrameHeader {
+                    kind: FrameKind::RendezvousAck,
+                    src: self.world_rank as u32,
+                    dst: header.src,
+                    tag: header.tag,
+                    context: header.context,
+                    token: header.token,
+                    msg_len: header.msg_len,
+                };
+                self.endpoint.send(Frame::control(ack))?;
+                Ok(())
+            }
+            None => {
+                self.unexpected.push_back(UnexpectedMsg {
+                    context: header.context,
+                    src_world: header.src,
+                    tag: header.tag,
+                    token: header.token,
+                    msg_len: header.msg_len,
+                    kind: UnexpectedKind::Rendezvous,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn on_rendezvous_ack(&mut self, frame: Frame) -> Result<()> {
+        let token = frame.header.token;
+        let Some(pending) = self.pending_rendezvous.remove(&token) else {
+            return err(
+                ErrorClass::Intern,
+                format!("rendezvous ack for unknown token {token}"),
+            );
+        };
+        let data_header = FrameHeader {
+            kind: FrameKind::RendezvousData,
+            src: self.world_rank as u32,
+            dst: pending.dst_world,
+            tag: pending.tag,
+            context: pending.context,
+            token,
+            msg_len: pending.data.len() as u64,
+        };
+        self.endpoint.send(Frame::new(data_header, pending.data))?;
+        self.requests.insert(pending.req, RequestState::SendComplete);
+        Ok(())
+    }
+
+    fn on_rendezvous_data(&mut self, frame: Frame) -> Result<()> {
+        let token = frame.header.token;
+        let Some(req) = self.awaiting_rendezvous_data.remove(&token) else {
+            return err(
+                ErrorClass::Intern,
+                format!("rendezvous data for unknown token {token}"),
+            );
+        };
+        let (src, tag, max_len) = match self.requests.get(&req) {
+            Some(RequestState::RecvAwaitingData { src, tag, max_len }) => (*src, *tag, *max_len),
+            _ => {
+                return err(ErrorClass::Intern, "rendezvous data for request in wrong state");
+            }
+        };
+        self.complete_recv(req, frame.payload, src, tag, max_len);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::COMM_WORLD;
+    use crate::universe::Universe;
+    use mpi_transport::DeviceKind;
+
+    #[test]
+    fn blocking_send_recv_roundtrip() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                engine
+                    .send(COMM_WORLD, 1, 42, b"hello engine", SendMode::Standard)
+                    .unwrap();
+            } else {
+                let (data, status) = engine.recv(COMM_WORLD, 0, 42, Some(64)).unwrap();
+                assert_eq!(&data, b"hello engine");
+                assert_eq!(status.source, 0);
+                assert_eq!(status.tag, 42);
+                assert_eq!(status.count_bytes, 12);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn wildcard_source_and_tag_match() {
+        Universe::run(3, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..2 {
+                    let (data, status) =
+                        engine.recv(COMM_WORLD, ANY_SOURCE, ANY_TAG, None).unwrap();
+                    assert_eq!(data.len(), 4);
+                    seen.insert(status.source);
+                }
+                assert_eq!(seen.len(), 2);
+            } else {
+                let rank = engine.world_rank() as i32;
+                engine
+                    .send(COMM_WORLD, 0, 10 + rank, &rank.to_le_bytes(), SendMode::Standard)
+                    .unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn messages_do_not_overtake() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                for i in 0..50i32 {
+                    engine
+                        .send(COMM_WORLD, 1, 7, &i.to_le_bytes(), SendMode::Standard)
+                        .unwrap();
+                }
+            } else {
+                for i in 0..50i32 {
+                    let (data, _) = engine.recv(COMM_WORLD, 0, 7, None).unwrap();
+                    assert_eq!(i32::from_le_bytes(data[..4].try_into().unwrap()), i);
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn large_messages_use_rendezvous() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            engine.set_eager_threshold(1024);
+            let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+            if engine.world_rank() == 0 {
+                engine
+                    .send(COMM_WORLD, 1, 3, &payload, SendMode::Standard)
+                    .unwrap();
+                assert_eq!(engine.stats().rendezvous_sends, 1);
+                assert_eq!(engine.stats().eager_sends, 0);
+            } else {
+                let (data, status) = engine.recv(COMM_WORLD, 0, 3, None).unwrap();
+                assert_eq!(data.len(), payload.len());
+                assert_eq!(data, payload);
+                assert_eq!(status.count_bytes, payload.len());
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn synchronous_send_completes_after_match() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                engine
+                    .send(COMM_WORLD, 1, 5, b"ssend", SendMode::Synchronous)
+                    .unwrap();
+            } else {
+                // Delay posting the receive; the ssend must still complete.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                let (data, _) = engine.recv(COMM_WORLD, 0, 5, None).unwrap();
+                assert_eq!(&data, b"ssend");
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn buffered_send_requires_attached_buffer() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                assert!(engine
+                    .send(COMM_WORLD, 1, 1, b"no buffer", SendMode::Buffered)
+                    .is_err());
+                engine.buffer_attach(1 << 16).unwrap();
+                engine
+                    .send(COMM_WORLD, 1, 1, b"buffered", SendMode::Buffered)
+                    .unwrap();
+                assert_eq!(engine.buffer_detach().unwrap(), 1 << 16);
+                assert!(engine.buffer_detach().is_err());
+            } else {
+                let (data, _) = engine.recv(COMM_WORLD, 0, 1, None).unwrap();
+                assert_eq!(&data, b"buffered");
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn proc_null_operations_complete_immediately() {
+        Universe::run(1, DeviceKind::ShmFast, |engine| {
+            engine
+                .send(COMM_WORLD, PROC_NULL, 0, b"ignored", SendMode::Standard)
+                .unwrap();
+            let (data, status) = engine.recv(COMM_WORLD, PROC_NULL, 0, None).unwrap();
+            assert!(data.is_empty());
+            assert_eq!(status.source, PROC_NULL);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn truncation_is_reported_as_an_error() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                engine
+                    .send(COMM_WORLD, 1, 2, &[0u8; 100], SendMode::Standard)
+                    .unwrap();
+            } else {
+                let result = engine.recv(COMM_WORLD, 0, 2, Some(10));
+                match result {
+                    Err(e) => assert_eq!(e.class, ErrorClass::Truncate),
+                    Ok(_) => panic!("expected truncation error"),
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn invalid_ranks_and_tags_are_rejected() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            assert!(engine
+                .isend(COMM_WORLD, 99, 0, b"", SendMode::Standard)
+                .is_err());
+            assert!(engine
+                .isend(COMM_WORLD, 0, -5, b"", SendMode::Standard)
+                .is_err());
+            assert!(engine.irecv(COMM_WORLD, 99, 0, None).is_err());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn probe_reports_size_before_receive() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                engine
+                    .send(COMM_WORLD, 1, 77, &[1u8; 48], SendMode::Standard)
+                    .unwrap();
+            } else {
+                let status = engine.probe(COMM_WORLD, 0, 77).unwrap();
+                assert_eq!(status.count_bytes, 48);
+                assert_eq!(status.source, 0);
+                let (data, _) = engine.recv(COMM_WORLD, 0, 77, None).unwrap();
+                assert_eq!(data.len(), 48);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn iprobe_returns_none_when_nothing_matches() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 1 {
+                assert!(engine.iprobe(COMM_WORLD, 0, 5).unwrap().is_none());
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn sendrecv_exchanges_without_deadlock() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let peer = (1 - rank) as i32;
+            let payload = vec![rank as u8; 32 * 1024];
+            let (data, status) = engine
+                .sendrecv(COMM_WORLD, peer, 9, &payload, peer, 9, None)
+                .unwrap();
+            assert_eq!(status.source, peer);
+            assert!(data.iter().all(|&b| b == (1 - rank) as u8));
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,241 @@
+//! Packing and unpacking between user buffers and contiguous wire buffers
+//! (MPI-1.1 §3.13, `MPI_Pack` / `MPI_Unpack`), generalised over the derived
+//! datatype typemaps of [`crate::datatype`].
+//!
+//! The engine transfers contiguous byte payloads; this module gathers the
+//! bytes a (possibly strided / indexed) datatype selects out of a user
+//! buffer into such a payload, and scatters a payload back into a user
+//! buffer. The buffers here are raw byte slices — the binding layer is
+//! responsible for viewing typed Rust slices as bytes (its simulated JNI
+//! marshalling step).
+
+use crate::datatype::DatatypeDef;
+use crate::error::{err, ErrorClass, Result};
+
+/// Gather `count` instances of `datatype` starting at byte `offset` of
+/// `user_buf` into a fresh contiguous buffer.
+pub fn pack(
+    user_buf: &[u8],
+    offset: usize,
+    count: usize,
+    datatype: &DatatypeDef,
+) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(datatype.size() * count);
+    pack_into(user_buf, offset, count, datatype, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`pack`] but appends into an existing buffer (used by `MPI_Pack`,
+/// which lets several pack calls share one output buffer).
+pub fn pack_into(
+    user_buf: &[u8],
+    offset: usize,
+    count: usize,
+    datatype: &DatatypeDef,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    let extent = datatype.extent();
+    // Dense fast path: one straight copy.
+    if datatype.is_contiguous_dense() {
+        let total = datatype.size() * count;
+        let end = offset + total;
+        if end > user_buf.len() {
+            return err(
+                ErrorClass::Buffer,
+                format!("pack: need {} bytes, buffer has {}", end, user_buf.len()),
+            );
+        }
+        out.extend_from_slice(&user_buf[offset..end]);
+        return Ok(());
+    }
+    for i in 0..count {
+        let base = offset as isize + i as isize * extent;
+        for entry in datatype.entries() {
+            let start = base + entry.disp;
+            let len = entry.kind.size();
+            if start < 0 || (start as usize + len) > user_buf.len() {
+                return err(
+                    ErrorClass::Buffer,
+                    format!(
+                        "pack: element at byte {} (+{}) outside buffer of {} bytes",
+                        start,
+                        len,
+                        user_buf.len()
+                    ),
+                );
+            }
+            let start = start as usize;
+            out.extend_from_slice(&user_buf[start..start + len]);
+        }
+    }
+    Ok(())
+}
+
+/// Scatter a contiguous `wire` buffer into `count` instances of `datatype`
+/// starting at byte `offset` of `user_buf`. Returns the number of wire
+/// bytes consumed.
+pub fn unpack(
+    wire: &[u8],
+    user_buf: &mut [u8],
+    offset: usize,
+    count: usize,
+    datatype: &DatatypeDef,
+) -> Result<usize> {
+    let extent = datatype.extent();
+    if datatype.is_contiguous_dense() {
+        let total = (datatype.size() * count).min(wire.len());
+        let end = offset + total;
+        if end > user_buf.len() {
+            return err(
+                ErrorClass::Truncate,
+                format!("unpack: need {} bytes, buffer has {}", end, user_buf.len()),
+            );
+        }
+        user_buf[offset..end].copy_from_slice(&wire[..total]);
+        return Ok(total);
+    }
+    let mut cursor = 0usize;
+    'outer: for i in 0..count {
+        let base = offset as isize + i as isize * extent;
+        for entry in datatype.entries() {
+            let len = entry.kind.size();
+            if cursor + len > wire.len() {
+                break 'outer; // shorter message than the receive described: fine
+            }
+            let start = base + entry.disp;
+            if start < 0 || (start as usize + len) > user_buf.len() {
+                return err(
+                    ErrorClass::Truncate,
+                    format!(
+                        "unpack: element at byte {} (+{}) outside buffer of {} bytes",
+                        start,
+                        len,
+                        user_buf.len()
+                    ),
+                );
+            }
+            let start = start as usize;
+            user_buf[start..start + len].copy_from_slice(&wire[cursor..cursor + len]);
+            cursor += len;
+        }
+    }
+    Ok(cursor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DatatypeDef;
+    use crate::types::PrimitiveKind;
+
+    fn ints(values: &[i32]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn to_ints(bytes: &[u8]) -> Vec<i32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn dense_pack_is_a_straight_copy() {
+        let buf = ints(&[1, 2, 3, 4, 5]);
+        let dt = DatatypeDef::basic(PrimitiveKind::Int);
+        let packed = pack(&buf, 4, 3, &dt).unwrap();
+        assert_eq!(to_ints(&packed), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn vector_pack_selects_strided_elements() {
+        // 2 blocks of 1 int with stride 3 ints: selects elements 0 and 3
+        let dt = DatatypeDef::basic(PrimitiveKind::Int)
+            .vector(2, 1, 3)
+            .unwrap();
+        let buf = ints(&[10, 11, 12, 13, 14, 15]);
+        let packed = pack(&buf, 0, 1, &dt).unwrap();
+        assert_eq!(to_ints(&packed), vec![10, 13]);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_for_indexed_type() {
+        let dt = DatatypeDef::basic(PrimitiveKind::Int)
+            .indexed(&[2, 1, 3], &[0, 4, 7])
+            .unwrap();
+        let src = ints(&(0..12).collect::<Vec<i32>>());
+        let packed = pack(&src, 0, 1, &dt).unwrap();
+        assert_eq!(to_ints(&packed), vec![0, 1, 4, 7, 8, 9]);
+
+        let mut dst = ints(&[0; 12]);
+        let consumed = unpack(&packed, &mut dst, 0, 1, &dt).unwrap();
+        assert_eq!(consumed, packed.len());
+        let got = to_ints(&dst);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[1], 1);
+        assert_eq!(got[4], 4);
+        assert_eq!(got[7], 7);
+        assert_eq!(got[8], 8);
+        assert_eq!(got[9], 9);
+        assert_eq!(got[2], 0); // holes untouched
+    }
+
+    #[test]
+    fn unpack_of_short_message_fills_prefix_only() {
+        let dt = DatatypeDef::basic(PrimitiveKind::Int);
+        let wire = ints(&[7, 8]);
+        let mut dst = ints(&[0; 4]);
+        let consumed = unpack(&wire, &mut dst, 0, 4, &dt).unwrap();
+        assert_eq!(consumed, 8);
+        assert_eq!(to_ints(&dst), vec![7, 8, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_range_pack_is_rejected() {
+        let dt = DatatypeDef::basic(PrimitiveKind::Int);
+        let buf = ints(&[1, 2]);
+        assert!(pack(&buf, 4, 2, &dt).is_err());
+        assert!(pack(&buf, 0, 3, &dt).is_err());
+    }
+
+    #[test]
+    fn out_of_range_unpack_is_rejected() {
+        let dt = DatatypeDef::basic(PrimitiveKind::Int);
+        let wire = ints(&[1, 2, 3]);
+        let mut small = ints(&[0; 2]);
+        assert!(unpack(&wire, &mut small, 0, 3, &dt).is_err());
+    }
+
+    #[test]
+    fn pack_into_appends_multiple_segments() {
+        let dt = DatatypeDef::basic(PrimitiveKind::Int);
+        let buf = ints(&[1, 2, 3, 4]);
+        let mut out = Vec::new();
+        pack_into(&buf, 0, 2, &dt, &mut out).unwrap();
+        pack_into(&buf, 8, 2, &dt, &mut out).unwrap();
+        assert_eq!(to_ints(&out), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn struct_type_roundtrips_mixed_kinds() {
+        // { double at 0, 2 ints at 8 }
+        let dt = DatatypeDef::struct_type(
+            &[1, 2],
+            &[0, 8],
+            &[
+                DatatypeDef::basic(PrimitiveKind::Double),
+                DatatypeDef::basic(PrimitiveKind::Int),
+            ],
+        )
+        .unwrap();
+        let mut src = vec![0u8; 16];
+        src[0..8].copy_from_slice(&3.5f64.to_le_bytes());
+        src[8..12].copy_from_slice(&7i32.to_le_bytes());
+        src[12..16].copy_from_slice(&9i32.to_le_bytes());
+        let packed = pack(&src, 0, 1, &dt).unwrap();
+        assert_eq!(packed.len(), 16);
+        let mut dst = vec![0u8; 16];
+        unpack(&packed, &mut dst, 0, 1, &dt).unwrap();
+        assert_eq!(dst, src);
+    }
+}

@@ -1,0 +1,610 @@
+//! Request objects and the `Wait*` / `Test*` families (MPI-1.1 §3.7),
+//! plus persistent communication requests (§3.9).
+
+use crate::comm::CommHandle;
+use crate::error::{err, ErrorClass, MpiError, Result};
+use crate::types::{SendMode, StatusInfo};
+use crate::Engine;
+
+/// Opaque handle to an engine request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId(pub(crate) u64);
+
+/// Result of completing a request: the status, plus the received payload
+/// for receive requests (`None` for sends).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    pub status: StatusInfo,
+    pub data: Option<Vec<u8>>,
+}
+
+/// Internal request state machine.
+#[derive(Debug)]
+pub(crate) enum RequestState {
+    /// Receive posted, not yet matched.
+    RecvPending,
+    /// Receive matched a rendezvous envelope; waiting for the data frame.
+    RecvAwaitingData {
+        src: i32,
+        tag: i32,
+        max_len: Option<usize>,
+    },
+    /// Receive finished (possibly with a deferred error such as truncation).
+    RecvComplete {
+        data: Vec<u8>,
+        status: StatusInfo,
+        error: Option<MpiError>,
+    },
+    /// Send waiting for its rendezvous acknowledgement.
+    SendPendingRendezvous,
+    /// Send finished.
+    SendComplete,
+    /// Receive cancelled before it matched.
+    Cancelled,
+    /// Persistent send definition (inactive between `start`s).
+    PersistentSend {
+        comm: CommHandle,
+        dest: i32,
+        tag: i32,
+        mode: SendMode,
+        data: Vec<u8>,
+        active: Option<RequestId>,
+    },
+    /// Persistent receive definition (inactive between `start`s).
+    PersistentRecv {
+        comm: CommHandle,
+        src: i32,
+        tag: i32,
+        max_len: Option<usize>,
+        active: Option<RequestId>,
+    },
+}
+
+impl Engine {
+    fn state(&self, req: RequestId) -> Result<&RequestState> {
+        self.requests
+            .get(&req.0)
+            .ok_or_else(|| MpiError::new(ErrorClass::Request, format!("unknown request {:?}", req)))
+    }
+
+    /// True when `wait` would return without blocking.
+    pub fn is_complete(&self, req: RequestId) -> Result<bool> {
+        Ok(match self.state(req)? {
+            RequestState::RecvComplete { .. }
+            | RequestState::SendComplete
+            | RequestState::Cancelled => true,
+            RequestState::PersistentSend { active, .. }
+            | RequestState::PersistentRecv { active, .. } => match active {
+                Some(inner) => self.is_complete(*inner)?,
+                None => true, // inactive persistent requests complete immediately
+            },
+            _ => false,
+        })
+    }
+
+    /// Remove a completed request and build its [`Completion`].
+    fn take_completion(&mut self, req: RequestId) -> Result<Completion> {
+        // Persistent requests delegate to their active inner request and
+        // stay alive themselves.
+        if let Some(RequestState::PersistentSend { active, .. })
+        | Some(RequestState::PersistentRecv { active, .. }) = self.requests.get(&req.0)
+        {
+            let inner = *active;
+            return match inner {
+                Some(inner_req) => {
+                    let completion = self.take_completion(inner_req)?;
+                    self.clear_persistent_active(req);
+                    Ok(completion)
+                }
+                None => Ok(Completion {
+                    status: StatusInfo::empty(),
+                    data: None,
+                }),
+            };
+        }
+        let state = self
+            .requests
+            .remove(&req.0)
+            .ok_or_else(|| MpiError::new(ErrorClass::Request, format!("unknown request {:?}", req)))?;
+        match state {
+            RequestState::RecvComplete {
+                data,
+                status,
+                error,
+            } => {
+                if let Some(e) = error {
+                    return Err(e);
+                }
+                Ok(Completion {
+                    status,
+                    data: Some(data),
+                })
+            }
+            RequestState::SendComplete => Ok(Completion {
+                status: StatusInfo::empty(),
+                data: None,
+            }),
+            RequestState::Cancelled => {
+                let mut status = StatusInfo::empty();
+                status.cancelled = true;
+                Ok(Completion {
+                    status,
+                    data: None,
+                })
+            }
+            other => {
+                // Not complete: put it back and report the logic error.
+                self.requests.insert(req.0, other);
+                err(ErrorClass::Request, "request is not complete")
+            }
+        }
+    }
+
+    fn clear_persistent_active(&mut self, req: RequestId) {
+        if let Some(RequestState::PersistentSend { active, .. })
+        | Some(RequestState::PersistentRecv { active, .. }) = self.requests.get_mut(&req.0)
+        {
+            *active = None;
+        }
+    }
+
+    /// Drive the engine until `req` is complete (`MPI_Wait`).
+    pub fn wait(&mut self, req: RequestId) -> Result<Completion> {
+        loop {
+            if self.is_complete(req)? {
+                return self.take_completion(req);
+            }
+            if self.aborted {
+                return err(ErrorClass::Aborted, "job aborted while waiting");
+            }
+            let frame = self.endpoint.recv()?;
+            self.on_frame(frame)?;
+        }
+    }
+
+    /// `MPI_Test`: poll the transport once and return the completion if the
+    /// request finished.
+    pub fn test(&mut self, req: RequestId) -> Result<Option<Completion>> {
+        while let Some(frame) = self.endpoint.try_recv()? {
+            self.on_frame(frame)?;
+        }
+        if self.is_complete(req)? {
+            Ok(Some(self.take_completion(req)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// `MPI_Waitall`: wait for every request, returning completions in the
+    /// same order.
+    pub fn wait_all(&mut self, reqs: &[RequestId]) -> Result<Vec<Completion>> {
+        reqs.iter().map(|&r| self.wait(r)).collect()
+    }
+
+    /// `MPI_Waitany`: wait until any one of `reqs` completes; returns its
+    /// index and completion. The status's `index` field is set accordingly,
+    /// mirroring the extra field mpiJava adds to `Status`.
+    pub fn wait_any(&mut self, reqs: &[RequestId]) -> Result<(usize, Completion)> {
+        if reqs.is_empty() {
+            return err(ErrorClass::Request, "wait_any on an empty request list");
+        }
+        loop {
+            for (i, &r) in reqs.iter().enumerate() {
+                if self.is_complete(r)? {
+                    let mut completion = self.take_completion(r)?;
+                    completion.status.index = i as i32;
+                    return Ok((i, completion));
+                }
+            }
+            if self.aborted {
+                return err(ErrorClass::Aborted, "job aborted while waiting");
+            }
+            let frame = self.endpoint.recv()?;
+            self.on_frame(frame)?;
+        }
+    }
+
+    /// `MPI_Waitsome`: wait until at least one request completes, then
+    /// return every request that is complete at that point.
+    pub fn wait_some(&mut self, reqs: &[RequestId]) -> Result<Vec<(usize, Completion)>> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        loop {
+            let ready = self.collect_ready(reqs)?;
+            if !ready.is_empty() {
+                return Ok(ready);
+            }
+            if self.aborted {
+                return err(ErrorClass::Aborted, "job aborted while waiting");
+            }
+            let frame = self.endpoint.recv()?;
+            self.on_frame(frame)?;
+        }
+    }
+
+    /// `MPI_Testall`: if every request is complete, return all completions;
+    /// otherwise complete none and return `None`.
+    pub fn test_all(&mut self, reqs: &[RequestId]) -> Result<Option<Vec<Completion>>> {
+        while let Some(frame) = self.endpoint.try_recv()? {
+            self.on_frame(frame)?;
+        }
+        for &r in reqs {
+            if !self.is_complete(r)? {
+                return Ok(None);
+            }
+        }
+        Ok(Some(
+            reqs.iter()
+                .map(|&r| self.take_completion(r))
+                .collect::<Result<Vec<_>>>()?,
+        ))
+    }
+
+    /// `MPI_Testany`.
+    pub fn test_any(&mut self, reqs: &[RequestId]) -> Result<Option<(usize, Completion)>> {
+        while let Some(frame) = self.endpoint.try_recv()? {
+            self.on_frame(frame)?;
+        }
+        for (i, &r) in reqs.iter().enumerate() {
+            if self.is_complete(r)? {
+                let mut completion = self.take_completion(r)?;
+                completion.status.index = i as i32;
+                return Ok(Some((i, completion)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// `MPI_Testsome`.
+    pub fn test_some(&mut self, reqs: &[RequestId]) -> Result<Vec<(usize, Completion)>> {
+        while let Some(frame) = self.endpoint.try_recv()? {
+            self.on_frame(frame)?;
+        }
+        self.collect_ready(reqs)
+    }
+
+    fn collect_ready(&mut self, reqs: &[RequestId]) -> Result<Vec<(usize, Completion)>> {
+        let mut out = Vec::new();
+        for (i, &r) in reqs.iter().enumerate() {
+            if self.requests.contains_key(&r.0) && self.is_complete(r)? {
+                let mut completion = self.take_completion(r)?;
+                completion.status.index = i as i32;
+                out.push((i, completion));
+            }
+        }
+        Ok(out)
+    }
+
+    /// `MPI_Cancel`: only pending receives can be cancelled by this engine
+    /// (cancelling sends is allowed by the standard but rarely usable; the
+    /// engine reports it as unsupported).
+    pub fn cancel(&mut self, req: RequestId) -> Result<()> {
+        match self.requests.get(&req.0) {
+            Some(RequestState::RecvPending) => {
+                self.posted.retain(|p| p.req != req.0);
+                self.requests.insert(req.0, RequestState::Cancelled);
+                Ok(())
+            }
+            Some(RequestState::RecvComplete { .. }) | Some(RequestState::SendComplete) => Ok(()),
+            Some(RequestState::SendPendingRendezvous) => err(
+                ErrorClass::Unsupported,
+                "cancelling an in-flight send is not supported",
+            ),
+            Some(_) => err(ErrorClass::Request, "request cannot be cancelled"),
+            None => err(ErrorClass::Request, "unknown request"),
+        }
+    }
+
+    /// `MPI_Request_free`: drop a request handle. Persistent requests are
+    /// destroyed; a pending receive is cancelled first.
+    pub fn request_free(&mut self, req: RequestId) -> Result<()> {
+        match self.requests.remove(&req.0) {
+            Some(RequestState::RecvPending) => {
+                self.posted.retain(|p| p.req != req.0);
+                Ok(())
+            }
+            Some(_) => Ok(()),
+            None => err(ErrorClass::Request, "unknown request"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent requests
+    // ------------------------------------------------------------------
+
+    /// `MPI_Send_init` (and `Bsend`/`Ssend`/`Rsend` variants via `mode`).
+    pub fn send_init(
+        &mut self,
+        comm: CommHandle,
+        dest: i32,
+        tag: i32,
+        data: &[u8],
+        mode: SendMode,
+    ) -> Result<RequestId> {
+        self.check_live()?;
+        let id = self.next_request;
+        self.next_request += 1;
+        self.requests.insert(
+            id,
+            RequestState::PersistentSend {
+                comm,
+                dest,
+                tag,
+                mode,
+                data: data.to_vec(),
+                active: None,
+            },
+        );
+        Ok(RequestId(id))
+    }
+
+    /// `MPI_Recv_init`.
+    pub fn recv_init(
+        &mut self,
+        comm: CommHandle,
+        src: i32,
+        tag: i32,
+        max_len: Option<usize>,
+    ) -> Result<RequestId> {
+        self.check_live()?;
+        let id = self.next_request;
+        self.next_request += 1;
+        self.requests.insert(
+            id,
+            RequestState::PersistentRecv {
+                comm,
+                src,
+                tag,
+                max_len,
+                active: None,
+            },
+        );
+        Ok(RequestId(id))
+    }
+
+    /// Replace the payload a persistent send transmits on its next `start`.
+    /// (The C binding reuses the user buffer by address; the engine copies,
+    /// so the binding layer refreshes the copy before each start.)
+    pub fn persistent_set_data(&mut self, req: RequestId, data: &[u8]) -> Result<()> {
+        match self.requests.get_mut(&req.0) {
+            Some(RequestState::PersistentSend {
+                data: stored,
+                active: None,
+                ..
+            }) => {
+                stored.clear();
+                stored.extend_from_slice(data);
+                Ok(())
+            }
+            Some(RequestState::PersistentSend { .. }) => err(
+                ErrorClass::Request,
+                "cannot change the payload of an active persistent send",
+            ),
+            _ => err(ErrorClass::Request, "not a persistent send request"),
+        }
+    }
+
+    /// `MPI_Start`.
+    pub fn start(&mut self, req: RequestId) -> Result<()> {
+        let inner = match self.requests.get(&req.0) {
+            Some(RequestState::PersistentSend {
+                comm,
+                dest,
+                tag,
+                mode,
+                data,
+                active: None,
+            }) => {
+                let (comm, dest, tag, mode, data) = (*comm, *dest, *tag, *mode, data.clone());
+                Some((true, comm, dest, tag, mode, data, None))
+            }
+            Some(RequestState::PersistentRecv {
+                comm,
+                src,
+                tag,
+                max_len,
+                active: None,
+            }) => {
+                let (comm, src, tag, max_len) = (*comm, *src, *tag, *max_len);
+                Some((false, comm, src, tag, SendMode::Standard, Vec::new(), max_len))
+            }
+            Some(RequestState::PersistentSend { .. }) | Some(RequestState::PersistentRecv { .. }) => {
+                return err(ErrorClass::Request, "persistent request is already active")
+            }
+            _ => return err(ErrorClass::Request, "start on a non-persistent request"),
+        };
+        let (is_send, comm, peer, tag, mode, data, max_len) = inner.expect("checked above");
+        let inner_req = if is_send {
+            self.isend(comm, peer, tag, &data, mode)?
+        } else {
+            self.irecv(comm, peer, tag, max_len)?
+        };
+        match self.requests.get_mut(&req.0) {
+            Some(RequestState::PersistentSend { active, .. })
+            | Some(RequestState::PersistentRecv { active, .. }) => {
+                *active = Some(inner_req);
+                Ok(())
+            }
+            _ => err(ErrorClass::Intern, "persistent request vanished during start"),
+        }
+    }
+
+    /// `MPI_Startall`.
+    pub fn start_all(&mut self, reqs: &[RequestId]) -> Result<()> {
+        for &r in reqs {
+            self.start(r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::COMM_WORLD;
+    use crate::types::{SendMode, ANY_SOURCE};
+    use crate::universe::Universe;
+    use mpi_transport::DeviceKind;
+
+    #[test]
+    fn isend_irecv_wait_roundtrip() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                let req = engine
+                    .isend(COMM_WORLD, 1, 1, b"nonblocking", SendMode::Standard)
+                    .unwrap();
+                let completion = engine.wait(req).unwrap();
+                assert!(completion.data.is_none());
+            } else {
+                let req = engine.irecv(COMM_WORLD, 0, 1, None).unwrap();
+                let completion = engine.wait(req).unwrap();
+                assert_eq!(completion.data.unwrap(), b"nonblocking");
+                assert_eq!(completion.status.source, 0);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn test_polls_without_blocking() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 1 {
+                let req = engine.irecv(COMM_WORLD, 0, 4, None).unwrap();
+                // Nothing sent yet: test must return None.
+                assert!(engine.test(req).unwrap().is_none());
+                // Tell rank 0 to go ahead.
+                engine
+                    .send(COMM_WORLD, 0, 5, b"go", SendMode::Standard)
+                    .unwrap();
+                // Now spin on test until the message arrives.
+                loop {
+                    if let Some(c) = engine.test(req).unwrap() {
+                        assert_eq!(c.data.unwrap(), b"now");
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            } else {
+                let (d, _) = engine.recv(COMM_WORLD, 1, 5, None).unwrap();
+                assert_eq!(&d, b"go");
+                engine
+                    .send(COMM_WORLD, 1, 4, b"now", SendMode::Standard)
+                    .unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn waitall_and_waitany_over_multiple_receives() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                let reqs: Vec<RequestId> = (1..4)
+                    .map(|src| engine.irecv(COMM_WORLD, src, 9, None).unwrap())
+                    .collect();
+                let completions = engine.wait_all(&reqs).unwrap();
+                for (i, c) in completions.iter().enumerate() {
+                    assert_eq!(c.status.source, (i + 1) as i32);
+                    assert_eq!(c.data.as_ref().unwrap()[0] as usize, i + 1);
+                }
+            } else {
+                engine
+                    .send(
+                        COMM_WORLD,
+                        0,
+                        9,
+                        &[engine.world_rank() as u8],
+                        SendMode::Standard,
+                    )
+                    .unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn waitany_reports_completed_index() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                // Post two receives; only the second will ever be satisfied.
+                let never = engine.irecv(COMM_WORLD, 1, 100, None).unwrap();
+                let will = engine.irecv(COMM_WORLD, 1, 200, None).unwrap();
+                let (idx, completion) = engine.wait_any(&[never, will]).unwrap();
+                assert_eq!(idx, 1);
+                assert_eq!(completion.status.index, 1);
+                assert_eq!(completion.data.unwrap(), b"second");
+                engine.cancel(never).unwrap();
+                let c = engine.wait(never).unwrap();
+                assert!(c.status.cancelled);
+            } else {
+                engine
+                    .send(COMM_WORLD, 0, 200, b"second", SendMode::Standard)
+                    .unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn persistent_requests_can_be_restarted() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            const ROUNDS: usize = 5;
+            if engine.world_rank() == 0 {
+                let sreq = engine
+                    .send_init(COMM_WORLD, 1, 11, b"round-0", SendMode::Standard)
+                    .unwrap();
+                for round in 0..ROUNDS {
+                    engine
+                        .persistent_set_data(sreq, format!("round-{round}").as_bytes())
+                        .unwrap();
+                    engine.start(sreq).unwrap();
+                    engine.wait(sreq).unwrap();
+                }
+                engine.request_free(sreq).unwrap();
+            } else {
+                let rreq = engine.recv_init(COMM_WORLD, 0, 11, None).unwrap();
+                for round in 0..ROUNDS {
+                    engine.start(rreq).unwrap();
+                    let c = engine.wait(rreq).unwrap();
+                    assert_eq!(c.data.unwrap(), format!("round-{round}").as_bytes());
+                }
+                engine.request_free(rreq).unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn starting_an_active_persistent_request_fails() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                let req = engine.recv_init(COMM_WORLD, ANY_SOURCE, 3, None).unwrap();
+                engine.start(req).unwrap();
+                assert!(engine.start(req).is_err());
+                engine
+                    .send(COMM_WORLD, 1, 1, b"wake", SendMode::Standard)
+                    .unwrap();
+                engine.wait(req).unwrap();
+            } else {
+                let (_d, _) = engine.recv(COMM_WORLD, 0, 1, None).unwrap();
+                engine
+                    .send(COMM_WORLD, 0, 3, b"data", SendMode::Standard)
+                    .unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_requests_are_rejected() {
+        Universe::run(1, DeviceKind::ShmFast, |engine| {
+            let bogus = RequestId(999_999);
+            assert!(engine.is_complete(bogus).is_err());
+            assert!(engine.wait(bogus).is_err());
+            assert!(engine.cancel(bogus).is_err());
+            assert!(engine.request_free(bogus).is_err());
+        })
+        .unwrap();
+    }
+}

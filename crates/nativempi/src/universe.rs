@@ -1,0 +1,224 @@
+//! The job launcher: plays the role of `mpirun` for the engine.
+//!
+//! A [`Universe`] builds a transport fabric, creates one [`Engine`] per
+//! rank and runs the user's SPMD closure on one thread per rank — the
+//! "multiple processes on a single machine" shape the paper uses for its
+//! Shared-Memory mode, and (with the TCP device plus a network model) a
+//! faithful stand-in for its two-workstation Distributed-Memory mode.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mpi_transport::{DeviceKind, DeviceProfile, Fabric, FabricConfig, NetworkModel};
+
+use crate::comm::COMM_WORLD;
+use crate::error::{ErrorClass, MpiError, Result};
+use crate::Engine;
+
+/// Everything needed to launch a job.
+#[derive(Debug, Clone)]
+pub struct UniverseConfig {
+    /// Number of ranks.
+    pub size: usize,
+    /// Transport device (see [`DeviceKind`]).
+    pub device: DeviceKind,
+    /// Link model (DM-mode experiments attach the 10BaseT model here).
+    pub network: NetworkModel,
+    /// Synthetic device cost profile (calibration of the two "native MPI"
+    /// implementations; defaults to no synthetic cost).
+    pub profile: DeviceProfile,
+    /// Eager/rendezvous threshold override (`None` keeps the engine default).
+    pub eager_threshold: Option<usize>,
+    /// Processor-name prefix; rank `i` is named `<prefix><i>`.
+    pub processor_name_prefix: Option<String>,
+}
+
+impl UniverseConfig {
+    /// A plain configuration over the given device.
+    pub fn new(size: usize, device: DeviceKind) -> UniverseConfig {
+        UniverseConfig {
+            size,
+            device,
+            network: NetworkModel::unshaped(),
+            profile: DeviceProfile::default(),
+            eager_threshold: None,
+            processor_name_prefix: None,
+        }
+    }
+
+    /// Attach a network model (DM-mode experiments).
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Attach a synthetic device cost profile.
+    pub fn with_profile(mut self, profile: DeviceProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Override the eager threshold on every rank.
+    pub fn with_eager_threshold(mut self, bytes: usize) -> Self {
+        self.eager_threshold = Some(bytes);
+        self
+    }
+}
+
+/// Launcher for SPMD jobs over the engine. See the module documentation.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` once per rank (`size` ranks over `device`), each on its own
+    /// thread with its own engine, and return the per-rank results in rank
+    /// order. A panic on any rank aborts the job and is reported as an
+    /// error.
+    pub fn run<T, F>(size: usize, device: DeviceKind, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut Engine) -> T + Send + Sync,
+    {
+        Self::run_with_config(UniverseConfig::new(size, device), f)
+    }
+
+    /// [`Universe::run`] with full control over the fabric configuration.
+    pub fn run_with_config<T, F>(config: UniverseConfig, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut Engine) -> T + Send + Sync,
+    {
+        if config.size == 0 {
+            return Err(MpiError::new(ErrorClass::Arg, "universe size must be at least 1"));
+        }
+        let fabric_config = FabricConfig::new(config.size, config.device)
+            .with_network(config.network)
+            .with_profile(config.profile);
+        let endpoints = Fabric::build(fabric_config)?.into_endpoints();
+        let f = &f;
+        let config = &config;
+
+        let results = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(config.size);
+            for endpoint in endpoints {
+                handles.push(scope.spawn(move || {
+                    let mut engine = Engine::new(endpoint);
+                    if let Some(threshold) = config.eager_threshold {
+                        engine.set_eager_threshold(threshold);
+                    }
+                    if let Some(prefix) = &config.processor_name_prefix {
+                        let name = format!("{prefix}{}", engine.world_rank());
+                        engine.set_processor_name(name);
+                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut engine)));
+                    match outcome {
+                        Ok(value) => Ok(value),
+                        Err(panic) => {
+                            // Poison the other ranks so they do not hang in
+                            // blocking receives waiting for us.
+                            let _ = engine.abort(COMM_WORLD, 1);
+                            let msg = panic
+                                .downcast_ref::<String>()
+                                .cloned()
+                                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                                .unwrap_or_else(|| "rank panicked".to_string());
+                            Err(MpiError::new(
+                                ErrorClass::Aborted,
+                                format!("rank {} panicked: {msg}", engine.world_rank()),
+                            ))
+                        }
+                    }
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    Err(_) => Err(MpiError::new(ErrorClass::Intern, "rank thread crashed")),
+                })
+                .collect::<Vec<_>>()
+        });
+
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SendMode;
+
+    #[test]
+    fn run_returns_per_rank_results_in_order() {
+        let results = Universe::run(4, DeviceKind::ShmFast, |engine| engine.world_rank() * 10)
+            .unwrap();
+        assert_eq!(results, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn zero_ranks_is_rejected() {
+        assert!(Universe::run(0, DeviceKind::ShmFast, |_| ()).is_err());
+    }
+
+    #[test]
+    fn config_applies_eager_threshold_and_names() {
+        let config = UniverseConfig::new(2, DeviceKind::ShmFast).with_eager_threshold(64);
+        let config = UniverseConfig {
+            processor_name_prefix: Some("node".to_string()),
+            ..config
+        };
+        Universe::run_with_config(config, |engine| {
+            assert_eq!(engine.eager_threshold(), 64);
+            assert!(engine.processor_name().starts_with("node"));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn panic_on_one_rank_is_reported_not_hung() {
+        let result = Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                panic!("deliberate test panic");
+            } else {
+                // This receive can never be satisfied; it must be unblocked
+                // by the abort triggered by rank 0's panic.
+                let _ = engine.recv(crate::comm::COMM_WORLD, 0, 99, None);
+            }
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn works_over_the_p4_device_too() {
+        Universe::run(2, DeviceKind::ShmP4, |engine| {
+            if engine.world_rank() == 0 {
+                engine
+                    .send(crate::comm::COMM_WORLD, 1, 1, b"p4", SendMode::Standard)
+                    .unwrap();
+            } else {
+                let (d, _) = engine.recv(crate::comm::COMM_WORLD, 0, 1, None).unwrap();
+                assert_eq!(&d, b"p4");
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn works_over_the_tcp_device() {
+        Universe::run(2, DeviceKind::Tcp, |engine| {
+            let rank = engine.world_rank();
+            let peer = (1 - rank) as i32;
+            let (data, _) = engine
+                .sendrecv(
+                    crate::comm::COMM_WORLD,
+                    peer,
+                    3,
+                    &[rank as u8; 16],
+                    peer,
+                    3,
+                    None,
+                )
+                .unwrap();
+            assert!(data.iter().all(|&b| b == (1 - rank) as u8));
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,296 @@
+//! A blocking, bounded, multi-producer inbox with optional delayed delivery.
+//!
+//! Each rank of the in-process devices owns one `Mailbox`; every other rank
+//! pushes frames into it. Delivery order is the push order, which together
+//! with the per-sender FIFO of the callers gives the per-pair ordering the
+//! MPI engine relies on. A frame may carry a *due* instant (set by the
+//! [`crate::NetworkModel`]); it is then not handed to the receiver before
+//! that instant, which is how the DM-mode link is simulated without
+//! blocking senders.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{Result, TransportError};
+use crate::frame::Frame;
+
+struct Slot {
+    frame: Frame,
+    due: Option<Instant>,
+}
+
+struct Inner {
+    queue: VecDeque<Slot>,
+    closed: bool,
+}
+
+/// Blocking bounded inbox. See the module documentation.
+pub struct Mailbox {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl Mailbox {
+    /// Create a mailbox holding at most `capacity` frames.
+    pub fn new(capacity: usize) -> Mailbox {
+        Mailbox {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of frames currently queued (including not-yet-due ones).
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True when no frames are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push a frame, blocking while the mailbox is full.
+    pub fn push(&self, frame: Frame, due: Option<Instant>) -> Result<()> {
+        let mut inner = self.inner.lock();
+        while inner.queue.len() >= self.capacity {
+            if inner.closed {
+                return Err(TransportError::Disconnected);
+            }
+            self.not_full.wait(&mut inner);
+        }
+        if inner.closed {
+            return Err(TransportError::Disconnected);
+        }
+        inner.queue.push_back(Slot { frame, due });
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pop the frame at the head of the queue, blocking until one is
+    /// available *and* its due time (if any) has passed.
+    pub fn pop(&self) -> Result<Frame> {
+        loop {
+            match self.pop_deadline(None)? {
+                Some(frame) => return Ok(frame),
+                None => continue,
+            }
+        }
+    }
+
+    /// Pop with a timeout. Returns `Ok(None)` when the timeout expires.
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<Frame>> {
+        self.pop_deadline(Some(Instant::now() + timeout))
+    }
+
+    /// Non-blocking pop. Returns `Ok(None)` when no frame is ready
+    /// (either the queue is empty or the head frame is not yet due).
+    pub fn try_pop(&self) -> Result<Option<Frame>> {
+        let mut inner = self.inner.lock();
+        if let Some(slot) = inner.queue.front() {
+            if let Some(due) = slot.due {
+                if Instant::now() < due {
+                    return Ok(None);
+                }
+            }
+            let slot = inner.queue.pop_front().expect("front checked above");
+            drop(inner);
+            self.not_full.notify_one();
+            return Ok(Some(slot.frame));
+        }
+        if inner.closed {
+            return Err(TransportError::Disconnected);
+        }
+        Ok(None)
+    }
+
+    fn pop_deadline(&self, deadline: Option<Instant>) -> Result<Option<Frame>> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(slot) = inner.queue.front() {
+                let now = Instant::now();
+                match slot.due {
+                    Some(due) if now < due => {
+                        // Head frame exists but is still "on the wire".
+                        let wait_until = match deadline {
+                            Some(d) => d.min(due),
+                            None => due,
+                        };
+                        let timed_out = self
+                            .not_empty
+                            .wait_until(&mut inner, wait_until)
+                            .timed_out();
+                        if timed_out {
+                            if let Some(d) = deadline {
+                                if Instant::now() >= d {
+                                    // check once more whether the head became due
+                                    if let Some(s) = inner.queue.front() {
+                                        if s.due.map(|due| Instant::now() >= due).unwrap_or(true) {
+                                            let slot =
+                                                inner.queue.pop_front().expect("front exists");
+                                            drop(inner);
+                                            self.not_full.notify_one();
+                                            return Ok(Some(slot.frame));
+                                        }
+                                    }
+                                    return Ok(None);
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    _ => {
+                        let slot = inner.queue.pop_front().expect("front exists");
+                        drop(inner);
+                        self.not_full.notify_one();
+                        return Ok(Some(slot.frame));
+                    }
+                }
+            }
+            if inner.closed {
+                return Err(TransportError::Disconnected);
+            }
+            match deadline {
+                Some(d) => {
+                    if Instant::now() >= d {
+                        return Ok(None);
+                    }
+                    if self.not_empty.wait_until(&mut inner, d).timed_out()
+                        && inner.queue.is_empty()
+                    {
+                        return Ok(None);
+                    }
+                }
+                None => {
+                    self.not_empty.wait(&mut inner);
+                }
+            }
+        }
+    }
+
+    /// Mark the mailbox closed: pending pops return `Disconnected` once the
+    /// queue drains; new pushes fail immediately.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{FrameHeader, FrameKind};
+    use bytes::Bytes;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn frame(tag: i32, payload: &[u8]) -> Frame {
+        Frame::new(
+            FrameHeader {
+                kind: FrameKind::Eager,
+                src: 0,
+                dst: 1,
+                tag,
+                context: 0,
+                token: 0,
+                msg_len: payload.len() as u64,
+            },
+            Bytes::copy_from_slice(payload),
+        )
+    }
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let mb = Mailbox::new(16);
+        for i in 0..5 {
+            mb.push(frame(i, &[i as u8]), None).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(mb.pop().unwrap().header.tag, i);
+        }
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn try_pop_on_empty_returns_none() {
+        let mb = Mailbox::new(4);
+        assert!(mb.try_pop().unwrap().is_none());
+    }
+
+    #[test]
+    fn pop_timeout_expires() {
+        let mb = Mailbox::new(4);
+        let start = Instant::now();
+        let got = mb.pop_timeout(Duration::from_millis(30)).unwrap();
+        assert!(got.is_none());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn delayed_frames_are_not_released_early() {
+        let mb = Mailbox::new(4);
+        let due = Instant::now() + Duration::from_millis(50);
+        mb.push(frame(1, b"x"), Some(due)).unwrap();
+        assert!(mb.try_pop().unwrap().is_none(), "frame released before due");
+        let start = Instant::now();
+        let got = mb.pop().unwrap();
+        assert_eq!(got.header.tag, 1);
+        assert!(start.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_from_other_thread() {
+        let mb = Arc::new(Mailbox::new(4));
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.pop().unwrap().header.tag);
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(frame(7, b"hello"), None).unwrap();
+        assert_eq!(handle.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn close_unblocks_waiters_with_disconnected() {
+        let mb = Arc::new(Mailbox::new(4));
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        mb.close();
+        assert!(matches!(
+            handle.join().unwrap(),
+            Err(TransportError::Disconnected)
+        ));
+        assert!(matches!(
+            mb.push(frame(0, b""), None),
+            Err(TransportError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn bounded_capacity_blocks_until_drained() {
+        let mb = Arc::new(Mailbox::new(2));
+        mb.push(frame(0, b"a"), None).unwrap();
+        mb.push(frame(1, b"b"), None).unwrap();
+        let mb2 = Arc::clone(&mb);
+        let pusher = std::thread::spawn(move || {
+            mb2.push(frame(2, b"c"), None).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(mb.len(), 2, "third push should still be blocked");
+        assert_eq!(mb.pop().unwrap().header.tag, 0);
+        pusher.join().unwrap();
+        assert_eq!(mb.pop().unwrap().header.tag, 1);
+        assert_eq!(mb.pop().unwrap().header.tag, 2);
+    }
+}

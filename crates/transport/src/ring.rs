@@ -1,0 +1,242 @@
+//! A lock-free single-producer / single-consumer ring buffer.
+//!
+//! This is the "fast path" building block the shared-memory device can use
+//! for the two-rank ping-pong pattern the paper benchmarks: exactly one
+//! producer (the sending rank) and one consumer (the receiving rank) per
+//! direction, so a wait-free ring with acquire/release ordering suffices.
+//! The default [`crate::shm::ShmDevice`] uses the blocking
+//! [`crate::mailbox::Mailbox`] because MPI allows many-to-one traffic; the
+//! benchmark crate's `ablation_ring` experiment measures what the mutex
+//! costs relative to this ring.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Error returned by [`SpscSender::try_push`] when the ring is full.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RingFull<T>(pub T);
+
+/// Error returned by [`SpscReceiver::try_pop`] when the ring is empty.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RingEmpty;
+
+struct RingInner<T> {
+    buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    head: AtomicUsize, // next slot to pop (owned by consumer)
+    tail: AtomicUsize, // next slot to push (owned by producer)
+}
+
+// SAFETY: the ring is only ever accessed by one producer and one consumer;
+// slots are published with release stores of `tail` and consumed after
+// acquire loads, so the value written is visible before the index moves.
+unsafe impl<T: Send> Send for RingInner<T> {}
+unsafe impl<T: Send> Sync for RingInner<T> {}
+
+/// Producer half of the ring.
+pub struct SpscSender<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+/// Consumer half of the ring.
+pub struct SpscReceiver<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+/// Create a ring with capacity rounded up to the next power of two
+/// (minimum 2).
+pub fn spsc_ring<T>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let buffer: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let inner = Arc::new(RingInner {
+        buffer,
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        SpscSender {
+            inner: Arc::clone(&inner),
+        },
+        SpscReceiver { inner },
+    )
+}
+
+impl<T> SpscSender<T> {
+    /// Push a value; returns it back inside [`RingFull`] when no slot is free.
+    pub fn try_push(&self, value: T) -> Result<(), RingFull<T>> {
+        let inner = &self.inner;
+        let tail = inner.tail.load(Ordering::Relaxed);
+        let head = inner.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > inner.mask {
+            return Err(RingFull(value));
+        }
+        let slot = &inner.buffer[tail & inner.mask];
+        // SAFETY: this slot is empty (tail - head <= mask) and only the
+        // single producer writes to it.
+        unsafe { (*slot.get()).write(value) };
+        inner.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Spin until the value can be pushed.
+    pub fn push(&self, mut value: T) {
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return,
+                Err(RingFull(v)) => {
+                    value = v;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// True when the ring holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> SpscReceiver<T> {
+    /// Pop the oldest value, or [`RingEmpty`] when nothing is queued.
+    pub fn try_pop(&self) -> Result<T, RingEmpty> {
+        let inner = &self.inner;
+        let head = inner.head.load(Ordering::Relaxed);
+        let tail = inner.tail.load(Ordering::Acquire);
+        if head == tail {
+            return Err(RingEmpty);
+        }
+        let slot = &inner.buffer[head & inner.mask];
+        // SAFETY: head != tail means the producer published this slot with a
+        // release store; only the single consumer reads it.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        inner.head.store(head.wrapping_add(1), Ordering::Release);
+        Ok(value)
+    }
+
+    /// Spin until a value is available.
+    pub fn pop(&self) -> T {
+        loop {
+            match self.try_pop() {
+                Ok(v) => return v,
+                Err(RingEmpty) => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        let head = self.inner.head.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// True when the ring holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for RingInner<T> {
+    fn drop(&mut self) {
+        // Drop any values still sitting in the ring.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        let mut i = head;
+        while i != tail {
+            let slot = &self.buffer[i & self.mask];
+            // SAFETY: slots in [head, tail) were written and never consumed.
+            unsafe { (*slot.get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (tx, rx) = spsc_ring::<u32>(8);
+        for i in 0..8 {
+            tx.try_push(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(rx.try_pop().unwrap(), i);
+        }
+        assert_eq!(rx.try_pop(), Err(RingEmpty));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let (tx, rx) = spsc_ring::<u8>(4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(tx.try_push(99), Err(RingFull(99)));
+        assert_eq!(rx.try_pop().unwrap(), 0);
+        tx.try_push(99).unwrap();
+        assert_eq!(tx.len(), 4);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = spsc_ring::<u8>(5);
+        for i in 0..8 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(tx.try_push(8).is_err());
+    }
+
+    #[test]
+    fn values_still_queued_are_dropped() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (tx, rx) = spsc_ring::<Counted>(4);
+            assert!(tx.try_push(Counted).is_ok());
+            assert!(tx.try_push(Counted).is_ok());
+            drop(rx.try_pop().ok().unwrap());
+            // one value remains queued when the ring is dropped
+            drop(tx);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn cross_thread_stream_is_lossless_and_ordered() {
+        const N: u64 = 100_000;
+        let (tx, rx) = spsc_ring::<u64>(1024);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.push(i);
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            let v = rx.pop();
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,39 @@
+//! The paper's Figure 3 — the minimal mpiJava program — translated to the
+//! Rust binding. Two ranks; rank 0 sends "Hello, there" as an array of
+//! Java-style chars, rank 1 receives and prints it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mpijava::{Datatype, MpiRuntime, MpiResult, MPI};
+
+fn hello(mpi: &MPI) -> MpiResult<()> {
+    let world = mpi.comm_world();
+    let myrank = world.rank()?;
+
+    if myrank == 0 {
+        // char [] message = "Hello, there".toCharArray();
+        let message: Vec<u16> = "Hello, there".encode_utf16().collect();
+        // MPI.COMM_WORLD.Send(message, 0, message.length, MPI.CHAR, 1, 99);
+        world.send(&message, 0, message.len(), &Datatype::char(), 1, 99)?;
+        println!("rank 0: sent {} chars", message.len());
+    } else if myrank == 1 {
+        // char [] message = new char[20];
+        let mut message = vec![0u16; 20];
+        // MPI.COMM_WORLD.Recv(message, 0, 20, MPI.CHAR, 0, 99);
+        let status = world.recv(&mut message, 0, 20, &Datatype::char(), 0, 99)?;
+        let received = status.get_count(&Datatype::char()).unwrap_or(0);
+        println!(
+            "received:{}:",
+            String::from_utf16_lossy(&message[..received])
+        );
+    }
+
+    mpi.finalize()
+}
+
+fn main() {
+    // MPI.Init(args) + mpirun -np 2: the runtime starts both ranks.
+    MpiRuntime::new(2).run(hello).expect("hello world job");
+}

@@ -1,0 +1,53 @@
+//! Workspace-level support crate for the mpijava-rs reproduction.
+//!
+//! The real deliverables live in `crates/`; this root package exists to
+//! host the runnable examples (`examples/`) and the cross-crate
+//! integration test suite (`tests/`), which mirrors the IBM MPI test suite
+//! the paper translated to mpiJava (§3.4). The helpers here are shared by
+//! those tests.
+
+use mpijava::{DeviceKind, MpiRuntime};
+
+/// The two fabric configurations the functionality tests run under,
+/// mirroring the paper's Shared-Memory and Distributed-Memory modes
+/// (§3.4 runs the whole suite in both).
+pub fn test_runtimes(size: usize) -> Vec<(&'static str, MpiRuntime)> {
+    vec![
+        ("SM/shm-fast", MpiRuntime::new(size)),
+        ("SM/shm-p4", MpiRuntime::new(size).device(DeviceKind::ShmP4)),
+        (
+            "DM/tcp",
+            MpiRuntime::new(size).device(DeviceKind::Tcp),
+        ),
+    ]
+}
+
+/// Convenience: assert two `f64` slices are element-wise close.
+pub fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= tol,
+            "element {i} differs: {x} vs {y} (tol {tol})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtimes_cover_both_modes() {
+        let runtimes = test_runtimes(2);
+        assert_eq!(runtimes.len(), 3);
+        assert!(runtimes.iter().any(|(name, _)| name.starts_with("SM")));
+        assert!(runtimes.iter().any(|(name, _)| name.starts_with("DM")));
+    }
+
+    #[test]
+    #[should_panic(expected = "element 1 differs")]
+    fn assert_close_catches_differences() {
+        assert_close(&[1.0, 2.0], &[1.0, 2.5], 0.1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Functionality tests, collective-operations category (paper §3.4).
+
+use mpijava::{Datatype, MpiRuntime, Op, PrimitiveKind};
+use mpijava_suite::{assert_close, test_runtimes};
+
+#[test]
+fn barrier_bcast_under_all_devices() {
+    for (label, runtime) in test_runtimes(3) {
+        runtime
+            .run(|mpi| {
+                let world = mpi.comm_world();
+                world.barrier()?;
+                let mut buf = vec![0f64; 16];
+                if world.rank()? == 1 {
+                    buf.iter_mut().enumerate().for_each(|(i, v)| *v = i as f64);
+                }
+                world.bcast(&mut buf, 0, 16, &Datatype::double(), 1)?;
+                assert_close(&buf, &(0..16).map(|i| i as f64).collect::<Vec<_>>(), 0.0);
+                world.barrier()?;
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn gather_and_scatter_round_trip() {
+    MpiRuntime::new(4)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+            let size = world.size()?;
+            // Gather 3 ints from every rank at root 2.
+            let send = [rank as i32, rank as i32 * 10, rank as i32 * 100];
+            let mut gathered = vec![-1i32; 3 * size];
+            world.gather(&send, 0, 3, &Datatype::int(), &mut gathered, 0, 3, &Datatype::int(), 2)?;
+            if rank == 2 {
+                for r in 0..size {
+                    assert_eq!(
+                        &gathered[r * 3..r * 3 + 3],
+                        &[r as i32, r as i32 * 10, r as i32 * 100]
+                    );
+                }
+            } else {
+                assert!(gathered.iter().all(|&v| v == -1));
+            }
+
+            // Scatter the gathered buffer back out from root 2.
+            let mut mine = [0i32; 3];
+            world.scatter(&gathered, 0, 3, &Datatype::int(), &mut mine, 0, 3, &Datatype::int(), 2)?;
+            if rank == 2 {
+                assert_eq!(mine, send);
+            }
+            // Every rank receives its own original contribution.
+            if rank == 2 {
+                assert_eq!(mine, [2, 20, 200]);
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn gatherv_and_scatterv_with_uneven_counts() {
+    MpiRuntime::new(3)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+            // Rank r contributes r+1 doubles.
+            let send: Vec<f64> = (0..rank + 1).map(|i| (rank * 10 + i) as f64).collect();
+            let counts = [1usize, 2, 3];
+            let displs = [0usize, 1, 3];
+            let mut gathered = vec![0f64; 6];
+            world.gatherv(
+                &send, 0, rank + 1, &Datatype::double(),
+                &mut gathered, 0, &counts, &displs, &Datatype::double(), 0,
+            )?;
+            if rank == 0 {
+                assert_close(&gathered, &[0.0, 10.0, 11.0, 20.0, 21.0, 22.0], 0.0);
+            }
+
+            // Scatter it back out unevenly from rank 0.
+            let mut back = vec![0f64; rank + 1];
+            world.scatterv(
+                &gathered, 0, &counts, &displs, &Datatype::double(),
+                &mut back, 0, rank + 1, &Datatype::double(), 0,
+            )?;
+            if rank > 0 {
+                // Non-roots received whatever rank 0 had in `gathered`
+                // (zeros unless rank 0, which holds the real data).
+                assert_eq!(back.len(), rank + 1);
+            } else {
+                assert_close(&back, &[0.0], 0.0);
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn allgather_and_alltoall() {
+    MpiRuntime::new(4)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()? as i32;
+            let size = world.size()?;
+
+            let mut everyone = vec![0i32; size];
+            world.allgather(&[rank], 0, 1, &Datatype::int(), &mut everyone, 0, 1, &Datatype::int())?;
+            assert_eq!(everyone, vec![0, 1, 2, 3]);
+
+            // alltoall: element sent to rank d is rank*10 + d.
+            let send: Vec<i32> = (0..size as i32).map(|d| rank * 10 + d).collect();
+            let mut recv = vec![0i32; size];
+            world.alltoall(&send, 0, 1, &Datatype::int(), &mut recv, 0, 1, &Datatype::int())?;
+            for (src, &v) in recv.iter().enumerate() {
+                assert_eq!(v, src as i32 * 10 + rank);
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn reduce_allreduce_scan_with_predefined_ops() {
+    for (label, runtime) in test_runtimes(4) {
+        runtime
+            .run(|mpi| {
+                let world = mpi.comm_world();
+                let rank = world.rank()? as i32;
+                let size = world.size()? as i32;
+
+                let send = [rank + 1, -(rank + 1)];
+                let mut recv = [0i32; 2];
+                world.reduce(&send, 0, &mut recv, 0, 2, &Datatype::int(), &Op::sum(), 0)?;
+                if rank == 0 {
+                    let total: i32 = (1..=size).sum();
+                    assert_eq!(recv, [total, -total]);
+                }
+
+                let mut max = [0i32; 2];
+                world.allreduce(&send, 0, &mut max, 0, 2, &Datatype::int(), &Op::max())?;
+                assert_eq!(max, [size, -1]);
+
+                let mut prefix = [0i32; 2];
+                world.scan(&send, 0, &mut prefix, 0, 2, &Datatype::int(), &Op::sum())?;
+                let expect: i32 = (1..=rank + 1).sum();
+                assert_eq!(prefix, [expect, -expect]);
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn reduce_scatter_distributes_reduced_segments() {
+    MpiRuntime::new(3)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+            let counts = [2usize, 1, 3];
+            let send: Vec<f64> = (0..6).map(|i| (rank * 6 + i) as f64).collect();
+            let mut recv = vec![0f64; counts[rank]];
+            world.reduce_scatter(&send, 0, &mut recv, 0, &counts, &Datatype::double(), &Op::sum())?;
+            // Element j of the reduced vector is sum over ranks of (rank*6 + j) = 18 + 3j.
+            let offset: usize = counts[..rank].iter().sum();
+            for (k, &v) in recv.iter().enumerate() {
+                let j = offset + k;
+                assert_eq!(v, 18.0 + 3.0 * j as f64);
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn maxloc_finds_owning_rank() {
+    MpiRuntime::new(4)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()? as i32;
+            // (value, index) pairs: value peaks at rank 2.
+            let value = if rank == 2 { 1000 } else { rank };
+            let send = [value, rank];
+            let mut recv = [0i32; 2];
+            world.allreduce(&send, 0, &mut recv, 0, 1, &Datatype::int2(), &Op::maxloc())?;
+            assert_eq!(recv, [1000, 2]);
+
+            let mut min = [0i32; 2];
+            world.allreduce(&send, 0, &mut min, 0, 1, &Datatype::int2(), &Op::minloc())?;
+            assert_eq!(min, [0, 0]);
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn user_defined_operation_applies_in_rank_order() {
+    MpiRuntime::new(3)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()? as i32;
+            let op = Op::user(
+                |incoming, acc, kind, count| {
+                    assert_eq!(kind, PrimitiveKind::Int);
+                    for i in 0..count {
+                        let a = i32::from_le_bytes(acc[i * 4..(i + 1) * 4].try_into().unwrap());
+                        let b =
+                            i32::from_le_bytes(incoming[i * 4..(i + 1) * 4].try_into().unwrap());
+                        acc[i * 4..(i + 1) * 4].copy_from_slice(&(a * 10 + b).to_le_bytes());
+                    }
+                    Ok(())
+                },
+                false,
+            );
+            let mut out = [0i32; 1];
+            world.allreduce(&[rank + 1], 0, &mut out, 0, 1, &Datatype::int(), &op)?;
+            assert_eq!(out, [123]);
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn collectives_on_derived_datatypes() {
+    MpiRuntime::new(2)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+            // Broadcast a strided vector: 3 blocks of 1 double, stride 2.
+            let stride_type = Datatype::vector(3, 1, 2, &Datatype::double()).unwrap();
+            let mut buf = if rank == 0 {
+                vec![1.0, -1.0, 2.0, -1.0, 3.0, -1.0]
+            } else {
+                vec![0.0; 6]
+            };
+            world.bcast(&mut buf, 0, 1, &stride_type, 0)?;
+            assert_eq!(buf[0], 1.0);
+            assert_eq!(buf[2], 2.0);
+            assert_eq!(buf[4], 3.0);
+            if rank == 1 {
+                // Holes are untouched on the receiver.
+                assert_eq!(buf[1], 0.0);
+                assert_eq!(buf[3], 0.0);
+            }
+            Ok(())
+        })
+        .unwrap();
+}

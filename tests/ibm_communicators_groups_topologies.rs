@@ -1,0 +1,217 @@
+//! Functionality tests: communicators, groups and virtual topologies
+//! (paper §3.4 categories "communicators", "groups", "virtual topologies").
+
+use mpijava::{CompareResult, Datatype, MpiRuntime, Op, MPI};
+
+#[test]
+fn comm_rank_size_and_compare() {
+    MpiRuntime::new(3)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            assert_eq!(world.size()?, 3);
+            assert!(world.rank()? < 3);
+            let self_comm = mpi.comm_self();
+            assert_eq!(self_comm.size()?, 1);
+            assert_eq!(self_comm.rank()?, 0);
+
+            let dup = world.dup()?;
+            assert_eq!(
+                mpijava::Comm::compare(&world, &dup)?,
+                CompareResult::Congruent
+            );
+            assert_eq!(mpijava::Comm::compare(&world, &world)?, CompareResult::Ident);
+            dup.free()?;
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn dup_isolates_message_traffic() {
+    MpiRuntime::new(2)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let dup = world.dup()?;
+            let rank = world.rank()?;
+            if rank == 0 {
+                // Same (dest, tag) on both communicators; the contexts keep
+                // them apart.
+                world.send(&[1i32], 0, 1, &Datatype::int(), 1, 5)?;
+                dup.send(&[2i32], 0, 1, &Datatype::int(), 1, 5)?;
+            } else {
+                let mut a = [0i32; 1];
+                let mut b = [0i32; 1];
+                // Receive from the dup first: must get the dup's message.
+                dup.recv(&mut b, 0, 1, &Datatype::int(), 0, 5)?;
+                world.recv(&mut a, 0, 1, &Datatype::int(), 0, 5)?;
+                assert_eq!(a, [1]);
+                assert_eq!(b, [2]);
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn split_into_even_and_odd_teams() {
+    MpiRuntime::new(4)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+            let team = world
+                .split((rank % 2) as i32, rank as i32)?
+                .expect("every rank keeps a color");
+            assert_eq!(team.size()?, 2);
+            assert_eq!(team.rank()?, rank / 2);
+
+            // Collective inside the team only.
+            let mut sum = [0i32; 1];
+            team.allreduce(&[rank as i32], 0, &mut sum, 0, 1, &Datatype::int(), &Op::sum())?;
+            let expected = if rank % 2 == 0 { 0 + 2 } else { 1 + 3 };
+            assert_eq!(sum, [expected]);
+
+            // UNDEFINED color drops the caller.
+            let none = world.split(MPI::UNDEFINED, 0)?;
+            assert!(none.is_none());
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn group_algebra_and_comm_create() {
+    MpiRuntime::new(4)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let group = world.group()?;
+            assert_eq!(group.size(), 4);
+
+            let evens = group.incl(&[0, 2])?;
+            let odds = group.excl(&[0, 2])?;
+            assert_eq!(evens.ranks(), &[0, 2]);
+            assert_eq!(odds.ranks(), &[1, 3]);
+            assert_eq!(evens.union(&odds).size(), 4);
+            assert_eq!(evens.intersection(&odds).size(), 0);
+            assert_eq!(evens.difference(&odds).ranks(), &[0, 2]);
+            let translated = evens.translate_ranks(&[0, 1], &group)?;
+            assert_eq!(translated, vec![Some(0), Some(2)]);
+            assert_eq!(
+                group.range_incl(&[(0, 3, 2)])?.compare(&evens),
+                CompareResult::Ident
+            );
+
+            let sub = world.create(&evens)?;
+            if world.rank()? % 2 == 0 {
+                let sub = sub.expect("members get the new communicator");
+                assert_eq!(sub.size()?, 2);
+                let mut buf = [0i32; 1];
+                if sub.rank()? == 0 {
+                    sub.send(&[99i32], 0, 1, &Datatype::int(), 1, 1)?;
+                } else {
+                    sub.recv(&mut buf, 0, 1, &Datatype::int(), 0, 1)?;
+                    assert_eq!(buf, [99]);
+                }
+            } else {
+                assert!(sub.is_none());
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn cartesian_grid_shift_and_halo_exchange() {
+    MpiRuntime::new(6)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let cart = world
+                .create_cart(&[2, 3], &[false, true], false)?
+                .expect("6 ranks fit 2x3");
+            let rank = cart.rank()?;
+            let parms = cart.get()?;
+            assert_eq!(parms.dims, vec![2, 3]);
+            assert_eq!(parms.coords, cart.coords(rank)?);
+            assert_eq!(cart.dim_get()?, 2);
+            let back = cart.rank_of_coords(
+                &parms.coords.iter().map(|&c| c as i64).collect::<Vec<_>>(),
+            )?;
+            assert_eq!(back, rank);
+
+            // Shift along the periodic dimension and pass my rank around the
+            // ring; after one step I hold my left neighbour's rank.
+            let shift = cart.shift(1, 1)?;
+            let mut incoming = [0i32; 1];
+            cart.sendrecv(
+                &[rank as i32], 0, 1, &Datatype::int(), shift.rank_dest, 4,
+                &mut incoming, 0, 1, &Datatype::int(), shift.rank_source, 4,
+            )?;
+            assert_eq!(incoming[0], shift.rank_source);
+
+            // Row sub-communicators.
+            let rows = cart.sub(&[false, true])?;
+            assert_eq!(rows.size()?, 3);
+            assert_eq!(rows.rank()?, parms.coords[1]);
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn dims_create_factorises_like_mpi() {
+    let mut dims = [0usize; 2];
+    mpijava::Cartcomm::dims_create(6, &mut dims).unwrap();
+    assert_eq!(dims.iter().product::<usize>(), 6);
+    let mut dims3 = [0usize; 3];
+    mpijava::Cartcomm::dims_create(27, &mut dims3).unwrap();
+    assert_eq!(dims3, [3, 3, 3]);
+    let mut fixed = [2usize, 0];
+    mpijava::Cartcomm::dims_create(10, &mut fixed).unwrap();
+    assert_eq!(fixed, [2, 5]);
+}
+
+#[test]
+fn graph_topology_neighbour_queries() {
+    MpiRuntime::new(4)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            // Star graph centred on node 0: 0-1, 0-2, 0-3.
+            let index = [3usize, 4, 5, 6];
+            let edges = [1usize, 2, 3, 0, 0, 0];
+            let graph = world
+                .create_graph(&index, &edges, false)?
+                .expect("4 ranks fit the graph");
+            let parms = graph.get()?;
+            assert_eq!(parms.index, index.to_vec());
+            assert_eq!(parms.edges, edges.to_vec());
+            assert_eq!(graph.dims_get()?, (4, 6));
+            let rank = graph.rank()?;
+            let neighbours = graph.neighbours(rank)?;
+            if rank == 0 {
+                assert_eq!(neighbours, vec![1, 2, 3]);
+            } else {
+                assert_eq!(neighbours, vec![0]);
+                assert_eq!(graph.neighbours_count(rank)?, 1);
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn collectives_follow_split_communicators_not_world() {
+    MpiRuntime::new(4)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+            let team = world.split((rank / 2) as i32, rank as i32)?.unwrap();
+            // Broadcast inside each team: the roots hold different values.
+            let mut value = [if team.rank()? == 0 { (rank + 1) as i32 } else { 0 }];
+            team.bcast(&mut value, 0, 1, &Datatype::int(), 0)?;
+            let expected = if rank < 2 { 1 } else { 3 };
+            assert_eq!(value, [expected]);
+            // World barrier still spans everyone.
+            world.barrier()?;
+            Ok(())
+        })
+        .unwrap();
+}

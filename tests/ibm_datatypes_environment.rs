@@ -1,0 +1,188 @@
+//! Functionality tests: derived datatypes, pack/unpack and environmental
+//! inquiries (paper §3.4 categories "data types" and "environmental
+//! inquiries", plus the §2.2 restrictions of the Java binding).
+
+use mpijava::{Datatype, ErrorClass, MpiRuntime, MPI};
+
+#[test]
+fn derived_datatype_queries_match_definitions() {
+    let int = Datatype::int();
+    assert_eq!(int.size(), 4);
+    assert_eq!(int.extent(), 4);
+
+    let contiguous = Datatype::contiguous(10, &int).unwrap();
+    assert_eq!(contiguous.size(), 40);
+    assert_eq!(contiguous.extent(), 40);
+
+    let vector = Datatype::vector(4, 2, 5, &Datatype::double()).unwrap();
+    assert_eq!(vector.size(), 4 * 2 * 8);
+    assert_eq!(vector.extent(), ((3 * 5 + 2) * 8) as isize);
+    assert_eq!(vector.lb(), 0);
+    assert!(vector.ub() > 0);
+
+    let indexed = Datatype::indexed(&[1, 3], &[0, 10], &int).unwrap();
+    assert_eq!(indexed.size(), 16);
+
+    let hindexed = Datatype::hindexed(&[1, 1], &[0, 100], &int).unwrap();
+    assert_eq!(hindexed.extent(), 104);
+
+    let hvector = Datatype::hvector(2, 1, 64, &int).unwrap();
+    assert_eq!(hvector.extent(), 68);
+}
+
+#[test]
+fn strided_vector_send_recv_selects_columns() {
+    MpiRuntime::new(2)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+            const ROWS: usize = 5;
+            const COLS: usize = 4;
+            // Column datatype over a row-major matrix: ROWS blocks of 1,
+            // stride COLS.
+            let column = Datatype::vector(ROWS, 1, COLS as isize, &Datatype::int()).unwrap();
+            if rank == 0 {
+                let matrix: Vec<i32> = (0..(ROWS * COLS) as i32).collect();
+                // Send column 2.
+                world.send(&matrix, 2, 1, &column, 1, 1)?;
+            } else {
+                let mut matrix = vec![-1i32; ROWS * COLS];
+                world.recv(&mut matrix, 2, 1, &column, 0, 1)?;
+                for row in 0..ROWS {
+                    assert_eq!(matrix[row * COLS + 2], (row * COLS + 2) as i32);
+                }
+                // Everything outside the column is untouched.
+                assert_eq!(matrix[0], -1);
+                assert_eq!(matrix[3], -1);
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn struct_type_obeys_the_paper_mono_type_restriction() {
+    // Allowed: same base type everywhere.
+    let ok = Datatype::struct_type(&[2, 3], &[0, 16], &[Datatype::int(), Datatype::int()]);
+    assert!(ok.is_ok());
+    // Forbidden by §2.2: mixing base types.
+    let err =
+        Datatype::struct_type(&[1, 1], &[0, 8], &[Datatype::double(), Datatype::int()]).unwrap_err();
+    assert_eq!(err.class, ErrorClass::Type);
+}
+
+#[test]
+fn mismatched_buffer_and_datatype_is_rejected() {
+    MpiRuntime::new(1)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let ints = [1i32, 2];
+            let err = world
+                .send(&ints, 0, 2, &Datatype::double(), MPI::PROC_NULL, 0)
+                .unwrap_err();
+            assert_eq!(err.class, ErrorClass::Type);
+            let err = world
+                .send(&ints, 1, 5, &Datatype::int(), MPI::PROC_NULL, 0)
+                .unwrap_err();
+            assert_eq!(err.class, ErrorClass::Buffer);
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn pack_and_unpack_round_trip_mixed_segments() {
+    MpiRuntime::new(2)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+            if rank == 0 {
+                let header = [7i32, 3];
+                let values = [1.5f64, 2.5, 3.5];
+                let mut packed = Vec::new();
+                world.pack(&header, 0, 2, &Datatype::int(), &mut packed)?;
+                world.pack(&values, 0, 3, &Datatype::double(), &mut packed)?;
+                assert_eq!(
+                    packed.len(),
+                    world.pack_size(2, &Datatype::int()) + world.pack_size(3, &Datatype::double())
+                );
+                world.send(&packed, 0, packed.len(), &Datatype::packed(), 1, 9)?;
+            } else {
+                let status = world.probe(0, 9)?;
+                let bytes = status.count_bytes();
+                let mut packed = vec![0u8; bytes];
+                world.recv(&mut packed, 0, bytes, &Datatype::packed(), 0, 9)?;
+                let mut header = [0i32; 2];
+                let mut values = [0f64; 3];
+                let pos = world.unpack(&packed, 0, &mut header, 0, 2, &Datatype::int())?;
+                world.unpack(&packed, pos, &mut values, 0, 3, &Datatype::double())?;
+                assert_eq!(header, [7, 3]);
+                assert_eq!(values, [1.5, 2.5, 3.5]);
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn environmental_inquiries() {
+    MpiRuntime::new(2)
+        .run(|mpi| {
+            // Wtime / Wtick: monotone, fine-grained (the paper had to work
+            // around a millisecond-resolution Wtime on WMPI, §4.2).
+            let t0 = mpi.wtime();
+            let t1 = mpi.wtime();
+            assert!(t1 >= t0);
+            assert!(mpi.wtick() < 1e-6);
+
+            // Processor name identifies the rank.
+            let name = mpi.get_processor_name();
+            assert!(name.contains(&format!("rank-{}", mpi.comm_world().rank()?)));
+
+            // TAG_UB is large, as guaranteed by the standard.
+            assert!(MPI::TAG_UB >= 32767);
+            assert!(mpi.initialized());
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn finalize_prevents_further_communication() {
+    MpiRuntime::new(1)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            mpi.finalize()?;
+            assert!(!mpi.initialized());
+            let err = world
+                .send(&[1u8], 0, 1, &Datatype::byte(), MPI::PROC_NULL, 0)
+                .unwrap_err();
+            assert_eq!(err.class, ErrorClass::NotInitialized);
+            assert!(mpi.finalize().is_err());
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn status_reports_counts_and_elements() {
+    MpiRuntime::new(2)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            if world.rank()? == 0 {
+                world.send(&[1.0f64; 6], 0, 6, &Datatype::double(), 1, 2)?;
+            } else {
+                let mut buf = [0f64; 10];
+                let status = world.recv(&mut buf, 0, 10, &Datatype::double(), 0, 2)?;
+                assert_eq!(status.get_count(&Datatype::double()), Some(6));
+                let pair = Datatype::contiguous(4, &Datatype::double()).unwrap();
+                // 6 doubles is not a whole number of 4-double instances.
+                assert_eq!(status.get_count(&pair), None);
+                assert_eq!(status.get_elements(&pair), Some(6));
+                assert_eq!(status.source(), 0);
+                assert_eq!(status.tag(), 2);
+            }
+            Ok(())
+        })
+        .unwrap();
+}
