@@ -36,7 +36,15 @@ fn run_collective(kind: &str, count: usize) {
                     let send = vec![rank as f64; count];
                     let mut recv = vec![0f64; count];
                     for _ in 0..10 {
-                        world.allreduce(&send, 0, &mut recv, 0, count, &Datatype::double(), &Op::sum())?;
+                        world.allreduce(
+                            &send,
+                            0,
+                            &mut recv,
+                            0,
+                            count,
+                            &Datatype::double(),
+                            &Op::sum(),
+                        )?;
                     }
                 }
                 other => panic!("unknown collective {other}"),

@@ -28,14 +28,15 @@ fn spec(stack: Stack, mode: Mode, size: usize) -> PingPongSpec {
 fn bench_figure5_sm(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure5_sm_pingpong");
     for &size in &[1usize, 4096, 65536] {
-        for stack in [Stack::WmpiC, Stack::WmpiJava, Stack::MpichC, Stack::MpichJava] {
-            group.bench_with_input(
-                BenchmarkId::new(stack.label(), size),
-                &size,
-                |b, &size| {
-                    b.iter(|| run_pingpong(&spec(stack, Mode::SharedMemory, size)));
-                },
-            );
+        for stack in [
+            Stack::WmpiC,
+            Stack::WmpiJava,
+            Stack::MpichC,
+            Stack::MpichJava,
+        ] {
+            group.bench_with_input(BenchmarkId::new(stack.label(), size), &size, |b, &size| {
+                b.iter(|| run_pingpong(&spec(stack, Mode::SharedMemory, size)));
+            });
         }
     }
     group.finish();
@@ -46,19 +47,15 @@ fn bench_figure6_dm(c: &mut Criterion) {
     group.sample_size(10);
     for &size in &[1usize, 4096] {
         for stack in [Stack::WmpiC, Stack::WmpiJava] {
-            group.bench_with_input(
-                BenchmarkId::new(stack.label(), size),
-                &size,
-                |b, &size| {
-                    b.iter(|| {
-                        run_pingpong(&PingPongSpec {
-                            reps: 3,
-                            warmup: 1,
-                            ..spec(stack, Mode::DistributedMemory, size)
-                        })
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(stack.label(), size), &size, |b, &size| {
+                b.iter(|| {
+                    run_pingpong(&PingPongSpec {
+                        reps: 3,
+                        warmup: 1,
+                        ..spec(stack, Mode::DistributedMemory, size)
+                    })
+                });
+            });
         }
     }
     group.finish();

@@ -29,8 +29,8 @@ fn column_exchange(use_object: bool, n: usize) {
                     let _ = world.recv_object::<Vec<f64>>(1, 0, 0)?;
                 }
             } else {
-                let column = Datatype::vector(n, 1, n as isize, &Datatype::double())
-                    .expect("column type");
+                let column =
+                    Datatype::vector(n, 1, n as isize, &Datatype::double()).expect("column type");
                 if rank == 0 {
                     world.send(&matrix, 0, 1, &column, 1, 0)?;
                 } else {

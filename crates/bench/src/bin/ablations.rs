@@ -49,7 +49,11 @@ fn ablation_eager() {
                 Ok(start.elapsed().as_secs_f64() * 1e6 / reps as f64 / 2.0)
             })
             .expect("run");
-        let protocol = if threshold < 64 * 1024 { "rendezvous" } else { "eager" };
+        let protocol = if threshold < 64 * 1024 {
+            "rendezvous"
+        } else {
+            "eager"
+        };
         println!(
             "  threshold {threshold:>8} B ({protocol:>10}): {:>9.1} us one-way",
             elapsed[0]
@@ -103,8 +107,8 @@ fn ablation_serialization() {
             let world = mpi.comm_world();
             let rank = world.rank()?;
             let matrix: Vec<f64> = (0..N * N).map(|i| i as f64).collect();
-            let column_type = Datatype::vector(N, 1, N as isize, &Datatype::double())
-                .expect("column type");
+            let column_type =
+                Datatype::vector(N, 1, N as isize, &Datatype::double()).expect("column type");
             let reps = 200;
 
             // Derived datatype path.
@@ -128,9 +132,10 @@ fn ablation_serialization() {
             let object = time_it(|| {
                 for _ in 0..reps {
                     if rank == 0 {
-                        let column: Vec<f64> =
-                            (0..N).map(|row| matrix[row * N + 3]).collect();
-                        world.send_object(&[column], 0, 1, 1, 1).expect("send object");
+                        let column: Vec<f64> = (0..N).map(|row| matrix[row * N + 3]).collect();
+                        world
+                            .send_object(&[column], 0, 1, 1, 1)
+                            .expect("send object");
                     } else {
                         let (_cols, _status) =
                             world.recv_object::<Vec<f64>>(1, 0, 1).expect("recv object");

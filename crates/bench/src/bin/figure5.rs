@@ -31,10 +31,18 @@ fn main() {
         .unwrap_or(40usize);
     let csv = args.iter().any(|a| a == "--csv");
 
-    let stacks = [Stack::WmpiC, Stack::WmpiJava, Stack::MpichC, Stack::MpichJava];
+    let stacks = [
+        Stack::WmpiC,
+        Stack::WmpiJava,
+        Stack::MpichC,
+        Stack::MpichJava,
+    ];
     let mut series = Vec::new();
     for stack in stacks {
-        eprintln!("running {} (SM), sizes up to {max_size} bytes ...", stack.label());
+        eprintln!(
+            "running {} (SM), sizes up to {max_size} bytes ...",
+            stack.label()
+        );
         let spec = PingPongSpec::new(stack, Mode::SharedMemory)
             .cap_size(max_size)
             .reps(reps)

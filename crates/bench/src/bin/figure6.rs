@@ -34,7 +34,12 @@ fn main() {
         .unwrap_or(5usize);
     let csv = args.iter().any(|a| a == "--csv");
 
-    let stacks = [Stack::WmpiC, Stack::WmpiJava, Stack::MpichC, Stack::MpichJava];
+    let stacks = [
+        Stack::WmpiC,
+        Stack::WmpiJava,
+        Stack::MpichC,
+        Stack::MpichJava,
+    ];
     let mut series = Vec::new();
     for stack in stacks {
         eprintln!(

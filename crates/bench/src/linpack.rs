@@ -62,7 +62,10 @@ fn make_system(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
 }
 
 fn residual(n: usize, x: &[f64]) -> f64 {
-    x.iter().take(n).map(|&v| (v - 1.0).abs()).fold(0.0, f64::max)
+    x.iter()
+        .take(n)
+        .map(|&v| (v - 1.0).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Gaussian elimination with partial pivoting (DGEFA) + back substitution
@@ -152,7 +155,14 @@ impl Vm {
         }
     }
 
-    fn run(&mut self, program: &[OpCode], mem: &mut [f64], base_i: usize, base_k: usize, factor: f64) {
+    fn run(
+        &mut self,
+        program: &[OpCode],
+        mem: &mut [f64],
+        base_i: usize,
+        base_k: usize,
+        factor: f64,
+    ) {
         self.stack.clear();
         for op in program {
             match *op {
@@ -212,9 +222,9 @@ fn solve_interpreted(n: usize, a: &mut [f64], b: &mut [f64]) {
             for j in (k + 1)..n {
                 // a[i*n+j] = a[i*n+j] - factor * a[k*n+j], via the VM:
                 let program = [
-                    OpCode::Load(0),          // a[i*n+j]
-                    OpCode::Push(factor),     // factor
-                    OpCode::Load(1000),       // a[k*n+j]
+                    OpCode::Load(0),      // a[i*n+j]
+                    OpCode::Push(factor), // factor
+                    OpCode::Load(1000),   // a[k*n+j]
                     OpCode::Mul,
                     OpCode::Sub,
                     OpCode::Store(0),

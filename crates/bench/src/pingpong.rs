@@ -430,14 +430,21 @@ mod tests {
     #[test]
     fn wrapper_is_not_faster_than_native_in_sm() {
         // The key qualitative claim of Table 1 / Figure 5: the wrapper adds
-        // overhead over the native path on the same device.
-        let native = run_pingpong(&quick_spec(Stack::WmpiC, Mode::SharedMemory));
-        let wrapper = run_pingpong(&quick_spec(Stack::WmpiJava, Mode::SharedMemory));
+        // overhead over the native path on the same device. The very first
+        // run of a process pays one-time costs (thread spawn, allocator
+        // warm-up) that can dwarf the wrapper delta, so measure each stack
+        // as the best of three runs after a throwaway warm-up pass.
+        let best = |stack: Stack| {
+            run_pingpong(&quick_spec(stack, Mode::SharedMemory));
+            (0..3)
+                .map(|_| run_pingpong(&quick_spec(stack, Mode::SharedMemory))[0].one_way_us)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let native_us = best(Stack::WmpiC);
+        let wrapper_us = best(Stack::WmpiJava);
         assert!(
-            wrapper[0].one_way_us >= native[0].one_way_us * 0.8,
-            "wrapper {:.2}us vs native {:.2}us",
-            wrapper[0].one_way_us,
-            native[0].one_way_us
+            wrapper_us >= native_us * 0.8,
+            "wrapper {wrapper_us:.2}us vs native {native_us:.2}us"
         );
     }
 
@@ -461,7 +468,9 @@ mod tests {
         let sizes = default_sizes(1 << 20);
         assert_eq!(sizes[0], 1);
         assert_eq!(*sizes.last().unwrap(), 1 << 20);
-        assert!(sizes.windows(2).all(|w| w[1] == w[0] * 2 || (w[0] == 1 && w[1] == 2)));
+        assert!(sizes
+            .windows(2)
+            .all(|w| w[1] == w[0] * 2 || (w[0] == 1 && w[1] == 2)));
     }
 
     #[test]

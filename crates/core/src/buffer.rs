@@ -27,6 +27,15 @@ pub trait BufferElement: Copy + Default + Send + Sync + 'static {
     fn width() -> usize {
         Self::KIND.size()
     }
+
+    /// The [`Datatype`](crate::Datatype) inferred for buffers of this
+    /// element type. This is what lets the idiomatic API ([`crate::rs`])
+    /// drop the explicit `Datatype` argument from every call site:
+    /// `world.send(&buf, dest, tag)` sends `buf.len()` elements of
+    /// `T::datatype()`.
+    fn datatype() -> crate::datatype::Datatype {
+        crate::datatype::Datatype::of_kind(Self::KIND)
+    }
 }
 
 macro_rules! impl_buffer_element {

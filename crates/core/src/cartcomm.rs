@@ -41,6 +41,12 @@ impl Deref for Cartcomm {
     }
 }
 
+impl crate::rs::Communicator for Cartcomm {
+    fn as_intracomm(&self) -> &Intracomm {
+        &self.base
+    }
+}
+
 impl Cartcomm {
     pub(crate) fn new(base: Intracomm) -> Cartcomm {
         Cartcomm { base }
@@ -78,11 +84,11 @@ impl Cartcomm {
     /// `Cartcomm.Shift(direction, disp)`.
     pub fn shift(&self, direction: usize, disp: i64) -> MpiResult<ShiftParms> {
         self.env.jni.enter("Cartcomm.Shift");
-        let (rank_source, rank_dest) = self
-            .env
-            .engine
-            .lock()
-            .cart_shift(self.handle(), direction, disp)?;
+        let (rank_source, rank_dest) =
+            self.env
+                .engine
+                .lock()
+                .cart_shift(self.handle(), direction, disp)?;
         Ok(ShiftParms {
             rank_source,
             rank_dest,

@@ -13,8 +13,8 @@
 //! Every call crosses the simulated JNI boundary of [`crate::jni`]; that is
 //! where the wrapper overhead the paper measures lives.
 
-use mpi_native::{pack, ErrorClass, PrimitiveKind, SendMode};
 use mpi_native::comm::CommHandle;
+use mpi_native::{pack, ErrorClass, PrimitiveKind, SendMode};
 
 use crate::buffer::{bytes_to_elements, slice_to_bytes, BufferElement};
 use crate::datatype::Datatype;
@@ -36,7 +36,9 @@ pub struct Comm {
 
 impl std::fmt::Debug for Comm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Comm").field("handle", &self.handle).finish()
+        f.debug_struct("Comm")
+            .field("handle", &self.handle)
+            .finish()
     }
 }
 
@@ -48,7 +50,14 @@ fn span_elements(datatype: &Datatype, count: usize, elem_width: usize) -> usize 
         return 0;
     }
     let width = elem_width.max(1);
-    let bytes = (count as isize - 1) * datatype.extent() + datatype.ub();
+    // No typemap entry extends past `ub`, so `ub` — not `size`, which
+    // over-counts when entries overlap — bounds the last instance. A
+    // degenerate derived type (every entry at a negative displacement)
+    // reports `ub <= 0`; clamp it so a negative tail cannot shrink the
+    // span contributed by the earlier instances' strides. (`extent` is
+    // `ub - lb` and therefore never negative in this engine.)
+    let tail = datatype.ub().max(0);
+    let bytes = (count as isize - 1) * datatype.extent() + tail;
     (bytes.max(0) as usize).div_ceil(width)
 }
 
@@ -111,7 +120,7 @@ impl Comm {
         let compatible = datatype.base_kind() == T::KIND
             || (datatype.base_kind() == PrimitiveKind::Packed && T::KIND == PrimitiveKind::Byte)
             || (datatype.base_kind().is_pair()
-                && datatype.base_kind().size() % T::KIND.size() == 0
+                && datatype.base_kind().size().is_multiple_of(T::KIND.size())
                 && pair_component_matches(datatype.base_kind(), T::KIND));
         if compatible {
             Ok(())
@@ -185,6 +194,7 @@ impl Comm {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_mode<T: BufferElement>(
         &self,
         name: &'static str,
@@ -219,7 +229,16 @@ impl Comm {
         dest: i32,
         tag: i32,
     ) -> MpiResult<()> {
-        self.send_mode("Comm.Send", buf, offset, count, datatype, dest, tag, SendMode::Standard)
+        self.send_mode(
+            "Comm.Send",
+            buf,
+            offset,
+            count,
+            datatype,
+            dest,
+            tag,
+            SendMode::Standard,
+        )
     }
 
     /// `Comm.Bsend`.
@@ -232,7 +251,16 @@ impl Comm {
         dest: i32,
         tag: i32,
     ) -> MpiResult<()> {
-        self.send_mode("Comm.Bsend", buf, offset, count, datatype, dest, tag, SendMode::Buffered)
+        self.send_mode(
+            "Comm.Bsend",
+            buf,
+            offset,
+            count,
+            datatype,
+            dest,
+            tag,
+            SendMode::Buffered,
+        )
     }
 
     /// `Comm.Ssend`.
@@ -267,7 +295,16 @@ impl Comm {
         dest: i32,
         tag: i32,
     ) -> MpiResult<()> {
-        self.send_mode("Comm.Rsend", buf, offset, count, datatype, dest, tag, SendMode::Ready)
+        self.send_mode(
+            "Comm.Rsend",
+            buf,
+            offset,
+            count,
+            datatype,
+            dest,
+            tag,
+            SendMode::Ready,
+        )
     }
 
     /// `Comm.Recv(buf, offset, count, datatype, source, tag)`.
@@ -330,6 +367,7 @@ impl Comm {
     // Non-blocking point-to-point
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn isend_mode<T: BufferElement>(
         &self,
         name: &'static str,
@@ -361,7 +399,16 @@ impl Comm {
         dest: i32,
         tag: i32,
     ) -> MpiResult<Request<'static>> {
-        self.isend_mode("Comm.Isend", buf, offset, count, datatype, dest, tag, SendMode::Standard)
+        self.isend_mode(
+            "Comm.Isend",
+            buf,
+            offset,
+            count,
+            datatype,
+            dest,
+            tag,
+            SendMode::Standard,
+        )
     }
 
     /// `Comm.Ibsend`.
@@ -374,7 +421,16 @@ impl Comm {
         dest: i32,
         tag: i32,
     ) -> MpiResult<Request<'static>> {
-        self.isend_mode("Comm.Ibsend", buf, offset, count, datatype, dest, tag, SendMode::Buffered)
+        self.isend_mode(
+            "Comm.Ibsend",
+            buf,
+            offset,
+            count,
+            datatype,
+            dest,
+            tag,
+            SendMode::Buffered,
+        )
     }
 
     /// `Comm.Issend`.
@@ -409,7 +465,16 @@ impl Comm {
         dest: i32,
         tag: i32,
     ) -> MpiResult<Request<'static>> {
-        self.isend_mode("Comm.Irsend", buf, offset, count, datatype, dest, tag, SendMode::Ready)
+        self.isend_mode(
+            "Comm.Irsend",
+            buf,
+            offset,
+            count,
+            datatype,
+            dest,
+            tag,
+            SendMode::Ready,
+        )
     }
 
     /// `Comm.Irecv(buf, offset, count, datatype, source, tag)`.
@@ -459,11 +524,13 @@ impl Comm {
     ) -> MpiResult<Prequest<'buf>> {
         self.env.jni.enter("Comm.Send_init");
         let payload = self.pack_buffer(buf, offset, count, datatype)?;
-        let id = self
-            .env
-            .engine
-            .lock()
-            .send_init(self.handle, dest, tag, &payload, SendMode::Standard)?;
+        let id = self.env.engine.lock().send_init(
+            self.handle,
+            dest,
+            tag,
+            &payload,
+            SendMode::Standard,
+        )?;
         let comm = self.clone();
         let datatype = datatype.clone();
         Ok(Prequest::send(
@@ -572,7 +639,13 @@ impl Comm {
                 ),
             ));
         }
-        self.unpack_buffer(&packed[position..position + needed], buf, offset, count, datatype)?;
+        self.unpack_buffer(
+            &packed[position..position + needed],
+            buf,
+            offset,
+            count,
+            datatype,
+        )?;
         Ok(position + needed)
     }
 
@@ -609,7 +682,11 @@ impl Comm {
         tag: i32,
     ) -> MpiResult<(Vec<T>, Status)> {
         self.env.jni.enter("Comm.Recv[OBJECT]");
-        let (data, info) = self.env.engine.lock().recv(self.handle, source, tag, None)?;
+        let (data, info) = self
+            .env
+            .engine
+            .lock()
+            .recv(self.handle, source, tag, None)?;
         self.env.jni.note_out(data.len());
         let objects = self.deserialize_objects(&data, count)?;
         Ok((objects, Status::from_info(info)))
@@ -660,12 +737,18 @@ impl Comm {
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             if cursor + 8 > data.len() {
-                return Err(MPIException::new(ErrorClass::Truncate, "object stream truncated"));
+                return Err(MPIException::new(
+                    ErrorClass::Truncate,
+                    "object stream truncated",
+                ));
             }
             let len = u64::from_le_bytes(data[cursor..cursor + 8].try_into().unwrap()) as usize;
             cursor += 8;
             if cursor + len > data.len() {
-                return Err(MPIException::new(ErrorClass::Truncate, "object stream truncated"));
+                return Err(MPIException::new(
+                    ErrorClass::Truncate,
+                    "object stream truncated",
+                ));
             }
             out.push(deserialize(&data[cursor..cursor + len])?);
             cursor += len;
@@ -693,11 +776,11 @@ impl Comm {
     /// status (counterpart of [`Comm::send_bytes`]).
     pub fn recv_bytes(&self, buf: &mut [u8], source: i32, tag: i32) -> MpiResult<Status> {
         self.env.jni.enter("Comm.Recv[bytes]");
-        let (data, info) = self
-            .env
-            .engine
-            .lock()
-            .recv(self.handle, source, tag, Some(buf.len()))?;
+        let (data, info) =
+            self.env
+                .engine
+                .lock()
+                .recv(self.handle, source, tag, Some(buf.len()))?;
         self.env.jni.note_out(data.len());
         buf[..data.len()].copy_from_slice(&data);
         Ok(Status::from_info(info))
@@ -713,4 +796,52 @@ fn pair_component_matches(pair: PrimitiveKind, elem: PrimitiveKind) -> bool {
             | (PrimitiveKind::Double2, PrimitiveKind::Double)
             | (PrimitiveKind::Short2, PrimitiveKind::Short)
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_covers_basic_and_contiguous_types() {
+        assert_eq!(span_elements(&Datatype::int(), 0, 4), 0);
+        assert_eq!(span_elements(&Datatype::int(), 5, 4), 5);
+        let c = Datatype::contiguous(3, &Datatype::double()).unwrap();
+        assert_eq!(span_elements(&c, 2, 8), 6);
+    }
+
+    #[test]
+    fn span_counts_holes_but_not_the_trailing_gap() {
+        // 2 blocks of 1 int, stride 3 ints: instance covers ints 0 and 3.
+        let v = Datatype::vector(2, 1, 3, &Datatype::int()).unwrap();
+        // One instance reaches int index 3 (ub = 16 bytes = 4 ints).
+        assert_eq!(span_elements(&v, 1, 4), 4);
+        // A second instance starts one extent (16 bytes) later.
+        assert_eq!(span_elements(&v, 2, 4), 8);
+    }
+
+    #[test]
+    fn span_guards_degenerate_negative_ub() {
+        // All displacements negative: ub collapses to 0 — one instance
+        // touches nothing above the window start (the pack step reports
+        // the precise negative-displacement error), but the negative ub
+        // must not shrink the span contributed by later instances.
+        let d = Datatype::hindexed(&[1], &[-8], &Datatype::double()).unwrap();
+        assert!(d.ub() <= 0, "precondition: degenerate upper bound");
+        assert_eq!(span_elements(&d, 1, 8), 0);
+        // extent = ub - lb = 8 bytes; instances 2 and 3 reach 8 and 16.
+        assert_eq!(span_elements(&d, 3, 8), 2);
+    }
+
+    #[test]
+    fn span_uses_ub_not_size_for_overlapping_typemaps() {
+        // Two blocks at the same displacement: size() (8 bytes) exceeds
+        // ub() (4 bytes). The span is what the buffer must hold — one
+        // int — and must not be inflated to size(), which would reject
+        // a legal send from a one-element buffer.
+        let d = Datatype::indexed(&[1, 1], &[0, 0], &Datatype::int()).unwrap();
+        assert!(d.size() as isize > d.ub(), "precondition: overlap");
+        assert_eq!(span_elements(&d, 1, 4), 1);
+        assert_eq!(span_elements(&d, 2, 4), 2);
+    }
 }

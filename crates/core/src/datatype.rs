@@ -89,6 +89,15 @@ impl Datatype {
         Datatype::basic(PrimitiveKind::Short2)
     }
 
+    /// The basic datatype corresponding to a primitive kind. This is the
+    /// inference hook of the idiomatic API ([`crate::rs`]): where mpiJava
+    /// call sites pass `MPI.INT` explicitly, the Rust surface derives the
+    /// datatype from the buffer's element type via
+    /// [`crate::BufferElement::datatype`], which lands here.
+    pub fn of_kind(kind: PrimitiveKind) -> Datatype {
+        Datatype::basic(kind)
+    }
+
     /// `MPI.OBJECT` — the serializable-object datatype of paper §2.2.
     /// Buffers using it are arrays of objects; the wrapper serializes them
     /// on send and deserializes at the destination.
@@ -307,19 +316,11 @@ mod tests {
     #[test]
     fn struct_enforces_the_paper_restriction() {
         // Same base type: allowed.
-        let ok = Datatype::struct_type(
-            &[2, 1],
-            &[0, 12],
-            &[Datatype::int(), Datatype::int()],
-        );
+        let ok = Datatype::struct_type(&[2, 1], &[0, 12], &[Datatype::int(), Datatype::int()]);
         assert!(ok.is_ok());
         // Mixed base types: rejected, exactly as the paper describes.
-        let err = Datatype::struct_type(
-            &[1, 1],
-            &[0, 8],
-            &[Datatype::double(), Datatype::int()],
-        )
-        .unwrap_err();
+        let err = Datatype::struct_type(&[1, 1], &[0, 8], &[Datatype::double(), Datatype::int()])
+            .unwrap_err();
         assert_eq!(err.class, ErrorClass::Type);
         assert!(err.message.contains("base type"));
     }

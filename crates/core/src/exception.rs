@@ -38,7 +38,11 @@ impl MPIException {
 
 impl fmt::Display for MPIException {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MPIException({:?}, code {}): {}", self.class, self.code, self.message)
+        write!(
+            f,
+            "MPIException({:?}, code {}): {}",
+            self.class, self.code, self.message
+        )
     }
 }
 

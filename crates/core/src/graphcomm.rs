@@ -29,6 +29,12 @@ impl Deref for Graphcomm {
     }
 }
 
+impl crate::rs::Communicator for Graphcomm {
+    fn as_intracomm(&self) -> &Intracomm {
+        &self.base
+    }
+}
+
 impl Graphcomm {
     pub(crate) fn new(base: Intracomm) -> Graphcomm {
         Graphcomm { base }
@@ -60,6 +66,10 @@ impl Graphcomm {
     /// `Graphcomm.Neighbours(rank)`.
     pub fn neighbours(&self, rank: usize) -> MpiResult<Vec<usize>> {
         self.env.jni.enter("Graphcomm.Neighbours");
-        Ok(self.env.engine.lock().graph_neighbors(self.handle(), rank)?)
+        Ok(self
+            .env
+            .engine
+            .lock()
+            .graph_neighbors(self.handle(), rank)?)
     }
 }

@@ -34,6 +34,12 @@ impl Deref for Intracomm {
     }
 }
 
+impl crate::rs::Communicator for Intracomm {
+    fn as_intracomm(&self) -> &Intracomm {
+        self
+    }
+}
+
 impl Intracomm {
     pub(crate) fn new(env: Arc<RankEnv>, handle: CommHandle) -> Intracomm {
         Intracomm {
@@ -85,12 +91,12 @@ impl Intracomm {
         reorder: bool,
     ) -> MpiResult<Option<Cartcomm>> {
         self.env.jni.enter("Intracomm.Create_cart");
-        let handle = self
-            .base
-            .env
-            .engine
-            .lock()
-            .cart_create(self.base.handle, dims, periods, reorder)?;
+        let handle =
+            self.base
+                .env
+                .engine
+                .lock()
+                .cart_create(self.base.handle, dims, periods, reorder)?;
         Ok(handle.map(|h| Cartcomm::new(Intracomm::new(Arc::clone(&self.base.env), h))))
     }
 
@@ -102,12 +108,12 @@ impl Intracomm {
         reorder: bool,
     ) -> MpiResult<Option<Graphcomm>> {
         self.env.jni.enter("Intracomm.Create_graph");
-        let handle = self
-            .base
-            .env
-            .engine
-            .lock()
-            .graph_create(self.base.handle, index, edges, reorder)?;
+        let handle =
+            self.base
+                .env
+                .engine
+                .lock()
+                .graph_create(self.base.handle, index, edges, reorder)?;
         Ok(handle.map(|h| Graphcomm::new(Intracomm::new(Arc::clone(&self.base.env), h))))
     }
 
@@ -169,8 +175,16 @@ impl Intracomm {
         let displs: Vec<usize> = (0..size).map(|r| r * recv_count).collect();
         let counts = vec![recv_count; size];
         self.gather_impl(
-            send_buf, send_offset, send_count, send_type, recv_buf, recv_offset, &counts, &displs,
-            recv_type, root,
+            send_buf,
+            send_offset,
+            send_count,
+            send_type,
+            recv_buf,
+            recv_offset,
+            &counts,
+            &displs,
+            recv_type,
+            root,
         )
     }
 
@@ -262,8 +276,16 @@ impl Intracomm {
         let counts = vec![send_count; size];
         let displs: Vec<usize> = (0..size).map(|r| r * send_count).collect();
         self.scatterv(
-            send_buf, send_offset, &counts, &displs, send_type, recv_buf, recv_offset, recv_count,
-            recv_type, root,
+            send_buf,
+            send_offset,
+            &counts,
+            &displs,
+            send_type,
+            recv_buf,
+            recv_offset,
+            recv_count,
+            recv_type,
+            root,
         )
     }
 
@@ -309,12 +331,12 @@ impl Intracomm {
         } else {
             None
         };
-        let mine = self
-            .base
-            .env
-            .engine
-            .lock()
-            .scatter(self.base.handle, root, chunks.as_deref())?;
+        let mine =
+            self.base
+                .env
+                .engine
+                .lock()
+                .scatter(self.base.handle, root, chunks.as_deref())?;
         self.base
             .unpack_buffer(&mine, recv_buf, recv_offset, recv_count, recv_type)?;
         Ok(())
@@ -338,7 +360,14 @@ impl Intracomm {
         let counts = vec![recv_count; size];
         let displs: Vec<usize> = (0..size).map(|r| r * recv_count).collect();
         self.allgatherv_impl(
-            send_buf, send_offset, send_count, send_type, recv_buf, recv_offset, &counts, &displs,
+            send_buf,
+            send_offset,
+            send_count,
+            send_type,
+            recv_buf,
+            recv_offset,
+            &counts,
+            &displs,
             recv_type,
         )
     }
@@ -456,7 +485,9 @@ impl Intracomm {
     ) -> MpiResult<()> {
         self.env.jni.enter("Intracomm.Alltoallv");
         let size = self.base.env.engine.lock().comm_size(self.base.handle)?;
-        if send_counts.len() != size || sdispls.len() != size || recv_counts.len() != size
+        if send_counts.len() != size
+            || sdispls.len() != size
+            || recv_counts.len() != size
             || rdispls.len() != size
         {
             return Err(MPIException::new(

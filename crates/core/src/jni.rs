@@ -133,7 +133,9 @@ impl JniBoundary {
     /// Account for bytes copied back into a user buffer
     /// (`Set*ArrayRegion` / `Release*ArrayElements`).
     pub fn note_out(&self, len: usize) {
-        self.stats.bytes_out.fetch_add(len as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_out
+            .fetch_add(len as u64, Ordering::Relaxed);
     }
 
     /// Snapshot the counters.

@@ -50,7 +50,11 @@ impl<'buf> Request<'buf> {
         }
     }
 
-    pub(crate) fn recv(env: Arc<RankEnv>, id: RequestId, unpack: UnpackOnce<'buf>) -> Request<'buf> {
+    pub(crate) fn recv(
+        env: Arc<RankEnv>,
+        id: RequestId,
+        unpack: UnpackOnce<'buf>,
+    ) -> Request<'buf> {
         Request {
             env,
             id,
@@ -129,15 +133,14 @@ impl<'buf> Request<'buf> {
     /// extra field the paper adds to `Status`.
     pub fn wait_any(requests: &mut [Request<'buf>]) -> MpiResult<Status> {
         if requests.is_empty() {
-            return Err(MPIException::new(ErrorClass::Request, "Waitany on empty array"));
+            return Err(MPIException::new(
+                ErrorClass::Request,
+                "Waitany on empty array",
+            ));
         }
         let env = Arc::clone(&requests[0].env);
         env.jni.enter("Request.Waitany");
-        let pending: Vec<RequestId> = requests
-            .iter()
-            .filter(|r| !r.done)
-            .map(|r| r.id)
-            .collect();
+        let pending: Vec<RequestId> = requests.iter().filter(|r| !r.done).map(|r| r.id).collect();
         if pending.is_empty() {
             return Err(MPIException::new(
                 ErrorClass::Request,
@@ -192,6 +195,159 @@ impl<'buf> Request<'buf> {
     }
 }
 
+/// RAII handle to a non-blocking operation of the idiomatic API
+/// ([`crate::rs`]).
+///
+/// Wraps a [`Request`] with ownership-driven completion semantics:
+///
+/// * [`wait`](TypedRequest::wait) consumes the handle and returns the
+///   [`Status`] — a completed request cannot be waited on twice by
+///   construction, so the "request has already completed" error of the
+///   classic API is unrepresentable (waiting after [`test`] reported
+///   completion returns the cached status);
+/// * dropping a pending handle **blocks until the operation completes**
+///   (completion on drop), so a receive buffer's mutable borrow is never
+///   released while the engine might still write to it — the guarantee
+///   MPI states informally becomes a compile-time rule. For a receive
+///   that may never match, use [`free`](TypedRequest::free) (or
+///   [`cancel`](TypedRequest::cancel)) as the escape hatch before the
+///   handle goes out of scope;
+/// * [`wait_all`](TypedRequest::wait_all) completes a heterogeneous batch
+///   (sends and receives over buffers of different element types) in
+///   order.
+///
+/// The lifetime `'buf` is the borrow of the receive buffer (sends, whose
+/// payload is marshalled at call time, carry `'static` internally and
+/// covariantly shorten to the caller's buffer lifetime).
+///
+/// [`test`]: TypedRequest::test
+pub struct TypedRequest<'buf> {
+    inner: Option<Request<'buf>>,
+    /// Status cached when `test()` observes completion, so a later
+    /// `wait()` can return it instead of erroring.
+    status: Option<Status>,
+}
+
+impl std::fmt::Debug for TypedRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TypedRequest")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl<'buf> TypedRequest<'buf> {
+    pub(crate) fn new(inner: Request<'buf>) -> TypedRequest<'buf> {
+        TypedRequest {
+            inner: Some(inner),
+            status: None,
+        }
+    }
+
+    /// Engine-level id (exposed for diagnostics).
+    pub fn id(&self) -> RequestId {
+        self.inner.as_ref().expect("pending request").id()
+    }
+
+    /// Block until the operation completes, fill the receive buffer, and
+    /// return the [`Status`]. Consumes the handle. If the operation
+    /// already completed through [`test`](TypedRequest::test), returns
+    /// the status that test observed.
+    pub fn wait(mut self) -> MpiResult<Status> {
+        let mut request = self.inner.take().expect("pending request");
+        if request.is_void() {
+            let status = self.status.take();
+            return Ok(status.unwrap_or_else(|| Status::from_info(mpi_native::StatusInfo::empty())));
+        }
+        request.wait()
+    }
+
+    /// `Some(status)` if the operation has completed (filling the receive
+    /// buffer), `None` if it is still in flight. Once completion has been
+    /// observed, further calls keep returning the same status.
+    pub fn test(&mut self) -> MpiResult<Option<Status>> {
+        match self.inner.as_mut() {
+            Some(request) if !request.is_void() => {
+                let status = request.test()?;
+                if let Some(status) = &status {
+                    self.status = Some(status.clone());
+                }
+                Ok(status)
+            }
+            _ => Ok(self.status.clone()),
+        }
+    }
+
+    /// True once the request has completed via [`test`](TypedRequest::test).
+    pub fn is_complete(&self) -> bool {
+        self.inner.as_ref().map(Request::is_void).unwrap_or(true)
+    }
+
+    /// `Request.Cancel()`: ask the engine to cancel the pending
+    /// operation. The handle must still be completed (waited on, freed,
+    /// or dropped); the resulting status reports the cancellation.
+    /// Cancelling an operation that already completed is a no-op.
+    pub fn cancel(&mut self) -> MpiResult<()> {
+        match self.inner.as_mut() {
+            Some(request) if !request.is_void() => request.cancel(),
+            _ => Ok(()),
+        }
+    }
+
+    /// `Request.Free()`: release the request without completing it — the
+    /// escape hatch for a receive that may never match (a plain drop
+    /// would block forever waiting for it). The pending receive is
+    /// withdrawn from the engine and the buffer borrow ends immediately.
+    ///
+    /// Standard MPI semantics apply to the message itself: freeing the
+    /// receive does **not** retract anything the peer already sent. An
+    /// in-flight message stays queued and will be matched by a later
+    /// receive with the same `(source, tag)` envelope — only data the
+    /// engine had already committed to *this* request (a rendezvous
+    /// transfer in progress) is discarded.
+    pub fn free(mut self) -> MpiResult<()> {
+        match self.inner.take() {
+            Some(request) if !request.is_void() => request.free(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Complete every request of a batch, returning the statuses in order.
+    /// The batch may mix sends and receives over buffers of different
+    /// element types — the handles are type-erased, only the buffer borrow
+    /// lifetime is shared. If one wait fails, the error is returned and
+    /// the remaining requests are completed by their drops.
+    pub fn wait_all(
+        requests: impl IntoIterator<Item = TypedRequest<'buf>>,
+    ) -> MpiResult<Vec<Status>> {
+        requests.into_iter().map(TypedRequest::wait).collect()
+    }
+}
+
+impl Drop for TypedRequest<'_> {
+    fn drop(&mut self) {
+        if let Some(mut request) = self.inner.take() {
+            if !request.is_void() {
+                if std::thread::panicking() {
+                    // Unwinding: blocking here could hang the rank on an
+                    // operation whose peer may never act (and mask the
+                    // panic message). Withdraw the request instead — no
+                    // user code observes the buffer after a panic, so the
+                    // RAII completion guarantee is moot.
+                    let _ = request.free();
+                } else {
+                    // Completion on drop: the buffer borrow ends here, so
+                    // the operation must be driven to completion first.
+                    // Errors are swallowed (drop cannot propagate them);
+                    // use `wait()` to observe the status or failure, or
+                    // `free()` to abandon a receive that may never match.
+                    let _ = request.wait();
+                }
+            }
+        }
+    }
+}
+
 /// A persistent request created by `Send_init` / `Recv_init`.
 pub struct Prequest<'buf> {
     env: Arc<RankEnv>,
@@ -224,7 +380,11 @@ impl<'buf> Prequest<'buf> {
         }
     }
 
-    pub(crate) fn recv(env: Arc<RankEnv>, id: RequestId, unpack: UnpackMut<'buf>) -> Prequest<'buf> {
+    pub(crate) fn recv(
+        env: Arc<RankEnv>,
+        id: RequestId,
+        unpack: UnpackMut<'buf>,
+    ) -> Prequest<'buf> {
         Prequest {
             env,
             id,
@@ -277,7 +437,9 @@ impl<'buf> Prequest<'buf> {
         self.env.jni.enter("Prequest.Wait");
         let completion = self.env.engine.lock().wait(self.id)?;
         self.active = false;
-        if let (PrequestKind::Recv { unpack }, Some(data)) = (&mut self.kind, completion.data.as_ref()) {
+        if let (PrequestKind::Recv { unpack }, Some(data)) =
+            (&mut self.kind, completion.data.as_ref())
+        {
             unpack(data)?;
         }
         Ok(Status::from_info(completion.status))

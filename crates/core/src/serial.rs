@@ -85,7 +85,10 @@ impl<'a> ObjectInputStream<'a> {
         if self.remaining() < n {
             return Err(MPIException::new(
                 ErrorClass::Truncate,
-                format!("object stream exhausted: need {n} bytes, have {}", self.remaining()),
+                format!(
+                    "object stream exhausted: need {n} bytes, have {}",
+                    self.remaining()
+                ),
             ));
         }
         let out = &self.bytes[self.cursor..self.cursor + n];
@@ -242,7 +245,7 @@ mod tests {
     fn primitives_roundtrip() {
         assert_eq!(deserialize::<i32>(&serialize(&-42i32)).unwrap(), -42);
         assert_eq!(deserialize::<f64>(&serialize(&3.25f64)).unwrap(), 3.25);
-        assert_eq!(deserialize::<bool>(&serialize(&true)).unwrap(), true);
+        assert!(deserialize::<bool>(&serialize(&true)).unwrap());
         assert_eq!(deserialize::<char>(&serialize(&'λ')).unwrap(), 'λ');
     }
 
@@ -253,7 +256,10 @@ mod tests {
         let v: Vec<i64> = vec![1, -2, 3_000_000_000];
         assert_eq!(deserialize::<Vec<i64>>(&serialize(&v)).unwrap(), v);
         let nested: Vec<Vec<u8>> = vec![vec![1, 2], vec![], vec![3]];
-        assert_eq!(deserialize::<Vec<Vec<u8>>>(&serialize(&nested)).unwrap(), nested);
+        assert_eq!(
+            deserialize::<Vec<Vec<u8>>>(&serialize(&nested)).unwrap(),
+            nested
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ impl Status {
         if per_instance == 0 {
             return Some(0);
         }
-        if self.info.count_bytes % per_instance == 0 {
+        if self.info.count_bytes.is_multiple_of(per_instance) {
             Some(self.info.count_bytes / per_instance)
         } else {
             None
@@ -57,7 +57,7 @@ impl Status {
         if elem == 0 {
             return Some(0);
         }
-        if self.info.count_bytes % elem == 0 {
+        if self.info.count_bytes.is_multiple_of(elem) {
             Some(self.info.count_bytes / elem)
         } else {
             None
@@ -67,6 +67,13 @@ impl Status {
     /// Bytes received (not part of the mpiJava API, but handy in Rust).
     pub fn count_bytes(&self) -> usize {
         self.info.count_bytes
+    }
+
+    /// Number of `T` elements received — [`Status::get_count`] with the
+    /// datatype inferred from the element type, for the idiomatic API
+    /// ([`crate::rs`]): `status.count_elements::<u16>()`.
+    pub fn count_elements<T: crate::buffer::BufferElement>(&self) -> Option<usize> {
+        self.get_count(&T::datatype())
     }
 
     /// `Status.Test_cancelled()`.

@@ -105,6 +105,7 @@ impl Engine {
         if rank == root {
             let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
             out[root] = send.to_vec();
+            #[allow(clippy::needless_range_loop)] // skip-one loop is clearest as indices
             for src in 0..size {
                 if src != root {
                     let (data, _) = self.recv_collective(comm, src as i32, tag::GATHER)?;
@@ -140,6 +141,7 @@ impl Engine {
                     format!("scatter needs {size} chunks, got {}", chunks.len()),
                 );
             }
+            #[allow(clippy::needless_range_loop)] // skip-one loop is clearest as indices
             for dst in 0..size {
                 if dst != root {
                     self.send_collective(comm, dst as i32, tag::SCATTER, &chunks[dst])?;
@@ -181,7 +183,11 @@ impl Engine {
     }
 
     /// Engine-internal alias used by communicator construction.
-    pub(crate) fn allgather_bytes(&mut self, comm: CommHandle, send: &[u8]) -> Result<Vec<Vec<u8>>> {
+    pub(crate) fn allgather_bytes(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+    ) -> Result<Vec<Vec<u8>>> {
         self.allgather(comm, send)
     }
 
@@ -208,6 +214,7 @@ impl Engine {
             }
         }
         let mut send_reqs = Vec::with_capacity(size);
+        #[allow(clippy::needless_range_loop)] // skip-one loop is clearest as indices
         for dst in 0..size {
             if dst != rank {
                 send_reqs.push(self.isend_on_context(
@@ -259,6 +266,7 @@ impl Engine {
             // result is deterministic even for non-commutative user ops.
             let mut contributions: Vec<Vec<u8>> = vec![Vec::new(); size];
             contributions[root] = send[..need].to_vec();
+            #[allow(clippy::needless_range_loop)] // skip-one loop is clearest as indices
             for src in 0..size {
                 if src != root {
                     let (data, _) = self.recv_collective(comm, src as i32, tag::REDUCE)?;
@@ -376,7 +384,13 @@ impl Engine {
         Ok(i64::from_le_bytes(out[..8].try_into().unwrap()) as u32)
     }
 
-    fn send_collective(&mut self, comm: CommHandle, dest: i32, tag: i32, data: &[u8]) -> Result<()> {
+    fn send_collective(
+        &mut self,
+        comm: CommHandle,
+        dest: i32,
+        tag: i32,
+        data: &[u8],
+    ) -> Result<()> {
         self.send_on_context(comm, dest, tag, data, true)
     }
 
@@ -637,9 +651,7 @@ mod tests {
             let mut buf = Vec::new();
             assert!(engine.bcast(COMM_WORLD, 5, &mut buf).is_err());
             assert!(engine.gather(COMM_WORLD, 9, b"x").is_err());
-            assert!(engine
-                .alltoall(COMM_WORLD, &[vec![0u8]])
-                .is_err());
+            assert!(engine.alltoall(COMM_WORLD, &[vec![0u8]]).is_err());
         })
         .unwrap();
     }

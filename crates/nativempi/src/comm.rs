@@ -74,14 +74,24 @@ impl Engine {
         self.comms
             .get(comm)
             .and_then(|c| c.as_ref())
-            .ok_or_else(|| MpiError::new(ErrorClass::Comm, format!("invalid communicator handle {comm}")))
+            .ok_or_else(|| {
+                MpiError::new(
+                    ErrorClass::Comm,
+                    format!("invalid communicator handle {comm}"),
+                )
+            })
     }
 
     pub(crate) fn comm_mut(&mut self, comm: CommHandle) -> Result<&mut CommRecord> {
         self.comms
             .get_mut(comm)
             .and_then(|c| c.as_mut())
-            .ok_or_else(|| MpiError::new(ErrorClass::Comm, format!("invalid communicator handle {comm}")))
+            .ok_or_else(|| {
+                MpiError::new(
+                    ErrorClass::Comm,
+                    format!("invalid communicator handle {comm}"),
+                )
+            })
     }
 
     fn register_comm(&mut self, record: CommRecord) -> CommHandle {
@@ -94,9 +104,12 @@ impl Engine {
 
     /// `MPI_Comm_rank`: this process's rank within `comm`.
     pub fn comm_rank(&self, comm: CommHandle) -> Result<usize> {
-        self.comm(comm)?
-            .my_rank
-            .ok_or_else(|| MpiError::new(ErrorClass::Comm, "process is not a member of this communicator"))
+        self.comm(comm)?.my_rank.ok_or_else(|| {
+            MpiError::new(
+                ErrorClass::Comm,
+                "process is not a member of this communicator",
+            )
+        })
     }
 
     /// `MPI_Comm_size`.
@@ -133,7 +146,12 @@ impl Engine {
             .comms
             .get_mut(comm)
             .and_then(|c| c.take())
-            .ok_or_else(|| MpiError::new(ErrorClass::Comm, format!("invalid communicator handle {comm}")))?;
+            .ok_or_else(|| {
+                MpiError::new(
+                    ErrorClass::Comm,
+                    format!("invalid communicator handle {comm}"),
+                )
+            })?;
         self.context_to_comm.remove(&record.context_p2p);
         self.context_to_comm.remove(&record.context_coll);
         Ok(())
@@ -255,7 +273,11 @@ impl Engine {
     }
 
     /// Translate a world rank to its rank in `comm`, if it is a member.
-    pub(crate) fn comm_rank_of_world(&self, comm: CommHandle, world: usize) -> Result<Option<usize>> {
+    pub(crate) fn comm_rank_of_world(
+        &self,
+        comm: CommHandle,
+        world: usize,
+    ) -> Result<Option<usize>> {
         Ok(self.comm(comm)?.group.rank_of(world))
     }
 }
@@ -295,10 +317,7 @@ mod tests {
                 engine.comm_compare(COMM_WORLD, dup).unwrap(),
                 CompareResult::Congruent
             );
-            assert_eq!(
-                engine.comm_compare(dup, dup).unwrap(),
-                CompareResult::Ident
-            );
+            assert_eq!(engine.comm_compare(dup, dup).unwrap(), CompareResult::Ident);
             assert_eq!(engine.comm_size(dup).unwrap(), 2);
             engine.comm_free(dup).unwrap();
             assert!(engine.comm_rank(dup).is_err());

@@ -135,7 +135,10 @@ mod tests {
             std::hint::black_box(x);
             let t1 = engine.wtime();
             assert!(t1 >= t0);
-            assert!(engine.wtick() < 1e-6, "paper needed µs resolution; we have ns");
+            assert!(
+                engine.wtick() < 1e-6,
+                "paper needed µs resolution; we have ns"
+            );
         })
         .unwrap();
     }

@@ -111,7 +111,13 @@ impl MpiError {
 
 impl fmt::Display for MpiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MPI error {:?} ({}): {}", self.class, self.code(), self.message)
+        write!(
+            f,
+            "MPI error {:?} ({}): {}",
+            self.class,
+            self.code(),
+            self.message
+        )
     }
 }
 

@@ -76,13 +76,12 @@ impl Group {
 
     /// World rank of group rank `idx`.
     pub fn world_rank(&self, idx: usize) -> Result<usize> {
-        self.ranks
-            .get(idx)
-            .copied()
-            .ok_or_else(|| crate::error::MpiError::new(
+        self.ranks.get(idx).copied().ok_or_else(|| {
+            crate::error::MpiError::new(
                 ErrorClass::Rank,
                 format!("group rank {idx} out of range (size {})", self.ranks.len()),
-            ))
+            )
+        })
     }
 
     /// `MPI_Group_translate_ranks`: map ranks of `self` onto ranks in

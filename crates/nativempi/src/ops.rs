@@ -37,8 +37,11 @@ pub enum PredefinedOp {
 #[derive(Clone)]
 pub enum Op {
     Predefined(PredefinedOp),
-    User(Arc<dyn Fn(&[u8], &mut [u8], PrimitiveKind, usize) -> Result<()> + Send + Sync>),
+    User(UserFn),
 }
+
+/// A user reduction function: folds `(incoming, accumulator, kind, count)`.
+pub type UserFn = Arc<dyn Fn(&[u8], &mut [u8], PrimitiveKind, usize) -> Result<()> + Send + Sync>;
 
 impl std::fmt::Debug for Op {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -52,7 +55,13 @@ impl std::fmt::Debug for Op {
 impl Op {
     /// Fold `incoming` into `acc`, treating both as `count` elements of
     /// `kind`.
-    pub fn apply(&self, incoming: &[u8], acc: &mut [u8], kind: PrimitiveKind, count: usize) -> Result<()> {
+    pub fn apply(
+        &self,
+        incoming: &[u8],
+        acc: &mut [u8],
+        kind: PrimitiveKind,
+        count: usize,
+    ) -> Result<()> {
         let elem = kind.size();
         let need = elem * count;
         if incoming.len() < need || acc.len() < need {
@@ -207,7 +216,9 @@ fn logical_reduce(op: PredefinedOp, incoming: &[u8], acc: &mut [u8], count: usiz
         let a = acc[i] != 0;
         let b = incoming[i] != 0;
         let r = match op {
-            PredefinedOp::Land | PredefinedOp::Band | PredefinedOp::Prod | PredefinedOp::Min => a && b,
+            PredefinedOp::Land | PredefinedOp::Band | PredefinedOp::Prod | PredefinedOp::Min => {
+                a && b
+            }
             PredefinedOp::Lor | PredefinedOp::Bor | PredefinedOp::Max => a || b,
             PredefinedOp::Lxor | PredefinedOp::Bxor => a ^ b,
             PredefinedOp::Sum => a || b,
@@ -228,7 +239,12 @@ fn float_reduce<T, const W: usize>(
     count: usize,
 ) -> Result<()>
 where
-    T: Copy + PartialOrd + std::ops::Add<Output = T> + std::ops::Mul<Output = T> + FromLeBytes<W> + Default,
+    T: Copy
+        + PartialOrd
+        + std::ops::Add<Output = T>
+        + std::ops::Mul<Output = T>
+        + FromLeBytes<W>
+        + Default,
 {
     for i in 0..count {
         let a = T::from_le(&acc[i * W..(i + 1) * W]);
@@ -251,9 +267,16 @@ where
             }
             PredefinedOp::Sum => a + b,
             PredefinedOp::Prod => a * b,
-            PredefinedOp::Land | PredefinedOp::Band | PredefinedOp::Lor | PredefinedOp::Bor
-            | PredefinedOp::Lxor | PredefinedOp::Bxor => {
-                return err(ErrorClass::Op, "bitwise/logical ops are invalid on floating types")
+            PredefinedOp::Land
+            | PredefinedOp::Band
+            | PredefinedOp::Lor
+            | PredefinedOp::Bor
+            | PredefinedOp::Lxor
+            | PredefinedOp::Bxor => {
+                return err(
+                    ErrorClass::Op,
+                    "bitwise/logical ops are invalid on floating types",
+                )
             }
             PredefinedOp::Maxloc | PredefinedOp::Minloc => {
                 return err(ErrorClass::Op, "MAXLOC/MINLOC require a pair datatype")
@@ -301,11 +324,7 @@ where
     pairloc_reduce::<T, W>(op, incoming, acc, count)
 }
 
-fn combine_loc<T: Copy + PartialOrd>(
-    op: PredefinedOp,
-    a: (T, T),
-    b: (T, T),
-) -> Result<(T, T)> {
+fn combine_loc<T: Copy + PartialOrd>(op: PredefinedOp, a: (T, T), b: (T, T)) -> Result<(T, T)> {
     match op {
         PredefinedOp::Maxloc => Ok(if b.0 > a.0 { b } else { a }),
         PredefinedOp::Minloc => Ok(if b.0 < a.0 { b } else { a }),
@@ -429,8 +448,14 @@ mod tests {
     #[test]
     fn maxloc_tracks_index_of_winner() {
         // pairs (value, rank-index)
-        let a: Vec<u8> = [10i32, 0, 3, 0].iter().flat_map(|v| v.to_le_bytes()).collect();
-        let b: Vec<u8> = [7i32, 1, 9, 1].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let a: Vec<u8> = [10i32, 0, 3, 0]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        let b: Vec<u8> = [7i32, 1, 9, 1]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         let mut acc = a.clone();
         Op::Predefined(PredefinedOp::Maxloc)
             .apply(&b, &mut acc, PrimitiveKind::Int2, 2)

@@ -102,10 +102,9 @@ impl Engine {
                 }),
             };
         }
-        let state = self
-            .requests
-            .remove(&req.0)
-            .ok_or_else(|| MpiError::new(ErrorClass::Request, format!("unknown request {:?}", req)))?;
+        let state = self.requests.remove(&req.0).ok_or_else(|| {
+            MpiError::new(ErrorClass::Request, format!("unknown request {:?}", req))
+        })?;
         match state {
             RequestState::RecvComplete {
                 data,
@@ -127,10 +126,7 @@ impl Engine {
             RequestState::Cancelled => {
                 let mut status = StatusInfo::empty();
                 status.cancelled = true;
-                Ok(Completion {
-                    status,
-                    data: None,
-                })
+                Ok(Completion { status, data: None })
             }
             other => {
                 // Not complete: put it back and report the logic error.
@@ -407,9 +403,18 @@ impl Engine {
                 active: None,
             }) => {
                 let (comm, src, tag, max_len) = (*comm, *src, *tag, *max_len);
-                Some((false, comm, src, tag, SendMode::Standard, Vec::new(), max_len))
+                Some((
+                    false,
+                    comm,
+                    src,
+                    tag,
+                    SendMode::Standard,
+                    Vec::new(),
+                    max_len,
+                ))
             }
-            Some(RequestState::PersistentSend { .. }) | Some(RequestState::PersistentRecv { .. }) => {
+            Some(RequestState::PersistentSend { .. })
+            | Some(RequestState::PersistentRecv { .. }) => {
                 return err(ErrorClass::Request, "persistent request is already active")
             }
             _ => return err(ErrorClass::Request, "start on a non-persistent request"),
@@ -426,7 +431,10 @@ impl Engine {
                 *active = Some(inner_req);
                 Ok(())
             }
-            _ => err(ErrorClass::Intern, "persistent request vanished during start"),
+            _ => err(
+                ErrorClass::Intern,
+                "persistent request vanished during start",
+            ),
         }
     }
 

@@ -14,10 +14,16 @@ use crate::Engine;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Topology {
     /// Cartesian grid: per-dimension extents and periodicity.
-    Cart { dims: Vec<usize>, periods: Vec<bool> },
+    Cart {
+        dims: Vec<usize>,
+        periods: Vec<bool>,
+    },
     /// General graph: `index` is the cumulative neighbour count per node,
     /// `edges` the flattened adjacency lists (the MPI-1 representation).
-    Graph { index: Vec<usize>, edges: Vec<usize> },
+    Graph {
+        index: Vec<usize>,
+        edges: Vec<usize>,
+    },
 }
 
 /// Kind of topology attached to a communicator (`MPI_Topo_test`).
@@ -38,7 +44,7 @@ pub fn dims_create(nnodes: usize, dims: &mut [usize]) -> Result<()> {
         return err(ErrorClass::Arg, "dims_create: nnodes must be positive");
     }
     let fixed_product: usize = dims.iter().filter(|&&d| d > 0).product::<usize>().max(1);
-    if nnodes % fixed_product != 0 {
+    if !nnodes.is_multiple_of(fixed_product) {
         return err(
             ErrorClass::Arg,
             format!("dims_create: {nnodes} nodes cannot be divided by fixed dims (product {fixed_product})"),
@@ -85,7 +91,7 @@ fn prime_factors(mut n: usize) -> Vec<usize> {
     let mut out = Vec::new();
     let mut d = 2;
     while d * d <= n {
-        while n % d == 0 {
+        while n.is_multiple_of(d) {
             out.push(d);
             n /= d;
         }
@@ -150,7 +156,10 @@ impl Engine {
     fn cart_info(&self, comm: CommHandle) -> Result<(Vec<usize>, Vec<bool>)> {
         match &self.comm(comm)?.topology {
             Some(Topology::Cart { dims, periods }) => Ok((dims.clone(), periods.clone())),
-            _ => err(ErrorClass::Topology, "communicator has no cartesian topology"),
+            _ => err(
+                ErrorClass::Topology,
+                "communicator has no cartesian topology",
+            ),
         }
     }
 
@@ -172,7 +181,10 @@ impl Engine {
     pub fn cart_rank(&self, comm: CommHandle, coords: &[i64]) -> Result<usize> {
         let (dims, periods) = self.cart_info(comm)?;
         if coords.len() != dims.len() {
-            return err(ErrorClass::Topology, "cart_rank: wrong number of coordinates");
+            return err(
+                ErrorClass::Topology,
+                "cart_rank: wrong number of coordinates",
+            );
         }
         let mut rank = 0usize;
         for ((&c, &d), &p) in coords.iter().zip(&dims).zip(&periods) {
@@ -197,7 +209,10 @@ impl Engine {
         let (dims, _) = self.cart_info(comm)?;
         let size: usize = dims.iter().product();
         if rank >= size {
-            return err(ErrorClass::Rank, format!("cart_coords: rank {rank} outside grid"));
+            return err(
+                ErrorClass::Rank,
+                format!("cart_coords: rank {rank} outside grid"),
+            );
         }
         let mut coords = vec![0usize; dims.len()];
         let mut rem = rank;
@@ -211,12 +226,7 @@ impl Engine {
     /// `MPI_Cart_shift`: source and destination ranks for a shift of
     /// `disp` along `dimension`. Returns `(source, dest)` as ranks, or
     /// [`PROC_NULL`] where the shift falls off a non-periodic edge.
-    pub fn cart_shift(
-        &self,
-        comm: CommHandle,
-        dimension: usize,
-        disp: i64,
-    ) -> Result<(i32, i32)> {
+    pub fn cart_shift(&self, comm: CommHandle, dimension: usize, disp: i64) -> Result<(i32, i32)> {
         let (dims, periods) = self.cart_info(comm)?;
         if dimension >= dims.len() {
             return err(ErrorClass::Topology, "cart_shift: dimension out of range");
@@ -225,9 +235,7 @@ impl Engine {
         let project = |delta: i64| -> Result<i32> {
             let mut c: Vec<i64> = my_coords.iter().map(|&x| x as i64).collect();
             c[dimension] += delta;
-            if !periods[dimension]
-                && (c[dimension] < 0 || c[dimension] >= dims[dimension] as i64)
-            {
+            if !periods[dimension] && (c[dimension] < 0 || c[dimension] >= dims[dimension] as i64) {
                 return Ok(PROC_NULL);
             }
             Ok(self.cart_rank(comm, &c)? as i32)
@@ -273,7 +281,11 @@ impl Engine {
             .collect();
         let record = self.comm_mut(sub)?;
         record.topology = Some(Topology::Cart {
-            dims: if new_dims.is_empty() { vec![1] } else { new_dims },
+            dims: if new_dims.is_empty() {
+                vec![1]
+            } else {
+                new_dims
+            },
             periods: if new_periods.is_empty() {
                 vec![false]
             } else {
@@ -311,11 +323,17 @@ impl Engine {
         }
         for w in index.windows(2) {
             if w[1] < w[0] {
-                return err(ErrorClass::Topology, "graph_create: index must be non-decreasing");
+                return err(
+                    ErrorClass::Topology,
+                    "graph_create: index must be non-decreasing",
+                );
             }
         }
         if edges.iter().any(|&e| e >= nnodes) {
-            return err(ErrorClass::Topology, "graph_create: edge endpoint out of range");
+            return err(
+                ErrorClass::Topology,
+                "graph_create: edge endpoint out of range",
+            );
         }
         let my_rank = self.comm_rank(comm)?;
         let color = if my_rank < nnodes { 0 } else { UNDEFINED };
@@ -498,10 +516,7 @@ mod tests {
             let rank = engine.comm_rank(graph).unwrap();
             let neighbors = engine.graph_neighbors(graph, rank).unwrap();
             assert_eq!(neighbors.len(), 2);
-            assert_eq!(
-                engine.graph_neighbors_count(graph, rank).unwrap(),
-                2
-            );
+            assert_eq!(engine.graph_neighbors_count(graph, rank).unwrap(), 2);
             let left = (rank + 3) % 4;
             let right = (rank + 1) % 4;
             assert!(neighbors.contains(&left) && neighbors.contains(&right));
@@ -512,9 +527,7 @@ mod tests {
     #[test]
     fn invalid_topology_arguments_are_rejected() {
         Universe::run(2, DeviceKind::ShmFast, |engine| {
-            assert!(engine
-                .cart_create(COMM_WORLD, &[], &[], false)
-                .is_err());
+            assert!(engine.cart_create(COMM_WORLD, &[], &[], false).is_err());
             assert!(engine
                 .cart_create(COMM_WORLD, &[3, 3], &[false, false], false)
                 .is_err());

@@ -87,7 +87,10 @@ impl Universe {
         F: Fn(&mut Engine) -> T + Send + Sync,
     {
         if config.size == 0 {
-            return Err(MpiError::new(ErrorClass::Arg, "universe size must be at least 1"));
+            return Err(MpiError::new(
+                ErrorClass::Arg,
+                "universe size must be at least 1",
+            ));
         }
         let fabric_config = FabricConfig::new(config.size, config.device)
             .with_network(config.network)
@@ -148,8 +151,8 @@ mod tests {
 
     #[test]
     fn run_returns_per_rank_results_in_order() {
-        let results = Universe::run(4, DeviceKind::ShmFast, |engine| engine.world_rank() * 10)
-            .unwrap();
+        let results =
+            Universe::run(4, DeviceKind::ShmFast, |engine| engine.world_rank() * 10).unwrap();
         assert_eq!(results, vec![0, 10, 20, 30]);
     }
 

@@ -58,7 +58,9 @@ mod tests {
         let e = TransportError::RankOutOfRange { rank: 7, size: 4 };
         let msg = e.to_string();
         assert!(msg.contains('7') && msg.contains('4'));
-        assert!(TransportError::Disconnected.to_string().contains("disconnected"));
+        assert!(TransportError::Disconnected
+            .to_string()
+            .contains("disconnected"));
         assert!(TransportError::InvalidConfig("x".into())
             .to_string()
             .contains("invalid"));

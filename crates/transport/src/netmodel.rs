@@ -67,13 +67,12 @@ impl NetworkModel {
         if !self.enabled {
             return Duration::ZERO;
         }
-        let serialization = if self.bandwidth_bytes_per_sec.is_finite()
-            && self.bandwidth_bytes_per_sec > 0.0
-        {
-            Duration::from_secs_f64(len as f64 / self.bandwidth_bytes_per_sec)
-        } else {
-            Duration::ZERO
-        };
+        let serialization =
+            if self.bandwidth_bytes_per_sec.is_finite() && self.bandwidth_bytes_per_sec > 0.0 {
+                Duration::from_secs_f64(len as f64 / self.bandwidth_bytes_per_sec)
+            } else {
+                Duration::ZERO
+            };
         self.latency + serialization
     }
 

@@ -136,8 +136,8 @@ impl Endpoint for P4Endpoint {
                 return Ok(None);
             }
             let remaining = deadline - now;
-            if let Some(staged) = self.staging[self.rank]
-                .pop_timeout(remaining.min(Duration::from_millis(20)))?
+            if let Some(staged) =
+                self.staging[self.rank].pop_timeout(remaining.min(Duration::from_millis(20)))?
             {
                 let mut staged = staged;
                 if !staged.payload.is_empty() {

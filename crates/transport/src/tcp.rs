@@ -60,9 +60,9 @@ impl TcpDevice {
                 let addr = listener.local_addr()?;
                 let connector = std::thread::spawn(move || TcpStream::connect(addr));
                 let (accepted, _) = listener.accept()?;
-                let connected = connector
-                    .join()
-                    .map_err(|_| TransportError::InvalidConfig("connector thread panicked".into()))??;
+                let connected = connector.join().map_err(|_| {
+                    TransportError::InvalidConfig("connector thread panicked".into())
+                })??;
                 accepted.set_nodelay(true)?;
                 connected.set_nodelay(true)?;
 
@@ -71,15 +71,23 @@ impl TcpDevice {
                 let j_read = connected.try_clone()?;
                 writers[i].insert(j, Arc::new(Mutex::new(accepted)));
                 writers[j].insert(i, Arc::new(Mutex::new(connected)));
-                readers[i].push(spawn_reader(i_read, Arc::clone(&inboxes[i]), config.network));
-                readers[j].push(spawn_reader(j_read, Arc::clone(&inboxes[j]), config.network));
+                readers[i].push(spawn_reader(
+                    i_read,
+                    Arc::clone(&inboxes[i]),
+                    config.network,
+                ));
+                readers[j].push(spawn_reader(
+                    j_read,
+                    Arc::clone(&inboxes[j]),
+                    config.network,
+                ));
             }
         }
 
         let mut endpoints = Vec::with_capacity(n);
         for (rank, (inbox, (w, r))) in inboxes
             .into_iter()
-            .zip(writers.into_iter().zip(readers.into_iter()))
+            .zip(writers.into_iter().zip(readers))
             .enumerate()
         {
             endpoints.push(TcpEndpoint {
@@ -149,10 +157,7 @@ impl Endpoint for TcpEndpoint {
             let due = self.network.due(frame.len());
             return self.inbox.push(frame, due);
         }
-        let writer = self
-            .writers
-            .get(&dst)
-            .ok_or(TransportError::Disconnected)?;
+        let writer = self.writers.get(&dst).ok_or(TransportError::Disconnected)?;
         let header = frame.header.encode(frame.len());
         let mut stream = writer.lock();
         stream.write_all(&header)?;

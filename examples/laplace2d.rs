@@ -12,7 +12,7 @@
 //! cargo run --release --example laplace2d
 //! ```
 
-use mpijava::{Datatype, MpiRuntime, MpiResult, MPI};
+use mpijava::{Datatype, MpiResult, MpiRuntime, MPI};
 
 const N: usize = 96; // global grid (including boundary)
 const ITERATIONS: usize = 200;
@@ -40,9 +40,7 @@ fn reference() -> Vec<f64> {
 /// Boundary conditions: top edge held at 100.0, the rest at 0.
 fn init_grid() -> Vec<f64> {
     let mut grid = vec![0.0f64; N * N];
-    for j in 0..N {
-        grid[j] = 100.0;
-    }
+    grid[..N].fill(100.0);
     grid
 }
 
@@ -80,14 +78,34 @@ fn parallel(mpi: &MPI) -> MpiResult<Vec<f64>> {
         // Halo exchange: send the first interior row up, receive the bottom
         // halo from below, and vice versa. Sendrecv avoids deadlock.
         cart.sendrecv(
-            &local, N, N, &double, up, 10, // first interior row -> up
-            &mut next, (local_rows - 1) * N, N, &double, down, 10,
+            &local,
+            N,
+            N,
+            &double,
+            up,
+            10, // first interior row -> up
+            &mut next,
+            (local_rows - 1) * N,
+            N,
+            &double,
+            down,
+            10,
         )?;
         local[(local_rows - 1) * N..local_rows * N]
             .copy_from_slice(&next[(local_rows - 1) * N..local_rows * N]);
         cart.sendrecv(
-            &local, (local_rows - 2) * N, N, &double, down, 11, // last interior row -> down
-            &mut next, 0, N, &double, up, 11,
+            &local,
+            (local_rows - 2) * N,
+            N,
+            &double,
+            down,
+            11, // last interior row -> down
+            &mut next,
+            0,
+            N,
+            &double,
+            up,
+            11,
         )?;
         local[..N].copy_from_slice(&next[..N]);
 
@@ -118,7 +136,11 @@ fn parallel(mpi: &MPI) -> MpiResult<Vec<f64>> {
     let counts: Vec<usize> = (0..RANKS)
         .map(|r| {
             let first = 1 + r * rows_per_rank;
-            let rows = if r == RANKS - 1 { N - 1 - first } else { rows_per_rank };
+            let rows = if r == RANKS - 1 {
+                N - 1 - first
+            } else {
+                rows_per_rank
+            };
             rows * N
         })
         .collect();

@@ -8,7 +8,7 @@
 //! ```
 
 use mpijava::serial::{ObjectInputStream, ObjectOutputStream};
-use mpijava::{MpiRuntime, MpiResult, Serializable, MPI};
+use mpijava::{MpiResult, MpiRuntime, Serializable, MPI};
 
 const RANKS: usize = 4;
 const PARTICLES_PER_RANK: usize = 64;
@@ -54,7 +54,11 @@ fn step(mpi: &MPI) -> MpiResult<(usize, usize)> {
             id: (rank * PARTICLES_PER_RANK + i) as i64,
             position: rank as f64 + i as f64 / PARTICLES_PER_RANK as f64,
             velocity: if i % 3 == 0 { 0.6 } else { 0.1 },
-            species: if i % 2 == 0 { "ion".into() } else { "electron".into() },
+            species: if i % 2 == 0 {
+                "ion".into()
+            } else {
+                "electron".into()
+            },
         })
         .collect();
 

@@ -8,7 +8,7 @@
 //! cargo run --release --example pi_reduce
 //! ```
 
-use mpijava::{Datatype, MpiRuntime, MpiResult, Op, MPI};
+use mpijava::{Datatype, MpiResult, MpiRuntime, Op, MPI};
 
 const RANKS: usize = 4;
 
@@ -40,7 +40,16 @@ fn compute_pi(mpi: &MPI) -> MpiResult<f64> {
     // Combine with Reduce(SUM) at rank 0, then share with Bcast so every
     // rank can report the same value.
     let mut global = [0.0f64];
-    world.reduce(&local, 0, &mut global, 0, 1, &Datatype::double(), &Op::sum(), 0)?;
+    world.reduce(
+        &local,
+        0,
+        &mut global,
+        0,
+        1,
+        &Datatype::double(),
+        &Op::sum(),
+        0,
+    )?;
     world.bcast(&mut global, 0, 1, &Datatype::double(), 0)?;
 
     if rank == 0 {

@@ -7,7 +7,7 @@
 //! cargo run --release --example pingpong
 //! ```
 
-use mpijava::{Datatype, DeviceKind, MpiRuntime, MpiResult, NetworkModel, MPI};
+use mpijava::{Datatype, DeviceKind, MpiResult, MpiRuntime, NetworkModel, MPI};
 
 fn pingpong(mpi: &MPI, label: &str, max_size: usize, reps: usize) -> MpiResult<()> {
     let world = mpi.comm_world();
@@ -16,7 +16,10 @@ fn pingpong(mpi: &MPI, label: &str, max_size: usize, reps: usize) -> MpiResult<(
 
     let mut size = 1usize;
     if rank == 0 {
-        println!("{label:>12}: {:>10} {:>12} {:>14}", "bytes", "one-way us", "MB/s");
+        println!(
+            "{label:>12}: {:>10} {:>12} {:>14}",
+            "bytes", "one-way us", "MB/s"
+        );
     }
     while size <= max_size {
         let send = vec![7u8; size];

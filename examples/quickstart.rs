@@ -1,14 +1,24 @@
 //! The paper's Figure 3 — the minimal mpiJava program — translated to the
-//! Rust binding. Two ranks; rank 0 sends "Hello, there" as an array of
-//! Java-style chars, rank 1 receives and prints it.
+//! Rust binding, in both API surfaces as a migration guide. Two ranks;
+//! rank 0 sends "Hello, there" as an array of Java-style chars, rank 1
+//! receives and prints it.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
+//!
+//! The program runs twice: first through the **classic** surface (the
+//! paper's Java argument conventions, explicit `MPI.CHAR` datatype and
+//! offset/count), then through the **idiomatic** surface
+//! (`mpijava::rs::Communicator`: slices carry the offset and count, the
+//! element type carries the datatype). Both cross the same simulated JNI
+//! boundary — the idiomatic form is sugar, not a shortcut.
 
-use mpijava::{Datatype, MpiRuntime, MpiResult, MPI};
+use mpijava::{Datatype, MpiResult, MpiRuntime, MPI};
 
-fn hello(mpi: &MPI) -> MpiResult<()> {
+/// Figure 3, classic surface — a line-by-line transliteration of the
+/// paper's Java.
+fn hello_classic(mpi: &MPI) -> MpiResult<()> {
     let world = mpi.comm_world();
     let myrank = world.rank()?;
 
@@ -17,7 +27,7 @@ fn hello(mpi: &MPI) -> MpiResult<()> {
         let message: Vec<u16> = "Hello, there".encode_utf16().collect();
         // MPI.COMM_WORLD.Send(message, 0, message.length, MPI.CHAR, 1, 99);
         world.send(&message, 0, message.len(), &Datatype::char(), 1, 99)?;
-        println!("rank 0: sent {} chars", message.len());
+        println!("classic   rank 0: sent {} chars", message.len());
     } else if myrank == 1 {
         // char [] message = new char[20];
         let mut message = vec![0u16; 20];
@@ -25,7 +35,41 @@ fn hello(mpi: &MPI) -> MpiResult<()> {
         let status = world.recv(&mut message, 0, 20, &Datatype::char(), 0, 99)?;
         let received = status.get_count(&Datatype::char()).unwrap_or(0);
         println!(
-            "received:{}:",
+            "classic   received:{}:",
+            String::from_utf16_lossy(&message[..received])
+        );
+    }
+
+    mpi.finalize()
+}
+
+/// The same program, idiomatic surface. The migration, line by line:
+///
+/// | classic | idiomatic |
+/// |---|---|
+/// | `world.send(&message, 0, message.len(), &Datatype::char(), 1, 99)` | `world.send(&message[..], 1, 99)` |
+/// | `world.recv(&mut message, 0, 20, &Datatype::char(), 0, 99)` | `world.recv_into(&mut message, 0, 99)` |
+/// | `status.get_count(&Datatype::char())` | `status.count_elements::<u16>()` |
+///
+/// The offset/count pair became the slice itself, and `MPI.CHAR` is
+/// inferred from the `u16` element type — there is nothing left to get
+/// wrong.
+fn hello_idiomatic(mpi: &MPI) -> MpiResult<()> {
+    use mpijava::rs::Communicator;
+
+    let world = mpi.comm_world();
+    let myrank = world.rank()?;
+
+    if myrank == 0 {
+        let message: Vec<u16> = "Hello, there".encode_utf16().collect();
+        world.send(&message[..], 1, 99)?;
+        println!("idiomatic rank 0: sent {} chars", message.len());
+    } else if myrank == 1 {
+        let mut message = vec![0u16; 20];
+        let status = world.recv_into(&mut message, 0, 99)?;
+        let received = status.count_elements::<u16>().unwrap_or(0);
+        println!(
+            "idiomatic received:{}:",
             String::from_utf16_lossy(&message[..received])
         );
     }
@@ -35,5 +79,10 @@ fn hello(mpi: &MPI) -> MpiResult<()> {
 
 fn main() {
     // MPI.Init(args) + mpirun -np 2: the runtime starts both ranks.
-    MpiRuntime::new(2).run(hello).expect("hello world job");
+    MpiRuntime::new(2)
+        .run(hello_classic)
+        .expect("classic hello");
+    MpiRuntime::new(2)
+        .run(hello_idiomatic)
+        .expect("idiomatic hello");
 }

@@ -15,10 +15,7 @@ pub fn test_runtimes(size: usize) -> Vec<(&'static str, MpiRuntime)> {
     vec![
         ("SM/shm-fast", MpiRuntime::new(size)),
         ("SM/shm-p4", MpiRuntime::new(size).device(DeviceKind::ShmP4)),
-        (
-            "DM/tcp",
-            MpiRuntime::new(size).device(DeviceKind::Tcp),
-        ),
+        ("DM/tcp", MpiRuntime::new(size).device(DeviceKind::Tcp)),
     ]
 }
 

@@ -33,7 +33,17 @@ fn gather_and_scatter_round_trip() {
             // Gather 3 ints from every rank at root 2.
             let send = [rank as i32, rank as i32 * 10, rank as i32 * 100];
             let mut gathered = vec![-1i32; 3 * size];
-            world.gather(&send, 0, 3, &Datatype::int(), &mut gathered, 0, 3, &Datatype::int(), 2)?;
+            world.gather(
+                &send,
+                0,
+                3,
+                &Datatype::int(),
+                &mut gathered,
+                0,
+                3,
+                &Datatype::int(),
+                2,
+            )?;
             if rank == 2 {
                 for r in 0..size {
                     assert_eq!(
@@ -47,7 +57,17 @@ fn gather_and_scatter_round_trip() {
 
             // Scatter the gathered buffer back out from root 2.
             let mut mine = [0i32; 3];
-            world.scatter(&gathered, 0, 3, &Datatype::int(), &mut mine, 0, 3, &Datatype::int(), 2)?;
+            world.scatter(
+                &gathered,
+                0,
+                3,
+                &Datatype::int(),
+                &mut mine,
+                0,
+                3,
+                &Datatype::int(),
+                2,
+            )?;
             if rank == 2 {
                 assert_eq!(mine, send);
             }
@@ -72,8 +92,16 @@ fn gatherv_and_scatterv_with_uneven_counts() {
             let displs = [0usize, 1, 3];
             let mut gathered = vec![0f64; 6];
             world.gatherv(
-                &send, 0, rank + 1, &Datatype::double(),
-                &mut gathered, 0, &counts, &displs, &Datatype::double(), 0,
+                &send,
+                0,
+                rank + 1,
+                &Datatype::double(),
+                &mut gathered,
+                0,
+                &counts,
+                &displs,
+                &Datatype::double(),
+                0,
             )?;
             if rank == 0 {
                 assert_close(&gathered, &[0.0, 10.0, 11.0, 20.0, 21.0, 22.0], 0.0);
@@ -82,8 +110,16 @@ fn gatherv_and_scatterv_with_uneven_counts() {
             // Scatter it back out unevenly from rank 0.
             let mut back = vec![0f64; rank + 1];
             world.scatterv(
-                &gathered, 0, &counts, &displs, &Datatype::double(),
-                &mut back, 0, rank + 1, &Datatype::double(), 0,
+                &gathered,
+                0,
+                &counts,
+                &displs,
+                &Datatype::double(),
+                &mut back,
+                0,
+                rank + 1,
+                &Datatype::double(),
+                0,
             )?;
             if rank > 0 {
                 // Non-roots received whatever rank 0 had in `gathered`
@@ -106,13 +142,31 @@ fn allgather_and_alltoall() {
             let size = world.size()?;
 
             let mut everyone = vec![0i32; size];
-            world.allgather(&[rank], 0, 1, &Datatype::int(), &mut everyone, 0, 1, &Datatype::int())?;
+            world.allgather(
+                &[rank],
+                0,
+                1,
+                &Datatype::int(),
+                &mut everyone,
+                0,
+                1,
+                &Datatype::int(),
+            )?;
             assert_eq!(everyone, vec![0, 1, 2, 3]);
 
             // alltoall: element sent to rank d is rank*10 + d.
             let send: Vec<i32> = (0..size as i32).map(|d| rank * 10 + d).collect();
             let mut recv = vec![0i32; size];
-            world.alltoall(&send, 0, 1, &Datatype::int(), &mut recv, 0, 1, &Datatype::int())?;
+            world.alltoall(
+                &send,
+                0,
+                1,
+                &Datatype::int(),
+                &mut recv,
+                0,
+                1,
+                &Datatype::int(),
+            )?;
             for (src, &v) in recv.iter().enumerate() {
                 assert_eq!(v, src as i32 * 10 + rank);
             }
@@ -161,7 +215,15 @@ fn reduce_scatter_distributes_reduced_segments() {
             let counts = [2usize, 1, 3];
             let send: Vec<f64> = (0..6).map(|i| (rank * 6 + i) as f64).collect();
             let mut recv = vec![0f64; counts[rank]];
-            world.reduce_scatter(&send, 0, &mut recv, 0, &counts, &Datatype::double(), &Op::sum())?;
+            world.reduce_scatter(
+                &send,
+                0,
+                &mut recv,
+                0,
+                &counts,
+                &Datatype::double(),
+                &Op::sum(),
+            )?;
             // Element j of the reduced vector is sum over ranks of (rank*6 + j) = 18 + 3j.
             let offset: usize = counts[..rank].iter().sum();
             for (k, &v) in recv.iter().enumerate() {

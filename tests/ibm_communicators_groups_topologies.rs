@@ -19,7 +19,10 @@ fn comm_rank_size_and_compare() {
                 mpijava::Comm::compare(&world, &dup)?,
                 CompareResult::Congruent
             );
-            assert_eq!(mpijava::Comm::compare(&world, &world)?, CompareResult::Ident);
+            assert_eq!(
+                mpijava::Comm::compare(&world, &world)?,
+                CompareResult::Ident
+            );
             dup.free()?;
             Ok(())
         })
@@ -66,8 +69,16 @@ fn split_into_even_and_odd_teams() {
 
             // Collective inside the team only.
             let mut sum = [0i32; 1];
-            team.allreduce(&[rank as i32], 0, &mut sum, 0, 1, &Datatype::int(), &Op::sum())?;
-            let expected = if rank % 2 == 0 { 0 + 2 } else { 1 + 3 };
+            team.allreduce(
+                &[rank as i32],
+                0,
+                &mut sum,
+                0,
+                1,
+                &Datatype::int(),
+                &Op::sum(),
+            )?;
+            let expected = if rank % 2 == 0 { 2 } else { 1 + 3 };
             assert_eq!(sum, [expected]);
 
             // UNDEFINED color drops the caller.
@@ -132,9 +143,8 @@ fn cartesian_grid_shift_and_halo_exchange() {
             assert_eq!(parms.dims, vec![2, 3]);
             assert_eq!(parms.coords, cart.coords(rank)?);
             assert_eq!(cart.dim_get()?, 2);
-            let back = cart.rank_of_coords(
-                &parms.coords.iter().map(|&c| c as i64).collect::<Vec<_>>(),
-            )?;
+            let back =
+                cart.rank_of_coords(&parms.coords.iter().map(|&c| c as i64).collect::<Vec<_>>())?;
             assert_eq!(back, rank);
 
             // Shift along the periodic dimension and pass my rank around the
@@ -142,8 +152,18 @@ fn cartesian_grid_shift_and_halo_exchange() {
             let shift = cart.shift(1, 1)?;
             let mut incoming = [0i32; 1];
             cart.sendrecv(
-                &[rank as i32], 0, 1, &Datatype::int(), shift.rank_dest, 4,
-                &mut incoming, 0, 1, &Datatype::int(), shift.rank_source, 4,
+                &[rank as i32],
+                0,
+                1,
+                &Datatype::int(),
+                shift.rank_dest,
+                4,
+                &mut incoming,
+                0,
+                1,
+                &Datatype::int(),
+                shift.rank_source,
+                4,
             )?;
             assert_eq!(incoming[0], shift.rank_source);
 
@@ -205,7 +225,11 @@ fn collectives_follow_split_communicators_not_world() {
             let rank = world.rank()?;
             let team = world.split((rank / 2) as i32, rank as i32)?.unwrap();
             // Broadcast inside each team: the roots hold different values.
-            let mut value = [if team.rank()? == 0 { (rank + 1) as i32 } else { 0 }];
+            let mut value = [if team.rank()? == 0 {
+                (rank + 1) as i32
+            } else {
+                0
+            }];
             team.bcast(&mut value, 0, 1, &Datatype::int(), 0)?;
             let expected = if rank < 2 { 1 } else { 3 };
             assert_eq!(value, [expected]);

@@ -66,8 +66,8 @@ fn struct_type_obeys_the_paper_mono_type_restriction() {
     let ok = Datatype::struct_type(&[2, 3], &[0, 16], &[Datatype::int(), Datatype::int()]);
     assert!(ok.is_ok());
     // Forbidden by §2.2: mixing base types.
-    let err =
-        Datatype::struct_type(&[1, 1], &[0, 8], &[Datatype::double(), Datatype::int()]).unwrap_err();
+    let err = Datatype::struct_type(&[1, 1], &[0, 8], &[Datatype::double(), Datatype::int()])
+        .unwrap_err();
     assert_eq!(err.class, ErrorClass::Type);
 }
 
@@ -139,8 +139,12 @@ fn environmental_inquiries() {
             let name = mpi.get_processor_name();
             assert!(name.contains(&format!("rank-{}", mpi.comm_world().rank()?)));
 
-            // TAG_UB is large, as guaranteed by the standard.
-            assert!(MPI::TAG_UB >= 32767);
+            // TAG_UB is large, as guaranteed by the standard (the bound
+            // is constant-true for this engine, which is the point).
+            #[allow(clippy::assertions_on_constants, clippy::absurd_extreme_comparisons)]
+            {
+                assert!(MPI::TAG_UB >= 32767);
+            }
             assert!(mpi.initialized());
             Ok(())
         })

@@ -157,8 +157,14 @@ fn wildcards_any_source_any_tag() {
                 let mut seen_sources = std::collections::HashSet::new();
                 for _ in 0..2 {
                     let mut buf = [0i32; 1];
-                    let status =
-                        world.recv(&mut buf, 0, 1, &Datatype::int(), MPI::ANY_SOURCE, MPI::ANY_TAG)?;
+                    let status = world.recv(
+                        &mut buf,
+                        0,
+                        1,
+                        &Datatype::int(),
+                        MPI::ANY_SOURCE,
+                        MPI::ANY_TAG,
+                    )?;
                     assert_eq!(buf[0], status.source() * 100 + status.tag());
                     seen_sources.insert(status.source());
                 }
@@ -242,8 +248,18 @@ fn sendrecv_ring_rotation() {
             let send = [rank; 8];
             let mut recv = [0i32; 8];
             let status = world.sendrecv(
-                &send, 0, 8, &Datatype::int(), right, 3,
-                &mut recv, 0, 8, &Datatype::int(), left, 3,
+                &send,
+                0,
+                8,
+                &Datatype::int(),
+                right,
+                3,
+                &mut recv,
+                0,
+                8,
+                &Datatype::int(),
+                left,
+                3,
             )?;
             assert_eq!(status.source(), left);
             assert!(recv.iter().all(|&v| v == left));

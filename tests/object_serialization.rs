@@ -2,7 +2,7 @@
 //! serializable objects through the wrapper.
 
 use mpijava::serial::{ObjectInputStream, ObjectOutputStream};
-use mpijava::{ErrorClass, MpiRuntime, MpiResult, Serializable};
+use mpijava::{ErrorClass, MpiResult, MpiRuntime, Serializable};
 
 #[derive(Debug, Clone, PartialEq)]
 struct Record {

@@ -1,52 +1,98 @@
-//! Property-based tests (proptest) over the invariants DESIGN.md calls
-//! out: datatype size/extent algebra, pack/unpack round trips, group set
-//! algebra, reduction correctness against a serial fold, and object
-//! serialization round trips.
+//! Property-style tests over the invariants DESIGN.md calls out: datatype
+//! size/extent algebra, pack/unpack round trips, group set algebra,
+//! reduction correctness against a serial fold, and object serialization
+//! round trips.
+//!
+//! The build environment has no crates.io mirror, so instead of proptest
+//! these run each property over a deterministic pseudo-random sample
+//! (a fixed-seed xorshift generator) — the same shape of coverage, fully
+//! reproducible, no external dependency.
 
 use mpi_native::{pack, DatatypeDef, Group, Op, PredefinedOp, PrimitiveKind};
 use mpijava::serial::{deserialize, serialize};
 use mpijava::Datatype;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Deterministic xorshift64* generator: the "arbitrary input" source.
+struct Gen(u64);
 
-    /// size(contiguous(n, T)) == n * size(T) and extents compose the same way.
-    #[test]
-    fn contiguous_datatype_algebra(count in 1usize..50) {
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    fn isize_in(&mut self, lo: isize, hi: isize) -> isize {
+        lo + (self.next_u64() as usize % (hi - lo) as usize) as isize
+    }
+
+    fn i32_in(&mut self, lo: i32, hi: i32) -> i32 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i32
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+const CASES: usize = 64;
+
+/// size(contiguous(n, T)) == n * size(T) and extents compose the same way.
+#[test]
+fn contiguous_datatype_algebra() {
+    let mut g = Gen::new(0xC047);
+    for _ in 0..CASES {
+        let count = g.usize_in(1, 50);
         let base = Datatype::double();
         let derived = Datatype::contiguous(count, &base).unwrap();
-        prop_assert_eq!(derived.size(), count * base.size());
-        prop_assert_eq!(derived.extent(), count as isize * base.extent());
+        assert_eq!(derived.size(), count * base.size());
+        assert_eq!(derived.extent(), count as isize * base.extent());
     }
+}
 
-    /// A vector type selects exactly count*blocklength elements regardless
-    /// of stride, and its extent never exceeds the span implied by the
-    /// stride.
-    #[test]
-    fn vector_datatype_size_is_stride_independent(
-        count in 1usize..8,
-        blocklength in 1usize..8,
-        extra_stride in 0isize..8,
-    ) {
+/// A vector type selects exactly count*blocklength elements regardless of
+/// stride, and its extent equals the span implied by the stride.
+#[test]
+fn vector_datatype_size_is_stride_independent() {
+    let mut g = Gen::new(0x7EC7);
+    for _ in 0..CASES {
+        let count = g.usize_in(1, 8);
+        let blocklength = g.usize_in(1, 8);
+        let extra_stride = g.isize_in(0, 8);
         let stride = blocklength as isize + extra_stride;
         let v = Datatype::vector(count, blocklength, stride, &Datatype::int()).unwrap();
-        prop_assert_eq!(v.size(), count * blocklength * 4);
+        assert_eq!(v.size(), count * blocklength * 4);
         let span = ((count as isize - 1) * stride + blocklength as isize) * 4;
-        prop_assert_eq!(v.extent(), span);
+        assert_eq!(v.extent(), span);
     }
+}
 
-    /// pack followed by unpack restores exactly the selected elements and
-    /// never touches the holes.
-    #[test]
-    fn pack_unpack_roundtrip_indexed(
-        blocks in proptest::collection::vec((1usize..4, 0usize..4), 1..5),
-    ) {
+/// pack followed by unpack restores exactly the selected elements and
+/// never touches the holes.
+#[test]
+fn pack_unpack_roundtrip_indexed() {
+    let mut g = Gen::new(0xD00D);
+    for _ in 0..CASES {
         // Build non-overlapping blocks by laying them out cumulatively.
+        let n_blocks = g.usize_in(1, 5);
         let mut blocklengths = Vec::new();
         let mut displacements = Vec::new();
         let mut cursor = 0isize;
-        for (len, gap) in blocks {
+        for _ in 0..n_blocks {
+            let len = g.usize_in(1, 4);
+            let gap = g.usize_in(0, 4);
             displacements.push(cursor + gap as isize);
             blocklengths.push(len);
             cursor += (gap + len) as isize;
@@ -57,61 +103,70 @@ proptest! {
         let total_elems = cursor as usize + 4;
         let original: Vec<u8> = (0..total_elems as i32 * 4).map(|i| i as u8).collect();
         let packed = pack::pack(&original, 0, 1, &dt).unwrap();
-        prop_assert_eq!(packed.len(), dt.size());
+        assert_eq!(packed.len(), dt.size());
 
         let mut restored = vec![0u8; original.len()];
         pack::unpack(&packed, &mut restored, 0, 1, &dt).unwrap();
         // Pack the restored buffer again: must equal the first packing.
         let repacked = pack::pack(&restored, 0, 1, &dt).unwrap();
-        prop_assert_eq!(packed, repacked);
+        assert_eq!(packed, repacked);
     }
+}
 
-    /// Group set algebra: union/intersection/difference behave like the
-    /// corresponding operations on sets of world ranks.
-    #[test]
-    fn group_set_algebra(
-        a in proptest::collection::btree_set(0usize..16, 0..10),
-        b in proptest::collection::btree_set(0usize..16, 0..10),
-    ) {
+/// Group set algebra: union/intersection/difference behave like the
+/// corresponding operations on sets of world ranks.
+#[test]
+fn group_set_algebra() {
+    use std::collections::BTreeSet;
+    let mut g = Gen::new(0x6209);
+    for _ in 0..CASES {
+        let a: BTreeSet<usize> = (0..g.usize_in(0, 10)).map(|_| g.usize_in(0, 16)).collect();
+        let b: BTreeSet<usize> = (0..g.usize_in(0, 10)).map(|_| g.usize_in(0, 16)).collect();
         let ga = Group::from_ranks(a.iter().copied().collect()).unwrap();
         let gb = Group::from_ranks(b.iter().copied().collect()).unwrap();
 
-        let union: std::collections::BTreeSet<usize> =
-            ga.union(&gb).ranks().iter().copied().collect();
-        let expected_union: std::collections::BTreeSet<usize> = a.union(&b).copied().collect();
-        prop_assert_eq!(union, expected_union);
+        let union: BTreeSet<usize> = ga.union(&gb).ranks().iter().copied().collect();
+        let expected_union: BTreeSet<usize> = a.union(&b).copied().collect();
+        assert_eq!(union, expected_union);
 
-        let inter: std::collections::BTreeSet<usize> =
-            ga.intersection(&gb).ranks().iter().copied().collect();
-        let expected_inter: std::collections::BTreeSet<usize> =
-            a.intersection(&b).copied().collect();
-        prop_assert_eq!(inter, expected_inter);
+        let inter: BTreeSet<usize> = ga.intersection(&gb).ranks().iter().copied().collect();
+        let expected_inter: BTreeSet<usize> = a.intersection(&b).copied().collect();
+        assert_eq!(inter, expected_inter);
 
-        let diff: std::collections::BTreeSet<usize> =
-            ga.difference(&gb).ranks().iter().copied().collect();
-        let expected_diff: std::collections::BTreeSet<usize> = a.difference(&b).copied().collect();
-        prop_assert_eq!(diff, expected_diff);
+        let diff: BTreeSet<usize> = ga.difference(&gb).ranks().iter().copied().collect();
+        let expected_diff: BTreeSet<usize> = a.difference(&b).copied().collect();
+        assert_eq!(diff, expected_diff);
 
         // Membership / rank translation consistency.
         for (idx, &world) in ga.ranks().iter().enumerate() {
-            prop_assert_eq!(ga.rank_of(world), Some(idx));
+            assert_eq!(ga.rank_of(world), Some(idx));
         }
     }
+}
 
-    /// Engine reductions agree with a straightforward serial fold.
-    #[test]
-    fn reductions_match_serial_fold(
-        contributions in proptest::collection::vec(
-            proptest::collection::vec(-1000i32..1000, 4), 1..6),
-    ) {
+/// Engine reductions agree with a straightforward serial fold.
+#[test]
+fn reductions_match_serial_fold() {
+    let mut g = Gen::new(0xF01D);
+    for _ in 0..CASES {
+        let n_contrib = g.usize_in(1, 6);
+        let contributions: Vec<Vec<i32>> = (0..n_contrib)
+            .map(|_| (0..4).map(|_| g.i32_in(-1000, 1000)).collect())
+            .collect();
         for op in [PredefinedOp::Sum, PredefinedOp::Max, PredefinedOp::Min] {
             let engine_op = Op::Predefined(op);
-            let mut acc: Vec<u8> = contributions[0].iter().flat_map(|v| v.to_le_bytes()).collect();
+            let mut acc: Vec<u8> = contributions[0]
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect();
             for c in &contributions[1..] {
                 let bytes: Vec<u8> = c.iter().flat_map(|v| v.to_le_bytes()).collect();
-                engine_op.apply(&bytes, &mut acc, PrimitiveKind::Int, 4).unwrap();
+                engine_op
+                    .apply(&bytes, &mut acc, PrimitiveKind::Int, 4)
+                    .unwrap();
             }
-            let got: Vec<i32> = acc.chunks_exact(4)
+            let got: Vec<i32> = acc
+                .chunks_exact(4)
                 .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
                 .collect();
             for i in 0..4 {
@@ -122,27 +177,36 @@ proptest! {
                     PredefinedOp::Min => *column.iter().min().unwrap(),
                     _ => unreachable!(),
                 };
-                prop_assert_eq!(got[i], expected, "op {:?} column {}", op, i);
+                assert_eq!(got[i], expected, "op {op:?} column {i}");
             }
         }
     }
+}
 
-    /// The object serializer round-trips arbitrary nested payloads.
-    #[test]
-    fn serialization_roundtrip(
-        ints in proptest::collection::vec(any::<i64>(), 0..20),
-        text in "[a-zA-Z0-9 ]{0,40}",
-        flag in proptest::option::of(any::<bool>()),
-    ) {
+/// The object serializer round-trips arbitrary nested payloads.
+#[test]
+fn serialization_roundtrip() {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+    let mut g = Gen::new(0x5E41);
+    for _ in 0..CASES {
+        let ints: Vec<i64> = (0..g.usize_in(0, 20))
+            .map(|_| g.next_u64() as i64)
+            .collect();
+        let text: String = (0..g.usize_in(0, 40))
+            .map(|_| ALPHABET[g.usize_in(0, ALPHABET.len())] as char)
+            .collect();
+        let flag = if g.bool() { Some(g.bool()) } else { None };
         let value = (ints.clone(), text.clone(), flag);
         let bytes = serialize(&value);
         let back: (Vec<i64>, String, Option<bool>) = deserialize(&bytes).unwrap();
-        prop_assert_eq!(back, value);
+        assert_eq!(back, value);
     }
+}
 
-    /// Status counts divide bytes exactly or report None, never panic.
-    #[test]
-    fn status_count_partial_instances(bytes in 0usize..256) {
+/// Status counts divide bytes exactly or report None, never panic.
+#[test]
+fn status_count_partial_instances() {
+    for bytes in 0usize..256 {
         let info = mpi_native::StatusInfo {
             source: 0,
             tag: 0,
@@ -150,10 +214,14 @@ proptest! {
             cancelled: false,
             index: 0,
         };
-        for kind in [PrimitiveKind::Byte, PrimitiveKind::Int, PrimitiveKind::Double] {
+        for kind in [
+            PrimitiveKind::Byte,
+            PrimitiveKind::Int,
+            PrimitiveKind::Double,
+        ] {
             match info.count(kind) {
-                Some(n) => prop_assert_eq!(n * kind.size(), bytes),
-                None => prop_assert_ne!(bytes % kind.size(), 0),
+                Some(n) => assert_eq!(n * kind.size(), bytes),
+                None => assert_ne!(bytes % kind.size(), 0),
             }
         }
     }
