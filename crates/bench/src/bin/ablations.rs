@@ -4,7 +4,10 @@
 //! * marshalling copy vs pinning on the simulated JNI boundary,
 //! * object serialization (`MPI.OBJECT`) vs derived datatypes for strided
 //!   data,
-//! * SPSC ring vs mutex mailbox for the shared-memory fast path.
+//! * SPSC ring vs mutex mailbox for the shared-memory fast path,
+//! * collective algorithm (linear vs binomial tree vs recursive doubling
+//!   vs ring) per device — the Figure-5/6-style axis for the collective
+//!   subsystem (full sweep: the `collectives` binary).
 //!
 //! ```text
 //! cargo run --release -p mpi-bench --bin ablations
@@ -221,6 +224,40 @@ fn ablation_ring() {
     println!();
 }
 
+/// Ablation 5: the collective-algorithm axis. Bcast and allreduce at a
+/// bandwidth-bound payload on eight ranks, each algorithm pinned through
+/// `MpiRuntime::coll_algorithm` (the programmatic form of
+/// `MPIJAVA_COLL_ALG`); `auto` is the tuned size-aware selector.
+fn ablation_collectives() {
+    use mpi_bench::collbench::{run_suite, CollBenchSpec};
+    use mpijava::CollAlgorithm;
+    println!("== ablation: collective algorithm (64 KiB, 8 ranks, SM) ==");
+    let spec = CollBenchSpec {
+        ranks: 8,
+        devices: vec![DeviceKind::ShmFast],
+        algorithms: vec![
+            None,
+            Some(CollAlgorithm::Linear),
+            Some(CollAlgorithm::BinomialTree),
+            Some(CollAlgorithm::RecursiveDoubling),
+            Some(CollAlgorithm::Ring),
+        ],
+        payloads: vec![64 * 1024],
+        reps: 10,
+        warmup: 3,
+        link: mpi_bench::collbench::modelled_link(),
+    };
+    let records = run_suite(&spec, |_| ());
+    for op in ["bcast", "allreduce", "allgather", "barrier"] {
+        print!("  {op:>10}:");
+        for r in records.iter().filter(|r| r.op == op) {
+            print!(" {}={:.1}us", r.algorithm, r.us_per_op);
+        }
+        println!();
+    }
+    println!();
+}
+
 /// Quick self-check that the Serializable bound used above is exercised.
 #[allow(dead_code)]
 fn assert_serializable<T: Serializable>() {}
@@ -230,4 +267,5 @@ fn main() {
     ablation_pin();
     ablation_serialization();
     ablation_ring();
+    ablation_collectives();
 }

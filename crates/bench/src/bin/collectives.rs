@@ -1,0 +1,86 @@
+//! Collective-algorithm sweep: measures every collective under every
+//! algorithm on every device and writes the machine-readable
+//! `BENCH_collectives.json` used to track the collective subsystem's
+//! performance across PRs.
+//!
+//! ```text
+//! cargo run --release -p mpi-bench --bin collectives [RANKS] [REPS] [raw]
+//! ```
+//!
+//! Defaults: 8 ranks, 10 timed reps per cell (3 warm-up), with the
+//! modelled ~256 MB/s link attached (see `collbench` module docs: the link
+//! charge overlaps across rank pairs like independent link hardware, so
+//! the numbers reflect the link-level concurrency collective algorithms
+//! are chosen for; pass `raw` as the third argument for unmodelled wall
+//! clock). The sweep finishes with the headline comparison the tuning
+//! table is built on: tree/ring vs linear for bcast + allreduce at large
+//! payloads on the shared-memory device.
+
+use std::fs;
+
+use mpi_bench::collbench::{format_table, run_suite, to_json, CollBenchSpec, CollRecord};
+
+fn find(records: &[CollRecord], op: &str, alg: &str, payload: usize) -> Option<f64> {
+    records
+        .iter()
+        .find(|r| {
+            r.op == op && r.algorithm == alg && r.payload_bytes == payload && r.device == "shm-fast"
+        })
+        .map(|r| r.us_per_op)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ranks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let raw = args.next().as_deref() == Some("raw");
+    let spec = CollBenchSpec {
+        ranks,
+        reps,
+        link: if raw {
+            mpijava::DeviceProfile::free()
+        } else {
+            mpi_bench::collbench::modelled_link()
+        },
+        ..CollBenchSpec::default()
+    };
+
+    eprintln!(
+        "collective sweep: {} ranks, {} devices, {} algorithms, payloads {:?}",
+        spec.ranks,
+        spec.devices.len(),
+        spec.algorithms.len(),
+        spec.payloads
+    );
+    let records = run_suite(&spec, |r| {
+        eprintln!(
+            "  {:>10} {:>9} {:>7} {:>10}B -> {:>10.2} us",
+            r.op, r.device, r.algorithm, r.payload_bytes, r.us_per_op
+        );
+    });
+
+    let json = to_json(&records);
+    fs::write("BENCH_collectives.json", &json).expect("write BENCH_collectives.json");
+    println!("{}", format_table(&records));
+    println!("wrote BENCH_collectives.json ({} cells)", records.len());
+
+    // Headline: the tuning table's claim at the large-payload end.
+    println!(
+        "\n== shm-fast, P={} — scalable algorithms vs the linear baseline ==",
+        spec.ranks
+    );
+    for op in ["bcast", "allreduce"] {
+        for &payload in spec.payloads.iter().filter(|&&p| p >= 64 * 1024) {
+            let linear = find(&records, op, "linear", payload);
+            for alg in ["tree", "rd", "ring"] {
+                if let (Some(lin), Some(us)) = (linear, find(&records, op, alg, payload)) {
+                    println!(
+                        "  {op:>9} {payload:>7}B: {alg:>5} {us:>9.1} us vs linear {lin:>9.1} us ({}{:.2}x)",
+                        if lin >= us { "+" } else { "-" },
+                        lin / us
+                    );
+                }
+            }
+        }
+    }
+}

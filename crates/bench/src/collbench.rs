@@ -1,0 +1,362 @@
+//! Collective benchmark harness with machine-readable output: measures
+//! op × device × algorithm × payload → microseconds per call and emits
+//! `BENCH_collectives.json` so the performance trajectory of the
+//! collective subsystem is tracked across PRs.
+//!
+//! Every measurement runs through the `mpijava` wrapper (the paper's
+//! stack), with the engine's collective algorithm either left to the
+//! tuned selector (`"auto"`) or pinned per run via
+//! [`MpiRuntime::coll_algorithm`]. The reduction payload is `MPI.INT`
+//! with `MPI.SUM`, whose order policy admits every algorithm, so the
+//! `linear` / `tree` / `rd` / `ring` rows are directly comparable.
+//! Cells whose pinned algorithm cannot implement the operation (ring has
+//! no bcast, recursive doubling needs a power-of-two communicator, …)
+//! are *skipped* rather than silently measuring the tuned fallback under
+//! a wrong label — every emitted row measures exactly the algorithm it
+//! names.
+//!
+//! ## The modelled link
+//!
+//! By default the sweep attaches a [`DeviceProfile`] charging
+//! [`LINK_NS_PER_BYTE`] per payload byte plus [`LINK_PER_MESSAGE_US`] per
+//! frame on the send path — a ~256 MB/s link. The charge occupies
+//! the modelled *link*, not the CPU (it yields while waiting), so
+//! transfers on different rank pairs overlap in wall time exactly as
+//! independent links do. This matters because collective algorithm choice
+//! is about link-level concurrency: on a CI container with fewer cores
+//! than ranks, raw wall clock degenerates to total-bytes-moved (identical
+//! across algorithms) and measures only scheduler noise. The structural
+//! no-cost mode is still available via [`CollBenchSpec::link`] =
+//! [`DeviceProfile::free`] (the `raw` flag of the `collectives` binary);
+//! the applied per-byte cost is recorded in every JSON record.
+
+use std::time::Instant;
+
+use mpijava::{CollAlgorithm, Datatype, DeviceKind, DeviceProfile, MpiRuntime, Op};
+
+/// Modelled link cost per payload byte (4 ns/B ≈ a 256 MB/s link — the
+/// bandwidth regime of the paper's SM-mode curves, scaled up a decade).
+pub const LINK_NS_PER_BYTE: f64 = 4.0;
+/// Modelled fixed cost per frame (microseconds).
+pub const LINK_PER_MESSAGE_US: u64 = 1;
+
+/// The default modelled link (see the module docs).
+pub fn modelled_link() -> DeviceProfile {
+    DeviceProfile {
+        per_message_cost: std::time::Duration::from_micros(LINK_PER_MESSAGE_US),
+        per_byte_cost_ns: LINK_NS_PER_BYTE,
+    }
+}
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollRecord {
+    /// Collective name: `barrier`, `bcast`, `allreduce`, `allgather`.
+    pub op: String,
+    /// Device label (`shm-fast`, `shm-p4`, `tcp`).
+    pub device: String,
+    /// Algorithm label (`auto` for the tuned selector).
+    pub algorithm: String,
+    /// Total payload bytes of the collective (0 for barrier).
+    pub payload_bytes: usize,
+    /// Communicator size.
+    pub ranks: usize,
+    /// Wall microseconds per collective call (rank 0, steady state).
+    pub us_per_op: f64,
+    /// Modelled link cost applied during the run (0 = raw wall clock).
+    pub link_ns_per_byte: f64,
+}
+
+/// Sweep specification.
+#[derive(Debug, Clone)]
+pub struct CollBenchSpec {
+    pub ranks: usize,
+    pub devices: Vec<DeviceKind>,
+    /// `None` = the tuned selector (`auto`); `Some(alg)` pins one.
+    pub algorithms: Vec<Option<CollAlgorithm>>,
+    pub payloads: Vec<usize>,
+    pub reps: usize,
+    pub warmup: usize,
+    /// Synthetic link model charged per frame ([`modelled_link`] by
+    /// default; [`DeviceProfile::free`] for raw wall clock).
+    pub link: DeviceProfile,
+}
+
+impl Default for CollBenchSpec {
+    fn default() -> CollBenchSpec {
+        CollBenchSpec {
+            ranks: 8,
+            devices: vec![DeviceKind::ShmFast, DeviceKind::ShmP4, DeviceKind::Tcp],
+            algorithms: vec![
+                None,
+                Some(CollAlgorithm::Linear),
+                Some(CollAlgorithm::BinomialTree),
+                Some(CollAlgorithm::RecursiveDoubling),
+                Some(CollAlgorithm::Ring),
+            ],
+            payloads: vec![1024, 64 * 1024, 256 * 1024],
+            reps: 10,
+            warmup: 3,
+            link: modelled_link(),
+        }
+    }
+}
+
+/// The collectives the sweep covers.
+pub const COLL_OPS: [&str; 4] = ["barrier", "bcast", "allreduce", "allgather"];
+
+fn algorithm_label(alg: Option<CollAlgorithm>) -> String {
+    alg.map_or_else(|| "auto".to_string(), |a| a.label().to_string())
+}
+
+/// Measure one (op, device, algorithm, payload) cell: microseconds per
+/// call, best of three timed windows, each opened *and closed* by a
+/// barrier so the clock covers the whole collective completing on every
+/// rank (not just the measuring rank's local part).
+///
+/// The eager threshold is raised above every swept payload: collective
+/// schedules post their receives before the matching sends, so the
+/// rendezvous handshake would be pure per-hop overhead here, and real
+/// MPI implementations use separate (higher) protocol switch-over points
+/// for collectives for exactly that reason.
+#[allow(clippy::too_many_arguments)]
+pub fn measure(
+    op: &'static str,
+    device: DeviceKind,
+    alg: Option<CollAlgorithm>,
+    ranks: usize,
+    payload_bytes: usize,
+    reps: usize,
+    warmup: usize,
+    link: DeviceProfile,
+) -> f64 {
+    let mut runtime = MpiRuntime::new(ranks)
+        .device(device)
+        .profile(link)
+        .eager_threshold(1 << 20);
+    if let Some(alg) = alg {
+        runtime = runtime.coll_algorithm(alg);
+    }
+    let per_rank = runtime
+        .run(move |mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+            let size = world.size()?;
+            let count = (payload_bytes / 4).max(1);
+            let send: Vec<i32> = (0..count as i32)
+                .map(|i| i.wrapping_mul(rank as i32 + 1))
+                .collect();
+            let mut recv = vec![0i32; count];
+            let mut bytes = vec![rank as u8; payload_bytes.max(1)];
+            let contrib_count = (count / size).max(1);
+            let contrib = vec![rank as i32; contrib_count];
+            let mut gathered = vec![0i32; contrib_count * size];
+            let mut run_once = || -> mpijava::MpiResult<()> {
+                match op {
+                    "barrier" => world.barrier(),
+                    "bcast" => {
+                        let len = bytes.len();
+                        world.bcast(&mut bytes, 0, len, &Datatype::byte(), 0)
+                    }
+                    "allreduce" => {
+                        world.allreduce(&send, 0, &mut recv, 0, count, &Datatype::int(), &Op::sum())
+                    }
+                    "allgather" => world.allgather(
+                        &contrib,
+                        0,
+                        contrib_count,
+                        &Datatype::int(),
+                        &mut gathered,
+                        0,
+                        contrib_count,
+                        &Datatype::int(),
+                    ),
+                    other => panic!("unknown collective {other}"),
+                }
+            };
+            for _ in 0..warmup {
+                run_once()?;
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                world.barrier()?;
+                let start = Instant::now();
+                for _ in 0..reps {
+                    run_once()?;
+                }
+                world.barrier()?;
+                best = best.min(start.elapsed().as_secs_f64() * 1e6 / reps as f64);
+            }
+            Ok(best)
+        })
+        .expect("collective bench run");
+    per_rank[0]
+}
+
+/// Can a pinned algorithm implement a benched op on `ranks` ranks at
+/// all? (The benched workloads — byte bcast, `MPI.INT` + `MPI.SUM`
+/// reductions — all carry the `Any` order policy, so only the op/size
+/// axes matter.) Mirrors the engine's own applicability rules; cells
+/// that fail this are skipped so no row mislabels a fallback run.
+pub fn algorithm_applies(alg: Option<CollAlgorithm>, op: &str, ranks: usize) -> bool {
+    use mpi_native::coll::tuning::{supported, CollOp, OrderPolicy};
+    let Some(alg) = alg else {
+        return true; // "auto" always applies
+    };
+    let coll_op = match op {
+        "barrier" => CollOp::Barrier,
+        "bcast" => CollOp::Bcast,
+        "allreduce" => CollOp::Allreduce,
+        "allgather" => CollOp::Allgather,
+        other => panic!("unknown collective {other}"),
+    };
+    supported(alg, coll_op, ranks, OrderPolicy::Any)
+}
+
+/// Run the full sweep. `progress` is called once per finished cell (the
+/// binary uses it for a live log; pass `|_| ()` to stay quiet).
+pub fn run_suite(spec: &CollBenchSpec, mut progress: impl FnMut(&CollRecord)) -> Vec<CollRecord> {
+    let mut records = Vec::new();
+    for &device in &spec.devices {
+        for &alg in &spec.algorithms {
+            for op in COLL_OPS {
+                if !algorithm_applies(alg, op, spec.ranks) {
+                    continue;
+                }
+                // Barrier has no payload axis; measure it once.
+                let payloads: &[usize] = if op == "barrier" {
+                    &[0]
+                } else {
+                    &spec.payloads
+                };
+                for &payload in payloads {
+                    let us = measure(
+                        op,
+                        device,
+                        alg,
+                        spec.ranks,
+                        payload,
+                        spec.reps,
+                        spec.warmup,
+                        spec.link,
+                    );
+                    let record = CollRecord {
+                        op: op.to_string(),
+                        device: device.label().to_string(),
+                        algorithm: algorithm_label(alg),
+                        payload_bytes: payload,
+                        ranks: spec.ranks,
+                        us_per_op: us,
+                        link_ns_per_byte: spec.link.per_byte_cost_ns,
+                    };
+                    progress(&record);
+                    records.push(record);
+                }
+            }
+        }
+    }
+    records
+}
+
+/// Serialize the records as a JSON array (all field values are plain
+/// numbers or label strings, so no escaping is required).
+pub fn to_json(records: &[CollRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"op\": \"{}\", \"device\": \"{}\", \"algorithm\": \"{}\", \
+             \"payload_bytes\": {}, \"ranks\": {}, \"us_per_op\": {:.3}, \
+             \"link_ns_per_byte\": {}}}{}\n",
+            r.op,
+            r.device,
+            r.algorithm,
+            r.payload_bytes,
+            r.ranks,
+            r.us_per_op,
+            r.link_ns_per_byte,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Aligned text table of the records (one row per cell), for humans.
+pub fn format_table(records: &[CollRecord]) -> String {
+    let mut out = format!(
+        "{:>10} {:>9} {:>7} {:>10} {:>6} {:>12}\n",
+        "op", "device", "alg", "bytes", "ranks", "us/op"
+    );
+    for r in records {
+        out.push_str(&format!(
+            "{:>10} {:>9} {:>7} {:>10} {:>6} {:>12.2}\n",
+            r.op, r.device, r.algorithm, r.payload_bytes, r.ranks, r.us_per_op
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let records = vec![
+            CollRecord {
+                op: "bcast".into(),
+                device: "shm-fast".into(),
+                algorithm: "tree".into(),
+                payload_bytes: 65536,
+                ranks: 8,
+                us_per_op: 12.345,
+                link_ns_per_byte: 1.0,
+            },
+            CollRecord {
+                op: "barrier".into(),
+                device: "tcp".into(),
+                algorithm: "auto".into(),
+                payload_bytes: 0,
+                ranks: 8,
+                us_per_op: 3.0,
+                link_ns_per_byte: 0.0,
+            },
+        ];
+        let json = to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"op\": \"bcast\""));
+        assert!(json.contains("\"algorithm\": \"tree\""));
+        assert!(json.contains("\"payload_bytes\": 65536"));
+        assert!(json.contains("\"us_per_op\": 12.345"));
+        assert!(json.contains("\"link_ns_per_byte\": 1"));
+        // Exactly one separating comma between the two objects.
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn tiny_sweep_produces_one_record_per_cell() {
+        let spec = CollBenchSpec {
+            ranks: 2,
+            devices: vec![DeviceKind::ShmFast],
+            algorithms: vec![None, Some(CollAlgorithm::BinomialTree)],
+            payloads: vec![256],
+            reps: 2,
+            warmup: 1,
+            link: DeviceProfile::free(),
+        };
+        let records = run_suite(&spec, |_| ());
+        // auto covers all 4 ops; the pinned binomial tree implements
+        // barrier/bcast/allreduce but not allgather, whose cell must be
+        // skipped rather than mislabeled: 4 + 3 = 7 cells.
+        assert_eq!(records.len(), 7);
+        assert!(records.iter().all(|r| r.us_per_op > 0.0));
+        assert!(records.iter().any(|r| r.algorithm == "auto"));
+        assert!(records
+            .iter()
+            .any(|r| r.op == "barrier" && r.payload_bytes == 0));
+        assert!(!records
+            .iter()
+            .any(|r| r.op == "allgather" && r.algorithm == "tree"));
+    }
+}

@@ -32,10 +32,12 @@
 //!   the same few-hundred-microsecond regime as Table 1, for side-by-side
 //!   reading with the paper.
 
+pub mod collbench;
 pub mod linpack;
 pub mod pingpong;
 pub mod report;
 
+pub use collbench::{run_suite as run_collective_suite, CollBenchSpec, CollRecord};
 pub use linpack::{linpack_compiled, linpack_interpreted, LinpackResult};
 pub use pingpong::{run_pingpong, Calibration, Mode, PingPongPoint, PingPongSpec, Stack};
 pub use report::{format_bandwidth_table, format_table1, Series};

@@ -3,6 +3,14 @@
 //!
 //! `Intracomm` dereferences to [`Comm`], mirroring the class hierarchy of
 //! the paper's Figure 1 (`Intracomm extends Comm`).
+//!
+//! Every collective below routes through the engine's pluggable
+//! algorithm subsystem (`mpi_native::coll`): a size-aware selector picks
+//! linear / binomial-tree / recursive-doubling / ring wire patterns per
+//! call, and `MpiRuntime::coll_algorithm` (or the `MPIJAVA_COLL_ALG`
+//! environment variable) pins one for ablations. The Java-style argument
+//! conventions and results here are byte-identical regardless of the
+//! algorithm — the classic surface stays the paper's contract.
 
 use std::ops::Deref;
 use std::sync::Arc;

@@ -122,7 +122,7 @@ pub use serial::{ObjectInputStream, ObjectOutputStream, Serializable};
 pub use status::Status;
 
 // Re-export the pieces of the lower layers that appear in this crate's API.
-pub use mpi_native::{CompareResult, EngineStats, ErrorClass, PrimitiveKind};
+pub use mpi_native::{CollAlgorithm, CompareResult, EngineStats, ErrorClass, PrimitiveKind};
 pub use mpi_transport::{DeviceKind, DeviceProfile, NetworkModel};
 
 use std::sync::Arc;
@@ -250,6 +250,7 @@ pub struct MpiRuntime {
     network: NetworkModel,
     profile: DeviceProfile,
     eager_threshold: Option<usize>,
+    coll_algorithm: Option<CollAlgorithm>,
     jni: JniConfig,
 }
 
@@ -262,6 +263,7 @@ impl MpiRuntime {
             network: NetworkModel::unshaped(),
             profile: DeviceProfile::default(),
             eager_threshold: None,
+            coll_algorithm: None,
             jni: JniConfig::default(),
         }
     }
@@ -291,6 +293,15 @@ impl MpiRuntime {
         self
     }
 
+    /// Pin the collective algorithm on every rank, overriding the
+    /// size-aware tuning table (ablations; see `mpi_native::coll`). The
+    /// classic and idiomatic collective surfaces both route through the
+    /// engine's selector, so the pin affects either API uniformly.
+    pub fn coll_algorithm(mut self, alg: CollAlgorithm) -> Self {
+        self.coll_algorithm = Some(alg);
+        self
+    }
+
     /// Configure the simulated JNI boundary (marshal mode, per-call cost).
     pub fn jni(mut self, config: JniConfig) -> Self {
         self.jni = config;
@@ -310,6 +321,7 @@ impl MpiRuntime {
             network: self.network,
             profile: self.profile,
             eager_threshold: self.eager_threshold,
+            coll_algorithm: self.coll_algorithm,
             processor_name_prefix: None,
         };
         let fabric_config = mpi_transport::FabricConfig::new(self.size, self.device)
@@ -322,6 +334,7 @@ impl MpiRuntime {
         let f = &f;
         let jni = self.jni;
         let eager = self.eager_threshold;
+        let coll = self.coll_algorithm;
 
         let results: Vec<MpiResult<T>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.size);
@@ -330,6 +343,9 @@ impl MpiRuntime {
                     let mut engine = Engine::new(endpoint);
                     if let Some(bytes) = eager {
                         engine.set_eager_threshold(bytes);
+                    }
+                    if coll.is_some() {
+                        engine.set_coll_algorithm(coll);
                     }
                     let mpi = MPI::init(engine, jni);
                     let outcome =

@@ -49,11 +49,63 @@
 //! }).unwrap();
 //! ```
 //!
-//! Mixing surfaces in one source file: the trait's short names shadow the
-//! classic Java-style methods for any type that implements
-//! [`Communicator`] once the trait is imported. Call the classic form
-//! explicitly (`Comm::send(&world, ...)`) in files that need both, or
-//! keep the two styles in separate modules.
+//! ## Mixing surfaces in one source file: the shadowing caveat
+//!
+//! The trait's short names shadow the classic Java-style methods for any
+//! type that implements [`Communicator`] once the trait is imported:
+//! method resolution finds the trait impl on `Intracomm` *before* it
+//! tries the `Deref` to [`Comm`] that the classic inherent
+//! methods live behind. With the trait imported at file scope, the
+//! classic six-argument `send` no longer resolves:
+//!
+//! ```compile_fail
+//! use mpijava::rs::Communicator; // file-wide import shadows classic names
+//! use mpijava::{Datatype, MpiRuntime};
+//!
+//! MpiRuntime::new(2).run(|mpi| {
+//!     let world = mpi.comm_world();
+//!     // ERROR: this now resolves to rs::Communicator::send(buf, dest, tag),
+//!     // which takes three arguments, not six.
+//!     world.send(&[1u8], 0, 1, &Datatype::byte(), 1, 7)?;
+//!     Ok(())
+//! }).unwrap();
+//! ```
+//!
+//! The idiom: import the trait *scoped* — inside the function (or inner
+//! module) that wants the idiomatic surface, anonymously via
+//! `use ... as _;` since only the methods are needed, not the name. The
+//! rest of the file keeps the classic resolution:
+//!
+//! ```
+//! use mpijava::{Datatype, MpiRuntime};
+//!
+//! /// Idiomatic half: the trait import is contained to this function.
+//! fn sum_of_ranks(world: &mpijava::Intracomm) -> mpijava::MpiResult<i32> {
+//!     use mpijava::rs::Communicator as _;
+//!     let mut total = [0i32];
+//!     world.all_reduce(&[world.rank()? as i32], &mut total, mpijava::Op::sum())?;
+//!     Ok(total[0])
+//! }
+//!
+//! MpiRuntime::new(2).run(|mpi| {
+//!     let world = mpi.comm_world();
+//!     let rank = world.rank()?; // classic Comm::Rank via Deref — un-shadowed here
+//!     assert_eq!(sum_of_ranks(&world)?, 1);
+//!     // The classic six-argument Send/Recv still resolve in this scope.
+//!     if rank == 0 {
+//!         world.send(&[42u8], 0, 1, &Datatype::byte(), 1, 7)?;
+//!     } else {
+//!         let mut buf = [0u8];
+//!         world.recv(&mut buf, 0, 1, &Datatype::byte(), 0, 7)?;
+//!         assert_eq!(buf[0], 42);
+//!     }
+//!     Ok(())
+//! }).unwrap();
+//! ```
+//!
+//! Escape hatch when both surfaces must share one scope: call the classic
+//! form fully qualified, `Comm::send(&world, buf, off, count, ty, dest,
+//! tag)` — inherent methods named explicitly ignore trait shadowing.
 
 use std::borrow::Borrow;
 

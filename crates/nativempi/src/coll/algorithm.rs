@@ -1,0 +1,121 @@
+//! The collective algorithm identifiers and the `MPIJAVA_COLL_ALG`
+//! override.
+//!
+//! Which wire pattern a collective uses is normally decided by the tuning
+//! table in [`tuning`](super::tuning). For ablations the choice can be
+//! pinned, either programmatically
+//! ([`Engine::set_coll_algorithm`](crate::Engine::set_coll_algorithm),
+//! `MpiRuntime::coll_algorithm` in the binding) or through the
+//! [`COLL_ALG_ENV`] environment variable, which every engine reads once at
+//! construction time. A pinned algorithm that cannot implement the
+//! requested operation (see [`tuning::supported`](super::tuning::supported))
+//! falls back to the tuned choice, so a forced run is always correct —
+//! just possibly less interesting.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Environment variable pinning the collective algorithm for ablations:
+/// `MPIJAVA_COLL_ALG=linear|tree|rd|ring`. Unset, empty or `auto` keeps
+/// the tuned size-aware selection. Every rank of a job reads the same
+/// process environment, so the choice is symmetric by construction.
+pub const COLL_ALG_ENV: &str = "MPIJAVA_COLL_ALG";
+
+/// The collective wire patterns the engine implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollAlgorithm {
+    /// Root-centric fan-in/fan-out — the paper-faithful baseline the seed
+    /// shipped with. O(P) serialized latency at the root, but the only
+    /// pattern that reproduces the *sequential* rank-ordered reduction
+    /// fold bit-for-bit (which floating `SUM`/`PROD` require).
+    Linear,
+    /// Binomial tree: barrier, bcast, gather, scatter, reduce. O(log P)
+    /// rounds; reductions merge sibling rank blocks left-to-right, so any
+    /// associative operation (all MPI operations, by contract) reduces in
+    /// rank order.
+    BinomialTree,
+    /// Recursive doubling: barrier, allgather, allreduce on power-of-two
+    /// communicators. O(log P) rounds with pairwise exchanges.
+    RecursiveDoubling,
+    /// Ring: allgather, reduce-scatter, allreduce (reduce-scatter +
+    /// allgather). O(P) rounds but every link is busy every round, so it
+    /// has the best bandwidth term for large payloads.
+    Ring,
+}
+
+impl CollAlgorithm {
+    /// Every algorithm, in ablation-sweep order.
+    pub const ALL: [CollAlgorithm; 4] = [
+        CollAlgorithm::Linear,
+        CollAlgorithm::BinomialTree,
+        CollAlgorithm::RecursiveDoubling,
+        CollAlgorithm::Ring,
+    ];
+
+    /// Stable label used in benchmark output and accepted by [`FromStr`].
+    pub fn label(self) -> &'static str {
+        match self {
+            CollAlgorithm::Linear => "linear",
+            CollAlgorithm::BinomialTree => "tree",
+            CollAlgorithm::RecursiveDoubling => "rd",
+            CollAlgorithm::Ring => "ring",
+        }
+    }
+
+    /// Read the [`COLL_ALG_ENV`] override from the process environment.
+    /// Unset, empty, `auto`, or an unrecognized value mean "no override".
+    pub fn from_env() -> Option<CollAlgorithm> {
+        std::env::var(COLL_ALG_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+    }
+}
+
+impl fmt::Display for CollAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for CollAlgorithm {
+    type Err = ();
+
+    fn from_str(s: &str) -> std::result::Result<CollAlgorithm, ()> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "linear" => Ok(CollAlgorithm::Linear),
+            "tree" | "binomial" | "binomial-tree" => Ok(CollAlgorithm::BinomialTree),
+            "rd" | "recursive-doubling" | "recursive_doubling" => {
+                Ok(CollAlgorithm::RecursiveDoubling)
+            }
+            "ring" => Ok(CollAlgorithm::Ring),
+            _ => Err(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_through_fromstr() {
+        for alg in CollAlgorithm::ALL {
+            assert_eq!(alg.label().parse::<CollAlgorithm>().unwrap(), alg);
+        }
+    }
+
+    #[test]
+    fn aliases_and_rejections() {
+        assert_eq!(
+            "recursive-doubling".parse::<CollAlgorithm>().unwrap(),
+            CollAlgorithm::RecursiveDoubling
+        );
+        assert_eq!(
+            "Binomial".parse::<CollAlgorithm>().unwrap(),
+            CollAlgorithm::BinomialTree
+        );
+        assert!("auto".parse::<CollAlgorithm>().is_err());
+        assert!("".parse::<CollAlgorithm>().is_err());
+        assert!("quantum".parse::<CollAlgorithm>().is_err());
+    }
+}

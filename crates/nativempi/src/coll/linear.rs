@@ -1,0 +1,284 @@
+//! The linear (root-centric) collective algorithms — the paper-faithful
+//! baseline the seed shipped with.
+//!
+//! Fan-in / fan-out through a single root: O(P) rounds with all traffic
+//! serialized at the root. With the rank counts of the paper's experiments
+//! (2–8) they are within a small constant of the tree algorithms, and the
+//! strictly sequential rank-order fold is the *reference semantics* every
+//! other algorithm must reproduce byte-for-byte — it is also the only
+//! pattern that keeps floating `SUM`/`PROD` bit-stable, which is why the
+//! tuning layer pins those to `Linear`.
+//!
+//! These functions never dispatch back through the selector: the linear
+//! composites (allgather = gather + bcast, reduce-scatter = reduce +
+//! scatter) call the linear primitives directly so a forced-`Linear` run
+//! is linear all the way down.
+
+use super::{coll_tag, entries_to_parts, frame_entries, unframe_entries, CollOp};
+use crate::comm::CommHandle;
+use crate::error::{err, ErrorClass, Result};
+use crate::ops::Op;
+use crate::types::PrimitiveKind;
+use crate::Engine;
+
+impl Engine {
+    /// Linear fan-in to rank 0 followed by fan-out.
+    pub(crate) fn barrier_linear(&mut self, comm: CommHandle) -> Result<()> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let fan_in = coll_tag(CollOp::Barrier, 0);
+        let fan_out = coll_tag(CollOp::Barrier, 1);
+        if rank == 0 {
+            for src in 1..size {
+                self.recv_collective(comm, src as i32, fan_in)?;
+            }
+            for dst in 1..size {
+                self.send_collective(comm, dst as i32, fan_out, &[])?;
+            }
+        } else {
+            self.send_collective(comm, 0, fan_in, &[])?;
+            self.recv_collective(comm, 0, fan_out)?;
+        }
+        Ok(())
+    }
+
+    /// The root sends the payload to every other rank in turn.
+    pub(crate) fn bcast_linear(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        buf: &mut Vec<u8>,
+    ) -> Result<()> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let tag = coll_tag(CollOp::Bcast, 0);
+        if rank == root {
+            for dst in 0..size {
+                if dst != root {
+                    self.send_collective(comm, dst as i32, tag, buf)?;
+                }
+            }
+        } else {
+            let (data, _) = self.recv_collective(comm, root as i32, tag)?;
+            *buf = data;
+        }
+        Ok(())
+    }
+
+    /// The root receives one contribution per rank, in rank order.
+    pub(crate) fn gather_linear(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        send: &[u8],
+    ) -> Result<Option<Vec<Vec<u8>>>> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let tag = coll_tag(CollOp::Gather, 0);
+        if rank == root {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
+            out[root] = send.to_vec();
+            #[allow(clippy::needless_range_loop)] // skip-one loop is clearest as indices
+            for src in 0..size {
+                if src != root {
+                    let (data, _) = self.recv_collective(comm, src as i32, tag)?;
+                    out[src] = data;
+                }
+            }
+            Ok(Some(out))
+        } else {
+            self.send_collective(comm, root as i32, tag, send)?;
+            Ok(None)
+        }
+    }
+
+    /// The root sends each rank its chunk in turn.
+    pub(crate) fn scatter_linear(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        chunks: Option<&[Vec<u8>]>,
+    ) -> Result<Vec<u8>> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let tag = coll_tag(CollOp::Scatter, 0);
+        if rank == root {
+            let chunks = chunks.expect("validated by the dispatch layer");
+            #[allow(clippy::needless_range_loop)] // skip-one loop is clearest as indices
+            for dst in 0..size {
+                if dst != root {
+                    self.send_collective(comm, dst as i32, tag, &chunks[dst])?;
+                }
+            }
+            Ok(chunks[root].clone())
+        } else {
+            let (data, _) = self.recv_collective(comm, root as i32, tag)?;
+            Ok(data)
+        }
+    }
+
+    /// Gather to rank 0, then broadcast the framed concatenation (the
+    /// per-rank buffers may have different lengths — that is what makes
+    /// this double as allgatherv).
+    pub(crate) fn allgather_linear(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+    ) -> Result<Vec<Vec<u8>>> {
+        let size = self.comm_size(comm)?;
+        let gathered = self.gather_linear(comm, 0, send)?;
+        let mut wire = match gathered {
+            Some(parts) => {
+                let entries: Vec<(u32, Vec<u8>)> = parts
+                    .into_iter()
+                    .enumerate()
+                    .map(|(r, p)| (r as u32, p))
+                    .collect();
+                frame_entries(&entries)
+            }
+            None => Vec::new(),
+        };
+        self.bcast_linear(comm, 0, &mut wire)?;
+        entries_to_parts(unframe_entries(&wire)?, size)
+    }
+
+    /// Posted pairwise exchange: every receive is posted before any send,
+    /// then everything completes.
+    pub(crate) fn alltoall_linear(
+        &mut self,
+        comm: CommHandle,
+        chunks: &[Vec<u8>],
+    ) -> Result<Vec<Vec<u8>>> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let tag = coll_tag(CollOp::Alltoall, 0);
+        let mut recv_reqs = Vec::with_capacity(size);
+        for src in 0..size {
+            if src != rank {
+                recv_reqs.push((
+                    src,
+                    self.irecv_on_context(comm, src as i32, tag, None, true)?,
+                ));
+            }
+        }
+        let mut send_reqs = Vec::with_capacity(size);
+        #[allow(clippy::needless_range_loop)] // skip-one loop is clearest as indices
+        for dst in 0..size {
+            if dst != rank {
+                send_reqs.push(self.isend_on_context(
+                    comm,
+                    dst as i32,
+                    tag,
+                    &chunks[dst],
+                    crate::types::SendMode::Standard,
+                    true,
+                )?);
+            }
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
+        out[rank] = chunks[rank].clone();
+        for (src, req) in recv_reqs {
+            let completion = self.wait(req)?;
+            out[src] = completion.data.unwrap_or_default();
+        }
+        for req in send_reqs {
+            self.wait(req)?;
+        }
+        Ok(out)
+    }
+
+    /// Collect contributions at the root and fold them strictly in rank
+    /// order — the reference fold for every other reduction algorithm.
+    pub(crate) fn reduce_linear(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<Option<Vec<u8>>> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let need = kind.size() * count;
+        let tag = coll_tag(CollOp::Reduce, 0);
+        if rank == root {
+            let mut contributions: Vec<Vec<u8>> = vec![Vec::new(); size];
+            contributions[root] = send.to_vec();
+            #[allow(clippy::needless_range_loop)] // skip-one loop is clearest as indices
+            for src in 0..size {
+                if src != root {
+                    let (data, _) = self.recv_collective(comm, src as i32, tag)?;
+                    if data.len() < need {
+                        return err(ErrorClass::Count, "reduce contribution too short");
+                    }
+                    contributions[src] = data;
+                }
+            }
+            let mut acc = contributions[0][..need].to_vec();
+            for contribution in contributions.iter().skip(1) {
+                op.apply(&contribution[..need], &mut acc, kind, count)?;
+            }
+            Ok(Some(acc))
+        } else {
+            self.send_collective(comm, root as i32, tag, send)?;
+            Ok(None)
+        }
+    }
+
+    /// Reduce the full vector at rank 0, then scatter `counts[i]`-element
+    /// segments.
+    pub(crate) fn reduce_scatter_linear(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+        counts: &[usize],
+        kind: PrimitiveKind,
+        op: &Op,
+    ) -> Result<Vec<u8>> {
+        let size = self.comm_size(comm)?;
+        let rank = self.comm_rank(comm)?;
+        let total: usize = counts.iter().sum();
+        let reduced = self.reduce_linear(comm, 0, send, kind, total, op)?;
+        let chunks: Option<Vec<Vec<u8>>> = reduced.map(|full| {
+            let mut out = Vec::with_capacity(size);
+            let mut cursor = 0usize;
+            for &c in counts {
+                let bytes = c * kind.size();
+                out.push(full[cursor..cursor + bytes].to_vec());
+                cursor += bytes;
+            }
+            out
+        });
+        let my_chunk = self.scatter_linear(comm, 0, chunks.as_deref())?;
+        debug_assert_eq!(my_chunk.len(), counts[rank] * kind.size());
+        Ok(my_chunk)
+    }
+
+    /// Inclusive prefix pipeline: receive the prefix of the lower ranks,
+    /// fold own contribution, pass it on.
+    pub(crate) fn scan_linear(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<Vec<u8>> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let tag = coll_tag(CollOp::Scan, 0);
+        let mut acc = send.to_vec();
+        if rank > 0 {
+            let (prefix, _) = self.recv_collective(comm, (rank - 1) as i32, tag)?;
+            // acc = prefix op own  (rank order: lower ranks first)
+            let mut folded = prefix;
+            op.apply(&acc, &mut folded, kind, count)?;
+            acc = folded;
+        }
+        if rank + 1 < size {
+            self.send_collective(comm, (rank + 1) as i32, tag, &acc)?;
+        }
+        Ok(acc)
+    }
+}

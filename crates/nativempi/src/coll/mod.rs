@@ -1,0 +1,875 @@
+//! Collective operations (MPI-1.1 §4) as a pluggable algorithm subsystem.
+//!
+//! The seed implemented every collective as linear fan-in/fan-out through
+//! rank 0 — O(P) latency with all traffic serialized at the root. This
+//! module keeps that code as the paper-faithful baseline
+//! ([`linear`]) and adds three scalable wire patterns behind an explicit
+//! selection layer:
+//!
+//! * [`tree`] — binomial trees for barrier / bcast / gather / scatter /
+//!   reduce (O(log P) rounds),
+//! * [`rd`] — recursive doubling for barrier / allgather / allreduce on
+//!   power-of-two communicators,
+//! * [`ring`] — ring allgather / reduce-scatter / allreduce for large
+//!   payloads (every link busy every round).
+//!
+//! [`tuning`] picks an algorithm from (operation, communicator size,
+//! payload bytes, reduction-order policy); the choice can be pinned with
+//! [`CollAlgorithm`] via [`Engine::set_coll_algorithm`] or the
+//! `MPIJAVA_COLL_ALG` environment variable ([`algorithm::COLL_ALG_ENV`]).
+//! Whatever is selected, every algorithm produces byte-identical results
+//! (the cross-algorithm equivalence suite in
+//! `tests/coll_equivalence.rs` enforces it), which is why the selection
+//! consults an [`OrderPolicy`] before re-associating a reduction.
+//!
+//! ## Semantics every algorithm preserves
+//!
+//! * Reductions fold in rank order; non-commutative (but associative, as
+//!   MPI requires) user operations see `(((r0 ∘ r1) ∘ …) ∘ rP-1)` up to
+//!   re-association, and floating `SUM`/`PROD` — where re-association
+//!   changes bits — always run the sequential linear fold.
+//! * The `v` variants (per-rank lengths) work under every algorithm: the
+//!   tree and recursive-doubling data movers carry explicit
+//!   `(rank, payload)` framing, the ring derives the owner of each block
+//!   from the round number.
+//! * Single-rank communicators return immediately without touching the
+//!   transport (no frames, no self-copies through the matching queues).
+//!
+//! ## Tag space
+//!
+//! Collective traffic runs on the communicator's private collective
+//! context, so it can never match user receives; tags are therefore free
+//! to encode *which* collective and *which* round a frame belongs to.
+//! `coll_tag` gives each [`CollOp`] a 64-tag window below the engine's
+//! reserved collective tag base (see [`crate::p2p`]), one tag per
+//! algorithm round, so multi-round tree/ring schedules cannot collide even when
+//! the same pair of ranks exchanges several frames within one collective.
+//! Rounds beyond 64 (a ring on a >64-rank communicator) wrap within the
+//! window; that is safe because wrapped frames flow between the same
+//! ordered pair and the transport is FIFO per pair.
+
+pub mod algorithm;
+pub mod linear;
+pub mod rd;
+pub mod ring;
+pub mod tree;
+pub mod tuning;
+
+pub use algorithm::{CollAlgorithm, COLL_ALG_ENV};
+pub use tuning::{CollOp, OrderPolicy};
+
+use crate::comm::CommHandle;
+use crate::error::{err, ErrorClass, MpiError, Result};
+use crate::ops::Op;
+use crate::p2p::COLLECTIVE_TAG_BASE;
+use crate::types::{PrimitiveKind, SendMode, StatusInfo};
+use crate::Engine;
+
+/// Tags reserved per collective operation (one per round).
+pub(crate) const ROUND_SPACE: usize = 64;
+
+/// Tag for round `round` of collective `op`: a distinct window per
+/// operation, a distinct tag per round within the window. See the module
+/// docs for the wrap-around rule.
+pub(crate) fn coll_tag(op: CollOp, round: usize) -> i32 {
+    COLLECTIVE_TAG_BASE - 1 - (op as i32) * ROUND_SPACE as i32 - (round % ROUND_SPACE) as i32
+}
+
+/// Serialize `(rank, payload)` entries for the framed tree / recursive
+/// doubling data movers: `u32 n`, then per entry `u32 rank`, `u64 len`,
+/// payload bytes (all little-endian). Generic over the payload storage
+/// so callers can frame borrowed chunks without copying them first.
+pub(crate) fn frame_entries<B: AsRef<[u8]>>(entries: &[(u32, B)]) -> Vec<u8> {
+    let total: usize = entries.iter().map(|(_, p)| 12 + p.as_ref().len()).sum();
+    let mut wire = Vec::with_capacity(4 + total);
+    wire.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (rank, payload) in entries {
+        let payload = payload.as_ref();
+        wire.extend_from_slice(&rank.to_le_bytes());
+        wire.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        wire.extend_from_slice(payload);
+    }
+    wire
+}
+
+/// Inverse of [`frame_entries`], with bounds checking: a truncated or
+/// corrupted frame (including an absurd declared count or a length that
+/// would overflow) yields a malformed-frame error, never a panic or an
+/// unbounded allocation.
+pub(crate) fn unframe_entries(wire: &[u8]) -> Result<Vec<(u32, Vec<u8>)>> {
+    let malformed = || MpiError::new(ErrorClass::Intern, "malformed collective frame");
+    let field = |at: usize, len: usize| -> Result<&[u8]> {
+        let end = at.checked_add(len).ok_or_else(malformed)?;
+        wire.get(at..end).ok_or_else(malformed)
+    };
+    let n = u32::from_le_bytes(field(0, 4)?.try_into().unwrap()) as usize;
+    // Each entry needs at least its 12-byte header, which bounds how many
+    // the wire can really hold regardless of what the count claims.
+    if n > wire.len() / 12 {
+        return Err(malformed());
+    }
+    let mut entries = Vec::with_capacity(n);
+    let mut cursor = 4usize;
+    for _ in 0..n {
+        let rank = u32::from_le_bytes(field(cursor, 4)?.try_into().unwrap());
+        let len = u64::from_le_bytes(field(cursor + 4, 8)?.try_into().unwrap()) as usize;
+        cursor += 12;
+        entries.push((rank, field(cursor, len)?.to_vec()));
+        cursor += len;
+    }
+    Ok(entries)
+}
+
+/// Turn framed `(rank, payload)` entries into the rank-ordered
+/// one-buffer-per-rank shape the collective APIs return, verifying every
+/// rank contributed exactly once.
+pub(crate) fn entries_to_parts(entries: Vec<(u32, Vec<u8>)>, size: usize) -> Result<Vec<Vec<u8>>> {
+    let mut parts: Vec<Option<Vec<u8>>> = vec![None; size];
+    for (rank, payload) in entries {
+        let slot = parts.get_mut(rank as usize).ok_or_else(|| {
+            MpiError::new(ErrorClass::Intern, "collective frame rank out of range")
+        })?;
+        if slot.replace(payload).is_some() {
+            return err(ErrorClass::Intern, "duplicate rank in collective frame");
+        }
+    }
+    parts
+        .into_iter()
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| MpiError::new(ErrorClass::Intern, "missing rank in collective frame"))
+}
+
+impl Engine {
+    fn validate_root(&self, comm: CommHandle, root: usize) -> Result<()> {
+        let size = self.comm_size(comm)?;
+        if root >= size {
+            return err(
+                ErrorClass::Root,
+                format!("root {root} out of range for communicator of size {size}"),
+            );
+        }
+        Ok(())
+    }
+
+    /// Select the algorithm for one dispatch. `bytes` must be a value
+    /// every rank computes identically (0 for the payload-blind data
+    /// movers — see the [`tuning`] module docs).
+    fn choose(&self, op: CollOp, size: usize, bytes: usize, policy: OrderPolicy) -> CollAlgorithm {
+        tuning::select(op, size, bytes, policy, self.forced_coll_alg)
+    }
+
+    // ---------------------------------------------------------------------
+    // Entry points (validation, single-rank fast path, dispatch)
+    // ---------------------------------------------------------------------
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&mut self, comm: CommHandle) -> Result<()> {
+        self.check_live()?;
+        let size = self.comm_size(comm)?;
+        if size == 1 {
+            return Ok(());
+        }
+        match self.choose(CollOp::Barrier, size, 0, OrderPolicy::Any) {
+            CollAlgorithm::RecursiveDoubling => self.barrier_rd(comm),
+            CollAlgorithm::BinomialTree => self.barrier_tree(comm),
+            _ => self.barrier_linear(comm),
+        }
+    }
+
+    /// `MPI_Bcast`: `buf` is the payload on the root and is overwritten on
+    /// every other rank.
+    pub fn bcast(&mut self, comm: CommHandle, root: usize, buf: &mut Vec<u8>) -> Result<()> {
+        self.check_live()?;
+        self.validate_root(comm, root)?;
+        let size = self.comm_size(comm)?;
+        if size == 1 {
+            return Ok(());
+        }
+        match self.choose(CollOp::Bcast, size, 0, OrderPolicy::Any) {
+            CollAlgorithm::BinomialTree => self.bcast_tree(comm, root, buf),
+            _ => self.bcast_linear(comm, root, buf),
+        }
+    }
+
+    /// `MPI_Gather` / `MPI_Gatherv`: every rank contributes `send`; the root
+    /// receives one buffer per rank (in rank order), everyone else `None`.
+    pub fn gather(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        send: &[u8],
+    ) -> Result<Option<Vec<Vec<u8>>>> {
+        self.check_live()?;
+        self.validate_root(comm, root)?;
+        let size = self.comm_size(comm)?;
+        if size == 1 {
+            return Ok(Some(vec![send.to_vec()]));
+        }
+        match self.choose(CollOp::Gather, size, 0, OrderPolicy::Any) {
+            CollAlgorithm::BinomialTree => self.gather_tree(comm, root, send),
+            _ => self.gather_linear(comm, root, send),
+        }
+    }
+
+    /// `MPI_Scatter` / `MPI_Scatterv`: the root supplies one buffer per rank
+    /// (`chunks`, rank order); every rank receives its own chunk.
+    pub fn scatter(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        chunks: Option<&[Vec<u8>]>,
+    ) -> Result<Vec<u8>> {
+        self.check_live()?;
+        self.validate_root(comm, root)?;
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        if rank == root {
+            let chunks = chunks.ok_or_else(|| {
+                MpiError::new(ErrorClass::Buffer, "root must supply scatter chunks")
+            })?;
+            if chunks.len() != size {
+                return err(
+                    ErrorClass::Count,
+                    format!("scatter needs {size} chunks, got {}", chunks.len()),
+                );
+            }
+            if size == 1 {
+                return Ok(chunks[0].clone());
+            }
+        }
+        match self.choose(CollOp::Scatter, size, 0, OrderPolicy::Any) {
+            CollAlgorithm::BinomialTree => self.scatter_tree(comm, root, chunks),
+            _ => self.scatter_linear(comm, root, chunks),
+        }
+    }
+
+    /// `MPI_Allgather` / `MPI_Allgatherv`: returns one buffer per rank on
+    /// every rank.
+    pub fn allgather(&mut self, comm: CommHandle, send: &[u8]) -> Result<Vec<Vec<u8>>> {
+        self.check_live()?;
+        let size = self.comm_size(comm)?;
+        if size == 1 {
+            return Ok(vec![send.to_vec()]);
+        }
+        match self.choose(CollOp::Allgather, size, 0, OrderPolicy::Any) {
+            CollAlgorithm::RecursiveDoubling => self.allgather_rd(comm, send),
+            CollAlgorithm::Ring => self.allgather_ring(comm, send),
+            _ => self.allgather_linear(comm, send),
+        }
+    }
+
+    /// Engine-internal alias used by communicator construction.
+    pub(crate) fn allgather_bytes(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+    ) -> Result<Vec<Vec<u8>>> {
+        self.allgather(comm, send)
+    }
+
+    /// `MPI_Alltoall` / `MPI_Alltoallv`: `chunks[d]` goes to rank `d`;
+    /// returns the chunk received from every rank.
+    pub fn alltoall(&mut self, comm: CommHandle, chunks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        self.check_live()?;
+        let size = self.comm_size(comm)?;
+        if chunks.len() != size {
+            return err(
+                ErrorClass::Count,
+                format!("alltoall needs {size} chunks, got {}", chunks.len()),
+            );
+        }
+        if size == 1 {
+            return Ok(vec![chunks[0].clone()]);
+        }
+        // The posted pairwise exchange is already contention-free; no
+        // alternative algorithm is implemented (see tuning table).
+        self.alltoall_linear(comm, chunks)
+    }
+
+    /// `MPI_Reduce`: element-wise reduction of `count` elements of `kind`
+    /// with `op`, rank order, result on the root.
+    pub fn reduce(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<Option<Vec<u8>>> {
+        self.check_live()?;
+        self.validate_root(comm, root)?;
+        let need = self.reduce_need(send, kind, count, "reduce")?;
+        let size = self.comm_size(comm)?;
+        if size == 1 {
+            return Ok(Some(send[..need].to_vec()));
+        }
+        let policy = tuning::order_policy(op, kind);
+        match self.choose(CollOp::Reduce, size, need, policy) {
+            CollAlgorithm::BinomialTree => {
+                self.reduce_tree(comm, root, &send[..need], kind, count, op)
+            }
+            _ => self.reduce_linear(comm, root, &send[..need], kind, count, op),
+        }
+    }
+
+    /// `MPI_Allreduce`: the reduction delivered to every rank.
+    pub fn allreduce(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<Vec<u8>> {
+        self.check_live()?;
+        let need = self.reduce_need(send, kind, count, "allreduce")?;
+        let size = self.comm_size(comm)?;
+        if size == 1 {
+            return Ok(send[..need].to_vec());
+        }
+        let policy = tuning::order_policy(op, kind);
+        match self.choose(CollOp::Allreduce, size, need, policy) {
+            CollAlgorithm::RecursiveDoubling => {
+                self.allreduce_rd(comm, &send[..need], kind, count, op)
+            }
+            CollAlgorithm::Ring => self.allreduce_ring(comm, &send[..need], kind, count, op),
+            CollAlgorithm::BinomialTree => {
+                let reduced = self.reduce_tree(comm, 0, &send[..need], kind, count, op)?;
+                let mut buf = reduced.unwrap_or_default();
+                self.bcast_tree(comm, 0, &mut buf)?;
+                Ok(buf)
+            }
+            CollAlgorithm::Linear => {
+                let reduced = self.reduce_linear(comm, 0, &send[..need], kind, count, op)?;
+                let mut buf = reduced.unwrap_or_default();
+                self.bcast_linear(comm, 0, &mut buf)?;
+                Ok(buf)
+            }
+        }
+    }
+
+    /// `MPI_Reduce_scatter`: reduce the full vector, deliver `counts[i]`
+    /// elements of the result to rank `i`.
+    pub fn reduce_scatter(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+        counts: &[usize],
+        kind: PrimitiveKind,
+        op: &Op,
+    ) -> Result<Vec<u8>> {
+        self.check_live()?;
+        let size = self.comm_size(comm)?;
+        if counts.len() != size {
+            return err(
+                ErrorClass::Count,
+                format!("reduce_scatter needs {size} counts, got {}", counts.len()),
+            );
+        }
+        let total: usize = counts.iter().sum();
+        let need = self.reduce_need(send, kind, total, "reduce_scatter")?;
+        if size == 1 {
+            return Ok(send[..need].to_vec());
+        }
+        let policy = tuning::order_policy(op, kind);
+        match self.choose(CollOp::ReduceScatter, size, need, policy) {
+            CollAlgorithm::Ring => self.reduce_scatter_ring(comm, &send[..need], counts, kind, op),
+            _ => self.reduce_scatter_linear(comm, &send[..need], counts, kind, op),
+        }
+    }
+
+    /// `MPI_Scan`: inclusive prefix reduction in rank order. The prefix
+    /// chain *is* sequential, so the linear pipeline is the only
+    /// algorithm.
+    pub fn scan(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<Vec<u8>> {
+        self.check_live()?;
+        let need = self.reduce_need(send, kind, count, "scan")?;
+        let size = self.comm_size(comm)?;
+        if size == 1 {
+            return Ok(send[..need].to_vec());
+        }
+        self.scan_linear(comm, &send[..need], kind, count, op)
+    }
+
+    /// Agree on the maximum of a `u32` across the communicator (used for
+    /// context-id allocation).
+    pub(crate) fn allreduce_u32_max(&mut self, comm: CommHandle, value: u32) -> Result<u32> {
+        let bytes = (value as i64).to_le_bytes();
+        let out = self.allreduce(
+            comm,
+            &bytes,
+            PrimitiveKind::Long,
+            1,
+            &Op::Predefined(crate::ops::PredefinedOp::Max),
+        )?;
+        Ok(i64::from_le_bytes(out[..8].try_into().unwrap()) as u32)
+    }
+
+    fn reduce_need(
+        &self,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        what: &str,
+    ) -> Result<usize> {
+        let need = kind.size() * count;
+        if send.len() < need {
+            return err(
+                ErrorClass::Count,
+                format!("{what}: buffer has {} bytes, need {need}", send.len()),
+            );
+        }
+        Ok(need)
+    }
+
+    // ---------------------------------------------------------------------
+    // Shared wire helpers
+    // ---------------------------------------------------------------------
+
+    pub(crate) fn send_collective(
+        &mut self,
+        comm: CommHandle,
+        dest: i32,
+        tag: i32,
+        data: &[u8],
+    ) -> Result<()> {
+        self.send_on_context(comm, dest, tag, data, true)
+    }
+
+    pub(crate) fn recv_collective(
+        &mut self,
+        comm: CommHandle,
+        src: i32,
+        tag: i32,
+    ) -> Result<(Vec<u8>, StatusInfo)> {
+        self.recv_on_context(comm, src, tag, true)
+    }
+
+    /// Deadlock-free combined send+receive on the collective context (the
+    /// recursive-doubling exchange and the ring shift): the receive is
+    /// posted before the send starts, so two ranks exchanging
+    /// rendezvous-sized payloads cannot block on each other.
+    pub(crate) fn sendrecv_collective(
+        &mut self,
+        comm: CommHandle,
+        dest: i32,
+        src: i32,
+        tag: i32,
+        data: &[u8],
+    ) -> Result<Vec<u8>> {
+        let recv_req = self.irecv_on_context(comm, src, tag, None, true)?;
+        let send_req = self.isend_on_context(comm, dest, tag, data, SendMode::Standard, true)?;
+        let completion = self.wait(recv_req)?;
+        self.wait(send_req)?;
+        Ok(completion.data.unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{COMM_SELF, COMM_WORLD};
+    use crate::ops::PredefinedOp;
+    use crate::universe::Universe;
+    use mpi_transport::DeviceKind;
+
+    fn ints(values: &[i32]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn to_ints(bytes: &[u8]) -> Vec<i32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn barrier_completes_on_all_ranks() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            for _ in 0..3 {
+                engine.barrier(COMM_WORLD).unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bcast_distributes_roots_buffer() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let mut buf = if engine.world_rank() == 2 {
+                b"broadcast payload".to_vec()
+            } else {
+                Vec::new()
+            };
+            engine.bcast(COMM_WORLD, 2, &mut buf).unwrap();
+            assert_eq!(&buf, b"broadcast payload");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let send = vec![rank as u8; rank + 1]; // different lengths (gatherv)
+            let got = engine.gather(COMM_WORLD, 0, &send).unwrap();
+            if rank == 0 {
+                let parts = got.unwrap();
+                assert_eq!(parts.len(), 4);
+                for (r, p) in parts.iter().enumerate() {
+                    assert_eq!(p.len(), r + 1);
+                    assert!(p.iter().all(|&b| b == r as u8));
+                }
+            } else {
+                assert!(got.is_none());
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn scatter_delivers_per_rank_chunks() {
+        Universe::run(3, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let chunks: Option<Vec<Vec<u8>>> = if rank == 1 {
+                Some((0..3).map(|r| vec![r as u8 * 10; r + 1]).collect())
+            } else {
+                None
+            };
+            let mine = engine.scatter(COMM_WORLD, 1, chunks.as_deref()).unwrap();
+            assert_eq!(mine.len(), rank + 1);
+            assert!(mine.iter().all(|&b| b == rank as u8 * 10));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let parts = engine
+                .allgather(COMM_WORLD, &[rank as u8, (rank * 2) as u8])
+                .unwrap();
+            assert_eq!(parts.len(), 4);
+            for (r, p) in parts.iter().enumerate() {
+                assert_eq!(p, &vec![r as u8, (r * 2) as u8]);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn alltoall_transposes_chunks() {
+        Universe::run(3, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            // chunk sent from rank r to rank d = [r, d]
+            let chunks: Vec<Vec<u8>> = (0..3).map(|d| vec![rank as u8, d as u8]).collect();
+            let got = engine.alltoall(COMM_WORLD, &chunks).unwrap();
+            for (src, chunk) in got.iter().enumerate() {
+                assert_eq!(chunk, &vec![src as u8, rank as u8]);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reduce_sums_in_rank_order() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank() as i32;
+            let send = ints(&[rank, rank * 10]);
+            let got = engine
+                .reduce(
+                    COMM_WORLD,
+                    0,
+                    &send,
+                    PrimitiveKind::Int,
+                    2,
+                    &Op::Predefined(PredefinedOp::Sum),
+                )
+                .unwrap();
+            if engine.world_rank() == 0 {
+                assert_eq!(to_ints(&got.unwrap()), vec![6, 60]);
+            } else {
+                assert!(got.is_none());
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn allreduce_max_everywhere() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank() as i32;
+            let send = ints(&[rank, -rank]);
+            let got = engine
+                .allreduce(
+                    COMM_WORLD,
+                    &send,
+                    PrimitiveKind::Int,
+                    2,
+                    &Op::Predefined(PredefinedOp::Max),
+                )
+                .unwrap();
+            assert_eq!(to_ints(&got), vec![3, 0]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn scan_computes_inclusive_prefix() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank() as i32;
+            let send = ints(&[rank + 1]);
+            let got = engine
+                .scan(
+                    COMM_WORLD,
+                    &send,
+                    PrimitiveKind::Int,
+                    1,
+                    &Op::Predefined(PredefinedOp::Sum),
+                )
+                .unwrap();
+            let expected: i32 = (1..=rank + 1).sum();
+            assert_eq!(to_ints(&got), vec![expected]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reduce_scatter_splits_reduced_vector() {
+        Universe::run(3, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank() as i32;
+            // Every rank contributes [rank; 6]; sum = [0+1+2; 6] = [3; 6].
+            let send = ints(&[rank; 6]);
+            let counts = [1usize, 2, 3];
+            let got = engine
+                .reduce_scatter(
+                    COMM_WORLD,
+                    &send,
+                    &counts,
+                    PrimitiveKind::Int,
+                    &Op::Predefined(PredefinedOp::Sum),
+                )
+                .unwrap();
+            let vals = to_ints(&got);
+            assert_eq!(vals.len(), counts[rank as usize]);
+            assert!(vals.iter().all(|&v| v == 3));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn collectives_work_on_split_communicators() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let sub = engine
+                .comm_split(COMM_WORLD, (rank % 2) as i32, rank as i32)
+                .unwrap()
+                .unwrap();
+            let send = ints(&[rank as i32]);
+            let got = engine
+                .allreduce(
+                    sub,
+                    &send,
+                    PrimitiveKind::Int,
+                    1,
+                    &Op::Predefined(PredefinedOp::Sum),
+                )
+                .unwrap();
+            // evens: 0 + 2 = 2; odds: 1 + 3 = 4
+            let expected = if rank % 2 == 0 { 2 } else { 4 };
+            assert_eq!(to_ints(&got), vec![expected]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn user_defined_op_in_allreduce() {
+        Universe::run(3, DeviceKind::ShmFast, |engine| {
+            use std::sync::Arc;
+            let op = Op::User(Arc::new(|incoming, acc, _kind, count| {
+                for i in 0..count {
+                    let a = i32::from_le_bytes(acc[i * 4..(i + 1) * 4].try_into().unwrap());
+                    let b = i32::from_le_bytes(incoming[i * 4..(i + 1) * 4].try_into().unwrap());
+                    acc[i * 4..(i + 1) * 4].copy_from_slice(&(a * 10 + b).to_le_bytes());
+                }
+                Ok(())
+            }));
+            let rank = engine.world_rank() as i32;
+            let got = engine
+                .allreduce(COMM_WORLD, &ints(&[rank + 1]), PrimitiveKind::Int, 1, &op)
+                .unwrap();
+            // fold in rank order: ((1*10+2)*10+3) = 123
+            assert_eq!(to_ints(&got), vec![123]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn invalid_roots_and_counts_are_rejected() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let mut buf = Vec::new();
+            assert!(engine.bcast(COMM_WORLD, 5, &mut buf).is_err());
+            assert!(engine.gather(COMM_WORLD, 9, b"x").is_err());
+            assert!(engine.alltoall(COMM_WORLD, &[vec![0u8]]).is_err());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn forced_algorithms_still_produce_correct_results() {
+        for alg in CollAlgorithm::ALL {
+            Universe::run(4, DeviceKind::ShmFast, move |engine| {
+                engine.set_coll_algorithm(Some(alg));
+                let rank = engine.world_rank() as i32;
+                let got = engine
+                    .allreduce(
+                        COMM_WORLD,
+                        &ints(&[rank]),
+                        PrimitiveKind::Int,
+                        1,
+                        &Op::Predefined(PredefinedOp::Sum),
+                    )
+                    .unwrap();
+                assert_eq!(to_ints(&got), vec![6], "{alg}");
+                let mut buf = if rank == 1 { vec![9u8; 33] } else { Vec::new() };
+                engine.bcast(COMM_WORLD, 1, &mut buf).unwrap();
+                assert_eq!(buf, vec![9u8; 33], "{alg}");
+            })
+            .unwrap();
+        }
+    }
+
+    /// Satellite: every collective on a single-rank communicator returns
+    /// immediately without touching the transport.
+    #[test]
+    fn size_one_fast_paths_skip_the_transport() {
+        Universe::run(1, DeviceKind::ShmFast, |engine| {
+            let op = Op::Predefined(PredefinedOp::Sum);
+            engine.barrier(COMM_WORLD).unwrap();
+            let mut buf = b"solo".to_vec();
+            engine.bcast(COMM_WORLD, 0, &mut buf).unwrap();
+            assert_eq!(&buf, b"solo");
+            let parts = engine.gather(COMM_WORLD, 0, b"g").unwrap().unwrap();
+            assert_eq!(parts, vec![b"g".to_vec()]);
+            let chunk = engine
+                .scatter(COMM_WORLD, 0, Some(&[b"s".to_vec()]))
+                .unwrap();
+            assert_eq!(chunk, b"s".to_vec());
+            let all = engine.allgather(COMM_WORLD, b"ag").unwrap();
+            assert_eq!(all, vec![b"ag".to_vec()]);
+            let exchanged = engine.alltoall(COMM_WORLD, &[b"a2a".to_vec()]).unwrap();
+            assert_eq!(exchanged, vec![b"a2a".to_vec()]);
+            let reduced = engine
+                .reduce(COMM_WORLD, 0, &ints(&[7]), PrimitiveKind::Int, 1, &op)
+                .unwrap()
+                .unwrap();
+            assert_eq!(to_ints(&reduced), vec![7]);
+            let allred = engine
+                .allreduce(COMM_WORLD, &ints(&[8]), PrimitiveKind::Int, 1, &op)
+                .unwrap();
+            assert_eq!(to_ints(&allred), vec![8]);
+            let rs = engine
+                .reduce_scatter(COMM_WORLD, &ints(&[4, 5]), &[2], PrimitiveKind::Int, &op)
+                .unwrap();
+            assert_eq!(to_ints(&rs), vec![4, 5]);
+            let scanned = engine
+                .scan(COMM_WORLD, &ints(&[6]), PrimitiveKind::Int, 1, &op)
+                .unwrap();
+            assert_eq!(to_ints(&scanned), vec![6]);
+            let stats = engine.stats();
+            assert_eq!(stats.eager_sends + stats.rendezvous_sends, 0);
+            assert_eq!(stats.bytes_sent, 0);
+            assert_eq!(stats.bytes_received, 0);
+        })
+        .unwrap();
+    }
+
+    /// COMM_SELF is a single-rank communicator even in a multi-rank world,
+    /// so its collectives must take the same fast path.
+    #[test]
+    fn comm_self_collectives_use_the_fast_path() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let before = engine.stats().clone();
+            let rank = engine.world_rank() as i32;
+            let got = engine
+                .allreduce(
+                    COMM_SELF,
+                    &ints(&[rank]),
+                    PrimitiveKind::Int,
+                    1,
+                    &Op::Predefined(PredefinedOp::Sum),
+                )
+                .unwrap();
+            assert_eq!(to_ints(&got), vec![rank]);
+            engine.barrier(COMM_SELF).unwrap();
+            let after = engine.stats();
+            assert_eq!(
+                before.eager_sends + before.rendezvous_sends,
+                after.eager_sends + after.rendezvous_sends
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn coll_tags_stay_in_the_reserved_space_and_do_not_collide() {
+        let ops = [
+            CollOp::Barrier,
+            CollOp::Bcast,
+            CollOp::Gather,
+            CollOp::Scatter,
+            CollOp::Allgather,
+            CollOp::Alltoall,
+            CollOp::Reduce,
+            CollOp::Allreduce,
+            CollOp::ReduceScatter,
+            CollOp::Scan,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for op in ops {
+            for round in 0..ROUND_SPACE {
+                let tag = coll_tag(op, round);
+                assert!(tag <= COLLECTIVE_TAG_BASE, "{op:?} round {round}: {tag}");
+                assert!(seen.insert(tag), "collision at {op:?} round {round}");
+            }
+        }
+        // Wrap-around within the same op window is the documented rule.
+        assert_eq!(
+            coll_tag(CollOp::Allgather, 0),
+            coll_tag(CollOp::Allgather, ROUND_SPACE)
+        );
+    }
+
+    #[test]
+    fn frame_helpers_round_trip() {
+        let entries = vec![
+            (3u32, vec![1u8, 2, 3]),
+            (0u32, Vec::new()),
+            (2u32, vec![9u8; 100]),
+            (1u32, vec![7u8]),
+        ];
+        let wire = frame_entries(&entries);
+        let back = unframe_entries(&wire).unwrap();
+        assert_eq!(back, entries);
+        let parts = entries_to_parts(back, 4).unwrap();
+        assert_eq!(parts[0], Vec::<u8>::new());
+        assert_eq!(parts[3], vec![1, 2, 3]);
+        // Truncated wire is rejected, not panicked on.
+        assert!(unframe_entries(&wire[..wire.len() - 1]).is_err());
+        // A corrupted count prefix must error, not attempt a huge alloc.
+        assert!(unframe_entries(&[0xff, 0xff, 0xff, 0xff]).is_err());
+        // Missing / duplicate ranks are rejected.
+        assert!(entries_to_parts(vec![(0, Vec::new())], 2).is_err());
+        assert!(entries_to_parts(vec![(0, Vec::new()), (0, Vec::new())], 2).is_err());
+    }
+}

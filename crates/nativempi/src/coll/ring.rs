@@ -1,0 +1,126 @@
+//! Ring collective algorithms: allgather, reduce-scatter and allreduce
+//! (reduce-scatter + allgather) for bandwidth-bound payloads.
+//!
+//! Every rank talks only to its neighbours — send to `(rank + 1) % P`,
+//! receive from `(rank - 1) % P` — and every link carries data every
+//! round, so for a payload of `n` bytes the per-rank traffic is
+//! `n · (P-1)/P` regardless of `P`: the best bandwidth term of any
+//! algorithm, at the price of O(P) rounds of latency.
+//!
+//! The ring reduce-scatter folds each segment in the rotated order
+//! `s+1, s+2, …, s` (wrapping), *not* rank order, so the tuning layer
+//! only selects it for reductions whose [`OrderPolicy`](super::tuning::OrderPolicy)
+//! is `Any` — the exactly commutative-and-associative integer/bitwise
+//! operations, for which every fold order is byte-identical.
+
+use super::{coll_tag, CollOp};
+use crate::comm::CommHandle;
+use crate::error::{err, ErrorClass, Result};
+use crate::ops::Op;
+use crate::types::PrimitiveKind;
+use crate::Engine;
+
+impl Engine {
+    /// Ring allgather: round `r` shifts the block that originated at rank
+    /// `(rank - r) % P` one step around the ring. The owner of each
+    /// incoming block is implied by the round number, so per-rank lengths
+    /// may differ (allgatherv) without framing.
+    pub(crate) fn allgather_ring(&mut self, comm: CommHandle, send: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let next = ((rank + 1) % size) as i32;
+        let prev = ((rank + size - 1) % size) as i32;
+        let mut parts: Vec<Option<Vec<u8>>> = vec![None; size];
+        parts[rank] = Some(send.to_vec());
+        for round in 0..size - 1 {
+            let send_owner = (rank + size - round) % size;
+            let recv_owner = (rank + size - round - 1) % size;
+            let outgoing = parts[send_owner]
+                .clone()
+                .expect("block owned since the previous round");
+            let incoming = self.sendrecv_collective(
+                comm,
+                next,
+                prev,
+                coll_tag(CollOp::Allgather, round),
+                &outgoing,
+            )?;
+            parts[recv_owner] = Some(incoming);
+        }
+        Ok(parts
+            .into_iter()
+            .map(|p| p.expect("all rounds ran"))
+            .collect())
+    }
+
+    /// Ring reduce-scatter: segment `s` starts at rank `s + 1`, travels
+    /// once around the ring picking up every rank's contribution, and
+    /// arrives fully reduced at rank `s`. Requires an `Any`-order
+    /// operation (see module docs).
+    pub(crate) fn reduce_scatter_ring(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+        counts: &[usize],
+        kind: PrimitiveKind,
+        op: &Op,
+    ) -> Result<Vec<u8>> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let next = ((rank + 1) % size) as i32;
+        let prev = ((rank + size - 1) % size) as i32;
+        let elem = kind.size();
+        // Split the local contribution into per-destination segments.
+        let mut segs: Vec<Vec<u8>> = Vec::with_capacity(size);
+        let mut cursor = 0usize;
+        for &c in counts {
+            let bytes = c * elem;
+            segs.push(send[cursor..cursor + bytes].to_vec());
+            cursor += bytes;
+        }
+        for round in 0..size - 1 {
+            let send_idx = (rank + size - 1 - round) % size;
+            let recv_idx = (rank + 2 * size - 2 - round) % size;
+            let outgoing = segs[send_idx].clone();
+            let incoming = self.sendrecv_collective(
+                comm,
+                next,
+                prev,
+                coll_tag(CollOp::ReduceScatter, round),
+                &outgoing,
+            )?;
+            if incoming.len() != segs[recv_idx].len() {
+                return err(
+                    ErrorClass::Count,
+                    "reduce_scatter partners disagree on counts",
+                );
+            }
+            op.apply(&incoming, &mut segs[recv_idx], kind, counts[recv_idx])?;
+        }
+        Ok(segs[rank].clone())
+    }
+
+    /// Ring allreduce: reduce-scatter the vector into P near-equal
+    /// segments, then ring-allgather the reduced segments back — the
+    /// classic bandwidth-optimal large-payload allreduce.
+    pub(crate) fn allreduce_ring(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<Vec<u8>> {
+        let size = self.comm_size(comm)?;
+        let base = count / size;
+        let extra = count % size;
+        let counts: Vec<usize> = (0..size).map(|i| base + usize::from(i < extra)).collect();
+        let mine = self.reduce_scatter_ring(comm, send, &counts, kind, op)?;
+        let parts = self.allgather_ring(comm, &mine)?;
+        let mut out = Vec::with_capacity(count * kind.size());
+        for part in parts {
+            out.extend_from_slice(&part);
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,321 @@
+//! Binomial-tree collective algorithms: barrier, bcast, gather, scatter
+//! and reduce in O(log P) rounds.
+//!
+//! ## The tree
+//!
+//! For the rooted data movers (bcast, gather, scatter) ranks are relabeled
+//! relative to the root (`relative = (rank + size - root) % size`) and the
+//! classic binomial tree is built over the relative space: the node with
+//! relative id `v` and lowest set bit `m` is a child of `v ^ m`, and the
+//! subtree below `v` covers relative ids `[v, v + m)`. Data movement is
+//! insensitive to the relabeling, so any root costs the same.
+//!
+//! ## Rank-ordered reduction
+//!
+//! `Engine::reduce_tree` deliberately does *not* relabel: it always
+//! reduces over the untranslated rank space toward rank 0, so each merge
+//! combines two *adjacent* rank blocks left-to-right —
+//! `[r, r+m) ∘ [r+m, r+2m)` — preserving operand order for
+//! non-commutative operations, with a balanced association that any
+//! associative operation (MPI's contract) cannot distinguish from the
+//! linear fold. If the caller's root is not rank 0, the result is
+//! forwarded with one extra message: one hop buys order preservation for
+//! every root.
+
+use std::borrow::Cow;
+
+use super::{coll_tag, entries_to_parts, frame_entries, unframe_entries, CollOp};
+use crate::comm::CommHandle;
+use crate::error::{err, ErrorClass, Result};
+use crate::ops::Op;
+use crate::types::PrimitiveKind;
+use crate::Engine;
+
+/// Fan-out rounds of the tree barrier start here so they cannot collide
+/// with fan-in rounds (both fit: log2(P) < 32 for any practical P).
+const FAN_OUT_ROUNDS: usize = 32;
+
+/// Round index of the root-forwarding hop of the tree reduce.
+const FORWARD_ROUND: usize = super::ROUND_SPACE - 1;
+
+impl Engine {
+    /// Binomial fan-in to rank 0, binomial fan-out back.
+    pub(crate) fn barrier_tree(&mut self, comm: CommHandle) -> Result<()> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        // Fan-in.
+        let mut mask = 1usize;
+        while mask < size {
+            if rank & mask != 0 {
+                let parent = rank ^ mask;
+                self.send_collective(
+                    comm,
+                    parent as i32,
+                    coll_tag(CollOp::Barrier, mask.trailing_zeros() as usize),
+                    &[],
+                )?;
+                break;
+            }
+            let child = rank | mask;
+            if child < size {
+                self.recv_collective(
+                    comm,
+                    child as i32,
+                    coll_tag(CollOp::Barrier, mask.trailing_zeros() as usize),
+                )?;
+            }
+            mask <<= 1;
+        }
+        // Fan-out (a zero-byte binomial bcast from rank 0).
+        let mut mask = if rank == 0 {
+            size.next_power_of_two()
+        } else {
+            let low = rank & rank.wrapping_neg();
+            self.recv_collective(
+                comm,
+                (rank ^ low) as i32,
+                coll_tag(
+                    CollOp::Barrier,
+                    FAN_OUT_ROUNDS + low.trailing_zeros() as usize,
+                ),
+            )?;
+            low
+        };
+        mask >>= 1;
+        while mask > 0 {
+            let child = rank | mask;
+            if child != rank && child < size {
+                self.send_collective(
+                    comm,
+                    child as i32,
+                    coll_tag(
+                        CollOp::Barrier,
+                        FAN_OUT_ROUNDS + mask.trailing_zeros() as usize,
+                    ),
+                    &[],
+                )?;
+            }
+            mask >>= 1;
+        }
+        Ok(())
+    }
+
+    /// Binomial bcast: each node receives the payload once from its
+    /// parent and forwards it to all of its children, furthest subtree
+    /// first.
+    pub(crate) fn bcast_tree(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        buf: &mut Vec<u8>,
+    ) -> Result<()> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let relative = (rank + size - root) % size;
+        let mut mask = if relative == 0 {
+            size.next_power_of_two()
+        } else {
+            let low = relative & relative.wrapping_neg();
+            let parent = (relative ^ low) + root;
+            let (data, _) = self.recv_collective(
+                comm,
+                (parent % size) as i32,
+                coll_tag(CollOp::Bcast, low.trailing_zeros() as usize),
+            )?;
+            *buf = data;
+            low
+        };
+        mask >>= 1;
+        while mask > 0 {
+            let child_rel = relative | mask;
+            if child_rel != relative && child_rel < size {
+                let child = (child_rel + root) % size;
+                self.send_collective(
+                    comm,
+                    child as i32,
+                    coll_tag(CollOp::Bcast, mask.trailing_zeros() as usize),
+                    buf,
+                )?;
+            }
+            mask >>= 1;
+        }
+        Ok(())
+    }
+
+    /// Binomial gather: each node collects its subtree's framed
+    /// `(rank, payload)` entries, then hands the batch to its parent. The
+    /// framing carries explicit ranks, so per-rank lengths may differ
+    /// (gatherv) and the root reassembles in rank order.
+    pub(crate) fn gather_tree(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        send: &[u8],
+    ) -> Result<Option<Vec<Vec<u8>>>> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let relative = (rank + size - root) % size;
+        let mut entries: Vec<(u32, Vec<u8>)> = vec![(rank as u32, send.to_vec())];
+        let mut mask = 1usize;
+        while mask < size && relative & mask == 0 {
+            let child_rel = relative | mask;
+            if child_rel < size {
+                let child = (child_rel + root) % size;
+                let (wire, _) = self.recv_collective(
+                    comm,
+                    child as i32,
+                    coll_tag(CollOp::Gather, mask.trailing_zeros() as usize),
+                )?;
+                entries.extend(unframe_entries(&wire)?);
+            }
+            mask <<= 1;
+        }
+        if relative != 0 {
+            // `mask` is now the lowest set bit of `relative`.
+            let parent = ((relative ^ mask) + root) % size;
+            self.send_collective(
+                comm,
+                parent as i32,
+                coll_tag(CollOp::Gather, mask.trailing_zeros() as usize),
+                &frame_entries(&entries),
+            )?;
+            Ok(None)
+        } else {
+            Ok(Some(entries_to_parts(entries, size)?))
+        }
+    }
+
+    /// Binomial scatter: the root walks its children furthest-subtree
+    /// first, sending each the framed chunks for that child's whole
+    /// subtree; every node keeps its own chunk and forwards the rest.
+    pub(crate) fn scatter_tree(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        chunks: Option<&[Vec<u8>]>,
+    ) -> Result<Vec<u8>> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let relative = (rank + size - root) % size;
+        let rel_of = |r: usize| (r + size - root) % size;
+
+        // The root borrows the caller's chunks (framing copies them once,
+        // straight onto the wire); non-root nodes own what they unframed.
+        type ChunkEntries<'a> = Vec<(u32, Cow<'a, [u8]>)>;
+        let (mut entries, mut mask): (ChunkEntries<'_>, usize) = if relative == 0 {
+            let chunks = chunks.expect("validated by the dispatch layer");
+            let entries = chunks
+                .iter()
+                .enumerate()
+                .map(|(r, c)| (r as u32, Cow::Borrowed(c.as_slice())))
+                .collect();
+            (entries, size.next_power_of_two())
+        } else {
+            let low = relative & relative.wrapping_neg();
+            let parent = ((relative ^ low) + root) % size;
+            let (wire, _) = self.recv_collective(
+                comm,
+                parent as i32,
+                coll_tag(CollOp::Scatter, low.trailing_zeros() as usize),
+            )?;
+            let owned = unframe_entries(&wire)?
+                .into_iter()
+                .map(|(r, p)| (r, Cow::Owned(p)))
+                .collect();
+            (owned, low)
+        };
+
+        mask >>= 1;
+        while mask > 0 {
+            let child_rel = relative | mask;
+            if child_rel != relative && child_rel < size {
+                let child = (child_rel + root) % size;
+                // The child's subtree covers relative ids [child_rel, child_rel + mask).
+                let (subtree, keep): (Vec<_>, Vec<_>) = entries.into_iter().partition(|(r, _)| {
+                    let rel = rel_of(*r as usize);
+                    rel >= child_rel && rel < child_rel + mask
+                });
+                entries = keep;
+                self.send_collective(
+                    comm,
+                    child as i32,
+                    coll_tag(CollOp::Scatter, mask.trailing_zeros() as usize),
+                    &frame_entries(&subtree),
+                )?;
+            }
+            mask >>= 1;
+        }
+        entries
+            .into_iter()
+            .find(|(r, _)| *r as usize == rank)
+            .map(|(_, payload)| payload.into_owned())
+            .ok_or_else(|| {
+                crate::error::MpiError::new(ErrorClass::Intern, "scatter frame missed own rank")
+            })
+    }
+
+    /// Binomial reduce toward rank 0 over the untranslated rank space
+    /// (merges combine adjacent rank blocks left-to-right; see the module
+    /// docs), then one forwarding hop if the root is not rank 0.
+    pub(crate) fn reduce_tree(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<Option<Vec<u8>>> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let need = kind.size() * count;
+        let mut acc = send.to_vec();
+        let mut mask = 1usize;
+        while mask < size {
+            if rank & mask != 0 {
+                let parent = rank ^ mask;
+                self.send_collective(
+                    comm,
+                    parent as i32,
+                    coll_tag(CollOp::Reduce, mask.trailing_zeros() as usize),
+                    &acc,
+                )?;
+                acc.clear();
+                break;
+            }
+            let child = rank | mask;
+            if child < size {
+                let (data, _) = self.recv_collective(
+                    comm,
+                    child as i32,
+                    coll_tag(CollOp::Reduce, mask.trailing_zeros() as usize),
+                )?;
+                if data.len() < need {
+                    return err(ErrorClass::Count, "reduce contribution too short");
+                }
+                // The child holds the fold of ranks [child, child + mask),
+                // all above our block: accumulator stays the left operand.
+                op.apply(&data[..need], &mut acc, kind, count)?;
+            }
+            mask <<= 1;
+        }
+        match (rank, root) {
+            (0, 0) => Ok(Some(acc)),
+            (0, _) => {
+                self.send_collective(
+                    comm,
+                    root as i32,
+                    coll_tag(CollOp::Reduce, FORWARD_ROUND),
+                    &acc,
+                )?;
+                Ok(None)
+            }
+            (r, _) if r == root => {
+                let (data, _) =
+                    self.recv_collective(comm, 0, coll_tag(CollOp::Reduce, FORWARD_ROUND))?;
+                Ok(Some(data))
+            }
+            _ => Ok(None),
+        }
+    }
+}

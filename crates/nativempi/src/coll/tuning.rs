@@ -1,0 +1,319 @@
+//! Size-aware algorithm selection: (operation, communicator size, payload
+//! bytes, reduction-order policy) → [`CollAlgorithm`].
+//!
+//! ## Selection table
+//!
+//! | op | comm size | payload | algorithm |
+//! |---|---|---|---|
+//! | barrier | power of two | — | recursive doubling |
+//! | barrier | other | — | binomial tree |
+//! | bcast | ≥ 2 | any | binomial tree |
+//! | gather / scatter | 2–3 | any | linear |
+//! | gather / scatter | ≥ 4 | any | binomial tree |
+//! | allgather | power of two | any | recursive doubling |
+//! | allgather | other | any | ring |
+//! | alltoall | any | any | linear (posted pairwise) |
+//! | reduce | any | [`OrderPolicy::Sequential`] op | linear |
+//! | reduce | ≥ 2 | other ops | binomial tree |
+//! | allreduce | any | `Sequential` op | linear |
+//! | allreduce | ≥ 2 | `Any`-order op, ≥ [`RING_PAYLOAD_BYTES`] | ring |
+//! | allreduce | power of two | small / `Ordered` op | recursive doubling |
+//! | allreduce | other | small / `Ordered` op | binomial tree |
+//! | reduce-scatter | ≥ 2 | `Any`-order op, ≥ [`RING_PAYLOAD_BYTES`] | ring |
+//! | reduce-scatter | any | otherwise | linear |
+//! | scan | any | any | linear (the op *is* a sequential chain) |
+//!
+//! Payload-aware rows exist only for the reduction family, where MPI
+//! guarantees `count × datatype` is identical on every rank, so every rank
+//! computes the same `bytes` and the selection cannot diverge. The pure
+//! data-movement collectives (bcast, gather(v), scatter(v), allgather(v),
+//! alltoall(v)) are selected on communicator size alone: their per-rank
+//! contributions may legally differ (the `v` variants), and a selection
+//! keyed on a local length would pick different wire patterns on
+//! different ranks and deadlock.
+//!
+//! ## Reduction-order policies
+//!
+//! Every algorithm must reproduce the linear baseline bit-for-bit (the
+//! cross-algorithm equivalence suite enforces it), which constrains how a
+//! reduction may be re-associated or commuted — see [`OrderPolicy`].
+
+use super::algorithm::CollAlgorithm;
+use crate::ops::{Op, PredefinedOp};
+use crate::types::PrimitiveKind;
+
+/// Payload size (bytes) from which the ring pattern is preferred for
+/// allreduce / reduce-scatter: below it the O(P) round count dominates,
+/// above it the all-links-busy bandwidth term wins.
+pub const RING_PAYLOAD_BYTES: usize = 16 * 1024;
+
+/// The collective operations the engine dispatches. The discriminant also
+/// keys the widened collective tag space (see `coll_tag` in the parent
+/// module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollOp {
+    Barrier,
+    Bcast,
+    Gather,
+    Scatter,
+    Allgather,
+    Alltoall,
+    Reduce,
+    Allreduce,
+    ReduceScatter,
+    Scan,
+}
+
+/// How freely a reduction may be re-associated and commuted while staying
+/// byte-identical to the rank-ordered sequential fold of the linear
+/// baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderPolicy {
+    /// Exact under any association *and* commutation: the predefined
+    /// integer / bitwise / logical operations. Every algorithm applies.
+    Any,
+    /// Exactly associative, but operands must keep rank order:
+    /// user-defined operations (MPI requires them to be associative, and
+    /// this engine promises them rank order), `MAXLOC`/`MINLOC` (the
+    /// tie-break prefers the lower rank) and float `MAX`/`MIN` (order
+    /// decides which NaN-free operand survives a tie). Tree and
+    /// recursive-doubling merges preserve rank order; the ring's rotated
+    /// fold does not.
+    Ordered,
+    /// Not even associative at the bit level: floating `SUM`/`PROD`.
+    /// Only the sequential linear fold is byte-stable.
+    Sequential,
+}
+
+/// Classify how a reduction of `kind` under `op` may be reordered.
+pub fn order_policy(op: &Op, kind: PrimitiveKind) -> OrderPolicy {
+    use PrimitiveKind as K;
+    match op {
+        Op::User(_) => OrderPolicy::Ordered,
+        Op::Predefined(p) => match (p, kind) {
+            (PredefinedOp::Maxloc | PredefinedOp::Minloc, _) => OrderPolicy::Ordered,
+            (
+                PredefinedOp::Sum | PredefinedOp::Prod,
+                K::Float | K::Double | K::Float2 | K::Double2,
+            ) => OrderPolicy::Sequential,
+            (PredefinedOp::Max | PredefinedOp::Min, K::Float | K::Double) => OrderPolicy::Ordered,
+            _ => OrderPolicy::Any,
+        },
+    }
+}
+
+/// Can `alg` implement `op` on a communicator of `size` ranks under
+/// `policy`? (`size` is ≥ 2 here; single-rank communicators take the
+/// fast path before selection.)
+pub fn supported(alg: CollAlgorithm, op: CollOp, size: usize, policy: OrderPolicy) -> bool {
+    use CollAlgorithm as A;
+    use CollOp as O;
+    match alg {
+        // The linear baseline implements everything.
+        A::Linear => true,
+        A::BinomialTree => match op {
+            O::Barrier | O::Bcast | O::Gather | O::Scatter => true,
+            O::Reduce | O::Allreduce => policy != OrderPolicy::Sequential,
+            _ => false,
+        },
+        A::RecursiveDoubling => {
+            size.is_power_of_two()
+                && match op {
+                    O::Barrier | O::Allgather => true,
+                    O::Allreduce => policy != OrderPolicy::Sequential,
+                    _ => false,
+                }
+        }
+        A::Ring => match op {
+            O::Allgather => true,
+            O::Allreduce | O::ReduceScatter => policy == OrderPolicy::Any,
+            _ => false,
+        },
+    }
+}
+
+/// The tuned choice from the table in the module docs. Always returns an
+/// algorithm [`supported`] for the inputs.
+pub fn tuned(op: CollOp, size: usize, bytes: usize, policy: OrderPolicy) -> CollAlgorithm {
+    use CollAlgorithm as A;
+    use CollOp as O;
+    match op {
+        O::Barrier => {
+            if size.is_power_of_two() {
+                A::RecursiveDoubling
+            } else {
+                A::BinomialTree
+            }
+        }
+        O::Bcast => A::BinomialTree,
+        O::Gather | O::Scatter => {
+            if size >= 4 {
+                A::BinomialTree
+            } else {
+                A::Linear
+            }
+        }
+        O::Allgather => {
+            if size.is_power_of_two() {
+                A::RecursiveDoubling
+            } else {
+                A::Ring
+            }
+        }
+        O::Alltoall | O::Scan => A::Linear,
+        O::Reduce => {
+            if policy == OrderPolicy::Sequential {
+                A::Linear
+            } else {
+                A::BinomialTree
+            }
+        }
+        O::Allreduce => match policy {
+            OrderPolicy::Sequential => A::Linear,
+            OrderPolicy::Any if bytes >= RING_PAYLOAD_BYTES => A::Ring,
+            _ => {
+                if size.is_power_of_two() {
+                    A::RecursiveDoubling
+                } else {
+                    A::BinomialTree
+                }
+            }
+        },
+        O::ReduceScatter => {
+            if policy == OrderPolicy::Any && bytes >= RING_PAYLOAD_BYTES {
+                A::Ring
+            } else {
+                A::Linear
+            }
+        }
+    }
+}
+
+/// Final selection: a forced algorithm (env or programmatic) wins when it
+/// can implement the operation, otherwise the tuned choice applies.
+pub fn select(
+    op: CollOp,
+    size: usize,
+    bytes: usize,
+    policy: OrderPolicy,
+    forced: Option<CollAlgorithm>,
+) -> CollAlgorithm {
+    let fallback = tuned(op, size, bytes, policy);
+    debug_assert!(supported(fallback, op, size, policy));
+    match forced {
+        Some(alg) if supported(alg, op, size, policy) => alg,
+        _ => fallback,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn tuned_choice_is_always_supported() {
+        let ops = [
+            CollOp::Barrier,
+            CollOp::Bcast,
+            CollOp::Gather,
+            CollOp::Scatter,
+            CollOp::Allgather,
+            CollOp::Alltoall,
+            CollOp::Reduce,
+            CollOp::Allreduce,
+            CollOp::ReduceScatter,
+            CollOp::Scan,
+        ];
+        for op in ops {
+            for size in [2usize, 3, 4, 5, 8, 12, 16] {
+                for bytes in [0usize, 64, RING_PAYLOAD_BYTES, 1 << 20] {
+                    for policy in [
+                        OrderPolicy::Any,
+                        OrderPolicy::Ordered,
+                        OrderPolicy::Sequential,
+                    ] {
+                        let alg = tuned(op, size, bytes, policy);
+                        assert!(
+                            supported(alg, op, size, policy),
+                            "{op:?} size={size} bytes={bytes} {policy:?} -> {alg:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_commutative_allreduce_goes_ring() {
+        assert_eq!(
+            tuned(CollOp::Allreduce, 8, 64 * 1024, OrderPolicy::Any),
+            CollAlgorithm::Ring
+        );
+        assert_eq!(
+            tuned(CollOp::Allreduce, 8, 64, OrderPolicy::Any),
+            CollAlgorithm::RecursiveDoubling
+        );
+        assert_eq!(
+            tuned(CollOp::Allreduce, 6, 64, OrderPolicy::Any),
+            CollAlgorithm::BinomialTree
+        );
+    }
+
+    #[test]
+    fn sequential_ops_stay_linear_everywhere() {
+        for op in [CollOp::Reduce, CollOp::Allreduce, CollOp::ReduceScatter] {
+            assert_eq!(
+                tuned(op, 8, 1 << 20, OrderPolicy::Sequential),
+                CollAlgorithm::Linear
+            );
+        }
+    }
+
+    #[test]
+    fn forced_algorithm_falls_back_when_unsupported() {
+        // Recursive doubling cannot run on a 5-rank communicator.
+        let got = select(
+            CollOp::Allreduce,
+            5,
+            64,
+            OrderPolicy::Any,
+            Some(CollAlgorithm::RecursiveDoubling),
+        );
+        assert_eq!(got, CollAlgorithm::BinomialTree);
+        // Ring cannot preserve rank order for user ops.
+        let got = select(
+            CollOp::ReduceScatter,
+            8,
+            1 << 20,
+            OrderPolicy::Ordered,
+            Some(CollAlgorithm::Ring),
+        );
+        assert_eq!(got, CollAlgorithm::Linear);
+        // A supported forced choice wins over the tuned one.
+        let got = select(
+            CollOp::Bcast,
+            8,
+            0,
+            OrderPolicy::Any,
+            Some(CollAlgorithm::Linear),
+        );
+        assert_eq!(got, CollAlgorithm::Linear);
+    }
+
+    #[test]
+    fn order_policy_classification() {
+        use crate::ops::{Op, PredefinedOp};
+        use PrimitiveKind as K;
+        let sum = Op::Predefined(PredefinedOp::Sum);
+        assert_eq!(order_policy(&sum, K::Int), OrderPolicy::Any);
+        assert_eq!(order_policy(&sum, K::Double), OrderPolicy::Sequential);
+        let max = Op::Predefined(PredefinedOp::Max);
+        assert_eq!(order_policy(&max, K::Float), OrderPolicy::Ordered);
+        assert_eq!(order_policy(&max, K::Long), OrderPolicy::Any);
+        let maxloc = Op::Predefined(PredefinedOp::Maxloc);
+        assert_eq!(order_policy(&maxloc, K::Int2), OrderPolicy::Ordered);
+        let user = Op::User(Arc::new(|_, _, _, _| Ok(())));
+        assert_eq!(order_policy(&user, K::Int), OrderPolicy::Ordered);
+    }
+}

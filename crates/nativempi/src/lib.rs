@@ -18,14 +18,17 @@
 //!   ([`comm`]),
 //! * **collective operations** — barrier, broadcast, gather(v), scatter(v),
 //!   allgather(v), alltoall(v), reduce, allreduce, reduce-scatter, scan —
-//!   built over point-to-point on a separate collective context
-//!   ([`collective`]),
+//!   built over point-to-point on a separate collective context as a
+//!   pluggable algorithm subsystem ([`coll`]): linear (paper-faithful
+//!   baseline), binomial tree, recursive doubling and ring wire patterns
+//!   behind a size-aware selector ([`coll::tuning`]) with an
+//!   `MPIJAVA_COLL_ALG` override for ablations,
 //! * **reduction operations** including `MAXLOC`/`MINLOC` and user
 //!   functions ([`ops`]),
 //! * **derived datatypes** and pack/unpack ([`datatype`], [`pack`]),
 //! * **virtual topologies** (cartesian and graph, [`topology`]),
 //! * environment services — `Wtime`, processor name, attributes, abort
-//!   ([`env`]),
+//!   ([`mod@env`]),
 //! * a [`universe::Universe`] launcher that plays `mpirun`, creating one
 //!   engine per rank over a shared fabric and running them on threads.
 //!
@@ -33,7 +36,7 @@
 //! through it. The object-oriented binding of the paper is implemented in
 //! the `mpijava` crate on top of this engine.
 
-pub mod collective;
+pub mod coll;
 pub mod comm;
 pub mod datatype;
 pub mod env;
@@ -47,6 +50,7 @@ pub mod topology;
 pub mod types;
 pub mod universe;
 
+pub use coll::{CollAlgorithm, CollOp, COLL_ALG_ENV};
 pub use comm::{CommHandle, COMM_SELF, COMM_WORLD};
 pub use datatype::DatatypeDef;
 pub use error::{ErrorClass, MpiError, Result};
@@ -106,6 +110,7 @@ pub struct Engine {
     pub(crate) aborted: bool,
     pub(crate) stats: EngineStats,
     pub(crate) keyvals: HashMap<i32, Vec<u8>>,
+    pub(crate) forced_coll_alg: Option<coll::CollAlgorithm>,
 }
 
 /// Default payload size (bytes) above which standard-mode sends switch from
@@ -145,6 +150,7 @@ impl Engine {
             aborted: false,
             stats: EngineStats::default(),
             keyvals: HashMap::new(),
+            forced_coll_alg: coll::CollAlgorithm::from_env(),
         };
         engine.install_builtin_comms();
         engine
@@ -158,6 +164,25 @@ impl Engine {
     /// Current eager/rendezvous switch-over point (bytes).
     pub fn eager_threshold(&self) -> usize {
         self.eager_threshold
+    }
+
+    /// Pin (or with `None`, un-pin) the collective algorithm, overriding
+    /// the size-aware tuning table of [`coll::tuning`] — the programmatic
+    /// form of the `MPIJAVA_COLL_ALG` environment override.
+    ///
+    /// Collectives are cooperative, so the pin must be applied
+    /// symmetrically on every rank of a communicator (the `Universe` /
+    /// `MpiRuntime` launchers do this for you). A pinned algorithm that
+    /// cannot implement a given operation falls back to the tuned choice;
+    /// results are byte-identical either way.
+    pub fn set_coll_algorithm(&mut self, alg: Option<coll::CollAlgorithm>) {
+        self.forced_coll_alg = alg;
+    }
+
+    /// The pinned collective algorithm, if any (see
+    /// [`set_coll_algorithm`](Engine::set_coll_algorithm)).
+    pub fn coll_algorithm(&self) -> Option<coll::CollAlgorithm> {
+        self.forced_coll_alg
     }
 
     /// This process's rank in `MPI_COMM_WORLD`.

@@ -34,9 +34,12 @@ use crate::request::{RequestId, RequestState};
 use crate::types::{SendMode, StatusInfo, ANY_SOURCE, ANY_TAG, PROC_NULL};
 use crate::Engine;
 
-/// Tag space reserved for engine-internal collective traffic. User tags
-/// must be non-negative (checked in `validate_tag`), so the negative space
-/// below `ANY_TAG` is free for the engine.
+/// Upper bound of the tag space reserved for engine-internal collective
+/// traffic. User tags must be non-negative (checked in `validate_tag`), so
+/// the negative space at and below this value is free for the engine. The
+/// collective subsystem widens this into per-operation windows of one tag
+/// per algorithm round (see [`crate::coll`]), so multi-round tree / ring /
+/// recursive-doubling schedules cannot collide.
 pub(crate) const COLLECTIVE_TAG_BASE: i32 = -1000;
 
 /// A receive that has been posted but not yet matched.

@@ -28,6 +28,9 @@ pub struct UniverseConfig {
     pub profile: DeviceProfile,
     /// Eager/rendezvous threshold override (`None` keeps the engine default).
     pub eager_threshold: Option<usize>,
+    /// Pin the collective algorithm on every rank (`None` keeps the tuned
+    /// size-aware selection; see [`crate::coll`]).
+    pub coll_algorithm: Option<crate::coll::CollAlgorithm>,
     /// Processor-name prefix; rank `i` is named `<prefix><i>`.
     pub processor_name_prefix: Option<String>,
 }
@@ -41,6 +44,7 @@ impl UniverseConfig {
             network: NetworkModel::unshaped(),
             profile: DeviceProfile::default(),
             eager_threshold: None,
+            coll_algorithm: None,
             processor_name_prefix: None,
         }
     }
@@ -60,6 +64,12 @@ impl UniverseConfig {
     /// Override the eager threshold on every rank.
     pub fn with_eager_threshold(mut self, bytes: usize) -> Self {
         self.eager_threshold = Some(bytes);
+        self
+    }
+
+    /// Pin the collective algorithm on every rank (ablations).
+    pub fn with_coll_algorithm(mut self, alg: crate::coll::CollAlgorithm) -> Self {
+        self.coll_algorithm = Some(alg);
         self
     }
 }
@@ -106,6 +116,9 @@ impl Universe {
                     let mut engine = Engine::new(endpoint);
                     if let Some(threshold) = config.eager_threshold {
                         engine.set_eager_threshold(threshold);
+                    }
+                    if config.coll_algorithm.is_some() {
+                        engine.set_coll_algorithm(config.coll_algorithm);
                     }
                     if let Some(prefix) = &config.processor_name_prefix {
                         let name = format!("{prefix}{}", engine.world_rank());

@@ -1,0 +1,285 @@
+//! Cross-algorithm equivalence suite: every collective must produce
+//! byte-identical results under the linear, binomial-tree,
+//! recursive-doubling and ring algorithms (and under the tuned default
+//! selector), on communicator sizes {1, 2, 3, 4, 5, 8}, across all three
+//! transport devices — including non-commutative user operations and
+//! `MAXLOC`/`MINLOC` with ties.
+//!
+//! Each rank executes a fixed transcript of collectives and serializes
+//! every result into a byte log; the per-rank logs of a forced-algorithm
+//! run are compared against the forced-`Linear` baseline. A forced
+//! algorithm that cannot implement an operation (recursive doubling on
+//! five ranks, ring under an order-preserving reduction) falls back
+//! through the tuning layer, so the comparison also covers the fallback
+//! paths.
+
+use std::sync::Arc;
+
+use mpi_native::comm::COMM_WORLD;
+use mpi_native::{
+    CollAlgorithm, Engine, Op, PredefinedOp, PrimitiveKind, Universe, UniverseConfig,
+};
+use mpi_transport::DeviceKind;
+
+fn ints(values: &[i32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Non-commutative but exactly associative user operation: elements are
+/// `(m, c)` pairs encoding the affine map `x -> m*x + c` over wrapping
+/// i32 arithmetic, combined by function composition.
+fn affine_compose() -> Op {
+    Op::User(Arc::new(|incoming, acc, _kind, count| {
+        for i in 0..count {
+            let at = i * 8;
+            let ma = i32::from_le_bytes(acc[at..at + 4].try_into().unwrap());
+            let ca = i32::from_le_bytes(acc[at + 4..at + 8].try_into().unwrap());
+            let mi = i32::from_le_bytes(incoming[at..at + 4].try_into().unwrap());
+            let ci = i32::from_le_bytes(incoming[at + 4..at + 8].try_into().unwrap());
+            let m = ma.wrapping_mul(mi);
+            let c = ma.wrapping_mul(ci).wrapping_add(ca);
+            acc[at..at + 4].copy_from_slice(&m.to_le_bytes());
+            acc[at + 4..at + 8].copy_from_slice(&c.to_le_bytes());
+        }
+        Ok(())
+    }))
+}
+
+fn log_result(log: &mut Vec<u8>, op_id: u8, bytes: &[u8]) {
+    log.push(op_id);
+    log.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    log.extend_from_slice(bytes);
+}
+
+fn log_parts(log: &mut Vec<u8>, op_id: u8, parts: &[Vec<u8>]) {
+    let mut flat = Vec::new();
+    for p in parts {
+        flat.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        flat.extend_from_slice(p);
+    }
+    log_result(log, op_id, &flat);
+}
+
+/// The transcript every rank runs; returns the serialized result log.
+fn transcript(engine: &mut Engine) -> Vec<u8> {
+    let rank = engine.world_rank();
+    let size = engine.world_size();
+    let sum = Op::Predefined(PredefinedOp::Sum);
+    let maxloc = Op::Predefined(PredefinedOp::Maxloc);
+    let minloc = Op::Predefined(PredefinedOp::Minloc);
+    let mut log = Vec::new();
+
+    engine.barrier(COMM_WORLD).unwrap();
+    log_result(&mut log, 0, b"barrier-ok");
+
+    // Bcast from both ends of the communicator, lengths that are not
+    // multiples of anything interesting.
+    for (op_id, root, len) in [(1u8, 0usize, 37usize), (2, size - 1, 133)] {
+        let mut buf = if rank == root {
+            (0..len)
+                .map(|i| (i as u8).wrapping_mul(7).wrapping_add(root as u8))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        engine.bcast(COMM_WORLD, root, &mut buf).unwrap();
+        log_result(&mut log, op_id, &buf);
+    }
+
+    // Gatherv: variable lengths, including a zero-length contribution.
+    let root = size / 2;
+    let send = vec![rank as u8; rank % 3];
+    if let Some(parts) = engine.gather(COMM_WORLD, root, &send).unwrap() {
+        log_parts(&mut log, 3, &parts);
+    }
+
+    // Scatterv: variable chunks, including zero-length ones.
+    let chunks: Option<Vec<Vec<u8>>> = if rank == root {
+        Some(
+            (0..size)
+                .map(|r| vec![r as u8 ^ 0x5a; (r * 2) % 5])
+                .collect(),
+        )
+    } else {
+        None
+    };
+    let mine = engine.scatter(COMM_WORLD, root, chunks.as_deref()).unwrap();
+    log_result(&mut log, 4, &mine);
+
+    // Allgatherv: variable lengths.
+    let contribution: Vec<u8> = (0..(rank + 2) * 3).map(|i| (i + rank) as u8).collect();
+    let parts = engine.allgather(COMM_WORLD, &contribution).unwrap();
+    log_parts(&mut log, 5, &parts);
+
+    // Alltoallv with some zero-length chunks.
+    let chunks: Vec<Vec<u8>> = (0..size)
+        .map(|d| vec![(rank * 16 + d) as u8; (rank + d) % 4])
+        .collect();
+    let got = engine.alltoall(COMM_WORLD, &chunks).unwrap();
+    log_parts(&mut log, 6, &got);
+
+    // Integer sum reduce to a non-zero root (exercises the tree's
+    // root-forwarding hop), plus a zero-count reduce.
+    let send = ints(&[rank as i32 + 1, (rank as i32 + 1) * -10, 7]);
+    let reduced = engine
+        .reduce(COMM_WORLD, size - 1, &send, PrimitiveKind::Int, 3, &sum)
+        .unwrap();
+    if let Some(data) = reduced {
+        log_result(&mut log, 7, &data);
+    }
+    let empty = engine
+        .reduce(COMM_WORLD, 0, &[], PrimitiveKind::Int, 0, &sum)
+        .unwrap();
+    if let Some(data) = empty {
+        log_result(&mut log, 8, &data);
+    }
+
+    // MAXLOC / MINLOC with deliberate value ties (tie-break must prefer
+    // the lower rank under every algorithm).
+    let pairs = ints(&[(rank % 2) as i32, rank as i32, 5, rank as i32]);
+    let got = engine
+        .reduce(COMM_WORLD, 0, &pairs, PrimitiveKind::Int2, 2, &maxloc)
+        .unwrap();
+    if let Some(data) = got {
+        log_result(&mut log, 9, &data);
+    }
+    let got = engine
+        .allreduce(COMM_WORLD, &pairs, PrimitiveKind::Int2, 2, &minloc)
+        .unwrap();
+    log_result(&mut log, 10, &got);
+
+    // Non-commutative associative user op, reduce and allreduce.
+    let affine = affine_compose();
+    let own = ints(&[rank as i32 * 2 + 3, rank as i32 + 1, 3, rank as i32 - 2]);
+    let got = engine
+        .reduce(COMM_WORLD, 0, &own, PrimitiveKind::Int2, 2, &affine)
+        .unwrap();
+    if let Some(data) = got {
+        log_result(&mut log, 11, &data);
+    }
+    let got = engine
+        .allreduce(COMM_WORLD, &own, PrimitiveKind::Int2, 2, &affine)
+        .unwrap();
+    log_result(&mut log, 12, &got);
+
+    // Integer allreduce: a count below the communicator size (ring gets
+    // empty segments), and a larger vector.
+    let got = engine
+        .allreduce(
+            COMM_WORLD,
+            &ints(&[rank as i32]),
+            PrimitiveKind::Int,
+            1,
+            &sum,
+        )
+        .unwrap();
+    log_result(&mut log, 13, &got);
+    let vector: Vec<i32> = (0i32..2048)
+        .map(|i| i.wrapping_mul(rank as i32 + 1))
+        .collect();
+    let got = engine
+        .allreduce(COMM_WORLD, &ints(&vector), PrimitiveKind::Int, 2048, &sum)
+        .unwrap();
+    log_result(&mut log, 14, &got);
+
+    // Reduce-scatter with uneven counts including a zero.
+    let counts: Vec<usize> = (0..size)
+        .map(|r| if r == 0 { 0 } else { r % 3 + 1 })
+        .collect();
+    let total: usize = counts.iter().sum();
+    let vec: Vec<i32> = (0..total as i32).map(|i| i + rank as i32).collect();
+    let got = engine
+        .reduce_scatter(COMM_WORLD, &ints(&vec), &counts, PrimitiveKind::Int, &sum)
+        .unwrap();
+    log_result(&mut log, 15, &got);
+
+    // Scan.
+    let got = engine
+        .scan(
+            COMM_WORLD,
+            &ints(&[rank as i32 + 1, 2]),
+            PrimitiveKind::Int,
+            2,
+            &sum,
+        )
+        .unwrap();
+    log_result(&mut log, 16, &got);
+
+    // Collectives on a split communicator (sub-comm sizes and roots differ
+    // from world; also exercises the engine-internal allgather/allreduce
+    // used by comm_split itself under every algorithm).
+    let sub = engine
+        .comm_split(COMM_WORLD, (rank % 2) as i32, rank as i32)
+        .unwrap()
+        .unwrap();
+    let got = engine
+        .allreduce(sub, &ints(&[rank as i32 + 5]), PrimitiveKind::Int, 1, &sum)
+        .unwrap();
+    log_result(&mut log, 17, &got);
+    let sub_size = engine.comm_size(sub).unwrap();
+    let sub_root = sub_size - 1;
+    let sub_rank = engine.comm_rank(sub).unwrap();
+    let mut buf = if sub_rank == sub_root {
+        vec![rank as u8; 21]
+    } else {
+        Vec::new()
+    };
+    engine.bcast(sub, sub_root, &mut buf).unwrap();
+    log_result(&mut log, 18, &buf);
+
+    log
+}
+
+fn run_transcript(
+    size: usize,
+    device: DeviceKind,
+    alg: Option<CollAlgorithm>,
+    eager_threshold: Option<usize>,
+) -> Vec<Vec<u8>> {
+    let mut config = UniverseConfig::new(size, device);
+    config.coll_algorithm = alg;
+    config.eager_threshold = eager_threshold;
+    Universe::run_with_config(config, transcript).unwrap()
+}
+
+fn assert_equivalence(device: DeviceKind, eager_threshold: Option<usize>) {
+    for size in [1usize, 2, 3, 4, 5, 8] {
+        let baseline = run_transcript(size, device, Some(CollAlgorithm::Linear), eager_threshold);
+        let candidates = [
+            None, // the tuned default selector
+            Some(CollAlgorithm::BinomialTree),
+            Some(CollAlgorithm::RecursiveDoubling),
+            Some(CollAlgorithm::Ring),
+        ];
+        for alg in candidates {
+            let got = run_transcript(size, device, alg, eager_threshold);
+            assert_eq!(
+                got, baseline,
+                "transcript diverged from linear: device={device:?} size={size} alg={alg:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn algorithms_are_byte_identical_on_shm_fast() {
+    assert_equivalence(DeviceKind::ShmFast, None);
+}
+
+#[test]
+fn algorithms_are_byte_identical_on_shm_p4() {
+    assert_equivalence(DeviceKind::ShmP4, None);
+}
+
+#[test]
+fn algorithms_are_byte_identical_on_tcp() {
+    assert_equivalence(DeviceKind::Tcp, None);
+}
+
+/// Force the rendezvous protocol for essentially every frame: the
+/// posted-before-send exchange pattern of the tree/rd/ring schedules must
+/// not deadlock when payloads need an ack round-trip.
+#[test]
+fn algorithms_survive_a_tiny_eager_threshold() {
+    assert_equivalence(DeviceKind::ShmFast, Some(256));
+}

@@ -18,7 +18,7 @@
 //! * [`tcp::TcpDevice`] — a socket device for DM mode, running over
 //!   loopback TCP, optionally shaped by a [`netmodel::NetworkModel`]
 //!   reproducing the paper's 10BaseT Ethernet link.
-//! * [`ring::SpscRing`] — a lock-free single-producer/single-consumer ring
+//! * [`ring::spsc_ring`] — a lock-free single-producer/single-consumer ring
 //!   used as the fast path of the SHM device (ablation: ring vs mutex).
 //!
 //! All devices expose the same [`Endpoint`] interface: ordered,
@@ -110,10 +110,16 @@ impl DeviceProfile {
         self.per_message_cost + bytes
     }
 
-    /// Busy-wait for the synthetic cost of a `len`-byte message.
+    /// Wait out the synthetic cost of a `len`-byte message.
     ///
-    /// A busy-wait (rather than `thread::sleep`) is used because the costs
-    /// being modelled are sub-millisecond and `sleep` cannot resolve them.
+    /// The wait is elapsed-time based (rather than `thread::sleep`)
+    /// because the costs being modelled are sub-millisecond and `sleep`
+    /// cannot resolve them, and it yields the CPU on every iteration: a
+    /// modelled link transfer occupies the *link*, not the processor, so
+    /// transfers charged concurrently on different ranks must overlap in
+    /// wall time even when the host has fewer cores than ranks. (This is
+    /// what lets the collective benchmarks observe the link-level
+    /// concurrency that tree/ring schedules exploit.)
     pub fn charge(&self, len: usize) {
         let cost = self.cost_for(len);
         if cost.is_zero() {
@@ -121,7 +127,7 @@ impl DeviceProfile {
         }
         let start = std::time::Instant::now();
         while start.elapsed() < cost {
-            std::hint::spin_loop();
+            std::thread::yield_now();
         }
     }
 }
