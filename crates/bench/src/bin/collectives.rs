@@ -72,15 +72,35 @@ fn main() {
     for op in ["bcast", "allreduce"] {
         for &payload in spec.payloads.iter().filter(|&&p| p >= 64 * 1024) {
             let linear = find(&records, op, "linear", payload);
-            for alg in ["tree", "rd", "ring"] {
+            for alg in ["tree", "rd", "ring", "pipelined"] {
                 if let (Some(lin), Some(us)) = (linear, find(&records, op, alg, payload)) {
                     println!(
-                        "  {op:>9} {payload:>7}B: {alg:>5} {us:>9.1} us vs linear {lin:>9.1} us ({}{:.2}x)",
+                        "  {op:>9} {payload:>7}B: {alg:>9} {us:>9.1} us vs linear {lin:>9.1} us ({}{:.2}x)",
                         if lin >= us { "+" } else { "-" },
                         lin / us
                     );
                 }
             }
+        }
+    }
+
+    // The segmented-pipeline claim: every link carries the payload once,
+    // so the chain overtakes the binomial tree once the payload spans
+    // several segments.
+    println!(
+        "\n== shm-fast, P={} — pipelined (chain) vs tree bcast ==",
+        spec.ranks
+    );
+    for &payload in spec.payloads.iter().filter(|&&p| p >= 64 * 1024) {
+        if let (Some(tree), Some(pipe)) = (
+            find(&records, "bcast", "tree", payload),
+            find(&records, "bcast", "pipelined", payload),
+        ) {
+            println!(
+                "  {payload:>7}B: pipelined {pipe:>9.1} us vs tree {tree:>9.1} us ({}{:.2}x)",
+                if tree >= pipe { "+" } else { "-" },
+                tree / pipe
+            );
         }
     }
 }

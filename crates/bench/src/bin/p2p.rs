@@ -1,0 +1,92 @@
+//! Point-to-point datapath sweep: latency + bandwidth per
+//! device × eager-threshold × payload × datapath, written to the
+//! machine-readable `BENCH_p2p.json`.
+//!
+//! ```text
+//! cargo run --release -p mpi-bench --bin p2p [REPS | quick]
+//! ```
+//!
+//! Defaults: the full sweep (3 devices × 3 datapaths × 2 eager limits ×
+//! 5 payloads, 64 base reps, best of 3 windows). Pass `quick` for the
+//! tiny CI smoke sweep, or a number to override the base rep count.
+//!
+//! The run finishes with the headline the tentpole is judged on: the
+//! zerocopy-vs-legacy bandwidth ratio for large standard-mode (i.e.
+//! rendezvous) sends on the shared-memory device, where `legacy`
+//! re-enacts the pre-refactor three-copy chain (see `p2pbench`).
+
+use std::fs;
+
+use mpi_bench::p2pbench::{format_table, run_suite, to_json, P2pBenchSpec, P2pRecord};
+
+fn find<'a>(
+    records: &'a [P2pRecord],
+    datapath: &str,
+    payload: usize,
+    eager_limit: usize,
+) -> Option<&'a P2pRecord> {
+    records.iter().find(|r| {
+        r.device == "shm-fast"
+            && r.datapath == datapath
+            && r.payload_bytes == payload
+            && r.eager_limit == eager_limit
+    })
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let spec = match arg.as_deref() {
+        Some("quick") => P2pBenchSpec::quick(),
+        Some(n) => P2pBenchSpec {
+            reps: n.parse().unwrap_or(64),
+            ..P2pBenchSpec::default()
+        },
+        None => P2pBenchSpec::default(),
+    };
+
+    eprintln!(
+        "p2p sweep: {} devices, {} datapaths, eager limits {:?}, payloads {:?}",
+        spec.devices.len(),
+        spec.datapaths.len(),
+        spec.eager_limits,
+        spec.payloads
+    );
+    let records = run_suite(&spec, |r| {
+        eprintln!(
+            "  {:>9} {:>9} {:>10}B eager={:>9} -> {:>9.2} us, {:>9.1} MB/s",
+            r.device, r.datapath, r.payload_bytes, r.eager_limit, r.us_per_msg, r.mb_per_s
+        );
+    });
+
+    let json = to_json(&records);
+    fs::write("BENCH_p2p.json", &json).expect("write BENCH_p2p.json");
+    println!("{}", format_table(&records));
+    println!("wrote BENCH_p2p.json ({} cells)", records.len());
+
+    // Headline: the zero-copy datapath vs the emulated pre-refactor
+    // chain, on the cells the acceptance criterion names (standard-mode
+    // sends >= 256 KiB on shm-fast; with the small eager limit these are
+    // rendezvous transfers).
+    println!("\n== shm-fast — zerocopy vs legacy (pre-refactor) datapath ==");
+    for &eager in &spec.eager_limits {
+        for &payload in &spec.payloads {
+            let (Some(zc), Some(legacy)) = (
+                find(&records, "zerocopy", payload, eager),
+                find(&records, "legacy", payload, eager),
+            ) else {
+                continue;
+            };
+            let protocol = if payload > eager {
+                "rendezvous"
+            } else {
+                "eager"
+            };
+            println!(
+                "  {payload:>9}B ({protocol:>10}): zerocopy {:>9.1} MB/s vs legacy {:>9.1} MB/s ({:.2}x)",
+                zc.mb_per_s,
+                legacy.mb_per_s,
+                zc.mb_per_s / legacy.mb_per_s
+            );
+        }
+    }
+}

@@ -8,12 +8,16 @@
 //! tuned selector (`"auto"`) or pinned per run via
 //! [`MpiRuntime::coll_algorithm`]. The reduction payload is `MPI.INT`
 //! with `MPI.SUM`, whose order policy admits every algorithm, so the
-//! `linear` / `tree` / `rd` / `ring` rows are directly comparable.
-//! Cells whose pinned algorithm cannot implement the operation (ring has
-//! no bcast, recursive doubling needs a power-of-two communicator, …)
-//! are *skipped* rather than silently measuring the tuned fallback under
-//! a wrong label — every emitted row measures exactly the algorithm it
-//! names.
+//! `linear` / `tree` / `rd` / `ring` / `pipelined` rows are directly
+//! comparable. Cells whose pinned algorithm cannot implement the
+//! operation (ring has no bcast, recursive doubling needs a power-of-two
+//! communicator, pipelined is bcast-only, …) are *skipped* rather than
+//! silently measuring the tuned fallback under a wrong label — every
+//! emitted row measures exactly the algorithm it names. The
+//! `pipelined`-vs-`tree` bcast cells at large payloads are the headline
+//! of the segmented-transfer work: interior tree ranks forward segment
+//! *k* while receiving *k+1*, so the pipelined rows pull ahead once the
+//! payload spans several segments.
 //!
 //! ## The modelled link
 //!
@@ -93,6 +97,7 @@ impl Default for CollBenchSpec {
                 Some(CollAlgorithm::BinomialTree),
                 Some(CollAlgorithm::RecursiveDoubling),
                 Some(CollAlgorithm::Ring),
+                Some(CollAlgorithm::Pipelined),
             ],
             payloads: vec![1024, 64 * 1024, 256 * 1024],
             reps: 10,

@@ -34,10 +34,12 @@
 
 pub mod collbench;
 pub mod linpack;
+pub mod p2pbench;
 pub mod pingpong;
 pub mod report;
 
 pub use collbench::{run_suite as run_collective_suite, CollBenchSpec, CollRecord};
 pub use linpack::{linpack_compiled, linpack_interpreted, LinpackResult};
+pub use p2pbench::{run_suite as run_p2p_suite, P2pBenchSpec, P2pRecord};
 pub use pingpong::{run_pingpong, Calibration, Mode, PingPongPoint, PingPongSpec, Stack};
 pub use report::{format_bandwidth_table, format_table1, Series};

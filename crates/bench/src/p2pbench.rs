@@ -1,0 +1,375 @@
+//! Point-to-point datapath benchmark with machine-readable output:
+//! latency and bandwidth per device × eager-threshold × payload ×
+//! datapath, emitted as `BENCH_p2p.json` so the zero-copy datapath's
+//! performance is tracked across PRs.
+//!
+//! ## The datapath axis
+//!
+//! The interesting comparison is not device vs device but *copy chain vs
+//! copy chain* on the same device:
+//!
+//! * **`zerocopy`** — the current datapath: the sender ships a refcounted
+//!   `Bytes` payload via `Engine::send_bytes` (zero send-side copies),
+//!   the receiver lands it with `Engine::recv_into` (exactly one copy,
+//!   straight into the user buffer, spent buffers recycled into the send
+//!   pool).
+//! * **`segmented`** — the same zero-copy path with pipeline segmentation
+//!   enabled (`segment_bytes`), showing what the chunked rendezvous
+//!   stream costs/gains per device. Cells where segmentation cannot
+//!   engage (payload at or below the eager limit or the segment size)
+//!   are skipped rather than emitted under a wrong label.
+//! * **`legacy`** — a faithful emulation of the pre-zero-copy chain:
+//!   slice send (one staging copy), `Engine::recv` followed by the
+//!   `to_vec()` the old completion path performed, followed by the copy
+//!   into the user buffer. Three copies per transfer where `zerocopy`
+//!   does one.
+//!
+//! The `legacy` series is what makes the JSON self-contained: the
+//! zerocopy-vs-legacy bandwidth ratio *is* the improvement over the
+//! pre-refactor datapath, measured on the same machine in the same run.
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use mpi_native::{SendMode, Universe, UniverseConfig, COMM_WORLD};
+use mpi_transport::DeviceKind;
+
+/// Which copy chain a measurement exercises (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Datapath {
+    ZeroCopy,
+    Segmented,
+    Legacy,
+}
+
+impl Datapath {
+    pub const ALL: [Datapath; 3] = [Datapath::ZeroCopy, Datapath::Segmented, Datapath::Legacy];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Datapath::ZeroCopy => "zerocopy",
+            Datapath::Segmented => "segmented",
+            Datapath::Legacy => "legacy",
+        }
+    }
+}
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2pRecord {
+    /// Device label (`shm-fast`, `shm-p4`, `tcp`).
+    pub device: String,
+    /// Datapath label (`zerocopy`, `segmented`, `legacy`).
+    pub datapath: String,
+    /// Payload bytes per message.
+    pub payload_bytes: usize,
+    /// Eager/rendezvous switch-over applied to the run.
+    pub eager_limit: usize,
+    /// Pipeline segment size (0 = segmentation off).
+    pub segment_bytes: usize,
+    /// One-way microseconds per message (ping-pong round trip / 2).
+    pub us_per_msg: f64,
+    /// One-way bandwidth in MB/s.
+    pub mb_per_s: f64,
+}
+
+/// Sweep specification.
+#[derive(Debug, Clone)]
+pub struct P2pBenchSpec {
+    pub devices: Vec<DeviceKind>,
+    pub datapaths: Vec<Datapath>,
+    /// Eager thresholds to sweep: values below a payload force the
+    /// rendezvous protocol for it, values above keep it eager.
+    pub eager_limits: Vec<usize>,
+    pub payloads: Vec<usize>,
+    /// Timed reps for the smallest payload; larger payloads are scaled
+    /// down (see [`reps_for`]).
+    pub reps: usize,
+    pub warmup: usize,
+    /// Segment size used by the `segmented` datapath.
+    pub segment_bytes: usize,
+}
+
+impl Default for P2pBenchSpec {
+    fn default() -> P2pBenchSpec {
+        P2pBenchSpec {
+            devices: vec![DeviceKind::ShmFast, DeviceKind::ShmP4, DeviceKind::Tcp],
+            datapaths: Datapath::ALL.to_vec(),
+            eager_limits: vec![1024, 2 * 1024 * 1024],
+            payloads: vec![64, 4 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024],
+            reps: 64,
+            warmup: 4,
+            segment_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl P2pBenchSpec {
+    /// The tiny sweep CI smoke-runs: one device, two payloads, a couple
+    /// of reps — enough to prove the harness end to end in seconds.
+    pub fn quick() -> P2pBenchSpec {
+        P2pBenchSpec {
+            devices: vec![DeviceKind::ShmFast],
+            datapaths: Datapath::ALL.to_vec(),
+            eager_limits: vec![1024],
+            payloads: vec![4 * 1024, 256 * 1024],
+            reps: 4,
+            warmup: 1,
+            segment_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Scale rep counts down for big payloads so a cell's wall time stays
+/// roughly constant across the sweep.
+pub fn reps_for(payload: usize, base: usize) -> usize {
+    let scale = (payload / (64 * 1024)).max(1);
+    (base / scale).max(4)
+}
+
+/// Measure one cell: one-way seconds per message over a rank-0 ↔ rank-1
+/// ping-pong (both directions run the same datapath, so a round trip is
+/// two one-way transfers).
+pub fn measure(
+    device: DeviceKind,
+    datapath: Datapath,
+    eager_limit: usize,
+    segment_bytes: usize,
+    payload_bytes: usize,
+    reps: usize,
+    warmup: usize,
+) -> f64 {
+    let config = UniverseConfig::new(2, device).with_eager_threshold(eager_limit);
+    // Segmentation is pinned per cell *inside* the closure (not via the
+    // config, which can only enable it): an ambient MPIJAVA_SEGMENT_BYTES
+    // in the developer's environment must not silently turn the zerocopy
+    // and legacy cells into segmented runs under a wrong label.
+    let pinned_segment = match datapath {
+        Datapath::Segmented if segment_bytes > 0 => Some(segment_bytes),
+        _ => None,
+    };
+    let results = Universe::run_with_config(config, move |engine| {
+        engine.set_segment_bytes(pinned_segment);
+        let rank = engine.world_rank();
+        let peer = (1 - rank) as i32;
+        let (send_tag, recv_tag) = if rank == 0 { (1, 2) } else { (2, 1) };
+        let payload_vec = vec![0xA5u8; payload_bytes];
+        let payload = Bytes::from(payload_vec.clone());
+        let mut buf = vec![0u8; payload_bytes];
+
+        let send_one = |engine: &mut mpi_native::Engine| match datapath {
+            Datapath::ZeroCopy | Datapath::Segmented => engine
+                .send_bytes(
+                    COMM_WORLD,
+                    peer,
+                    send_tag,
+                    payload.clone(),
+                    SendMode::Standard,
+                )
+                .expect("send"),
+            Datapath::Legacy => engine
+                .send(COMM_WORLD, peer, send_tag, &payload_vec, SendMode::Standard)
+                .expect("send"),
+        };
+        let recv_one = |engine: &mut mpi_native::Engine, buf: &mut [u8]| match datapath {
+            Datapath::ZeroCopy | Datapath::Segmented => {
+                engine
+                    .recv_into(COMM_WORLD, peer, recv_tag, buf)
+                    .expect("recv");
+            }
+            Datapath::Legacy => {
+                // The pre-refactor chain: completion buffer -> Vec
+                // (the old `complete_recv` copy) -> user buffer.
+                let (data, _) = engine
+                    .recv(COMM_WORLD, peer, recv_tag, Some(buf.len()))
+                    .expect("recv");
+                let staged = data.to_vec();
+                buf[..staged.len()].copy_from_slice(&staged);
+            }
+        };
+
+        let mut elapsed = 0.0f64;
+        if rank == 0 {
+            for _ in 0..warmup {
+                send_one(engine);
+                recv_one(engine, &mut buf);
+            }
+            let start = Instant::now();
+            for _ in 0..reps {
+                send_one(engine);
+                recv_one(engine, &mut buf);
+            }
+            elapsed = start.elapsed().as_secs_f64();
+            std::hint::black_box(&buf);
+        } else {
+            for _ in 0..(warmup + reps) {
+                recv_one(engine, &mut buf);
+                send_one(engine);
+            }
+        }
+        elapsed
+    })
+    .expect("p2p bench universe");
+    // Round trip = two one-way transfers.
+    results[0] / (reps as f64 * 2.0)
+}
+
+/// Run the full sweep. `progress` is called once per finished cell.
+pub fn run_suite(spec: &P2pBenchSpec, mut progress: impl FnMut(&P2pRecord)) -> Vec<P2pRecord> {
+    let mut records = Vec::new();
+    for &device in &spec.devices {
+        for &datapath in &spec.datapaths {
+            for &eager_limit in &spec.eager_limits {
+                for &payload in &spec.payloads {
+                    // Segmentation only applies to rendezvous payloads:
+                    // a `segmented` cell at or below the eager limit
+                    // would measure the plain eager path under a wrong
+                    // label, so it is skipped (same no-mislabeled-cells
+                    // rule as the collectives sweep).
+                    if matches!(datapath, Datapath::Segmented)
+                        && (payload <= eager_limit || payload <= spec.segment_bytes)
+                    {
+                        continue;
+                    }
+                    let reps = reps_for(payload, spec.reps);
+                    let best = (0..3)
+                        .map(|_| {
+                            measure(
+                                device,
+                                datapath,
+                                eager_limit,
+                                spec.segment_bytes,
+                                payload,
+                                reps,
+                                spec.warmup,
+                            )
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    let record = P2pRecord {
+                        device: device.label().to_string(),
+                        datapath: datapath.label().to_string(),
+                        payload_bytes: payload,
+                        eager_limit,
+                        segment_bytes: if matches!(datapath, Datapath::Segmented) {
+                            spec.segment_bytes
+                        } else {
+                            0
+                        },
+                        us_per_msg: best * 1e6,
+                        mb_per_s: payload as f64 / best / 1e6,
+                    };
+                    progress(&record);
+                    records.push(record);
+                }
+            }
+        }
+    }
+    records
+}
+
+/// Serialize the records as a JSON array (all field values are plain
+/// numbers or label strings, so no escaping is required).
+pub fn to_json(records: &[P2pRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"device\": \"{}\", \"datapath\": \"{}\", \"payload_bytes\": {}, \
+             \"eager_limit\": {}, \"segment_bytes\": {}, \"us_per_msg\": {:.3}, \
+             \"mb_per_s\": {:.2}}}{}\n",
+            r.device,
+            r.datapath,
+            r.payload_bytes,
+            r.eager_limit,
+            r.segment_bytes,
+            r.us_per_msg,
+            r.mb_per_s,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Aligned text table of the records, for humans.
+pub fn format_table(records: &[P2pRecord]) -> String {
+    let mut out = format!(
+        "{:>9} {:>9} {:>10} {:>9} {:>8} {:>12} {:>12}\n",
+        "device", "datapath", "bytes", "eager", "segment", "us/msg", "MB/s"
+    );
+    for r in records {
+        out.push_str(&format!(
+            "{:>9} {:>9} {:>10} {:>9} {:>8} {:>12.2} {:>12.1}\n",
+            r.device,
+            r.datapath,
+            r.payload_bytes,
+            r.eager_limit,
+            r.segment_bytes,
+            r.us_per_msg,
+            r.mb_per_s
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let records = vec![
+            P2pRecord {
+                device: "shm-fast".into(),
+                datapath: "zerocopy".into(),
+                payload_bytes: 262144,
+                eager_limit: 1024,
+                segment_bytes: 0,
+                us_per_msg: 42.5,
+                mb_per_s: 6168.1,
+            },
+            P2pRecord {
+                device: "tcp".into(),
+                datapath: "legacy".into(),
+                payload_bytes: 64,
+                eager_limit: 2097152,
+                segment_bytes: 0,
+                us_per_msg: 3.0,
+                mb_per_s: 21.3,
+            },
+        ];
+        let json = to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"datapath\": \"zerocopy\""));
+        assert!(json.contains("\"payload_bytes\": 262144"));
+        assert!(json.contains("\"eager_limit\": 1024"));
+        assert!(json.contains("\"mb_per_s\": 6168.10"));
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn rep_scaling_never_reaches_zero() {
+        assert_eq!(reps_for(64, 64), 64);
+        assert_eq!(reps_for(64 * 1024, 64), 64);
+        assert_eq!(reps_for(256 * 1024, 64), 16);
+        assert_eq!(reps_for(16 * 1024 * 1024, 64), 4);
+    }
+
+    #[test]
+    fn tiny_sweep_measures_every_cell() {
+        let spec = P2pBenchSpec {
+            devices: vec![DeviceKind::ShmFast],
+            datapaths: vec![Datapath::ZeroCopy, Datapath::Legacy],
+            eager_limits: vec![1024],
+            payloads: vec![512],
+            reps: 4,
+            warmup: 1,
+            segment_bytes: 256,
+        };
+        let records = run_suite(&spec, |_| ());
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.us_per_msg > 0.0));
+        assert!(records.iter().all(|r| r.mb_per_s > 0.0));
+        assert!(records.iter().any(|r| r.datapath == "zerocopy"));
+    }
+}

@@ -318,6 +318,7 @@ fn native_pingpong(spec: &PingPongSpec, config: &StackConfig) -> Vec<PingPongPoi
         network: config.network,
         profile: config.profile,
         eager_threshold: None,
+        segment_bytes: None,
         coll_algorithm: None,
         processor_name_prefix: None,
     };

@@ -90,11 +90,19 @@ impl BufferElement for char {
 
 /// Convert `buf[offset..]` (element indices, like the Java `offset`
 /// argument) to a little-endian byte image covering `elem_count` elements.
+///
+/// The lockstep `chunks_exact_mut`/`zip` walk hoists the bounds checks
+/// out of the loop, so the element conversion compiles down to a straight
+/// block copy for the fixed-width primitive types — this is the simulated
+/// `Get*ArrayRegion` and sits on the wrapper's hot path for every send.
 pub fn elements_to_bytes<T: BufferElement>(buf: &[T], offset: usize, elem_count: usize) -> Vec<u8> {
     let width = T::width();
     let mut out = vec![0u8; elem_count * width];
-    for (i, e) in buf[offset..offset + elem_count].iter().enumerate() {
-        e.write_le(&mut out[i * width..(i + 1) * width]);
+    for (chunk, e) in out
+        .chunks_exact_mut(width)
+        .zip(&buf[offset..offset + elem_count])
+    {
+        e.write_le(chunk);
     }
     out
 }
@@ -107,11 +115,17 @@ pub fn slice_to_bytes<T: BufferElement>(buf: &[T]) -> Vec<u8> {
 
 /// Scatter little-endian `bytes` back into `buf[offset..]`.
 /// Returns the number of whole elements written.
+///
+/// Bounds checks are hoisted like in [`elements_to_bytes`]; this is the
+/// simulated `Set*ArrayRegion` on the wrapper's receive hot path.
 pub fn bytes_to_elements<T: BufferElement>(buf: &mut [T], offset: usize, bytes: &[u8]) -> usize {
     let width = T::width();
     let n = (bytes.len() / width).min(buf.len().saturating_sub(offset));
-    for i in 0..n {
-        buf[offset + i] = T::read_le(&bytes[i * width..(i + 1) * width]);
+    for (e, chunk) in buf[offset..offset + n]
+        .iter_mut()
+        .zip(bytes.chunks_exact(width))
+    {
+        *e = T::read_le(chunk);
     }
     n
 }

@@ -329,6 +329,37 @@ impl Comm {
         Ok(Status::from_info(info))
     }
 
+    /// Single-copy receive of contiguous `T` elements — the fast path
+    /// behind the idiomatic `rs::Communicator::recv_into`.
+    ///
+    /// The classic [`Comm::recv`] reproduces the paper's full JNI
+    /// marshalling (wire → pack image → `Set*ArrayRegion` write-back);
+    /// for a contiguous basic datatype that pipeline is byte-equivalent
+    /// to one straight copy, so this path takes the engine's refcounted
+    /// completion buffer and scatters it into the user slice exactly
+    /// once. The simulated JNI crossing itself is still recorded, so the
+    /// wrapper-overhead accounting stays honest.
+    pub(crate) fn recv_into_contiguous<T: BufferElement>(
+        &self,
+        buf: &mut [T],
+        source: i32,
+        tag: i32,
+    ) -> MpiResult<Status> {
+        self.env.jni.enter("Comm.Recv");
+        let max_len = T::KIND.size() * buf.len();
+        let mut engine = self.env.engine.lock();
+        let (data, info) = engine.recv(self.handle, source, tag, Some(max_len))?;
+        self.env.jni.note_out(data.len());
+        bytes_to_elements(buf, 0, &data);
+        // The delivery copy happened up here in the binding, but it is
+        // part of the datapath's copy budget: account it, and feed the
+        // spent transport buffer back into the engine's staging pool —
+        // the same bookkeeping `Engine::recv_into` does internally.
+        engine.note_payload_copy(data.len());
+        engine.recycle_payload(data);
+        Ok(Status::from_info(info))
+    }
+
     /// `Comm.Sendrecv`: combined exchange.
     #[allow(clippy::too_many_arguments)]
     pub fn sendrecv<S: BufferElement, R: BufferElement>(
@@ -773,16 +804,17 @@ impl Comm {
     }
 
     /// Receive raw bytes through the wrapper into `buf`, returning the
-    /// status (counterpart of [`Comm::send_bytes`]).
+    /// status (counterpart of [`Comm::send_bytes`]). Rides the engine's
+    /// single-copy `recv_into`, which also recycles the spent transport
+    /// buffer into the engine's send pool.
     pub fn recv_bytes(&self, buf: &mut [u8], source: i32, tag: i32) -> MpiResult<Status> {
         self.env.jni.enter("Comm.Recv[bytes]");
-        let (data, info) =
-            self.env
-                .engine
-                .lock()
-                .recv(self.handle, source, tag, Some(buf.len()))?;
-        self.env.jni.note_out(data.len());
-        buf[..data.len()].copy_from_slice(&data);
+        let info = self
+            .env
+            .engine
+            .lock()
+            .recv_into(self.handle, source, tag, buf)?;
+        self.env.jni.note_out(info.count_bytes);
         Ok(Status::from_info(info))
     }
 }

@@ -250,6 +250,7 @@ pub struct MpiRuntime {
     network: NetworkModel,
     profile: DeviceProfile,
     eager_threshold: Option<usize>,
+    segment_bytes: Option<usize>,
     coll_algorithm: Option<CollAlgorithm>,
     jni: JniConfig,
 }
@@ -263,6 +264,7 @@ impl MpiRuntime {
             network: NetworkModel::unshaped(),
             profile: DeviceProfile::default(),
             eager_threshold: None,
+            segment_bytes: None,
             coll_algorithm: None,
             jni: JniConfig::default(),
         }
@@ -290,6 +292,15 @@ impl MpiRuntime {
     /// Override the eager/rendezvous threshold.
     pub fn eager_threshold(mut self, bytes: usize) -> Self {
         self.eager_threshold = Some(bytes);
+        self
+    }
+
+    /// Enable segmented (pipelined) large-message transfers with this
+    /// segment size on every rank (rendezvous payloads stream as
+    /// zero-copy segment frames; the `pipelined` bcast algorithm streams
+    /// them down the tree). Equivalent to `MPIJAVA_SEGMENT_BYTES`.
+    pub fn segment_bytes(mut self, bytes: usize) -> Self {
+        self.segment_bytes = Some(bytes);
         self
     }
 
@@ -321,6 +332,7 @@ impl MpiRuntime {
             network: self.network,
             profile: self.profile,
             eager_threshold: self.eager_threshold,
+            segment_bytes: self.segment_bytes,
             coll_algorithm: self.coll_algorithm,
             processor_name_prefix: None,
         };
@@ -334,6 +346,7 @@ impl MpiRuntime {
         let f = &f;
         let jni = self.jni;
         let eager = self.eager_threshold;
+        let segment = self.segment_bytes;
         let coll = self.coll_algorithm;
 
         let results: Vec<MpiResult<T>> = std::thread::scope(|scope| {
@@ -343,6 +356,9 @@ impl MpiRuntime {
                     let mut engine = Engine::new(endpoint);
                     if let Some(bytes) = eager {
                         engine.set_eager_threshold(bytes);
+                    }
+                    if segment.is_some() {
+                        engine.set_segment_bytes(segment);
                     }
                     if coll.is_some() {
                         engine.set_coll_algorithm(coll);

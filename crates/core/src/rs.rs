@@ -163,18 +163,23 @@ pub trait Communicator {
     }
 
     /// Receive into the whole slice from `source`, returning the
-    /// [`Status`] (classic `Recv`). Receive fewer elements than
+    /// [`Status`] (classic `Recv`). Receiving fewer elements than
     /// `buf.len()` is fine; `status.count_elements::<T>()` says how many
     /// arrived.
+    ///
+    /// Unlike the classic `Recv` — which reproduces the paper's full JNI
+    /// marshalling pipeline — this rides the engine's zero-copy datapath:
+    /// the arrived payload is copied **exactly once**, from the
+    /// refcounted transport buffer into `buf`. Results are byte-identical
+    /// to the classic path (contiguous basic datatypes marshal to a
+    /// straight copy), and the simulated JNI crossing is still counted.
     fn recv_into<T: BufferElement>(
         &self,
         buf: &mut [T],
         source: i32,
         tag: i32,
     ) -> MpiResult<Status> {
-        let count = buf.len();
-        self.as_comm()
-            .recv(buf, 0, count, &T::datatype(), source, tag)
+        self.as_comm().recv_into_contiguous(buf, source, tag)
     }
 
     /// Combined send + receive (classic `Sendrecv`), with independent

@@ -16,9 +16,10 @@ use std::fmt;
 use std::str::FromStr;
 
 /// Environment variable pinning the collective algorithm for ablations:
-/// `MPIJAVA_COLL_ALG=linear|tree|rd|ring`. Unset, empty or `auto` keeps
-/// the tuned size-aware selection. Every rank of a job reads the same
-/// process environment, so the choice is symmetric by construction.
+/// `MPIJAVA_COLL_ALG=linear|tree|rd|ring|pipelined`. Unset, empty or
+/// `auto` keeps the tuned size-aware selection. Every rank of a job reads
+/// the same process environment, so the choice is symmetric by
+/// construction.
 pub const COLL_ALG_ENV: &str = "MPIJAVA_COLL_ALG";
 
 /// The collective wire patterns the engine implements.
@@ -41,15 +42,23 @@ pub enum CollAlgorithm {
     /// allgather). O(P) rounds but every link is busy every round, so it
     /// has the best bandwidth term for large payloads.
     Ring,
+    /// Pipelined segmented broadcast: the payload streams along a chain
+    /// in fixed-size segments, so interior ranks forward segment *k*
+    /// while receiving *k+1* and every link carries the payload exactly
+    /// once (see [`super::pipeline`]). Pin explicitly for huge payloads;
+    /// the tuned selector stays on the plain tree because bcast
+    /// selection is payload-blind.
+    Pipelined,
 }
 
 impl CollAlgorithm {
     /// Every algorithm, in ablation-sweep order.
-    pub const ALL: [CollAlgorithm; 4] = [
+    pub const ALL: [CollAlgorithm; 5] = [
         CollAlgorithm::Linear,
         CollAlgorithm::BinomialTree,
         CollAlgorithm::RecursiveDoubling,
         CollAlgorithm::Ring,
+        CollAlgorithm::Pipelined,
     ];
 
     /// Stable label used in benchmark output and accepted by [`FromStr`].
@@ -59,6 +68,7 @@ impl CollAlgorithm {
             CollAlgorithm::BinomialTree => "tree",
             CollAlgorithm::RecursiveDoubling => "rd",
             CollAlgorithm::Ring => "ring",
+            CollAlgorithm::Pipelined => "pipelined",
         }
     }
 
@@ -88,6 +98,7 @@ impl FromStr for CollAlgorithm {
                 Ok(CollAlgorithm::RecursiveDoubling)
             }
             "ring" => Ok(CollAlgorithm::Ring),
+            "pipelined" | "pipeline" | "segmented" => Ok(CollAlgorithm::Pipelined),
             _ => Err(()),
         }
     }

@@ -179,7 +179,7 @@ impl Engine {
         out[rank] = chunks[rank].clone();
         for (src, req) in recv_reqs {
             let completion = self.wait(req)?;
-            out[src] = completion.data.unwrap_or_default();
+            out[src] = completion.data.map(Vec::from).unwrap_or_default();
         }
         for req in send_reqs {
             self.wait(req)?;

@@ -11,7 +11,11 @@
 //! * [`rd`] — recursive doubling for barrier / allgather / allreduce on
 //!   power-of-two communicators,
 //! * [`ring`] — ring allgather / reduce-scatter / allreduce for large
-//!   payloads (every link busy every round).
+//!   payloads (every link busy every round),
+//! * [`pipeline`] — segmented pipelined (chain) bcast for huge payloads
+//!   (interior ranks forward segment *k* while receiving *k+1*, so every
+//!   link carries the payload exactly once; pin with
+//!   `MPIJAVA_COLL_ALG=pipelined`).
 //!
 //! [`tuning`] picks an algorithm from (operation, communicator size,
 //! payload bytes, reduction-order policy); the choice can be pinned with
@@ -50,6 +54,7 @@
 
 pub mod algorithm;
 pub mod linear;
+pub mod pipeline;
 pub mod rd;
 pub mod ring;
 pub mod tree;
@@ -187,6 +192,7 @@ impl Engine {
         }
         match self.choose(CollOp::Bcast, size, 0, OrderPolicy::Any) {
             CollAlgorithm::BinomialTree => self.bcast_tree(comm, root, buf),
+            CollAlgorithm::Pipelined => self.bcast_pipelined(comm, root, buf),
             _ => self.bcast_linear(comm, root, buf),
         }
     }
@@ -340,7 +346,9 @@ impl Engine {
                 self.bcast_tree(comm, 0, &mut buf)?;
                 Ok(buf)
             }
-            CollAlgorithm::Linear => {
+            // `supported` never offers Pipelined for allreduce, so only
+            // the linear composite remains.
+            CollAlgorithm::Linear | CollAlgorithm::Pipelined => {
                 let reduced = self.reduce_linear(comm, 0, &send[..need], kind, count, op)?;
                 let mut buf = reduced.unwrap_or_default();
                 self.bcast_linear(comm, 0, &mut buf)?;
@@ -469,7 +477,7 @@ impl Engine {
         let send_req = self.isend_on_context(comm, dest, tag, data, SendMode::Standard, true)?;
         let completion = self.wait(recv_req)?;
         self.wait(send_req)?;
-        Ok(completion.data.unwrap_or_default())
+        Ok(completion.data.map(Vec::from).unwrap_or_default())
     }
 }
 

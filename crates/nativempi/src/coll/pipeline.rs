@@ -1,0 +1,178 @@
+//! Pipelined (segmented chain) broadcast for huge payloads.
+//!
+//! ## Why a chain, not the binomial tree
+//!
+//! Segmenting the binomial tree buys nothing: the root there feeds
+//! ⌈log₂ P⌉ subtrees, so its outgoing link must carry `log₂ P` full
+//! copies of the payload — exactly the tree's critical path — and no
+//! amount of pipelining below the root can shrink the root's own
+//! serialization. The classic pipelined broadcast therefore streams the
+//! segments along a **chain** in rank order: every rank receives each
+//! segment from its predecessor and forwards it to its successor once,
+//! so every link (the root's included) carries the payload exactly once.
+//! With `P` ranks, `S` segments and `T` the time to push the whole
+//! payload over one link, completion drops from the tree's
+//! `⌈log₂ P⌉ × T` to `(P - 2 + S) × T / S` — for 8 ranks and 8+
+//! segments, well under half — at the price of O(P) small-message
+//! latency, which is why this algorithm is strictly an opt-in for large
+//! payloads.
+//!
+//! ## Protocol
+//!
+//! Non-root ranks do not know the payload length up front (the engine's
+//! `bcast` buffer argument is root-sized only at the root), so the
+//! stream opens with an 8-byte length header on round 0 of the bcast tag
+//! window; the segments follow on rounds `1..`, cycling within the
+//! window (safe: the transport is FIFO per rank pair, and every segment
+//! flows between the same neighbour pair in order). A rank forwards each
+//! segment *before* appending it locally, so its successor starts
+//! receiving segment *k* while the predecessor is already pushing
+//! *k + 1* — the overlap the algorithm exists for.
+//!
+//! The segment size comes from the engine's pipeline configuration
+//! (`MPIJAVA_SEGMENT_BYTES` / [`Engine::set_segment_bytes`]), falling
+//! back to [`DEFAULT_BCAST_SEGMENT_BYTES`].
+//!
+//! ## Selection
+//!
+//! The tuned selector never picks this algorithm on its own: bcast is
+//! selected payload-blind (per-rank buffer lengths legally differ before
+//! the call, so a payload-keyed choice could diverge across ranks — see
+//! [`super::tuning`]), and without a payload axis the plain tree is the
+//! safe default. Pin it with `MPIJAVA_COLL_ALG=pipelined`,
+//! [`Engine::set_coll_algorithm`] or `MpiRuntime::coll_algorithm` — the
+//! collectives benchmark does exactly that for its pipelined-vs-tree
+//! cells. Results are byte-identical to every other bcast algorithm (the
+//! equivalence suite includes the pipelined run).
+
+use super::{coll_tag, CollOp, ROUND_SPACE};
+use crate::comm::CommHandle;
+use crate::error::{err, ErrorClass, Result};
+use crate::Engine;
+
+/// Segment size used when the engine has no explicit pipeline
+/// configuration. 32 KiB keeps eight-plus segments in flight for the
+/// payloads where pipelining matters (≥ 256 KiB) without drowning the
+/// stream in per-segment overhead.
+pub const DEFAULT_BCAST_SEGMENT_BYTES: usize = 32 * 1024;
+
+impl Engine {
+    /// Pipelined segmented chain broadcast (see the module docs).
+    /// Byte-identical to [`Engine::bcast_tree`] / the linear baseline.
+    pub(crate) fn bcast_pipelined(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        buf: &mut Vec<u8>,
+    ) -> Result<()> {
+        let rank = self.comm_rank(comm)?;
+        let size = self.comm_size(comm)?;
+        let seg = self
+            .segment_bytes
+            .unwrap_or(DEFAULT_BCAST_SEGMENT_BYTES)
+            .max(1);
+
+        // Chain neighbours in root-relative rank order: root → root+1 →
+        // … → root-1 (wrapping), so any root costs the same.
+        let relative = (rank + size - root) % size;
+        let prev = (relative > 0).then(|| ((relative - 1 + root) % size) as i32);
+        let next = (relative + 1 < size).then(|| ((relative + 1 + root) % size) as i32);
+
+        // Length header: downstream ranks learn the total (and therefore
+        // the segment count) before the stream starts.
+        let header_tag = coll_tag(CollOp::Bcast, 0);
+        let total = match prev {
+            None => buf.len(),
+            Some(prev) => {
+                let (header, _) = self.recv_collective(comm, prev, header_tag)?;
+                if header.len() != 8 {
+                    return err(ErrorClass::Intern, "malformed pipelined bcast header");
+                }
+                let total = u64::from_le_bytes(header[..8].try_into().unwrap()) as usize;
+                buf.clear();
+                buf.reserve_exact(total);
+                total
+            }
+        };
+        if let Some(next) = next {
+            self.send_collective(comm, next, header_tag, &(total as u64).to_le_bytes())?;
+        }
+
+        // Stream the segments: receive, forward downstream *before*
+        // appending locally, then append. Segment tags cycle through
+        // rounds 1.. of the bcast window, never touching the header's
+        // round 0.
+        let segments = total.div_ceil(seg);
+        for s in 0..segments {
+            let start = s * seg;
+            let end = (start + seg).min(total);
+            let chunk_tag = coll_tag(CollOp::Bcast, 1 + (s % (ROUND_SPACE - 1)));
+            match prev {
+                None => {
+                    if let Some(next) = next {
+                        self.send_collective(comm, next, chunk_tag, &buf[start..end])?;
+                    }
+                }
+                Some(prev) => {
+                    let (chunk, _) = self.recv_collective(comm, prev, chunk_tag)?;
+                    if chunk.len() != end - start {
+                        return err(ErrorClass::Intern, "pipelined bcast segment length skew");
+                    }
+                    if let Some(next) = next {
+                        self.send_collective(comm, next, chunk_tag, &chunk)?;
+                    }
+                    buf.extend_from_slice(&chunk);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::COMM_WORLD;
+    use crate::universe::Universe;
+    use crate::CollAlgorithm;
+    use mpi_transport::DeviceKind;
+
+    fn pipelined_bcast_roundtrip(size: usize, root: usize, len: usize, segment: Option<usize>) {
+        Universe::run(size, DeviceKind::ShmFast, move |engine| {
+            engine.set_coll_algorithm(Some(CollAlgorithm::Pipelined));
+            engine.set_segment_bytes(segment);
+            let expected: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let mut buf = if engine.world_rank() == root {
+                expected.clone()
+            } else {
+                vec![0xEE; 3] // stale contents must be replaced
+            };
+            engine.bcast(COMM_WORLD, root, &mut buf).unwrap();
+            assert_eq!(buf, expected, "size={size} root={root} len={len}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn pipelined_bcast_matches_on_many_shapes() {
+        // Payloads below, at and far above one segment; pow2 and odd
+        // communicator sizes; root at both ends.
+        for (size, root) in [(2usize, 0usize), (3, 2), (4, 1), (8, 0), (8, 5)] {
+            for len in [0usize, 1, 4096, 100_000] {
+                pipelined_bcast_roundtrip(size, root, len, Some(4096));
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_bcast_uses_default_segment_when_unconfigured() {
+        // 200 KB over the 32 KiB default ≈ 7 segments.
+        pipelined_bcast_roundtrip(4, 0, 200_000, None);
+    }
+
+    #[test]
+    fn more_segments_than_the_tag_window_still_works() {
+        // 96 segments > ROUND_SPACE: tags wrap within the window; the
+        // per-pair FIFO keeps the stream ordered.
+        pipelined_bcast_roundtrip(3, 1, 96 * 256, Some(256));
+    }
+}

@@ -7,7 +7,7 @@
 //! |---|---|---|---|
 //! | barrier | power of two | — | recursive doubling |
 //! | barrier | other | — | binomial tree |
-//! | bcast | ≥ 2 | any | binomial tree |
+//! | bcast | ≥ 2 | any | binomial tree (pin `pipelined` for huge payloads) |
 //! | gather / scatter | 2–3 | any | linear |
 //! | gather / scatter | ≥ 4 | any | binomial tree |
 //! | allgather | power of two | any | recursive doubling |
@@ -129,6 +129,8 @@ pub fn supported(alg: CollAlgorithm, op: CollOp, size: usize, policy: OrderPolic
             O::Allreduce | O::ReduceScatter => policy == OrderPolicy::Any,
             _ => false,
         },
+        // Segmented tree bcast only; every other operation falls back.
+        A::Pipelined => op == O::Bcast,
     }
 }
 

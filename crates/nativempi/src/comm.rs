@@ -154,6 +154,24 @@ impl Engine {
             })?;
         self.context_to_comm.remove(&record.context_p2p);
         self.context_to_comm.remove(&record.context_coll);
+        // Release the freed contexts' matching queues too, or the
+        // per-context maps grow one dead entry per dup/free cycle.
+        // Receives still posted on the communicator are completed as
+        // cancelled — their match can never arrive once the record is
+        // gone, and silently dropping them would hang a later wait() —
+        // and the context ids go into the tombstone set so in-flight
+        // frames for them are discarded on arrival instead of parking
+        // unmatchably in the unexpected queue forever.
+        for context in [record.context_p2p, record.context_coll] {
+            if let Some(queue) = self.posted.remove(&context) {
+                for posted in queue {
+                    self.requests
+                        .insert(posted.req, crate::request::RequestState::Cancelled);
+                }
+            }
+            self.unexpected.remove(&context);
+            self.freed_contexts.insert(context);
+        }
         Ok(())
     }
 
@@ -287,6 +305,91 @@ mod tests {
     use super::*;
     use crate::universe::Universe;
     use mpi_transport::DeviceKind;
+
+    /// Freeing a communicator must release its per-context matching
+    /// queues, or dup/free churn grows the engine's posted/unexpected
+    /// maps by one dead entry per cycle.
+    #[test]
+    fn comm_free_releases_matching_queue_state() {
+        use crate::types::SendMode;
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            for _ in 0..10 {
+                let dup = engine.comm_dup(COMM_WORLD).unwrap();
+                // Traffic on the dup materializes its queue entries.
+                if engine.world_rank() == 0 {
+                    engine.send(dup, 1, 1, b"x", SendMode::Standard).unwrap();
+                    engine.recv(dup, 1, 2, None).unwrap();
+                } else {
+                    engine.recv(dup, 0, 1, None).unwrap();
+                    engine.send(dup, 0, 2, b"y", SendMode::Standard).unwrap();
+                }
+                engine.barrier(COMM_WORLD).unwrap();
+                engine.comm_free(dup).unwrap();
+            }
+            // Only the built-in communicators' contexts may remain.
+            assert!(
+                engine.posted.len() <= 4,
+                "posted queue map leaked: {} entries",
+                engine.posted.len()
+            );
+            assert!(
+                engine.unexpected.len() <= 4,
+                "unexpected queue map leaked: {} entries",
+                engine.unexpected.len()
+            );
+        })
+        .unwrap();
+    }
+
+    /// A receive still posted when its communicator is freed completes
+    /// as cancelled — a later wait() must not hang on a match that can
+    /// never arrive.
+    #[test]
+    fn comm_free_cancels_stranded_posted_receives() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let dup = engine.comm_dup(COMM_WORLD).unwrap();
+            let req = engine
+                .irecv(dup, 1 - engine.world_rank() as i32, 7, None)
+                .unwrap();
+            engine.comm_free(dup).unwrap();
+            let completion = engine.wait(req).unwrap();
+            assert!(completion.status.cancelled, "stranded receive must cancel");
+        })
+        .unwrap();
+    }
+
+    /// A frame that was in flight when its communicator was freed is
+    /// dropped on arrival — it must not resurrect the freed context's
+    /// unexpected queue (which could never be matched again).
+    #[test]
+    fn in_flight_traffic_for_a_freed_comm_is_dropped() {
+        use crate::types::SendMode;
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let dup = engine.comm_dup(COMM_WORLD).unwrap();
+            let dup_context = engine.comm(dup).unwrap().context_p2p;
+            if engine.world_rank() == 0 {
+                // Eager send on the dup (completes locally), then a world
+                // message to sequence the peer.
+                engine
+                    .send(dup, 1, 3, b"stale", SendMode::Standard)
+                    .unwrap();
+                engine
+                    .send(COMM_WORLD, 1, 4, b"after", SendMode::Standard)
+                    .unwrap();
+            } else {
+                // Free the dup before touching the transport: the dup
+                // frame is processed afterwards and must be discarded.
+                engine.comm_free(dup).unwrap();
+                let (data, _) = engine.recv(COMM_WORLD, 0, 4, None).unwrap();
+                assert_eq!(&data[..], b"after");
+                assert!(
+                    !engine.unexpected.contains_key(&dup_context),
+                    "freed-context queue was resurrected"
+                );
+            }
+        })
+        .unwrap();
+    }
 
     #[test]
     fn builtin_comms_exist() {

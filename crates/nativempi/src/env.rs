@@ -1,5 +1,25 @@
 //! Environmental management (MPI-1.1 §7): timers, processor name,
-//! predefined attributes, and abort.
+//! predefined attributes, and abort — plus the engine's environment
+//! overrides.
+//!
+//! ## Environment overrides
+//!
+//! Like `MPIJAVA_COLL_ALG` (see [`crate::coll::COLL_ALG_ENV`]), these are
+//! read once per engine at construction time; every rank of a job shares
+//! the process environment, so the settings are symmetric by
+//! construction. Programmatic configuration
+//! ([`Engine::set_eager_threshold`], [`Engine::set_segment_bytes`],
+//! `UniverseConfig::with_eager_threshold` / `with_segment_bytes`) takes
+//! precedence because it is applied after construction.
+//!
+//! | variable | effect |
+//! |----------|--------|
+//! | [`EAGER_LIMIT_ENV`] (`MPIJAVA_EAGER_LIMIT`) | eager/rendezvous switch-over point in bytes |
+//! | [`SEGMENT_BYTES_ENV`] (`MPIJAVA_SEGMENT_BYTES`) | pipeline segment size for large transfers (unset = no segmentation) |
+//! | `MPIJAVA_COLL_ALG` | pin the collective wire pattern (`linear`/`tree`/`rd`/`ring`/`pipelined`) |
+//!
+//! Sizes accept an optional `k`/`K` (KiB) or `m`/`M` (MiB) suffix:
+//! `MPIJAVA_EAGER_LIMIT=64k`, `MPIJAVA_SEGMENT_BYTES=1M`.
 
 use std::time::Duration;
 
@@ -9,6 +29,39 @@ use crate::comm::CommHandle;
 use crate::error::{err, ErrorClass, Result};
 use crate::types::TAG_UB;
 use crate::Engine;
+
+/// Environment variable overriding the eager/rendezvous switch-over
+/// point, mirroring [`crate::UniverseConfig::with_eager_threshold`]:
+/// `MPIJAVA_EAGER_LIMIT=<bytes>[k|m]`. Unset or unparsable keeps
+/// [`crate::DEFAULT_EAGER_THRESHOLD`].
+pub const EAGER_LIMIT_ENV: &str = "MPIJAVA_EAGER_LIMIT";
+
+/// Environment variable enabling segmented (pipelined) large-message
+/// transfers: `MPIJAVA_SEGMENT_BYTES=<bytes>[k|m]`. Unset means no
+/// segmentation for point-to-point rendezvous payloads (the pipelined
+/// broadcast falls back to its own default segment size).
+pub const SEGMENT_BYTES_ENV: &str = "MPIJAVA_SEGMENT_BYTES";
+
+/// Parse a byte size with an optional `k`/`K` (KiB) or `m`/`M` (MiB)
+/// suffix. Returns `None` for anything unparsable.
+pub fn parse_byte_size(raw: &str) -> Option<usize> {
+    let s = raw.trim();
+    let (digits, multiplier) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 1024usize),
+        b'm' | b'M' => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .and_then(|n| n.checked_mul(multiplier))
+}
+
+/// Read a byte-size override from the process environment.
+pub(crate) fn bytes_from_env(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| parse_byte_size(&v))
+}
 
 /// Keys of the predefined communicator attributes (`MPI_TAG_UB`,
 /// `MPI_HOST`, `MPI_IO`, `MPI_WTIME_IS_GLOBAL`).
@@ -123,6 +176,21 @@ mod tests {
     use crate::types::SendMode;
     use crate::universe::Universe;
     use mpi_transport::DeviceKind;
+
+    #[test]
+    fn byte_sizes_parse_with_suffixes() {
+        assert_eq!(parse_byte_size("4096"), Some(4096));
+        assert_eq!(parse_byte_size(" 64k "), Some(64 * 1024));
+        assert_eq!(parse_byte_size("64K"), Some(64 * 1024));
+        assert_eq!(parse_byte_size("2m"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_byte_size("1 M"), Some(1024 * 1024));
+        assert_eq!(parse_byte_size(""), None);
+        assert_eq!(parse_byte_size("k"), None);
+        assert_eq!(parse_byte_size("abc"), None);
+        assert_eq!(parse_byte_size("-5"), None);
+        // Overflow guarded, not wrapped.
+        assert_eq!(parse_byte_size(&format!("{}m", usize::MAX)), None);
+    }
 
     #[test]
     fn wtime_is_monotonic_and_fine_grained() {

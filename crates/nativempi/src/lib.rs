@@ -66,7 +66,7 @@ use std::time::Instant;
 use mpi_transport::Endpoint;
 
 use comm::CommRecord;
-use p2p::{PendingRendezvous, PostedRecv, UnexpectedMsg};
+use p2p::{PendingRendezvous, PostedRecv, RdvAssembly, UnexpectedMsg};
 use request::RequestState;
 
 /// Counters the engine keeps about its own activity. The benchmark harness
@@ -77,6 +77,9 @@ pub struct EngineStats {
     pub eager_sends: u64,
     /// Messages sent with the rendezvous protocol.
     pub rendezvous_sends: u64,
+    /// Rendezvous payloads that were pipelined as multiple segment frames
+    /// (see [`Engine::set_segment_bytes`]).
+    pub segmented_sends: u64,
     /// Messages that were matched from the unexpected queue.
     pub unexpected_hits: u64,
     /// Messages that matched an already-posted receive on arrival.
@@ -85,6 +88,13 @@ pub struct EngineStats {
     pub bytes_sent: u64,
     /// Total payload bytes received.
     pub bytes_received: u64,
+    /// Payload bytes the engine datapath physically copied (send-side
+    /// staging, segmented reassembly, [`Engine::recv_into`] delivery —
+    /// the copy inventory in [`p2p`]'s module docs lists every site).
+    /// The copy-accounting regression suite pins eager sends, rendezvous
+    /// sends and `recv_into` at exactly one payload copy each through
+    /// this counter.
+    pub bytes_copied: u64,
 }
 
 /// Per-rank MPI engine. See the crate documentation.
@@ -97,12 +107,30 @@ pub struct Engine {
     pub(crate) next_context: u32,
     pub(crate) requests: HashMap<u64, RequestState>,
     pub(crate) next_request: u64,
-    pub(crate) posted: VecDeque<PostedRecv>,
-    pub(crate) unexpected: VecDeque<UnexpectedMsg>,
+    /// Posted receives, FIFO per communicator context (see [`p2p`]'s
+    /// matching notes: wildcards never cross contexts, so the split is
+    /// semantics-preserving and kills the O(all posted) arrival scan).
+    pub(crate) posted: HashMap<u32, VecDeque<PostedRecv>>,
+    /// Unexpected arrivals, FIFO per communicator context.
+    pub(crate) unexpected: HashMap<u32, VecDeque<UnexpectedMsg>>,
+    /// Context ids of freed communicators. Context ids are never reused,
+    /// so frames still in flight for these contexts are dropped on
+    /// arrival instead of being parked unmatchably forever (8 bytes per
+    /// freed communicator, vs. an unbounded payload queue). An *unknown*
+    /// context is NOT sufficient to drop: a peer that finished
+    /// constructing a communicator may legally send on it before this
+    /// rank installs the record, and those frames must park.
+    pub(crate) freed_contexts: std::collections::HashSet<u32>,
     pub(crate) pending_rendezvous: HashMap<u64, PendingRendezvous>,
-    pub(crate) awaiting_rendezvous_data: HashMap<u64, u64>,
+    pub(crate) awaiting_rendezvous_data: HashMap<u64, RdvAssembly>,
     pub(crate) next_token: u64,
     pub(crate) eager_threshold: usize,
+    /// Segment size for pipelined large-message transfers (`None`
+    /// disables segmentation; see [`Engine::set_segment_bytes`]).
+    pub(crate) segment_bytes: Option<usize>,
+    /// Recycled payload staging buffers (see the copy inventory in
+    /// [`p2p`]'s module docs).
+    pub(crate) send_pool: Vec<Vec<u8>>,
     pub(crate) attached_buffer: Option<p2p::BsendBuffer>,
     pub(crate) start_time: Instant,
     pub(crate) processor_name: String,
@@ -137,12 +165,18 @@ impl Engine {
             next_context: 0,
             requests: HashMap::new(),
             next_request: 1,
-            posted: VecDeque::new(),
-            unexpected: VecDeque::new(),
+            posted: HashMap::new(),
+            unexpected: HashMap::new(),
+            freed_contexts: std::collections::HashSet::new(),
             pending_rendezvous: HashMap::new(),
             awaiting_rendezvous_data: HashMap::new(),
             next_token: 1,
-            eager_threshold: DEFAULT_EAGER_THRESHOLD,
+            eager_threshold: env::bytes_from_env(env::EAGER_LIMIT_ENV)
+                .unwrap_or(DEFAULT_EAGER_THRESHOLD),
+            // Same `> 0` normalization as `set_segment_bytes`: an
+            // explicit 0 means "segmentation off", never Some(0).
+            segment_bytes: env::bytes_from_env(env::SEGMENT_BYTES_ENV).filter(|&b| b > 0),
+            send_pool: Vec::new(),
             attached_buffer: None,
             start_time: Instant::now(),
             processor_name: format!("rank-{world_rank}.mpijava-rs.local"),
@@ -156,7 +190,10 @@ impl Engine {
         engine
     }
 
-    /// Override the eager/rendezvous switch-over point (bytes).
+    /// Override the eager/rendezvous switch-over point (bytes). Takes
+    /// precedence over the `MPIJAVA_EAGER_LIMIT` environment override
+    /// (see [`env::EAGER_LIMIT_ENV`]), which the engine read at
+    /// construction time.
     pub fn set_eager_threshold(&mut self, bytes: usize) {
         self.eager_threshold = bytes;
     }
@@ -164,6 +201,24 @@ impl Engine {
     /// Current eager/rendezvous switch-over point (bytes).
     pub fn eager_threshold(&self) -> usize {
         self.eager_threshold
+    }
+
+    /// Configure the segment size for pipelined large-message transfers:
+    /// rendezvous payloads larger than `bytes` are shipped as a stream of
+    /// zero-copy segment frames instead of one big frame, letting the
+    /// receiver reassemble while later segments are still on the wire
+    /// (and, through the pipelined broadcast of [`coll`], letting
+    /// interior tree ranks forward segment *k* while receiving *k+1*).
+    /// `None` disables segmentation (the default unless the
+    /// `MPIJAVA_SEGMENT_BYTES` environment variable is set — see
+    /// [`env::SEGMENT_BYTES_ENV`]).
+    pub fn set_segment_bytes(&mut self, bytes: Option<usize>) {
+        self.segment_bytes = bytes.filter(|&b| b > 0);
+    }
+
+    /// Current pipeline segment size, if segmentation is enabled.
+    pub fn segment_bytes(&self) -> Option<usize> {
+        self.segment_bytes
     }
 
     /// Pin (or with `None`, un-pin) the collective algorithm, overriding
@@ -200,6 +255,22 @@ impl Engine {
         &self.stats
     }
 
+    /// Record a payload copy a binding layer performed on the engine's
+    /// behalf — the delivery copy of a zero-copy receive completed
+    /// outside the engine (e.g. unpacking a [`p2p`] completion `Bytes`
+    /// into a typed user buffer) — keeping `bytes_copied` a faithful
+    /// whole-datapath count.
+    pub fn note_payload_copy(&mut self, len: usize) {
+        self.stats.bytes_copied += len as u64;
+    }
+
+    /// Hand a spent completion payload back for reuse: if this was the
+    /// last reference to an un-sliced transport buffer, its allocation
+    /// feeds the send-staging pool (no copy either way).
+    pub fn recycle_payload(&mut self, data: bytes::Bytes) {
+        self.recycle(data);
+    }
+
     /// True once [`Engine::finalize`] has run.
     pub fn is_finalized(&self) -> bool {
         self.finalized
@@ -214,7 +285,7 @@ impl Engine {
         if self.finalized {
             return error::err(ErrorClass::NotInitialized, "finalize called twice");
         }
-        if !self.posted.is_empty() || !self.pending_rendezvous.is_empty() {
+        if self.posted.values().any(|q| !q.is_empty()) || !self.pending_rendezvous.is_empty() {
             return error::err(
                 ErrorClass::Other,
                 "finalize called with outstanding communication",

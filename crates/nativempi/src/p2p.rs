@@ -11,19 +11,54 @@
 //!   synchronous sends first announce themselves with a
 //!   [`FrameKind::RendezvousRequest`] (envelope only). When the receiver
 //!   has a matching receive posted it replies with a
-//!   [`FrameKind::RendezvousAck`]; the sender then ships the payload in a
-//!   [`FrameKind::RendezvousData`] frame and completes. Because the ack is
-//!   only generated once a matching receive exists, this doubles as the
-//!   synchronous-mode completion rule.
+//!   [`FrameKind::RendezvousAck`]; the sender then ships the payload in one
+//!   or more [`FrameKind::RendezvousData`] frames and completes. Because
+//!   the ack is only generated once a matching receive exists, this doubles
+//!   as the synchronous-mode completion rule.
+//! * **Segmented** — when a segment size is configured (the
+//!   `MPIJAVA_SEGMENT_BYTES` environment variable, read once at engine
+//!   construction, or [`Engine::set_segment_bytes`]), rendezvous payloads
+//!   larger than one segment are shipped as a pipeline of chunk frames —
+//!   zero-copy [`Bytes::slice`] views of the single held payload — and
+//!   reassembled on the receiver. The per-pair FIFO of the transport keeps
+//!   the chunks in order; the shared `token` keys the reassembly.
 //!
 //! ## Matching
 //!
 //! Envelopes are `(context id, source, tag)`. Each engine keeps a FIFO
-//! *posted-receive* queue and a FIFO *unexpected-message* queue; arrival
-//! scans the posted queue in order, posting scans the unexpected queue in
+//! *posted-receive* queue and a FIFO *unexpected-message* queue **per
+//! context id**: arrival scans the posted queue of the frame's context in
+//! order, posting scans the unexpected queue of the receive's context in
 //! order, which together give MPI's non-overtaking guarantee over the
-//! per-pair FIFO the transport provides. `ANY_SOURCE` / `ANY_TAG` wildcards
-//! are handled at both scan points.
+//! per-pair FIFO the transport provides, without paying an O(all posted
+//! receives) scan when many communicators are active. `ANY_SOURCE` /
+//! `ANY_TAG` wildcards never cross communicators (a context id belongs to
+//! exactly one communicator), so the per-context split preserves the
+//! matching semantics exactly.
+//!
+//! ## Copy inventory
+//!
+//! Who owns the payload at each hop, and where bytes are actually copied.
+//! The engine's `bytes_copied` statistic counts exactly the copies below,
+//! which is what lets the copy-accounting regression tests pin each path:
+//!
+//! | path | hop | mechanism | copies |
+//! |------|-----|-----------|--------|
+//! | eager send ([`Engine::isend`]) | user slice → pooled send buffer | `extend_from_slice` into a recycled `Vec` wrapped as `Bytes` | 1 |
+//! | eager send ([`Engine::isend_bytes`]) | user `Bytes` → frame | refcount move | 0 |
+//! | eager delivery | frame → inbox → completion | the *same* `Bytes` end to end | 0 |
+//! | rendezvous send ([`Engine::isend`]) | user slice → `PendingRendezvous` | pooled copy, held until the ack | 1 |
+//! | rendezvous data | held `Bytes` → data frame(s) | refcount move / zero-copy [`Bytes::slice`] per segment | 0 |
+//! | segmented reassembly | chunk frames → receive buffer | `extend_from_slice` per chunk | 1 |
+//! | receive completion ([`Engine::recv`]) | completion → caller | `Bytes` handover | 0 |
+//! | [`Engine::recv_into`] | completion `Bytes` → user slice | `copy_from_slice`; spent buffer recycled into the send pool | 1 |
+//!
+//! End to end, an unsegmented transfer therefore costs exactly one copy on
+//! the send side (zero via [`Engine::isend_bytes`]) and exactly one on the
+//! receive side; segmented transfers add the one reassembly copy. The
+//! higher-level `mpijava` wrapper adds its own simulated-JNI marshalling on
+//! the classic (paper-faithful) surface; the idiomatic `rs` surface rides
+//! the single-copy path.
 
 use bytes::Bytes;
 use mpi_transport::{Frame, FrameHeader, FrameKind};
@@ -42,12 +77,25 @@ use crate::Engine;
 /// recursive-doubling schedules cannot collide.
 pub(crate) const COLLECTIVE_TAG_BASE: i32 = -1000;
 
-/// A receive that has been posted but not yet matched.
+/// Most `Vec` buffers the engine keeps around for payload staging.
+const SEND_POOL_MAX: usize = 8;
+
+/// Buffers smaller than this are not worth pooling.
+const SEND_POOL_MIN_BYTES: usize = 1024;
+
+/// Buffers larger than this are not pooled: one giant transfer must not
+/// pin max-sized allocations that every later small send would then wrap
+/// (a `Bytes` keeps its `Vec`'s full capacity alive for as long as the
+/// message sits in any queue).
+const SEND_POOL_MAX_BYTES: usize = 1 << 20;
+
+/// A receive that has been posted but not yet matched. Queued under its
+/// communicator's context id (the engine's `posted` map), so the context
+/// is implicit.
 #[derive(Debug)]
 pub(crate) struct PostedRecv {
     pub req: u64,
     pub comm: CommHandle,
-    pub context: u32,
     /// Source rank *within the communicator*, or `ANY_SOURCE`.
     pub src: i32,
     pub tag: i32,
@@ -63,10 +111,11 @@ pub(crate) enum UnexpectedKind {
     Rendezvous,
 }
 
-/// A message that arrived before a matching receive was posted.
+/// A message that arrived before a matching receive was posted. Queued
+/// under its context id (the engine's `unexpected` map), so the context
+/// is implicit.
 #[derive(Debug)]
 pub(crate) struct UnexpectedMsg {
-    pub context: u32,
     pub src_world: u32,
     pub tag: i32,
     pub token: u64,
@@ -75,7 +124,9 @@ pub(crate) struct UnexpectedMsg {
 }
 
 /// Payload parked on the sender side until the receiver grants the
-/// rendezvous.
+/// rendezvous. The payload was copied exactly once (at the `isend`
+/// boundary, into a pooled buffer); everything after this struct is
+/// refcount moves and zero-copy slices.
 #[derive(Debug)]
 pub(crate) struct PendingRendezvous {
     pub req: u64,
@@ -83,6 +134,20 @@ pub(crate) struct PendingRendezvous {
     pub context: u32,
     pub tag: i32,
     pub data: Bytes,
+}
+
+/// Receiver-side state of a granted rendezvous, keyed by token: which
+/// request the data completes, and — for segmented transfers — the
+/// reassembly buffer.
+#[derive(Debug)]
+pub(crate) struct RdvAssembly {
+    pub req: u64,
+    /// Payload bytes seen so far (counted even when the receive was freed
+    /// mid-transfer, so the book-keeping drains with the chunks).
+    pub received: usize,
+    /// Reassembled chunks (left empty for single-frame transfers and for
+    /// freed receives).
+    pub assembled: Vec<u8>,
 }
 
 /// Book-keeping for `MPI_Buffer_attach` / `MPI_Buffer_detach`.
@@ -120,6 +185,47 @@ impl Engine {
         RequestId(id)
     }
 
+    // ---------------------------------------------------------------------
+    // Payload staging pool
+    // ---------------------------------------------------------------------
+
+    /// Copy `data` into a pooled staging buffer and wrap it as `Bytes`
+    /// without a second copy. This is the *single* send-side copy of the
+    /// slice-based send APIs.
+    fn wrap_payload(&mut self, data: &[u8]) -> Bytes {
+        let mut buf = match self.send_pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.reserve(data.len());
+                v
+            }
+            None => Vec::with_capacity(data.len()),
+        };
+        buf.extend_from_slice(data);
+        self.stats.bytes_copied += data.len() as u64;
+        Bytes::from(buf)
+    }
+
+    /// Return a spent buffer to the staging pool (bounded in count and
+    /// per-buffer capacity; tiny buffers are not worth keeping).
+    pub(crate) fn pool_put(&mut self, mut buf: Vec<u8>) {
+        if (SEND_POOL_MIN_BYTES..=SEND_POOL_MAX_BYTES).contains(&buf.capacity())
+            && self.send_pool.len() < SEND_POOL_MAX
+        {
+            buf.clear();
+            self.send_pool.push(buf);
+        }
+    }
+
+    /// Recycle a completion payload the caller is done with: if this was
+    /// the last reference to an un-sliced buffer, its allocation feeds the
+    /// send pool (no copy either way).
+    pub(crate) fn recycle(&mut self, data: Bytes) {
+        if let Ok(buf) = data.try_into_vec() {
+            self.pool_put(buf);
+        }
+    }
+
     /// Translate `dest` (communicator rank) and build a frame header.
     #[allow(clippy::too_many_arguments)]
     fn make_header(
@@ -155,7 +261,10 @@ impl Engine {
     // ---------------------------------------------------------------------
 
     /// `MPI_Isend` / `Ibsend` / `Issend` / `Irsend`, selected by `mode`.
-    /// `data` is the already-packed contiguous payload.
+    /// `data` is the already-packed contiguous payload; it is copied
+    /// exactly once, into a pooled staging buffer. Callers that already
+    /// own a [`Bytes`] should use [`Engine::isend_bytes`], which copies
+    /// nothing.
     pub fn isend(
         &mut self,
         comm: CommHandle,
@@ -167,6 +276,24 @@ impl Engine {
         self.isend_on_context(comm, dest, tag, data, mode, false)
     }
 
+    /// Zero-copy send: the payload is an owned [`Bytes`] that travels to
+    /// the destination by refcount alone (eager) or is held for the
+    /// rendezvous without duplication. `stats().bytes_copied` does not
+    /// move on this path.
+    pub fn isend_bytes(
+        &mut self,
+        comm: CommHandle,
+        dest: i32,
+        tag: i32,
+        data: Bytes,
+        mode: SendMode,
+    ) -> Result<RequestId> {
+        match self.prepare_send(comm, dest, tag, data.len(), mode)? {
+            None => Ok(self.alloc_request(RequestState::SendComplete)),
+            Some(dest) => self.dispatch_send(comm, dest, tag, data, mode, false),
+        }
+    }
+
     pub(crate) fn isend_on_context(
         &mut self,
         comm: CommHandle,
@@ -176,10 +303,30 @@ impl Engine {
         mode: SendMode,
         collective: bool,
     ) -> Result<RequestId> {
+        match self.prepare_send(comm, dest, tag, data.len(), mode)? {
+            None => Ok(self.alloc_request(RequestState::SendComplete)),
+            Some(dest) => {
+                let payload = self.wrap_payload(data);
+                self.dispatch_send(comm, dest, tag, payload, mode, collective)
+            }
+        }
+    }
+
+    /// Shared send validation. Returns `None` for `PROC_NULL` (the send
+    /// completes immediately without touching the transport), otherwise
+    /// the destination as an in-range communicator rank.
+    fn prepare_send(
+        &mut self,
+        comm: CommHandle,
+        dest: i32,
+        tag: i32,
+        len: usize,
+        mode: SendMode,
+    ) -> Result<Option<usize>> {
         self.check_live()?;
         validate_tag(tag, false)?;
         if dest == PROC_NULL {
-            return Ok(self.alloc_request(RequestState::SendComplete));
+            return Ok(None);
         }
         if dest < 0 {
             return err(ErrorClass::Rank, format!("invalid destination rank {dest}"));
@@ -198,24 +345,35 @@ impl Engine {
                 .as_ref()
                 .map(|b| b.capacity - b.in_use)
                 .unwrap_or(0);
-            if data.len() > available {
+            if len > available {
                 return err(
                     ErrorClass::BufferExhausted,
                     format!(
-                        "buffered send of {} bytes exceeds attached buffer space of {} bytes",
-                        data.len(),
-                        available
+                        "buffered send of {len} bytes exceeds attached buffer space of {available} bytes"
                     ),
                 );
             }
         }
+        Ok(Some(dest))
+    }
 
+    /// Ship an owned payload: eager frame or rendezvous announcement,
+    /// depending on `mode` and the eager threshold. No copies happen here.
+    fn dispatch_send(
+        &mut self,
+        comm: CommHandle,
+        dest: usize,
+        tag: i32,
+        payload: Bytes,
+        mode: SendMode,
+        collective: bool,
+    ) -> Result<RequestId> {
         let use_rendezvous = match mode {
             SendMode::Synchronous => true,
             SendMode::Buffered | SendMode::Ready => false,
-            SendMode::Standard => data.len() > self.eager_threshold,
+            SendMode::Standard => payload.len() > self.eager_threshold,
         };
-        self.stats.bytes_sent += data.len() as u64;
+        self.stats.bytes_sent += payload.len() as u64;
 
         if use_rendezvous {
             let token = self.next_token();
@@ -227,7 +385,7 @@ impl Engine {
                 tag,
                 FrameKind::RendezvousRequest,
                 token,
-                data.len() as u64,
+                payload.len() as u64,
                 collective,
             )?;
             self.pending_rendezvous.insert(
@@ -237,7 +395,7 @@ impl Engine {
                     dst_world: header.dst,
                     context: header.context,
                     tag,
-                    data: Bytes::copy_from_slice(data),
+                    data: payload,
                 },
             );
             self.endpoint.send(Frame::control(header))?;
@@ -251,11 +409,10 @@ impl Engine {
                 tag,
                 FrameKind::Eager,
                 token,
-                data.len() as u64,
+                payload.len() as u64,
                 collective,
             )?;
-            self.endpoint
-                .send(Frame::new(header, Bytes::copy_from_slice(data)))?;
+            self.endpoint.send(Frame::new(header, payload))?;
             self.stats.eager_sends += 1;
             Ok(self.alloc_request(RequestState::SendComplete))
         }
@@ -286,7 +443,7 @@ impl Engine {
         validate_tag(tag, true)?;
         if src == PROC_NULL {
             return Ok(self.alloc_request(RequestState::RecvComplete {
-                data: Vec::new(),
+                data: Bytes::new(),
                 status: StatusInfo::empty(),
                 error: None,
             }));
@@ -313,23 +470,28 @@ impl Engine {
         let req = self.alloc_request(RequestState::RecvPending);
         let RequestId(req_raw) = req;
 
-        // Look for an already-arrived match, in arrival order.
+        // Look for an already-arrived match, in arrival order, among the
+        // unexpected messages of this context only.
         let mut matched_idx: Option<usize> = None;
-        for (i, msg) in self.unexpected.iter().enumerate() {
-            if msg.context != context {
-                continue;
-            }
-            let Some(src_comm) = self.comm_rank_of_world(comm, msg.src_world as usize)? else {
-                continue;
-            };
-            if envelope_matches(src, tag, src_comm as i32, msg.tag) {
-                matched_idx = Some(i);
-                break;
+        if let Some(queue) = self.unexpected.get(&context) {
+            for (i, msg) in queue.iter().enumerate() {
+                let Some(src_comm) = self.comm_rank_of_world(comm, msg.src_world as usize)? else {
+                    continue;
+                };
+                if envelope_matches(src, tag, src_comm as i32, msg.tag) {
+                    matched_idx = Some(i);
+                    break;
+                }
             }
         }
 
         if let Some(idx) = matched_idx {
-            let msg = self.unexpected.remove(idx).expect("index valid");
+            let msg = self
+                .unexpected
+                .get_mut(&context)
+                .expect("matched above")
+                .remove(idx)
+                .expect("index valid");
             self.stats.unexpected_hits += 1;
             let src_comm = self
                 .comm_rank_of_world(comm, msg.src_world as usize)?
@@ -340,8 +502,15 @@ impl Engine {
                 }
                 UnexpectedKind::Rendezvous => {
                     // Grant the rendezvous; completion happens when the data
-                    // frame arrives.
-                    self.awaiting_rendezvous_data.insert(msg.token, req_raw);
+                    // frame(s) arrive.
+                    self.awaiting_rendezvous_data.insert(
+                        msg.token,
+                        RdvAssembly {
+                            req: req_raw,
+                            received: 0,
+                            assembled: Vec::new(),
+                        },
+                    );
                     self.requests.insert(
                         req_raw,
                         RequestState::RecvAwaitingData {
@@ -355,7 +524,7 @@ impl Engine {
                         src: self.world_rank as u32,
                         dst: msg.src_world,
                         tag: msg.tag,
-                        context: msg.context,
+                        context,
                         token: msg.token,
                         msg_len: msg.msg_len,
                     };
@@ -365,14 +534,16 @@ impl Engine {
             return Ok(req);
         }
 
-        self.posted.push_back(PostedRecv {
-            req: req_raw,
-            comm,
-            context,
-            src,
-            tag,
-            max_len,
-        });
+        self.posted
+            .entry(context)
+            .or_default()
+            .push_back(PostedRecv {
+                req: req_raw,
+                comm,
+                src,
+                tag,
+                max_len,
+            });
         Ok(req)
     }
 
@@ -394,17 +565,55 @@ impl Engine {
         Ok(())
     }
 
-    /// Blocking receive (`MPI_Recv`). Returns the payload and status.
+    /// Blocking zero-copy send (see [`Engine::isend_bytes`]).
+    pub fn send_bytes(
+        &mut self,
+        comm: CommHandle,
+        dest: i32,
+        tag: i32,
+        data: Bytes,
+        mode: SendMode,
+    ) -> Result<()> {
+        let req = self.isend_bytes(comm, dest, tag, data, mode)?;
+        self.wait(req)?;
+        Ok(())
+    }
+
+    /// Blocking receive (`MPI_Recv`). Returns the payload — as the very
+    /// [`Bytes`] buffer that crossed the transport, no copy — and status.
     pub fn recv(
         &mut self,
         comm: CommHandle,
         src: i32,
         tag: i32,
         max_len: Option<usize>,
-    ) -> Result<(Vec<u8>, StatusInfo)> {
+    ) -> Result<(Bytes, StatusInfo)> {
         let req = self.irecv(comm, src, tag, max_len)?;
         let completion = self.wait(req)?;
         Ok((completion.data.unwrap_or_default(), completion.status))
+    }
+
+    /// Blocking receive straight into a caller buffer: the single
+    /// receive-side payload copy of the datapath. The spent transport
+    /// buffer is recycled into the send pool when this was its last
+    /// reference. Returns the status; `status.count_bytes` says how much
+    /// of `buf` was filled.
+    pub fn recv_into(
+        &mut self,
+        comm: CommHandle,
+        src: i32,
+        tag: i32,
+        buf: &mut [u8],
+    ) -> Result<StatusInfo> {
+        let req = self.irecv(comm, src, tag, Some(buf.len()))?;
+        let completion = self.wait(req)?;
+        if let Some(data) = completion.data {
+            let n = data.len().min(buf.len());
+            buf[..n].copy_from_slice(&data[..n]);
+            self.stats.bytes_copied += n as u64;
+            self.recycle(data);
+        }
+        Ok(completion.status)
     }
 
     /// `MPI_Sendrecv`: exchange with possibly different partners without
@@ -419,7 +628,7 @@ impl Engine {
         src: i32,
         recv_tag: i32,
         max_len: Option<usize>,
-    ) -> Result<(Vec<u8>, StatusInfo)> {
+    ) -> Result<(Bytes, StatusInfo)> {
         let recv_req = self.irecv(comm, src, recv_tag, max_len)?;
         let send_req = self.isend(comm, dest, send_tag, send_data, SendMode::Standard)?;
         let completion = self.wait(recv_req)?;
@@ -449,7 +658,12 @@ impl Engine {
     ) -> Result<(Vec<u8>, StatusInfo)> {
         let req = self.irecv_on_context(comm, src, tag, None, collective)?;
         let completion = self.wait(req)?;
-        Ok((completion.data.unwrap_or_default(), completion.status))
+        // `Vec::from(Bytes)` reuses the transport allocation when it is
+        // uniquely owned (the common case), so this is a move, not a copy.
+        Ok((
+            completion.data.map(Vec::from).unwrap_or_default(),
+            completion.status,
+        ))
     }
 
     // ---------------------------------------------------------------------
@@ -465,10 +679,10 @@ impl Engine {
             self.on_frame(frame)?;
         }
         let context = self.comm(comm)?.context_p2p;
-        for msg in self.unexpected.iter() {
-            if msg.context != context {
-                continue;
-            }
+        let Some(queue) = self.unexpected.get(&context) else {
+            return Ok(None);
+        };
+        for msg in queue.iter() {
             let Some(src_comm) = self.comm_rank_of_world(comm, msg.src_world as usize)? else {
                 continue;
             };
@@ -557,7 +771,7 @@ impl Engine {
         self.requests.insert(
             req,
             RequestState::RecvComplete {
-                data: data.to_vec(),
+                data,
                 status,
                 error,
             },
@@ -580,11 +794,13 @@ impl Engine {
         }
     }
 
+    /// First posted receive of `context` matching `(src_world, tag)`, in
+    /// posting order. Only the queue of that context is scanned.
     fn find_posted(&self, context: u32, src_world: u32, tag: i32) -> Result<Option<usize>> {
-        for (i, p) in self.posted.iter().enumerate() {
-            if p.context != context {
-                continue;
-            }
+        let Some(queue) = self.posted.get(&context) else {
+            return Ok(None);
+        };
+        for (i, p) in queue.iter().enumerate() {
             let Some(src_comm) = self.comm_rank_of_world(p.comm, src_world as usize)? else {
                 continue;
             };
@@ -595,11 +811,40 @@ impl Engine {
         Ok(None)
     }
 
+    fn take_posted(&mut self, context: u32, idx: usize) -> PostedRecv {
+        self.posted
+            .get_mut(&context)
+            .expect("queue exists")
+            .remove(idx)
+            .expect("index valid")
+    }
+
+    fn park_unexpected(&mut self, header: FrameHeader, kind: UnexpectedKind) {
+        // Traffic for a freed communicator can never match (the record
+        // is gone and its context id is never reissued): drop it instead
+        // of resurrecting the queue comm_free just removed. Frames for
+        // *unknown* contexts still park — a peer may legally send on a
+        // freshly constructed communicator before this rank installs it.
+        if self.freed_contexts.contains(&header.context) {
+            return;
+        }
+        self.unexpected
+            .entry(header.context)
+            .or_default()
+            .push_back(UnexpectedMsg {
+                src_world: header.src,
+                tag: header.tag,
+                token: header.token,
+                msg_len: header.msg_len,
+                kind,
+            });
+    }
+
     fn on_eager(&mut self, frame: Frame) -> Result<()> {
         let header = frame.header;
         match self.find_posted(header.context, header.src, header.tag)? {
             Some(idx) => {
-                let posted = self.posted.remove(idx).expect("index valid");
+                let posted = self.take_posted(header.context, idx);
                 self.stats.posted_hits += 1;
                 let src_comm = self
                     .comm_rank_of_world(posted.comm, header.src as usize)?
@@ -614,14 +859,7 @@ impl Engine {
                 Ok(())
             }
             None => {
-                self.unexpected.push_back(UnexpectedMsg {
-                    context: header.context,
-                    src_world: header.src,
-                    tag: header.tag,
-                    token: header.token,
-                    msg_len: header.msg_len,
-                    kind: UnexpectedKind::Eager(frame.payload),
-                });
+                self.park_unexpected(header, UnexpectedKind::Eager(frame.payload));
                 Ok(())
             }
         }
@@ -631,13 +869,19 @@ impl Engine {
         let header = frame.header;
         match self.find_posted(header.context, header.src, header.tag)? {
             Some(idx) => {
-                let posted = self.posted.remove(idx).expect("index valid");
+                let posted = self.take_posted(header.context, idx);
                 self.stats.posted_hits += 1;
                 let src_comm = self
                     .comm_rank_of_world(posted.comm, header.src as usize)?
                     .expect("matched above") as i32;
-                self.awaiting_rendezvous_data
-                    .insert(header.token, posted.req);
+                self.awaiting_rendezvous_data.insert(
+                    header.token,
+                    RdvAssembly {
+                        req: posted.req,
+                        received: 0,
+                        assembled: Vec::new(),
+                    },
+                );
                 self.requests.insert(
                     posted.req,
                     RequestState::RecvAwaitingData {
@@ -659,19 +903,17 @@ impl Engine {
                 Ok(())
             }
             None => {
-                self.unexpected.push_back(UnexpectedMsg {
-                    context: header.context,
-                    src_world: header.src,
-                    tag: header.tag,
-                    token: header.token,
-                    msg_len: header.msg_len,
-                    kind: UnexpectedKind::Rendezvous,
-                });
+                self.park_unexpected(header, UnexpectedKind::Rendezvous);
                 Ok(())
             }
         }
     }
 
+    /// The receiver granted a rendezvous: ship the held payload. Below the
+    /// segment size (or with segmentation disabled) it goes as a single
+    /// frame whose `Bytes` is the held buffer itself; above, it is chopped
+    /// into zero-copy [`Bytes::slice`] chunks that stream down the wire
+    /// and pipeline against the receiver's reassembly.
     fn on_rendezvous_ack(&mut self, frame: Frame) -> Result<()> {
         let token = frame.header.token;
         let Some(pending) = self.pending_rendezvous.remove(&token) else {
@@ -680,16 +922,31 @@ impl Engine {
                 format!("rendezvous ack for unknown token {token}"),
             );
         };
-        let data_header = FrameHeader {
+        let total = pending.data.len();
+        let header = |_offset: usize| FrameHeader {
             kind: FrameKind::RendezvousData,
             src: self.world_rank as u32,
             dst: pending.dst_world,
             tag: pending.tag,
             context: pending.context,
             token,
-            msg_len: pending.data.len() as u64,
+            msg_len: total as u64,
         };
-        self.endpoint.send(Frame::new(data_header, pending.data))?;
+        match self.segment_bytes {
+            Some(seg) if seg > 0 && total > seg => {
+                self.stats.segmented_sends += 1;
+                let mut offset = 0;
+                while offset < total {
+                    let end = (offset + seg).min(total);
+                    self.endpoint
+                        .send(Frame::new(header(offset), pending.data.slice(offset..end)))?;
+                    offset = end;
+                }
+            }
+            _ => {
+                self.endpoint.send(Frame::new(header(0), pending.data))?;
+            }
+        }
         self.requests
             .insert(pending.req, RequestState::SendComplete);
         Ok(())
@@ -697,29 +954,77 @@ impl Engine {
 
     fn on_rendezvous_data(&mut self, frame: Frame) -> Result<()> {
         let token = frame.header.token;
-        let Some(req) = self.awaiting_rendezvous_data.remove(&token) else {
-            return err(
-                ErrorClass::Intern,
-                format!("rendezvous data for unknown token {token}"),
-            );
-        };
-        let (src, tag, max_len) = match self.requests.get(&req) {
-            Some(RequestState::RecvAwaitingData { src, tag, max_len }) => (*src, *tag, *max_len),
+        let total = frame.header.msg_len as usize;
+        let chunk = frame.payload;
+
+        let req = match self.awaiting_rendezvous_data.get(&token) {
+            Some(entry) => entry.req,
             None => {
-                // The receive was freed (`MPI_Request_free`) after it had
-                // already matched the rendezvous envelope: its buffer is
-                // gone, so the late data frame is discarded rather than
-                // failing whatever unrelated operation is polling now.
-                return Ok(());
+                return err(
+                    ErrorClass::Intern,
+                    format!("rendezvous data for unknown token {token}"),
+                )
             }
-            _ => {
+        };
+        // A receive freed (`MPI_Request_free`) after it matched the
+        // envelope has no buffer left: its data is swallowed, but the
+        // reassembly entry keeps draining until every chunk has arrived.
+        let live = match self.requests.get(&req) {
+            Some(RequestState::RecvAwaitingData { .. }) => true,
+            None => false,
+            Some(_) => {
                 return err(
                     ErrorClass::Intern,
                     "rendezvous data for request in wrong state",
-                );
+                )
             }
         };
-        self.complete_recv(req, frame.payload, src, tag, max_len);
+
+        let mut completed: Option<Bytes> = None;
+        {
+            let entry = self
+                .awaiting_rendezvous_data
+                .get_mut(&token)
+                .expect("present above");
+            let first = entry.received == 0;
+            entry.received += chunk.len();
+            let done = entry.received >= total;
+            if first && done {
+                // Whole message in one frame: the frame's buffer *is* the
+                // received payload. No copy.
+                completed = Some(chunk);
+            } else {
+                if live {
+                    if first {
+                        entry.assembled.reserve_exact(total);
+                    }
+                    entry.assembled.extend_from_slice(&chunk);
+                    self.stats.bytes_copied += chunk.len() as u64;
+                }
+                if done {
+                    completed = Some(Bytes::from(std::mem::take(&mut entry.assembled)));
+                }
+            }
+            if !done {
+                return Ok(());
+            }
+        }
+        self.awaiting_rendezvous_data.remove(&token);
+        if live {
+            let (src, tag, max_len) = match self.requests.get(&req) {
+                Some(RequestState::RecvAwaitingData { src, tag, max_len }) => {
+                    (*src, *tag, *max_len)
+                }
+                _ => unreachable!("state checked above"),
+            };
+            self.complete_recv(
+                req,
+                completed.expect("transfer complete"),
+                src,
+                tag,
+                max_len,
+            );
+        }
         Ok(())
     }
 }
@@ -731,6 +1036,21 @@ mod tests {
     use crate::universe::Universe;
     use mpi_transport::DeviceKind;
 
+    /// The staging pool is bounded per buffer: a giant spent transfer
+    /// must not be pinned for reuse by small sends.
+    #[test]
+    fn oversized_buffers_are_not_pooled() {
+        Universe::run(1, DeviceKind::ShmFast, |engine| {
+            engine.pool_put(Vec::with_capacity(4 * 1024 * 1024));
+            assert!(engine.send_pool.is_empty(), "oversized buffer pooled");
+            engine.pool_put(Vec::with_capacity(16)); // below the minimum
+            assert!(engine.send_pool.is_empty(), "tiny buffer pooled");
+            engine.pool_put(Vec::with_capacity(64 * 1024));
+            assert_eq!(engine.send_pool.len(), 1);
+        })
+        .unwrap();
+    }
+
     #[test]
     fn blocking_send_recv_roundtrip() {
         Universe::run(2, DeviceKind::ShmFast, |engine| {
@@ -740,7 +1060,7 @@ mod tests {
                     .unwrap();
             } else {
                 let (data, status) = engine.recv(COMM_WORLD, 0, 42, Some(64)).unwrap();
-                assert_eq!(&data, b"hello engine");
+                assert_eq!(&data[..], b"hello engine");
                 assert_eq!(status.source, 0);
                 assert_eq!(status.tag, 42);
                 assert_eq!(status.count_bytes, 12);
@@ -796,6 +1116,88 @@ mod tests {
         .unwrap();
     }
 
+    /// Satellite regression: matching stays FIFO per (context, src, tag)
+    /// through the per-context queue split — both on the posted side
+    /// (receives posted first) and the unexpected side (messages arrive
+    /// first), and independently per communicator context.
+    #[test]
+    fn per_context_queues_preserve_fifo_matching() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let dup = engine.comm_dup(COMM_WORLD).unwrap();
+            if engine.world_rank() == 0 {
+                // Interleave two contexts; within each, messages carry a
+                // sequence number under one (src, tag) envelope.
+                for i in 0..20i32 {
+                    engine
+                        .send(COMM_WORLD, 1, 5, &i.to_le_bytes(), SendMode::Standard)
+                        .unwrap();
+                    engine
+                        .send(dup, 1, 5, &(100 + i).to_le_bytes(), SendMode::Standard)
+                        .unwrap();
+                }
+                // Handshake so the unexpected-side phase below is really
+                // unexpected (all messages arrive before any receive).
+                let (_, _) = engine.recv(COMM_WORLD, 1, 6, None).unwrap();
+            } else {
+                // Phase 1: post all receives up front (posted-queue FIFO).
+                let world_reqs: Vec<_> = (0..10)
+                    .map(|_| engine.irecv(COMM_WORLD, 0, 5, None).unwrap())
+                    .collect();
+                let dup_reqs: Vec<_> = (0..10)
+                    .map(|_| engine.irecv(dup, 0, 5, None).unwrap())
+                    .collect();
+                for (i, req) in world_reqs.into_iter().enumerate() {
+                    let c = engine.wait(req).unwrap();
+                    let v = i32::from_le_bytes(c.data.unwrap()[..4].try_into().unwrap());
+                    assert_eq!(v, i as i32, "posted FIFO broken on COMM_WORLD");
+                }
+                for (i, req) in dup_reqs.into_iter().enumerate() {
+                    let c = engine.wait(req).unwrap();
+                    let v = i32::from_le_bytes(c.data.unwrap()[..4].try_into().unwrap());
+                    assert_eq!(v, 100 + i as i32, "posted FIFO broken on dup");
+                }
+                // Phase 2: let the remaining 10+10 messages arrive before
+                // receiving (unexpected-queue FIFO). Drain the transport
+                // until both queues hold everything.
+                loop {
+                    while let Some(f) = engine_try_recv(engine) {
+                        engine.on_frame(f).unwrap();
+                    }
+                    let ready = engine.iprobe(COMM_WORLD, 0, 5).unwrap().is_some()
+                        && engine.iprobe(dup, 0, 5).unwrap().is_some();
+                    if ready {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                for i in 10..20i32 {
+                    let (d, _) = engine.recv(dup, 0, 5, None).unwrap();
+                    assert_eq!(
+                        i32::from_le_bytes(d[..4].try_into().unwrap()),
+                        100 + i,
+                        "unexpected FIFO broken on dup"
+                    );
+                }
+                for i in 10..20i32 {
+                    let (d, _) = engine.recv(COMM_WORLD, 0, 5, None).unwrap();
+                    assert_eq!(
+                        i32::from_le_bytes(d[..4].try_into().unwrap()),
+                        i,
+                        "unexpected FIFO broken on COMM_WORLD"
+                    );
+                }
+                engine
+                    .send(COMM_WORLD, 0, 6, b"done", SendMode::Standard)
+                    .unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    fn engine_try_recv(engine: &mut Engine) -> Option<Frame> {
+        engine.endpoint.try_recv().unwrap()
+    }
+
     #[test]
     fn large_messages_use_rendezvous() {
         Universe::run(2, DeviceKind::ShmFast, |engine| {
@@ -817,6 +1219,107 @@ mod tests {
         .unwrap();
     }
 
+    /// Tentpole regression: a segmented rendezvous transfer arrives intact
+    /// on every device, ships as zero-copy slices of one held payload, and
+    /// is counted by the `segmented_sends` stat.
+    #[test]
+    fn segmented_rendezvous_reassembles_on_all_devices() {
+        for device in [DeviceKind::ShmFast, DeviceKind::ShmP4, DeviceKind::Tcp] {
+            Universe::run(2, device, move |engine| {
+                engine.set_eager_threshold(1024);
+                engine.set_segment_bytes(Some(4096));
+                let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 241) as u8).collect();
+                if engine.world_rank() == 0 {
+                    engine
+                        .send(COMM_WORLD, 1, 9, &payload, SendMode::Standard)
+                        .unwrap();
+                    assert_eq!(engine.stats().segmented_sends, 1, "{device:?}");
+                    // The payload was copied exactly once (at the isend
+                    // boundary); slicing it into segments copied nothing.
+                    assert_eq!(engine.stats().bytes_copied, payload.len() as u64);
+                } else {
+                    let (data, status) = engine.recv(COMM_WORLD, 0, 9, None).unwrap();
+                    assert_eq!(status.count_bytes, payload.len());
+                    assert_eq!(data, payload, "{device:?}");
+                }
+            })
+            .unwrap();
+        }
+    }
+
+    /// A segment size at least as large as the payload must not segment.
+    #[test]
+    fn segment_size_above_payload_sends_one_frame() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            engine.set_eager_threshold(16);
+            engine.set_segment_bytes(Some(1 << 20));
+            if engine.world_rank() == 0 {
+                engine
+                    .send(COMM_WORLD, 1, 2, &[7u8; 4096], SendMode::Standard)
+                    .unwrap();
+                assert_eq!(engine.stats().segmented_sends, 0);
+            } else {
+                let (data, _) = engine.recv(COMM_WORLD, 0, 2, None).unwrap();
+                assert_eq!(data, vec![7u8; 4096]);
+            }
+        })
+        .unwrap();
+    }
+
+    /// `isend_bytes` moves the caller's refcounted buffer into the frame:
+    /// no payload bytes are copied on the send side at all.
+    #[test]
+    fn isend_bytes_copies_nothing() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                let payload = Bytes::from(vec![5u8; 32 * 1024]);
+                engine
+                    .send_bytes(COMM_WORLD, 1, 4, payload.clone(), SendMode::Standard)
+                    .unwrap();
+                assert_eq!(engine.stats().bytes_copied, 0);
+                assert_eq!(engine.stats().eager_sends, 1);
+            } else {
+                let (data, _) = engine.recv(COMM_WORLD, 0, 4, None).unwrap();
+                assert_eq!(data, vec![5u8; 32 * 1024]);
+            }
+        })
+        .unwrap();
+    }
+
+    /// An eager delivery hands the receiver the *same* allocation the
+    /// sender put on the wire (shared-memory device): the zero-copy
+    /// property the datapath is built on, asserted at the `Bytes` level.
+    #[test]
+    fn shm_eager_delivery_shares_the_sender_allocation() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            if engine.world_rank() == 0 {
+                let payload = Bytes::from(vec![9u8; 8 * 1024]);
+                engine
+                    .send_bytes(COMM_WORLD, 1, 11, payload.clone(), SendMode::Standard)
+                    .unwrap();
+                // Prove to the peer which allocation we sent.
+                let (probe, _) = engine.recv(COMM_WORLD, 1, 12, None).unwrap();
+                assert_eq!(&probe[..], b"shared");
+                // Keep `payload` alive until the peer has checked.
+                drop(payload);
+            } else {
+                let (data, _) = engine.recv(COMM_WORLD, 0, 11, None).unwrap();
+                assert_eq!(data.len(), 8 * 1024);
+                // The receiver's completion is a view of the very buffer
+                // that is still alive on the sender (whose clone is held
+                // until our probe below arrives), so unwrapping this —
+                // the only receiver-side handle — must fail. If the
+                // datapath regressed to copying, the receiver would own a
+                // unique buffer and try_into_vec would succeed.
+                assert!(data.try_into_vec().is_err(), "delivery was copied");
+                engine
+                    .send(COMM_WORLD, 0, 12, b"shared", SendMode::Standard)
+                    .unwrap();
+            }
+        })
+        .unwrap();
+    }
+
     #[test]
     fn synchronous_send_completes_after_match() {
         Universe::run(2, DeviceKind::ShmFast, |engine| {
@@ -828,7 +1331,7 @@ mod tests {
                 // Delay posting the receive; the ssend must still complete.
                 std::thread::sleep(std::time::Duration::from_millis(30));
                 let (data, _) = engine.recv(COMM_WORLD, 0, 5, None).unwrap();
-                assert_eq!(&data, b"ssend");
+                assert_eq!(&data[..], b"ssend");
             }
         })
         .unwrap();
@@ -849,7 +1352,7 @@ mod tests {
                 assert!(engine.buffer_detach().is_err());
             } else {
                 let (data, _) = engine.recv(COMM_WORLD, 0, 1, None).unwrap();
-                assert_eq!(&data, b"buffered");
+                assert_eq!(&data[..], b"buffered");
             }
         })
         .unwrap();

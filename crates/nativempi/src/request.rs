@@ -1,6 +1,8 @@
 //! Request objects and the `Wait*` / `Test*` families (MPI-1.1 §3.7),
 //! plus persistent communication requests (§3.9).
 
+use bytes::Bytes;
+
 use crate::comm::CommHandle;
 use crate::error::{err, ErrorClass, MpiError, Result};
 use crate::types::{SendMode, StatusInfo};
@@ -11,11 +13,13 @@ use crate::Engine;
 pub struct RequestId(pub(crate) u64);
 
 /// Result of completing a request: the status, plus the received payload
-/// for receive requests (`None` for sends).
+/// for receive requests (`None` for sends). The payload is the refcounted
+/// [`Bytes`] buffer that crossed the transport — handing it out costs no
+/// copy (see the copy inventory in [`crate::p2p`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Completion {
     pub status: StatusInfo,
-    pub data: Option<Vec<u8>>,
+    pub data: Option<Bytes>,
 }
 
 /// Internal request state machine.
@@ -23,7 +27,9 @@ pub struct Completion {
 pub(crate) enum RequestState {
     /// Receive posted, not yet matched.
     RecvPending,
-    /// Receive matched a rendezvous envelope; waiting for the data frame.
+    /// Receive matched a rendezvous envelope; waiting for the data
+    /// frame(s). (The reassembly buffer of a segmented transfer lives in
+    /// the engine's token-keyed `awaiting_rendezvous_data` map.)
     RecvAwaitingData {
         src: i32,
         tag: i32,
@@ -31,7 +37,7 @@ pub(crate) enum RequestState {
     },
     /// Receive finished (possibly with a deferred error such as truncation).
     RecvComplete {
-        data: Vec<u8>,
+        data: Bytes,
         status: StatusInfo,
         error: Option<MpiError>,
     },
@@ -278,7 +284,9 @@ impl Engine {
     pub fn cancel(&mut self, req: RequestId) -> Result<()> {
         match self.requests.get(&req.0) {
             Some(RequestState::RecvPending) => {
-                self.posted.retain(|p| p.req != req.0);
+                for queue in self.posted.values_mut() {
+                    queue.retain(|p| p.req != req.0);
+                }
                 self.requests.insert(req.0, RequestState::Cancelled);
                 Ok(())
             }
@@ -297,7 +305,9 @@ impl Engine {
     pub fn request_free(&mut self, req: RequestId) -> Result<()> {
         match self.requests.remove(&req.0) {
             Some(RequestState::RecvPending) => {
-                self.posted.retain(|p| p.req != req.0);
+                for queue in self.posted.values_mut() {
+                    queue.retain(|p| p.req != req.0);
+                }
                 Ok(())
             }
             Some(_) => Ok(()),

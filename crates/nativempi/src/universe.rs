@@ -26,8 +26,12 @@ pub struct UniverseConfig {
     /// Synthetic device cost profile (calibration of the two "native MPI"
     /// implementations; defaults to no synthetic cost).
     pub profile: DeviceProfile,
-    /// Eager/rendezvous threshold override (`None` keeps the engine default).
+    /// Eager/rendezvous threshold override (`None` keeps the engine
+    /// default, i.e. `MPIJAVA_EAGER_LIMIT` or the built-in constant).
     pub eager_threshold: Option<usize>,
+    /// Pipeline segment size override for large transfers (`None` keeps
+    /// the engine default, i.e. `MPIJAVA_SEGMENT_BYTES` or disabled).
+    pub segment_bytes: Option<usize>,
     /// Pin the collective algorithm on every rank (`None` keeps the tuned
     /// size-aware selection; see [`crate::coll`]).
     pub coll_algorithm: Option<crate::coll::CollAlgorithm>,
@@ -44,6 +48,7 @@ impl UniverseConfig {
             network: NetworkModel::unshaped(),
             profile: DeviceProfile::default(),
             eager_threshold: None,
+            segment_bytes: None,
             coll_algorithm: None,
             processor_name_prefix: None,
         }
@@ -64,6 +69,13 @@ impl UniverseConfig {
     /// Override the eager threshold on every rank.
     pub fn with_eager_threshold(mut self, bytes: usize) -> Self {
         self.eager_threshold = Some(bytes);
+        self
+    }
+
+    /// Enable segmented (pipelined) large-message transfers with the
+    /// given segment size on every rank.
+    pub fn with_segment_bytes(mut self, bytes: usize) -> Self {
+        self.segment_bytes = Some(bytes);
         self
     }
 
@@ -116,6 +128,9 @@ impl Universe {
                     let mut engine = Engine::new(endpoint);
                     if let Some(threshold) = config.eager_threshold {
                         engine.set_eager_threshold(threshold);
+                    }
+                    if config.segment_bytes.is_some() {
+                        engine.set_segment_bytes(config.segment_bytes);
                     }
                     if config.coll_algorithm.is_some() {
                         engine.set_coll_algorithm(config.coll_algorithm);

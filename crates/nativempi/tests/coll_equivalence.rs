@@ -1,9 +1,9 @@
 //! Cross-algorithm equivalence suite: every collective must produce
 //! byte-identical results under the linear, binomial-tree,
-//! recursive-doubling and ring algorithms (and under the tuned default
-//! selector), on communicator sizes {1, 2, 3, 4, 5, 8}, across all three
-//! transport devices — including non-commutative user operations and
-//! `MAXLOC`/`MINLOC` with ties.
+//! recursive-doubling, ring and pipelined algorithms (and under the tuned
+//! default selector), on communicator sizes {1, 2, 3, 4, 5, 8}, across
+//! all three transport devices — including non-commutative user
+//! operations and `MAXLOC`/`MINLOC` with ties.
 //!
 //! Each rank executes a fixed transcript of collectives and serializes
 //! every result into a byte log; the per-rank logs of a forced-algorithm
@@ -250,6 +250,7 @@ fn assert_equivalence(device: DeviceKind, eager_threshold: Option<usize>) {
             Some(CollAlgorithm::BinomialTree),
             Some(CollAlgorithm::RecursiveDoubling),
             Some(CollAlgorithm::Ring),
+            Some(CollAlgorithm::Pipelined),
         ];
         for alg in candidates {
             let got = run_transcript(size, device, alg, eager_threshold);

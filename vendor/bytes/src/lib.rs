@@ -1,47 +1,122 @@
 //! Offline stand-in for the `bytes` crate: a cheaply cloneable,
 //! reference-counted, immutable byte buffer with the `Bytes` API subset
-//! this workspace uses. Cloning shares the underlying allocation, so a
-//! frame payload can be handed to several queues without copying — the
-//! property the transport layer relies on.
+//! this workspace uses. Cloning shares the underlying allocation, and
+//! [`Bytes::slice`] produces zero-copy sub-views of it, so a frame
+//! payload can be handed to several queues — or chopped into pipeline
+//! segments — without copying. These are the properties the transport
+//! layer and the engine's zero-copy datapath rely on.
+//!
+//! Storage is an `Arc<Vec<u8>>` plus an `(offset, len)` window:
+//!
+//! * [`Bytes::from(Vec<u8>)`](From) takes ownership of the vector without
+//!   copying its heap buffer (the real crate does the same);
+//! * [`Vec<u8>::from(Bytes)`](From) hands the vector back without copying
+//!   when the buffer is uniquely owned and un-sliced — the common case for
+//!   a freshly received frame payload;
+//! * [`Bytes::slice`] adjusts the window only.
 
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable immutable byte buffer.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// An empty buffer (no allocation shared with anything).
     pub fn new() -> Bytes {
-        Bytes {
-            data: Arc::from([]),
-        }
+        Bytes::default()
     }
 
     /// Copy `data` into a fresh shared buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::from(data.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True when the buffer holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view of `self` covering `range` (indices relative
+    /// to this view). The returned `Bytes` shares the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted, matching the
+    /// real crate's behaviour.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice index out of range: {start}..{end} of {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// True when `self` and `other` share one allocation (test helper for
+    /// asserting the zero-copy property).
+    pub fn shares_allocation(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Recover the owned vector **without copying**, or give `self` back.
+    ///
+    /// Succeeds only when the buffer is uniquely owned and the view covers
+    /// the whole allocation (the shape of a freshly received frame
+    /// payload). Unlike `Vec::from`, a shared or sliced buffer is returned
+    /// as `Err` instead of being copied — callers use this to recycle
+    /// spent buffers into a pool without paying for the cases where the
+    /// allocation is still alive elsewhere.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        if self.offset == 0 && self.len == self.data.len() {
+            let len = self.len;
+            match Arc::try_unwrap(self.data) {
+                Ok(v) => Ok(v),
+                Err(data) => Err(Bytes {
+                    data,
+                    offset: 0,
+                    len,
+                }),
+            }
+        } else {
+            Err(self)
+        }
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of the vector; the heap buffer is **not** copied.
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: Arc::from(v) }
+        let len = v.len();
+        Bytes {
+            data: Arc::new(v),
+            offset: 0,
+            len,
+        }
     }
 }
 
@@ -57,22 +132,38 @@ impl From<&'static str> for Bytes {
     }
 }
 
+impl From<Bytes> for Vec<u8> {
+    /// Recover the owned vector. Zero-copy when the buffer is uniquely
+    /// owned and the view covers the whole allocation; otherwise copies
+    /// the viewed window.
+    fn from(b: Bytes) -> Vec<u8> {
+        if b.offset == 0 && b.len == b.data.len() {
+            match Arc::try_unwrap(b.data) {
+                Ok(v) => v,
+                Err(shared) => shared[..b.len].to_vec(),
+            }
+        } else {
+            b.as_ref().to_vec()
+        }
+    }
+}
+
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl std::borrow::Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
@@ -84,7 +175,7 @@ impl std::fmt::Debug for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Bytes) -> bool {
-        self.data[..] == other.data[..]
+        self[..] == other[..]
     }
 }
 
@@ -92,13 +183,34 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<'a, T: ?Sized> PartialEq<&'a T> for Bytes
+where
+    Bytes: PartialEq<T>,
+{
+    fn eq(&self, other: &&'a T) -> bool {
+        *self == **other
     }
 }
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self[..].hash(state);
     }
 }
 
@@ -111,7 +223,7 @@ mod tests {
         let a = Bytes::from(vec![1u8, 2, 3]);
         let b = a.clone();
         assert_eq!(&a[..], &b[..]);
-        assert!(Arc::ptr_eq(&a.data, &b.data));
+        assert!(a.shares_allocation(&b));
     }
 
     #[test]
@@ -122,5 +234,59 @@ mod tests {
         assert_eq!(b.to_vec(), b"hello");
         assert_eq!(Bytes::new().len(), 0);
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn from_vec_does_not_copy() {
+        let v = vec![7u8; 1024];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), ptr, "heap buffer must be reused");
+        let back: Vec<u8> = b.into();
+        assert_eq!(back.as_ptr(), ptr, "unique full-range unwrap is free");
+        assert_eq!(back, vec![7u8; 1024]);
+    }
+
+    #[test]
+    fn shared_or_sliced_into_vec_copies() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let b = a.clone();
+        let v: Vec<u8> = b.into(); // refcount 2: must copy
+        assert_eq!(v, vec![1, 2, 3, 4]);
+        let s: Vec<u8> = a.slice(1..3).into(); // sliced view: must copy
+        assert_eq!(s, vec![2, 3]);
+    }
+
+    #[test]
+    fn slices_are_zero_copy_views() {
+        let b = Bytes::from((0u8..100).collect::<Vec<u8>>());
+        let mid = b.slice(10..20);
+        assert_eq!(mid.len(), 10);
+        assert_eq!(&mid[..], &(10u8..20).collect::<Vec<u8>>()[..]);
+        assert!(mid.shares_allocation(&b));
+        // Sub-slicing a slice composes the offsets.
+        let inner = mid.slice(2..=4);
+        assert_eq!(&inner[..], &[12, 13, 14]);
+        assert!(inner.shares_allocation(&b));
+        // Unbounded ranges.
+        assert_eq!(b.slice(..).len(), 100);
+        assert_eq!(b.slice(95..).len(), 5);
+        assert_eq!(b.slice(..5).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice index out of range")]
+    fn out_of_range_slice_panics() {
+        Bytes::from(vec![0u8; 4]).slice(2..8);
+    }
+
+    #[test]
+    fn comparisons_against_common_shapes() {
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(b, *b"abc");
+        assert_eq!(b, b"abc"); // &[u8; 3]
+        assert_eq!(b, vec![b'a', b'b', b'c']);
+        assert_eq!(b, b"abc"[..]); // [u8]
+        assert_ne!(b, Bytes::new());
     }
 }
