@@ -1,10 +1,11 @@
 //! Collective-algorithm sweep: measures every collective under every
-//! algorithm on every device and writes the machine-readable
-//! `BENCH_collectives.json` used to track the collective subsystem's
-//! performance across PRs.
+//! algorithm on every device, plus the `icollectives`
+//! communication/computation overlap cells, and writes the
+//! machine-readable `BENCH_collectives.json` used to track the
+//! collective subsystem's performance across PRs.
 //!
 //! ```text
-//! cargo run --release -p mpi-bench --bin collectives [RANKS] [REPS] [raw]
+//! cargo run --release -p mpi-bench --bin collectives [RANKS] [REPS] [raw|quick]
 //! ```
 //!
 //! Defaults: 8 ranks, 10 timed reps per cell (3 warm-up), with the
@@ -12,13 +13,23 @@
 //! charge overlaps across rank pairs like independent link hardware, so
 //! the numbers reflect the link-level concurrency collective algorithms
 //! are chosen for; pass `raw` as the third argument for unmodelled wall
-//! clock). The sweep finishes with the headline comparison the tuning
-//! table is built on: tree/ring vs linear for bcast + allreduce at large
-//! payloads on the shared-memory device.
+//! clock). `quick` runs a tiny smoke sweep (2 ranks, one payload, two
+//! algorithms, one overlap cell) for CI.
+//!
+//! The overlap cells run `iallreduce` with injected compute progressed
+//! by periodic `test()` calls over the *due-time* link model (the
+//! sender's thread is free while bytes are on the wire — see
+//! `modelled_overlap_link`), and report the fraction of communication
+//! time hidden behind the compute. The headline cell — P=8, 256 KiB on
+//! the modelled shm-fast link — must hide at least half of the
+//! communication time.
 
 use std::fs;
 
-use mpi_bench::collbench::{format_table, run_suite, to_json, CollBenchSpec, CollRecord};
+use mpi_bench::collbench::{
+    format_table, measure_overlap, run_suite, to_json, CollBenchSpec, CollRecord, OverlapRecord,
+};
+use mpijava::DeviceKind;
 
 fn find(records: &[CollRecord], op: &str, alg: &str, payload: usize) -> Option<f64> {
     records
@@ -31,18 +42,37 @@ fn find(records: &[CollRecord], op: &str, alg: &str, payload: usize) -> Option<f
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let ranks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let first = args.next();
+    let quick = first.as_deref() == Some("quick");
+    let ranks: usize = if quick {
+        2
+    } else {
+        first.and_then(|a| a.parse().ok()).unwrap_or(8)
+    };
     let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
-    let raw = args.next().as_deref() == Some("raw");
-    let spec = CollBenchSpec {
-        ranks,
-        reps,
-        link: if raw {
-            mpijava::DeviceProfile::free()
-        } else {
-            mpi_bench::collbench::modelled_link()
-        },
-        ..CollBenchSpec::default()
+    let mode = args.next();
+    let raw = mode.as_deref() == Some("raw");
+    let spec = if quick {
+        CollBenchSpec {
+            ranks,
+            reps: 2,
+            warmup: 1,
+            devices: vec![DeviceKind::ShmFast],
+            algorithms: vec![None, Some(mpijava::CollAlgorithm::BinomialTree)],
+            payloads: vec![4 * 1024],
+            link: mpijava::DeviceProfile::free(),
+        }
+    } else {
+        CollBenchSpec {
+            ranks,
+            reps,
+            link: if raw {
+                mpijava::DeviceProfile::free()
+            } else {
+                mpi_bench::collbench::modelled_link()
+            },
+            ..CollBenchSpec::default()
+        }
     };
 
     eprintln!(
@@ -59,10 +89,66 @@ fn main() {
         );
     });
 
-    let json = to_json(&records);
+    // Overlap cells: iallreduce hiding communication behind injected
+    // compute on the due-time shm-fast link model.
+    let overlap_cells: Vec<(usize, usize, usize)> = if quick {
+        vec![(ranks, 64 * 1024, 2)] // (ranks, payload, reps)
+    } else {
+        vec![(ranks, 64 * 1024, 5), (ranks, 256 * 1024, 5)]
+    };
+    let mut overlap: Vec<OverlapRecord> = Vec::new();
+    for (ranks, payload, reps) in overlap_cells {
+        let record = measure_overlap(DeviceKind::ShmFast, None, ranks, payload, reps);
+        eprintln!(
+            "  iallreduce overlap {:>9} {:>7} {:>10}B -> comm {:>9.1} us, compute {:>9.1} us, \
+             overlapped {:>9.1} us, hidden {:>5.1}%",
+            record.device,
+            record.algorithm,
+            record.payload_bytes,
+            record.comm_us,
+            record.compute_us,
+            record.overlapped_us,
+            record.overlap_ratio * 100.0
+        );
+        overlap.push(record);
+    }
+
+    let json = to_json(&records, &overlap);
     fs::write("BENCH_collectives.json", &json).expect("write BENCH_collectives.json");
     println!("{}", format_table(&records));
-    println!("wrote BENCH_collectives.json ({} cells)", records.len());
+    println!(
+        "wrote BENCH_collectives.json ({} cells, {} overlap cells)",
+        records.len(),
+        overlap.len()
+    );
+
+    println!("\n== iallreduce compute/communication overlap (shm-fast, due-time link) ==");
+    for r in &overlap {
+        println!(
+            "  P={} {:>8}B: {:.1}% of {:.0} us communication hidden behind {:.0} us compute",
+            r.ranks,
+            r.payload_bytes,
+            r.overlap_ratio * 100.0,
+            r.comm_us,
+            r.compute_us
+        );
+    }
+    if !quick {
+        if let Some(headline) = overlap
+            .iter()
+            .find(|r| r.ranks == 8 && r.payload_bytes == 256 * 1024)
+        {
+            assert!(
+                headline.overlap_ratio >= 0.5,
+                "headline overlap cell regressed: only {:.1}% of communication hidden",
+                headline.overlap_ratio * 100.0
+            );
+        }
+    }
+
+    if quick {
+        return;
+    }
 
     // Headline: the tuning table's claim at the large-payload end.
     println!(

@@ -91,6 +91,33 @@
 //! The classic names stay reachable on the same objects (via `Deref`)
 //! as long as the trait is not imported; see the [`rs`] module docs for
 //! the one shadowing caveat when both styles share a source file.
+//!
+//! ### Nonblocking collectives: the third column
+//!
+//! Every collective additionally has a futures-style nonblocking form on
+//! the idiomatic surface. The returned [`rs::TypedRequest`] is the same
+//! handle type the point-to-point `isend`/`irecv_into` return, so one
+//! heterogeneous [`TypedRequest::wait_all`](request::TypedRequest::wait_all)
+//! batch can mix the two. Blocking collectives are themselves
+//! `start + wait` over the *same* engine schedules (see
+//! `mpi_native::coll::nb`), so the two forms cannot diverge; results are
+//! byte-identical, enforced by the cross-algorithm equivalence suite.
+//!
+//! | classic (blocking) | idiomatic blocking | idiomatic nonblocking |
+//! |---|---|---|
+//! | `barrier()` | [`barrier()`](rs::Communicator::barrier) | [`ibarrier()`](rs::Communicator::ibarrier) |
+//! | `bcast(buf, off, count, ty, root)` | [`broadcast(&mut buf, root)`](rs::Communicator::broadcast) | [`ibroadcast(&mut buf, root)`](rs::Communicator::ibroadcast) |
+//! | `reduce(...)` | [`reduce_into(...)`](rs::Communicator::reduce_into) | [`ireduce_into(...)`](rs::Communicator::ireduce_into) |
+//! | `allreduce(...)` | [`all_reduce(...)`](rs::Communicator::all_reduce) | [`iall_reduce(...)`](rs::Communicator::iall_reduce) |
+//! | `gather(...)` | [`gather_into(...)`](rs::Communicator::gather_into) | [`igather_into(...)`](rs::Communicator::igather_into) |
+//! | `allgather(...)` | [`all_gather(...)`](rs::Communicator::all_gather) | [`iall_gather(...)`](rs::Communicator::iall_gather) |
+//! | `scatter(...)` | [`scatter_from(...)`](rs::Communicator::scatter_from) | [`iscatter_from(...)`](rs::Communicator::iscatter_from) |
+//!
+//! Progress happens inside `test()`/`wait()` calls (and inside any
+//! blocking engine entry point): interleave occasional `test()` calls
+//! with computation to overlap communication and computation — the
+//! `icollectives` overlap cells of the collectives benchmark measure
+//! exactly that.
 
 pub mod buffer;
 pub mod cartcomm;

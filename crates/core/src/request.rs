@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use mpi_native::{ErrorClass, RequestId};
+use mpi_native::{CollOutcome, CollRequestId, ErrorClass, RequestId};
 
 use crate::exception::{MPIException, MpiResult};
 use crate::status::Status;
@@ -23,10 +23,20 @@ type UnpackOnce<'buf> = Box<dyn FnOnce(&[u8]) -> MpiResult<()> + Send + 'buf>;
 type UnpackMut<'buf> = Box<dyn FnMut(&[u8]) -> MpiResult<()> + Send + 'buf>;
 type Repack<'buf> = Box<dyn Fn() -> MpiResult<Vec<u8>> + Send + 'buf>;
 
+/// What engine object a [`Request`] completes: a point-to-point request
+/// or a nonblocking-collective schedule. The two share every completion
+/// surface (`wait`, `test`, batches, RAII), which is what lets a
+/// heterogeneous [`TypedRequest::wait_all`] batch mix them freely.
+#[derive(Debug, Clone, Copy)]
+enum ReqId {
+    P2p(RequestId),
+    Coll(CollRequestId),
+}
+
 /// Handle to an outstanding non-blocking operation.
 pub struct Request<'buf> {
     env: Arc<RankEnv>,
-    id: RequestId,
+    id: ReqId,
     unpack: Option<UnpackOnce<'buf>>,
     done: bool,
 }
@@ -44,7 +54,7 @@ impl<'buf> Request<'buf> {
     pub(crate) fn send(env: Arc<RankEnv>, id: RequestId) -> Request<'static> {
         Request {
             env,
-            id,
+            id: ReqId::P2p(id),
             unpack: None,
             done: false,
         }
@@ -57,15 +67,38 @@ impl<'buf> Request<'buf> {
     ) -> Request<'buf> {
         Request {
             env,
-            id,
+            id: ReqId::P2p(id),
             unpack: Some(unpack),
             done: false,
         }
     }
 
-    /// Engine-level id (exposed for diagnostics).
-    pub fn id(&self) -> RequestId {
-        self.id
+    /// A nonblocking-collective request ([`crate::rs`]'s `i*` collective
+    /// methods). `unpack` delivers the collective's outcome bytes
+    /// (gather-family outcomes arrive flattened in rank order) into the
+    /// caller's buffer; `None` for outcome-free collectives (barrier)
+    /// and rooted collectives on non-root ranks.
+    pub(crate) fn coll(
+        env: Arc<RankEnv>,
+        id: CollRequestId,
+        unpack: Option<UnpackOnce<'buf>>,
+    ) -> Request<'buf> {
+        Request {
+            env,
+            id: ReqId::Coll(id),
+            unpack,
+            done: false,
+        }
+    }
+
+    /// Engine-level id (exposed for diagnostics); `None` for
+    /// collective-backed requests, whose engine handle lives in a
+    /// different id space.
+    pub fn id(&self) -> Option<RequestId> {
+        match self.id {
+            ReqId::P2p(id) => Some(id),
+            ReqId::Coll(_) => None,
+        }
     }
 
     /// True once the request has been waited on / tested to completion.
@@ -81,6 +114,45 @@ impl<'buf> Request<'buf> {
         Ok(Status::from_info(completion.status))
     }
 
+    fn finish_coll(&mut self, outcome: CollOutcome) -> MpiResult<Status> {
+        self.done = true;
+        let data: Option<Vec<u8>> = match outcome {
+            CollOutcome::Done => None,
+            CollOutcome::Buffer(buffer) => Some(buffer),
+            CollOutcome::Parts(parts) => Some(parts.into_iter().flatten().collect()),
+        };
+        if let (Some(unpack), Some(bytes)) = (self.unpack.take(), data.as_ref()) {
+            unpack(bytes)?;
+        }
+        let mut info = mpi_native::StatusInfo::empty();
+        info.count_bytes = data.map_or(0, |d| d.len());
+        Ok(Status::from_info(info))
+    }
+
+    /// Engine-side completion check without the simulated JNI crossing —
+    /// the building block of the batched waits over mixed batches.
+    fn poll(&mut self) -> MpiResult<Option<Status>> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.id {
+            ReqId::P2p(id) => {
+                let completion = self.env.engine.lock().test(id)?;
+                match completion {
+                    Some(completion) => Ok(Some(self.finish(completion)?)),
+                    None => Ok(None),
+                }
+            }
+            ReqId::Coll(id) => {
+                let outcome = self.env.engine.lock().coll_test(id)?;
+                match outcome {
+                    Some(outcome) => Ok(Some(self.finish_coll(outcome)?)),
+                    None => Ok(None),
+                }
+            }
+        }
+    }
+
     /// `Request.Wait()`: block until complete, fill the receive buffer and
     /// return the `Status`.
     pub fn wait(&mut self) -> MpiResult<Status> {
@@ -91,8 +163,16 @@ impl<'buf> Request<'buf> {
             ));
         }
         self.env.jni.enter("Request.Wait");
-        let completion = self.env.engine.lock().wait(self.id)?;
-        self.finish(completion)
+        match self.id {
+            ReqId::P2p(id) => {
+                let completion = self.env.engine.lock().wait(id)?;
+                self.finish(completion)
+            }
+            ReqId::Coll(id) => {
+                let outcome = self.env.engine.lock().coll_wait(id)?;
+                self.finish_coll(outcome)
+            }
+        }
     }
 
     /// `Request.Test()`: `Some(status)` if complete, `None` otherwise (the
@@ -102,24 +182,46 @@ impl<'buf> Request<'buf> {
             return Ok(None);
         }
         self.env.jni.enter("Request.Test");
-        let completion = self.env.engine.lock().test(self.id)?;
-        match completion {
-            Some(c) => Ok(Some(self.finish(c)?)),
-            None => Ok(None),
+        self.poll()
+    }
+
+    /// `Request.Cancel()`. Nonblocking collectives cannot be cancelled
+    /// (the standard's rule — every rank participates).
+    pub fn cancel(&mut self) -> MpiResult<()> {
+        self.env.jni.enter("Request.Cancel");
+        match self.id {
+            ReqId::P2p(id) => Ok(self.env.engine.lock().cancel(id)?),
+            ReqId::Coll(_) => Err(MPIException::new(
+                ErrorClass::Unsupported,
+                "nonblocking collectives cannot be cancelled",
+            )),
         }
     }
 
-    /// `Request.Cancel()`.
-    pub fn cancel(&mut self) -> MpiResult<()> {
-        self.env.jni.enter("Request.Cancel");
-        Ok(self.env.engine.lock().cancel(self.id)?)
-    }
-
-    /// `Request.Free()`: release the request without completing it.
+    /// `Request.Free()`: release the request without inspecting its
+    /// completion. A pending point-to-point receive is withdrawn from
+    /// the engine; a collective request cannot be withdrawn (every rank
+    /// participates), so it is driven to completion and its outcome
+    /// discarded — the handle quiesces either way.
     pub fn free(mut self) -> MpiResult<()> {
         self.env.jni.enter("Request.Free");
         self.done = true;
-        Ok(self.env.engine.lock().request_free(self.id)?)
+        match self.id {
+            ReqId::P2p(id) => Ok(self.env.engine.lock().request_free(id)?),
+            ReqId::Coll(id) => Ok(self.env.engine.lock().coll_abandon(id)?),
+        }
+    }
+
+    /// Abandon the handle without blocking — the panic-unwind escape
+    /// hatch. A point-to-point receive is withdrawn; a collective's
+    /// engine-side schedule is left in place (driving it could block on
+    /// peers that will never act once this rank's abort lands, and the
+    /// job is about to tear down anyway).
+    pub(crate) fn forget(mut self) {
+        self.done = true;
+        if let ReqId::P2p(id) = self.id {
+            let _ = self.env.engine.lock().request_free(id);
+        }
     }
 
     /// `Request.Waitall(requests)`: complete every request, returning the
@@ -130,7 +232,9 @@ impl<'buf> Request<'buf> {
 
     /// `Request.Waitany(requests)`: wait for one to complete; its index is
     /// recorded in the returned status (`status.index()`), mirroring the
-    /// extra field the paper adds to `Status`.
+    /// extra field the paper adds to `Status`. Batches mixing
+    /// point-to-point and collective requests are completed by polling
+    /// (each poll drives the engine's progress, collectives included).
     pub fn wait_any(requests: &mut [Request<'buf>]) -> MpiResult<Status> {
         if requests.is_empty() {
             return Err(MPIException::new(
@@ -140,7 +244,48 @@ impl<'buf> Request<'buf> {
         }
         let env = Arc::clone(&requests[0].env);
         env.jni.enter("Request.Waitany");
-        let pending: Vec<RequestId> = requests.iter().filter(|r| !r.done).map(|r| r.id).collect();
+        let all_p2p = requests
+            .iter()
+            .all(|r| r.done || matches!(r.id, ReqId::P2p(_)));
+        if !all_p2p {
+            // Mixed batch: poll each member (each poll drives the
+            // engine's progress), then park on the transport until the
+            // next frame instead of spinning — anything still pending
+            // after a full poll is waiting on remote frames.
+            loop {
+                let mut any_pending = false;
+                for (slot, request) in requests.iter_mut().enumerate() {
+                    if request.done {
+                        continue;
+                    }
+                    any_pending = true;
+                    if let Some(status) = request.poll()? {
+                        return Ok(Status::from_info(mpi_native::StatusInfo {
+                            index: slot as i32,
+                            source: status.source(),
+                            tag: status.tag(),
+                            count_bytes: status.count_bytes(),
+                            cancelled: status.test_cancelled(),
+                        }));
+                    }
+                }
+                if !any_pending {
+                    return Err(MPIException::new(
+                        ErrorClass::Request,
+                        "Waitany: every request has already completed",
+                    ));
+                }
+                env.engine.lock().progress_wait()?;
+            }
+        }
+        let pending: Vec<RequestId> = requests
+            .iter()
+            .filter(|r| !r.done)
+            .filter_map(|r| match r.id {
+                ReqId::P2p(id) => Some(id),
+                ReqId::Coll(_) => None,
+            })
+            .collect();
         if pending.is_empty() {
             return Err(MPIException::new(
                 ErrorClass::Request,
@@ -153,7 +298,7 @@ impl<'buf> Request<'buf> {
         let completed_id = pending[completion.status.index as usize];
         let slot = requests
             .iter()
-            .position(|r| r.id == completed_id)
+            .position(|r| matches!(r.id, ReqId::P2p(id) if id == completed_id))
             .expect("completed request came from this array");
         let mut status = requests[slot].finish(completion)?;
         status = Status::from_info(mpi_native::StatusInfo {
@@ -167,14 +312,42 @@ impl<'buf> Request<'buf> {
     }
 
     /// `Request.Testall(requests)`: statuses if every request is complete,
-    /// `None` otherwise.
+    /// `None` otherwise. On batches mixing point-to-point and collective
+    /// requests each member is tested individually, so — unlike the pure
+    /// point-to-point path — members that are individually complete have
+    /// their buffers filled even when the call as a whole returns `None`.
     pub fn test_all(requests: &mut [Request<'buf>]) -> MpiResult<Option<Vec<Status>>> {
         if requests.is_empty() {
             return Ok(Some(Vec::new()));
         }
         let env = Arc::clone(&requests[0].env);
         env.jni.enter("Request.Testall");
-        let ids: Vec<RequestId> = requests.iter().filter(|r| !r.done).map(|r| r.id).collect();
+        let all_p2p = requests
+            .iter()
+            .all(|r| r.done || matches!(r.id, ReqId::P2p(_)));
+        if !all_p2p {
+            let mut statuses = Vec::with_capacity(requests.len());
+            let mut incomplete = false;
+            for request in requests.iter_mut() {
+                if request.done {
+                    statuses.push(Status::from_info(mpi_native::StatusInfo::empty()));
+                } else {
+                    match request.poll()? {
+                        Some(status) => statuses.push(status),
+                        None => incomplete = true,
+                    }
+                }
+            }
+            return Ok(if incomplete { None } else { Some(statuses) });
+        }
+        let ids: Vec<RequestId> = requests
+            .iter()
+            .filter(|r| !r.done)
+            .filter_map(|r| match r.id {
+                ReqId::P2p(id) => Some(id),
+                ReqId::Coll(_) => None,
+            })
+            .collect();
         let completions = env.engine.lock().test_all(&ids)?;
         match completions {
             None => Ok(None),
@@ -244,8 +417,9 @@ impl<'buf> TypedRequest<'buf> {
         }
     }
 
-    /// Engine-level id (exposed for diagnostics).
-    pub fn id(&self) -> RequestId {
+    /// Engine-level id (exposed for diagnostics); `None` for
+    /// collective-backed requests.
+    pub fn id(&self) -> Option<RequestId> {
         self.inner.as_ref().expect("pending request").id()
     }
 
@@ -331,10 +505,10 @@ impl Drop for TypedRequest<'_> {
                 if std::thread::panicking() {
                     // Unwinding: blocking here could hang the rank on an
                     // operation whose peer may never act (and mask the
-                    // panic message). Withdraw the request instead — no
+                    // panic message). Abandon the request instead — no
                     // user code observes the buffer after a panic, so the
                     // RAII completion guarantee is moot.
-                    let _ = request.free();
+                    request.forget();
                 } else {
                     // Completion on drop: the buffer borrow ends here, so
                     // the operation must be driven to completion first.

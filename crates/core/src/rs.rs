@@ -20,6 +20,18 @@
 //!   [`irecv_into`](Communicator::irecv_into) return a lifetime-bound
 //!   [`TypedRequest`] that completes on drop and whose
 //!   [`wait`](TypedRequest::wait) consumes the handle.
+//! * **Nonblocking collectives**: [`ibarrier`](Communicator::ibarrier),
+//!   [`ibroadcast`](Communicator::ibroadcast),
+//!   [`iall_reduce`](Communicator::iall_reduce) & friends return the
+//!   same [`TypedRequest`] handles, so one heterogeneous
+//!   [`TypedRequest::wait_all`] batch mixes point-to-point and
+//!   collective completion; blocking collectives are `start + wait`
+//!   over the same engine schedules (see the crate docs' three-column
+//!   table).
+//! * **Zero-copy byte sends**: [`send_bytes`](Communicator::send_bytes) /
+//!   [`isend_bytes`](Communicator::isend_bytes) move an owned
+//!   refcounted buffer onto the engine's zero-copy datapath without a
+//!   single payload copy.
 //! * **Object transport without `MPI.OBJECT` plumbing**:
 //!   [`send_obj`](Communicator::send_obj) / [`recv_obj`](Communicator::recv_obj)
 //!   are generic over [`Serializable`].
@@ -108,14 +120,16 @@
 //! tag)` — inherent methods named explicitly ignore trait shadowing.
 
 use std::borrow::Borrow;
+use std::sync::Arc;
 
-use mpi_native::ErrorClass;
+use mpi_native::{ErrorClass, SendMode};
 
-use crate::buffer::BufferElement;
+use crate::buffer::{bytes_to_elements, slice_to_bytes, BufferElement};
 use crate::comm::Comm;
 use crate::exception::{MPIException, MpiResult};
 use crate::intracomm::Intracomm;
 use crate::op::Op;
+use crate::request::Request;
 use crate::serial::Serializable;
 use crate::status::Status;
 
@@ -255,6 +269,47 @@ pub trait Communicator {
             source,
             tag,
         )?))
+    }
+
+    // ------------------------------------------------------------------
+    // Zero-copy byte transport (engine `Bytes` datapath)
+    // ------------------------------------------------------------------
+
+    /// Blocking zero-copy send of an owned [`bytes::Bytes`] payload:
+    /// delegates straight to the engine's `send_bytes`, which moves the
+    /// refcounted buffer onto the wire without copying a single payload
+    /// byte (the engine's `bytes_copied` statistic does not move on this
+    /// path — pinned by the copy-accounting suite).
+    fn send_bytes(&self, data: bytes::Bytes, dest: i32, tag: i32) -> MpiResult<()> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Comm.Send[bytes]");
+        let mut engine = comm.env.engine.lock();
+        engine.send_bytes(comm.handle, dest, tag, data, SendMode::Standard)?;
+        Ok(())
+    }
+
+    /// Nonblocking zero-copy send of an owned [`bytes::Bytes`] payload
+    /// (see [`send_bytes`](Communicator::send_bytes)). The payload is
+    /// owned by the engine from the moment of the call, so the returned
+    /// handle carries no buffer borrow.
+    fn isend_bytes(
+        &self,
+        data: bytes::Bytes,
+        dest: i32,
+        tag: i32,
+    ) -> MpiResult<TypedRequest<'static>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Comm.Isend[bytes]");
+        let mut engine = comm.env.engine.lock();
+        let copied_before = engine.stats().bytes_copied;
+        let id = engine.isend_bytes(comm.handle, dest, tag, data, SendMode::Standard)?;
+        debug_assert_eq!(
+            engine.stats().bytes_copied,
+            copied_before,
+            "zero-copy send path must not copy payload bytes"
+        );
+        drop(engine);
+        Ok(TypedRequest::new(Request::send(Arc::clone(&comm.env), id)))
     }
 
     // ------------------------------------------------------------------
@@ -413,6 +468,224 @@ pub trait Communicator {
             chunk,
             &T::datatype(),
         )
+    }
+
+    // ------------------------------------------------------------------
+    // Nonblocking collectives (schedule-driven; see `mpi_native::coll::nb`)
+    // ------------------------------------------------------------------
+    //
+    // Each `i*` method starts the collective's schedule and returns a
+    // futures-style [`TypedRequest`]: poll it with
+    // [`test`](TypedRequest::test), block with
+    // [`wait`](TypedRequest::wait), or batch it — heterogeneously, mixed
+    // with `isend`/`irecv_into` point-to-point handles — through
+    // [`TypedRequest::wait_all`]. Progress happens inside `test`/`wait`
+    // calls (and inside any blocking engine entry point), so interleave
+    // occasional `test()` calls with computation to overlap the two —
+    // the `icollectives` benchmark measures exactly that. Every rank of
+    // the communicator must start the same collectives in the same
+    // order (the standard's nonblocking-collective rule); results are
+    // byte-identical to the blocking twins, which are themselves
+    // `start + wait` over the same schedules.
+
+    /// Nonblocking barrier (`MPI_Ibarrier`): the returned request
+    /// completes once every rank has entered the barrier.
+    fn ibarrier(&self) -> MpiResult<TypedRequest<'static>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Ibarrier");
+        let id = comm.env.engine.lock().ibarrier(comm.handle)?;
+        Ok(TypedRequest::new(Request::coll(
+            Arc::clone(&comm.env),
+            id,
+            None,
+        )))
+    }
+
+    /// Nonblocking broadcast (`MPI_Ibcast`): the root's slice contents
+    /// are captured at call time; every rank's `buf` holds them on
+    /// completion. Every rank passes a buffer of the same length.
+    fn ibroadcast<'buf, T: BufferElement>(
+        &self,
+        buf: &'buf mut [T],
+        root: usize,
+    ) -> MpiResult<TypedRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Ibcast");
+        let mut engine = comm.env.engine.lock();
+        let payload = if engine.comm_rank(comm.handle)? == root {
+            slice_to_bytes(buf)
+        } else {
+            Vec::new()
+        };
+        let id = engine.ibcast(comm.handle, root, payload)?;
+        drop(engine);
+        let unpack = Box::new(move |bytes: &[u8]| {
+            bytes_to_elements(buf, 0, bytes);
+            Ok(())
+        });
+        Ok(TypedRequest::new(Request::coll(
+            Arc::clone(&comm.env),
+            id,
+            Some(unpack),
+        )))
+    }
+
+    /// Nonblocking reduction to the root (`MPI_Ireduce`); non-root
+    /// ranks' `recv` slices are left untouched.
+    fn ireduce_into<'buf, T: BufferElement>(
+        &self,
+        send: &[T],
+        recv: &'buf mut [T],
+        op: impl Borrow<Op>,
+        root: usize,
+    ) -> MpiResult<TypedRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Ireduce");
+        let payload = slice_to_bytes(send);
+        let id = comm.env.engine.lock().ireduce(
+            comm.handle,
+            root,
+            &payload,
+            T::KIND,
+            send.len(),
+            op.borrow().engine_op(),
+        )?;
+        let unpack = Box::new(move |bytes: &[u8]| {
+            bytes_to_elements(recv, 0, bytes);
+            Ok(())
+        });
+        Ok(TypedRequest::new(Request::coll(
+            Arc::clone(&comm.env),
+            id,
+            Some(unpack),
+        )))
+    }
+
+    /// Nonblocking allreduce (`MPI_Iallreduce`): `recv` holds the full
+    /// reduction on every rank when the request completes.
+    fn iall_reduce<'buf, T: BufferElement>(
+        &self,
+        send: &[T],
+        recv: &'buf mut [T],
+        op: impl Borrow<Op>,
+    ) -> MpiResult<TypedRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Iallreduce");
+        let payload = slice_to_bytes(send);
+        let id = comm.env.engine.lock().iallreduce(
+            comm.handle,
+            &payload,
+            T::KIND,
+            send.len(),
+            op.borrow().engine_op(),
+        )?;
+        let unpack = Box::new(move |bytes: &[u8]| {
+            bytes_to_elements(recv, 0, bytes);
+            Ok(())
+        });
+        Ok(TypedRequest::new(Request::coll(
+            Arc::clone(&comm.env),
+            id,
+            Some(unpack),
+        )))
+    }
+
+    /// Nonblocking gather (`MPI_Igather`): the root's `recv` holds
+    /// `size * send.len()` elements in rank order on completion;
+    /// non-root ranks may pass an empty `recv`.
+    fn igather_into<'buf, T: BufferElement>(
+        &self,
+        send: &[T],
+        recv: &'buf mut [T],
+        root: usize,
+    ) -> MpiResult<TypedRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Igather");
+        let payload = slice_to_bytes(send);
+        let id = comm
+            .env
+            .engine
+            .lock()
+            .igather(comm.handle, root, &payload)?;
+        let unpack = Box::new(move |bytes: &[u8]| {
+            bytes_to_elements(recv, 0, bytes);
+            Ok(())
+        });
+        Ok(TypedRequest::new(Request::coll(
+            Arc::clone(&comm.env),
+            id,
+            Some(unpack),
+        )))
+    }
+
+    /// Nonblocking allgather (`MPI_Iallgather`): `recv` holds
+    /// `size * send.len()` elements in rank order on every rank.
+    fn iall_gather<'buf, T: BufferElement>(
+        &self,
+        send: &[T],
+        recv: &'buf mut [T],
+    ) -> MpiResult<TypedRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Iallgather");
+        let payload = slice_to_bytes(send);
+        let id = comm.env.engine.lock().iallgather(comm.handle, &payload)?;
+        let unpack = Box::new(move |bytes: &[u8]| {
+            bytes_to_elements(recv, 0, bytes);
+            Ok(())
+        });
+        Ok(TypedRequest::new(Request::coll(
+            Arc::clone(&comm.env),
+            id,
+            Some(unpack),
+        )))
+    }
+
+    /// Nonblocking scatter (`MPI_Iscatter`): each rank receives
+    /// `recv.len()` elements, so the root's `send` holds
+    /// `size * recv.len()` (captured at call time); non-root ranks may
+    /// pass an empty `send`.
+    fn iscatter_from<'buf, T: BufferElement>(
+        &self,
+        send: &[T],
+        recv: &'buf mut [T],
+        root: usize,
+    ) -> MpiResult<TypedRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Iscatter");
+        let mut engine = comm.env.engine.lock();
+        let size = engine.comm_size(comm.handle)?;
+        let chunks: Option<Vec<Vec<u8>>> = if engine.comm_rank(comm.handle)? == root {
+            if send.len() != size * recv.len() {
+                return Err(MPIException::new(
+                    ErrorClass::Count,
+                    format!(
+                        "iscatter_from: root send length {} is not size ({size}) * recv length ({})",
+                        send.len(),
+                        recv.len()
+                    ),
+                ));
+            }
+            let chunk_bytes = recv.len() * T::width();
+            let payload = slice_to_bytes(send);
+            Some(
+                (0..size)
+                    .map(|r| payload[r * chunk_bytes..(r + 1) * chunk_bytes].to_vec())
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let id = engine.iscatter(comm.handle, root, chunks.as_deref())?;
+        drop(engine);
+        let unpack = Box::new(move |bytes: &[u8]| {
+            bytes_to_elements(recv, 0, bytes);
+            Ok(())
+        });
+        Ok(TypedRequest::new(Request::coll(
+            Arc::clone(&comm.env),
+            id,
+            Some(unpack),
+        )))
     }
 
     // ------------------------------------------------------------------

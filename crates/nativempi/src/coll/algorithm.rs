@@ -73,11 +73,39 @@ impl CollAlgorithm {
     }
 
     /// Read the [`COLL_ALG_ENV`] override from the process environment.
-    /// Unset, empty, `auto`, or an unrecognized value mean "no override".
+    /// Unset, empty or `auto` mean "no override"; an unrecognized value
+    /// is rejected *loudly* — a warning on stderr naming the accepted
+    /// values — and falls back to the tuned selection, so a typo in an
+    /// ablation run cannot silently measure the wrong algorithm.
     pub fn from_env() -> Option<CollAlgorithm> {
-        std::env::var(COLL_ALG_ENV)
-            .ok()
-            .and_then(|v| v.parse().ok())
+        match std::env::var(COLL_ALG_ENV) {
+            Ok(value) => match CollAlgorithm::parse_override(&value) {
+                Ok(choice) => choice,
+                Err(()) => {
+                    eprintln!(
+                        "warning: {COLL_ALG_ENV}={value:?} is not a recognized collective \
+                         algorithm (expected linear|tree|rd|ring|pipelined|auto); \
+                         falling back to the tuned selection"
+                    );
+                    None
+                }
+            },
+            Err(_) => None,
+        }
+    }
+
+    /// Parse an override value: `Ok(None)` for the explicit no-override
+    /// spellings (empty, `auto`), `Ok(Some(_))` for a recognized
+    /// algorithm, `Err(())` for anything else. Factored out of
+    /// [`CollAlgorithm::from_env`] so the rejection rule is unit-testable
+    /// without racing on the process environment.
+    #[allow(clippy::result_unit_err)] // mirrors the FromStr impl's unit error
+    pub fn parse_override(value: &str) -> std::result::Result<Option<CollAlgorithm>, ()> {
+        let trimmed = value.trim();
+        if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("auto") {
+            return Ok(None);
+        }
+        trimmed.parse().map(Some)
     }
 }
 
@@ -128,5 +156,30 @@ mod tests {
         assert!("auto".parse::<CollAlgorithm>().is_err());
         assert!("".parse::<CollAlgorithm>().is_err());
         assert!("quantum".parse::<CollAlgorithm>().is_err());
+    }
+
+    /// Satellite: the env-override parser distinguishes "explicitly no
+    /// override" from "unrecognized" (which `from_env` warns about and
+    /// rejects) instead of silently defaulting either way.
+    #[test]
+    fn env_override_parsing_rejects_unknown_values_explicitly() {
+        // Recognized algorithms pass through.
+        assert_eq!(
+            CollAlgorithm::parse_override("ring"),
+            Ok(Some(CollAlgorithm::Ring))
+        );
+        assert_eq!(
+            CollAlgorithm::parse_override("  Binomial-Tree  "),
+            Ok(Some(CollAlgorithm::BinomialTree))
+        );
+        // The deliberate no-override spellings.
+        assert_eq!(CollAlgorithm::parse_override(""), Ok(None));
+        assert_eq!(CollAlgorithm::parse_override("  "), Ok(None));
+        assert_eq!(CollAlgorithm::parse_override("auto"), Ok(None));
+        assert_eq!(CollAlgorithm::parse_override("AUTO"), Ok(None));
+        // Anything else is an error, not a silent default.
+        assert_eq!(CollAlgorithm::parse_override("quantum"), Err(()));
+        assert_eq!(CollAlgorithm::parse_override("treee"), Err(()));
+        assert_eq!(CollAlgorithm::parse_override("linear,ring"), Err(()));
     }
 }

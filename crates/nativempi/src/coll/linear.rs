@@ -1,7 +1,9 @@
-//! The linear (root-centric) collective algorithms — the paper-faithful
-//! baseline the seed shipped with.
+//! The linear (root-centric) collective schedules — the paper-faithful
+//! baseline the seed shipped with, re-expressed as round-based
+//! `CollSchedule`s for the nonblocking progress engine
+//! (see [`super::nb`]).
 //!
-//! Fan-in / fan-out through a single root: O(P) rounds with all traffic
+//! Fan-in / fan-out through a single root: O(P) messages with all traffic
 //! serialized at the root. With the rank counts of the paper's experiments
 //! (2–8) they are within a small constant of the tree algorithms, and the
 //! strictly sequential rank-order fold is the *reference semantics* every
@@ -9,276 +11,271 @@
 //! pattern that keeps floating `SUM`/`PROD` bit-stable, which is why the
 //! tuning layer pins those to `Linear`.
 //!
-//! These functions never dispatch back through the selector: the linear
+//! These builders never dispatch back through the selector: the linear
 //! composites (allgather = gather + bcast, reduce-scatter = reduce +
-//! scatter) call the linear primitives directly so a forced-`Linear` run
-//! is linear all the way down.
+//! scatter), assembled in the dispatch layer, call the linear builders
+//! directly so a forced-`Linear` run is linear all the way down.
 
-use super::{coll_tag, entries_to_parts, frame_entries, unframe_entries, CollOp};
-use crate::comm::CommHandle;
-use crate::error::{err, ErrorClass, Result};
+use super::frame_entries;
+use super::nb::{CollOutcome, CollSchedule, Round, SlotId, TagWindow};
+use crate::error::{err, ErrorClass};
 use crate::ops::Op;
 use crate::types::PrimitiveKind;
-use crate::Engine;
 
-impl Engine {
-    /// Linear fan-in to rank 0 followed by fan-out.
-    pub(crate) fn barrier_linear(&mut self, comm: CommHandle) -> Result<()> {
-        let rank = self.comm_rank(comm)?;
-        let size = self.comm_size(comm)?;
-        let fan_in = coll_tag(CollOp::Barrier, 0);
-        let fan_out = coll_tag(CollOp::Barrier, 1);
-        if rank == 0 {
-            for src in 1..size {
-                self.recv_collective(comm, src as i32, fan_in)?;
-            }
-            for dst in 1..size {
-                self.send_collective(comm, dst as i32, fan_out, &[])?;
-            }
-        } else {
-            self.send_collective(comm, 0, fan_in, &[])?;
-            self.recv_collective(comm, 0, fan_out)?;
+/// Linear fan-in to rank 0 followed by fan-out.
+pub(crate) fn barrier(s: &mut CollSchedule, win: TagWindow, rank: usize, size: usize) {
+    let fan_in = win.tag(0);
+    let fan_out = win.tag(1);
+    if rank == 0 {
+        let mut gather = Round::new();
+        for src in 1..size {
+            let slot = s.empty();
+            gather = gather.recv(src, fan_in, slot);
         }
-        Ok(())
-    }
-
-    /// The root sends the payload to every other rank in turn.
-    pub(crate) fn bcast_linear(
-        &mut self,
-        comm: CommHandle,
-        root: usize,
-        buf: &mut Vec<u8>,
-    ) -> Result<()> {
-        let rank = self.comm_rank(comm)?;
-        let size = self.comm_size(comm)?;
-        let tag = coll_tag(CollOp::Bcast, 0);
-        if rank == root {
-            for dst in 0..size {
-                if dst != root {
-                    self.send_collective(comm, dst as i32, tag, buf)?;
-                }
-            }
-        } else {
-            let (data, _) = self.recv_collective(comm, root as i32, tag)?;
-            *buf = data;
+        s.push(gather);
+        let signal = s.filled(Vec::new());
+        let mut release = Round::new();
+        for dst in 1..size {
+            release = release.send(dst, fan_out, signal);
         }
-        Ok(())
+        s.push(release);
+    } else {
+        let signal = s.filled(Vec::new());
+        s.push(Round::new().send(0, fan_in, signal));
+        let ack = s.empty();
+        s.push(Round::new().recv(0, fan_out, ack));
     }
+}
 
-    /// The root receives one contribution per rank, in rank order.
-    pub(crate) fn gather_linear(
-        &mut self,
-        comm: CommHandle,
-        root: usize,
-        send: &[u8],
-    ) -> Result<Option<Vec<Vec<u8>>>> {
-        let rank = self.comm_rank(comm)?;
-        let size = self.comm_size(comm)?;
-        let tag = coll_tag(CollOp::Gather, 0);
-        if rank == root {
-            let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
-            out[root] = send.to_vec();
-            #[allow(clippy::needless_range_loop)] // skip-one loop is clearest as indices
-            for src in 0..size {
-                if src != root {
-                    let (data, _) = self.recv_collective(comm, src as i32, tag)?;
-                    out[src] = data;
-                }
-            }
-            Ok(Some(out))
-        } else {
-            self.send_collective(comm, root as i32, tag, send)?;
-            Ok(None)
-        }
-    }
-
-    /// The root sends each rank its chunk in turn.
-    pub(crate) fn scatter_linear(
-        &mut self,
-        comm: CommHandle,
-        root: usize,
-        chunks: Option<&[Vec<u8>]>,
-    ) -> Result<Vec<u8>> {
-        let rank = self.comm_rank(comm)?;
-        let size = self.comm_size(comm)?;
-        let tag = coll_tag(CollOp::Scatter, 0);
-        if rank == root {
-            let chunks = chunks.expect("validated by the dispatch layer");
-            #[allow(clippy::needless_range_loop)] // skip-one loop is clearest as indices
-            for dst in 0..size {
-                if dst != root {
-                    self.send_collective(comm, dst as i32, tag, &chunks[dst])?;
-                }
-            }
-            Ok(chunks[root].clone())
-        } else {
-            let (data, _) = self.recv_collective(comm, root as i32, tag)?;
-            Ok(data)
-        }
-    }
-
-    /// Gather to rank 0, then broadcast the framed concatenation (the
-    /// per-rank buffers may have different lengths — that is what makes
-    /// this double as allgatherv).
-    pub(crate) fn allgather_linear(
-        &mut self,
-        comm: CommHandle,
-        send: &[u8],
-    ) -> Result<Vec<Vec<u8>>> {
-        let size = self.comm_size(comm)?;
-        let gathered = self.gather_linear(comm, 0, send)?;
-        let mut wire = match gathered {
-            Some(parts) => {
-                let entries: Vec<(u32, Vec<u8>)> = parts
-                    .into_iter()
-                    .enumerate()
-                    .map(|(r, p)| (r as u32, p))
-                    .collect();
-                frame_entries(&entries)
-            }
-            None => Vec::new(),
-        };
-        self.bcast_linear(comm, 0, &mut wire)?;
-        entries_to_parts(unframe_entries(&wire)?, size)
-    }
-
-    /// Posted pairwise exchange: every receive is posted before any send,
-    /// then everything completes.
-    pub(crate) fn alltoall_linear(
-        &mut self,
-        comm: CommHandle,
-        chunks: &[Vec<u8>],
-    ) -> Result<Vec<Vec<u8>>> {
-        let rank = self.comm_rank(comm)?;
-        let size = self.comm_size(comm)?;
-        let tag = coll_tag(CollOp::Alltoall, 0);
-        let mut recv_reqs = Vec::with_capacity(size);
-        for src in 0..size {
-            if src != rank {
-                recv_reqs.push((
-                    src,
-                    self.irecv_on_context(comm, src as i32, tag, None, true)?,
-                ));
-            }
-        }
-        let mut send_reqs = Vec::with_capacity(size);
-        #[allow(clippy::needless_range_loop)] // skip-one loop is clearest as indices
+/// The root sends the payload (slot `data`) to every other rank; the
+/// result ends up in `data` on every rank.
+pub(crate) fn bcast(
+    s: &mut CollSchedule,
+    win: TagWindow,
+    rank: usize,
+    size: usize,
+    root: usize,
+    data: SlotId,
+) {
+    let tag = win.tag(0);
+    if rank == root {
+        let mut fan_out = Round::new();
         for dst in 0..size {
-            if dst != rank {
-                send_reqs.push(self.isend_on_context(
-                    comm,
-                    dst as i32,
-                    tag,
-                    &chunks[dst],
-                    crate::types::SendMode::Standard,
-                    true,
-                )?);
+            if dst != root {
+                fan_out = fan_out.send(dst, tag, data);
             }
         }
-        let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
-        out[rank] = chunks[rank].clone();
-        for (src, req) in recv_reqs {
-            let completion = self.wait(req)?;
-            out[src] = completion.data.map(Vec::from).unwrap_or_default();
-        }
-        for req in send_reqs {
-            self.wait(req)?;
-        }
-        Ok(out)
+        s.push(fan_out);
+    } else {
+        s.push(Round::new().recv(root, tag, data));
     }
+}
 
-    /// Collect contributions at the root and fold them strictly in rank
-    /// order — the reference fold for every other reduction algorithm.
-    pub(crate) fn reduce_linear(
-        &mut self,
-        comm: CommHandle,
-        root: usize,
-        send: &[u8],
-        kind: PrimitiveKind,
-        count: usize,
-        op: &Op,
-    ) -> Result<Option<Vec<u8>>> {
-        let rank = self.comm_rank(comm)?;
-        let size = self.comm_size(comm)?;
-        let need = kind.size() * count;
-        let tag = coll_tag(CollOp::Reduce, 0);
-        if rank == root {
+/// The root receives one contribution per rank; the returned slot holds
+/// the framed `(rank, payload)` entries of *all* ranks on the root
+/// (meaningless elsewhere). Framing carries explicit ranks, so per-rank
+/// lengths may differ (gatherv).
+pub(crate) fn gather(
+    s: &mut CollSchedule,
+    win: TagWindow,
+    rank: usize,
+    size: usize,
+    root: usize,
+    send: SlotId,
+) -> SlotId {
+    let tag = win.tag(0);
+    let out = s.empty();
+    if rank == root {
+        let mut collect = Round::new();
+        let mut sources: Vec<(usize, SlotId)> = Vec::with_capacity(size - 1);
+        for src in 0..size {
+            if src != root {
+                let slot = s.empty();
+                sources.push((src, slot));
+                collect = collect.recv(src, tag, slot);
+            }
+        }
+        collect = collect.compute(move |ctx| {
+            let mut entries: Vec<(u32, Vec<u8>)> = Vec::with_capacity(size);
+            entries.push((root as u32, ctx.take(send)?));
+            for (src, slot) in sources {
+                entries.push((src as u32, ctx.take(slot)?));
+            }
+            ctx.put(out, frame_entries(&entries));
+            Ok(())
+        });
+        s.push(collect);
+    } else {
+        s.push(Round::new().send(root, tag, send));
+    }
+    out
+}
+
+/// The root sends each rank the contents of its per-destination slot
+/// (`dest_slots`, rank order, filled at build time or by an earlier
+/// compute); every rank's chunk lands in `out`.
+pub(crate) fn scatter(
+    s: &mut CollSchedule,
+    win: TagWindow,
+    rank: usize,
+    size: usize,
+    root: usize,
+    dest_slots: Option<Vec<SlotId>>,
+    out: SlotId,
+) {
+    let tag = win.tag(0);
+    if rank == root {
+        let dest_slots = dest_slots.expect("validated by the dispatch layer");
+        debug_assert_eq!(dest_slots.len(), size);
+        let own = dest_slots[root];
+        let mut fan_out = Round::new();
+        for (dst, &slot) in dest_slots.iter().enumerate() {
+            if dst != root {
+                fan_out = fan_out.send(dst, tag, slot);
+            }
+        }
+        fan_out = fan_out.compute(move |ctx| {
+            let chunk = ctx.take(own)?;
+            ctx.put(out, chunk);
+            Ok(())
+        });
+        s.push(fan_out);
+    } else {
+        s.push(Round::new().recv(root, tag, out));
+    }
+}
+
+/// Posted pairwise exchange: every receive is posted before any send
+/// (one round), then the transposed chunks are assembled. Sets the
+/// `Parts` outcome directly.
+pub(crate) fn alltoall(
+    s: &mut CollSchedule,
+    win: TagWindow,
+    rank: usize,
+    size: usize,
+    chunks: &[Vec<u8>],
+) {
+    let tag = win.tag(0);
+    let mut exchange = Round::new();
+    let mut sources: Vec<(usize, SlotId)> = Vec::with_capacity(size - 1);
+    for src in 0..size {
+        if src != rank {
+            let slot = s.empty();
+            sources.push((src, slot));
+            exchange = exchange.recv(src, tag, slot);
+        }
+    }
+    for (dst, chunk) in chunks.iter().enumerate() {
+        if dst != rank {
+            let slot = s.filled(chunk.clone());
+            exchange = exchange.send(dst, tag, slot);
+        }
+    }
+    let own = chunks[rank].clone();
+    exchange = exchange.compute(move |ctx| {
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
+        out[rank] = own;
+        for (src, slot) in sources {
+            out[src] = ctx.take(slot)?;
+        }
+        ctx.set_outcome(CollOutcome::Parts(out));
+        Ok(())
+    });
+    s.push(exchange);
+}
+
+/// Collect contributions at the root and fold them strictly in rank
+/// order — the reference fold for every other reduction algorithm. The
+/// returned slot holds the accumulator on the root (meaningless
+/// elsewhere).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reduce(
+    s: &mut CollSchedule,
+    win: TagWindow,
+    rank: usize,
+    size: usize,
+    root: usize,
+    send: SlotId,
+    kind: PrimitiveKind,
+    count: usize,
+    op: Op,
+) -> SlotId {
+    let tag = win.tag(0);
+    let out = s.empty();
+    if rank == root {
+        let mut collect = Round::new();
+        let mut sources: Vec<(usize, SlotId)> = Vec::with_capacity(size - 1);
+        for src in 0..size {
+            if src != root {
+                let slot = s.empty();
+                sources.push((src, slot));
+                collect = collect.recv(src, tag, slot);
+            }
+        }
+        collect = collect.compute(move |ctx| {
+            let need = kind.size() * count;
             let mut contributions: Vec<Vec<u8>> = vec![Vec::new(); size];
-            contributions[root] = send.to_vec();
-            #[allow(clippy::needless_range_loop)] // skip-one loop is clearest as indices
-            for src in 0..size {
-                if src != root {
-                    let (data, _) = self.recv_collective(comm, src as i32, tag)?;
-                    if data.len() < need {
-                        return err(ErrorClass::Count, "reduce contribution too short");
-                    }
-                    contributions[src] = data;
+            contributions[root] = ctx.take(send)?;
+            for (src, slot) in sources {
+                let data = ctx.take(slot)?;
+                if data.len() < need {
+                    return err(ErrorClass::Count, "reduce contribution too short");
                 }
+                contributions[src] = data;
             }
             let mut acc = contributions[0][..need].to_vec();
             for contribution in contributions.iter().skip(1) {
                 op.apply(&contribution[..need], &mut acc, kind, count)?;
             }
-            Ok(Some(acc))
-        } else {
-            self.send_collective(comm, root as i32, tag, send)?;
-            Ok(None)
-        }
-    }
-
-    /// Reduce the full vector at rank 0, then scatter `counts[i]`-element
-    /// segments.
-    pub(crate) fn reduce_scatter_linear(
-        &mut self,
-        comm: CommHandle,
-        send: &[u8],
-        counts: &[usize],
-        kind: PrimitiveKind,
-        op: &Op,
-    ) -> Result<Vec<u8>> {
-        let size = self.comm_size(comm)?;
-        let rank = self.comm_rank(comm)?;
-        let total: usize = counts.iter().sum();
-        let reduced = self.reduce_linear(comm, 0, send, kind, total, op)?;
-        let chunks: Option<Vec<Vec<u8>>> = reduced.map(|full| {
-            let mut out = Vec::with_capacity(size);
-            let mut cursor = 0usize;
-            for &c in counts {
-                let bytes = c * kind.size();
-                out.push(full[cursor..cursor + bytes].to_vec());
-                cursor += bytes;
-            }
-            out
+            ctx.put(out, acc);
+            Ok(())
         });
-        let my_chunk = self.scatter_linear(comm, 0, chunks.as_deref())?;
-        debug_assert_eq!(my_chunk.len(), counts[rank] * kind.size());
-        Ok(my_chunk)
+        s.push(collect);
+    } else {
+        s.push(Round::new().send(root, tag, send));
     }
+    out
+}
 
-    /// Inclusive prefix pipeline: receive the prefix of the lower ranks,
-    /// fold own contribution, pass it on.
-    pub(crate) fn scan_linear(
-        &mut self,
-        comm: CommHandle,
-        send: &[u8],
-        kind: PrimitiveKind,
-        count: usize,
-        op: &Op,
-    ) -> Result<Vec<u8>> {
-        let rank = self.comm_rank(comm)?;
-        let size = self.comm_size(comm)?;
-        let tag = coll_tag(CollOp::Scan, 0);
-        let mut acc = send.to_vec();
-        if rank > 0 {
-            let (prefix, _) = self.recv_collective(comm, (rank - 1) as i32, tag)?;
-            // acc = prefix op own  (rank order: lower ranks first)
-            let mut folded = prefix;
-            op.apply(&acc, &mut folded, kind, count)?;
-            acc = folded;
-        }
-        if rank + 1 < size {
-            self.send_collective(comm, (rank + 1) as i32, tag, &acc)?;
-        }
-        Ok(acc)
+/// Inclusive prefix pipeline: receive the prefix of the lower ranks,
+/// fold the own contribution (slot `send`), pass it on. Returns the
+/// accumulator slot.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan(
+    s: &mut CollSchedule,
+    win: TagWindow,
+    rank: usize,
+    size: usize,
+    send: SlotId,
+    kind: PrimitiveKind,
+    count: usize,
+    op: Op,
+) -> SlotId {
+    let tag = win.tag(0);
+    let acc = s.empty();
+    if rank > 0 {
+        let prefix = s.empty();
+        s.push(
+            Round::new()
+                .recv(rank - 1, tag, prefix)
+                .compute(move |ctx| {
+                    // acc = prefix op own (rank order: lower ranks first).
+                    let own = ctx.take(send)?;
+                    let mut folded = ctx.take(prefix)?;
+                    op.apply(&own, &mut folded, kind, count)?;
+                    ctx.put(acc, folded);
+                    Ok(())
+                }),
+        );
+    } else {
+        s.push(Round::new().compute(move |ctx| {
+            let own = ctx.take(send)?;
+            ctx.put(acc, own);
+            Ok(())
+        }));
     }
+    if rank + 1 < size {
+        s.push(Round::new().send(rank + 1, tag, acc));
+    }
+    acc
 }

@@ -1,13 +1,14 @@
-//! Collective operations (MPI-1.1 §4) as a pluggable algorithm subsystem.
+//! Collective operations (MPI-1.1 §4) as a pluggable algorithm subsystem
+//! with schedule-driven nonblocking execution.
 //!
 //! The seed implemented every collective as linear fan-in/fan-out through
 //! rank 0 — O(P) latency with all traffic serialized at the root. This
-//! module keeps that code as the paper-faithful baseline
-//! ([`linear`]) and adds three scalable wire patterns behind an explicit
+//! module keeps that wire pattern as the paper-faithful baseline
+//! ([`linear`]) and adds three scalable patterns behind an explicit
 //! selection layer:
 //!
 //! * [`tree`] — binomial trees for barrier / bcast / gather / scatter /
-//!   reduce (O(log P) rounds),
+//!   reduce (O(log P) levels),
 //! * [`rd`] — recursive doubling for barrier / allgather / allreduce on
 //!   power-of-two communicators,
 //! * [`ring`] — ring allgather / reduce-scatter / allreduce for large
@@ -17,14 +18,27 @@
 //!   link carries the payload exactly once; pin with
 //!   `MPIJAVA_COLL_ALG=pipelined`).
 //!
+//! Since the nonblocking-collectives work, every algorithm is expressed
+//! as a round-based **schedule** (`nb::CollSchedule`) executed by an
+//! incremental progress engine: `ibarrier` / `ibcast` / `igather` /
+//! `iscatter` / `iallgather` / `ireduce` / `iallreduce` return a
+//! [`nb::CollRequestId`] completed through [`Engine::coll_test`] /
+//! [`Engine::coll_wait`], and the classic blocking collectives are thin
+//! `start + wait` wrappers over the *same* schedules — the two paths
+//! cannot diverge, and no per-algorithm blocking send/receive loops
+//! remain. See [`nb`] for the schedule model, the progress semantics and
+//! the tag-window accounting.
+//!
 //! [`tuning`] picks an algorithm from (operation, communicator size,
 //! payload bytes, reduction-order policy); the choice can be pinned with
 //! [`CollAlgorithm`] via [`Engine::set_coll_algorithm`] or the
 //! `MPIJAVA_COLL_ALG` environment variable ([`algorithm::COLL_ALG_ENV`]).
 //! Whatever is selected, every algorithm produces byte-identical results
 //! (the cross-algorithm equivalence suite in
-//! `tests/coll_equivalence.rs` enforces it), which is why the selection
-//! consults an [`OrderPolicy`] before re-associating a reduction.
+//! `tests/coll_equivalence.rs` enforces it — including every
+//! nonblocking collective against its blocking twin), which is why the
+//! selection consults an [`OrderPolicy`] before re-associating a
+//! reduction.
 //!
 //! ## Semantics every algorithm preserves
 //!
@@ -37,23 +51,12 @@
 //!   `(rank, payload)` framing, the ring derives the owner of each block
 //!   from the round number.
 //! * Single-rank communicators return immediately without touching the
-//!   transport (no frames, no self-copies through the matching queues).
-//!
-//! ## Tag space
-//!
-//! Collective traffic runs on the communicator's private collective
-//! context, so it can never match user receives; tags are therefore free
-//! to encode *which* collective and *which* round a frame belongs to.
-//! `coll_tag` gives each [`CollOp`] a 64-tag window below the engine's
-//! reserved collective tag base (see [`crate::p2p`]), one tag per
-//! algorithm round, so multi-round tree/ring schedules cannot collide even when
-//! the same pair of ranks exchanges several frames within one collective.
-//! Rounds beyond 64 (a ring on a >64-rank communicator) wrap within the
-//! window; that is safe because wrapped frames flow between the same
-//! ordered pair and the transport is FIFO per pair.
+//!   transport (no frames, no self-copies through the matching queues);
+//!   their nonblocking requests are born complete.
 
 pub mod algorithm;
 pub mod linear;
+pub mod nb;
 pub mod pipeline;
 pub mod rd;
 pub mod ring;
@@ -61,24 +64,16 @@ pub mod tree;
 pub mod tuning;
 
 pub use algorithm::{CollAlgorithm, COLL_ALG_ENV};
+pub use nb::{CollOutcome, CollRequestId};
 pub use tuning::{CollOp, OrderPolicy};
+
+use nb::{CollSchedule, Round, SlotId};
 
 use crate::comm::CommHandle;
 use crate::error::{err, ErrorClass, MpiError, Result};
 use crate::ops::Op;
-use crate::p2p::COLLECTIVE_TAG_BASE;
-use crate::types::{PrimitiveKind, SendMode, StatusInfo};
+use crate::types::PrimitiveKind;
 use crate::Engine;
-
-/// Tags reserved per collective operation (one per round).
-pub(crate) const ROUND_SPACE: usize = 64;
-
-/// Tag for round `round` of collective `op`: a distinct window per
-/// operation, a distinct tag per round within the window. See the module
-/// docs for the wrap-around rule.
-pub(crate) fn coll_tag(op: CollOp, round: usize) -> i32 {
-    COLLECTIVE_TAG_BASE - 1 - (op as i32) * ROUND_SPACE as i32 - (round % ROUND_SPACE) as i32
-}
 
 /// Serialize `(rank, payload)` entries for the framed tree / recursive
 /// doubling data movers: `u32 n`, then per entry `u32 rank`, `u64 len`,
@@ -144,6 +139,26 @@ pub(crate) fn entries_to_parts(entries: Vec<(u32, Vec<u8>)>, size: usize) -> Res
         .ok_or_else(|| MpiError::new(ErrorClass::Intern, "missing rank in collective frame"))
 }
 
+/// Append the finalize round that publishes slot `slot` as the
+/// collective's `Buffer` outcome.
+fn finalize_buffer(s: &mut CollSchedule, slot: SlotId) {
+    s.push(Round::new().compute(move |ctx| {
+        let buffer = ctx.take(slot)?;
+        ctx.set_outcome(CollOutcome::Buffer(buffer));
+        Ok(())
+    }));
+}
+
+/// Append the finalize round that unframes slot `slot` into the
+/// rank-ordered `Parts` outcome.
+fn finalize_parts_from_frame(s: &mut CollSchedule, slot: SlotId, size: usize) {
+    s.push(Round::new().compute(move |ctx| {
+        let parts = entries_to_parts(unframe_entries(ctx.get(slot)?)?, size)?;
+        ctx.set_outcome(CollOutcome::Parts(parts));
+        Ok(())
+    }));
+}
+
 impl Engine {
     fn validate_root(&self, comm: CommHandle, root: usize) -> Result<()> {
         let size = self.comm_size(comm)?;
@@ -163,68 +178,110 @@ impl Engine {
         tuning::select(op, size, bytes, policy, self.forced_coll_alg)
     }
 
+    fn expect_buffer(outcome: CollOutcome) -> Result<Vec<u8>> {
+        match outcome {
+            CollOutcome::Buffer(b) => Ok(b),
+            _ => err(ErrorClass::Intern, "collective outcome is not a buffer"),
+        }
+    }
+
+    fn expect_parts(outcome: CollOutcome) -> Result<Vec<Vec<u8>>> {
+        match outcome {
+            CollOutcome::Parts(p) => Ok(p),
+            _ => err(
+                ErrorClass::Intern,
+                "collective outcome is not per-rank parts",
+            ),
+        }
+    }
+
     // ---------------------------------------------------------------------
-    // Entry points (validation, single-rank fast path, dispatch)
+    // Nonblocking entry points (validation, single-rank fast path,
+    // schedule construction, start)
     // ---------------------------------------------------------------------
 
-    /// `MPI_Barrier`.
-    pub fn barrier(&mut self, comm: CommHandle) -> Result<()> {
+    /// `MPI_Ibarrier`: outcome [`CollOutcome::Done`].
+    pub fn ibarrier(&mut self, comm: CommHandle) -> Result<CollRequestId> {
         self.check_live()?;
         let size = self.comm_size(comm)?;
         if size == 1 {
-            return Ok(());
+            return self.coll_immediate(CollOutcome::Done);
         }
+        let rank = self.comm_rank(comm)?;
+        let mut s = CollSchedule::new();
+        let win = self.alloc_tag_window(comm);
         match self.choose(CollOp::Barrier, size, 0, OrderPolicy::Any) {
-            CollAlgorithm::RecursiveDoubling => self.barrier_rd(comm),
-            CollAlgorithm::BinomialTree => self.barrier_tree(comm),
-            _ => self.barrier_linear(comm),
+            CollAlgorithm::RecursiveDoubling => rd::barrier(&mut s, win, rank, size),
+            CollAlgorithm::BinomialTree => tree::barrier(&mut s, win, rank, size),
+            _ => linear::barrier(&mut s, win, rank, size),
         }
+        self.coll_start(comm, s)
     }
 
-    /// `MPI_Bcast`: `buf` is the payload on the root and is overwritten on
-    /// every other rank.
-    pub fn bcast(&mut self, comm: CommHandle, root: usize, buf: &mut Vec<u8>) -> Result<()> {
+    /// `MPI_Ibcast`: `buf` is the payload on the root (ignored
+    /// elsewhere); outcome [`CollOutcome::Buffer`] with the broadcast
+    /// payload on every rank.
+    pub fn ibcast(&mut self, comm: CommHandle, root: usize, buf: Vec<u8>) -> Result<CollRequestId> {
         self.check_live()?;
         self.validate_root(comm, root)?;
         let size = self.comm_size(comm)?;
         if size == 1 {
-            return Ok(());
+            return self.coll_immediate(CollOutcome::Buffer(buf));
         }
+        let rank = self.comm_rank(comm)?;
+        let mut s = CollSchedule::new();
+        let win = self.alloc_tag_window(comm);
+        let data = if rank == root {
+            s.filled(buf)
+        } else {
+            s.empty()
+        };
         match self.choose(CollOp::Bcast, size, 0, OrderPolicy::Any) {
-            CollAlgorithm::BinomialTree => self.bcast_tree(comm, root, buf),
-            CollAlgorithm::Pipelined => self.bcast_pipelined(comm, root, buf),
-            _ => self.bcast_linear(comm, root, buf),
+            CollAlgorithm::BinomialTree => tree::bcast(&mut s, win, rank, size, root, data),
+            CollAlgorithm::Pipelined => {
+                let seg = self
+                    .segment_bytes
+                    .unwrap_or(pipeline::DEFAULT_BCAST_SEGMENT_BYTES);
+                pipeline::bcast(&mut s, win, rank, size, root, data, seg);
+            }
+            _ => linear::bcast(&mut s, win, rank, size, root, data),
         }
+        finalize_buffer(&mut s, data);
+        self.coll_start(comm, s)
     }
 
-    /// `MPI_Gather` / `MPI_Gatherv`: every rank contributes `send`; the root
-    /// receives one buffer per rank (in rank order), everyone else `None`.
-    pub fn gather(
-        &mut self,
-        comm: CommHandle,
-        root: usize,
-        send: &[u8],
-    ) -> Result<Option<Vec<Vec<u8>>>> {
+    /// `MPI_Igather` / `Igatherv`: outcome [`CollOutcome::Parts`] (rank
+    /// order) on the root, [`CollOutcome::Done`] elsewhere.
+    pub fn igather(&mut self, comm: CommHandle, root: usize, send: &[u8]) -> Result<CollRequestId> {
         self.check_live()?;
         self.validate_root(comm, root)?;
         let size = self.comm_size(comm)?;
         if size == 1 {
-            return Ok(Some(vec![send.to_vec()]));
+            return self.coll_immediate(CollOutcome::Parts(vec![send.to_vec()]));
         }
-        match self.choose(CollOp::Gather, size, 0, OrderPolicy::Any) {
-            CollAlgorithm::BinomialTree => self.gather_tree(comm, root, send),
-            _ => self.gather_linear(comm, root, send),
+        let rank = self.comm_rank(comm)?;
+        let mut s = CollSchedule::new();
+        let win = self.alloc_tag_window(comm);
+        let own = s.filled(send.to_vec());
+        let framed = match self.choose(CollOp::Gather, size, 0, OrderPolicy::Any) {
+            CollAlgorithm::BinomialTree => tree::gather(&mut s, win, rank, size, root, own),
+            _ => linear::gather(&mut s, win, rank, size, root, own),
+        };
+        if rank == root {
+            finalize_parts_from_frame(&mut s, framed, size);
         }
+        self.coll_start(comm, s)
     }
 
-    /// `MPI_Scatter` / `MPI_Scatterv`: the root supplies one buffer per rank
-    /// (`chunks`, rank order); every rank receives its own chunk.
-    pub fn scatter(
+    /// `MPI_Iscatter` / `Iscatterv`: the root supplies one buffer per
+    /// rank (`chunks`, rank order); outcome [`CollOutcome::Buffer`] with
+    /// this rank's chunk.
+    pub fn iscatter(
         &mut self,
         comm: CommHandle,
         root: usize,
         chunks: Option<&[Vec<u8>]>,
-    ) -> Result<Vec<u8>> {
+    ) -> Result<CollRequestId> {
         self.check_live()?;
         self.validate_root(comm, root)?;
         let rank = self.comm_rank(comm)?;
@@ -240,28 +297,236 @@ impl Engine {
                 );
             }
             if size == 1 {
-                return Ok(chunks[0].clone());
+                return self.coll_immediate(CollOutcome::Buffer(chunks[0].clone()));
             }
         }
+        let mut s = CollSchedule::new();
+        let win = self.alloc_tag_window(comm);
+        let out = s.empty();
         match self.choose(CollOp::Scatter, size, 0, OrderPolicy::Any) {
-            CollAlgorithm::BinomialTree => self.scatter_tree(comm, root, chunks),
-            _ => self.scatter_linear(comm, root, chunks),
+            CollAlgorithm::BinomialTree => {
+                tree::scatter(&mut s, win, rank, size, root, chunks, out)
+            }
+            _ => {
+                let dest_slots = chunks.map(|chunks| {
+                    chunks
+                        .iter()
+                        .map(|chunk| s.filled(chunk.clone()))
+                        .collect::<Vec<_>>()
+                });
+                linear::scatter(&mut s, win, rank, size, root, dest_slots, out);
+            }
         }
+        finalize_buffer(&mut s, out);
+        self.coll_start(comm, s)
+    }
+
+    /// `MPI_Iallgather` / `Iallgatherv`: outcome [`CollOutcome::Parts`]
+    /// (one buffer per rank, rank order) on every rank.
+    pub fn iallgather(&mut self, comm: CommHandle, send: &[u8]) -> Result<CollRequestId> {
+        self.check_live()?;
+        let size = self.comm_size(comm)?;
+        if size == 1 {
+            return self.coll_immediate(CollOutcome::Parts(vec![send.to_vec()]));
+        }
+        let rank = self.comm_rank(comm)?;
+        let mut s = CollSchedule::new();
+        let own = s.filled(send.to_vec());
+        match self.choose(CollOp::Allgather, size, 0, OrderPolicy::Any) {
+            CollAlgorithm::RecursiveDoubling => {
+                let win = self.alloc_tag_window(comm);
+                let framed = rd::allgather(&mut s, win, rank, size, own);
+                finalize_parts_from_frame(&mut s, framed, size);
+            }
+            CollAlgorithm::Ring => {
+                let win = self.alloc_tag_window(comm);
+                let parts = ring::allgather(&mut s, win, rank, size, own);
+                s.push(Round::new().compute(move |ctx| {
+                    let mut out = Vec::with_capacity(parts.len());
+                    for slot in parts {
+                        out.push(ctx.take(slot)?);
+                    }
+                    ctx.set_outcome(CollOutcome::Parts(out));
+                    Ok(())
+                }));
+            }
+            _ => {
+                // Linear composite: gather to rank 0, broadcast the framed
+                // concatenation (per-rank lengths may differ — that is what
+                // makes this double as allgatherv).
+                let w1 = self.alloc_tag_window(comm);
+                let w2 = self.alloc_tag_window(comm);
+                let framed = linear::gather(&mut s, w1, rank, size, 0, own);
+                linear::bcast(&mut s, w2, rank, size, 0, framed);
+                finalize_parts_from_frame(&mut s, framed, size);
+            }
+        }
+        self.coll_start(comm, s)
+    }
+
+    /// `MPI_Ireduce`: element-wise reduction of `count` elements of
+    /// `kind` with `op`, rank order; outcome [`CollOutcome::Buffer`] on
+    /// the root, [`CollOutcome::Done`] elsewhere.
+    pub fn ireduce(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<CollRequestId> {
+        self.check_live()?;
+        self.validate_root(comm, root)?;
+        let need = self.reduce_need(send, kind, count, "reduce")?;
+        let size = self.comm_size(comm)?;
+        if size == 1 {
+            return self.coll_immediate(CollOutcome::Buffer(send[..need].to_vec()));
+        }
+        let rank = self.comm_rank(comm)?;
+        let policy = tuning::order_policy(op, kind);
+        let mut s = CollSchedule::new();
+        let win = self.alloc_tag_window(comm);
+        let own = s.filled(send[..need].to_vec());
+        let out = match self.choose(CollOp::Reduce, size, need, policy) {
+            CollAlgorithm::BinomialTree => {
+                tree::reduce(&mut s, win, rank, size, root, own, kind, count, op.clone())
+            }
+            _ => linear::reduce(&mut s, win, rank, size, root, own, kind, count, op.clone()),
+        };
+        if rank == root {
+            finalize_buffer(&mut s, out);
+        }
+        self.coll_start(comm, s)
+    }
+
+    /// `MPI_Iallreduce`: outcome [`CollOutcome::Buffer`] with the full
+    /// reduction on every rank.
+    pub fn iallreduce(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<CollRequestId> {
+        self.check_live()?;
+        let need = self.reduce_need(send, kind, count, "allreduce")?;
+        let size = self.comm_size(comm)?;
+        if size == 1 {
+            return self.coll_immediate(CollOutcome::Buffer(send[..need].to_vec()));
+        }
+        let rank = self.comm_rank(comm)?;
+        let policy = tuning::order_policy(op, kind);
+        let mut s = CollSchedule::new();
+        let out = match self.choose(CollOp::Allreduce, size, need, policy) {
+            CollAlgorithm::RecursiveDoubling => {
+                let win = self.alloc_tag_window(comm);
+                let own = s.filled(send[..need].to_vec());
+                rd::allreduce(&mut s, win, rank, size, own, kind, count, op.clone())
+            }
+            CollAlgorithm::Ring => {
+                // Ring allreduce: reduce-scatter into P near-equal
+                // segments, then ring-allgather the reduced segments back
+                // — the classic bandwidth-optimal large-payload allreduce.
+                let w1 = self.alloc_tag_window(comm);
+                let w2 = self.alloc_tag_window(comm);
+                let base = count / size;
+                let extra = count % size;
+                let counts: Vec<usize> = (0..size).map(|i| base + usize::from(i < extra)).collect();
+                let segs =
+                    ring::reduce_scatter(&mut s, w1, rank, size, &send[..need], &counts, kind, op);
+                let parts = ring::allgather(&mut s, w2, rank, size, segs[rank]);
+                let joined = s.empty();
+                s.push(Round::new().compute(move |ctx| {
+                    let mut out = Vec::new();
+                    for slot in parts {
+                        out.extend_from_slice(&ctx.take(slot)?);
+                    }
+                    ctx.put(joined, out);
+                    Ok(())
+                }));
+                joined
+            }
+            CollAlgorithm::BinomialTree => {
+                let w1 = self.alloc_tag_window(comm);
+                let w2 = self.alloc_tag_window(comm);
+                let own = s.filled(send[..need].to_vec());
+                let reduced = tree::reduce(&mut s, w1, rank, size, 0, own, kind, count, op.clone());
+                tree::bcast(&mut s, w2, rank, size, 0, reduced);
+                reduced
+            }
+            // `supported` never offers Pipelined for allreduce, so only
+            // the linear composite remains.
+            CollAlgorithm::Linear | CollAlgorithm::Pipelined => {
+                let w1 = self.alloc_tag_window(comm);
+                let w2 = self.alloc_tag_window(comm);
+                let own = s.filled(send[..need].to_vec());
+                let reduced =
+                    linear::reduce(&mut s, w1, rank, size, 0, own, kind, count, op.clone());
+                linear::bcast(&mut s, w2, rank, size, 0, reduced);
+                reduced
+            }
+        };
+        finalize_buffer(&mut s, out);
+        self.coll_start(comm, s)
+    }
+
+    // ---------------------------------------------------------------------
+    // Blocking entry points: start + wait over the same schedules
+    // ---------------------------------------------------------------------
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&mut self, comm: CommHandle) -> Result<()> {
+        let req = self.ibarrier(comm)?;
+        self.coll_wait(req)?;
+        Ok(())
+    }
+
+    /// `MPI_Bcast`: `buf` is the payload on the root and is overwritten on
+    /// every other rank.
+    pub fn bcast(&mut self, comm: CommHandle, root: usize, buf: &mut Vec<u8>) -> Result<()> {
+        // Validate before taking the buffer so a rejected call leaves
+        // the caller's payload untouched.
+        self.check_live()?;
+        self.validate_root(comm, root)?;
+        let req = self.ibcast(comm, root, std::mem::take(buf))?;
+        *buf = Self::expect_buffer(self.coll_wait(req)?)?;
+        Ok(())
+    }
+
+    /// `MPI_Gather` / `MPI_Gatherv`: every rank contributes `send`; the root
+    /// receives one buffer per rank (in rank order), everyone else `None`.
+    pub fn gather(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        send: &[u8],
+    ) -> Result<Option<Vec<Vec<u8>>>> {
+        let req = self.igather(comm, root, send)?;
+        match self.coll_wait(req)? {
+            CollOutcome::Done => Ok(None),
+            outcome => Ok(Some(Self::expect_parts(outcome)?)),
+        }
+    }
+
+    /// `MPI_Scatter` / `MPI_Scatterv`: the root supplies one buffer per rank
+    /// (`chunks`, rank order); every rank receives its own chunk.
+    pub fn scatter(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        chunks: Option<&[Vec<u8>]>,
+    ) -> Result<Vec<u8>> {
+        let req = self.iscatter(comm, root, chunks)?;
+        Self::expect_buffer(self.coll_wait(req)?)
     }
 
     /// `MPI_Allgather` / `MPI_Allgatherv`: returns one buffer per rank on
     /// every rank.
     pub fn allgather(&mut self, comm: CommHandle, send: &[u8]) -> Result<Vec<Vec<u8>>> {
-        self.check_live()?;
-        let size = self.comm_size(comm)?;
-        if size == 1 {
-            return Ok(vec![send.to_vec()]);
-        }
-        match self.choose(CollOp::Allgather, size, 0, OrderPolicy::Any) {
-            CollAlgorithm::RecursiveDoubling => self.allgather_rd(comm, send),
-            CollAlgorithm::Ring => self.allgather_ring(comm, send),
-            _ => self.allgather_linear(comm, send),
-        }
+        let req = self.iallgather(comm, send)?;
+        Self::expect_parts(self.coll_wait(req)?)
     }
 
     /// Engine-internal alias used by communicator construction.
@@ -287,9 +552,14 @@ impl Engine {
         if size == 1 {
             return Ok(vec![chunks[0].clone()]);
         }
+        let rank = self.comm_rank(comm)?;
         // The posted pairwise exchange is already contention-free; no
         // alternative algorithm is implemented (see tuning table).
-        self.alltoall_linear(comm, chunks)
+        let mut s = CollSchedule::new();
+        let win = self.alloc_tag_window(comm);
+        linear::alltoall(&mut s, win, rank, size, chunks);
+        let req = self.coll_start(comm, s)?;
+        Self::expect_parts(self.coll_wait(req)?)
     }
 
     /// `MPI_Reduce`: element-wise reduction of `count` elements of `kind`
@@ -303,19 +573,10 @@ impl Engine {
         count: usize,
         op: &Op,
     ) -> Result<Option<Vec<u8>>> {
-        self.check_live()?;
-        self.validate_root(comm, root)?;
-        let need = self.reduce_need(send, kind, count, "reduce")?;
-        let size = self.comm_size(comm)?;
-        if size == 1 {
-            return Ok(Some(send[..need].to_vec()));
-        }
-        let policy = tuning::order_policy(op, kind);
-        match self.choose(CollOp::Reduce, size, need, policy) {
-            CollAlgorithm::BinomialTree => {
-                self.reduce_tree(comm, root, &send[..need], kind, count, op)
-            }
-            _ => self.reduce_linear(comm, root, &send[..need], kind, count, op),
+        let req = self.ireduce(comm, root, send, kind, count, op)?;
+        match self.coll_wait(req)? {
+            CollOutcome::Done => Ok(None),
+            outcome => Ok(Some(Self::expect_buffer(outcome)?)),
         }
     }
 
@@ -328,33 +589,8 @@ impl Engine {
         count: usize,
         op: &Op,
     ) -> Result<Vec<u8>> {
-        self.check_live()?;
-        let need = self.reduce_need(send, kind, count, "allreduce")?;
-        let size = self.comm_size(comm)?;
-        if size == 1 {
-            return Ok(send[..need].to_vec());
-        }
-        let policy = tuning::order_policy(op, kind);
-        match self.choose(CollOp::Allreduce, size, need, policy) {
-            CollAlgorithm::RecursiveDoubling => {
-                self.allreduce_rd(comm, &send[..need], kind, count, op)
-            }
-            CollAlgorithm::Ring => self.allreduce_ring(comm, &send[..need], kind, count, op),
-            CollAlgorithm::BinomialTree => {
-                let reduced = self.reduce_tree(comm, 0, &send[..need], kind, count, op)?;
-                let mut buf = reduced.unwrap_or_default();
-                self.bcast_tree(comm, 0, &mut buf)?;
-                Ok(buf)
-            }
-            // `supported` never offers Pipelined for allreduce, so only
-            // the linear composite remains.
-            CollAlgorithm::Linear | CollAlgorithm::Pipelined => {
-                let reduced = self.reduce_linear(comm, 0, &send[..need], kind, count, op)?;
-                let mut buf = reduced.unwrap_or_default();
-                self.bcast_linear(comm, 0, &mut buf)?;
-                Ok(buf)
-            }
-        }
+        let req = self.iallreduce(comm, send, kind, count, op)?;
+        Self::expect_buffer(self.coll_wait(req)?)
     }
 
     /// `MPI_Reduce_scatter`: reduce the full vector, deliver `counts[i]`
@@ -380,11 +616,52 @@ impl Engine {
         if size == 1 {
             return Ok(send[..need].to_vec());
         }
+        let rank = self.comm_rank(comm)?;
         let policy = tuning::order_policy(op, kind);
-        match self.choose(CollOp::ReduceScatter, size, need, policy) {
-            CollAlgorithm::Ring => self.reduce_scatter_ring(comm, &send[..need], counts, kind, op),
-            _ => self.reduce_scatter_linear(comm, &send[..need], counts, kind, op),
-        }
+        let mut s = CollSchedule::new();
+        let out = match self.choose(CollOp::ReduceScatter, size, need, policy) {
+            CollAlgorithm::Ring => {
+                let win = self.alloc_tag_window(comm);
+                let segs =
+                    ring::reduce_scatter(&mut s, win, rank, size, &send[..need], counts, kind, op);
+                segs[rank]
+            }
+            _ => {
+                // Linear composite: reduce the full vector at rank 0,
+                // then scatter `counts[i]`-element segments.
+                let w1 = self.alloc_tag_window(comm);
+                let w2 = self.alloc_tag_window(comm);
+                let own = s.filled(send[..need].to_vec());
+                let reduced =
+                    linear::reduce(&mut s, w1, rank, size, 0, own, kind, total, op.clone());
+                let out = s.empty();
+                if rank == 0 {
+                    let dest_slots: Vec<SlotId> = (0..size).map(|_| s.empty()).collect();
+                    let bridge_slots = dest_slots.clone();
+                    let counts = counts.to_vec();
+                    let elem = kind.size();
+                    s.push(Round::new().compute(move |ctx| {
+                        let full = ctx.take(reduced)?;
+                        let mut cursor = 0usize;
+                        for (&slot, &c) in bridge_slots.iter().zip(&counts) {
+                            let bytes = c * elem;
+                            ctx.put(slot, full[cursor..cursor + bytes].to_vec());
+                            cursor += bytes;
+                        }
+                        Ok(())
+                    }));
+                    linear::scatter(&mut s, w2, rank, size, 0, Some(dest_slots), out);
+                } else {
+                    linear::scatter(&mut s, w2, rank, size, 0, None, out);
+                }
+                out
+            }
+        };
+        finalize_buffer(&mut s, out);
+        let req = self.coll_start(comm, s)?;
+        let my_chunk = Self::expect_buffer(self.coll_wait(req)?)?;
+        debug_assert_eq!(my_chunk.len(), counts[rank] * kind.size());
+        Ok(my_chunk)
     }
 
     /// `MPI_Scan`: inclusive prefix reduction in rank order. The prefix
@@ -404,7 +681,14 @@ impl Engine {
         if size == 1 {
             return Ok(send[..need].to_vec());
         }
-        self.scan_linear(comm, &send[..need], kind, count, op)
+        let rank = self.comm_rank(comm)?;
+        let mut s = CollSchedule::new();
+        let win = self.alloc_tag_window(comm);
+        let own = s.filled(send[..need].to_vec());
+        let acc = linear::scan(&mut s, win, rank, size, own, kind, count, op.clone());
+        finalize_buffer(&mut s, acc);
+        let req = self.coll_start(comm, s)?;
+        Self::expect_buffer(self.coll_wait(req)?)
     }
 
     /// Agree on the maximum of a `u32` across the communicator (used for
@@ -436,48 +720,6 @@ impl Engine {
             );
         }
         Ok(need)
-    }
-
-    // ---------------------------------------------------------------------
-    // Shared wire helpers
-    // ---------------------------------------------------------------------
-
-    pub(crate) fn send_collective(
-        &mut self,
-        comm: CommHandle,
-        dest: i32,
-        tag: i32,
-        data: &[u8],
-    ) -> Result<()> {
-        self.send_on_context(comm, dest, tag, data, true)
-    }
-
-    pub(crate) fn recv_collective(
-        &mut self,
-        comm: CommHandle,
-        src: i32,
-        tag: i32,
-    ) -> Result<(Vec<u8>, StatusInfo)> {
-        self.recv_on_context(comm, src, tag, true)
-    }
-
-    /// Deadlock-free combined send+receive on the collective context (the
-    /// recursive-doubling exchange and the ring shift): the receive is
-    /// posted before the send starts, so two ranks exchanging
-    /// rendezvous-sized payloads cannot block on each other.
-    pub(crate) fn sendrecv_collective(
-        &mut self,
-        comm: CommHandle,
-        dest: i32,
-        src: i32,
-        tag: i32,
-        data: &[u8],
-    ) -> Result<Vec<u8>> {
-        let recv_req = self.irecv_on_context(comm, src, tag, None, true)?;
-        let send_req = self.isend_on_context(comm, dest, tag, data, SendMode::Standard, true)?;
-        let completion = self.wait(recv_req)?;
-        self.wait(send_req)?;
-        Ok(completion.data.map(Vec::from).unwrap_or_default())
     }
 }
 
@@ -830,35 +1072,6 @@ mod tests {
     }
 
     #[test]
-    fn coll_tags_stay_in_the_reserved_space_and_do_not_collide() {
-        let ops = [
-            CollOp::Barrier,
-            CollOp::Bcast,
-            CollOp::Gather,
-            CollOp::Scatter,
-            CollOp::Allgather,
-            CollOp::Alltoall,
-            CollOp::Reduce,
-            CollOp::Allreduce,
-            CollOp::ReduceScatter,
-            CollOp::Scan,
-        ];
-        let mut seen = std::collections::HashSet::new();
-        for op in ops {
-            for round in 0..ROUND_SPACE {
-                let tag = coll_tag(op, round);
-                assert!(tag <= COLLECTIVE_TAG_BASE, "{op:?} round {round}: {tag}");
-                assert!(seen.insert(tag), "collision at {op:?} round {round}");
-            }
-        }
-        // Wrap-around within the same op window is the documented rule.
-        assert_eq!(
-            coll_tag(CollOp::Allgather, 0),
-            coll_tag(CollOp::Allgather, ROUND_SPACE)
-        );
-    }
-
-    #[test]
     fn frame_helpers_round_trip() {
         let entries = vec![
             (3u32, vec![1u8, 2, 3]),
@@ -879,5 +1092,164 @@ mod tests {
         // Missing / duplicate ranks are rejected.
         assert!(entries_to_parts(vec![(0, Vec::new())], 2).is_err());
         assert!(entries_to_parts(vec![(0, Vec::new()), (0, Vec::new())], 2).is_err());
+    }
+
+    // -----------------------------------------------------------------
+    // Nonblocking entry points
+    // -----------------------------------------------------------------
+
+    /// All seven nonblocking collectives complete through `coll_wait` and
+    /// match their blocking twins' results.
+    #[test]
+    fn nonblocking_collectives_complete_via_wait() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let sum = Op::Predefined(PredefinedOp::Sum);
+
+            let req = engine.ibarrier(COMM_WORLD).unwrap();
+            assert_eq!(engine.coll_wait(req).unwrap(), CollOutcome::Done);
+
+            let buf = if rank == 1 {
+                b"nb-bcast".to_vec()
+            } else {
+                Vec::new()
+            };
+            let req = engine.ibcast(COMM_WORLD, 1, buf).unwrap();
+            assert_eq!(
+                engine.coll_wait(req).unwrap().into_buffer(),
+                b"nb-bcast".to_vec()
+            );
+
+            let req = engine.igather(COMM_WORLD, 2, &[rank as u8; 3]).unwrap();
+            let outcome = engine.coll_wait(req).unwrap();
+            if rank == 2 {
+                let parts = outcome.into_parts().unwrap();
+                assert_eq!(parts.len(), 4);
+                for (r, p) in parts.iter().enumerate() {
+                    assert_eq!(p, &vec![r as u8; 3]);
+                }
+            } else {
+                assert_eq!(outcome, CollOutcome::Done);
+            }
+
+            let chunks: Option<Vec<Vec<u8>>> = if rank == 0 {
+                Some((0..4).map(|r| vec![r as u8; r + 1]).collect())
+            } else {
+                None
+            };
+            let req = engine.iscatter(COMM_WORLD, 0, chunks.as_deref()).unwrap();
+            assert_eq!(
+                engine.coll_wait(req).unwrap().into_buffer(),
+                vec![rank as u8; rank + 1]
+            );
+
+            let req = engine.iallgather(COMM_WORLD, &[rank as u8]).unwrap();
+            let parts = engine.coll_wait(req).unwrap().into_parts().unwrap();
+            assert_eq!(parts, (0..4).map(|r| vec![r as u8]).collect::<Vec<_>>());
+
+            let req = engine
+                .ireduce(
+                    COMM_WORLD,
+                    3,
+                    &ints(&[rank as i32]),
+                    PrimitiveKind::Int,
+                    1,
+                    &sum,
+                )
+                .unwrap();
+            let outcome = engine.coll_wait(req).unwrap();
+            if rank == 3 {
+                assert_eq!(to_ints(&outcome.into_buffer()), vec![6]);
+            } else {
+                assert_eq!(outcome, CollOutcome::Done);
+            }
+
+            let req = engine
+                .iallreduce(
+                    COMM_WORLD,
+                    &ints(&[rank as i32 + 1]),
+                    PrimitiveKind::Int,
+                    1,
+                    &sum,
+                )
+                .unwrap();
+            assert_eq!(
+                to_ints(&engine.coll_wait(req).unwrap().into_buffer()),
+                vec![10]
+            );
+        })
+        .unwrap();
+    }
+
+    /// A nonblocking collective completes through non-parking `coll_test`
+    /// polling alone.
+    #[test]
+    fn nonblocking_allreduce_completes_via_test() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank() as i32;
+            let sum = Op::Predefined(PredefinedOp::Sum);
+            let req = engine
+                .iallreduce(COMM_WORLD, &ints(&[rank]), PrimitiveKind::Int, 1, &sum)
+                .unwrap();
+            let outcome = loop {
+                if let Some(outcome) = engine.coll_test(req).unwrap() {
+                    break outcome;
+                }
+                std::thread::yield_now();
+            };
+            assert_eq!(to_ints(&outcome.into_buffer()), vec![6]);
+        })
+        .unwrap();
+    }
+
+    /// Several collectives in flight concurrently on the same
+    /// communicator occupy distinct tag windows and complete in any wait
+    /// order.
+    #[test]
+    fn concurrent_collectives_in_flight_do_not_interfere() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let sum = Op::Predefined(PredefinedOp::Sum);
+            let r1 = engine
+                .iallreduce(
+                    COMM_WORLD,
+                    &ints(&[rank as i32]),
+                    PrimitiveKind::Int,
+                    1,
+                    &sum,
+                )
+                .unwrap();
+            let buf = if rank == 0 { vec![7u8; 50] } else { Vec::new() };
+            let r2 = engine.ibcast(COMM_WORLD, 0, buf).unwrap();
+            let r3 = engine.iallgather(COMM_WORLD, &[rank as u8; 2]).unwrap();
+            let r4 = engine.ibarrier(COMM_WORLD).unwrap();
+            // Complete in reverse order of issue.
+            assert_eq!(engine.coll_wait(r4).unwrap(), CollOutcome::Done);
+            let parts = engine.coll_wait(r3).unwrap().into_parts().unwrap();
+            assert_eq!(parts, (0..4).map(|r| vec![r as u8; 2]).collect::<Vec<_>>());
+            assert_eq!(engine.coll_wait(r2).unwrap().into_buffer(), vec![7u8; 50]);
+            assert_eq!(
+                to_ints(&engine.coll_wait(r1).unwrap().into_buffer()),
+                vec![6]
+            );
+        })
+        .unwrap();
+    }
+
+    /// Outstanding (unfinished, unwaited) collectives block `finalize`;
+    /// abandoned ones quiesce and leave no posted receives behind.
+    #[test]
+    fn abandoned_collectives_quiesce_before_finalize() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank() as i32;
+            let sum = Op::Predefined(PredefinedOp::Sum);
+            let req = engine
+                .iallreduce(COMM_WORLD, &ints(&[rank]), PrimitiveKind::Int, 1, &sum)
+                .unwrap();
+            engine.coll_abandon(req).unwrap();
+            assert_eq!(engine.coll_outstanding(), 0);
+            engine.finalize().unwrap();
+        })
+        .unwrap();
     }
 }

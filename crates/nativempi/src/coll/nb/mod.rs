@@ -1,0 +1,785 @@
+//! Nonblocking collectives: round-based schedules driven by an
+//! incremental progress engine.
+//!
+//! ## The schedule model
+//!
+//! Every collective algorithm in [`super`] — linear, binomial tree,
+//! recursive doubling, ring, pipelined chain — is expressed as a
+//! `CollSchedule`: an ordered list of `Round`s, each holding
+//!
+//! * **receive steps** (peer, tag, destination slot),
+//! * **send steps** (peer, tag, source slot or slot range), and
+//! * an optional **compute step** (local reduction / framing /
+//!   partitioning) that runs once every transfer of the round has
+//!   completed.
+//!
+//! Data flows between rounds through *slots* — indexed byte buffers owned
+//! by the schedule. A send posted in round *k* reads its slot at post
+//! time, so a compute in round *k−1* is how one round's result becomes
+//! the next round's payload. A compute step may also *extend* the
+//! schedule with additional rounds (inserted immediately after itself),
+//! which is how the pipelined broadcast — whose segment count is only
+//! known once the length header arrives — builds its streaming phase at
+//! run time.
+//!
+//! The same schedules back both API surfaces: a blocking collective is
+//! exactly `i<collective>()` followed by [`Engine::coll_wait`], so the
+//! blocking and nonblocking paths cannot diverge — there are no
+//! per-algorithm blocking send/receive loops left anywhere.
+//!
+//! ## Progress semantics
+//!
+//! Starting a collective posts round 0 (receives first, then sends — the
+//! deadlock-free order the blocking exchanges always used) and returns a
+//! [`CollRequestId`]. The schedule then advances only when the engine is
+//! *driven*:
+//!
+//! * [`Engine::coll_test`] — non-parking: drains the transport, advances
+//!   every in-flight schedule as far as it can go, and reports whether
+//!   this one finished;
+//! * [`Engine::coll_wait`] — blocks on the transport between advances
+//!   until this schedule finishes;
+//! * **background progress hook**: every blocking engine entry point
+//!   (`wait`, `wait_any`, `wait_some`, `probe`, and their `test`
+//!   counterparts) also advances all in-flight collective schedules, so
+//!   a rank blocked in unrelated point-to-point traffic still makes
+//!   collective progress for its peers.
+//!
+//! Advancing is strictly non-parking: completed transfers are harvested
+//! with the engine's non-blocking `is_complete`/`take_completion`
+//! machinery, computes run, and the next round is posted; the first
+//! still-pending transfer stops the sweep. A rank that stops testing
+//! simply holds its collectives where they are — exactly the progress
+//! rule of real MPI nonblocking collectives without an async progress
+//! thread.
+//!
+//! ## Tag-window accounting
+//!
+//! Collective traffic runs on the communicator's private collective
+//! context, so tags are free to encode *which* collective and *which*
+//! round a frame belongs to. Every schedule (and every phase of a
+//! composite schedule, e.g. the reduce and bcast halves of a tree
+//! allreduce) allocates a fresh `TagWindow` of `ROUND_SPACE`
+//! consecutive tags from a per-communicator sequence counter. MPI
+//! requires every rank to issue collectives on a communicator in the
+//! same order, so the counters stay symmetric without communication, and
+//! concurrent nonblocking collectives occupy *distinct* windows — their
+//! frames can never match each other. Windows recycle after
+//! `NUM_TAG_WINDOWS` collectives and rounds beyond `ROUND_SPACE`
+//! wrap within their window; both reuses are safe because by then the
+//! frames flow between the same ordered rank pair in the same order on
+//! both sides, and the transport is FIFO per pair.
+
+use std::collections::VecDeque;
+
+use crate::comm::CommHandle;
+use crate::error::{err, ErrorClass, MpiError, Result};
+use crate::p2p::COLLECTIVE_TAG_BASE;
+use crate::request::RequestId;
+use crate::types::SendMode;
+use crate::Engine;
+
+/// Tags reserved per collective schedule phase (one per round).
+pub(crate) const ROUND_SPACE: usize = 64;
+
+/// Distinct tag windows before the per-communicator sequence recycles.
+pub(crate) const NUM_TAG_WINDOWS: u64 = 8192;
+
+/// A window of [`ROUND_SPACE`] consecutive engine-internal tags, private
+/// to one collective schedule phase on one communicator. See the module
+/// docs for the accounting rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TagWindow(pub(crate) u32);
+
+impl TagWindow {
+    /// The tag for logical round `round` of this window (rounds beyond
+    /// [`ROUND_SPACE`] wrap — safe per the module docs).
+    pub(crate) fn tag(self, round: usize) -> i32 {
+        COLLECTIVE_TAG_BASE
+            - 1
+            - (self.0 as i32) * ROUND_SPACE as i32
+            - (round % ROUND_SPACE) as i32
+    }
+}
+
+/// Index of a schedule-owned byte buffer.
+pub(crate) type SlotId = usize;
+
+/// Where a send step takes its payload from, resolved at post time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SendData {
+    /// The whole contents of a slot.
+    Slot(SlotId),
+    /// A sub-range `[start, end)` of a slot (the pipelined broadcast's
+    /// segments, avoiding a per-segment copy at the root).
+    SlotRange(SlotId, usize, usize),
+}
+
+/// One posted send of a round.
+#[derive(Debug)]
+pub(crate) struct SendStep {
+    pub peer: usize,
+    pub tag: i32,
+    pub data: SendData,
+}
+
+/// One posted receive of a round; the arrived payload lands in `slot`.
+#[derive(Debug)]
+pub(crate) struct RecvStep {
+    pub peer: usize,
+    pub tag: i32,
+    pub slot: SlotId,
+}
+
+/// A local computation that runs once all transfers of its round have
+/// completed. It may read/write slots, set the final outcome, and extend
+/// the schedule with further rounds.
+pub(crate) type ComputeFn = Box<dyn FnOnce(&mut SchedCtx<'_>) -> Result<()> + Send>;
+
+/// One round of a schedule: receives are posted before sends (the
+/// deadlock-free exchange order), the compute runs after everything in
+/// the round has completed.
+#[derive(Default)]
+pub(crate) struct Round {
+    pub recvs: Vec<RecvStep>,
+    pub sends: Vec<SendStep>,
+    pub compute: Option<ComputeFn>,
+}
+
+impl Round {
+    pub(crate) fn new() -> Round {
+        Round::default()
+    }
+
+    pub(crate) fn recv(mut self, peer: usize, tag: i32, slot: SlotId) -> Round {
+        self.recvs.push(RecvStep { peer, tag, slot });
+        self
+    }
+
+    pub(crate) fn send(mut self, peer: usize, tag: i32, slot: SlotId) -> Round {
+        self.sends.push(SendStep {
+            peer,
+            tag,
+            data: SendData::Slot(slot),
+        });
+        self
+    }
+
+    pub(crate) fn send_range(
+        mut self,
+        peer: usize,
+        tag: i32,
+        slot: SlotId,
+        start: usize,
+        end: usize,
+    ) -> Round {
+        self.sends.push(SendStep {
+            peer,
+            tag,
+            data: SendData::SlotRange(slot, start, end),
+        });
+        self
+    }
+
+    pub(crate) fn compute(
+        mut self,
+        f: impl FnOnce(&mut SchedCtx<'_>) -> Result<()> + Send + 'static,
+    ) -> Round {
+        self.compute = Some(Box::new(f));
+        self
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.recvs.is_empty() && self.sends.is_empty() && self.compute.is_none()
+    }
+}
+
+/// What a completed collective delivers (see the per-operation docs in
+/// [`crate::coll`] for which variant each operation produces).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollOutcome {
+    /// Nothing to deliver (barrier; non-root ranks of rooted operations).
+    Done,
+    /// A single result buffer (bcast, scatter, reduce at the root,
+    /// allreduce, reduce-scatter, scan).
+    Buffer(Vec<u8>),
+    /// One buffer per rank, in rank order (gather at the root, allgather,
+    /// alltoall).
+    Parts(Vec<Vec<u8>>),
+}
+
+impl CollOutcome {
+    /// The single result buffer; `Done` yields an empty buffer.
+    pub fn into_buffer(self) -> Vec<u8> {
+        match self {
+            CollOutcome::Buffer(b) => b,
+            CollOutcome::Done => Vec::new(),
+            CollOutcome::Parts(parts) => parts.into_iter().flatten().collect(),
+        }
+    }
+
+    /// The per-rank buffers of a gather-family result, if any.
+    pub fn into_parts(self) -> Option<Vec<Vec<u8>>> {
+        match self {
+            CollOutcome::Parts(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// The mutable view a compute step gets: the slots, the outcome cell and
+/// the extension queue (rounds inserted immediately after this compute).
+pub(crate) struct SchedCtx<'a> {
+    slots: &'a mut Vec<Option<Vec<u8>>>,
+    outcome: &'a mut Option<CollOutcome>,
+    extension: &'a mut Vec<Round>,
+}
+
+impl SchedCtx<'_> {
+    /// Take the contents of a slot (errors if it was never filled — a
+    /// schedule bug, not a user error).
+    pub(crate) fn take(&mut self, slot: SlotId) -> Result<Vec<u8>> {
+        self.slots
+            .get_mut(slot)
+            .and_then(Option::take)
+            .ok_or_else(|| MpiError::new(ErrorClass::Intern, "collective schedule slot is empty"))
+    }
+
+    /// Borrow the contents of a slot.
+    pub(crate) fn get(&self, slot: SlotId) -> Result<&[u8]> {
+        self.slots
+            .get(slot)
+            .and_then(|s| s.as_deref())
+            .ok_or_else(|| MpiError::new(ErrorClass::Intern, "collective schedule slot is empty"))
+    }
+
+    /// Mutably borrow the contents of a slot.
+    pub(crate) fn get_mut(&mut self, slot: SlotId) -> Result<&mut Vec<u8>> {
+        self.slots
+            .get_mut(slot)
+            .and_then(|s| s.as_mut())
+            .ok_or_else(|| MpiError::new(ErrorClass::Intern, "collective schedule slot is empty"))
+    }
+
+    /// (Re)fill a slot.
+    pub(crate) fn put(&mut self, slot: SlotId, data: Vec<u8>) {
+        self.slots[slot] = Some(data);
+    }
+
+    /// Allocate a fresh slot at run time (dynamic schedule extension).
+    pub(crate) fn alloc(&mut self, data: Option<Vec<u8>>) -> SlotId {
+        self.slots.push(data);
+        self.slots.len() - 1
+    }
+
+    /// Record the collective's final result.
+    pub(crate) fn set_outcome(&mut self, outcome: CollOutcome) {
+        *self.outcome = Some(outcome);
+    }
+
+    /// Append a round to run immediately after this compute (before any
+    /// round that was already queued behind it). Multiple pushes keep
+    /// their relative order.
+    pub(crate) fn push_round(&mut self, round: Round) {
+        self.extension.push(round);
+    }
+}
+
+/// An executable collective: rounds plus the slot store they operate on.
+/// Built by the algorithm modules, run by the engine's progress driver.
+#[derive(Default)]
+pub(crate) struct CollSchedule {
+    pub(crate) rounds: VecDeque<Round>,
+    pub(crate) slots: Vec<Option<Vec<u8>>>,
+    pub(crate) outcome: Option<CollOutcome>,
+}
+
+impl CollSchedule {
+    pub(crate) fn new() -> CollSchedule {
+        CollSchedule::default()
+    }
+
+    /// Allocate an empty slot (filled later by a receive or a compute).
+    pub(crate) fn empty(&mut self) -> SlotId {
+        self.slots.push(None);
+        self.slots.len() - 1
+    }
+
+    /// Allocate a slot pre-filled with `data`.
+    pub(crate) fn filled(&mut self, data: Vec<u8>) -> SlotId {
+        self.slots.push(Some(data));
+        self.slots.len() - 1
+    }
+
+    /// Pre-fill an existing slot.
+    pub(crate) fn fill(&mut self, slot: SlotId, data: Vec<u8>) {
+        self.slots[slot] = Some(data);
+    }
+
+    /// Length of a pre-filled slot (0 if empty) — used by builders whose
+    /// wire structure depends on the local payload size (the pipelined
+    /// broadcast root).
+    pub(crate) fn len_of(&self, slot: SlotId) -> usize {
+        self.slots
+            .get(slot)
+            .and_then(|s| s.as_ref())
+            .map_or(0, Vec::len)
+    }
+
+    /// Append a round, dropping empty ones.
+    pub(crate) fn push(&mut self, round: Round) {
+        if !round.is_empty() {
+            self.rounds.push_back(round);
+        }
+    }
+}
+
+/// Handle to an in-flight nonblocking collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CollRequestId(pub(crate) u64);
+
+/// One transfer of the current round still in flight.
+enum Flight {
+    Send(RequestId),
+    Recv(RequestId, SlotId),
+}
+
+/// Engine-side state of one in-flight collective schedule.
+pub(crate) struct NbColl {
+    comm: CommHandle,
+    schedule: CollSchedule,
+    in_flight: Vec<Flight>,
+    /// Compute of the round whose transfers are in flight.
+    pending_compute: Option<ComputeFn>,
+    /// All rounds ran (or the schedule failed); the outcome or error is
+    /// ready to be claimed.
+    finished: bool,
+    /// A drive error (malformed frame, failed compute): held for the
+    /// owner to claim through `coll_test`/`coll_wait` instead of leaking
+    /// out of whichever unrelated call happened to drive progress. The
+    /// failed schedule is quiesced (rounds dropped, in-flight receives
+    /// withdrawn) so it cannot corrupt later rounds or block finalize
+    /// forever.
+    failed: Option<MpiError>,
+}
+
+impl Engine {
+    /// Allocate the next tag window of `comm`'s collective sequence (see
+    /// the module docs). Every rank calls collectives in the same order,
+    /// so the allocation is symmetric without communication.
+    pub(crate) fn alloc_tag_window(&mut self, comm: CommHandle) -> TagWindow {
+        let seq = self.coll_seqs.entry(comm).or_insert(0);
+        let window = (*seq % NUM_TAG_WINDOWS) as u32;
+        *seq += 1;
+        TagWindow(window)
+    }
+
+    /// Register a schedule and start it: round 0 is posted immediately
+    /// (and any rounds that can already complete, e.g. local computes,
+    /// run to exhaustion).
+    pub(crate) fn coll_start(
+        &mut self,
+        comm: CommHandle,
+        schedule: CollSchedule,
+    ) -> Result<CollRequestId> {
+        let id = self.next_request;
+        self.next_request += 1;
+        let mut state = NbColl {
+            comm,
+            schedule,
+            in_flight: Vec::new(),
+            pending_compute: None,
+            finished: false,
+            failed: None,
+        };
+        if let Err(error) = self.drive_nb(&mut state) {
+            self.fail_nb(&mut state, error);
+        }
+        self.coll_requests.insert(id, state);
+        Ok(CollRequestId(id))
+    }
+
+    /// A collective that is already complete at start (single-rank
+    /// communicators — no frames, no schedule).
+    pub(crate) fn coll_immediate(&mut self, outcome: CollOutcome) -> Result<CollRequestId> {
+        let id = self.next_request;
+        self.next_request += 1;
+        let schedule = CollSchedule {
+            outcome: Some(outcome),
+            ..CollSchedule::new()
+        };
+        self.coll_requests.insert(
+            id,
+            NbColl {
+                comm: crate::comm::COMM_SELF,
+                schedule,
+                in_flight: Vec::new(),
+                pending_compute: None,
+                finished: true,
+                failed: None,
+            },
+        );
+        Ok(CollRequestId(id))
+    }
+
+    /// Quiesce a schedule that can no longer make progress: withdraw its
+    /// in-flight transfers, drop its remaining rounds, and park the
+    /// error for the owner to claim. The request stays claimable (so
+    /// `coll_wait` reports the failure) and no posted receive leaks.
+    fn fail_nb(&mut self, st: &mut NbColl, error: MpiError) {
+        for flight in st.in_flight.drain(..) {
+            let req = match flight {
+                Flight::Send(r) | Flight::Recv(r, _) => r,
+            };
+            let _ = self.request_free(req);
+        }
+        st.schedule.rounds.clear();
+        st.pending_compute = None;
+        st.finished = true;
+        st.failed = Some(error);
+    }
+
+    /// Advance one schedule as far as it can go without blocking.
+    fn drive_nb(&mut self, st: &mut NbColl) -> Result<()> {
+        loop {
+            if st.finished {
+                return Ok(());
+            }
+            // Harvest completed transfers of the round in flight.
+            let mut i = 0;
+            while i < st.in_flight.len() {
+                let req = match st.in_flight[i] {
+                    Flight::Send(r) | Flight::Recv(r, _) => r,
+                };
+                if self.is_complete(req)? {
+                    let flight = st.in_flight.swap_remove(i);
+                    let completion = self.take_completion(req)?;
+                    if let Flight::Recv(_, slot) = flight {
+                        // `Vec::from(Bytes)` moves the transport buffer
+                        // when it is uniquely owned (the common case).
+                        let data = completion.data.map(Vec::from).unwrap_or_default();
+                        st.schedule.slots[slot] = Some(data);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            if !st.in_flight.is_empty() {
+                return Ok(()); // blocked on the transport
+            }
+            // The round's transfers are done: run its compute (which may
+            // extend the schedule with rounds that run next).
+            if let Some(compute) = st.pending_compute.take() {
+                let mut extension = Vec::new();
+                let mut ctx = SchedCtx {
+                    slots: &mut st.schedule.slots,
+                    outcome: &mut st.schedule.outcome,
+                    extension: &mut extension,
+                };
+                compute(&mut ctx)?;
+                for round in extension.into_iter().rev() {
+                    if !round.is_empty() {
+                        st.schedule.rounds.push_front(round);
+                    }
+                }
+            }
+            match st.schedule.rounds.pop_front() {
+                Some(round) => self.post_round(st, round)?,
+                None => {
+                    st.finished = true;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Post one round: receives first, then sends (the deadlock-free
+    /// order the blocking exchanges always used).
+    fn post_round(&mut self, st: &mut NbColl, mut round: Round) -> Result<()> {
+        for r in round.recvs.drain(..) {
+            let req = self.irecv_on_context(st.comm, r.peer as i32, r.tag, None, true)?;
+            st.in_flight.push(Flight::Recv(req, r.slot));
+        }
+        for s in round.sends.drain(..) {
+            let req = {
+                let payload: &[u8] = match s.data {
+                    SendData::Slot(slot) => {
+                        st.schedule.slots[slot].as_deref().ok_or_else(|| {
+                            MpiError::new(ErrorClass::Intern, "collective send from empty slot")
+                        })?
+                    }
+                    SendData::SlotRange(slot, start, end) => {
+                        let full = st.schedule.slots[slot].as_deref().ok_or_else(|| {
+                            MpiError::new(ErrorClass::Intern, "collective send from empty slot")
+                        })?;
+                        full.get(start..end).ok_or_else(|| {
+                            MpiError::new(ErrorClass::Intern, "collective send range out of bounds")
+                        })?
+                    }
+                };
+                // The slot borrow and the engine borrow are disjoint
+                // (`st` was taken out of the engine's map); the payload
+                // is staged exactly once inside `isend_on_context`.
+                self.isend_on_context(
+                    st.comm,
+                    s.peer as i32,
+                    s.tag,
+                    payload,
+                    SendMode::Standard,
+                    true,
+                )?
+            };
+            st.in_flight.push(Flight::Send(req));
+        }
+        st.pending_compute = round.compute.take();
+        Ok(())
+    }
+
+    /// Advance every in-flight collective schedule as far as possible
+    /// without blocking — the engine's background progress hook, called
+    /// from every blocking/polling entry point.
+    pub(crate) fn nb_progress(&mut self) -> Result<()> {
+        if self.coll_requests.is_empty() {
+            return Ok(());
+        }
+        let ids: Vec<u64> = self.coll_requests.keys().copied().collect();
+        for id in ids {
+            if let Some(mut st) = self.coll_requests.remove(&id) {
+                if let Err(error) = self.drive_nb(&mut st) {
+                    // Contain the failure in the schedule's own state:
+                    // the *owner* sees it on its next test/wait; the
+                    // unrelated call that happened to drive progress
+                    // proceeds untouched.
+                    self.fail_nb(&mut st, error);
+                }
+                self.coll_requests.insert(id, st);
+            }
+        }
+        Ok(())
+    }
+
+    fn coll_take_done(&mut self, req: CollRequestId) -> Result<Option<CollOutcome>> {
+        match self.coll_requests.get(&req.0) {
+            None => err(
+                ErrorClass::Request,
+                format!("unknown collective request {req:?}"),
+            ),
+            Some(st) if st.finished => {
+                let st = self.coll_requests.remove(&req.0).expect("checked above");
+                match st.failed {
+                    Some(error) => Err(error),
+                    None => Ok(Some(st.schedule.outcome.unwrap_or(CollOutcome::Done))),
+                }
+            }
+            Some(_) => Ok(None),
+        }
+    }
+
+    /// True when [`Engine::coll_wait`] would return without blocking.
+    /// Does not drive progress.
+    pub fn coll_is_complete(&self, req: CollRequestId) -> Result<bool> {
+        match self.coll_requests.get(&req.0) {
+            Some(st) => Ok(st.finished),
+            None => err(
+                ErrorClass::Request,
+                format!("unknown collective request {req:?}"),
+            ),
+        }
+    }
+
+    /// Non-parking test of a nonblocking collective: drains the
+    /// transport, advances every in-flight schedule, and returns the
+    /// outcome if this one completed. The request is consumed on
+    /// completion.
+    pub fn coll_test(&mut self, req: CollRequestId) -> Result<Option<CollOutcome>> {
+        while let Some(frame) = self.endpoint.try_recv()? {
+            self.on_frame(frame)?;
+        }
+        self.nb_progress()?;
+        self.coll_take_done(req)
+    }
+
+    /// Drive the engine until the collective completes, returning its
+    /// outcome (`MPI_Wait` for collective requests).
+    pub fn coll_wait(&mut self, req: CollRequestId) -> Result<CollOutcome> {
+        loop {
+            while let Some(frame) = self.endpoint.try_recv()? {
+                self.on_frame(frame)?;
+            }
+            self.nb_progress()?;
+            if let Some(outcome) = self.coll_take_done(req)? {
+                return Ok(outcome);
+            }
+            if self.aborted {
+                return err(ErrorClass::Aborted, "job aborted while waiting");
+            }
+            let frame = self.endpoint.recv()?;
+            self.on_frame(frame)?;
+        }
+    }
+
+    /// Park until one more frame arrives, process it, and advance every
+    /// in-flight collective schedule — the blocking-progress primitive
+    /// for binding-layer waits over mixed point-to-point/collective
+    /// request batches (anything still pending after a full poll is
+    /// waiting on remote frames, so blocking here cannot deadlock).
+    pub fn progress_wait(&mut self) -> Result<()> {
+        if self.aborted {
+            return err(ErrorClass::Aborted, "job aborted while waiting");
+        }
+        let frame = self.endpoint.recv()?;
+        self.on_frame(frame)?;
+        self.nb_progress()
+    }
+
+    /// Release a collective request without inspecting its result: the
+    /// schedule is still driven to completion (a collective cannot be
+    /// withdrawn — every rank participates), then discarded. This is the
+    /// quiesce path behind dropping an unfinished collective handle: no
+    /// deadlock, no leaked posted receives.
+    pub fn coll_abandon(&mut self, req: CollRequestId) -> Result<()> {
+        self.coll_wait(req).map(|_| ())
+    }
+
+    /// Wait for every request of a batch, collective or not mixed at the
+    /// binding layer — this engine-level variant takes collective ids
+    /// only; heterogeneous batches are sequenced by the binding.
+    pub fn coll_wait_all(&mut self, reqs: &[CollRequestId]) -> Result<Vec<CollOutcome>> {
+        reqs.iter().map(|&r| self.coll_wait(r)).collect()
+    }
+
+    /// Number of collective schedules currently in flight (finished but
+    /// unclaimed ones included) — used by `finalize` checks and tests.
+    pub fn coll_outstanding(&self) -> usize {
+        self.coll_requests
+            .values()
+            .filter(|st| !st.finished)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::COMM_WORLD;
+    use crate::universe::Universe;
+    use mpi_transport::DeviceKind;
+
+    #[test]
+    fn tag_windows_do_not_collide_and_stay_reserved() {
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..64u32 {
+            for round in 0..ROUND_SPACE {
+                let tag = TagWindow(w).tag(round);
+                assert!(
+                    tag <= COLLECTIVE_TAG_BASE,
+                    "window {w} round {round}: {tag}"
+                );
+                assert!(seen.insert(tag), "collision at window {w} round {round}");
+            }
+        }
+        // Wrap-around within a window is the documented rule.
+        assert_eq!(TagWindow(3).tag(0), TagWindow(3).tag(ROUND_SPACE));
+        // The deepest window still sits in the engine-reserved space.
+        let deepest = TagWindow((NUM_TAG_WINDOWS - 1) as u32).tag(ROUND_SPACE - 1);
+        assert!(deepest <= COLLECTIVE_TAG_BASE);
+        assert!(deepest > i32::MIN / 2, "tag space must not overflow");
+    }
+
+    #[test]
+    fn tag_window_allocation_is_sequential_per_comm() {
+        Universe::run(1, DeviceKind::ShmFast, |engine| {
+            let a = engine.alloc_tag_window(COMM_WORLD);
+            let b = engine.alloc_tag_window(COMM_WORLD);
+            let c = engine.alloc_tag_window(crate::comm::COMM_SELF);
+            assert_ne!(a.0, b.0);
+            // Independent sequence per communicator.
+            assert_eq!(c.0, a.0);
+        })
+        .unwrap();
+    }
+
+    /// Review regression: a rank parked in `probe()` must keep driving
+    /// its in-flight collectives (the background progress hook), or a
+    /// peer blocked in the same collective can never reach the send the
+    /// probing rank is waiting for.
+    #[test]
+    fn probe_drives_collective_progress() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let req = engine.ibarrier(COMM_WORLD).unwrap();
+            if engine.world_rank() == 0 {
+                // Parked in probe: the only way the barrier completes is
+                // the probe loop advancing the schedule.
+                let status = engine.probe(COMM_WORLD, 1, 7).unwrap();
+                assert_eq!(status.count_bytes, 2);
+                let (data, _) = engine.recv(COMM_WORLD, 1, 7, None).unwrap();
+                assert_eq!(&data[..], b"ok");
+                engine.coll_wait(req).unwrap();
+            } else {
+                // Completes the barrier first, then sends the message
+                // rank 0 is probing for.
+                engine.coll_wait(req).unwrap();
+                engine
+                    .send(COMM_WORLD, 0, 7, b"ok", crate::types::SendMode::Standard)
+                    .unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    /// Review regression: a schedule whose compute fails (here: a peer
+    /// contributing fewer reduction elements than the root expects —
+    /// erroneous usage, but it must fail *cleanly*) surfaces the error
+    /// to its owner, quiesces without leaked posted receives, and leaves
+    /// the engine fully usable.
+    #[test]
+    fn failed_schedules_quiesce_and_report_to_their_owner() {
+        use crate::ops::{Op, PredefinedOp};
+        use crate::PrimitiveKind;
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let sum = Op::Predefined(PredefinedOp::Sum);
+            let rank = engine.world_rank();
+            // Rank 0 expects 4 ints; rank 1 contributes only 1.
+            let count = if rank == 0 { 4 } else { 1 };
+            let send = vec![0u8; 4 * count];
+            let result = engine.reduce(COMM_WORLD, 0, &send, PrimitiveKind::Int, count, &sum);
+            if rank == 0 {
+                let err = result.unwrap_err();
+                assert_eq!(err.class, crate::ErrorClass::Count);
+            } else {
+                result.unwrap();
+            }
+            // The engine is still usable and nothing leaked.
+            let req = engine.ibarrier(COMM_WORLD).unwrap();
+            engine.coll_wait(req).unwrap();
+            engine.finalize().unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_collective_requests_are_rejected() {
+        Universe::run(1, DeviceKind::ShmFast, |engine| {
+            let bogus = CollRequestId(987_654);
+            assert!(engine.coll_is_complete(bogus).is_err());
+            assert!(engine.coll_test(bogus).is_err());
+            assert!(engine.coll_wait(bogus).is_err());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert_eq!(CollOutcome::Done.into_buffer(), Vec::<u8>::new());
+        assert_eq!(CollOutcome::Buffer(vec![1, 2]).into_buffer(), vec![1, 2]);
+        assert_eq!(
+            CollOutcome::Parts(vec![vec![1], vec![2]]).into_buffer(),
+            vec![1, 2]
+        );
+        assert!(CollOutcome::Done.into_parts().is_none());
+        assert_eq!(
+            CollOutcome::Parts(vec![vec![3]]).into_parts(),
+            Some(vec![vec![3]])
+        );
+    }
+}

@@ -1,4 +1,5 @@
-//! Pipelined (segmented chain) broadcast for huge payloads.
+//! Pipelined (segmented chain) broadcast for huge payloads, as a
+//! *dynamically extended* schedule (see [`super::nb`]).
 //!
 //! ## Why a chain, not the binomial tree
 //!
@@ -21,13 +22,16 @@
 //!
 //! Non-root ranks do not know the payload length up front (the engine's
 //! `bcast` buffer argument is root-sized only at the root), so the
-//! stream opens with an 8-byte length header on round 0 of the bcast tag
-//! window; the segments follow on rounds `1..`, cycling within the
-//! window (safe: the transport is FIFO per rank pair, and every segment
-//! flows between the same neighbour pair in order). A rank forwards each
-//! segment *before* appending it locally, so its successor starts
-//! receiving segment *k* while the predecessor is already pushing
-//! *k + 1* — the overlap the algorithm exists for.
+//! stream opens with an 8-byte length header on tag round 0; the
+//! segments follow on tag rounds `1..`, cycling within the window (safe:
+//! the transport is FIFO per rank pair, and every segment flows between
+//! the same neighbour pair in order). Because the segment count is only
+//! known once the header arrives, a non-root rank's schedule is built at
+//! *run time*: the header round's compute extends the schedule with the
+//! streaming rounds. Each streaming round forwards segment *k*
+//! downstream while the receive for segment *k+1* is already posted, so
+//! the successor starts receiving *k* while the predecessor pushes
+//! *k+1* — the overlap the algorithm exists for.
 //!
 //! The segment size comes from the engine's pipeline configuration
 //! (`MPIJAVA_SEGMENT_BYTES` / [`Engine::set_segment_bytes`]), falling
@@ -44,11 +48,12 @@
 //! collectives benchmark does exactly that for its pipelined-vs-tree
 //! cells. Results are byte-identical to every other bcast algorithm (the
 //! equivalence suite includes the pipelined run).
+//!
+//! [`Engine::set_segment_bytes`]: crate::Engine::set_segment_bytes
+//! [`Engine::set_coll_algorithm`]: crate::Engine::set_coll_algorithm
 
-use super::{coll_tag, CollOp, ROUND_SPACE};
-use crate::comm::CommHandle;
-use crate::error::{err, ErrorClass, Result};
-use crate::Engine;
+use super::nb::{CollSchedule, Round, SlotId, TagWindow, ROUND_SPACE};
+use crate::error::{err, ErrorClass};
 
 /// Segment size used when the engine has no explicit pipeline
 /// configuration. 32 KiB keeps eight-plus segments in flight for the
@@ -56,77 +61,109 @@ use crate::Engine;
 /// stream in per-segment overhead.
 pub const DEFAULT_BCAST_SEGMENT_BYTES: usize = 32 * 1024;
 
-impl Engine {
-    /// Pipelined segmented chain broadcast (see the module docs).
-    /// Byte-identical to [`Engine::bcast_tree`] / the linear baseline.
-    pub(crate) fn bcast_pipelined(
-        &mut self,
-        comm: CommHandle,
-        root: usize,
-        buf: &mut Vec<u8>,
-    ) -> Result<()> {
-        let rank = self.comm_rank(comm)?;
-        let size = self.comm_size(comm)?;
-        let seg = self
-            .segment_bytes
-            .unwrap_or(DEFAULT_BCAST_SEGMENT_BYTES)
-            .max(1);
+/// Tag for segment `index`: rounds 1.. of the window, cycling, never
+/// touching the header's round 0.
+fn chunk_tag(win: TagWindow, index: usize) -> i32 {
+    win.tag(1 + (index % (ROUND_SPACE - 1)))
+}
 
-        // Chain neighbours in root-relative rank order: root → root+1 →
-        // … → root-1 (wrapping), so any root costs the same.
-        let relative = (rank + size - root) % size;
-        let prev = (relative > 0).then(|| ((relative - 1 + root) % size) as i32);
-        let next = (relative + 1 < size).then(|| ((relative + 1 + root) % size) as i32);
+/// Pipelined segmented chain broadcast (see the module docs).
+/// Byte-identical to the tree / linear bcast schedules; the payload ends
+/// up in slot `data` on every rank.
+pub(crate) fn bcast(
+    s: &mut CollSchedule,
+    win: TagWindow,
+    rank: usize,
+    size: usize,
+    root: usize,
+    data: SlotId,
+    seg: usize,
+) {
+    let seg = seg.max(1);
+    // Chain neighbours in root-relative rank order: root → root+1 →
+    // … → root-1 (wrapping), so any root costs the same.
+    let relative = (rank + size - root) % size;
+    let prev = (relative > 0).then(|| (relative - 1 + root) % size);
+    let next = (relative + 1 < size).then(|| (relative + 1 + root) % size);
+    let header_tag = win.tag(0);
 
-        // Length header: downstream ranks learn the total (and therefore
-        // the segment count) before the stream starts.
-        let header_tag = coll_tag(CollOp::Bcast, 0);
-        let total = match prev {
-            None => buf.len(),
-            Some(prev) => {
-                let (header, _) = self.recv_collective(comm, prev, header_tag)?;
+    let Some(prev) = prev else {
+        // Root: total (and thus the whole schedule) is known at build
+        // time. Announce the length, then stream the segments as
+        // zero-extra-copy slices of the payload slot.
+        let total = s.len_of(data);
+        if let Some(next) = next {
+            let header = s.filled((total as u64).to_le_bytes().to_vec());
+            s.push(Round::new().send(next, header_tag, header));
+            let segments = total.div_ceil(seg);
+            for index in 0..segments {
+                let start = index * seg;
+                let end = (start + seg).min(total);
+                s.push(Round::new().send_range(next, chunk_tag(win, index), data, start, end));
+            }
+        }
+        return;
+    };
+
+    // Non-root: receive the header, then extend the schedule with the
+    // streaming rounds (count only known now).
+    let header_slot = s.empty();
+    s.push(
+        Round::new()
+            .recv(prev, header_tag, header_slot)
+            .compute(move |ctx| {
+                let header = ctx.take(header_slot)?;
                 if header.len() != 8 {
                     return err(ErrorClass::Intern, "malformed pipelined bcast header");
                 }
                 let total = u64::from_le_bytes(header[..8].try_into().unwrap()) as usize;
-                buf.clear();
-                buf.reserve_exact(total);
-                total
-            }
-        };
-        if let Some(next) = next {
-            self.send_collective(comm, next, header_tag, &(total as u64).to_le_bytes())?;
-        }
+                // Stale contents (a non-root caller's old buffer) are
+                // replaced by the assembled stream.
+                ctx.put(data, Vec::with_capacity(total));
+                let segments = total.div_ceil(seg);
+                let seg_slots: Vec<SlotId> = (0..segments).map(|_| ctx.alloc(None)).collect();
 
-        // Stream the segments: receive, forward downstream *before*
-        // appending locally, then append. Segment tags cycle through
-        // rounds 1.. of the bcast window, never touching the header's
-        // round 0.
-        let segments = total.div_ceil(seg);
-        for s in 0..segments {
-            let start = s * seg;
-            let end = (start + seg).min(total);
-            let chunk_tag = coll_tag(CollOp::Bcast, 1 + (s % (ROUND_SPACE - 1)));
-            match prev {
-                None => {
-                    if let Some(next) = next {
-                        self.send_collective(comm, next, chunk_tag, &buf[start..end])?;
-                    }
+                // Forward the header downstream; the receive for segment
+                // 0 is posted in the same round so the stream can start
+                // landing while the header travels on.
+                let mut opening = Round::new();
+                if let Some(next) = next {
+                    let fwd = ctx.alloc(Some(header));
+                    opening = opening.send(next, header_tag, fwd);
                 }
-                Some(prev) => {
-                    let (chunk, _) = self.recv_collective(comm, prev, chunk_tag)?;
-                    if chunk.len() != end - start {
-                        return err(ErrorClass::Intern, "pipelined bcast segment length skew");
-                    }
-                    if let Some(next) = next {
-                        self.send_collective(comm, next, chunk_tag, &chunk)?;
-                    }
-                    buf.extend_from_slice(&chunk);
+                if segments > 0 {
+                    opening = opening.recv(prev, chunk_tag(win, 0), seg_slots[0]);
                 }
-            }
-        }
-        Ok(())
-    }
+                ctx.push_round(opening);
+
+                for index in 0..segments {
+                    let start = index * seg;
+                    let expected = (start + seg).min(total) - start;
+                    let slot = seg_slots[index];
+                    let mut round = Round::new();
+                    // Forward segment `index` downstream *before*
+                    // appending locally…
+                    if let Some(next) = next {
+                        round = round.send(next, chunk_tag(win, index), slot);
+                    }
+                    // …while the receive for `index + 1` is already
+                    // posted (receives are posted before sends).
+                    if index + 1 < segments {
+                        round = round.recv(prev, chunk_tag(win, index + 1), seg_slots[index + 1]);
+                    }
+                    round = round.compute(move |ctx| {
+                        let chunk = ctx.take(slot)?;
+                        if chunk.len() != expected {
+                            return err(ErrorClass::Intern, "pipelined bcast segment length skew");
+                        }
+                        ctx.get_mut(data)?.extend_from_slice(&chunk);
+                        Ok(())
+                    });
+                    ctx.push_round(round);
+                }
+                Ok(())
+            }),
+    );
 }
 
 #[cfg(test)]
@@ -174,5 +211,30 @@ mod tests {
         // 96 segments > ROUND_SPACE: tags wrap within the window; the
         // per-pair FIFO keeps the stream ordered.
         pipelined_bcast_roundtrip(3, 1, 96 * 256, Some(256));
+    }
+
+    /// The nonblocking form of the pipelined bcast: the schedule extends
+    /// itself once the header arrives, driven purely by `coll_test`.
+    #[test]
+    fn nonblocking_pipelined_bcast_completes_via_test() {
+        Universe::run(3, DeviceKind::ShmFast, |engine| {
+            engine.set_coll_algorithm(Some(CollAlgorithm::Pipelined));
+            engine.set_segment_bytes(Some(512));
+            let expected: Vec<u8> = (0..20_000).map(|i| (i % 239) as u8).collect();
+            let buf = if engine.world_rank() == 0 {
+                expected.clone()
+            } else {
+                Vec::new()
+            };
+            let req = engine.ibcast(COMM_WORLD, 0, buf).unwrap();
+            let outcome = loop {
+                if let Some(outcome) = engine.coll_test(req).unwrap() {
+                    break outcome;
+                }
+                std::thread::yield_now();
+            };
+            assert_eq!(outcome.into_buffer(), expected);
+        })
+        .unwrap();
     }
 }

@@ -1,114 +1,134 @@
-//! Recursive-doubling collective algorithms for power-of-two
+//! Recursive-doubling collective schedules for power-of-two
 //! communicators: barrier, allgather and allreduce in log2(P) pairwise
-//! exchange rounds.
+//! exchange rounds (see [`super::nb`] for the schedule machinery).
 //!
-//! In round `k` every rank exchanges with `rank ^ 2^k`. After round `k`
-//! each rank holds the data (or partial reduction) of its aligned block of
-//! `2^(k+1)` ranks, so the blocks merged in each round are *adjacent* in
-//! rank order — the allreduce keeps the lower block on the left of every
-//! combine and therefore preserves operand order for non-commutative (but
-//! associative) operations, exactly like the binomial tree.
+//! In round `k` every rank exchanges with `rank ^ 2^k` — one receive and
+//! one send posted together (receive first, the deadlock-free order).
+//! After round `k` each rank holds the data (or partial reduction) of its
+//! aligned block of `2^(k+1)` ranks, so the blocks merged in each round
+//! are *adjacent* in rank order — the allreduce keeps the lower block on
+//! the left of every combine and therefore preserves operand order for
+//! non-commutative (but associative) operations, exactly like the
+//! binomial tree.
 //!
 //! Non-power-of-two communicators are rejected by the tuning layer
 //! ([`supported`](super::tuning::supported)); the dispatcher falls back to
 //! tree or ring there.
 
-use super::{coll_tag, entries_to_parts, frame_entries, unframe_entries, CollOp};
-use crate::comm::CommHandle;
-use crate::error::{err, ErrorClass, Result};
+use super::nb::{CollSchedule, Round, SlotId, TagWindow};
+use super::{frame_entries, unframe_entries};
+use crate::error::{err, ErrorClass};
 use crate::ops::Op;
 use crate::types::PrimitiveKind;
-use crate::Engine;
 
-impl Engine {
-    /// Pairwise-exchange barrier: after round `k` every rank has heard
-    /// (transitively) from its aligned block of `2^(k+1)` ranks.
-    pub(crate) fn barrier_rd(&mut self, comm: CommHandle) -> Result<()> {
-        let rank = self.comm_rank(comm)?;
-        let size = self.comm_size(comm)?;
-        debug_assert!(size.is_power_of_two());
-        let mut mask = 1usize;
-        let mut round = 0usize;
-        while mask < size {
-            let partner = (rank ^ mask) as i32;
-            self.sendrecv_collective(
-                comm,
-                partner,
-                partner,
-                coll_tag(CollOp::Barrier, round),
-                &[],
-            )?;
-            mask <<= 1;
-            round += 1;
-        }
+/// Pairwise-exchange barrier: after round `k` every rank has heard
+/// (transitively) from its aligned block of `2^(k+1)` ranks.
+pub(crate) fn barrier(s: &mut CollSchedule, win: TagWindow, rank: usize, size: usize) {
+    debug_assert!(size.is_power_of_two());
+    let mut mask = 1usize;
+    let mut round = 0usize;
+    while mask < size {
+        let partner = rank ^ mask;
+        let incoming = s.empty();
+        let signal = s.filled(Vec::new());
+        s.push(Round::new().recv(partner, win.tag(round), incoming).send(
+            partner,
+            win.tag(round),
+            signal,
+        ));
+        mask <<= 1;
+        round += 1;
+    }
+}
+
+/// Recursive-doubling allgather: each round exchanges the framed
+/// `(rank, payload)` entries accumulated so far, doubling coverage. The
+/// returned slot holds everyone's framed entries on every rank.
+pub(crate) fn allgather(
+    s: &mut CollSchedule,
+    win: TagWindow,
+    rank: usize,
+    size: usize,
+    send: SlotId,
+) -> SlotId {
+    debug_assert!(size.is_power_of_two());
+    let acc = s.empty();
+    s.push(Round::new().compute(move |ctx| {
+        let own = ctx.take(send)?;
+        ctx.put(acc, frame_entries(&[(rank as u32, own)]));
         Ok(())
+    }));
+    let mut mask = 1usize;
+    let mut round = 0usize;
+    while mask < size {
+        let partner = rank ^ mask;
+        let incoming = s.empty();
+        s.push(
+            Round::new()
+                .recv(partner, win.tag(round), incoming)
+                .send(partner, win.tag(round), acc)
+                .compute(move |ctx| {
+                    let wire = ctx.take(incoming)?;
+                    let mut entries = unframe_entries(ctx.get(acc)?)?;
+                    entries.extend(unframe_entries(&wire)?);
+                    ctx.put(acc, frame_entries(&entries));
+                    Ok(())
+                }),
+        );
+        mask <<= 1;
+        round += 1;
     }
+    acc
+}
 
-    /// Recursive-doubling allgather: each round exchanges the framed
-    /// `(rank, payload)` entries accumulated so far, doubling coverage.
-    pub(crate) fn allgather_rd(&mut self, comm: CommHandle, send: &[u8]) -> Result<Vec<Vec<u8>>> {
-        let rank = self.comm_rank(comm)?;
-        let size = self.comm_size(comm)?;
-        debug_assert!(size.is_power_of_two());
-        let mut entries: Vec<(u32, Vec<u8>)> = vec![(rank as u32, send.to_vec())];
-        let mut mask = 1usize;
-        let mut round = 0usize;
-        while mask < size {
-            let partner = (rank ^ mask) as i32;
-            let wire = self.sendrecv_collective(
-                comm,
-                partner,
-                partner,
-                coll_tag(CollOp::Allgather, round),
-                &frame_entries(&entries),
-            )?;
-            entries.extend(unframe_entries(&wire)?);
-            mask <<= 1;
-            round += 1;
-        }
-        entries_to_parts(entries, size)
+/// Recursive-doubling allreduce: each round exchanges the partial
+/// reduction of the rank's aligned block and merges it with the
+/// partner's adjacent block, lower block on the left. The returned slot
+/// holds the full reduction on every rank.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn allreduce(
+    s: &mut CollSchedule,
+    win: TagWindow,
+    rank: usize,
+    size: usize,
+    acc: SlotId,
+    kind: PrimitiveKind,
+    count: usize,
+    op: Op,
+) -> SlotId {
+    debug_assert!(size.is_power_of_two());
+    let mut mask = 1usize;
+    let mut round = 0usize;
+    while mask < size {
+        let partner = rank ^ mask;
+        let incoming = s.empty();
+        let op = op.clone();
+        s.push(
+            Round::new()
+                .recv(partner, win.tag(round), incoming)
+                .send(partner, win.tag(round), acc)
+                .compute(move |ctx| {
+                    let incoming = ctx.take(incoming)?;
+                    let current = ctx.take(acc)?;
+                    if incoming.len() != current.len() {
+                        return err(ErrorClass::Count, "allreduce partners disagree on count");
+                    }
+                    let merged = if partner < rank {
+                        // Partner's block is the lower (left) operand.
+                        let mut merged = incoming;
+                        op.apply(&current, &mut merged, kind, count)?;
+                        merged
+                    } else {
+                        let mut merged = current;
+                        op.apply(&incoming, &mut merged, kind, count)?;
+                        merged
+                    };
+                    ctx.put(acc, merged);
+                    Ok(())
+                }),
+        );
+        mask <<= 1;
+        round += 1;
     }
-
-    /// Recursive-doubling allreduce: each round exchanges the partial
-    /// reduction of the rank's aligned block and merges it with the
-    /// partner's adjacent block, lower block on the left.
-    pub(crate) fn allreduce_rd(
-        &mut self,
-        comm: CommHandle,
-        send: &[u8],
-        kind: PrimitiveKind,
-        count: usize,
-        op: &Op,
-    ) -> Result<Vec<u8>> {
-        let rank = self.comm_rank(comm)?;
-        let size = self.comm_size(comm)?;
-        debug_assert!(size.is_power_of_two());
-        let mut acc = send.to_vec();
-        let mut mask = 1usize;
-        let mut round = 0usize;
-        while mask < size {
-            let partner = rank ^ mask;
-            let incoming = self.sendrecv_collective(
-                comm,
-                partner as i32,
-                partner as i32,
-                coll_tag(CollOp::Allreduce, round),
-                &acc,
-            )?;
-            if incoming.len() != acc.len() {
-                return err(ErrorClass::Count, "allreduce partners disagree on count");
-            }
-            if partner < rank {
-                // Partner's block is the lower (left) operand.
-                let mut merged = incoming;
-                op.apply(&acc, &mut merged, kind, count)?;
-                acc = merged;
-            } else {
-                op.apply(&incoming, &mut acc, kind, count)?;
-            }
-            mask <<= 1;
-            round += 1;
-        }
-        Ok(acc)
-    }
+    acc
 }

@@ -1,5 +1,6 @@
-//! Ring collective algorithms: allgather, reduce-scatter and allreduce
-//! (reduce-scatter + allgather) for bandwidth-bound payloads.
+//! Ring collective schedules: allgather, reduce-scatter and (composed in
+//! the dispatch layer) allreduce for bandwidth-bound payloads — see
+//! [`super::nb`] for the schedule machinery.
 //!
 //! Every rank talks only to its neighbours — send to `(rank + 1) % P`,
 //! receive from `(rank - 1) % P` — and every link carries data every
@@ -13,114 +14,91 @@
 //! is `Any` — the exactly commutative-and-associative integer/bitwise
 //! operations, for which every fold order is byte-identical.
 
-use super::{coll_tag, CollOp};
-use crate::comm::CommHandle;
-use crate::error::{err, ErrorClass, Result};
+use super::nb::{CollSchedule, Round, SlotId, TagWindow};
+use crate::error::{err, ErrorClass};
 use crate::ops::Op;
 use crate::types::PrimitiveKind;
-use crate::Engine;
 
-impl Engine {
-    /// Ring allgather: round `r` shifts the block that originated at rank
-    /// `(rank - r) % P` one step around the ring. The owner of each
-    /// incoming block is implied by the round number, so per-rank lengths
-    /// may differ (allgatherv) without framing.
-    pub(crate) fn allgather_ring(&mut self, comm: CommHandle, send: &[u8]) -> Result<Vec<Vec<u8>>> {
-        let rank = self.comm_rank(comm)?;
-        let size = self.comm_size(comm)?;
-        let next = ((rank + 1) % size) as i32;
-        let prev = ((rank + size - 1) % size) as i32;
-        let mut parts: Vec<Option<Vec<u8>>> = vec![None; size];
-        parts[rank] = Some(send.to_vec());
-        for round in 0..size - 1 {
-            let send_owner = (rank + size - round) % size;
-            let recv_owner = (rank + size - round - 1) % size;
-            let outgoing = parts[send_owner]
-                .clone()
-                .expect("block owned since the previous round");
-            let incoming = self.sendrecv_collective(
-                comm,
-                next,
-                prev,
-                coll_tag(CollOp::Allgather, round),
-                &outgoing,
-            )?;
-            parts[recv_owner] = Some(incoming);
-        }
-        Ok(parts
-            .into_iter()
-            .map(|p| p.expect("all rounds ran"))
-            .collect())
+/// Ring allgather: round `r` shifts the block that originated at rank
+/// `(rank - r) % P` one step around the ring. The owner of each incoming
+/// block is implied by the round number, so per-rank lengths may differ
+/// (allgatherv) without framing. `own` is this rank's block; the
+/// returned slots hold all blocks in rank order when the schedule
+/// completes.
+pub(crate) fn allgather(
+    s: &mut CollSchedule,
+    win: TagWindow,
+    rank: usize,
+    size: usize,
+    own: SlotId,
+) -> Vec<SlotId> {
+    let next = (rank + 1) % size;
+    let prev = (rank + size - 1) % size;
+    let parts: Vec<SlotId> = (0..size)
+        .map(|owner| if owner == rank { own } else { s.empty() })
+        .collect();
+    for round in 0..size - 1 {
+        let send_owner = (rank + size - round) % size;
+        let recv_owner = (rank + size - round - 1) % size;
+        s.push(
+            Round::new()
+                .recv(prev, win.tag(round), parts[recv_owner])
+                .send(next, win.tag(round), parts[send_owner]),
+        );
     }
+    parts
+}
 
-    /// Ring reduce-scatter: segment `s` starts at rank `s + 1`, travels
-    /// once around the ring picking up every rank's contribution, and
-    /// arrives fully reduced at rank `s`. Requires an `Any`-order
-    /// operation (see module docs).
-    pub(crate) fn reduce_scatter_ring(
-        &mut self,
-        comm: CommHandle,
-        send: &[u8],
-        counts: &[usize],
-        kind: PrimitiveKind,
-        op: &Op,
-    ) -> Result<Vec<u8>> {
-        let rank = self.comm_rank(comm)?;
-        let size = self.comm_size(comm)?;
-        let next = ((rank + 1) % size) as i32;
-        let prev = ((rank + size - 1) % size) as i32;
-        let elem = kind.size();
-        // Split the local contribution into per-destination segments.
-        let mut segs: Vec<Vec<u8>> = Vec::with_capacity(size);
-        let mut cursor = 0usize;
-        for &c in counts {
-            let bytes = c * elem;
-            segs.push(send[cursor..cursor + bytes].to_vec());
-            cursor += bytes;
-        }
-        for round in 0..size - 1 {
-            let send_idx = (rank + size - 1 - round) % size;
-            let recv_idx = (rank + 2 * size - 2 - round) % size;
-            let outgoing = segs[send_idx].clone();
-            let incoming = self.sendrecv_collective(
-                comm,
-                next,
-                prev,
-                coll_tag(CollOp::ReduceScatter, round),
-                &outgoing,
-            )?;
-            if incoming.len() != segs[recv_idx].len() {
-                return err(
-                    ErrorClass::Count,
-                    "reduce_scatter partners disagree on counts",
-                );
-            }
-            op.apply(&incoming, &mut segs[recv_idx], kind, counts[recv_idx])?;
-        }
-        Ok(segs[rank].clone())
+/// Ring reduce-scatter: segment `t` starts at rank `t + 1`, travels once
+/// around the ring picking up every rank's contribution, and arrives
+/// fully reduced at rank `t`. Requires an `Any`-order operation (see the
+/// module docs). Returns the slot of this rank's reduced segment.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reduce_scatter(
+    s: &mut CollSchedule,
+    win: TagWindow,
+    rank: usize,
+    size: usize,
+    send: &[u8],
+    counts: &[usize],
+    kind: PrimitiveKind,
+    op: &Op,
+) -> Vec<SlotId> {
+    let next = (rank + 1) % size;
+    let prev = (rank + size - 1) % size;
+    let elem = kind.size();
+    // Split the local contribution into per-destination segments.
+    let mut segs: Vec<SlotId> = Vec::with_capacity(size);
+    let mut cursor = 0usize;
+    for &c in counts {
+        let bytes = c * elem;
+        segs.push(s.filled(send[cursor..cursor + bytes].to_vec()));
+        cursor += bytes;
     }
-
-    /// Ring allreduce: reduce-scatter the vector into P near-equal
-    /// segments, then ring-allgather the reduced segments back — the
-    /// classic bandwidth-optimal large-payload allreduce.
-    pub(crate) fn allreduce_ring(
-        &mut self,
-        comm: CommHandle,
-        send: &[u8],
-        kind: PrimitiveKind,
-        count: usize,
-        op: &Op,
-    ) -> Result<Vec<u8>> {
-        let size = self.comm_size(comm)?;
-        let base = count / size;
-        let extra = count % size;
-        let counts: Vec<usize> = (0..size).map(|i| base + usize::from(i < extra)).collect();
-        let mine = self.reduce_scatter_ring(comm, send, &counts, kind, op)?;
-        let parts = self.allgather_ring(comm, &mine)?;
-        let mut out = Vec::with_capacity(count * kind.size());
-        for part in parts {
-            out.extend_from_slice(&part);
-        }
-        Ok(out)
+    for round in 0..size - 1 {
+        let send_idx = (rank + size - 1 - round) % size;
+        let recv_idx = (rank + 2 * size - 2 - round) % size;
+        let incoming = s.empty();
+        let acc = segs[recv_idx];
+        let count = counts[recv_idx];
+        let op = op.clone();
+        s.push(
+            Round::new()
+                .recv(prev, win.tag(round), incoming)
+                .send(next, win.tag(round), segs[send_idx])
+                .compute(move |ctx| {
+                    let incoming = ctx.take(incoming)?;
+                    let seg = ctx.get_mut(acc)?;
+                    if incoming.len() != seg.len() {
+                        return err(
+                            ErrorClass::Count,
+                            "reduce_scatter partners disagree on counts",
+                        );
+                    }
+                    op.apply(&incoming, seg, kind, count)?;
+                    Ok(())
+                }),
+        );
     }
+    segs
 }

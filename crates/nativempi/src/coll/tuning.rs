@@ -47,9 +47,10 @@ use crate::types::PrimitiveKind;
 /// above it the all-links-busy bandwidth term wins.
 pub const RING_PAYLOAD_BYTES: usize = 16 * 1024;
 
-/// The collective operations the engine dispatches. The discriminant also
-/// keys the widened collective tag space (see `coll_tag` in the parent
-/// module).
+/// The collective operations the engine dispatches (tag windows are
+/// allocated per schedule from the per-communicator sequence counter —
+/// see [`super::nb`] — so the discriminant no longer keys the tag
+/// space).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollOp {
     Barrier,

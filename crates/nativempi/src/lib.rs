@@ -50,6 +50,7 @@ pub mod topology;
 pub mod types;
 pub mod universe;
 
+pub use coll::nb::{CollOutcome, CollRequestId};
 pub use coll::{CollAlgorithm, CollOp, COLL_ALG_ENV};
 pub use comm::{CommHandle, COMM_SELF, COMM_WORLD};
 pub use datatype::DatatypeDef;
@@ -122,7 +123,11 @@ pub struct Engine {
     /// rank installs the record, and those frames must park.
     pub(crate) freed_contexts: std::collections::HashSet<u32>,
     pub(crate) pending_rendezvous: HashMap<u64, PendingRendezvous>,
-    pub(crate) awaiting_rendezvous_data: HashMap<u64, RdvAssembly>,
+    /// Receiver-side state of granted rendezvous transfers, keyed by
+    /// `(sender world rank, sender token)` — tokens are only unique per
+    /// sender, and concurrent collectives legally have several senders
+    /// at the same token count.
+    pub(crate) awaiting_rendezvous_data: HashMap<(u32, u64), RdvAssembly>,
     pub(crate) next_token: u64,
     pub(crate) eager_threshold: usize,
     /// Segment size for pipelined large-message transfers (`None`
@@ -139,6 +144,11 @@ pub struct Engine {
     pub(crate) stats: EngineStats,
     pub(crate) keyvals: HashMap<i32, Vec<u8>>,
     pub(crate) forced_coll_alg: Option<coll::CollAlgorithm>,
+    /// In-flight nonblocking collective schedules (see [`coll::nb`]).
+    pub(crate) coll_requests: HashMap<u64, coll::nb::NbColl>,
+    /// Per-communicator collective sequence counters for tag-window
+    /// allocation (see [`coll::nb`]'s tag-window accounting).
+    pub(crate) coll_seqs: HashMap<comm::CommHandle, u64>,
 }
 
 /// Default payload size (bytes) above which standard-mode sends switch from
@@ -185,6 +195,8 @@ impl Engine {
             stats: EngineStats::default(),
             keyvals: HashMap::new(),
             forced_coll_alg: coll::CollAlgorithm::from_env(),
+            coll_requests: HashMap::new(),
+            coll_seqs: HashMap::new(),
         };
         engine.install_builtin_comms();
         engine
@@ -285,7 +297,10 @@ impl Engine {
         if self.finalized {
             return error::err(ErrorClass::NotInitialized, "finalize called twice");
         }
-        if self.posted.values().any(|q| !q.is_empty()) || !self.pending_rendezvous.is_empty() {
+        if self.posted.values().any(|q| !q.is_empty())
+            || !self.pending_rendezvous.is_empty()
+            || self.coll_outstanding() > 0
+        {
             return error::err(
                 ErrorClass::Other,
                 "finalize called with outstanding communication",

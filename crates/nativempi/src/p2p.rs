@@ -504,7 +504,7 @@ impl Engine {
                     // Grant the rendezvous; completion happens when the data
                     // frame(s) arrive.
                     self.awaiting_rendezvous_data.insert(
-                        msg.token,
+                        (msg.src_world, msg.token),
                         RdvAssembly {
                             req: req_raw,
                             received: 0,
@@ -636,48 +636,21 @@ impl Engine {
         Ok((completion.data.unwrap_or_default(), completion.status))
     }
 
-    pub(crate) fn send_on_context(
-        &mut self,
-        comm: CommHandle,
-        dest: i32,
-        tag: i32,
-        data: &[u8],
-        collective: bool,
-    ) -> Result<()> {
-        let req = self.isend_on_context(comm, dest, tag, data, SendMode::Standard, collective)?;
-        self.wait(req)?;
-        Ok(())
-    }
-
-    pub(crate) fn recv_on_context(
-        &mut self,
-        comm: CommHandle,
-        src: i32,
-        tag: i32,
-        collective: bool,
-    ) -> Result<(Vec<u8>, StatusInfo)> {
-        let req = self.irecv_on_context(comm, src, tag, None, collective)?;
-        let completion = self.wait(req)?;
-        // `Vec::from(Bytes)` reuses the transport allocation when it is
-        // uniquely owned (the common case), so this is a move, not a copy.
-        Ok((
-            completion.data.map(Vec::from).unwrap_or_default(),
-            completion.status,
-        ))
-    }
-
     // ---------------------------------------------------------------------
     // Probe
     // ---------------------------------------------------------------------
 
     /// `MPI_Iprobe`: check (without receiving) whether a matching message
-    /// has arrived.
+    /// has arrived. Also advances any in-flight nonblocking collectives
+    /// (background progress — a rank parked in a probe loop must not
+    /// stall its peers' collectives).
     pub fn iprobe(&mut self, comm: CommHandle, src: i32, tag: i32) -> Result<Option<StatusInfo>> {
         self.check_live()?;
         // Drain anything the transport already has so the probe sees it.
         while let Some(frame) = self.endpoint.try_recv()? {
             self.on_frame(frame)?;
         }
+        self.nb_progress()?;
         let context = self.comm(comm)?.context_p2p;
         let Some(queue) = self.unexpected.get(&context) else {
             return Ok(None);
@@ -875,7 +848,7 @@ impl Engine {
                     .comm_rank_of_world(posted.comm, header.src as usize)?
                     .expect("matched above") as i32;
                 self.awaiting_rendezvous_data.insert(
-                    header.token,
+                    (header.src, header.token),
                     RdvAssembly {
                         req: posted.req,
                         received: 0,
@@ -953,16 +926,16 @@ impl Engine {
     }
 
     fn on_rendezvous_data(&mut self, frame: Frame) -> Result<()> {
-        let token = frame.header.token;
+        let key = (frame.header.src, frame.header.token);
         let total = frame.header.msg_len as usize;
         let chunk = frame.payload;
 
-        let req = match self.awaiting_rendezvous_data.get(&token) {
+        let req = match self.awaiting_rendezvous_data.get(&key) {
             Some(entry) => entry.req,
             None => {
                 return err(
                     ErrorClass::Intern,
-                    format!("rendezvous data for unknown token {token}"),
+                    format!("rendezvous data for unknown sender/token {key:?}"),
                 )
             }
         };
@@ -984,7 +957,7 @@ impl Engine {
         {
             let entry = self
                 .awaiting_rendezvous_data
-                .get_mut(&token)
+                .get_mut(&key)
                 .expect("present above");
             let first = entry.received == 0;
             entry.received += chunk.len();
@@ -1009,7 +982,7 @@ impl Engine {
                 return Ok(());
             }
         }
-        self.awaiting_rendezvous_data.remove(&token);
+        self.awaiting_rendezvous_data.remove(&key);
         if live {
             let (src, tag, max_len) = match self.requests.get(&req) {
                 Some(RequestState::RecvAwaitingData { src, tag, max_len }) => {

@@ -88,8 +88,10 @@ impl Engine {
         })
     }
 
-    /// Remove a completed request and build its [`Completion`].
-    fn take_completion(&mut self, req: RequestId) -> Result<Completion> {
+    /// Remove a completed request and build its [`Completion`]. Also the
+    /// non-parking harvest primitive of the collective progress engine
+    /// ([`crate::coll::nb`]).
+    pub(crate) fn take_completion(&mut self, req: RequestId) -> Result<Completion> {
         // Persistent requests delegate to their active inner request and
         // stay alive themselves.
         if let Some(RequestState::PersistentSend { active, .. })
@@ -150,9 +152,12 @@ impl Engine {
         }
     }
 
-    /// Drive the engine until `req` is complete (`MPI_Wait`).
+    /// Drive the engine until `req` is complete (`MPI_Wait`). Also
+    /// advances any in-flight nonblocking collectives while blocked (the
+    /// background progress hook of [`crate::coll::nb`]).
     pub fn wait(&mut self, req: RequestId) -> Result<Completion> {
         loop {
+            self.nb_progress()?;
             if self.is_complete(req)? {
                 return self.take_completion(req);
             }
@@ -165,11 +170,13 @@ impl Engine {
     }
 
     /// `MPI_Test`: poll the transport once and return the completion if the
-    /// request finished.
+    /// request finished. Also advances any in-flight nonblocking
+    /// collectives (background progress).
     pub fn test(&mut self, req: RequestId) -> Result<Option<Completion>> {
         while let Some(frame) = self.endpoint.try_recv()? {
             self.on_frame(frame)?;
         }
+        self.nb_progress()?;
         if self.is_complete(req)? {
             Ok(Some(self.take_completion(req)?))
         } else {
@@ -191,6 +198,7 @@ impl Engine {
             return err(ErrorClass::Request, "wait_any on an empty request list");
         }
         loop {
+            self.nb_progress()?;
             for (i, &r) in reqs.iter().enumerate() {
                 if self.is_complete(r)? {
                     let mut completion = self.take_completion(r)?;
@@ -213,6 +221,7 @@ impl Engine {
             return Ok(Vec::new());
         }
         loop {
+            self.nb_progress()?;
             let ready = self.collect_ready(reqs)?;
             if !ready.is_empty() {
                 return Ok(ready);
@@ -231,6 +240,7 @@ impl Engine {
         while let Some(frame) = self.endpoint.try_recv()? {
             self.on_frame(frame)?;
         }
+        self.nb_progress()?;
         for &r in reqs {
             if !self.is_complete(r)? {
                 return Ok(None);
@@ -248,6 +258,7 @@ impl Engine {
         while let Some(frame) = self.endpoint.try_recv()? {
             self.on_frame(frame)?;
         }
+        self.nb_progress()?;
         for (i, &r) in reqs.iter().enumerate() {
             if self.is_complete(r)? {
                 let mut completion = self.take_completion(r)?;
@@ -263,6 +274,7 @@ impl Engine {
         while let Some(frame) = self.endpoint.try_recv()? {
             self.on_frame(frame)?;
         }
+        self.nb_progress()?;
         self.collect_ready(reqs)
     }
 

@@ -262,6 +262,224 @@ fn assert_equivalence(device: DeviceKind, eager_threshold: Option<usize>) {
     }
 }
 
+/// The seven nonblocking collectives plus a concurrent-in-flight block,
+/// executed either blockingly or through `i* + coll_wait`/`coll_test`,
+/// logging every result. Both variants issue the same logical
+/// collectives in the same order (the standard's rule), so their logs
+/// must be byte-identical.
+fn twin_transcript(engine: &mut Engine, nonblocking: bool) -> Vec<u8> {
+    let rank = engine.world_rank();
+    let size = engine.world_size();
+    let sum = Op::Predefined(PredefinedOp::Sum);
+    let affine = affine_compose();
+    let mut log = Vec::new();
+
+    // barrier
+    if nonblocking {
+        let req = engine.ibarrier(COMM_WORLD).unwrap();
+        engine.coll_wait(req).unwrap();
+    } else {
+        engine.barrier(COMM_WORLD).unwrap();
+    }
+    log_result(&mut log, 0, b"barrier-ok");
+
+    // bcast (root at the top end, length prime-ish)
+    let root = size - 1;
+    let payload: Vec<u8> = (0..53u8).map(|i| i.wrapping_mul(3)).collect();
+    let mut buf = if rank == root { payload } else { vec![0xEE; 2] };
+    if nonblocking {
+        let req = engine
+            .ibcast(COMM_WORLD, root, std::mem::take(&mut buf))
+            .unwrap();
+        buf = engine.coll_wait(req).unwrap().into_buffer();
+    } else {
+        engine.bcast(COMM_WORLD, root, &mut buf).unwrap();
+    }
+    log_result(&mut log, 1, &buf);
+
+    // gatherv (variable lengths incl. empty)
+    let root = size / 2;
+    let send = vec![rank as u8; rank % 3];
+    let gathered = if nonblocking {
+        let req = engine.igather(COMM_WORLD, root, &send).unwrap();
+        engine.coll_wait(req).unwrap().into_parts()
+    } else {
+        engine.gather(COMM_WORLD, root, &send).unwrap()
+    };
+    if let Some(parts) = gathered {
+        log_parts(&mut log, 2, &parts);
+    }
+
+    // scatterv (variable chunks incl. empty)
+    let chunks: Option<Vec<Vec<u8>>> = if rank == root {
+        Some(
+            (0..size)
+                .map(|r| vec![r as u8 ^ 0xA7; (r * 3) % 4])
+                .collect(),
+        )
+    } else {
+        None
+    };
+    let mine = if nonblocking {
+        let req = engine
+            .iscatter(COMM_WORLD, root, chunks.as_deref())
+            .unwrap();
+        engine.coll_wait(req).unwrap().into_buffer()
+    } else {
+        engine.scatter(COMM_WORLD, root, chunks.as_deref()).unwrap()
+    };
+    log_result(&mut log, 3, &mine);
+
+    // allgatherv
+    let contribution: Vec<u8> = (0..(rank + 1) * 2).map(|i| (i * 7 + rank) as u8).collect();
+    let parts = if nonblocking {
+        let req = engine.iallgather(COMM_WORLD, &contribution).unwrap();
+        engine.coll_wait(req).unwrap().into_parts().unwrap()
+    } else {
+        engine.allgather(COMM_WORLD, &contribution).unwrap()
+    };
+    log_parts(&mut log, 4, &parts);
+
+    // reduce to a non-zero root (non-commutative user op)
+    let own = ints(&[rank as i32 * 2 + 3, rank as i32 + 1, 3, rank as i32 - 2]);
+    let reduced = if nonblocking {
+        let req = engine
+            .ireduce(COMM_WORLD, size - 1, &own, PrimitiveKind::Int2, 2, &affine)
+            .unwrap();
+        match engine.coll_wait(req).unwrap() {
+            mpi_native::CollOutcome::Done => None,
+            outcome => Some(outcome.into_buffer()),
+        }
+    } else {
+        engine
+            .reduce(COMM_WORLD, size - 1, &own, PrimitiveKind::Int2, 2, &affine)
+            .unwrap()
+    };
+    if let Some(data) = reduced {
+        log_result(&mut log, 5, &data);
+    }
+
+    // allreduce (completed through non-parking test-polling in the
+    // nonblocking variant)
+    let vector: Vec<i32> = (0i32..512)
+        .map(|i| i.wrapping_mul(rank as i32 + 1))
+        .collect();
+    let got = if nonblocking {
+        let req = engine
+            .iallreduce(COMM_WORLD, &ints(&vector), PrimitiveKind::Int, 512, &sum)
+            .unwrap();
+        loop {
+            if let Some(outcome) = engine.coll_test(req).unwrap() {
+                break outcome.into_buffer();
+            }
+            std::thread::yield_now();
+        }
+    } else {
+        engine
+            .allreduce(COMM_WORLD, &ints(&vector), PrimitiveKind::Int, 512, &sum)
+            .unwrap()
+    };
+    log_result(&mut log, 6, &got);
+
+    // Several collectives in flight concurrently (distinct tag
+    // windows), completed in reverse order. The blocking variant issues
+    // the same collectives in the same order, one at a time.
+    if nonblocking {
+        let r1 = engine
+            .iallreduce(
+                COMM_WORLD,
+                &ints(&[rank as i32 + 2]),
+                PrimitiveKind::Int,
+                1,
+                &sum,
+            )
+            .unwrap();
+        let bcast_buf = if rank == 0 {
+            vec![0x5Au8; 37]
+        } else {
+            Vec::new()
+        };
+        let r2 = engine.ibcast(COMM_WORLD, 0, bcast_buf).unwrap();
+        let r3 = engine.iallgather(COMM_WORLD, &[rank as u8; 2]).unwrap();
+        let parts = engine.coll_wait(r3).unwrap().into_parts().unwrap();
+        log_parts(&mut log, 7, &parts);
+        log_result(&mut log, 8, &engine.coll_wait(r2).unwrap().into_buffer());
+        log_result(&mut log, 9, &engine.coll_wait(r1).unwrap().into_buffer());
+    } else {
+        let red = engine
+            .allreduce(
+                COMM_WORLD,
+                &ints(&[rank as i32 + 2]),
+                PrimitiveKind::Int,
+                1,
+                &sum,
+            )
+            .unwrap();
+        let mut bcast_buf = if rank == 0 {
+            vec![0x5Au8; 37]
+        } else {
+            Vec::new()
+        };
+        engine.bcast(COMM_WORLD, 0, &mut bcast_buf).unwrap();
+        let parts = engine.allgather(COMM_WORLD, &[rank as u8; 2]).unwrap();
+        log_parts(&mut log, 7, &parts);
+        log_result(&mut log, 8, &bcast_buf);
+        log_result(&mut log, 9, &red);
+    }
+
+    log
+}
+
+fn run_twin_transcript(
+    size: usize,
+    device: DeviceKind,
+    alg: Option<CollAlgorithm>,
+    nonblocking: bool,
+) -> Vec<Vec<u8>> {
+    let mut config = UniverseConfig::new(size, device);
+    config.coll_algorithm = alg;
+    Universe::run_with_config(config, move |engine| twin_transcript(engine, nonblocking)).unwrap()
+}
+
+/// Satellite: every nonblocking collective is byte-identical to its
+/// blocking twin, sizes {1, 2, 3, 5, 8} × devices × algorithms,
+/// including several collectives in flight concurrently on distinct tag
+/// windows.
+fn assert_nonblocking_twins(device: DeviceKind) {
+    for size in [1usize, 2, 3, 5, 8] {
+        for alg in [
+            None,
+            Some(CollAlgorithm::Linear),
+            Some(CollAlgorithm::BinomialTree),
+            Some(CollAlgorithm::RecursiveDoubling),
+            Some(CollAlgorithm::Ring),
+            Some(CollAlgorithm::Pipelined),
+        ] {
+            let blocking = run_twin_transcript(size, device, alg, false);
+            let nonblocking = run_twin_transcript(size, device, alg, true);
+            assert_eq!(
+                nonblocking, blocking,
+                "nonblocking diverged from blocking twin: device={device:?} size={size} alg={alg:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn nonblocking_twins_are_byte_identical_on_shm_fast() {
+    assert_nonblocking_twins(DeviceKind::ShmFast);
+}
+
+#[test]
+fn nonblocking_twins_are_byte_identical_on_shm_p4() {
+    assert_nonblocking_twins(DeviceKind::ShmP4);
+}
+
+#[test]
+fn nonblocking_twins_are_byte_identical_on_tcp() {
+    assert_nonblocking_twins(DeviceKind::Tcp);
+}
+
 #[test]
 fn algorithms_are_byte_identical_on_shm_fast() {
     assert_equivalence(DeviceKind::ShmFast, None);
