@@ -23,19 +23,38 @@
 //! time hidden behind the compute. The headline cell — P=8, 256 KiB on
 //! the modelled shm-fast link — must hide at least half of the
 //! communication time.
+//!
+//! The `hybrid-{2,4}n` cells sweep the hierarchical collectives against
+//! the flat algorithms over a two-class fabric: intra-node free,
+//! inter-node across the modelled gigabit link (see
+//! `modelled_internode_link`). The acceptance gate — hier allreduce
+//! beating the flat binomial tree at P=8 for ≥256 KiB payloads on both
+//! node shapes — is asserted in the full sweep; `quick` runs one tiny
+//! hybrid cell as the CI smoke.
 
 use std::fs;
 
 use mpi_bench::collbench::{
-    format_table, measure_overlap, run_suite, to_json, CollBenchSpec, CollRecord, OverlapRecord,
+    format_table, measure_overlap, run_hier_suite, run_suite, to_json, CollBenchSpec, CollRecord,
+    HierBenchSpec, OverlapRecord,
 };
 use mpijava::DeviceKind;
 
 fn find(records: &[CollRecord], op: &str, alg: &str, payload: usize) -> Option<f64> {
+    find_on(records, "shm-fast", op, alg, payload)
+}
+
+fn find_on(
+    records: &[CollRecord],
+    device: &str,
+    op: &str,
+    alg: &str,
+    payload: usize,
+) -> Option<f64> {
     records
         .iter()
         .find(|r| {
-            r.op == op && r.algorithm == alg && r.payload_bytes == payload && r.device == "shm-fast"
+            r.op == op && r.algorithm == alg && r.payload_bytes == payload && r.device == device
         })
         .map(|r| r.us_per_op)
 }
@@ -82,12 +101,44 @@ fn main() {
         spec.algorithms.len(),
         spec.payloads
     );
-    let records = run_suite(&spec, |r| {
+    let mut records = run_suite(&spec, |r| {
         eprintln!(
             "  {:>10} {:>9} {:>7} {:>10}B -> {:>10.2} us",
             r.op, r.device, r.algorithm, r.payload_bytes, r.us_per_op
         );
     });
+
+    // Hybrid-fabric cells: hier vs the flat algorithms over the
+    // modelled inter-node link (intra-node free). The quick sweep runs a
+    // single tiny cell as the CI hybrid smoke.
+    let hier_spec = if quick {
+        HierBenchSpec {
+            ranks: 4,
+            node_counts: vec![2],
+            algorithms: vec![None, Some(mpijava::CollAlgorithm::Hierarchical)],
+            ops: vec!["allreduce"],
+            payloads: vec![4 * 1024],
+            reps: 2,
+            warmup: 1,
+        }
+    } else {
+        HierBenchSpec {
+            ranks,
+            reps: reps.min(5),
+            ..HierBenchSpec::default()
+        }
+    };
+    eprintln!(
+        "hybrid hier sweep: {} ranks over {:?} nodes, payloads {:?}",
+        hier_spec.ranks, hier_spec.node_counts, hier_spec.payloads
+    );
+    records.extend(run_hier_suite(&hier_spec, |r| {
+        eprintln!(
+            "  {:>10} {:>9} {:>7} {:>10}B -> {:>10.2} us",
+            r.op, r.device, r.algorithm, r.payload_bytes, r.us_per_op
+        );
+    }));
+    let records = records;
 
     // Overlap cells: iallreduce hiding communication behind injected
     // compute on the due-time shm-fast link model.
@@ -187,6 +238,49 @@ fn main() {
                 if tree >= pipe { "+" } else { "-" },
                 tree / pipe
             );
+        }
+    }
+
+    // The multi-fabric claim: on a hybrid fabric the hierarchical
+    // schedules cross the modelled inter-node link fewer times per byte
+    // than the flat tree, so hier must win once the payload makes the
+    // link the bottleneck.
+    println!(
+        "\n== hybrid fabrics, P={} — hier vs the flat tree over the modelled inter-node link ==",
+        hier_spec.ranks
+    );
+    for &nodes in &hier_spec.node_counts {
+        let device = format!("hybrid-{nodes}n");
+        for op in &hier_spec.ops {
+            for &payload in &hier_spec.payloads {
+                if let (Some(tree), Some(hier)) = (
+                    find_on(&records, &device, op, "tree", payload),
+                    find_on(&records, &device, op, "hier", payload),
+                ) {
+                    println!(
+                        "  {device} {op:>9} {payload:>8}B: hier {hier:>9.1} us vs tree {tree:>9.1} us ({}{:.2}x)",
+                        if tree >= hier { "+" } else { "-" },
+                        tree / hier
+                    );
+                }
+            }
+        }
+    }
+    // Acceptance gate: hier allreduce beats the flat tree at P=8 for
+    // ≥256 KiB payloads on both node shapes.
+    for &nodes in &hier_spec.node_counts {
+        let device = format!("hybrid-{nodes}n");
+        for &payload in hier_spec.payloads.iter().filter(|&&p| p >= 256 * 1024) {
+            if let (Some(tree), Some(hier)) = (
+                find_on(&records, &device, "allreduce", "tree", payload),
+                find_on(&records, &device, "allreduce", "hier", payload),
+            ) {
+                assert!(
+                    hier < tree,
+                    "hier allreduce regressed on {device} at {payload}B: \
+                     {hier:.1} us vs tree {tree:.1} us"
+                );
+            }
         }
     }
 }

@@ -36,7 +36,9 @@
 
 use std::time::{Duration, Instant};
 
-use mpijava::{CollAlgorithm, Datatype, DeviceKind, DeviceProfile, MpiRuntime, NetworkModel, Op};
+use mpijava::{
+    CollAlgorithm, Datatype, DeviceKind, DeviceProfile, MpiRuntime, NetworkModel, NodeMap, Op,
+};
 
 /// Modelled link cost per payload byte (4 ns/B ≈ a 256 MB/s link — the
 /// bandwidth regime of the paper's SM-mode curves, scaled up a decade).
@@ -276,6 +278,19 @@ pub fn measure(
     if let Some(alg) = alg {
         runtime = runtime.coll_algorithm(alg);
     }
+    measure_runtime(runtime, op, payload_bytes, reps, warmup)
+}
+
+/// [`measure`] against a fully-built runtime — also the entry point for
+/// the hybrid-fabric (`hier`-vs-flat) cells, whose runtimes carry a node
+/// map and an inter-node link model rather than a flat device profile.
+pub fn measure_runtime(
+    runtime: MpiRuntime,
+    op: &'static str,
+    payload_bytes: usize,
+    reps: usize,
+    warmup: usize,
+) -> f64 {
     let per_rank = runtime
         .run(move |mpi| {
             let world = mpi.comm_world();
@@ -335,10 +350,17 @@ pub fn measure(
 /// Can a pinned algorithm implement a benched op on `ranks` ranks at
 /// all? (The benched workloads — byte bcast, `MPI.INT` + `MPI.SUM`
 /// reductions — all carry the `Any` order policy, so only the op/size
-/// axes matter.) Mirrors the engine's own applicability rules; cells
-/// that fail this are skipped so no row mislabels a fallback run.
-pub fn algorithm_applies(alg: Option<CollAlgorithm>, op: &str, ranks: usize) -> bool {
-    use mpi_native::coll::tuning::{supported, CollOp, OrderPolicy};
+/// and topology axes matter.) `hierarchical` describes the fabric the
+/// cell runs over (`true` for the hybrid hier-vs-flat cells). Mirrors
+/// the engine's own applicability rules; cells that fail this are
+/// skipped so no row mislabels a fallback run.
+pub fn algorithm_applies(
+    alg: Option<CollAlgorithm>,
+    op: &str,
+    ranks: usize,
+    hierarchical: bool,
+) -> bool {
+    use mpi_native::coll::tuning::{supported, CollOp, OrderPolicy, TopoHint};
     let Some(alg) = alg else {
         return true; // "auto" always applies
     };
@@ -349,7 +371,105 @@ pub fn algorithm_applies(alg: Option<CollAlgorithm>, op: &str, ranks: usize) -> 
         "allgather" => CollOp::Allgather,
         other => panic!("unknown collective {other}"),
     };
-    supported(alg, coll_op, ranks, OrderPolicy::Any)
+    let topo = TopoHint {
+        hierarchical,
+        contiguous: true,
+    };
+    supported(alg, coll_op, ranks, OrderPolicy::Any, topo)
+}
+
+/// The modelled inter-node link of the hybrid cells: the due-time
+/// gigabit model (125 MB/s, 30 µs one-way latency). Deliberately slower
+/// than the ~256 MB/s intra-fabric model — an inter-node link *is* the
+/// slow resource, and making it genuinely slower than the memcpy-bound
+/// intra-node floor is what lets the cells resolve the quantity the
+/// hierarchical algorithms optimize: inter-node traversals per byte.
+pub fn modelled_internode_link() -> NetworkModel {
+    NetworkModel::gigabit()
+}
+
+/// Specification of the hybrid-fabric `hier`-vs-flat sweep: for each
+/// node count, `ranks` are block-placed onto that many nodes, intra-node
+/// traffic is free (shm-class) and inter-node traffic crosses the
+/// due-time [`modelled_internode_link`] — so the numbers isolate exactly
+/// the quantity the hierarchical algorithms optimize, inter-node
+/// traversals per byte.
+#[derive(Debug, Clone)]
+pub struct HierBenchSpec {
+    pub ranks: usize,
+    /// Node counts to sweep (ranks block-split across each).
+    pub node_counts: Vec<usize>,
+    /// `None` = tuned (`auto`, which picks hier on these fabrics);
+    /// pinned algorithms for the flat baselines.
+    pub algorithms: Vec<Option<CollAlgorithm>>,
+    pub ops: Vec<&'static str>,
+    pub payloads: Vec<usize>,
+    pub reps: usize,
+    pub warmup: usize,
+}
+
+impl Default for HierBenchSpec {
+    fn default() -> HierBenchSpec {
+        HierBenchSpec {
+            ranks: 8,
+            node_counts: vec![2, 4],
+            algorithms: vec![
+                None,
+                Some(CollAlgorithm::Hierarchical),
+                Some(CollAlgorithm::BinomialTree),
+                Some(CollAlgorithm::Linear),
+            ],
+            ops: vec!["allreduce", "bcast"],
+            payloads: vec![1024, 64 * 1024, 256 * 1024, 1024 * 1024],
+            reps: 5,
+            warmup: 2,
+        }
+    }
+}
+
+/// Run the hybrid-fabric sweep. Cells are labelled
+/// `device = "hybrid-<nodes>n"` so the flat rows of the main sweep and
+/// the hierarchical rows stay distinguishable in one `cells` array;
+/// `link_ns_per_byte` records the *inter-node* link cost (intra-node is
+/// free).
+pub fn run_hier_suite(
+    spec: &HierBenchSpec,
+    mut progress: impl FnMut(&CollRecord),
+) -> Vec<CollRecord> {
+    let mut records = Vec::new();
+    for &nodes in &spec.node_counts {
+        let device_label = format!("hybrid-{nodes}n");
+        for &alg in &spec.algorithms {
+            for op in spec.ops.iter().copied() {
+                if !algorithm_applies(alg, op, spec.ranks, true) {
+                    continue;
+                }
+                for &payload in &spec.payloads {
+                    let mut runtime = MpiRuntime::new(spec.ranks)
+                        .device(DeviceKind::Hybrid)
+                        .nodes(NodeMap::split(spec.ranks, nodes))
+                        .inter_network(modelled_internode_link())
+                        .eager_threshold(1 << 22);
+                    if let Some(alg) = alg {
+                        runtime = runtime.coll_algorithm(alg);
+                    }
+                    let us = measure_runtime(runtime, op, payload, spec.reps, spec.warmup);
+                    let record = CollRecord {
+                        op: op.to_string(),
+                        device: device_label.clone(),
+                        algorithm: algorithm_label(alg),
+                        payload_bytes: payload,
+                        ranks: spec.ranks,
+                        us_per_op: us,
+                        link_ns_per_byte: 1e9 / modelled_internode_link().peak_bandwidth(),
+                    };
+                    progress(&record);
+                    records.push(record);
+                }
+            }
+        }
+    }
+    records
 }
 
 /// Run the full sweep. `progress` is called once per finished cell (the
@@ -359,7 +479,7 @@ pub fn run_suite(spec: &CollBenchSpec, mut progress: impl FnMut(&CollRecord)) ->
     for &device in &spec.devices {
         for &alg in &spec.algorithms {
             for op in COLL_OPS {
-                if !algorithm_applies(alg, op, spec.ranks) {
+                if !algorithm_applies(alg, op, spec.ranks, false) {
                     continue;
                 }
                 // Barrier has no payload axis; measure it once.

@@ -320,6 +320,9 @@ fn native_pingpong(spec: &PingPongSpec, config: &StackConfig) -> Vec<PingPongPoi
         eager_threshold: None,
         segment_bytes: None,
         coll_algorithm: None,
+        nodes: None,
+        inter_profile: mpi_transport::DeviceProfile::default(),
+        inter_network: mpi_transport::NetworkModel::unshaped(),
         processor_name_prefix: None,
     };
     let sizes = spec.sizes.clone();

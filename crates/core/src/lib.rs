@@ -112,6 +112,9 @@
 //! | `gather(...)` | [`gather_into(...)`](rs::Communicator::gather_into) | [`igather_into(...)`](rs::Communicator::igather_into) |
 //! | `allgather(...)` | [`all_gather(...)`](rs::Communicator::all_gather) | [`iall_gather(...)`](rs::Communicator::iall_gather) |
 //! | `scatter(...)` | [`scatter_from(...)`](rs::Communicator::scatter_from) | [`iscatter_from(...)`](rs::Communicator::iscatter_from) |
+//! | `alltoall(...)` | [`all_to_all(...)`](rs::Communicator::all_to_all) | [`iall_to_all(...)`](rs::Communicator::iall_to_all) |
+//! | `reduce_scatter(...)` | — (classic only) | [`ireduce_scatter_into(...)`](rs::Communicator::ireduce_scatter_into) (equal counts) |
+//! | `scan(...)` | [`scan_into(...)`](rs::Communicator::scan_into) | [`iscan_into(...)`](rs::Communicator::iscan_into) |
 //!
 //! Progress happens inside `test()`/`wait()` calls (and inside any
 //! blocking engine entry point): interleave occasional `test()` calls
@@ -150,7 +153,7 @@ pub use status::Status;
 
 // Re-export the pieces of the lower layers that appear in this crate's API.
 pub use mpi_native::{CollAlgorithm, CompareResult, EngineStats, ErrorClass, PrimitiveKind};
-pub use mpi_transport::{DeviceKind, DeviceProfile, NetworkModel};
+pub use mpi_transport::{DeviceKind, DeviceProfile, NetworkModel, NodeMap};
 
 use std::sync::Arc;
 
@@ -276,6 +279,9 @@ pub struct MpiRuntime {
     device: DeviceKind,
     network: NetworkModel,
     profile: DeviceProfile,
+    nodes: Option<NodeMap>,
+    inter_network: NetworkModel,
+    inter_profile: DeviceProfile,
     eager_threshold: Option<usize>,
     segment_bytes: Option<usize>,
     coll_algorithm: Option<CollAlgorithm>,
@@ -290,6 +296,9 @@ impl MpiRuntime {
             device: DeviceKind::ShmFast,
             network: NetworkModel::unshaped(),
             profile: DeviceProfile::default(),
+            nodes: None,
+            inter_network: NetworkModel::unshaped(),
+            inter_profile: DeviceProfile::default(),
             eager_threshold: None,
             segment_bytes: None,
             coll_algorithm: None,
@@ -313,6 +322,29 @@ impl MpiRuntime {
     /// Attach a synthetic per-message device cost (calibration).
     pub fn profile(mut self, profile: DeviceProfile) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Place ranks on nodes (see [`NodeMap`]): the `Hybrid` device
+    /// routes intra-node traffic over the shm-class path and inter-node
+    /// traffic over the modelled link, the engine's topology queries
+    /// report the placement, and the collective tuner auto-selects the
+    /// hierarchical algorithms when the map is non-trivial. Takes
+    /// precedence over the `MPIJAVA_NODES` environment override.
+    pub fn nodes(mut self, nodes: NodeMap) -> Self {
+        self.nodes = Some(nodes);
+        self
+    }
+
+    /// Attach an inter-node link model (hybrid device).
+    pub fn inter_network(mut self, network: NetworkModel) -> Self {
+        self.inter_network = network;
+        self
+    }
+
+    /// Attach an inter-node cost profile (hybrid device).
+    pub fn inter_profile(mut self, profile: DeviceProfile) -> Self {
+        self.inter_profile = profile;
         self
     }
 
@@ -361,11 +393,17 @@ impl MpiRuntime {
             eager_threshold: self.eager_threshold,
             segment_bytes: self.segment_bytes,
             coll_algorithm: self.coll_algorithm,
+            nodes: self.nodes.clone(),
+            inter_profile: self.inter_profile,
+            inter_network: self.inter_network,
             processor_name_prefix: None,
         };
         let fabric_config = mpi_transport::FabricConfig::new(self.size, self.device)
             .with_network(self.network)
-            .with_profile(self.profile);
+            .with_profile(self.profile)
+            .with_nodes(config.resolved_nodes())
+            .with_inter_network(self.inter_network)
+            .with_inter_profile(self.inter_profile);
         let _ = config; // UniverseConfig documents the mapping; we build directly.
         let endpoints = mpi_transport::Fabric::build(fabric_config)
             .map_err(mpi_native::MpiError::from)?

@@ -312,10 +312,13 @@ impl<'buf> Request<'buf> {
     }
 
     /// `Request.Testall(requests)`: statuses if every request is complete,
-    /// `None` otherwise. On batches mixing point-to-point and collective
-    /// requests each member is tested individually, so — unlike the pure
-    /// point-to-point path — members that are individually complete have
-    /// their buffers filled even when the call as a whole returns `None`.
+    /// `None` otherwise — **all-or-nothing**, exactly like the standard's
+    /// `MPI_Testall`: when the call returns `None`, no member has been
+    /// consumed and no receive buffer has been filled, even for members
+    /// that are individually complete (they are harvested by the
+    /// eventual successful `test_all`, a `wait`, or an individual
+    /// `test`). This holds for pure point-to-point batches and for
+    /// batches mixing point-to-point and collective requests alike.
     pub fn test_all(requests: &mut [Request<'buf>]) -> MpiResult<Option<Vec<Status>>> {
         if requests.is_empty() {
             return Ok(Some(Vec::new()));
@@ -326,19 +329,35 @@ impl<'buf> Request<'buf> {
             .iter()
             .all(|r| r.done || matches!(r.id, ReqId::P2p(_)));
         if !all_p2p {
-            let mut statuses = Vec::with_capacity(requests.len());
-            let mut incomplete = false;
-            for request in requests.iter_mut() {
-                if request.done {
-                    statuses.push(Status::from_info(mpi_native::StatusInfo::empty()));
-                } else {
-                    match request.poll()? {
-                        Some(status) => statuses.push(status),
-                        None => incomplete = true,
+            // Mixed batch: drive progress once without consuming
+            // anything, then check completion non-destructively. Only
+            // when the whole batch is complete does anyone's buffer get
+            // filled.
+            {
+                let mut engine = env.engine.lock();
+                engine.progress_poll()?;
+                for request in requests.iter() {
+                    if request.done {
+                        continue;
+                    }
+                    let complete = match request.id {
+                        ReqId::P2p(id) => engine.is_complete(id)?,
+                        ReqId::Coll(id) => engine.coll_is_complete(id)?,
+                    };
+                    if !complete {
+                        return Ok(None);
                     }
                 }
             }
-            return Ok(if incomplete { None } else { Some(statuses) });
+            let mut statuses = Vec::with_capacity(requests.len());
+            for request in requests.iter_mut() {
+                match request.poll()? {
+                    Some(status) => statuses.push(status),
+                    // Already consumed before this call (request.done).
+                    None => statuses.push(Status::from_info(mpi_native::StatusInfo::empty())),
+                }
+            }
+            return Ok(Some(statuses));
         }
         let ids: Vec<RequestId> = requests
             .iter()
@@ -628,5 +647,116 @@ impl<'buf> Prequest<'buf> {
     /// True while a started communication has not yet been waited on.
     pub fn is_active(&self) -> bool {
         self.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Regression for the documented mixed-batch `Testall` caveat: a
+    /// batch mixing a pending point-to-point receive with an
+    /// already-complete collective must be **all-or-nothing** — as long
+    /// as `test_all` returns `None`, no member is consumed and no
+    /// buffer-filling unpack has run, even for the individually-complete
+    /// collective. Only the eventual `Some` harvests everything.
+    #[test]
+    fn mixed_test_all_fills_no_buffers_before_the_whole_batch_completes() {
+        use crate::rs::Communicator as _;
+        crate::MpiRuntime::new(2)
+            .run(|mpi| {
+                let world = mpi.comm_world();
+                let rank = world.rank()?;
+                let sum = mpi_native::Op::Predefined(mpi_native::PredefinedOp::Sum);
+                let contribution = (rank as i32 + 1).to_le_bytes();
+                if rank == 0 {
+                    let handle = world.as_comm().handle;
+                    let env = Arc::clone(&world.as_comm().env);
+                    let coll_id = mpi.with_engine(|e| {
+                        e.iallreduce(
+                            handle,
+                            &contribution,
+                            mpi_native::PrimitiveKind::Int,
+                            1,
+                            &sum,
+                        )
+                    })?;
+                    let unpacked = Arc::new(AtomicBool::new(false));
+                    let unpacked_probe = Arc::clone(&unpacked);
+                    let coll_req = Request::coll(
+                        env,
+                        coll_id,
+                        Some(Box::new(move |_bytes: &[u8]| {
+                            unpacked_probe.store(true, Ordering::SeqCst);
+                            Ok(())
+                        })),
+                    );
+                    // A receive whose matching send has deliberately not
+                    // been posted yet.
+                    let mut buf = [0u8; 4];
+                    let p2p_req =
+                        world
+                            .as_comm()
+                            .irecv(&mut buf, 0, 4, &crate::Datatype::byte(), 1, 9)?;
+                    let mut batch = vec![p2p_req, coll_req];
+
+                    // Drive until the collective half is complete on the
+                    // engine; every test_all along the way must report
+                    // None *without* running the collective's unpack.
+                    loop {
+                        let got = Request::test_all(&mut batch)?;
+                        assert!(got.is_none(), "batch cannot be complete yet");
+                        assert!(
+                            !unpacked.load(Ordering::SeqCst),
+                            "test_all filled a buffer before the whole batch completed"
+                        );
+                        assert!(
+                            batch.iter().all(|r| !r.is_void()),
+                            "test_all consumed a member of an incomplete batch"
+                        );
+                        if mpi.with_engine(|e| e.coll_is_complete(coll_id))? {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    // Collective complete, receive still pending: one
+                    // more None, still nothing consumed.
+                    assert!(Request::test_all(&mut batch)?.is_none());
+                    assert!(!unpacked.load(Ordering::SeqCst));
+
+                    // Release the peer; once its send lands, test_all
+                    // flips to Some and only then fills the buffers.
+                    world.send(&[1u8][..], 1, 8)?;
+                    let statuses = loop {
+                        if let Some(statuses) = Request::test_all(&mut batch)? {
+                            break statuses;
+                        }
+                        std::thread::yield_now();
+                    };
+                    assert_eq!(statuses.len(), 2);
+                    drop(batch); // releases the receive buffer borrow
+                    assert_eq!(buf, [7, 7, 7, 7]);
+                    assert!(unpacked.load(Ordering::SeqCst));
+                } else {
+                    let handle = world.as_comm().handle;
+                    let coll_id = mpi.with_engine(|e| {
+                        e.iallreduce(
+                            handle,
+                            &contribution,
+                            mpi_native::PrimitiveKind::Int,
+                            1,
+                            &sum,
+                        )
+                    })?;
+                    mpi.with_engine(|e| e.coll_wait(coll_id))?;
+                    // Wait for the go signal, then post the matching send.
+                    let mut go = [0u8; 1];
+                    world.recv_into(&mut go, 0, 8)?;
+                    world.send(&[7u8; 4][..], 0, 9)?;
+                }
+                mpi.finalize()
+            })
+            .unwrap();
     }
 }

@@ -22,12 +22,24 @@
 //!   [`wait`](TypedRequest::wait) consumes the handle.
 //! * **Nonblocking collectives**: [`ibarrier`](Communicator::ibarrier),
 //!   [`ibroadcast`](Communicator::ibroadcast),
-//!   [`iall_reduce`](Communicator::iall_reduce) & friends return the
+//!   [`iall_reduce`](Communicator::iall_reduce),
+//!   [`iall_to_all`](Communicator::iall_to_all),
+//!   [`ireduce_scatter_into`](Communicator::ireduce_scatter_into),
+//!   [`iscan_into`](Communicator::iscan_into) & friends return the
 //!   same [`TypedRequest`] handles, so one heterogeneous
 //!   [`TypedRequest::wait_all`] batch mixes point-to-point and
 //!   collective completion; blocking collectives are `start + wait`
 //!   over the same engine schedules (see the crate docs' three-column
 //!   table).
+//! * **Node topology** (multi-fabric jobs):
+//!   [`node_of`](Communicator::node_of) /
+//!   [`my_node`](Communicator::my_node) /
+//!   [`node_leader`](Communicator::node_leader) report the fabric's
+//!   rank → node placement, and
+//!   [`split_by_node`](Communicator::split_by_node) yields the per-node
+//!   sub-communicator (the `MPI_Comm_split_type(COMM_TYPE_SHARED)`
+//!   shape). On hybrid fabrics the collective tuner routes through the
+//!   node leaders automatically (see `mpi_native::coll::hier`).
 //! * **Zero-copy byte sends**: [`send_bytes`](Communicator::send_bytes) /
 //!   [`isend_bytes`](Communicator::isend_bytes) move an owned
 //!   refcounted buffer onto the engine's zero-copy datapath without a
@@ -686,6 +698,162 @@ pub trait Communicator {
             id,
             Some(unpack),
         )))
+    }
+
+    /// Nonblocking total exchange (`MPI_Ialltoall`): every rank sends
+    /// `send.len() / size` elements to each peer; `recv` (same length as
+    /// `send`) holds the chunks received from every rank, in rank order,
+    /// on completion.
+    fn iall_to_all<'buf, T: BufferElement>(
+        &self,
+        send: &[T],
+        recv: &'buf mut [T],
+    ) -> MpiResult<TypedRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Ialltoall");
+        let mut engine = comm.env.engine.lock();
+        let size = engine.comm_size(comm.handle)?;
+        if size == 0 || !send.len().is_multiple_of(size) {
+            return Err(MPIException::new(
+                ErrorClass::Count,
+                format!(
+                    "iall_to_all: send length {} is not a multiple of the communicator size {size}",
+                    send.len()
+                ),
+            ));
+        }
+        let chunk_bytes = send.len() / size * T::width();
+        let payload = slice_to_bytes(send);
+        let chunks: Vec<Vec<u8>> = (0..size)
+            .map(|r| payload[r * chunk_bytes..(r + 1) * chunk_bytes].to_vec())
+            .collect();
+        let id = engine.ialltoall(comm.handle, &chunks)?;
+        drop(engine);
+        let unpack = Box::new(move |bytes: &[u8]| {
+            bytes_to_elements(recv, 0, bytes);
+            Ok(())
+        });
+        Ok(TypedRequest::new(Request::coll(
+            Arc::clone(&comm.env),
+            id,
+            Some(unpack),
+        )))
+    }
+
+    /// Nonblocking reduce-scatter (`MPI_Ireduce_scatter` with equal
+    /// counts, i.e. `MPI_Reduce_scatter_block`): the `size * recv.len()`
+    /// elements of `send` are reduced element-wise across all ranks and
+    /// rank `i` receives the `i`-th `recv.len()`-element block. Every
+    /// rank must pass the same `recv` length.
+    fn ireduce_scatter_into<'buf, T: BufferElement>(
+        &self,
+        send: &[T],
+        recv: &'buf mut [T],
+        op: impl Borrow<Op>,
+    ) -> MpiResult<TypedRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Ireduce_scatter");
+        let mut engine = comm.env.engine.lock();
+        let size = engine.comm_size(comm.handle)?;
+        if send.len() != size * recv.len() {
+            return Err(MPIException::new(
+                ErrorClass::Count,
+                format!(
+                    "ireduce_scatter_into: send length {} is not size ({size}) * recv length ({})",
+                    send.len(),
+                    recv.len()
+                ),
+            ));
+        }
+        let counts = vec![recv.len(); size];
+        let payload = slice_to_bytes(send);
+        let id = engine.ireduce_scatter(
+            comm.handle,
+            &payload,
+            &counts,
+            T::KIND,
+            op.borrow().engine_op(),
+        )?;
+        drop(engine);
+        let unpack = Box::new(move |bytes: &[u8]| {
+            bytes_to_elements(recv, 0, bytes);
+            Ok(())
+        });
+        Ok(TypedRequest::new(Request::coll(
+            Arc::clone(&comm.env),
+            id,
+            Some(unpack),
+        )))
+    }
+
+    /// Nonblocking inclusive prefix reduction (`MPI_Iscan`): `recv`
+    /// holds the fold of ranks `0..=self` on completion.
+    fn iscan_into<'buf, T: BufferElement>(
+        &self,
+        send: &[T],
+        recv: &'buf mut [T],
+        op: impl Borrow<Op>,
+    ) -> MpiResult<TypedRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Iscan");
+        let payload = slice_to_bytes(send);
+        let id = comm.env.engine.lock().iscan(
+            comm.handle,
+            &payload,
+            T::KIND,
+            send.len(),
+            op.borrow().engine_op(),
+        )?;
+        let unpack = Box::new(move |bytes: &[u8]| {
+            bytes_to_elements(recv, 0, bytes);
+            Ok(())
+        });
+        Ok(TypedRequest::new(Request::coll(
+            Arc::clone(&comm.env),
+            id,
+            Some(unpack),
+        )))
+    }
+
+    // ------------------------------------------------------------------
+    // Node topology (multi-fabric jobs; see mpi_transport::NodeMap)
+    // ------------------------------------------------------------------
+
+    /// Which node of the fabric's placement `rank` (a rank in this
+    /// communicator) lives on. Single-fabric jobs report node 0 for
+    /// everyone.
+    fn node_of(&self, rank: usize) -> MpiResult<usize> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Comm.Node_of");
+        Ok(comm.env.engine.lock().node_of(comm.handle, rank)?)
+    }
+
+    /// This process's node.
+    fn my_node(&self) -> MpiResult<usize> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Comm.My_node");
+        let engine = comm.env.engine.lock();
+        Ok(engine.my_node())
+    }
+
+    /// The leader of this process's node within the communicator: its
+    /// lowest-ranked member on the same node (the rank that carries the
+    /// inter-node traffic of the hierarchical collectives).
+    fn node_leader(&self) -> MpiResult<usize> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Comm.Node_leader");
+        Ok(comm.env.engine.lock().node_leader(comm.handle)?)
+    }
+
+    /// Split the communicator into per-node sub-communicators (the
+    /// `MPI_Comm_split_type(COMM_TYPE_SHARED)` shape): every member
+    /// receives the communicator of its own node, members ordered by
+    /// their rank here. Collective over the communicator.
+    fn split_by_node(&self) -> MpiResult<Intracomm> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Comm.Split_node");
+        let handle = comm.env.engine.lock().comm_split_node(comm.handle)?;
+        Ok(Intracomm::new(Arc::clone(&comm.env), handle))
     }
 
     // ------------------------------------------------------------------

@@ -16,9 +16,9 @@ use std::fmt;
 use std::str::FromStr;
 
 /// Environment variable pinning the collective algorithm for ablations:
-/// `MPIJAVA_COLL_ALG=linear|tree|rd|ring|pipelined`. Unset, empty or
-/// `auto` keeps the tuned size-aware selection. Every rank of a job reads
-/// the same process environment, so the choice is symmetric by
+/// `MPIJAVA_COLL_ALG=linear|tree|rd|ring|pipelined|hier`. Unset, empty
+/// or `auto` keeps the tuned size-aware selection. Every rank of a job
+/// reads the same process environment, so the choice is symmetric by
 /// construction.
 pub const COLL_ALG_ENV: &str = "MPIJAVA_COLL_ALG";
 
@@ -49,16 +49,27 @@ pub enum CollAlgorithm {
     /// the tuned selector stays on the plain tree because bcast
     /// selection is payload-blind.
     Pipelined,
+    /// Leader-based hierarchical collectives for multi-fabric jobs
+    /// (see [`super::hier`]): reduce/gather intra-node to the node
+    /// leader over the cheap fabric, run the flat tree/recursive-
+    /// doubling schedule among the leaders over the expensive one, then
+    /// broadcast intra-node — the inter-node link carries each payload
+    /// the minimum number of times. The tuned selector picks this
+    /// automatically when the fabric's node map is non-trivial; on a
+    /// flat (or one-rank-per-node) map it falls back to the flat
+    /// algorithms.
+    Hierarchical,
 }
 
 impl CollAlgorithm {
     /// Every algorithm, in ablation-sweep order.
-    pub const ALL: [CollAlgorithm; 5] = [
+    pub const ALL: [CollAlgorithm; 6] = [
         CollAlgorithm::Linear,
         CollAlgorithm::BinomialTree,
         CollAlgorithm::RecursiveDoubling,
         CollAlgorithm::Ring,
         CollAlgorithm::Pipelined,
+        CollAlgorithm::Hierarchical,
     ];
 
     /// Stable label used in benchmark output and accepted by [`FromStr`].
@@ -69,6 +80,7 @@ impl CollAlgorithm {
             CollAlgorithm::RecursiveDoubling => "rd",
             CollAlgorithm::Ring => "ring",
             CollAlgorithm::Pipelined => "pipelined",
+            CollAlgorithm::Hierarchical => "hier",
         }
     }
 
@@ -84,7 +96,7 @@ impl CollAlgorithm {
                 Err(()) => {
                     eprintln!(
                         "warning: {COLL_ALG_ENV}={value:?} is not a recognized collective \
-                         algorithm (expected linear|tree|rd|ring|pipelined|auto); \
+                         algorithm (expected linear|tree|rd|ring|pipelined|hier|auto); \
                          falling back to the tuned selection"
                     );
                     None
@@ -127,6 +139,7 @@ impl FromStr for CollAlgorithm {
             }
             "ring" => Ok(CollAlgorithm::Ring),
             "pipelined" | "pipeline" | "segmented" => Ok(CollAlgorithm::Pipelined),
+            "hier" | "hierarchical" => Ok(CollAlgorithm::Hierarchical),
             _ => Err(()),
         }
     }

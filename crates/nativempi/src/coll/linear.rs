@@ -17,13 +17,13 @@
 //! directly so a forced-`Linear` run is linear all the way down.
 
 use super::frame_entries;
-use super::nb::{CollOutcome, CollSchedule, Round, SlotId, TagWindow};
+use super::nb::{CollOutcome, Round, Sched, SlotId, TagWindow};
 use crate::error::{err, ErrorClass};
 use crate::ops::Op;
 use crate::types::PrimitiveKind;
 
 /// Linear fan-in to rank 0 followed by fan-out.
-pub(crate) fn barrier(s: &mut CollSchedule, win: TagWindow, rank: usize, size: usize) {
+pub(crate) fn barrier(s: &mut impl Sched, win: TagWindow, rank: usize, size: usize) {
     let fan_in = win.tag(0);
     let fan_out = win.tag(1);
     if rank == 0 {
@@ -50,7 +50,7 @@ pub(crate) fn barrier(s: &mut CollSchedule, win: TagWindow, rank: usize, size: u
 /// The root sends the payload (slot `data`) to every other rank; the
 /// result ends up in `data` on every rank.
 pub(crate) fn bcast(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,
@@ -76,7 +76,7 @@ pub(crate) fn bcast(
 /// (meaningless elsewhere). Framing carries explicit ranks, so per-rank
 /// lengths may differ (gatherv).
 pub(crate) fn gather(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,
@@ -115,7 +115,7 @@ pub(crate) fn gather(
 /// (`dest_slots`, rank order, filled at build time or by an earlier
 /// compute); every rank's chunk lands in `out`.
 pub(crate) fn scatter(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,
@@ -149,7 +149,7 @@ pub(crate) fn scatter(
 /// (one round), then the transposed chunks are assembled. Sets the
 /// `Parts` outcome directly.
 pub(crate) fn alltoall(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,
@@ -190,7 +190,7 @@ pub(crate) fn alltoall(
 /// elsewhere).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn reduce(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,
@@ -242,7 +242,7 @@ pub(crate) fn reduce(
 /// accumulator slot.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn scan(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,

@@ -16,7 +16,14 @@
 //! * [`pipeline`] — segmented pipelined (chain) bcast for huge payloads
 //!   (interior ranks forward segment *k* while receiving *k+1*, so every
 //!   link carries the payload exactly once; pin with
-//!   `MPIJAVA_COLL_ALG=pipelined`).
+//!   `MPIJAVA_COLL_ALG=pipelined`),
+//! * [`hier`] — leader-based hierarchical barrier / bcast / reduce /
+//!   allreduce / allgather for multi-fabric jobs: intra-node traffic
+//!   folds to the node leaders over the cheap fabric, the leaders run
+//!   the flat tree/recursive-doubling schedules among themselves over
+//!   the expensive link (auto-selected when the fabric's
+//!   [`NodeMap`](mpi_transport::NodeMap) is non-trivial; pin with
+//!   `MPIJAVA_COLL_ALG=hier`).
 //!
 //! Since the nonblocking-collectives work, every algorithm is expressed
 //! as a round-based **schedule** (`nb::CollSchedule`) executed by an
@@ -30,7 +37,8 @@
 //! the tag-window accounting.
 //!
 //! [`tuning`] picks an algorithm from (operation, communicator size,
-//! payload bytes, reduction-order policy); the choice can be pinned with
+//! payload bytes, reduction-order policy, node topology); the choice can
+//! be pinned with
 //! [`CollAlgorithm`] via [`Engine::set_coll_algorithm`] or the
 //! `MPIJAVA_COLL_ALG` environment variable ([`algorithm::COLL_ALG_ENV`]).
 //! Whatever is selected, every algorithm produces byte-identical results
@@ -55,6 +63,7 @@
 //!   their nonblocking requests are born complete.
 
 pub mod algorithm;
+pub mod hier;
 pub mod linear;
 pub mod nb;
 pub mod pipeline;
@@ -65,7 +74,7 @@ pub mod tuning;
 
 pub use algorithm::{CollAlgorithm, COLL_ALG_ENV};
 pub use nb::{CollOutcome, CollRequestId};
-pub use tuning::{CollOp, OrderPolicy};
+pub use tuning::{CollOp, OrderPolicy, TopoHint};
 
 use nb::{CollSchedule, Round, SlotId};
 
@@ -173,9 +182,40 @@ impl Engine {
 
     /// Select the algorithm for one dispatch. `bytes` must be a value
     /// every rank computes identically (0 for the payload-blind data
-    /// movers — see the [`tuning`] module docs).
-    fn choose(&self, op: CollOp, size: usize, bytes: usize, policy: OrderPolicy) -> CollAlgorithm {
-        tuning::select(op, size, bytes, policy, self.forced_coll_alg)
+    /// movers — see the [`tuning`] module docs); likewise `topo`, which
+    /// every rank derives from the same node map and member list.
+    fn choose(
+        &self,
+        op: CollOp,
+        size: usize,
+        bytes: usize,
+        policy: OrderPolicy,
+        topo: TopoHint,
+    ) -> CollAlgorithm {
+        tuning::select(op, size, bytes, policy, topo, self.forced_coll_alg)
+    }
+
+    /// The node-grouping of a communicator's members (see
+    /// [`hier::CommTopology`]); identical on every member because it is
+    /// derived from shared state (the fabric's node map and the member
+    /// list) without communication.
+    pub(crate) fn comm_topology(&self, comm: CommHandle) -> Result<hier::CommTopology> {
+        Ok(hier::CommTopology::new(
+            self.comm(comm)?.group.ranks(),
+            &self.nodes,
+        ))
+    }
+
+    /// The topology hint for one collective dispatch. Single-fabric
+    /// jobs (the common case) skip the O(P) member grouping entirely;
+    /// the full [`hier::CommTopology`] is only built on non-flat node
+    /// maps — and rebuilt by the hier dispatch arm when it is actually
+    /// selected, which only happens on such maps.
+    fn topo_hint(&self, comm: CommHandle) -> Result<TopoHint> {
+        if self.nodes.is_flat() {
+            return Ok(TopoHint::FLAT);
+        }
+        Ok(self.comm_topology(comm)?.hint())
     }
 
     fn expect_buffer(outcome: CollOutcome) -> Result<Vec<u8>> {
@@ -208,12 +248,28 @@ impl Engine {
             return self.coll_immediate(CollOutcome::Done);
         }
         let rank = self.comm_rank(comm)?;
+        let hint = self.topo_hint(comm)?;
         let mut s = CollSchedule::new();
-        let win = self.alloc_tag_window(comm);
-        match self.choose(CollOp::Barrier, size, 0, OrderPolicy::Any) {
-            CollAlgorithm::RecursiveDoubling => rd::barrier(&mut s, win, rank, size),
-            CollAlgorithm::BinomialTree => tree::barrier(&mut s, win, rank, size),
-            _ => linear::barrier(&mut s, win, rank, size),
+        match self.choose(CollOp::Barrier, size, 0, OrderPolicy::Any, hint) {
+            CollAlgorithm::Hierarchical => {
+                let topo = self.comm_topology(comm)?;
+                let w_in = self.alloc_tag_window(comm);
+                let w_lead = self.alloc_tag_window(comm);
+                let w_out = self.alloc_tag_window(comm);
+                hier::barrier(&mut s, w_in, w_lead, w_out, rank, &topo);
+            }
+            CollAlgorithm::RecursiveDoubling => {
+                let win = self.alloc_tag_window(comm);
+                rd::barrier(&mut s, win, rank, size);
+            }
+            CollAlgorithm::BinomialTree => {
+                let win = self.alloc_tag_window(comm);
+                tree::barrier(&mut s, win, rank, size);
+            }
+            _ => {
+                let win = self.alloc_tag_window(comm);
+                linear::barrier(&mut s, win, rank, size);
+            }
         }
         self.coll_start(comm, s)
     }
@@ -229,22 +285,36 @@ impl Engine {
             return self.coll_immediate(CollOutcome::Buffer(buf));
         }
         let rank = self.comm_rank(comm)?;
+        let hint = self.topo_hint(comm)?;
         let mut s = CollSchedule::new();
-        let win = self.alloc_tag_window(comm);
         let data = if rank == root {
             s.filled(buf)
         } else {
             s.empty()
         };
-        match self.choose(CollOp::Bcast, size, 0, OrderPolicy::Any) {
-            CollAlgorithm::BinomialTree => tree::bcast(&mut s, win, rank, size, root, data),
+        match self.choose(CollOp::Bcast, size, 0, OrderPolicy::Any, hint) {
+            CollAlgorithm::Hierarchical => {
+                let topo = self.comm_topology(comm)?;
+                let w_in = self.alloc_tag_window(comm);
+                let w_lead = self.alloc_tag_window(comm);
+                let w_out = self.alloc_tag_window(comm);
+                hier::bcast(&mut s, w_in, w_lead, w_out, rank, &topo, root, data);
+            }
+            CollAlgorithm::BinomialTree => {
+                let win = self.alloc_tag_window(comm);
+                tree::bcast(&mut s, win, rank, size, root, data);
+            }
             CollAlgorithm::Pipelined => {
+                let win = self.alloc_tag_window(comm);
                 let seg = self
                     .segment_bytes
                     .unwrap_or(pipeline::DEFAULT_BCAST_SEGMENT_BYTES);
                 pipeline::bcast(&mut s, win, rank, size, root, data, seg);
             }
-            _ => linear::bcast(&mut s, win, rank, size, root, data),
+            _ => {
+                let win = self.alloc_tag_window(comm);
+                linear::bcast(&mut s, win, rank, size, root, data);
+            }
         }
         finalize_buffer(&mut s, data);
         self.coll_start(comm, s)
@@ -263,7 +333,7 @@ impl Engine {
         let mut s = CollSchedule::new();
         let win = self.alloc_tag_window(comm);
         let own = s.filled(send.to_vec());
-        let framed = match self.choose(CollOp::Gather, size, 0, OrderPolicy::Any) {
+        let framed = match self.choose(CollOp::Gather, size, 0, OrderPolicy::Any, TopoHint::FLAT) {
             CollAlgorithm::BinomialTree => tree::gather(&mut s, win, rank, size, root, own),
             _ => linear::gather(&mut s, win, rank, size, root, own),
         };
@@ -303,7 +373,7 @@ impl Engine {
         let mut s = CollSchedule::new();
         let win = self.alloc_tag_window(comm);
         let out = s.empty();
-        match self.choose(CollOp::Scatter, size, 0, OrderPolicy::Any) {
+        match self.choose(CollOp::Scatter, size, 0, OrderPolicy::Any, TopoHint::FLAT) {
             CollAlgorithm::BinomialTree => {
                 tree::scatter(&mut s, win, rank, size, root, chunks, out)
             }
@@ -330,9 +400,20 @@ impl Engine {
             return self.coll_immediate(CollOutcome::Parts(vec![send.to_vec()]));
         }
         let rank = self.comm_rank(comm)?;
+        let hint = self.topo_hint(comm)?;
         let mut s = CollSchedule::new();
         let own = s.filled(send.to_vec());
-        match self.choose(CollOp::Allgather, size, 0, OrderPolicy::Any) {
+        match self.choose(CollOp::Allgather, size, 0, OrderPolicy::Any, hint) {
+            CollAlgorithm::Hierarchical => {
+                let topo = self.comm_topology(comm)?;
+                let w_in = self.alloc_tag_window(comm);
+                let w_lead_a = self.alloc_tag_window(comm);
+                let w_lead_b = self.alloc_tag_window(comm);
+                let w_out = self.alloc_tag_window(comm);
+                let framed =
+                    hier::allgather(&mut s, w_in, w_lead_a, w_lead_b, w_out, rank, &topo, own);
+                finalize_parts_from_frame(&mut s, framed, size);
+            }
             CollAlgorithm::RecursiveDoubling => {
                 let win = self.alloc_tag_window(comm);
                 let framed = rd::allgather(&mut s, win, rank, size, own);
@@ -384,15 +465,38 @@ impl Engine {
             return self.coll_immediate(CollOutcome::Buffer(send[..need].to_vec()));
         }
         let rank = self.comm_rank(comm)?;
+        let hint = self.topo_hint(comm)?;
         let policy = tuning::order_policy(op, kind);
         let mut s = CollSchedule::new();
-        let win = self.alloc_tag_window(comm);
         let own = s.filled(send[..need].to_vec());
-        let out = match self.choose(CollOp::Reduce, size, need, policy) {
+        let out = match self.choose(CollOp::Reduce, size, need, policy, hint) {
+            CollAlgorithm::Hierarchical => {
+                let topo = self.comm_topology(comm)?;
+                let w_in = self.alloc_tag_window(comm);
+                let w_lead = self.alloc_tag_window(comm);
+                let w_out = self.alloc_tag_window(comm);
+                hier::reduce(
+                    &mut s,
+                    w_in,
+                    w_lead,
+                    w_out,
+                    rank,
+                    &topo,
+                    root,
+                    own,
+                    kind,
+                    count,
+                    op.clone(),
+                )
+            }
             CollAlgorithm::BinomialTree => {
+                let win = self.alloc_tag_window(comm);
                 tree::reduce(&mut s, win, rank, size, root, own, kind, count, op.clone())
             }
-            _ => linear::reduce(&mut s, win, rank, size, root, own, kind, count, op.clone()),
+            _ => {
+                let win = self.alloc_tag_window(comm);
+                linear::reduce(&mut s, win, rank, size, root, own, kind, count, op.clone())
+            }
         };
         if rank == root {
             finalize_buffer(&mut s, out);
@@ -417,9 +521,31 @@ impl Engine {
             return self.coll_immediate(CollOutcome::Buffer(send[..need].to_vec()));
         }
         let rank = self.comm_rank(comm)?;
+        let hint = self.topo_hint(comm)?;
         let policy = tuning::order_policy(op, kind);
         let mut s = CollSchedule::new();
-        let out = match self.choose(CollOp::Allreduce, size, need, policy) {
+        let out = match self.choose(CollOp::Allreduce, size, need, policy, hint) {
+            CollAlgorithm::Hierarchical => {
+                let topo = self.comm_topology(comm)?;
+                let w_in = self.alloc_tag_window(comm);
+                let w_lead_a = self.alloc_tag_window(comm);
+                let w_lead_b = self.alloc_tag_window(comm);
+                let w_out = self.alloc_tag_window(comm);
+                let own = s.filled(send[..need].to_vec());
+                hier::allreduce(
+                    &mut s,
+                    w_in,
+                    w_lead_a,
+                    w_lead_b,
+                    w_out,
+                    rank,
+                    &topo,
+                    own,
+                    kind,
+                    count,
+                    op.clone(),
+                )
+            }
             CollAlgorithm::RecursiveDoubling => {
                 let win = self.alloc_tag_window(comm);
                 let own = s.filled(send[..need].to_vec());
@@ -538,9 +664,10 @@ impl Engine {
         self.allgather(comm, send)
     }
 
-    /// `MPI_Alltoall` / `MPI_Alltoallv`: `chunks[d]` goes to rank `d`;
-    /// returns the chunk received from every rank.
-    pub fn alltoall(&mut self, comm: CommHandle, chunks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+    /// `MPI_Ialltoall` / `Ialltoallv`: `chunks[d]` goes to rank `d`;
+    /// outcome [`CollOutcome::Parts`] with the chunk received from every
+    /// rank.
+    pub fn ialltoall(&mut self, comm: CommHandle, chunks: &[Vec<u8>]) -> Result<CollRequestId> {
         self.check_live()?;
         let size = self.comm_size(comm)?;
         if chunks.len() != size {
@@ -550,7 +677,7 @@ impl Engine {
             );
         }
         if size == 1 {
-            return Ok(vec![chunks[0].clone()]);
+            return self.coll_immediate(CollOutcome::Parts(vec![chunks[0].clone()]));
         }
         let rank = self.comm_rank(comm)?;
         // The posted pairwise exchange is already contention-free; no
@@ -558,7 +685,13 @@ impl Engine {
         let mut s = CollSchedule::new();
         let win = self.alloc_tag_window(comm);
         linear::alltoall(&mut s, win, rank, size, chunks);
-        let req = self.coll_start(comm, s)?;
+        self.coll_start(comm, s)
+    }
+
+    /// `MPI_Alltoall` / `MPI_Alltoallv`: `chunks[d]` goes to rank `d`;
+    /// returns the chunk received from every rank.
+    pub fn alltoall(&mut self, comm: CommHandle, chunks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        let req = self.ialltoall(comm, chunks)?;
         Self::expect_parts(self.coll_wait(req)?)
     }
 
@@ -593,16 +726,16 @@ impl Engine {
         Self::expect_buffer(self.coll_wait(req)?)
     }
 
-    /// `MPI_Reduce_scatter`: reduce the full vector, deliver `counts[i]`
-    /// elements of the result to rank `i`.
-    pub fn reduce_scatter(
+    /// `MPI_Ireduce_scatter`: outcome [`CollOutcome::Buffer`] with this
+    /// rank's `counts[rank]`-element slice of the reduced vector.
+    pub fn ireduce_scatter(
         &mut self,
         comm: CommHandle,
         send: &[u8],
         counts: &[usize],
         kind: PrimitiveKind,
         op: &Op,
-    ) -> Result<Vec<u8>> {
+    ) -> Result<CollRequestId> {
         self.check_live()?;
         let size = self.comm_size(comm)?;
         if counts.len() != size {
@@ -614,12 +747,12 @@ impl Engine {
         let total: usize = counts.iter().sum();
         let need = self.reduce_need(send, kind, total, "reduce_scatter")?;
         if size == 1 {
-            return Ok(send[..need].to_vec());
+            return self.coll_immediate(CollOutcome::Buffer(send[..need].to_vec()));
         }
         let rank = self.comm_rank(comm)?;
         let policy = tuning::order_policy(op, kind);
         let mut s = CollSchedule::new();
-        let out = match self.choose(CollOp::ReduceScatter, size, need, policy) {
+        let out = match self.choose(CollOp::ReduceScatter, size, need, policy, TopoHint::FLAT) {
             CollAlgorithm::Ring => {
                 let win = self.alloc_tag_window(comm);
                 let segs =
@@ -658,15 +791,52 @@ impl Engine {
             }
         };
         finalize_buffer(&mut s, out);
-        let req = self.coll_start(comm, s)?;
+        self.coll_start(comm, s)
+    }
+
+    /// `MPI_Reduce_scatter`: reduce the full vector, deliver `counts[i]`
+    /// elements of the result to rank `i`.
+    pub fn reduce_scatter(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+        counts: &[usize],
+        kind: PrimitiveKind,
+        op: &Op,
+    ) -> Result<Vec<u8>> {
+        let req = self.ireduce_scatter(comm, send, counts, kind, op)?;
         let my_chunk = Self::expect_buffer(self.coll_wait(req)?)?;
-        debug_assert_eq!(my_chunk.len(), counts[rank] * kind.size());
+        debug_assert_eq!(my_chunk.len(), counts[self.comm_rank(comm)?] * kind.size());
         Ok(my_chunk)
     }
 
-    /// `MPI_Scan`: inclusive prefix reduction in rank order. The prefix
-    /// chain *is* sequential, so the linear pipeline is the only
-    /// algorithm.
+    /// `MPI_Iscan`: inclusive prefix reduction in rank order; outcome
+    /// [`CollOutcome::Buffer`] with this rank's prefix. The prefix chain
+    /// *is* sequential, so the linear pipeline is the only algorithm.
+    pub fn iscan(
+        &mut self,
+        comm: CommHandle,
+        send: &[u8],
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<CollRequestId> {
+        self.check_live()?;
+        let need = self.reduce_need(send, kind, count, "scan")?;
+        let size = self.comm_size(comm)?;
+        if size == 1 {
+            return self.coll_immediate(CollOutcome::Buffer(send[..need].to_vec()));
+        }
+        let rank = self.comm_rank(comm)?;
+        let mut s = CollSchedule::new();
+        let win = self.alloc_tag_window(comm);
+        let own = s.filled(send[..need].to_vec());
+        let acc = linear::scan(&mut s, win, rank, size, own, kind, count, op.clone());
+        finalize_buffer(&mut s, acc);
+        self.coll_start(comm, s)
+    }
+
+    /// `MPI_Scan`: inclusive prefix reduction in rank order.
     pub fn scan(
         &mut self,
         comm: CommHandle,
@@ -675,19 +845,7 @@ impl Engine {
         count: usize,
         op: &Op,
     ) -> Result<Vec<u8>> {
-        self.check_live()?;
-        let need = self.reduce_need(send, kind, count, "scan")?;
-        let size = self.comm_size(comm)?;
-        if size == 1 {
-            return Ok(send[..need].to_vec());
-        }
-        let rank = self.comm_rank(comm)?;
-        let mut s = CollSchedule::new();
-        let win = self.alloc_tag_window(comm);
-        let own = s.filled(send[..need].to_vec());
-        let acc = linear::scan(&mut s, win, rank, size, own, kind, count, op.clone());
-        finalize_buffer(&mut s, acc);
-        let req = self.coll_start(comm, s)?;
+        let req = self.iscan(comm, send, kind, count, op)?;
         Self::expect_buffer(self.coll_wait(req)?)
     }
 
@@ -1067,6 +1225,84 @@ mod tests {
                 before.eager_sends + before.rendezvous_sends,
                 after.eager_sends + after.rendezvous_sends
             );
+        })
+        .unwrap();
+    }
+
+    /// Tentpole smoke: every hierarchical collective over a genuine
+    /// hybrid fabric (2 nodes × 4 ranks), including non-leader roots
+    /// (the extra intra-node hop) and variable-length contributions.
+    #[test]
+    fn hierarchical_collectives_work_over_a_hybrid_fabric() {
+        use crate::UniverseConfig;
+        use mpi_transport::NodeMap;
+        let config = UniverseConfig::new(8, DeviceKind::Hybrid)
+            .with_nodes(NodeMap::regular(2, 4))
+            .with_coll_algorithm(CollAlgorithm::Hierarchical);
+        Universe::run_with_config(config, |engine| {
+            let rank = engine.world_rank();
+            let sum = Op::Predefined(PredefinedOp::Sum);
+            engine.barrier(COMM_WORLD).unwrap();
+
+            // Bcast from a non-leader root (rank 5 lives on node 1,
+            // whose leader is rank 4): exercises the root hop.
+            let mut buf = if rank == 5 {
+                b"hier".to_vec()
+            } else {
+                Vec::new()
+            };
+            engine.bcast(COMM_WORLD, 5, &mut buf).unwrap();
+            assert_eq!(&buf, b"hier");
+
+            // Allreduce on every rank.
+            let got = engine
+                .allreduce(
+                    COMM_WORLD,
+                    &ints(&[rank as i32, 1]),
+                    PrimitiveKind::Int,
+                    2,
+                    &sum,
+                )
+                .unwrap();
+            assert_eq!(to_ints(&got), vec![28, 8]);
+
+            // Reduce to a non-leader root (delivery hop).
+            let got = engine
+                .reduce(
+                    COMM_WORLD,
+                    3,
+                    &ints(&[rank as i32]),
+                    PrimitiveKind::Int,
+                    1,
+                    &sum,
+                )
+                .unwrap();
+            if rank == 3 {
+                assert_eq!(to_ints(&got.unwrap()), vec![28]);
+            } else {
+                assert!(got.is_none());
+            }
+
+            // Allgatherv with variable (incl. zero) lengths.
+            let contribution = vec![rank as u8; rank % 3];
+            let parts = engine.allgather(COMM_WORLD, &contribution).unwrap();
+            assert_eq!(parts.len(), 8);
+            for (r, p) in parts.iter().enumerate() {
+                assert_eq!(p, &vec![r as u8; r % 3], "rank {r}");
+            }
+
+            // And the nonblocking twin of one of them, driven by test().
+            let req = engine
+                .iallreduce(COMM_WORLD, &ints(&[1]), PrimitiveKind::Int, 1, &sum)
+                .unwrap();
+            let outcome = loop {
+                if let Some(outcome) = engine.coll_test(req).unwrap() {
+                    break outcome;
+                }
+                std::thread::yield_now();
+            };
+            assert_eq!(to_ints(&outcome.into_buffer()), vec![8]);
+            engine.finalize().unwrap();
         })
         .unwrap();
     }

@@ -334,6 +334,105 @@ impl CollSchedule {
     }
 }
 
+/// What the algorithm modules need from a schedule under construction.
+///
+/// The builders in [`super::linear`] / [`super::tree`] / [`super::rd`] /
+/// [`super::ring`] / [`super::pipeline`] are generic over this trait so
+/// the same wire patterns compose at two scopes:
+///
+/// * directly on a [`CollSchedule`] — peers are the communicator's own
+///   ranks (the flat algorithms), or
+/// * through a [`Subgroup`] view — the builder runs over a *relabelled*
+///   rank space `0..members.len()` and every peer it names is translated
+///   to the owning communicator rank when the round is pushed. This is
+///   how the hierarchical collectives ([`super::hier`]) reuse the
+///   tree/recursive-doubling schedules over the node-leader subgroup
+///   without the builders knowing anything about nodes.
+///
+/// Slots are shared with the underlying schedule either way (a
+/// `Subgroup` allocates from the same store), so slot ids handed across
+/// phase boundaries stay valid; only the *peers* of pushed rounds are
+/// remapped, which is safe because peers live in plain `Round` fields —
+/// compute closures capture slots, never peers.
+pub(crate) trait Sched {
+    /// Allocate an empty slot (filled later by a receive or a compute).
+    fn empty(&mut self) -> SlotId;
+    /// Allocate a slot pre-filled with `data`.
+    fn filled(&mut self, data: Vec<u8>) -> SlotId;
+    /// Pre-fill an existing slot.
+    fn fill(&mut self, slot: SlotId, data: Vec<u8>);
+    /// Length of a pre-filled slot (0 if empty).
+    fn len_of(&self, slot: SlotId) -> usize;
+    /// Append a round (empty rounds are dropped).
+    fn push(&mut self, round: Round);
+}
+
+impl Sched for CollSchedule {
+    fn empty(&mut self) -> SlotId {
+        CollSchedule::empty(self)
+    }
+    fn filled(&mut self, data: Vec<u8>) -> SlotId {
+        CollSchedule::filled(self, data)
+    }
+    fn fill(&mut self, slot: SlotId, data: Vec<u8>) {
+        CollSchedule::fill(self, slot, data)
+    }
+    fn len_of(&self, slot: SlotId) -> usize {
+        CollSchedule::len_of(self, slot)
+    }
+    fn push(&mut self, round: Round) {
+        CollSchedule::push(self, round)
+    }
+}
+
+/// A relabelled view of a schedule: the wrapped builder sees ranks
+/// `0..members.len()`, and every peer of a pushed round is translated
+/// through `members` to the owning communicator's rank space. See
+/// [`Sched`].
+///
+/// Caveat: only rounds pushed **at build time** are remapped. A builder
+/// that extends its schedule at *run time* through
+/// [`SchedCtx::push_round`] (the pipelined broadcast) would emit
+/// unremapped peers — do not run such builders through a `Subgroup`
+/// (the hierarchical composer only reuses the static tree / recursive-
+/// doubling / linear builders).
+pub(crate) struct Subgroup<'a> {
+    inner: &'a mut CollSchedule,
+    members: &'a [usize],
+}
+
+impl<'a> Subgroup<'a> {
+    /// View `inner` through the rank relabelling `members[sub_rank] =
+    /// comm_rank`.
+    pub(crate) fn new(inner: &'a mut CollSchedule, members: &'a [usize]) -> Subgroup<'a> {
+        Subgroup { inner, members }
+    }
+}
+
+impl Sched for Subgroup<'_> {
+    fn empty(&mut self) -> SlotId {
+        self.inner.empty()
+    }
+    fn filled(&mut self, data: Vec<u8>) -> SlotId {
+        self.inner.filled(data)
+    }
+    fn fill(&mut self, slot: SlotId, data: Vec<u8>) {
+        self.inner.fill(slot, data)
+    }
+    fn len_of(&self, slot: SlotId) -> usize {
+        self.inner.len_of(slot)
+    }
+    fn push(&mut self, mut round: Round) {
+        for recv in &mut round.recvs {
+            recv.peer = self.members[recv.peer];
+        }
+        for send in &mut round.sends {
+            send.peer = self.members[send.peer];
+        }
+        self.inner.push(round);
+    }
+}
+
 /// Handle to an in-flight nonblocking collective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CollRequestId(pub(crate) u64);
@@ -616,6 +715,20 @@ impl Engine {
             let frame = self.endpoint.recv()?;
             self.on_frame(frame)?;
         }
+    }
+
+    /// Drain every frame already available from the transport and
+    /// advance every in-flight collective schedule, without parking and
+    /// without consuming any request's completion — the non-committal
+    /// progress primitive behind all-or-nothing batched tests at the
+    /// binding layer: drive once, *check* with [`Engine::is_complete`] /
+    /// [`Engine::coll_is_complete`], and only then decide whether to
+    /// harvest anything.
+    pub fn progress_poll(&mut self) -> Result<()> {
+        while let Some(frame) = self.endpoint.try_recv()? {
+            self.on_frame(frame)?;
+        }
+        self.nb_progress()
     }
 
     /// Park until one more frame arrives, process it, and advance every

@@ -52,7 +52,7 @@
 //! [`Engine::set_segment_bytes`]: crate::Engine::set_segment_bytes
 //! [`Engine::set_coll_algorithm`]: crate::Engine::set_coll_algorithm
 
-use super::nb::{CollSchedule, Round, SlotId, TagWindow, ROUND_SPACE};
+use super::nb::{Round, Sched, SlotId, TagWindow, ROUND_SPACE};
 use crate::error::{err, ErrorClass};
 
 /// Segment size used when the engine has no explicit pipeline
@@ -71,7 +71,7 @@ fn chunk_tag(win: TagWindow, index: usize) -> i32 {
 /// Byte-identical to the tree / linear bcast schedules; the payload ends
 /// up in slot `data` on every rank.
 pub(crate) fn bcast(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,

@@ -15,7 +15,7 @@
 //! ([`supported`](super::tuning::supported)); the dispatcher falls back to
 //! tree or ring there.
 
-use super::nb::{CollSchedule, Round, SlotId, TagWindow};
+use super::nb::{Round, Sched, SlotId, TagWindow};
 use super::{frame_entries, unframe_entries};
 use crate::error::{err, ErrorClass};
 use crate::ops::Op;
@@ -23,7 +23,7 @@ use crate::types::PrimitiveKind;
 
 /// Pairwise-exchange barrier: after round `k` every rank has heard
 /// (transitively) from its aligned block of `2^(k+1)` ranks.
-pub(crate) fn barrier(s: &mut CollSchedule, win: TagWindow, rank: usize, size: usize) {
+pub(crate) fn barrier(s: &mut impl Sched, win: TagWindow, rank: usize, size: usize) {
     debug_assert!(size.is_power_of_two());
     let mut mask = 1usize;
     let mut round = 0usize;
@@ -45,7 +45,7 @@ pub(crate) fn barrier(s: &mut CollSchedule, win: TagWindow, rank: usize, size: u
 /// `(rank, payload)` entries accumulated so far, doubling coverage. The
 /// returned slot holds everyone's framed entries on every rank.
 pub(crate) fn allgather(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,
@@ -87,7 +87,7 @@ pub(crate) fn allgather(
 /// holds the full reduction on every rank.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn allreduce(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,

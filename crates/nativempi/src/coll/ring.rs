@@ -14,7 +14,7 @@
 //! is `Any` — the exactly commutative-and-associative integer/bitwise
 //! operations, for which every fold order is byte-identical.
 
-use super::nb::{CollSchedule, Round, SlotId, TagWindow};
+use super::nb::{Round, Sched, SlotId, TagWindow};
 use crate::error::{err, ErrorClass};
 use crate::ops::Op;
 use crate::types::PrimitiveKind;
@@ -26,7 +26,7 @@ use crate::types::PrimitiveKind;
 /// returned slots hold all blocks in rank order when the schedule
 /// completes.
 pub(crate) fn allgather(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,
@@ -55,7 +55,7 @@ pub(crate) fn allgather(
 /// module docs). Returns the slot of this rank's reduced segment.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn reduce_scatter(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,

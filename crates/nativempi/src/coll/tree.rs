@@ -27,7 +27,7 @@
 //! caller's root is not rank 0, the result is forwarded with one extra
 //! message: one hop buys order preservation for every root.
 
-use super::nb::{CollSchedule, Round, SlotId, TagWindow};
+use super::nb::{Round, Sched, SlotId, TagWindow};
 use super::{frame_entries, unframe_entries};
 use crate::error::{err, ErrorClass, MpiError, Result};
 use crate::ops::Op;
@@ -41,7 +41,7 @@ const FAN_OUT_ROUNDS: usize = 32;
 const FORWARD_ROUND: usize = super::nb::ROUND_SPACE - 1;
 
 /// Binomial fan-in to rank 0, binomial fan-out back.
-pub(crate) fn barrier(s: &mut CollSchedule, win: TagWindow, rank: usize, size: usize) {
+pub(crate) fn barrier(s: &mut impl Sched, win: TagWindow, rank: usize, size: usize) {
     // Fan-in: collect the children's signals, then signal the parent.
     let mut fan_in = Round::new();
     let mut parent: Option<(usize, i32)> = None;
@@ -99,7 +99,7 @@ pub(crate) fn barrier(s: &mut CollSchedule, win: TagWindow, rank: usize, size: u
 /// `data` (pre-filled on the root) on every rank when the schedule
 /// completes.
 pub(crate) fn bcast(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,
@@ -134,7 +134,7 @@ pub(crate) fn bcast(
 /// (gatherv). The returned slot holds everyone's framed entries on the
 /// root.
 pub(crate) fn gather(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,
@@ -178,7 +178,7 @@ pub(crate) fn gather(
 /// each child's subtree (furthest subtree first, exactly the blocking
 /// partition order) and forwards it, keeping its own chunk in `out`.
 pub(crate) fn scatter(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,
@@ -259,7 +259,7 @@ pub(crate) fn scatter(
 /// returned slot holds the result on the root.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn reduce(
-    s: &mut CollSchedule,
+    s: &mut impl Sched,
     win: TagWindow,
     rank: usize,
     size: usize,

@@ -3,8 +3,26 @@
 //!
 //! ## Selection table
 //!
+//! ## Topology-aware selection
+//!
+//! When the fabric's node map makes the communicator *hierarchical*
+//! (more than one node, at least one node with several members — see
+//! [`TopoHint`]), barrier / bcast / allgather / reduce / allreduce
+//! prefer the leader-based [`hier`](super::hier) schedules: the
+//! inter-node link is the scarce resource, and the hierarchical wire
+//! pattern crosses it the minimum number of times regardless of
+//! payload, so no payload axis is needed. Reductions additionally
+//! respect the order rules: `Ordered` operations require a contiguous
+//! placement (see the `hier` module docs), `Sequential` ones never run
+//! hierarchically. On flat and degenerate maps (everything on one node,
+//! one rank per node) the hint is non-hierarchical and the table below
+//! applies unchanged — including under a pinned
+//! `MPIJAVA_COLL_ALG=hier`, which then falls back like any other
+//! unsupported pin.
+//!
 //! | op | comm size | payload | algorithm |
 //! |---|---|---|---|
+//! | *hierarchical map* (barrier/bcast/allgather/reduce/allreduce) | any | any | hier (order rules permitting) |
 //! | barrier | power of two | — | recursive doubling |
 //! | barrier | other | — | binomial tree |
 //! | bcast | ≥ 2 | any | binomial tree (pin `pipelined` for huge payloads) |
@@ -86,6 +104,36 @@ pub enum OrderPolicy {
     Sequential,
 }
 
+/// Node-topology summary of one communicator, consulted by the
+/// selection functions. Produced by the engine from the fabric's
+/// [`NodeMap`](mpi_transport::NodeMap) and the communicator's member
+/// list; [`TopoHint::FLAT`] describes a single-fabric communicator and
+/// keeps the pre-topology behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopoHint {
+    /// More than one node and at least one node with several members —
+    /// the leader scheme has something to exploit.
+    pub hierarchical: bool,
+    /// Every node's members form one consecutive comm-rank block, blocks
+    /// ascending — the hierarchical fold preserves rank order, so
+    /// `Ordered` reductions are admissible.
+    pub contiguous: bool,
+}
+
+impl TopoHint {
+    /// A single-fabric communicator (no hierarchy; trivially ordered).
+    pub const FLAT: TopoHint = TopoHint {
+        hierarchical: false,
+        contiguous: true,
+    };
+}
+
+impl Default for TopoHint {
+    fn default() -> Self {
+        TopoHint::FLAT
+    }
+}
+
 /// Classify how a reduction of `kind` under `op` may be reordered.
 pub fn order_policy(op: &Op, kind: PrimitiveKind) -> OrderPolicy {
     use PrimitiveKind as K;
@@ -104,9 +152,15 @@ pub fn order_policy(op: &Op, kind: PrimitiveKind) -> OrderPolicy {
 }
 
 /// Can `alg` implement `op` on a communicator of `size` ranks under
-/// `policy`? (`size` is ≥ 2 here; single-rank communicators take the
-/// fast path before selection.)
-pub fn supported(alg: CollAlgorithm, op: CollOp, size: usize, policy: OrderPolicy) -> bool {
+/// `policy`, over a fabric described by `topo`? (`size` is ≥ 2 here;
+/// single-rank communicators take the fast path before selection.)
+pub fn supported(
+    alg: CollAlgorithm,
+    op: CollOp,
+    size: usize,
+    policy: OrderPolicy,
+    topo: TopoHint,
+) -> bool {
     use CollAlgorithm as A;
     use CollOp as O;
     match alg {
@@ -132,14 +186,42 @@ pub fn supported(alg: CollAlgorithm, op: CollOp, size: usize, policy: OrderPolic
         },
         // Segmented tree bcast only; every other operation falls back.
         A::Pipelined => op == O::Bcast,
+        // The leader scheme needs real hierarchy, and its reductions
+        // re-associate across node boundaries: rank order survives only
+        // on contiguous placements (see the hier module docs).
+        A::Hierarchical => {
+            topo.hierarchical
+                && match op {
+                    O::Barrier | O::Bcast | O::Allgather => true,
+                    O::Reduce | O::Allreduce => match policy {
+                        OrderPolicy::Any => true,
+                        OrderPolicy::Ordered => topo.contiguous,
+                        OrderPolicy::Sequential => false,
+                    },
+                    _ => false,
+                }
+        }
     }
 }
 
 /// The tuned choice from the table in the module docs. Always returns an
 /// algorithm [`supported`] for the inputs.
-pub fn tuned(op: CollOp, size: usize, bytes: usize, policy: OrderPolicy) -> CollAlgorithm {
+pub fn tuned(
+    op: CollOp,
+    size: usize,
+    bytes: usize,
+    policy: OrderPolicy,
+    topo: TopoHint,
+) -> CollAlgorithm {
     use CollAlgorithm as A;
     use CollOp as O;
+    // Topology first: on a hierarchical map the inter-node link
+    // dominates, and the leader scheme minimizes its traversals for
+    // every payload size (order rules permitting — `supported` encodes
+    // them, and the ops it rejects fall through to the flat table).
+    if supported(A::Hierarchical, op, size, policy, topo) {
+        return A::Hierarchical;
+    }
     match op {
         O::Barrier => {
             if size.is_power_of_two() {
@@ -199,12 +281,13 @@ pub fn select(
     size: usize,
     bytes: usize,
     policy: OrderPolicy,
+    topo: TopoHint,
     forced: Option<CollAlgorithm>,
 ) -> CollAlgorithm {
-    let fallback = tuned(op, size, bytes, policy);
-    debug_assert!(supported(fallback, op, size, policy));
+    let fallback = tuned(op, size, bytes, policy, topo);
+    debug_assert!(supported(fallback, op, size, policy, topo));
     match forced {
-        Some(alg) if supported(alg, op, size, policy) => alg,
+        Some(alg) if supported(alg, op, size, policy, topo) => alg,
         _ => fallback,
     }
 }
@@ -228,6 +311,17 @@ mod tests {
             CollOp::ReduceScatter,
             CollOp::Scan,
         ];
+        let topos = [
+            TopoHint::FLAT,
+            TopoHint {
+                hierarchical: true,
+                contiguous: true,
+            },
+            TopoHint {
+                hierarchical: true,
+                contiguous: false,
+            },
+        ];
         for op in ops {
             for size in [2usize, 3, 4, 5, 8, 12, 16] {
                 for bytes in [0usize, 64, RING_PAYLOAD_BYTES, 1 << 20] {
@@ -236,11 +330,13 @@ mod tests {
                         OrderPolicy::Ordered,
                         OrderPolicy::Sequential,
                     ] {
-                        let alg = tuned(op, size, bytes, policy);
-                        assert!(
-                            supported(alg, op, size, policy),
-                            "{op:?} size={size} bytes={bytes} {policy:?} -> {alg:?}"
-                        );
+                        for topo in topos {
+                            let alg = tuned(op, size, bytes, policy, topo);
+                            assert!(
+                                supported(alg, op, size, policy, topo),
+                                "{op:?} size={size} bytes={bytes} {policy:?} {topo:?} -> {alg:?}"
+                            );
+                        }
                     }
                 }
             }
@@ -250,15 +346,21 @@ mod tests {
     #[test]
     fn large_commutative_allreduce_goes_ring() {
         assert_eq!(
-            tuned(CollOp::Allreduce, 8, 64 * 1024, OrderPolicy::Any),
+            tuned(
+                CollOp::Allreduce,
+                8,
+                64 * 1024,
+                OrderPolicy::Any,
+                TopoHint::FLAT
+            ),
             CollAlgorithm::Ring
         );
         assert_eq!(
-            tuned(CollOp::Allreduce, 8, 64, OrderPolicy::Any),
+            tuned(CollOp::Allreduce, 8, 64, OrderPolicy::Any, TopoHint::FLAT),
             CollAlgorithm::RecursiveDoubling
         );
         assert_eq!(
-            tuned(CollOp::Allreduce, 6, 64, OrderPolicy::Any),
+            tuned(CollOp::Allreduce, 6, 64, OrderPolicy::Any, TopoHint::FLAT),
             CollAlgorithm::BinomialTree
         );
     }
@@ -266,11 +368,80 @@ mod tests {
     #[test]
     fn sequential_ops_stay_linear_everywhere() {
         for op in [CollOp::Reduce, CollOp::Allreduce, CollOp::ReduceScatter] {
+            for topo in [
+                TopoHint::FLAT,
+                TopoHint {
+                    hierarchical: true,
+                    contiguous: true,
+                },
+            ] {
+                assert_eq!(
+                    tuned(op, 8, 1 << 20, OrderPolicy::Sequential, topo),
+                    CollAlgorithm::Linear
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_maps_prefer_hier_and_degenerate_ones_collapse() {
+        let hier = TopoHint {
+            hierarchical: true,
+            contiguous: true,
+        };
+        let scattered = TopoHint {
+            hierarchical: true,
+            contiguous: false,
+        };
+        for op in [
+            CollOp::Barrier,
+            CollOp::Bcast,
+            CollOp::Allgather,
+            CollOp::Reduce,
+            CollOp::Allreduce,
+        ] {
             assert_eq!(
-                tuned(op, 8, 1 << 20, OrderPolicy::Sequential),
-                CollAlgorithm::Linear
+                tuned(op, 8, 1 << 20, OrderPolicy::Any, hier),
+                CollAlgorithm::Hierarchical,
+                "{op:?}"
             );
         }
+        // Ordered reductions need a contiguous placement; data movers
+        // do not care.
+        assert_eq!(
+            tuned(CollOp::Allreduce, 8, 64, OrderPolicy::Ordered, hier),
+            CollAlgorithm::Hierarchical
+        );
+        assert_eq!(
+            tuned(CollOp::Allreduce, 8, 64, OrderPolicy::Ordered, scattered),
+            CollAlgorithm::RecursiveDoubling
+        );
+        assert_eq!(
+            tuned(CollOp::Bcast, 8, 0, OrderPolicy::Any, scattered),
+            CollAlgorithm::Hierarchical
+        );
+        // Ops outside the hierarchical set keep their flat choices.
+        assert_eq!(
+            tuned(CollOp::Alltoall, 8, 0, OrderPolicy::Any, hier),
+            CollAlgorithm::Linear
+        );
+        // A flat (or degenerate) map never selects hier, and a forced
+        // hier pin falls back to the tuned flat choice.
+        assert_eq!(
+            tuned(CollOp::Allreduce, 8, 64, OrderPolicy::Any, TopoHint::FLAT),
+            CollAlgorithm::RecursiveDoubling
+        );
+        assert_eq!(
+            select(
+                CollOp::Allreduce,
+                8,
+                64,
+                OrderPolicy::Any,
+                TopoHint::FLAT,
+                Some(CollAlgorithm::Hierarchical),
+            ),
+            CollAlgorithm::RecursiveDoubling
+        );
     }
 
     #[test]
@@ -281,6 +452,7 @@ mod tests {
             5,
             64,
             OrderPolicy::Any,
+            TopoHint::FLAT,
             Some(CollAlgorithm::RecursiveDoubling),
         );
         assert_eq!(got, CollAlgorithm::BinomialTree);
@@ -290,6 +462,7 @@ mod tests {
             8,
             1 << 20,
             OrderPolicy::Ordered,
+            TopoHint::FLAT,
             Some(CollAlgorithm::Ring),
         );
         assert_eq!(got, CollAlgorithm::Linear);
@@ -299,6 +472,7 @@ mod tests {
             8,
             0,
             OrderPolicy::Any,
+            TopoHint::FLAT,
             Some(CollAlgorithm::Linear),
         );
         assert_eq!(got, CollAlgorithm::Linear);

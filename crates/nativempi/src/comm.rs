@@ -290,6 +290,43 @@ impl Engine {
         self.comm(comm)?.group.world_rank(rank)
     }
 
+    // ---------------------------------------------------------------------
+    // Node topology queries (see the fabric's NodeMap)
+    // ---------------------------------------------------------------------
+
+    /// Node id of `rank` (a rank *in `comm`*): which node of the
+    /// fabric's [`mpi_transport::NodeMap`] that process lives on.
+    pub fn node_of(&self, comm: CommHandle, rank: usize) -> Result<usize> {
+        let world = self.world_rank_of(comm, rank)?;
+        Ok(self.nodes.node_of(world))
+    }
+
+    /// The leader of this process's node within `comm`: the
+    /// lowest-ranked member of `comm` placed on the same node. Leaders
+    /// are the ranks that carry the inter-node traffic of the
+    /// hierarchical collectives (see [`crate::coll::hier`]).
+    pub fn node_leader(&self, comm: CommHandle) -> Result<usize> {
+        let my_rank = self.comm_rank(comm)?;
+        let my_node = self.node_of(comm, my_rank)?;
+        for rank in 0..self.comm_size(comm)? {
+            if self.node_of(comm, rank)? == my_node {
+                return Ok(rank);
+            }
+        }
+        unreachable!("this rank is always on its own node");
+    }
+
+    /// Split `comm` into per-node sub-communicators (one communicator
+    /// per node, members ordered by their rank in `comm`) — the
+    /// `MPI_Comm_split_type(COMM_TYPE_SHARED)` shape. Collective over
+    /// `comm`; every member receives its node's communicator.
+    pub fn comm_split_node(&mut self, comm: CommHandle) -> Result<CommHandle> {
+        let my_rank = self.comm_rank(comm)?;
+        let color = self.node_of(comm, my_rank)? as i32;
+        self.comm_split(comm, color, my_rank as i32)?
+            .ok_or_else(|| MpiError::new(ErrorClass::Intern, "node split returned no communicator"))
+    }
+
     /// Translate a world rank to its rank in `comm`, if it is a member.
     pub(crate) fn comm_rank_of_world(
         &self,
@@ -305,6 +342,47 @@ mod tests {
     use super::*;
     use crate::universe::Universe;
     use mpi_transport::DeviceKind;
+
+    /// The node topology queries: node_of / node_leader /
+    /// comm_split_node over a 2×2 placement, including on a
+    /// sub-communicator whose ranks are not world ranks.
+    #[test]
+    fn node_topology_queries_follow_the_node_map() {
+        use crate::UniverseConfig;
+        use mpi_transport::NodeMap;
+        let config = UniverseConfig::new(4, DeviceKind::Hybrid).with_nodes(NodeMap::regular(2, 2));
+        Universe::run_with_config(config, |engine| {
+            let rank = engine.world_rank();
+            assert_eq!(engine.my_node(), rank / 2);
+            assert_eq!(engine.node_of(COMM_WORLD, 3).unwrap(), 1);
+            assert_eq!(engine.node_leader(COMM_WORLD).unwrap(), (rank / 2) * 2);
+
+            // Per-node split: two communicators of two ranks each,
+            // ordered by world rank.
+            let node_comm = engine.comm_split_node(COMM_WORLD).unwrap();
+            assert_eq!(engine.comm_size(node_comm).unwrap(), 2);
+            assert_eq!(engine.comm_rank(node_comm).unwrap(), rank % 2);
+            // Within the node everyone is on one node: leader is rank 0.
+            assert_eq!(engine.node_leader(node_comm).unwrap(), 0);
+
+            // On a reversed-order sub-communicator the leader is still
+            // the lowest *comm* rank of the node.
+            let rev = engine
+                .comm_split(COMM_WORLD, 0, -(rank as i32))
+                .unwrap()
+                .unwrap();
+            // rev order: world ranks [3, 2, 1, 0]; node of rev-rank 0 = 1.
+            assert_eq!(engine.node_of(rev, 0).unwrap(), 1);
+            let my_rev = engine.comm_rank(rev).unwrap();
+            let expected_leader = if rank >= 2 { 0 } else { 2 };
+            assert_eq!(
+                engine.node_leader(rev).unwrap(),
+                expected_leader,
+                "{my_rev}"
+            );
+        })
+        .unwrap();
+    }
 
     /// Freeing a communicator must release its per-context matching
     /// queues, or dup/free churn grows the engine's posted/unexpected

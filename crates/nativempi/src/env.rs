@@ -16,14 +16,37 @@
 //! |----------|--------|
 //! | [`EAGER_LIMIT_ENV`] (`MPIJAVA_EAGER_LIMIT`) | eager/rendezvous switch-over point in bytes |
 //! | [`SEGMENT_BYTES_ENV`] (`MPIJAVA_SEGMENT_BYTES`) | pipeline segment size for large transfers (unset = no segmentation) |
-//! | `MPIJAVA_COLL_ALG` | pin the collective wire pattern (`linear`/`tree`/`rd`/`ring`/`pipelined`) |
+//! | `MPIJAVA_COLL_ALG` | pin the collective wire pattern (`linear`/`tree`/`rd`/`ring`/`pipelined`/`hier`) |
+//! | [`NODES_ENV`] (`MPIJAVA_NODES`) | rank → node placement for the launchers (see below) |
 //!
 //! Sizes accept an optional `k`/`K` (KiB) or `m`/`M` (MiB) suffix:
 //! `MPIJAVA_EAGER_LIMIT=64k`, `MPIJAVA_SEGMENT_BYTES=1M`.
+//!
+//! ## `MPIJAVA_NODES`
+//!
+//! Read by the [`Universe`](crate::Universe) / `MpiRuntime` launchers
+//! when no explicit [`NodeMap`] was configured
+//! (`UniverseConfig::with_nodes` takes precedence). Three spellings, for
+//! a job of `P` ranks:
+//!
+//! * `MPIJAVA_NODES=2` — two nodes, ranks block-split as evenly as
+//!   possible;
+//! * `MPIJAVA_NODES=2x4` — two nodes × four ranks per node (block
+//!   assignment; `2 × 4` must equal `P`);
+//! * `MPIJAVA_NODES=0,0,1,1` — explicit per-rank node ids (one entry per
+//!   rank; ids are normalized to dense `0..N` in order of first
+//!   appearance, so non-contiguous placements like `0,1,0,1` are legal).
+//!
+//! The placement is what the `hybrid` device routes by (intra-node vs
+//! inter-node class) and what the collective tuning layer consults to
+//! auto-select the hierarchical algorithms; on single-fabric devices it
+//! only affects the topology queries. A malformed or size-inconsistent
+//! value warns loudly on stderr and is ignored, so a typo cannot
+//! silently reshape a job.
 
 use std::time::Duration;
 
-use mpi_transport::{Frame, FrameHeader, FrameKind};
+use mpi_transport::{Frame, FrameHeader, FrameKind, NodeMap};
 
 use crate::comm::CommHandle;
 use crate::error::{err, ErrorClass, Result};
@@ -41,6 +64,32 @@ pub const EAGER_LIMIT_ENV: &str = "MPIJAVA_EAGER_LIMIT";
 /// segmentation for point-to-point rendezvous payloads (the pipelined
 /// broadcast falls back to its own default segment size).
 pub const SEGMENT_BYTES_ENV: &str = "MPIJAVA_SEGMENT_BYTES";
+
+/// Environment variable placing ranks on nodes for the launchers:
+/// `MPIJAVA_NODES=<nodes>|<nodes>x<ranks-per-node>|<id,id,…>` (see the
+/// module docs for the grammar and precedence rules).
+pub const NODES_ENV: &str = "MPIJAVA_NODES";
+
+/// Read the [`NODES_ENV`] placement override for a job of `size` ranks.
+/// Unset (or empty) means no override; a malformed or size-inconsistent
+/// value warns on stderr and is ignored rather than silently reshaping
+/// the job.
+pub fn nodes_from_env(size: usize) -> Option<NodeMap> {
+    let raw = std::env::var(NODES_ENV).ok()?;
+    if raw.trim().is_empty() {
+        return None;
+    }
+    match NodeMap::parse(&raw, size) {
+        Ok(map) => Some(map),
+        Err(reason) => {
+            eprintln!(
+                "warning: {NODES_ENV}={raw:?} is not a usable node placement for a \
+                 {size}-rank job ({reason}); running single-node"
+            );
+            None
+        }
+    }
+}
 
 /// Parse a byte size with an optional `k`/`K` (KiB) or `m`/`M` (MiB)
 /// suffix. Returns `None` for anything unparsable.

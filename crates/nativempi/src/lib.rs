@@ -56,6 +56,7 @@ pub use comm::{CommHandle, COMM_SELF, COMM_WORLD};
 pub use datatype::DatatypeDef;
 pub use error::{ErrorClass, MpiError, Result};
 pub use group::{CompareResult, Group};
+pub use mpi_transport::NodeMap;
 pub use ops::{Op, PredefinedOp};
 pub use request::RequestId;
 pub use types::{PrimitiveKind, SendMode, StatusInfo, ANY_SOURCE, ANY_TAG, PROC_NULL, UNDEFINED};
@@ -103,6 +104,10 @@ pub struct Engine {
     pub(crate) endpoint: Box<dyn Endpoint>,
     pub(crate) world_rank: usize,
     pub(crate) world_size: usize,
+    /// Rank → node placement of the fabric (flat unless the job was
+    /// launched with a [`NodeMap`]). Drives the topology queries and the
+    /// hierarchical collective tuning.
+    pub(crate) nodes: NodeMap,
     pub(crate) comms: Vec<Option<CommRecord>>,
     pub(crate) context_to_comm: HashMap<u32, usize>,
     pub(crate) next_context: u32,
@@ -166,10 +171,12 @@ impl Engine {
     pub fn new(endpoint: Box<dyn Endpoint>) -> Engine {
         let world_rank = endpoint.rank();
         let world_size = endpoint.size();
+        let nodes = endpoint.node_map().clone();
         let mut engine = Engine {
             endpoint,
             world_rank,
             world_size,
+            nodes,
             comms: Vec::new(),
             context_to_comm: HashMap::new(),
             next_context: 0,
@@ -260,6 +267,17 @@ impl Engine {
     /// Number of processes in `MPI_COMM_WORLD`.
     pub fn world_size(&self) -> usize {
         self.world_size
+    }
+
+    /// Rank → node placement of the fabric (flat unless the job was
+    /// launched with a [`NodeMap`] / `MPIJAVA_NODES`).
+    pub fn node_map(&self) -> &NodeMap {
+        &self.nodes
+    }
+
+    /// The node this rank lives on.
+    pub fn my_node(&self) -> usize {
+        self.nodes.node_of(self.world_rank)
     }
 
     /// Activity counters (see [`EngineStats`]).

@@ -8,7 +8,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use mpi_transport::{DeviceKind, DeviceProfile, Fabric, FabricConfig, NetworkModel};
+use mpi_transport::{DeviceKind, DeviceProfile, Fabric, FabricConfig, NetworkModel, NodeMap};
 
 use crate::comm::COMM_WORLD;
 use crate::error::{ErrorClass, MpiError, Result};
@@ -35,6 +35,17 @@ pub struct UniverseConfig {
     /// Pin the collective algorithm on every rank (`None` keeps the tuned
     /// size-aware selection; see [`crate::coll`]).
     pub coll_algorithm: Option<crate::coll::CollAlgorithm>,
+    /// Rank → node placement (`None` falls back to the `MPIJAVA_NODES`
+    /// environment override, then to a flat single-node map). The
+    /// [`DeviceKind::Hybrid`] device routes by it; every device exposes
+    /// it through the engine's topology queries, and the collective
+    /// tuning layer auto-selects the hierarchical algorithms when it is
+    /// non-trivial.
+    pub nodes: Option<NodeMap>,
+    /// Inter-node cost profile (hybrid device; defaults to free).
+    pub inter_profile: DeviceProfile,
+    /// Inter-node link model (hybrid device; defaults to unshaped).
+    pub inter_network: NetworkModel,
     /// Processor-name prefix; rank `i` is named `<prefix><i>`.
     pub processor_name_prefix: Option<String>,
 }
@@ -50,6 +61,9 @@ impl UniverseConfig {
             eager_threshold: None,
             segment_bytes: None,
             coll_algorithm: None,
+            nodes: None,
+            inter_profile: DeviceProfile::default(),
+            inter_network: NetworkModel::unshaped(),
             processor_name_prefix: None,
         }
     }
@@ -84,6 +98,34 @@ impl UniverseConfig {
         self.coll_algorithm = Some(alg);
         self
     }
+
+    /// Place ranks on nodes (see [`NodeMap`]). Takes precedence over the
+    /// `MPIJAVA_NODES` environment override.
+    pub fn with_nodes(mut self, nodes: NodeMap) -> Self {
+        self.nodes = Some(nodes);
+        self
+    }
+
+    /// Attach an inter-node link model (hybrid device).
+    pub fn with_inter_network(mut self, network: NetworkModel) -> Self {
+        self.inter_network = network;
+        self
+    }
+
+    /// Attach an inter-node cost profile (hybrid device).
+    pub fn with_inter_profile(mut self, profile: DeviceProfile) -> Self {
+        self.inter_profile = profile;
+        self
+    }
+
+    /// The placement this configuration resolves to: the explicit map,
+    /// else the `MPIJAVA_NODES` environment override, else flat.
+    pub fn resolved_nodes(&self) -> NodeMap {
+        self.nodes
+            .clone()
+            .or_else(|| crate::env::nodes_from_env(self.size))
+            .unwrap_or_else(|| NodeMap::flat(self.size))
+    }
 }
 
 /// Launcher for SPMD jobs over the engine. See the module documentation.
@@ -116,7 +158,10 @@ impl Universe {
         }
         let fabric_config = FabricConfig::new(config.size, config.device)
             .with_network(config.network)
-            .with_profile(config.profile);
+            .with_profile(config.profile)
+            .with_nodes(config.resolved_nodes())
+            .with_inter_network(config.inter_network)
+            .with_inter_profile(config.inter_profile);
         let endpoints = Fabric::build(fabric_config)?.into_endpoints();
         let f = &f;
         let config = &config;
@@ -230,6 +275,37 @@ mod tests {
             }
         })
         .unwrap();
+    }
+
+    #[test]
+    fn works_over_the_hybrid_device() {
+        // 2 nodes x 2 ranks: rank pairs (0,1) and (2,3) talk intra-node,
+        // everything else crosses the modelled inter-node link.
+        let config = UniverseConfig::new(4, DeviceKind::Hybrid).with_nodes(NodeMap::regular(2, 2));
+        Universe::run_with_config(config, |engine| {
+            let rank = engine.world_rank();
+            assert_eq!(engine.my_node(), rank / 2);
+            let peer = ((rank + 2) % 4) as i32; // always inter-node
+            let (data, _) = engine
+                .sendrecv(
+                    crate::comm::COMM_WORLD,
+                    peer,
+                    9,
+                    &[rank as u8; 8],
+                    peer,
+                    9,
+                    None,
+                )
+                .unwrap();
+            assert!(data.iter().all(|&b| b == ((rank + 2) % 4) as u8));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn mismatched_node_map_is_rejected_at_launch() {
+        let config = UniverseConfig::new(4, DeviceKind::Hybrid).with_nodes(NodeMap::regular(2, 3));
+        assert!(Universe::run_with_config(config, |_| ()).is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use mpi_native::comm::COMM_WORLD;
 use mpi_native::{
-    CollAlgorithm, Engine, Op, PredefinedOp, PrimitiveKind, Universe, UniverseConfig,
+    CollAlgorithm, Engine, NodeMap, Op, PredefinedOp, PrimitiveKind, Universe, UniverseConfig,
 };
 use mpi_transport::DeviceKind;
 
@@ -460,6 +460,98 @@ fn assert_nonblocking_twins(device: DeviceKind) {
             assert_eq!(
                 nonblocking, blocking,
                 "nonblocking diverged from blocking twin: device={device:?} size={size} alg={alg:?}"
+            );
+        }
+    }
+}
+
+/// One hybrid-fabric configuration: `size` ranks block-placed
+/// `ranks_per_node` to a node (the last node takes the remainder).
+fn hybrid_config(size: usize, ranks_per_node: usize, alg: Option<CollAlgorithm>) -> UniverseConfig {
+    let nodes = NodeMap::from_assignment((0..size).map(|r| r / ranks_per_node).collect());
+    let mut config = UniverseConfig::new(size, DeviceKind::Hybrid).with_nodes(nodes);
+    config.coll_algorithm = alg;
+    config
+}
+
+/// Satellite: the full transcript (blocking *and* the nonblocking twin)
+/// with `hier` over hybrid fabrics at sizes {4, 6, 8} × node sizes
+/// {1, 2, 4} — including the degenerate one-node and one-rank-per-node
+/// maps, which must collapse to the flat algorithms — byte-compared
+/// against the forced-`Linear` run on the *same* fabric. The tuned
+/// selector (`None`) is included since it auto-picks `hier` on the
+/// hierarchical maps.
+#[test]
+fn hier_is_byte_identical_over_hybrid_fabrics() {
+    for size in [4usize, 6, 8] {
+        for ranks_per_node in [1usize, 2, 4] {
+            let baseline = Universe::run_with_config(
+                hybrid_config(size, ranks_per_node, Some(CollAlgorithm::Linear)),
+                transcript,
+            )
+            .unwrap();
+            for alg in [None, Some(CollAlgorithm::Hierarchical)] {
+                let got =
+                    Universe::run_with_config(hybrid_config(size, ranks_per_node, alg), transcript)
+                        .unwrap();
+                assert_eq!(
+                    got, baseline,
+                    "hybrid transcript diverged from linear: size={size} \
+                     ranks_per_node={ranks_per_node} alg={alg:?}"
+                );
+            }
+
+            // Nonblocking twin under forced hier: must match both its
+            // own blocking run and the linear blocking run.
+            let blocking = Universe::run_with_config(
+                hybrid_config(size, ranks_per_node, Some(CollAlgorithm::Hierarchical)),
+                |engine| twin_transcript(engine, false),
+            )
+            .unwrap();
+            let nonblocking = Universe::run_with_config(
+                hybrid_config(size, ranks_per_node, Some(CollAlgorithm::Hierarchical)),
+                |engine| twin_transcript(engine, true),
+            )
+            .unwrap();
+            assert_eq!(
+                nonblocking, blocking,
+                "hier nonblocking twin diverged: size={size} ranks_per_node={ranks_per_node}"
+            );
+            let linear_twin = Universe::run_with_config(
+                hybrid_config(size, ranks_per_node, Some(CollAlgorithm::Linear)),
+                |engine| twin_transcript(engine, false),
+            )
+            .unwrap();
+            assert_eq!(
+                blocking, linear_twin,
+                "hier twin transcript diverged from linear: size={size} \
+                 ranks_per_node={ranks_per_node}"
+            );
+        }
+    }
+}
+
+/// A non-contiguous (round-robin) placement: the data movers still run
+/// hierarchically and must stay byte-identical; `Ordered` reductions
+/// fall back to the flat algorithms through the tuning layer (asserted
+/// implicitly — any wrong fold order would diverge from linear).
+#[test]
+fn hier_survives_non_contiguous_round_robin_placements() {
+    for size in [4usize, 6, 8] {
+        let nodes = NodeMap::from_assignment((0..size).map(|r| r % 2).collect());
+        let make = |alg| {
+            let mut config =
+                UniverseConfig::new(size, DeviceKind::Hybrid).with_nodes(nodes.clone());
+            config.coll_algorithm = alg;
+            config
+        };
+        let baseline =
+            Universe::run_with_config(make(Some(CollAlgorithm::Linear)), transcript).unwrap();
+        for alg in [None, Some(CollAlgorithm::Hierarchical)] {
+            let got = Universe::run_with_config(make(alg), transcript).unwrap();
+            assert_eq!(
+                got, baseline,
+                "round-robin transcript diverged from linear: size={size} alg={alg:?}"
             );
         }
     }

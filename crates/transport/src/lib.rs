@@ -20,6 +20,10 @@
 //!   reproducing the paper's 10BaseT Ethernet link.
 //! * [`ring::spsc_ring`] — a lock-free single-producer/single-consumer ring
 //!   used as the fast path of the SHM device (ablation: ring vs mutex).
+//! * [`hybrid::HybridDevice`] — a multi-fabric device for cluster-shaped
+//!   jobs: a [`NodeMap`] places ranks on nodes, intra-node traffic takes
+//!   the shm-class path and inter-node traffic the modelled link, each
+//!   class with its own [`DeviceProfile`]/[`NetworkModel`].
 //!
 //! All devices expose the same [`Endpoint`] interface: ordered,
 //! reliable point-to-point delivery of [`frame::Frame`]s between a fixed
@@ -29,8 +33,10 @@
 
 pub mod error;
 pub mod frame;
+pub mod hybrid;
 pub mod mailbox;
 pub mod netmodel;
+pub mod nodemap;
 pub mod p4;
 pub mod ring;
 pub mod shm;
@@ -39,6 +45,7 @@ pub mod tcp;
 pub use error::{Result, TransportError};
 pub use frame::{Frame, FrameHeader, FrameKind};
 pub use netmodel::NetworkModel;
+pub use nodemap::NodeMap;
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -55,6 +62,10 @@ pub enum DeviceKind {
     /// Loopback TCP device (distributed-memory mode), optionally shaped by a
     /// [`NetworkModel`].
     Tcp,
+    /// Multi-fabric device: intra-node traffic over the shm-class path,
+    /// inter-node traffic over a modelled network link, routed by the
+    /// fabric's [`NodeMap`] (see [`hybrid`]).
+    Hybrid,
 }
 
 impl DeviceKind {
@@ -65,6 +76,7 @@ impl DeviceKind {
             DeviceKind::ShmFast => "shm-fast",
             DeviceKind::ShmP4 => "shm-p4",
             DeviceKind::Tcp => "tcp",
+            DeviceKind::Hybrid => "hybrid",
         }
     }
 }
@@ -139,11 +151,22 @@ pub struct FabricConfig {
     pub size: usize,
     /// Which device implementation to use.
     pub kind: DeviceKind,
-    /// Synthetic per-message/per-byte cost (see [`DeviceProfile`]).
+    /// Synthetic per-message/per-byte cost (see [`DeviceProfile`]). On
+    /// the [`DeviceKind::Hybrid`] device this is the *intra-node* class;
+    /// single-fabric devices apply it to everything.
     pub profile: DeviceProfile,
     /// Link model applied to deliveries (latency + bandwidth shaping).
-    /// `NetworkModel::unshaped()` disables shaping.
+    /// `NetworkModel::unshaped()` disables shaping. On the hybrid device
+    /// this is the *intra-node* class.
     pub network: NetworkModel,
+    /// Rank → node placement. Every endpoint reports it through
+    /// [`Endpoint::node_map`]; only the [`DeviceKind::Hybrid`] device
+    /// *routes* by it. Defaults to [`NodeMap::flat`].
+    pub nodes: NodeMap,
+    /// Inter-node cost profile ([`DeviceKind::Hybrid`] only).
+    pub inter_profile: DeviceProfile,
+    /// Inter-node link model ([`DeviceKind::Hybrid`] only).
+    pub inter_network: NetworkModel,
     /// Capacity (in frames) of each rank's inbox before senders block.
     pub inbox_capacity: usize,
 }
@@ -156,6 +179,9 @@ impl FabricConfig {
             kind,
             profile: DeviceProfile::default(),
             network: NetworkModel::unshaped(),
+            nodes: NodeMap::flat(size),
+            inter_profile: DeviceProfile::default(),
+            inter_network: NetworkModel::unshaped(),
             inbox_capacity: 64 * 1024,
         }
     }
@@ -169,6 +195,24 @@ impl FabricConfig {
     /// Attach a synthetic device cost profile.
     pub fn with_profile(mut self, profile: DeviceProfile) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Attach a rank → node placement (see [`NodeMap`]).
+    pub fn with_nodes(mut self, nodes: NodeMap) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Attach an inter-node cost profile (hybrid device).
+    pub fn with_inter_profile(mut self, profile: DeviceProfile) -> Self {
+        self.inter_profile = profile;
+        self
+    }
+
+    /// Attach an inter-node link model (hybrid device).
+    pub fn with_inter_network(mut self, network: NetworkModel) -> Self {
+        self.inter_network = network;
         self
     }
 }
@@ -199,6 +243,10 @@ pub trait Endpoint: Send {
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Frame>>;
     /// Device kind backing this endpoint (used in bench labels).
     fn kind(&self) -> DeviceKind;
+    /// Rank → node placement of the fabric (the engine's topology
+    /// queries and the hierarchical collective tuning read this; only
+    /// the hybrid device also routes by it).
+    fn node_map(&self) -> &NodeMap;
 }
 
 /// A fully-connected set of endpoints over one device.
@@ -217,6 +265,13 @@ impl Fabric {
                 "fabric size must be at least 1".into(),
             ));
         }
+        if config.nodes.len() != config.size {
+            return Err(TransportError::InvalidConfig(format!(
+                "node map places {} ranks but the fabric has {}",
+                config.nodes.len(),
+                config.size
+            )));
+        }
         let endpoints: Vec<Box<dyn Endpoint>> = match config.kind {
             DeviceKind::ShmFast => shm::ShmDevice::build(&config)?
                 .into_iter()
@@ -227,6 +282,10 @@ impl Fabric {
                 .map(|e| Box::new(e) as Box<dyn Endpoint>)
                 .collect(),
             DeviceKind::Tcp => tcp::TcpDevice::build(&config)?
+                .into_iter()
+                .map(|e| Box::new(e) as Box<dyn Endpoint>)
+                .collect(),
+            DeviceKind::Hybrid => hybrid::HybridDevice::build(&config)?
                 .into_iter()
                 .map(|e| Box::new(e) as Box<dyn Endpoint>)
                 .collect(),
@@ -266,6 +325,7 @@ mod tests {
             DeviceKind::ShmFast.label(),
             DeviceKind::ShmP4.label(),
             DeviceKind::Tcp.label(),
+            DeviceKind::Hybrid.label(),
         ];
         assert_eq!(
             labels.len(),

@@ -22,6 +22,7 @@ use bytes::Bytes;
 use crate::error::{Result, TransportError};
 use crate::frame::Frame;
 use crate::mailbox::Mailbox;
+use crate::nodemap::NodeMap;
 use crate::{DeviceKind, DeviceProfile, Endpoint, FabricConfig, NetworkModel, SharedMailbox};
 
 /// One rank's endpoint on the staged p4-style device.
@@ -34,6 +35,7 @@ pub struct P4Endpoint {
     staging: Arc<Vec<SharedMailbox>>,
     profile: DeviceProfile,
     network: NetworkModel,
+    nodes: Arc<NodeMap>,
 }
 
 /// Namespace struct for building p4-style fabrics.
@@ -45,6 +47,7 @@ impl P4Device {
         let make = |_| Arc::new(Mailbox::new(config.inbox_capacity));
         let inboxes: Arc<Vec<SharedMailbox>> = Arc::new((0..config.size).map(make).collect());
         let staging: Arc<Vec<SharedMailbox>> = Arc::new((0..config.size).map(make).collect());
+        let nodes = Arc::new(config.nodes.clone());
         Ok((0..config.size)
             .map(|rank| P4Endpoint {
                 rank,
@@ -53,6 +56,7 @@ impl P4Device {
                 staging: Arc::clone(&staging),
                 profile: config.profile,
                 network: config.network,
+                nodes: Arc::clone(&nodes),
             })
             .collect())
     }
@@ -150,6 +154,10 @@ impl Endpoint for P4Endpoint {
 
     fn kind(&self) -> DeviceKind {
         DeviceKind::ShmP4
+    }
+
+    fn node_map(&self) -> &NodeMap {
+        &self.nodes
     }
 }
 

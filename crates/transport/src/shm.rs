@@ -13,6 +13,7 @@ use std::time::Duration;
 use crate::error::{Result, TransportError};
 use crate::frame::Frame;
 use crate::mailbox::Mailbox;
+use crate::nodemap::NodeMap;
 use crate::{DeviceKind, DeviceProfile, Endpoint, FabricConfig, NetworkModel, SharedMailbox};
 
 /// One rank's endpoint on the shared-memory device.
@@ -22,6 +23,7 @@ pub struct ShmEndpoint {
     inboxes: Arc<Vec<SharedMailbox>>,
     profile: DeviceProfile,
     network: NetworkModel,
+    nodes: Arc<NodeMap>,
 }
 
 /// Namespace struct for building shared-memory fabrics.
@@ -35,6 +37,7 @@ impl ShmDevice {
                 .map(|_| Arc::new(Mailbox::new(config.inbox_capacity)))
                 .collect(),
         );
+        let nodes = Arc::new(config.nodes.clone());
         Ok((0..config.size)
             .map(|rank| ShmEndpoint {
                 rank,
@@ -42,6 +45,7 @@ impl ShmDevice {
                 inboxes: Arc::clone(&inboxes),
                 profile: config.profile,
                 network: config.network,
+                nodes: Arc::clone(&nodes),
             })
             .collect())
     }
@@ -91,6 +95,10 @@ impl Endpoint for ShmEndpoint {
 
     fn kind(&self) -> DeviceKind {
         DeviceKind::ShmFast
+    }
+
+    fn node_map(&self) -> &NodeMap {
+        &self.nodes
     }
 }
 

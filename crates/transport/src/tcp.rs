@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 use crate::error::{Result, TransportError};
 use crate::frame::{Frame, FrameHeader};
 use crate::mailbox::Mailbox;
+use crate::nodemap::NodeMap;
 use crate::{DeviceKind, DeviceProfile, Endpoint, FabricConfig, NetworkModel, SharedMailbox};
 
 /// One rank's endpoint on the TCP device.
@@ -34,6 +35,7 @@ pub struct TcpEndpoint {
     writers: HashMap<usize, Arc<Mutex<TcpStream>>>,
     profile: DeviceProfile,
     network: NetworkModel,
+    nodes: Arc<NodeMap>,
     /// Reader threads draining peer sockets into `inbox`.
     readers: Vec<std::thread::JoinHandle<()>>,
 }
@@ -84,6 +86,7 @@ impl TcpDevice {
             }
         }
 
+        let nodes = Arc::new(config.nodes.clone());
         let mut endpoints = Vec::with_capacity(n);
         for (rank, (inbox, (w, r))) in inboxes
             .into_iter()
@@ -97,6 +100,7 @@ impl TcpDevice {
                 writers: w,
                 profile: config.profile,
                 network: config.network,
+                nodes: Arc::clone(&nodes),
                 readers: r,
             });
         }
@@ -181,6 +185,10 @@ impl Endpoint for TcpEndpoint {
 
     fn kind(&self) -> DeviceKind {
         DeviceKind::Tcp
+    }
+
+    fn node_map(&self) -> &NodeMap {
+        &self.nodes
     }
 }
 

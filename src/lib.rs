@@ -6,16 +6,25 @@
 //! the paper translated to mpiJava (§3.4). The helpers here are shared by
 //! those tests.
 
-use mpijava::{DeviceKind, MpiRuntime};
+use mpijava::{DeviceKind, MpiRuntime, NodeMap};
 
-/// The two fabric configurations the functionality tests run under,
+/// The fabric configurations the functionality tests run under,
 /// mirroring the paper's Shared-Memory and Distributed-Memory modes
-/// (§3.4 runs the whole suite in both).
+/// (§3.4 runs the whole suite in both) plus the multi-fabric hybrid
+/// configuration (ranks block-split across two nodes; intra-node
+/// traffic over the shm-class path, inter-node over the modelled link,
+/// with the tuned selector auto-picking the hierarchical collectives).
 pub fn test_runtimes(size: usize) -> Vec<(&'static str, MpiRuntime)> {
     vec![
         ("SM/shm-fast", MpiRuntime::new(size)),
         ("SM/shm-p4", MpiRuntime::new(size).device(DeviceKind::ShmP4)),
         ("DM/tcp", MpiRuntime::new(size).device(DeviceKind::Tcp)),
+        (
+            "MM/hybrid-2node",
+            MpiRuntime::new(size)
+                .device(DeviceKind::Hybrid)
+                .nodes(NodeMap::split(size, 2)),
+        ),
     ]
 }
 
@@ -37,9 +46,10 @@ mod tests {
     #[test]
     fn runtimes_cover_both_modes() {
         let runtimes = test_runtimes(2);
-        assert_eq!(runtimes.len(), 3);
+        assert_eq!(runtimes.len(), 4);
         assert!(runtimes.iter().any(|(name, _)| name.starts_with("SM")));
         assert!(runtimes.iter().any(|(name, _)| name.starts_with("DM")));
+        assert!(runtimes.iter().any(|(name, _)| name.starts_with("MM")));
     }
 
     #[test]

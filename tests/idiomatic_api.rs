@@ -523,3 +523,73 @@ fn classic_and_idiomatic_results_are_byte_identical() {
         );
     }
 }
+
+/// Tentpole: the node-topology surface of the idiomatic API over a real
+/// hybrid fabric — node_of / my_node / node_leader queries and the
+/// per-node communicator split, including collectives on the node
+/// communicator.
+#[test]
+fn node_topology_queries_and_split_by_node() {
+    use mpijava::{DeviceKind, MpiRuntime, NodeMap};
+    MpiRuntime::new(6)
+        .device(DeviceKind::Hybrid)
+        .nodes(NodeMap::regular(3, 2))
+        .run(|mpi| {
+            use mpijava::rs::Communicator;
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+
+            assert_eq!(world.my_node()?, rank / 2);
+            assert_eq!(world.node_of(5)?, 2);
+            assert_eq!(world.node_leader()?, (rank / 2) * 2);
+
+            // Per-node split: three communicators of two ranks each.
+            let node = world.split_by_node()?;
+            assert_eq!(node.size()?, 2);
+            assert_eq!(node.rank()?, rank % 2);
+            let mut sum = [0i32];
+            node.all_reduce(&[world.rank()? as i32], &mut sum, mpijava::Op::sum())?;
+            // Ranks 2n and 2n+1 share a node: sum = 4n + 1.
+            assert_eq!(sum, [4 * (rank as i32 / 2) + 1]);
+
+            // On a single-fabric job all of this degrades gracefully:
+            // COMM_SELF has one member on one node.
+            let selfc = mpi.comm_self();
+            assert_eq!(selfc.node_leader()?, 0);
+            mpi.finalize()
+        })
+        .unwrap();
+}
+
+/// The tuned selector picks the hierarchical algorithms on a hybrid
+/// fabric automatically, and the results match a flat run bit-for-bit
+/// (the full matrix lives in the engine's coll_equivalence suite; this
+/// is the rs-surface spot check).
+#[test]
+fn hybrid_fabric_collectives_match_flat_results() {
+    use mpijava::{DeviceKind, MpiRuntime, NodeMap};
+    let flat = MpiRuntime::new(4);
+    let hybrid = MpiRuntime::new(4)
+        .device(DeviceKind::Hybrid)
+        .nodes(NodeMap::regular(2, 2));
+    let run = |rt: &MpiRuntime| {
+        rt.run(|mpi| {
+            use mpijava::rs::Communicator;
+            let world = mpi.comm_world();
+            let rank = world.rank()? as i32;
+            let mut sum = [0i32; 3];
+            world.all_reduce(&[rank, rank * rank, 7], &mut sum, mpijava::Op::sum())?;
+            let mut all = vec![0i32; 4];
+            world.all_gather(&[rank * 3], &mut all)?;
+            let mut cast = [0i32; 5];
+            if rank == 3 {
+                cast = [9, 8, 7, 6, 5];
+            }
+            world.broadcast(&mut cast, 3)?;
+            mpi.finalize()?;
+            Ok((sum, all, cast))
+        })
+        .unwrap()
+    };
+    assert_eq!(run(&flat), run(&hybrid));
+}

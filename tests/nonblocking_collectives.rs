@@ -147,6 +147,95 @@ fn heterogeneous_wait_all_mixes_p2p_and_collectives() {
     }
 }
 
+/// Satellite: the three remaining schedule-backed collectives —
+/// alltoall, reduce-scatter, scan — surfaced as nonblocking
+/// `TypedRequest`s, checked against their blocking twins (which are
+/// themselves `start + wait` over the same schedules) on every device.
+#[test]
+fn ialltoall_ireduce_scatter_and_iscan_match_blocking_twins() {
+    for (name, runtime) in test_runtimes(4) {
+        runtime
+            .run(|mpi| {
+                use mpijava::rs::Communicator;
+                let world = mpi.comm_world();
+                let rank = world.rank()? as i32;
+                let size = world.size()?;
+
+                // iall_to_all vs all_to_all: chunk sent from r to d is
+                // r * 10 + d.
+                let send: Vec<i32> = (0..size as i32).map(|d| rank * 10 + d).collect();
+                let mut nb = vec![0i32; size];
+                let mut blocking = vec![0i32; size];
+                world.iall_to_all(&send, &mut nb)?.wait()?;
+                world.all_to_all(&send, &mut blocking)?;
+                assert_eq!(nb, blocking, "{name} iall_to_all");
+                let expected: Vec<i32> = (0..size as i32).map(|s| s * 10 + rank).collect();
+                assert_eq!(nb, expected, "{name} iall_to_all value");
+
+                // ireduce_scatter_into: every rank contributes
+                // [0, 1, .., 2*size), element-wise sum split in
+                // 2-element blocks.
+                let table: Vec<i32> = (0..2 * size as i32).map(|i| i + rank).collect();
+                let mut block = [0i32; 2];
+                world
+                    .ireduce_scatter_into(&table, &mut block, Op::sum())?
+                    .wait()?;
+                // Element e of the reduced vector is sum_r (e + r); this
+                // rank receives elements 2*rank and 2*rank + 1.
+                let base: i32 = (0..size as i32).sum();
+                let (e0, e1) = (2 * rank, 2 * rank + 1);
+                let expected = [e0 * size as i32 + base, e1 * size as i32 + base];
+                assert_eq!(block, expected, "{name} ireduce_scatter_into");
+
+                // iscan_into vs scan_into.
+                let mut nb = [0i32; 2];
+                let mut blocking = [0i32; 2];
+                world
+                    .iscan_into(&[rank + 1, rank * 2], &mut nb, Op::sum())?
+                    .wait()?;
+                world.scan_into(&[rank + 1, rank * 2], &mut blocking, Op::sum())?;
+                assert_eq!(nb, blocking, "{name} iscan_into");
+                let prefix: i32 = (0..=rank).map(|r| r + 1).sum();
+                assert_eq!(nb, [prefix, rank * (rank + 1)], "{name} iscan value");
+
+                mpi.finalize()
+            })
+            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+    }
+}
+
+/// Satellite: drop-safety for the newly surfaced nonblocking
+/// collectives — handles dropped (or freed) before completion quiesce
+/// on every device; `finalize()` is the leak probe.
+#[test]
+fn dropping_unfinished_ialltoall_ireduce_scatter_iscan_quiesces() {
+    for (name, runtime) in test_runtimes(3) {
+        runtime
+            .run(|mpi| {
+                use mpijava::rs::Communicator;
+                let world = mpi.comm_world();
+                let rank = world.rank()? as i32;
+                let size = world.size()?;
+                {
+                    let send: Vec<i32> = (0..size as i32).collect();
+                    let mut recv = vec![0i32; size];
+                    drop(world.iall_to_all(&send, &mut recv)?);
+                    let table: Vec<i32> = (0..size as i32).collect();
+                    let mut block = [0i32; 1];
+                    drop(world.ireduce_scatter_into(&table, &mut block, Op::sum())?);
+                    let mut prefix = [0i32];
+                    world.iscan_into(&[rank], &mut prefix, Op::sum())?.free()?;
+                }
+                // Still usable, and nothing leaked.
+                let mut sum = [0i32];
+                world.iall_reduce(&[1], &mut sum, Op::sum())?.wait()?;
+                assert_eq!(sum, [3], "{name}");
+                mpi.finalize()
+            })
+            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+    }
+}
+
 /// Satellite: a collective `TypedRequest` dropped before completion
 /// quiesces — no deadlock, no leaked posted receives — on all three
 /// devices. `finalize()` is the leak probe: it errors if any posted
