@@ -33,12 +33,14 @@
 //!   reading with the paper.
 
 pub mod collbench;
+pub mod halobench;
 pub mod linpack;
 pub mod p2pbench;
 pub mod pingpong;
 pub mod report;
 
 pub use collbench::{run_suite as run_collective_suite, CollBenchSpec, CollRecord};
+pub use halobench::{run_halo_suite, HaloBenchSpec, HaloFabric, HaloMethod, HaloRecord};
 pub use linpack::{linpack_compiled, linpack_interpreted, LinpackResult};
 pub use p2pbench::{run_suite as run_p2p_suite, P2pBenchSpec, P2pRecord};
 pub use pingpong::{run_pingpong, Calibration, Mode, PingPongPoint, PingPongSpec, Stack};

@@ -87,6 +87,11 @@
 //! | `recv_object::<T>(1, src, tag)` | [`recv_obj::<T>(src, tag)`](rs::Communicator::recv_obj) |
 //! | `bcast_object(&[obj], root)` | [`broadcast_obj(&obj, root)`](rs::Communicator::broadcast_obj) |
 //! | `status.get_count(&Datatype::char())` | [`status.count_elements::<u16>()`](Status::count_elements) |
+//! | — (mpiJava is MPI-1: no one-sided ops) | [`win_create(&mut buf)`](rs::Communicator::win_create) → [`rs::Window`] with `put` / `get` / `accumulate` and `fence` / `lock` / `flush` / `unlock` epochs |
+//! | — (no neighborhood collectives) | [`topo_neighbors()`](rs::Communicator::topo_neighbors), [`neighbor_all_gather(&buf)`](rs::Communicator::neighbor_all_gather), [`neighbor_all_to_all(&buf)`](rs::Communicator::neighbor_all_to_all) on `Cartcomm` / `Graphcomm` |
+//! | `shift(direction, disp)` → `ShiftParms` | [`cart_shift(direction, disp)`](rs::CartCommunicator::cart_shift) → `(src, dst)` |
+//! | `coords(rank)` / `get().coords` | [`cart_coords(rank)`](rs::CartCommunicator::cart_coords) / [`my_coords()`](rs::CartCommunicator::my_coords) |
+//! | `neighbours(rank)` | [`neighbors()`](rs::GraphCommunicator::neighbors) (own adjacency) |
 //!
 //! The classic names stay reachable on the same objects (via `Deref`)
 //! as long as the trait is not imported; see the [`rs`] module docs for
@@ -115,6 +120,8 @@
 //! | `alltoall(...)` | [`all_to_all(...)`](rs::Communicator::all_to_all) | [`iall_to_all(...)`](rs::Communicator::iall_to_all) |
 //! | `reduce_scatter(...)` | — (classic only) | [`ireduce_scatter_into(...)`](rs::Communicator::ireduce_scatter_into) (equal counts) |
 //! | `scan(...)` | [`scan_into(...)`](rs::Communicator::scan_into) | [`iscan_into(...)`](rs::Communicator::iscan_into) |
+//! | — (no classic neighborhood ops) | [`neighbor_all_gather(...)`](rs::Communicator::neighbor_all_gather) | [`ineighbor_all_gather(...)`](rs::Communicator::ineighbor_all_gather) |
+//! | — | [`neighbor_all_to_all(...)`](rs::Communicator::neighbor_all_to_all) | [`ineighbor_all_to_all(...)`](rs::Communicator::ineighbor_all_to_all) |
 //!
 //! Progress happens inside `test()`/`wait()` calls (and inside any
 //! blocking engine entry point): interleave occasional `test()` calls
@@ -136,6 +143,7 @@ pub mod request;
 pub mod rs;
 pub mod serial;
 pub mod status;
+pub mod window;
 
 pub use buffer::BufferElement;
 pub use cartcomm::{CartParms, Cartcomm, ShiftParms};
@@ -150,6 +158,7 @@ pub use op::Op;
 pub use request::{Prequest, Request, TypedRequest};
 pub use serial::{ObjectInputStream, ObjectOutputStream, Serializable};
 pub use status::Status;
+pub use window::{GetToken, Window};
 
 // Re-export the pieces of the lower layers that appear in this crate's API.
 pub use mpi_native::{CollAlgorithm, CompareResult, EngineStats, ErrorClass, PrimitiveKind};

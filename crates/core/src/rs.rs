@@ -134,7 +134,7 @@
 use std::borrow::Borrow;
 use std::sync::Arc;
 
-use mpi_native::{ErrorClass, SendMode};
+use mpi_native::{ErrorClass, SendMode, PROC_NULL};
 
 use crate::buffer::{bytes_to_elements, slice_to_bytes, BufferElement};
 use crate::comm::Comm;
@@ -146,6 +146,7 @@ use crate::serial::Serializable;
 use crate::status::Status;
 
 pub use crate::request::TypedRequest;
+pub use crate::window::{GetToken, Window};
 
 /// Polymorphic communication interface over every intra-communicator
 /// class of the binding.
@@ -857,6 +858,141 @@ pub trait Communicator {
     }
 
     // ------------------------------------------------------------------
+    // Neighborhood collectives (virtual topologies; MPI-3 §7.6 shape)
+    // ------------------------------------------------------------------
+    //
+    // Defined for communicators carrying a cartesian or graph topology
+    // (created with `create_cart` / `create_graph`); calling them on a
+    // topology-less communicator errors with `ErrorClass::Topology`.
+    // The neighbor list and its slot order come from
+    // [`topo_neighbors`](Communicator::topo_neighbors): a cartesian
+    // communicator has `2 * ndims` slots (`[src₀, dst₀, src₁, dst₁, …]`
+    // in `cart_shift(d, 1)` order, `PROC_NULL` off non-periodic edges),
+    // a graph communicator its adjacency list in edge order.
+
+    /// This rank's neighbor list in slot order (`PROC_NULL` entries
+    /// included) — the shape of every `neighbor_*` exchange.
+    fn topo_neighbors(&self) -> MpiResult<Vec<i32>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Comm.Topo_neighbors");
+        Ok(comm.env.engine.lock().topo_neighbors(comm.handle)?)
+    }
+
+    /// Sparse all-gather (`MPI_Neighbor_allgather`): send `send` to
+    /// every neighbor, receive one part per neighbor slot. Every rank
+    /// must pass the same `send` length; `PROC_NULL` slots yield empty
+    /// parts.
+    fn neighbor_all_gather<T: BufferElement>(&self, send: &[T]) -> MpiResult<Vec<Vec<T>>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Neighbor_allgather");
+        let payload = slice_to_bytes(send);
+        let parts = comm
+            .env
+            .engine
+            .lock()
+            .neighbor_allgather(comm.handle, &payload)?;
+        Ok(parts_to_elements(parts))
+    }
+
+    /// Sparse total exchange (`MPI_Neighbor_alltoall`): send the `j`-th
+    /// of `degree` equal chunks of `send` to neighbor `j`, receive one
+    /// part per neighbor slot (`PROC_NULL` slots yield empty parts).
+    fn neighbor_all_to_all<T: BufferElement>(&self, send: &[T]) -> MpiResult<Vec<Vec<T>>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Neighbor_alltoall");
+        let mut engine = comm.env.engine.lock();
+        let degree = engine.topo_neighbors(comm.handle)?.len();
+        let chunks = split_neighbor_chunks(send, degree, "neighbor_all_to_all")?;
+        let parts = engine.neighbor_alltoall(comm.handle, &chunks)?;
+        Ok(parts_to_elements(parts))
+    }
+
+    /// Nonblocking sparse all-gather (`MPI_Ineighbor_allgather`):
+    /// `recv` holds `degree * send.len()` elements, one block per
+    /// neighbor slot in slot order, on completion. Blocks of
+    /// `PROC_NULL` slots are left untouched.
+    fn ineighbor_all_gather<'buf, T: BufferElement>(
+        &self,
+        send: &[T],
+        recv: &'buf mut [T],
+    ) -> MpiResult<TypedRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Ineighbor_allgather");
+        let mut engine = comm.env.engine.lock();
+        let neighbors = engine.topo_neighbors(comm.handle)?;
+        if recv.len() != neighbors.len() * send.len() {
+            return Err(MPIException::new(
+                ErrorClass::Count,
+                format!(
+                    "ineighbor_all_gather: recv length {} is not degree ({}) * send length ({})",
+                    recv.len(),
+                    neighbors.len(),
+                    send.len()
+                ),
+            ));
+        }
+        let payload = slice_to_bytes(send);
+        let id = engine.ineighbor_allgather(comm.handle, &payload)?;
+        drop(engine);
+        let chunk = send.len();
+        Ok(TypedRequest::new(Request::coll(
+            Arc::clone(&comm.env),
+            id,
+            Some(unpack_neighbor_parts(neighbors, chunk, recv)),
+        )))
+    }
+
+    /// Nonblocking sparse total exchange (`MPI_Ineighbor_alltoall`):
+    /// `recv` (same length as `send`) holds one block per neighbor slot
+    /// on completion; blocks of `PROC_NULL` slots are left untouched.
+    fn ineighbor_all_to_all<'buf, T: BufferElement>(
+        &self,
+        send: &[T],
+        recv: &'buf mut [T],
+    ) -> MpiResult<TypedRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Ineighbor_alltoall");
+        let mut engine = comm.env.engine.lock();
+        let neighbors = engine.topo_neighbors(comm.handle)?;
+        let degree = neighbors.len();
+        if recv.len() != send.len() {
+            return Err(MPIException::new(
+                ErrorClass::Count,
+                format!(
+                    "ineighbor_all_to_all: recv length {} differs from send length {}",
+                    recv.len(),
+                    send.len()
+                ),
+            ));
+        }
+        let chunks = split_neighbor_chunks(send, degree, "ineighbor_all_to_all")?;
+        let id = engine.ineighbor_alltoall(comm.handle, &chunks)?;
+        drop(engine);
+        let chunk = send.len().checked_div(degree).unwrap_or(0);
+        Ok(TypedRequest::new(Request::coll(
+            Arc::clone(&comm.env),
+            id,
+            Some(unpack_neighbor_parts(neighbors, chunk, recv)),
+        )))
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided communication (RMA windows; see crate::window)
+    // ------------------------------------------------------------------
+
+    /// Expose `local` for one-sided access by the other ranks
+    /// (`MPI_Win_create`, collective). The returned [`Window`] borrows
+    /// the slice for its whole lifetime; see the [`crate::window`] docs
+    /// for the epoch model and memory rules.
+    fn win_create<'buf, T: BufferElement>(
+        &self,
+        local: &'buf mut [T],
+    ) -> MpiResult<Window<'buf, T>> {
+        let comm = self.as_comm();
+        Window::create(Arc::clone(&comm.env), comm.handle, local)
+    }
+
+    // ------------------------------------------------------------------
     // Object transport (paper §2.2, without the MPI.OBJECT plumbing)
     // ------------------------------------------------------------------
 
@@ -893,5 +1029,167 @@ pub trait Communicator {
                 "broadcast_obj: root sent an empty object message",
             )
         })
+    }
+}
+
+/// Convert the engine's per-neighbor byte parts to typed vectors.
+fn parts_to_elements<T: BufferElement>(parts: Vec<Vec<u8>>) -> Vec<Vec<T>> {
+    parts
+        .into_iter()
+        .map(|bytes| {
+            let mut out = vec![T::default(); bytes.len() / T::width()];
+            bytes_to_elements(&mut out, 0, &bytes);
+            out
+        })
+        .collect()
+}
+
+/// Split `send` into `degree` equal per-neighbor chunks for the
+/// neighbor total exchanges.
+fn split_neighbor_chunks<T: BufferElement>(
+    send: &[T],
+    degree: usize,
+    what: &str,
+) -> MpiResult<Vec<Vec<u8>>> {
+    if degree == 0 {
+        if send.is_empty() {
+            return Ok(Vec::new());
+        }
+        return Err(MPIException::new(
+            ErrorClass::Count,
+            format!("{what}: non-empty send on a degree-0 topology"),
+        ));
+    }
+    if !send.len().is_multiple_of(degree) {
+        return Err(MPIException::new(
+            ErrorClass::Count,
+            format!(
+                "{what}: send length {} is not a multiple of the topology degree {degree}",
+                send.len()
+            ),
+        ));
+    }
+    let chunk_bytes = send.len() / degree * T::width();
+    let payload = slice_to_bytes(send);
+    Ok((0..degree)
+        .map(|j| payload[j * chunk_bytes..(j + 1) * chunk_bytes].to_vec())
+        .collect())
+}
+
+/// Completion closure attached to an `ineighbor_*` request; consumes
+/// the collective's outcome bytes when the request is waited on.
+type NeighborUnpack<'buf> = Box<dyn FnOnce(&[u8]) -> MpiResult<()> + Send + 'buf>;
+
+/// Unpack closure for the `ineighbor_*` requests: the collective's
+/// outcome parts arrive flattened with `PROC_NULL` slots contributing
+/// nothing, so the captured neighbor list maps the present chunks back
+/// to their slots (absent slots leave `recv` untouched).
+fn unpack_neighbor_parts<'buf, T: BufferElement>(
+    neighbors: Vec<i32>,
+    chunk: usize,
+    recv: &'buf mut [T],
+) -> NeighborUnpack<'buf> {
+    Box::new(move |bytes: &[u8]| {
+        let chunk_bytes = chunk * T::width();
+        let mut cursor = 0;
+        for (slot, &peer) in neighbors.iter().enumerate() {
+            if peer == PROC_NULL {
+                continue;
+            }
+            let end = (cursor + chunk_bytes).min(bytes.len());
+            bytes_to_elements(
+                &mut recv[slot * chunk..(slot + 1) * chunk],
+                0,
+                &bytes[cursor..end],
+            );
+            cursor = end;
+        }
+        Ok(())
+    })
+}
+
+/// Cartesian-topology extensions of the idiomatic surface, implemented
+/// by [`Cartcomm`](crate::Cartcomm).
+///
+/// The method names avoid the classic inherent names (`shift`,
+/// `coords`), so importing this trait does not shadow the Java-style
+/// surface (see the [module docs](crate::rs) on shadowing).
+///
+/// ```
+/// use mpijava::rs::{CartCommunicator as _, Communicator as _};
+/// use mpijava::MpiRuntime;
+///
+/// MpiRuntime::new(4).run(|mpi| {
+///     // Periodic ring of 4.
+///     let ring = mpi.comm_world().create_cart(&[4], &[true], false)?.unwrap();
+///     let rank = ring.rank()?;
+///     let (src, dst) = ring.cart_shift(0, 1)?;
+///     assert_eq!(src as usize, (rank + 3) % 4);
+///     assert_eq!(dst as usize, (rank + 1) % 4);
+///     assert_eq!(ring.cart_coords(rank)?, ring.my_coords()?);
+///     mpi.finalize()
+/// }).unwrap();
+/// ```
+pub trait CartCommunicator: Communicator {
+    /// Source and destination ranks of a shift along `dimension` by
+    /// `disp` (classic `Shift`, tuple-returning): messages arrive from
+    /// the first rank and go to the second; both are
+    /// [`PROC_NULL`](crate::MPI::PROC_NULL) off a non-periodic edge.
+    fn cart_shift(&self, dimension: usize, disp: i64) -> MpiResult<(i32, i32)>;
+
+    /// Grid coordinates of `rank` (classic `Coords`).
+    fn cart_coords(&self, rank: usize) -> MpiResult<Vec<usize>>;
+
+    /// This process's own grid coordinates.
+    fn my_coords(&self) -> MpiResult<Vec<usize>>;
+}
+
+impl CartCommunicator for crate::Cartcomm {
+    fn cart_shift(&self, dimension: usize, disp: i64) -> MpiResult<(i32, i32)> {
+        let parms = self.shift(dimension, disp)?;
+        Ok((parms.rank_source, parms.rank_dest))
+    }
+
+    fn cart_coords(&self, rank: usize) -> MpiResult<Vec<usize>> {
+        self.coords(rank)
+    }
+
+    fn my_coords(&self) -> MpiResult<Vec<usize>> {
+        Ok(self.get()?.coords)
+    }
+}
+
+/// Graph-topology extensions of the idiomatic surface, implemented by
+/// [`Graphcomm`](crate::Graphcomm). Named to avoid the classic
+/// inherent `neighbours(rank)`.
+///
+/// ```
+/// use mpijava::rs::{Communicator as _, GraphCommunicator as _};
+/// use mpijava::MpiRuntime;
+///
+/// MpiRuntime::new(4).run(|mpi| {
+///     // Ring of 4 in the MPI-1 index/edges encoding.
+///     let index = [2, 4, 6, 8];
+///     let edges = [1, 3, 0, 2, 1, 3, 2, 0];
+///     let graph = mpi.comm_world().create_graph(&index, &edges, false)?.unwrap();
+///     let rank = graph.rank()?;
+///     let mut got = graph.neighbors()?;
+///     got.sort();
+///     let mut expected = vec![(rank + 1) % 4, (rank + 3) % 4];
+///     expected.sort();
+///     assert_eq!(got, expected);
+///     mpi.finalize()
+/// }).unwrap();
+/// ```
+pub trait GraphCommunicator: Communicator {
+    /// This process's adjacency list, in edge order (the slot order of
+    /// the neighborhood collectives).
+    fn neighbors(&self) -> MpiResult<Vec<usize>>;
+}
+
+impl GraphCommunicator for crate::Graphcomm {
+    fn neighbors(&self) -> MpiResult<Vec<usize>> {
+        let rank = self.as_comm().rank()?;
+        self.neighbours(rank)
     }
 }

@@ -66,6 +66,7 @@ pub mod algorithm;
 pub mod hier;
 pub mod linear;
 pub mod nb;
+pub mod neighborhood;
 pub mod pipeline;
 pub mod rd;
 pub mod ring;
@@ -218,14 +219,14 @@ impl Engine {
         Ok(self.comm_topology(comm)?.hint())
     }
 
-    fn expect_buffer(outcome: CollOutcome) -> Result<Vec<u8>> {
+    pub(crate) fn expect_buffer(outcome: CollOutcome) -> Result<Vec<u8>> {
         match outcome {
             CollOutcome::Buffer(b) => Ok(b),
             _ => err(ErrorClass::Intern, "collective outcome is not a buffer"),
         }
     }
 
-    fn expect_parts(outcome: CollOutcome) -> Result<Vec<Vec<u8>>> {
+    pub(crate) fn expect_parts(outcome: CollOutcome) -> Result<Vec<Vec<u8>>> {
         match outcome {
             CollOutcome::Parts(p) => Ok(p),
             _ => err(

@@ -638,6 +638,10 @@ impl Engine {
     /// without blocking — the engine's background progress hook, called
     /// from every blocking/polling entry point.
     pub(crate) fn nb_progress(&mut self) -> Result<()> {
+        // One-sided windows piggy-back on the same hook: ingest arrived
+        // RMA traffic and apply any epochs whose markers are in (see
+        // `crate::rma`; no-op when no window is open).
+        self.rma_progress()?;
         if self.coll_requests.is_empty() {
             return Ok(());
         }

@@ -46,6 +46,7 @@ pub mod ops;
 pub mod p2p;
 pub mod pack;
 pub mod request;
+pub mod rma;
 pub mod topology;
 pub mod types;
 pub mod universe;
@@ -59,6 +60,7 @@ pub use group::{CompareResult, Group};
 pub use mpi_transport::NodeMap;
 pub use ops::{Op, PredefinedOp};
 pub use request::RequestId;
+pub use rma::{RmaGetId, WinHandle};
 pub use types::{PrimitiveKind, SendMode, StatusInfo, ANY_SOURCE, ANY_TAG, PROC_NULL, UNDEFINED};
 pub use universe::{Universe, UniverseConfig};
 
@@ -97,6 +99,18 @@ pub struct EngineStats {
     /// sends and `recv_into` at exactly one payload copy each through
     /// this counter.
     pub bytes_copied: u64,
+    /// One-sided `put`/`accumulate` operations issued from this rank
+    /// (origin-side count; see [`rma`]).
+    pub rma_puts: u64,
+    /// One-sided `get` operations issued from this rank (origin side).
+    pub rma_gets: u64,
+    /// Payload bytes moved by one-sided operations issued from this rank
+    /// (put/accumulate payloads out, get replies requested in).
+    pub rma_bytes: u64,
+    /// RMA synchronization epochs this rank has completed: one per
+    /// returned [`Engine::win_fence`], plus one per completed
+    /// [`Engine::win_unlock`] passive-target epoch.
+    pub epochs: u64,
 }
 
 /// Per-rank MPI engine. See the crate documentation.
@@ -154,6 +168,15 @@ pub struct Engine {
     /// Per-communicator collective sequence counters for tag-window
     /// allocation (see [`coll::nb`]'s tag-window accounting).
     pub(crate) coll_seqs: HashMap<comm::CommHandle, u64>,
+    /// Open one-sided memory windows, keyed by [`rma::WinHandle`] value
+    /// (see [`rma`]'s epoch model and tag accounting).
+    pub(crate) windows: HashMap<u64, rma::WindowState>,
+    pub(crate) next_win: u64,
+    /// Per-communicator window sequence counters: `win_create` is
+    /// collective, so symmetric calls yield identical sequence numbers on
+    /// every rank, which is what makes the per-window RMA tag channels
+    /// line up without communication.
+    pub(crate) win_seqs: HashMap<comm::CommHandle, u64>,
 }
 
 /// Default payload size (bytes) above which standard-mode sends switch from
@@ -204,6 +227,9 @@ impl Engine {
             forced_coll_alg: coll::CollAlgorithm::from_env(),
             coll_requests: HashMap::new(),
             coll_seqs: HashMap::new(),
+            windows: HashMap::new(),
+            next_win: 1,
+            win_seqs: HashMap::new(),
         };
         engine.install_builtin_comms();
         engine
@@ -314,6 +340,15 @@ impl Engine {
     pub fn finalize(&mut self) -> Result<()> {
         if self.finalized {
             return error::err(ErrorClass::NotInitialized, "finalize called twice");
+        }
+        if self.rma_open_epoch() {
+            return error::err(
+                ErrorClass::Other,
+                "finalize called with an un-synced RMA epoch",
+            );
+        }
+        if !self.windows.is_empty() {
+            return error::err(ErrorClass::Other, "finalize called with open RMA windows");
         }
         if self.posted.values().any(|q| !q.is_empty())
             || !self.pending_rendezvous.is_empty()

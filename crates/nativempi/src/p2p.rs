@@ -178,7 +178,7 @@ impl Engine {
         t
     }
 
-    fn alloc_request(&mut self, state: RequestState) -> RequestId {
+    pub(crate) fn alloc_request(&mut self, state: RequestState) -> RequestId {
         let id = self.next_request;
         self.next_request += 1;
         self.requests.insert(id, state);
@@ -220,7 +220,7 @@ impl Engine {
     /// Recycle a completion payload the caller is done with: if this was
     /// the last reference to an un-sliced buffer, its allocation feeds the
     /// send pool (no copy either way).
-    pub(crate) fn recycle(&mut self, data: Bytes) {
+    pub fn recycle(&mut self, data: Bytes) {
         if let Ok(buf) = data.try_into_vec() {
             self.pool_put(buf);
         }
@@ -288,9 +288,24 @@ impl Engine {
         data: Bytes,
         mode: SendMode,
     ) -> Result<RequestId> {
+        self.isend_bytes_on_context(comm, dest, tag, data, mode, false)
+    }
+
+    /// Zero-copy send on either context (the RMA subsystem ships window
+    /// payloads and sync markers on the collective context, so user
+    /// `ANY_TAG` receives can never steal them).
+    pub(crate) fn isend_bytes_on_context(
+        &mut self,
+        comm: CommHandle,
+        dest: i32,
+        tag: i32,
+        data: Bytes,
+        mode: SendMode,
+        collective: bool,
+    ) -> Result<RequestId> {
         match self.prepare_send(comm, dest, tag, data.len(), mode)? {
             None => Ok(self.alloc_request(RequestState::SendComplete)),
-            Some(dest) => self.dispatch_send(comm, dest, tag, data, mode, false),
+            Some(dest) => self.dispatch_send(comm, dest, tag, data, mode, collective),
         }
     }
 

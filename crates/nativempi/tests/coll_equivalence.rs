@@ -594,3 +594,262 @@ fn algorithms_are_byte_identical_on_tcp() {
 fn algorithms_survive_a_tiny_eager_threshold() {
     assert_equivalence(DeviceKind::ShmFast, Some(256));
 }
+
+// ---------------------------------------------------------------------
+// Neighborhood collectives: the schedule-built sparse exchanges must be
+// byte-identical to a hand-rolled isend/irecv reference, and the
+// `ineighbor_*` twins byte-identical to the blocking forms.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum NeighborStyle {
+    Blocking,
+    /// Two schedules in flight concurrently, completed in reverse order.
+    Nonblocking,
+    /// User-tag point-to-point reference.
+    HandRolled,
+}
+
+/// Per-send-block `(destination, slot index at the receiver)` derived
+/// from first principles — `cart_shift` reciprocity for grids,
+/// occurrence-matched adjacency for graphs — so the reference does not
+/// lean on the engine's own pairing code.
+fn reference_sends(engine: &Engine, comm: usize) -> Vec<(i32, usize)> {
+    if let Ok(ndims) = engine.cartdim_get(comm) {
+        let mut sends = Vec::new();
+        for d in 0..ndims {
+            let (src, dst) = engine.cart_shift(comm, d, 1).unwrap();
+            // A block sent to `src` is `src`'s positive-direction
+            // arrival, slot 2d + 1 — and symmetrically for `dst`.
+            sends.push((src, 2 * d + 1));
+            sends.push((dst, 2 * d));
+        }
+        return sends;
+    }
+    let me = engine.comm_rank(comm).unwrap();
+    let adj = engine.graph_neighbors(comm, me).unwrap();
+    let mut sends = Vec::new();
+    for (j, &peer) in adj.iter().enumerate() {
+        let occurrence = adj[..j].iter().filter(|&&q| q == peer).count();
+        let peer_adj = engine.graph_neighbors(comm, peer).unwrap();
+        let remote = peer_adj
+            .iter()
+            .enumerate()
+            .filter(|&(_, &q)| q == me)
+            .map(|(i, _)| i)
+            .nth(occurrence)
+            .unwrap();
+        sends.push((peer as i32, remote));
+    }
+    sends
+}
+
+/// The same sparse exchange as `neighbor_alltoallv`, built from
+/// ordinary user-tag point-to-point: each send is tagged with the slot
+/// index the block occupies at the receiver (the MPI-3 §7.6 pairing).
+fn hand_rolled_neighbor_alltoallv(
+    engine: &mut Engine,
+    comm: usize,
+    chunks: &[Vec<u8>],
+) -> Vec<Vec<u8>> {
+    const TAG0: i32 = 7000;
+    let me = engine.comm_rank(comm).unwrap() as i32;
+    let peers = engine.topo_neighbors(comm).unwrap();
+    let sends = reference_sends(engine, comm);
+    let mut parts: Vec<Vec<u8>> = vec![Vec::new(); peers.len()];
+    let mut recv_reqs = Vec::new();
+    for (j, &peer) in peers.iter().enumerate() {
+        if peer != mpi_native::PROC_NULL && peer != me {
+            recv_reqs.push((j, engine.irecv(comm, peer, TAG0 + j as i32, None).unwrap()));
+        }
+    }
+    let mut send_reqs = Vec::new();
+    for (k, &(dest, remote)) in sends.iter().enumerate() {
+        if dest == mpi_native::PROC_NULL {
+            continue;
+        }
+        if dest == me {
+            parts[remote] = chunks[k].clone();
+        } else {
+            send_reqs.push(
+                engine
+                    .isend(
+                        comm,
+                        dest,
+                        TAG0 + remote as i32,
+                        &chunks[k],
+                        mpi_native::SendMode::Standard,
+                    )
+                    .unwrap(),
+            );
+        }
+    }
+    for (j, req) in recv_reqs {
+        let completion = engine.wait(req).unwrap();
+        parts[j] = completion.data.unwrap().as_ref().to_vec();
+    }
+    for req in send_reqs {
+        engine.wait(req).unwrap();
+    }
+    parts
+}
+
+fn neighbor_exchange(
+    engine: &mut Engine,
+    comm: usize,
+    style: NeighborStyle,
+    log: &mut Vec<u8>,
+    op_base: u8,
+) {
+    let rank = engine.comm_rank(comm).unwrap();
+    let degree = engine.topo_neighbors(comm).unwrap().len();
+    // Ragged per-slot chunks (alltoallv shape) and a replicated
+    // allgather payload.
+    let chunks: Vec<Vec<u8>> = (0..degree)
+        .map(|j| vec![(rank * 16 + j) as u8; (rank + j) % 3 + 1])
+        .collect();
+    let payload: Vec<u8> = (0..5).map(|i| (rank * 7 + i) as u8).collect();
+    match style {
+        NeighborStyle::Blocking => {
+            let parts = engine.neighbor_alltoallv(comm, &chunks).unwrap();
+            log_parts(log, op_base, &parts);
+            let parts = engine.neighbor_allgather(comm, &payload).unwrap();
+            log_parts(log, op_base + 1, &parts);
+        }
+        NeighborStyle::Nonblocking => {
+            let r1 = engine.ineighbor_alltoallv(comm, &chunks).unwrap();
+            let r2 = engine.ineighbor_allgather(comm, &payload).unwrap();
+            let g2 = engine.coll_wait(r2).unwrap().into_parts().unwrap();
+            let g1 = engine.coll_wait(r1).unwrap().into_parts().unwrap();
+            log_parts(log, op_base, &g1);
+            log_parts(log, op_base + 1, &g2);
+        }
+        NeighborStyle::HandRolled => {
+            let parts = hand_rolled_neighbor_alltoallv(engine, comm, &chunks);
+            log_parts(log, op_base, &parts);
+            let replicated = vec![payload.clone(); degree];
+            let parts = hand_rolled_neighbor_alltoallv(engine, comm, &replicated);
+            log_parts(log, op_base + 1, &parts);
+        }
+    }
+}
+
+fn neighbor_transcript(engine: &mut Engine, style: NeighborStyle) -> Vec<u8> {
+    let size = engine.world_size();
+    let mut log = Vec::new();
+
+    // 1D periodic ring: degenerate both-neighbors-same-peer pairing at
+    // size 2, pure self-exchange at size 1.
+    let ring = engine
+        .cart_create(COMM_WORLD, &[size], &[true], false)
+        .unwrap()
+        .unwrap();
+    neighbor_exchange(engine, ring, style, &mut log, 20);
+
+    // 2D grid with one periodic and one open dimension (PROC_NULL
+    // slots off the open edges).
+    if size >= 4 && size.is_multiple_of(2) {
+        let grid = engine
+            .cart_create(COMM_WORLD, &[size / 2, 2], &[true, false], false)
+            .unwrap()
+            .unwrap();
+        neighbor_exchange(engine, grid, style, &mut log, 30);
+    }
+
+    // Graph ring: same shape as the 1D cart but addressed through
+    // adjacency lists (slot order differs from the cart slot order).
+    if size >= 3 {
+        let mut index = Vec::new();
+        let mut edges = Vec::new();
+        for r in 0..size {
+            edges.push((r + size - 1) % size);
+            edges.push((r + 1) % size);
+            index.push(edges.len());
+        }
+        let graph = engine
+            .graph_create(COMM_WORLD, &index, &edges, false)
+            .unwrap()
+            .unwrap();
+        neighbor_exchange(engine, graph, style, &mut log, 40);
+    }
+    log
+}
+
+fn run_neighbor_transcript(config: UniverseConfig, style: NeighborStyle) -> Vec<Vec<u8>> {
+    Universe::run_with_config(config, move |engine| neighbor_transcript(engine, style)).unwrap()
+}
+
+fn assert_neighbor_equivalence(
+    make: impl Fn(usize) -> UniverseConfig,
+    sizes: &[usize],
+    label: &str,
+) {
+    for &size in sizes {
+        let baseline = run_neighbor_transcript(make(size), NeighborStyle::HandRolled);
+        for style in [NeighborStyle::Blocking, NeighborStyle::Nonblocking] {
+            let got = run_neighbor_transcript(make(size), style);
+            let which = if style == NeighborStyle::Blocking {
+                "blocking"
+            } else {
+                "nonblocking"
+            };
+            assert_eq!(
+                got, baseline,
+                "{which} neighbor exchange diverged from hand-rolled: {label} size={size}"
+            );
+        }
+    }
+}
+
+#[test]
+fn neighbor_collectives_match_hand_rolled_on_shm_fast() {
+    assert_neighbor_equivalence(
+        |size| UniverseConfig::new(size, DeviceKind::ShmFast),
+        &[1, 2, 4, 6],
+        "shm-fast",
+    );
+}
+
+#[test]
+fn neighbor_collectives_match_hand_rolled_on_shm_p4() {
+    assert_neighbor_equivalence(
+        |size| UniverseConfig::new(size, DeviceKind::ShmP4),
+        &[2, 4, 6],
+        "shm-p4",
+    );
+}
+
+#[test]
+fn neighbor_collectives_match_hand_rolled_on_tcp() {
+    assert_neighbor_equivalence(
+        |size| UniverseConfig::new(size, DeviceKind::Tcp),
+        &[2, 4, 6],
+        "tcp",
+    );
+}
+
+#[test]
+fn neighbor_collectives_match_hand_rolled_on_hybrid_two_nodes() {
+    assert_neighbor_equivalence(
+        |size| {
+            let nodes = NodeMap::from_assignment((0..size).map(|r| r / size.div_ceil(2)).collect());
+            UniverseConfig::new(size, DeviceKind::Hybrid).with_nodes(nodes)
+        },
+        &[4, 6],
+        "hybrid-2n",
+    );
+}
+
+/// The sparse exchanges must also survive an all-rendezvous regime.
+#[test]
+fn neighbor_collectives_survive_a_tiny_eager_threshold() {
+    assert_neighbor_equivalence(
+        |size| {
+            let mut config = UniverseConfig::new(size, DeviceKind::ShmFast);
+            config.eager_threshold = Some(2);
+            config
+        },
+        &[2, 4, 6],
+        "shm-fast eager=2",
+    );
+}

@@ -190,6 +190,159 @@ fn copy_accounting_is_cumulative_over_a_pingpong() {
     .unwrap();
 }
 
+// ---------------------------------------------------------------------
+// One-sided (RMA) copy accounting. The window datapath reuses the
+// zero-copy machinery, so the same inventory holds:
+//
+// * `win_put` / `win_accumulate` (slice) — exactly 1 origin staging copy
+// * `win_put_bytes` (owned)             — exactly 0 origin copies
+// * target-side apply of a put          — exactly 1 copy (into the region)
+// * `win_get` reply                     — exactly 1 target staging copy
+// * `win_get_take` (owned handout)      — exactly 0 origin copies
+// * `win_get_take_into`                 — exactly 1 origin delivery copy
+// ---------------------------------------------------------------------
+
+#[test]
+fn rma_put_slice_stages_once_and_owned_bytes_never() {
+    for device in DEVICES {
+        Universe::run(2, device, |engine| {
+            let rank = engine.world_rank();
+            let win = engine.win_create(COMM_WORLD, vec![0u8; 2 * LEN]).unwrap();
+            engine.win_fence(win).unwrap();
+            if rank == 0 {
+                engine.win_put(win, 1, 0, &vec![8u8; LEN]).unwrap();
+                assert_eq!(
+                    engine.stats().bytes_copied,
+                    LEN as u64,
+                    "slice put must stage exactly once ({device:?})"
+                );
+            }
+            engine.win_fence(win).unwrap();
+            if rank == 0 {
+                engine
+                    .win_put_bytes(win, 1, LEN, Bytes::from(vec![9u8; LEN]))
+                    .unwrap();
+            }
+            engine.win_fence(win).unwrap();
+            if rank == 0 {
+                assert_eq!(
+                    engine.stats().bytes_copied,
+                    LEN as u64,
+                    "owned-Bytes put must not copy at the origin ({device:?})"
+                );
+            } else {
+                // The target pays exactly one apply copy per put, whatever
+                // the origin-side API was.
+                assert_eq!(engine.stats().bytes_copied, 2 * LEN as u64, "{device:?}");
+                let region = engine.win_region(win).unwrap();
+                assert!(region[..LEN].iter().all(|&b| b == 8));
+                assert!(region[LEN..].iter().all(|&b| b == 9));
+            }
+            engine.win_free(win).unwrap();
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn rma_get_take_is_copy_free_and_take_into_copies_once() {
+    for device in DEVICES {
+        Universe::run(2, device, |engine| {
+            let rank = engine.world_rank();
+            let seed = if rank == 1 {
+                vec![5u8; LEN]
+            } else {
+                vec![0u8; LEN]
+            };
+            let win = engine.win_create(COMM_WORLD, seed).unwrap();
+            engine.win_fence(win).unwrap();
+            if rank == 0 {
+                let get = engine.win_get(win, 1, 0, LEN).unwrap();
+                engine.win_fence(win).unwrap();
+                let data = engine.win_get_take(win, get).unwrap();
+                assert_eq!(data.as_ref(), vec![5u8; LEN]);
+                assert_eq!(
+                    engine.stats().bytes_copied,
+                    0,
+                    "owned get handout must be copy-free ({device:?})"
+                );
+                engine.recycle(data);
+                let get = engine.win_get(win, 1, 0, LEN).unwrap();
+                engine.win_fence(win).unwrap();
+                let mut buf = vec![0u8; LEN];
+                engine.win_get_take_into(win, get, &mut buf).unwrap();
+                assert_eq!(buf, vec![5u8; LEN]);
+                assert_eq!(
+                    engine.stats().bytes_copied,
+                    LEN as u64,
+                    "get take_into is the single delivery copy ({device:?})"
+                );
+            } else {
+                engine.win_fence(win).unwrap();
+                engine.win_fence(win).unwrap();
+                // Serving each get stages one reply copy of the region.
+                assert_eq!(engine.stats().bytes_copied, 2 * LEN as u64, "{device:?}");
+            }
+            engine.win_free(win).unwrap();
+        })
+        .unwrap();
+    }
+}
+
+/// The RMA operation counters (`rma_puts`, `rma_gets`, `rma_bytes`,
+/// `epochs`) track origin-side traffic: accumulates count as puts, and
+/// every closed epoch — fence or unlock — bumps `epochs`.
+#[test]
+fn rma_counters_track_operations_and_epochs() {
+    use mpi_native::{PredefinedOp, PrimitiveKind};
+    Universe::run(2, DeviceKind::ShmFast, |engine| {
+        let rank = engine.world_rank();
+        let win = engine.win_create(COMM_WORLD, vec![0u8; 64]).unwrap();
+        engine.win_fence(win).unwrap();
+        if rank == 0 {
+            engine.win_put(win, 1, 0, &[1u8; 16]).unwrap();
+            engine
+                .win_accumulate(
+                    win,
+                    1,
+                    16,
+                    &16i32.to_le_bytes(),
+                    PrimitiveKind::Int,
+                    PredefinedOp::Sum,
+                )
+                .unwrap();
+        }
+        engine.win_fence(win).unwrap();
+        if rank == 0 {
+            let get = engine.win_get(win, 1, 0, 8).unwrap();
+            engine.win_fence(win).unwrap();
+            let data = engine.win_get_take(win, get).unwrap();
+            engine.recycle(data);
+            engine.win_lock(win, 1).unwrap();
+            engine.win_put(win, 1, 32, &[2u8; 8]).unwrap();
+            engine.win_unlock(win, 1).unwrap();
+            let stats = engine.stats();
+            assert_eq!(stats.rma_puts, 3, "2 puts + 1 accumulate");
+            assert_eq!(stats.rma_gets, 1);
+            assert_eq!(stats.rma_bytes, (16 + 4 + 8 + 8) as u64);
+            assert_eq!(stats.epochs, 4, "3 fences + 1 unlock");
+        } else {
+            engine.win_fence(win).unwrap();
+            // Keep the passive-target exchange progressing.
+            let (flag, _) = engine.recv(COMM_WORLD, 0, 99, None).unwrap();
+            assert_eq!(flag.as_ref(), b"done");
+            assert_eq!(engine.stats().epochs, 3, "targets only close fences");
+        }
+        if rank == 0 {
+            engine
+                .send(COMM_WORLD, 1, 99, b"done", SendMode::Standard)
+                .unwrap();
+        }
+        engine.win_free(win).unwrap();
+    })
+    .unwrap();
+}
+
 /// The staging pool recycles buffers: after a warm-up round trip, a
 /// steady-state ping-pong on the shared-memory device reuses the pooled
 /// staging allocation instead of growing it (observable indirectly: the
