@@ -324,6 +324,7 @@ fn native_pingpong(spec: &PingPongSpec, config: &StackConfig) -> Vec<PingPongPoi
         inter_profile: mpi_transport::DeviceProfile::default(),
         inter_network: mpi_transport::NetworkModel::unshaped(),
         processor_name_prefix: None,
+        progress: None,
     };
     let sizes = spec.sizes.clone();
     let reps = spec.reps;

@@ -123,11 +123,53 @@
 //! | — (no classic neighborhood ops) | [`neighbor_all_gather(...)`](rs::Communicator::neighbor_all_gather) | [`ineighbor_all_gather(...)`](rs::Communicator::ineighbor_all_gather) |
 //! | — | [`neighbor_all_to_all(...)`](rs::Communicator::neighbor_all_to_all) | [`ineighbor_all_to_all(...)`](rs::Communicator::ineighbor_all_to_all) |
 //!
-//! Progress happens inside `test()`/`wait()` calls (and inside any
-//! blocking engine entry point): interleave occasional `test()` calls
-//! with computation to overlap communication and computation — the
-//! `icollectives` overlap cells of the collectives benchmark measure
-//! exactly that.
+//! ### Persistent operations: the fourth column
+//!
+//! Operations issued repeatedly with the same shape — the halo exchange
+//! of an iterative solver, the allreduce of every optimizer step — pay
+//! the argument validation, algorithm selection, and (for collectives)
+//! schedule construction on *every* call. The persistent forms hoist
+//! that one-time cost into an `*_init` call and make each iteration a
+//! cheap [`start()`](rs::PersistentRequest::start) /
+//! [`wait()`](rs::PersistentRequest::wait) pair over a
+//! [`rs::PersistentRequest`], mirroring `MPI_Send_init` / `MPI_Start`
+//! and the MPI-4 persistent collectives. Collective `*_init` calls are
+//! collective and pin a pre-built engine schedule (see
+//! `mpi_native::coll::nb`'s schedule cache), so `start()` replays the
+//! wire pattern without rebuilding it.
+//!
+//! | blocking | nonblocking | persistent (init + start/wait) |
+//! |---|---|---|
+//! | `send(...)` | [`isend(...)`](rs::Communicator::isend) | [`send_init(...)`](rs::Communicator::send_init) |
+//! | `recv_into(...)` | [`irecv_into(...)`](rs::Communicator::irecv_into) | [`recv_init(...)`](rs::Communicator::recv_init) |
+//! | `barrier()` | [`ibarrier()`](rs::Communicator::ibarrier) | [`barrier_init()`](rs::Communicator::barrier_init) |
+//! | `broadcast(...)` | [`ibroadcast(...)`](rs::Communicator::ibroadcast) | [`broadcast_init(...)`](rs::Communicator::broadcast_init) |
+//! | `reduce_into(...)` | [`ireduce_into(...)`](rs::Communicator::ireduce_into) | [`reduce_init_into(...)`](rs::Communicator::reduce_init_into) |
+//! | `all_reduce(...)` | [`iall_reduce(...)`](rs::Communicator::iall_reduce) | [`all_reduce_init(...)`](rs::Communicator::all_reduce_init) |
+//! | `all_gather(...)` | [`iall_gather(...)`](rs::Communicator::iall_gather) | [`all_gather_init(...)`](rs::Communicator::all_gather_init) |
+//!
+//! The classic surface keeps its paper-faithful persistent pair:
+//! `Comm.Send_init` / `Comm.Recv_init` returning a [`Prequest`].
+//!
+//! ### Progress: manual (default) and background-thread
+//!
+//! By default progress happens inside `test()`/`wait()` calls (and
+//! inside any blocking engine entry point): interleave occasional
+//! `test()` calls with computation to overlap communication and
+//! computation — the `icollectives` overlap cells of the collectives
+//! benchmark measure exactly that.
+//!
+//! With [`MpiRuntime::progress`]`(`[`ProgressMode::Thread`]`)` (or
+//! `MPIJAVA_PROGRESS=thread` in the environment) each rank additionally
+//! runs a background progress thread that keeps draining the engine —
+//! nonblocking-collective schedules, the rendezvous/segment pipeline,
+//! and passive-target RMA — while the application computes, so overlap
+//! requires **zero** manual `test()` calls and a one-sided `lock`/`put`
+//! hits a compute-bound target without waiting for it to enter an MPI
+//! call. The engine is serialized behind a mutex, so the binding
+//! provides [`ThreadLevel::Multiple`] regardless of the level requested
+//! via [`MpiRuntime::thread_level`] (the progress thread itself only
+//! needs `Serialized`).
 
 pub mod buffer;
 pub mod cartcomm;
@@ -155,15 +197,17 @@ pub use group::Group;
 pub use intracomm::Intracomm;
 pub use jni::{JniConfig, JniStatsSnapshot, MarshalMode};
 pub use op::Op;
-pub use request::{Prequest, Request, TypedRequest};
+pub use request::{PersistentRequest, Prequest, Request, TypedRequest};
 pub use serial::{ObjectInputStream, ObjectOutputStream, Serializable};
 pub use status::Status;
 pub use window::{GetToken, Window};
 
 // Re-export the pieces of the lower layers that appear in this crate's API.
+pub use mpi_native::env::{ProgressMode, PROGRESS_ENV};
 pub use mpi_native::{CollAlgorithm, CompareResult, EngineStats, ErrorClass, PrimitiveKind};
 pub use mpi_transport::{DeviceKind, DeviceProfile, NetworkModel, NodeMap};
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use mpi_native::comm::{COMM_SELF, COMM_WORLD};
@@ -178,6 +222,106 @@ pub(crate) struct RankEnv {
     pub(crate) jni: jni::JniBoundary,
 }
 
+/// Thread support levels of `MPI_Init_thread` (MPI-2 §8.7).
+///
+/// The engine sits behind a per-rank mutex, so every call is internally
+/// serialized and the binding always *provides*
+/// [`Multiple`](ThreadLevel::Multiple) — the requested level passed to
+/// [`MpiRuntime::thread_level`] is a floor, never a cap. The background
+/// progress thread ([`ProgressMode::Thread`]) needs `Serialized`
+/// internally, which is therefore always available.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ThreadLevel {
+    /// `MPI_THREAD_SINGLE`: only one thread will execute.
+    #[default]
+    Single,
+    /// `MPI_THREAD_FUNNELED`: only the main thread makes MPI calls.
+    Funneled,
+    /// `MPI_THREAD_SERIALIZED`: any thread, one at a time.
+    Serialized,
+    /// `MPI_THREAD_MULTIPLE`: any thread, concurrently.
+    Multiple,
+}
+
+/// Handle to one rank's background progress thread
+/// ([`ProgressMode::Thread`]): a loop that opportunistically takes the
+/// engine lock and drives one full progress sweep — incoming frames,
+/// nonblocking-collective schedules, the rendezvous/segment pipeline,
+/// and the RMA windows — then yields. Blocking MPI calls are untouched
+/// (they progress the engine themselves while holding the lock); the
+/// thread's contribution is progress while the application computes
+/// *outside* MPI calls. Dropping the handle stops and joins the thread.
+struct ProgressThread {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressThread {
+    /// Interval between polls while the engine is idle (no in-flight
+    /// work) or the application thread holds the lock (a blocking call
+    /// progresses the engine itself).
+    const POLL_INTERVAL: std::time::Duration = std::time::Duration::from_micros(20);
+    /// Interval closing each busy-poll burst while work *is* in
+    /// flight. The thread then polls in bursts: [`Self::BUSY_BURST`]
+    /// yield-separated polls (near-zero latency whenever a core is
+    /// free, so due frames release on time) followed by one short
+    /// sleep (so a rank-per-core-starved machine still gets its
+    /// application threads scheduled — pure spinning would crowd them
+    /// out and cost more than the poll latency it saves).
+    const BUSY_POLL_INTERVAL: std::time::Duration = std::time::Duration::from_micros(5);
+    /// Yield-separated polls per busy burst.
+    const BUSY_BURST: u32 = 2;
+
+    fn spawn(env: Arc<RankEnv>) -> ProgressThread {
+        let stop = Arc::new(AtomicBool::new(false));
+        let observed = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("mpijava-progress".into())
+            .spawn(move || {
+                let mut burst = 0u32;
+                while !observed.load(Ordering::Relaxed) {
+                    let mut hot = false;
+                    if let Some(mut engine) = env.engine.try_lock() {
+                        if engine.is_finalized() || engine.is_aborted() {
+                            break;
+                        }
+                        // A progress error (e.g. a peer's abort landing)
+                        // surfaces at the application's next engine
+                        // call; the thread just keeps the pump running.
+                        let _ = engine.progress_poll();
+                        engine.note_progress_thread_poll();
+                        hot = engine.background_work_pending();
+                    }
+                    if hot && burst < Self::BUSY_BURST {
+                        burst += 1;
+                        std::thread::yield_now();
+                    } else {
+                        burst = 0;
+                        std::thread::sleep(if hot {
+                            Self::BUSY_POLL_INTERVAL
+                        } else {
+                            Self::POLL_INTERVAL
+                        });
+                    }
+                }
+            })
+            .expect("spawn progress thread");
+        ProgressThread {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for ProgressThread {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// The `MPI` class of the binding: global services for one rank
 /// (the paper's `MPI.Init`, `MPI.Finalize`, `MPI.COMM_WORLD`, `MPI.Wtime`,
 /// constants, and the predefined datatypes of Figure 2 via [`Datatype`]).
@@ -185,6 +329,7 @@ pub struct MPI {
     env: Arc<RankEnv>,
     world: Intracomm,
     self_comm: Intracomm,
+    thread_level: ThreadLevel,
 }
 
 impl MPI {
@@ -202,17 +347,40 @@ impl MPI {
     /// Wrap an already-initialized engine (this is `MPI.Init`; normally
     /// called for you by [`MpiRuntime::run`]).
     pub fn init(engine: Engine, jni_config: JniConfig) -> MPI {
+        Self::init_thread(engine, jni_config, ThreadLevel::Single).0
+    }
+
+    /// `MPI.Init_thread(required)`: like [`init`](MPI::init), also
+    /// returning the *provided* thread level. The engine is serialized
+    /// behind a per-rank mutex, so every request is granted
+    /// [`ThreadLevel::Multiple`].
+    pub fn init_thread(
+        engine: Engine,
+        jni_config: JniConfig,
+        required: ThreadLevel,
+    ) -> (MPI, ThreadLevel) {
+        let provided = required.max(ThreadLevel::Multiple);
         let env = Arc::new(RankEnv {
             engine: Mutex::new(engine),
             jni: jni::JniBoundary::new(jni_config),
         });
         let world = Intracomm::new(Arc::clone(&env), COMM_WORLD);
         let self_comm = Intracomm::new(Arc::clone(&env), COMM_SELF);
-        MPI {
-            env,
-            world,
-            self_comm,
-        }
+        (
+            MPI {
+                env,
+                world,
+                self_comm,
+                thread_level: provided,
+            },
+            provided,
+        )
+    }
+
+    /// `MPI.Query_thread()`: the provided thread support level
+    /// ([`ThreadLevel::Multiple`] — see [`MPI::init_thread`]).
+    pub fn query_thread(&self) -> ThreadLevel {
+        self.thread_level
     }
 
     /// `MPI.COMM_WORLD`.
@@ -294,6 +462,8 @@ pub struct MpiRuntime {
     eager_threshold: Option<usize>,
     segment_bytes: Option<usize>,
     coll_algorithm: Option<CollAlgorithm>,
+    progress: Option<ProgressMode>,
+    thread_level: ThreadLevel,
     jni: JniConfig,
 }
 
@@ -311,6 +481,8 @@ impl MpiRuntime {
             eager_threshold: None,
             segment_bytes: None,
             coll_algorithm: None,
+            progress: None,
+            thread_level: ThreadLevel::Single,
             jni: JniConfig::default(),
         }
     }
@@ -381,6 +553,27 @@ impl MpiRuntime {
         self
     }
 
+    /// Select the progress model (see [`ProgressMode`]):
+    /// [`Thread`](ProgressMode::Thread) runs one background progress
+    /// thread per rank, so nonblocking operations, rendezvous pipelines
+    /// and passive-target RMA advance while the application computes —
+    /// zero manual `test()` calls. Takes precedence over the
+    /// `MPIJAVA_PROGRESS` environment override; unset defaults to
+    /// [`Manual`](ProgressMode::Manual).
+    pub fn progress(mut self, mode: ProgressMode) -> Self {
+        self.progress = Some(mode);
+        self
+    }
+
+    /// Request a thread support level (`MPI_Init_thread`'s `required`).
+    /// The binding always provides [`ThreadLevel::Multiple`] (the engine
+    /// is mutex-serialized), so every request is honored;
+    /// [`MPI::query_thread`] reports the provided level.
+    pub fn thread_level(mut self, level: ThreadLevel) -> Self {
+        self.thread_level = level;
+        self
+    }
+
     /// Configure the simulated JNI boundary (marshal mode, per-call cost).
     pub fn jni(mut self, config: JniConfig) -> Self {
         self.jni = config;
@@ -405,6 +598,7 @@ impl MpiRuntime {
             nodes: self.nodes.clone(),
             inter_profile: self.inter_profile,
             inter_network: self.inter_network,
+            progress: self.progress,
             processor_name_prefix: None,
         };
         let fabric_config = mpi_transport::FabricConfig::new(self.size, self.device)
@@ -413,6 +607,7 @@ impl MpiRuntime {
             .with_nodes(config.resolved_nodes())
             .with_inter_network(self.inter_network)
             .with_inter_profile(self.inter_profile);
+        let progress = config.resolved_progress();
         let _ = config; // UniverseConfig documents the mapping; we build directly.
         let endpoints = mpi_transport::Fabric::build(fabric_config)
             .map_err(mpi_native::MpiError::from)?
@@ -422,6 +617,7 @@ impl MpiRuntime {
         let eager = self.eager_threshold;
         let segment = self.segment_bytes;
         let coll = self.coll_algorithm;
+        let thread_level = self.thread_level;
 
         let results: Vec<MpiResult<T>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.size);
@@ -437,9 +633,15 @@ impl MpiRuntime {
                     if coll.is_some() {
                         engine.set_coll_algorithm(coll);
                     }
-                    let mpi = MPI::init(engine, jni);
+                    let (mpi, _provided) = MPI::init_thread(engine, jni, thread_level);
+                    // Background progress: one thread per rank, stopped
+                    // and joined (via the guard's drop) before the
+                    // rank's result is returned.
+                    let progress_guard = (progress == ProgressMode::Thread)
+                        .then(|| ProgressThread::spawn(Arc::clone(&mpi.env)));
                     let outcome =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mpi)));
+                    drop(progress_guard);
                     match outcome {
                         Ok(result) => result,
                         Err(panic) => {

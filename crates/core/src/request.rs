@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use mpi_native::{CollOutcome, CollRequestId, ErrorClass, RequestId};
+use mpi_native::{CollOutcome, CollRequestId, ErrorClass, PersistentCollId, RequestId};
 
 use crate::exception::{MPIException, MpiResult};
 use crate::status::Status;
@@ -647,6 +647,308 @@ impl<'buf> Prequest<'buf> {
     /// True while a started communication has not yet been waited on.
     pub fn is_active(&self) -> bool {
         self.active
+    }
+}
+
+/// The buffers a persistent collective re-reads and re-fills on every
+/// iteration: one object owning both directions, so a single borrow can
+/// serve as the operation's input *and* output (a persistent bcast uses
+/// the same slice for both roles).
+pub(crate) trait PersistentCollBufs: Send {
+    /// This rank's contribution for one `start()` (re-marshalled from
+    /// the captured buffer, matching the C semantics of reusing the
+    /// buffer by address).
+    fn pack(&mut self) -> Vec<u8>;
+    /// Deliver one completed iteration's outcome bytes into the
+    /// captured buffer (no-op for outcome-free shapes).
+    fn unpack(&mut self, bytes: &[u8]) -> MpiResult<()>;
+}
+
+enum PersistentKind<'buf> {
+    P2pSend {
+        id: RequestId,
+        repack: Repack<'buf>,
+    },
+    P2pRecv {
+        id: RequestId,
+        unpack: UnpackMut<'buf>,
+    },
+    Coll {
+        id: PersistentCollId,
+        bufs: Box<dyn PersistentCollBufs + 'buf>,
+    },
+}
+
+/// RAII handle to a persistent operation of the idiomatic API
+/// ([`crate::rs`]): `send_init` / `recv_init` point-to-point pairs and
+/// the persistent collectives (`barrier_init`, `broadcast_init`,
+/// `reduce_init_into`, `all_reduce_init`, `all_gather_init`).
+///
+/// One handle is one reusable operation: [`start`](PersistentRequest::start)
+/// launches an iteration (re-marshalling the captured send buffer, so
+/// the C idiom of reusing the buffer by address carries over),
+/// [`wait`](PersistentRequest::wait) / [`test`](PersistentRequest::test)
+/// complete it and fill the captured receive buffer, and the handle is
+/// immediately startable again. The one-time cost — validation,
+/// algorithm selection, schedule construction and tag-window
+/// reservation for collectives — was paid at `*_init` time; each
+/// `start()` of a collective replays the pinned engine schedule (see
+/// `mpi_native::coll::nb`'s schedule cache).
+///
+/// Drop semantics mirror [`TypedRequest`]: dropping a handle whose
+/// `start()` is still in flight quiesces it (the iteration is driven to
+/// completion and discarded) and releases the engine-side registration,
+/// so `finalize()` — which refuses active persistent operations — stays
+/// a reliable leak probe. During a panic-unwind the handle is abandoned
+/// so teardown cannot hang. Use [`free`](PersistentRequest::free) to
+/// observe release errors.
+pub struct PersistentRequest<'buf> {
+    env: Arc<RankEnv>,
+    kind: PersistentKind<'buf>,
+    active: bool,
+    freed: bool,
+}
+
+impl std::fmt::Debug for PersistentRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.kind {
+            PersistentKind::P2pSend { id, .. } => format!("send {id:?}"),
+            PersistentKind::P2pRecv { id, .. } => format!("recv {id:?}"),
+            PersistentKind::Coll { id, .. } => format!("coll {id:?}"),
+        };
+        f.debug_struct("PersistentRequest")
+            .field("kind", &kind)
+            .field("active", &self.active)
+            .finish()
+    }
+}
+
+impl<'buf> PersistentRequest<'buf> {
+    pub(crate) fn p2p_send(
+        env: Arc<RankEnv>,
+        id: RequestId,
+        repack: Repack<'buf>,
+    ) -> PersistentRequest<'buf> {
+        PersistentRequest {
+            env,
+            kind: PersistentKind::P2pSend { id, repack },
+            active: false,
+            freed: false,
+        }
+    }
+
+    pub(crate) fn p2p_recv(
+        env: Arc<RankEnv>,
+        id: RequestId,
+        unpack: UnpackMut<'buf>,
+    ) -> PersistentRequest<'buf> {
+        PersistentRequest {
+            env,
+            kind: PersistentKind::P2pRecv { id, unpack },
+            active: false,
+            freed: false,
+        }
+    }
+
+    pub(crate) fn coll(
+        env: Arc<RankEnv>,
+        id: PersistentCollId,
+        bufs: Box<dyn PersistentCollBufs + 'buf>,
+    ) -> PersistentRequest<'buf> {
+        PersistentRequest {
+            env,
+            kind: PersistentKind::Coll { id, bufs },
+            active: false,
+            freed: false,
+        }
+    }
+
+    /// `MPI_Start`: launch one iteration. The captured send buffer is
+    /// re-marshalled at this moment. Errors if the previous iteration
+    /// has not been completed yet (collective starts are ordered like
+    /// any collective: every rank must start in the same order).
+    pub fn start(&mut self) -> MpiResult<()> {
+        if self.active {
+            return Err(MPIException::new(
+                ErrorClass::Request,
+                "persistent request is already active; wait on it first",
+            ));
+        }
+        self.env.jni.enter("Prequest.Start");
+        match &mut self.kind {
+            PersistentKind::P2pSend { id, repack } => {
+                let payload = repack()?;
+                let mut engine = self.env.engine.lock();
+                engine.persistent_set_data(*id, &payload)?;
+                engine.start(*id)?;
+            }
+            PersistentKind::P2pRecv { id, .. } => {
+                self.env.engine.lock().start(*id)?;
+            }
+            PersistentKind::Coll { id, bufs } => {
+                let payload = bufs.pack();
+                self.env
+                    .engine
+                    .lock()
+                    .coll_start_persistent(*id, &payload)?;
+            }
+        }
+        self.active = true;
+        Ok(())
+    }
+
+    /// `MPI_Startall` over a batch (the batch may mix point-to-point
+    /// and collective persistent handles).
+    pub fn start_all(requests: &mut [PersistentRequest<'buf>]) -> MpiResult<()> {
+        for request in requests.iter_mut() {
+            request.start()?;
+        }
+        Ok(())
+    }
+
+    /// `MPI_Wait`: complete the current iteration, fill the captured
+    /// receive buffer, and return the handle to the startable state. On
+    /// an inactive handle this returns an empty status immediately (the
+    /// standard's semantics for waiting on an inactive persistent
+    /// request).
+    pub fn wait(&mut self) -> MpiResult<Status> {
+        self.env.jni.enter("Prequest.Wait");
+        if !self.active {
+            return Ok(Status::from_info(mpi_native::StatusInfo::empty()));
+        }
+        self.active = false;
+        match &mut self.kind {
+            PersistentKind::P2pSend { id, .. } => {
+                let completion = self.env.engine.lock().wait(*id)?;
+                Ok(Status::from_info(completion.status))
+            }
+            PersistentKind::P2pRecv { id, unpack } => {
+                let completion = self.env.engine.lock().wait(*id)?;
+                if let Some(data) = completion.data.as_ref() {
+                    unpack(data)?;
+                }
+                Ok(Status::from_info(completion.status))
+            }
+            PersistentKind::Coll { id, bufs } => {
+                let outcome = self.env.engine.lock().coll_wait_persistent(*id)?;
+                finish_persistent_coll(outcome, bufs.as_mut())
+            }
+        }
+    }
+
+    /// `MPI_Test`: `Some(status)` if the current iteration completed
+    /// (filling the captured receive buffer), `None` while it is still
+    /// in flight. An inactive handle reports `Some` immediately.
+    pub fn test(&mut self) -> MpiResult<Option<Status>> {
+        self.env.jni.enter("Prequest.Test");
+        if !self.active {
+            return Ok(Some(Status::from_info(mpi_native::StatusInfo::empty())));
+        }
+        match &mut self.kind {
+            PersistentKind::P2pSend { id, .. } => match self.env.engine.lock().test(*id)? {
+                Some(completion) => {
+                    self.active = false;
+                    Ok(Some(Status::from_info(completion.status)))
+                }
+                None => Ok(None),
+            },
+            PersistentKind::P2pRecv { id, unpack } => match self.env.engine.lock().test(*id)? {
+                Some(completion) => {
+                    self.active = false;
+                    if let Some(data) = completion.data.as_ref() {
+                        unpack(data)?;
+                    }
+                    Ok(Some(Status::from_info(completion.status)))
+                }
+                None => Ok(None),
+            },
+            PersistentKind::Coll { id, bufs } => {
+                match self.env.engine.lock().coll_test_persistent(*id)? {
+                    Some(outcome) => {
+                        self.active = false;
+                        Ok(Some(finish_persistent_coll(outcome, bufs.as_mut())?))
+                    }
+                    None => Ok(None),
+                }
+            }
+        }
+    }
+
+    /// True while a started iteration has not been completed yet.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// `MPI_Request_free`: release the persistent operation, observing
+    /// errors. An in-flight iteration is quiesced first (driven to
+    /// completion and discarded) — same policy as the drop, which calls
+    /// this and swallows the result.
+    pub fn free(mut self) -> MpiResult<()> {
+        self.env.jni.enter("Prequest.Free");
+        self.release()
+    }
+
+    fn release(&mut self) -> MpiResult<()> {
+        if self.freed {
+            return Ok(());
+        }
+        self.freed = true;
+        match &mut self.kind {
+            PersistentKind::P2pSend { id, .. } | PersistentKind::P2pRecv { id, .. } => {
+                let mut engine = self.env.engine.lock();
+                if self.active {
+                    self.active = false;
+                    let _ = engine.wait(*id);
+                }
+                engine.request_free(*id)?;
+            }
+            PersistentKind::Coll { id, .. } => {
+                // coll_free_persistent quiesces an in-flight start
+                // itself (a collective cannot be withdrawn).
+                self.active = false;
+                self.env.engine.lock().coll_free_persistent(*id)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shared completion tail of the persistent-collective `wait`/`test`:
+/// flatten the outcome, deliver it into the captured buffers, and
+/// synthesize the byte-count status (like [`Request::finish_coll`]).
+fn finish_persistent_coll(
+    outcome: CollOutcome,
+    bufs: &mut (dyn PersistentCollBufs + '_),
+) -> MpiResult<Status> {
+    let data: Option<Vec<u8>> = match outcome {
+        CollOutcome::Done => None,
+        CollOutcome::Buffer(buffer) => Some(buffer),
+        CollOutcome::Parts(parts) => Some(parts.into_iter().flatten().collect()),
+    };
+    if let Some(bytes) = data.as_ref() {
+        bufs.unpack(bytes)?;
+    }
+    let mut info = mpi_native::StatusInfo::empty();
+    info.count_bytes = data.map_or(0, |d| d.len());
+    Ok(Status::from_info(info))
+}
+
+impl Drop for PersistentRequest<'_> {
+    fn drop(&mut self) {
+        if self.freed {
+            return;
+        }
+        if std::thread::panicking() {
+            // Unwinding: quiescing could hang on peers that will never
+            // act once this rank's abort lands. Abandon the engine-side
+            // registration; finalize will not run after a panic, so its
+            // active-persistent check cannot misfire.
+            return;
+        }
+        // Quiesce + release on drop, mirroring TypedRequest. Errors are
+        // swallowed (drop cannot propagate them); use `free()` to
+        // observe them.
+        let _ = self.release();
     }
 }
 

@@ -31,6 +31,17 @@
 //!   collective completion; blocking collectives are `start + wait`
 //!   over the same engine schedules (see the crate docs' three-column
 //!   table).
+//! * **Persistent operations**: [`send_init`](Communicator::send_init) /
+//!   [`recv_init`](Communicator::recv_init) and the persistent
+//!   collectives ([`barrier_init`](Communicator::barrier_init),
+//!   [`broadcast_init`](Communicator::broadcast_init),
+//!   [`reduce_init_into`](Communicator::reduce_init_into),
+//!   [`all_reduce_init`](Communicator::all_reduce_init),
+//!   [`all_gather_init`](Communicator::all_gather_init)) return a
+//!   reusable [`PersistentRequest`] whose `start()`/`wait()` pairs
+//!   replay the operation without re-paying validation, algorithm
+//!   selection, or schedule construction (see the crate docs' persistent
+//!   column).
 //! * **Node topology** (multi-fabric jobs):
 //!   [`node_of`](Communicator::node_of) /
 //!   [`my_node`](Communicator::my_node) /
@@ -141,11 +152,11 @@ use crate::comm::Comm;
 use crate::exception::{MPIException, MpiResult};
 use crate::intracomm::Intracomm;
 use crate::op::Op;
-use crate::request::Request;
+use crate::request::{PersistentCollBufs, Request};
 use crate::serial::Serializable;
 use crate::status::Status;
 
-pub use crate::request::TypedRequest;
+pub use crate::request::{PersistentRequest, TypedRequest};
 pub use crate::window::{GetToken, Window};
 
 /// Polymorphic communication interface over every intra-communicator
@@ -817,6 +828,179 @@ pub trait Communicator {
     }
 
     // ------------------------------------------------------------------
+    // Persistent operations (MPI_Send_init / MPI_Start and the MPI-4
+    // persistent collectives; see the crate docs' persistent column)
+    // ------------------------------------------------------------------
+    //
+    // Each `*_init` builds a reusable [`PersistentRequest`]: the
+    // one-time costs — validation, algorithm selection, and (for
+    // collectives) schedule construction over pinned tag windows — are
+    // paid here, and every `start()`/`wait()` iteration replays the
+    // operation against the captured buffers. The collective `*_init`
+    // calls are themselves collective: every rank must call them in the
+    // same order relative to other collectives on the communicator, and
+    // successive `start()`s must also line up rank-for-rank (the
+    // standard's persistent-collective rule).
+
+    /// Persistent send (`MPI_Send_init`): each
+    /// [`start()`](PersistentRequest::start) re-marshals the captured
+    /// slice's *current* contents and sends them to `dest` — the C
+    /// idiom of reusing the buffer by address. Since the slice stays
+    /// immutably borrowed by the handle, interior mutation between
+    /// starts needs a `Cell`-style element or a fresh handle.
+    fn send_init<'buf, T: BufferElement>(
+        &self,
+        buf: &'buf [T],
+        dest: i32,
+        tag: i32,
+    ) -> MpiResult<PersistentRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Comm.Send_init");
+        let payload = slice_to_bytes(buf);
+        let id = comm.env.engine.lock().send_init(
+            comm.handle,
+            dest,
+            tag,
+            &payload,
+            SendMode::Standard,
+        )?;
+        Ok(PersistentRequest::p2p_send(
+            Arc::clone(&comm.env),
+            id,
+            Box::new(move || Ok(slice_to_bytes(buf))),
+        ))
+    }
+
+    /// Persistent receive (`MPI_Recv_init`): each completed iteration
+    /// fills the captured slice. The slice stays mutably borrowed by
+    /// the handle until it is dropped or freed.
+    fn recv_init<'buf, T: BufferElement>(
+        &self,
+        buf: &'buf mut [T],
+        source: i32,
+        tag: i32,
+    ) -> MpiResult<PersistentRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Comm.Recv_init");
+        let max_len = buf.len() * T::width();
+        let id = comm
+            .env
+            .engine
+            .lock()
+            .recv_init(comm.handle, source, tag, Some(max_len))?;
+        Ok(PersistentRequest::p2p_recv(
+            Arc::clone(&comm.env),
+            id,
+            Box::new(move |wire: &[u8]| {
+                bytes_to_elements(buf, 0, wire);
+                Ok(())
+            }),
+        ))
+    }
+
+    /// Persistent barrier (`MPI_Barrier_init`): each `start()`/`wait()`
+    /// pair is one barrier over the pre-built schedule.
+    fn barrier_init(&self) -> MpiResult<PersistentRequest<'static>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Barrier_init");
+        let id = comm.env.engine.lock().barrier_init(comm.handle)?;
+        Ok(PersistentRequest::coll(
+            Arc::clone(&comm.env),
+            id,
+            Box::new(NoCollBufs),
+        ))
+    }
+
+    /// Persistent broadcast (`MPI_Bcast_init`): each iteration sends
+    /// the root's current `buf` contents to every rank's `buf`. Every
+    /// rank passes a buffer of the same length, fixed at init time.
+    fn broadcast_init<'buf, T: BufferElement>(
+        &self,
+        buf: &'buf mut [T],
+        root: usize,
+    ) -> MpiResult<PersistentRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Bcast_init");
+        let mut engine = comm.env.engine.lock();
+        let is_root = engine.comm_rank(comm.handle)? == root;
+        let id = engine.bcast_init(comm.handle, root, buf.len() * T::width())?;
+        drop(engine);
+        Ok(PersistentRequest::coll(
+            Arc::clone(&comm.env),
+            id,
+            Box::new(BcastCollBufs { buf, is_root }),
+        ))
+    }
+
+    /// Persistent reduction to `root` (`MPI_Reduce_init`); each
+    /// iteration reduces the captured `send` slices into the root's
+    /// `recv` (non-root `recv` slices are left untouched).
+    fn reduce_init_into<'buf, T: BufferElement>(
+        &self,
+        send: &'buf [T],
+        recv: &'buf mut [T],
+        op: impl Borrow<Op>,
+        root: usize,
+    ) -> MpiResult<PersistentRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Reduce_init");
+        let id = comm.env.engine.lock().reduce_init(
+            comm.handle,
+            root,
+            T::KIND,
+            send.len(),
+            op.borrow().engine_op(),
+        )?;
+        Ok(PersistentRequest::coll(
+            Arc::clone(&comm.env),
+            id,
+            Box::new(SendRecvCollBufs { send, recv }),
+        ))
+    }
+
+    /// Persistent allreduce (`MPI_Allreduce_init`): each iteration
+    /// reduces the captured `send` slices and delivers the result to
+    /// every rank's `recv`.
+    fn all_reduce_init<'buf, T: BufferElement>(
+        &self,
+        send: &'buf [T],
+        recv: &'buf mut [T],
+        op: impl Borrow<Op>,
+    ) -> MpiResult<PersistentRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Allreduce_init");
+        let id = comm.env.engine.lock().allreduce_init(
+            comm.handle,
+            T::KIND,
+            send.len(),
+            op.borrow().engine_op(),
+        )?;
+        Ok(PersistentRequest::coll(
+            Arc::clone(&comm.env),
+            id,
+            Box::new(SendRecvCollBufs { send, recv }),
+        ))
+    }
+
+    /// Persistent allgather (`MPI_Allgather_init`): each iteration
+    /// gathers the captured `send` slices into every rank's `recv`
+    /// (`size * send.len()` elements, rank order).
+    fn all_gather_init<'buf, T: BufferElement>(
+        &self,
+        send: &'buf [T],
+        recv: &'buf mut [T],
+    ) -> MpiResult<PersistentRequest<'buf>> {
+        let comm = self.as_comm();
+        comm.env.jni.enter("Intracomm.Allgather_init");
+        let id = comm.env.engine.lock().allgather_init(comm.handle)?;
+        Ok(PersistentRequest::coll(
+            Arc::clone(&comm.env),
+            id,
+            Box::new(SendRecvCollBufs { send, recv }),
+        ))
+    }
+
+    // ------------------------------------------------------------------
     // Node topology (multi-fabric jobs; see mpi_transport::NodeMap)
     // ------------------------------------------------------------------
 
@@ -1029,6 +1213,57 @@ pub trait Communicator {
                 "broadcast_obj: root sent an empty object message",
             )
         })
+    }
+}
+
+/// Buffer capture for persistent collectives without local buffers
+/// (barrier).
+struct NoCollBufs;
+
+impl PersistentCollBufs for NoCollBufs {
+    fn pack(&mut self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn unpack(&mut self, _bytes: &[u8]) -> MpiResult<()> {
+        Ok(())
+    }
+}
+
+/// Buffer capture for a persistent broadcast: one slice is both the
+/// root's input and every rank's output.
+struct BcastCollBufs<'buf, T: BufferElement> {
+    buf: &'buf mut [T],
+    is_root: bool,
+}
+
+impl<T: BufferElement> PersistentCollBufs for BcastCollBufs<'_, T> {
+    fn pack(&mut self) -> Vec<u8> {
+        if self.is_root {
+            slice_to_bytes(self.buf)
+        } else {
+            Vec::new()
+        }
+    }
+    fn unpack(&mut self, bytes: &[u8]) -> MpiResult<()> {
+        bytes_to_elements(self.buf, 0, bytes);
+        Ok(())
+    }
+}
+
+/// Buffer capture for the send/recv-shaped persistent collectives
+/// (reduce, allreduce, allgather).
+struct SendRecvCollBufs<'buf, T: BufferElement> {
+    send: &'buf [T],
+    recv: &'buf mut [T],
+}
+
+impl<T: BufferElement> PersistentCollBufs for SendRecvCollBufs<'_, T> {
+    fn pack(&mut self) -> Vec<u8> {
+        slice_to_bytes(self.send)
+    }
+    fn unpack(&mut self, bytes: &[u8]) -> MpiResult<()> {
+        bytes_to_elements(self.recv, 0, bytes);
+        Ok(())
     }
 }
 

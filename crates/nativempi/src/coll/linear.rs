@@ -98,7 +98,7 @@ pub(crate) fn gather(
         collect = collect.compute(move |ctx| {
             let mut entries: Vec<(u32, Vec<u8>)> = Vec::with_capacity(size);
             entries.push((root as u32, ctx.take(send)?));
-            for (src, slot) in sources {
+            for &(src, slot) in &sources {
                 entries.push((src as u32, ctx.take(slot)?));
             }
             ctx.put(out, frame_entries(&entries));
@@ -124,6 +124,9 @@ pub(crate) fn scatter(
     out: SlotId,
 ) {
     let tag = win.tag(0);
+    // The per-destination chunks live in build-time slots: payload baked
+    // into the schedule, never reusable as a template.
+    s.uncacheable();
     if rank == root {
         let dest_slots = dest_slots.expect("validated by the dispatch layer");
         debug_assert_eq!(dest_slots.len(), size);
@@ -174,14 +177,17 @@ pub(crate) fn alltoall(
     let own = chunks[rank].clone();
     exchange = exchange.compute(move |ctx| {
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
-        out[rank] = own;
-        for (src, slot) in sources {
+        out[rank] = own.clone();
+        for &(src, slot) in &sources {
             out[src] = ctx.take(slot)?;
         }
         ctx.set_outcome(CollOutcome::Parts(out));
         Ok(())
     });
     s.push(exchange);
+    // The chunks were staged into build-time slots above: payload baked
+    // into the schedule, never reusable as a template.
+    s.uncacheable();
 }
 
 /// Collect contributions at the root and fold them strictly in rank
@@ -216,7 +222,7 @@ pub(crate) fn reduce(
             let need = kind.size() * count;
             let mut contributions: Vec<Vec<u8>> = vec![Vec::new(); size];
             contributions[root] = ctx.take(send)?;
-            for (src, slot) in sources {
+            for &(src, slot) in &sources {
                 let data = ctx.take(slot)?;
                 if data.len() < need {
                     return err(ErrorClass::Count, "reduce contribution too short");

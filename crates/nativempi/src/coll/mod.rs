@@ -74,9 +74,12 @@ pub mod tree;
 pub mod tuning;
 
 pub use algorithm::{CollAlgorithm, COLL_ALG_ENV};
-pub use nb::{CollOutcome, CollRequestId};
+pub use nb::{CollOutcome, CollRequestId, PersistentCollId};
 pub use tuning::{CollOp, OrderPolicy, TopoHint};
 
+use nb::cache::{
+    CacheLookup, OpKey, OpShape, PersistentColl, PersistentSpec, SchedKey, SchedTemplate,
+};
 use nb::{CollSchedule, Round, SlotId};
 
 use crate::comm::CommHandle;
@@ -250,29 +253,50 @@ impl Engine {
         }
         let rank = self.comm_rank(comm)?;
         let hint = self.topo_hint(comm)?;
+        let alg = self.choose(CollOp::Barrier, size, 0, OrderPolicy::Any, hint);
+        let key = SchedKey {
+            comm,
+            alg,
+            shape: OpShape::Barrier,
+        };
+        if let CacheLookup::Hit(s) = self.sched_cache_get(&key, Vec::new())? {
+            return self.coll_start(comm, s);
+        }
+        let s = self.build_barrier(comm, rank, size, alg)?;
+        self.sched_cache_put(key, &s);
+        self.coll_start(comm, s)
+    }
+
+    fn build_barrier(
+        &mut self,
+        comm: CommHandle,
+        rank: usize,
+        size: usize,
+        alg: CollAlgorithm,
+    ) -> Result<CollSchedule> {
         let mut s = CollSchedule::new();
-        match self.choose(CollOp::Barrier, size, 0, OrderPolicy::Any, hint) {
+        match alg {
             CollAlgorithm::Hierarchical => {
                 let topo = self.comm_topology(comm)?;
-                let w_in = self.alloc_tag_window(comm);
-                let w_lead = self.alloc_tag_window(comm);
-                let w_out = self.alloc_tag_window(comm);
+                let w_in = self.sched_window(comm, &mut s);
+                let w_lead = self.sched_window(comm, &mut s);
+                let w_out = self.sched_window(comm, &mut s);
                 hier::barrier(&mut s, w_in, w_lead, w_out, rank, &topo);
             }
             CollAlgorithm::RecursiveDoubling => {
-                let win = self.alloc_tag_window(comm);
+                let win = self.sched_window(comm, &mut s);
                 rd::barrier(&mut s, win, rank, size);
             }
             CollAlgorithm::BinomialTree => {
-                let win = self.alloc_tag_window(comm);
+                let win = self.sched_window(comm, &mut s);
                 tree::barrier(&mut s, win, rank, size);
             }
             _ => {
-                let win = self.alloc_tag_window(comm);
+                let win = self.sched_window(comm, &mut s);
                 linear::barrier(&mut s, win, rank, size);
             }
         }
-        self.coll_start(comm, s)
+        Ok(s)
     }
 
     /// `MPI_Ibcast`: `buf` is the payload on the root (ignored
@@ -287,38 +311,76 @@ impl Engine {
         }
         let rank = self.comm_rank(comm)?;
         let hint = self.topo_hint(comm)?;
+        let alg = self.choose(CollOp::Bcast, size, 0, OrderPolicy::Any, hint);
+        if alg == CollAlgorithm::Pipelined {
+            // The segment chain is extended at run time from the payload
+            // length: never templatable, so skip the cache entirely.
+            let mut s = CollSchedule::new();
+            let data = if rank == root {
+                s.filled(buf)
+            } else {
+                s.empty()
+            };
+            let win = self.alloc_tag_window(comm);
+            let seg = self
+                .segment_bytes
+                .unwrap_or(pipeline::DEFAULT_BCAST_SEGMENT_BYTES);
+            pipeline::bcast(&mut s, win, rank, size, root, data, seg);
+            finalize_buffer(&mut s, data);
+            return self.coll_start(comm, s);
+        }
+        let key = SchedKey {
+            comm,
+            alg,
+            shape: OpShape::Bcast { root },
+        };
+        let inputs = if rank == root { vec![buf] } else { Vec::new() };
+        let buf = match self.sched_cache_get(&key, inputs)? {
+            CacheLookup::Hit(s) => return self.coll_start(comm, s),
+            CacheLookup::Miss(mut inputs) => inputs.pop().unwrap_or_default(),
+        };
+        let s = self.build_bcast(comm, rank, size, root, alg, buf)?;
+        self.sched_cache_put(key, &s);
+        self.coll_start(comm, s)
+    }
+
+    /// Build the templatable broadcast schedules (everything but
+    /// pipelined); `buf` is the root's payload, staged through an input
+    /// slot so the schedule caches as a payload-free template.
+    fn build_bcast(
+        &mut self,
+        comm: CommHandle,
+        rank: usize,
+        size: usize,
+        root: usize,
+        alg: CollAlgorithm,
+        buf: Vec<u8>,
+    ) -> Result<CollSchedule> {
         let mut s = CollSchedule::new();
         let data = if rank == root {
-            s.filled(buf)
+            s.input(buf)
         } else {
             s.empty()
         };
-        match self.choose(CollOp::Bcast, size, 0, OrderPolicy::Any, hint) {
+        match alg {
             CollAlgorithm::Hierarchical => {
                 let topo = self.comm_topology(comm)?;
-                let w_in = self.alloc_tag_window(comm);
-                let w_lead = self.alloc_tag_window(comm);
-                let w_out = self.alloc_tag_window(comm);
+                let w_in = self.sched_window(comm, &mut s);
+                let w_lead = self.sched_window(comm, &mut s);
+                let w_out = self.sched_window(comm, &mut s);
                 hier::bcast(&mut s, w_in, w_lead, w_out, rank, &topo, root, data);
             }
             CollAlgorithm::BinomialTree => {
-                let win = self.alloc_tag_window(comm);
+                let win = self.sched_window(comm, &mut s);
                 tree::bcast(&mut s, win, rank, size, root, data);
             }
-            CollAlgorithm::Pipelined => {
-                let win = self.alloc_tag_window(comm);
-                let seg = self
-                    .segment_bytes
-                    .unwrap_or(pipeline::DEFAULT_BCAST_SEGMENT_BYTES);
-                pipeline::bcast(&mut s, win, rank, size, root, data, seg);
-            }
             _ => {
-                let win = self.alloc_tag_window(comm);
+                let win = self.sched_window(comm, &mut s);
                 linear::bcast(&mut s, win, rank, size, root, data);
             }
         }
         finalize_buffer(&mut s, data);
-        self.coll_start(comm, s)
+        Ok(s)
     }
 
     /// `MPI_Igather` / `Igatherv`: outcome [`CollOutcome::Parts`] (rank
@@ -331,17 +393,41 @@ impl Engine {
             return self.coll_immediate(CollOutcome::Parts(vec![send.to_vec()]));
         }
         let rank = self.comm_rank(comm)?;
+        let alg = self.choose(CollOp::Gather, size, 0, OrderPolicy::Any, TopoHint::FLAT);
+        let key = SchedKey {
+            comm,
+            alg,
+            shape: OpShape::Gather { root },
+        };
+        let own = match self.sched_cache_get(&key, vec![send.to_vec()])? {
+            CacheLookup::Hit(s) => return self.coll_start(comm, s),
+            CacheLookup::Miss(mut inputs) => inputs.pop().expect("one input"),
+        };
+        let s = self.build_gather(comm, rank, size, root, alg, own)?;
+        self.sched_cache_put(key, &s);
+        self.coll_start(comm, s)
+    }
+
+    fn build_gather(
+        &mut self,
+        comm: CommHandle,
+        rank: usize,
+        size: usize,
+        root: usize,
+        alg: CollAlgorithm,
+        payload: Vec<u8>,
+    ) -> Result<CollSchedule> {
         let mut s = CollSchedule::new();
-        let win = self.alloc_tag_window(comm);
-        let own = s.filled(send.to_vec());
-        let framed = match self.choose(CollOp::Gather, size, 0, OrderPolicy::Any, TopoHint::FLAT) {
+        let win = self.sched_window(comm, &mut s);
+        let own = s.input(payload);
+        let framed = match alg {
             CollAlgorithm::BinomialTree => tree::gather(&mut s, win, rank, size, root, own),
             _ => linear::gather(&mut s, win, rank, size, root, own),
         };
         if rank == root {
             finalize_parts_from_frame(&mut s, framed, size);
         }
-        self.coll_start(comm, s)
+        Ok(s)
     }
 
     /// `MPI_Iscatter` / `Iscatterv`: the root supplies one buffer per
@@ -402,30 +488,53 @@ impl Engine {
         }
         let rank = self.comm_rank(comm)?;
         let hint = self.topo_hint(comm)?;
+        let alg = self.choose(CollOp::Allgather, size, 0, OrderPolicy::Any, hint);
+        let key = SchedKey {
+            comm,
+            alg,
+            shape: OpShape::Allgather,
+        };
+        let own = match self.sched_cache_get(&key, vec![send.to_vec()])? {
+            CacheLookup::Hit(s) => return self.coll_start(comm, s),
+            CacheLookup::Miss(mut inputs) => inputs.pop().expect("one input"),
+        };
+        let s = self.build_allgather(comm, rank, size, alg, own)?;
+        self.sched_cache_put(key, &s);
+        self.coll_start(comm, s)
+    }
+
+    fn build_allgather(
+        &mut self,
+        comm: CommHandle,
+        rank: usize,
+        size: usize,
+        alg: CollAlgorithm,
+        payload: Vec<u8>,
+    ) -> Result<CollSchedule> {
         let mut s = CollSchedule::new();
-        let own = s.filled(send.to_vec());
-        match self.choose(CollOp::Allgather, size, 0, OrderPolicy::Any, hint) {
+        let own = s.input(payload);
+        match alg {
             CollAlgorithm::Hierarchical => {
                 let topo = self.comm_topology(comm)?;
-                let w_in = self.alloc_tag_window(comm);
-                let w_lead_a = self.alloc_tag_window(comm);
-                let w_lead_b = self.alloc_tag_window(comm);
-                let w_out = self.alloc_tag_window(comm);
+                let w_in = self.sched_window(comm, &mut s);
+                let w_lead_a = self.sched_window(comm, &mut s);
+                let w_lead_b = self.sched_window(comm, &mut s);
+                let w_out = self.sched_window(comm, &mut s);
                 let framed =
                     hier::allgather(&mut s, w_in, w_lead_a, w_lead_b, w_out, rank, &topo, own);
                 finalize_parts_from_frame(&mut s, framed, size);
             }
             CollAlgorithm::RecursiveDoubling => {
-                let win = self.alloc_tag_window(comm);
+                let win = self.sched_window(comm, &mut s);
                 let framed = rd::allgather(&mut s, win, rank, size, own);
                 finalize_parts_from_frame(&mut s, framed, size);
             }
             CollAlgorithm::Ring => {
-                let win = self.alloc_tag_window(comm);
+                let win = self.sched_window(comm, &mut s);
                 let parts = ring::allgather(&mut s, win, rank, size, own);
                 s.push(Round::new().compute(move |ctx| {
                     let mut out = Vec::with_capacity(parts.len());
-                    for slot in parts {
+                    for &slot in &parts {
                         out.push(ctx.take(slot)?);
                     }
                     ctx.set_outcome(CollOutcome::Parts(out));
@@ -436,14 +545,14 @@ impl Engine {
                 // Linear composite: gather to rank 0, broadcast the framed
                 // concatenation (per-rank lengths may differ — that is what
                 // makes this double as allgatherv).
-                let w1 = self.alloc_tag_window(comm);
-                let w2 = self.alloc_tag_window(comm);
+                let w1 = self.sched_window(comm, &mut s);
+                let w2 = self.sched_window(comm, &mut s);
                 let framed = linear::gather(&mut s, w1, rank, size, 0, own);
                 linear::bcast(&mut s, w2, rank, size, 0, framed);
                 finalize_parts_from_frame(&mut s, framed, size);
             }
         }
-        self.coll_start(comm, s)
+        Ok(s)
     }
 
     /// `MPI_Ireduce`: element-wise reduction of `count` elements of
@@ -468,14 +577,47 @@ impl Engine {
         let rank = self.comm_rank(comm)?;
         let hint = self.topo_hint(comm)?;
         let policy = tuning::order_policy(op, kind);
+        let alg = self.choose(CollOp::Reduce, size, need, policy, hint);
+        let key = SchedKey {
+            comm,
+            alg,
+            shape: OpShape::Reduce {
+                root,
+                kind,
+                count,
+                op: OpKey::of(op),
+            },
+        };
+        let own = match self.sched_cache_get(&key, vec![send[..need].to_vec()])? {
+            CacheLookup::Hit(s) => return self.coll_start(comm, s),
+            CacheLookup::Miss(mut inputs) => inputs.pop().expect("one input"),
+        };
+        let s = self.build_reduce(comm, rank, size, root, alg, own, kind, count, op)?;
+        self.sched_cache_put(key, &s);
+        self.coll_start(comm, s)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_reduce(
+        &mut self,
+        comm: CommHandle,
+        rank: usize,
+        size: usize,
+        root: usize,
+        alg: CollAlgorithm,
+        payload: Vec<u8>,
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<CollSchedule> {
         let mut s = CollSchedule::new();
-        let own = s.filled(send[..need].to_vec());
-        let out = match self.choose(CollOp::Reduce, size, need, policy, hint) {
+        let own = s.input(payload);
+        let out = match alg {
             CollAlgorithm::Hierarchical => {
                 let topo = self.comm_topology(comm)?;
-                let w_in = self.alloc_tag_window(comm);
-                let w_lead = self.alloc_tag_window(comm);
-                let w_out = self.alloc_tag_window(comm);
+                let w_in = self.sched_window(comm, &mut s);
+                let w_lead = self.sched_window(comm, &mut s);
+                let w_out = self.sched_window(comm, &mut s);
                 hier::reduce(
                     &mut s,
                     w_in,
@@ -491,18 +633,18 @@ impl Engine {
                 )
             }
             CollAlgorithm::BinomialTree => {
-                let win = self.alloc_tag_window(comm);
+                let win = self.sched_window(comm, &mut s);
                 tree::reduce(&mut s, win, rank, size, root, own, kind, count, op.clone())
             }
             _ => {
-                let win = self.alloc_tag_window(comm);
+                let win = self.sched_window(comm, &mut s);
                 linear::reduce(&mut s, win, rank, size, root, own, kind, count, op.clone())
             }
         };
         if rank == root {
             finalize_buffer(&mut s, out);
         }
-        self.coll_start(comm, s)
+        Ok(s)
     }
 
     /// `MPI_Iallreduce`: outcome [`CollOutcome::Buffer`] with the full
@@ -524,15 +666,76 @@ impl Engine {
         let rank = self.comm_rank(comm)?;
         let hint = self.topo_hint(comm)?;
         let policy = tuning::order_policy(op, kind);
+        let alg = self.choose(CollOp::Allreduce, size, need, policy, hint);
+        if alg == CollAlgorithm::Ring {
+            // Ring allreduce: reduce-scatter into P near-equal
+            // segments, then ring-allgather the reduced segments back
+            // — the classic bandwidth-optimal large-payload allreduce.
+            // The segments are staged straight from the caller's buffer
+            // at build time: never templatable, so skip the cache (and
+            // its payload staging copy) entirely.
+            let mut s = CollSchedule::new();
+            let w1 = self.alloc_tag_window(comm);
+            let w2 = self.alloc_tag_window(comm);
+            let base = count / size;
+            let extra = count % size;
+            let counts: Vec<usize> = (0..size).map(|i| base + usize::from(i < extra)).collect();
+            let segs =
+                ring::reduce_scatter(&mut s, w1, rank, size, &send[..need], &counts, kind, op);
+            let parts = ring::allgather(&mut s, w2, rank, size, segs[rank]);
+            let joined = s.empty();
+            s.push(Round::new().compute(move |ctx| {
+                let mut out = Vec::new();
+                for &slot in &parts {
+                    out.extend_from_slice(&ctx.take(slot)?);
+                }
+                ctx.put(joined, out);
+                Ok(())
+            }));
+            finalize_buffer(&mut s, joined);
+            return self.coll_start(comm, s);
+        }
+        let key = SchedKey {
+            comm,
+            alg,
+            shape: OpShape::Allreduce {
+                kind,
+                count,
+                op: OpKey::of(op),
+            },
+        };
+        let own = match self.sched_cache_get(&key, vec![send[..need].to_vec()])? {
+            CacheLookup::Hit(s) => return self.coll_start(comm, s),
+            CacheLookup::Miss(mut inputs) => inputs.pop().expect("one input"),
+        };
+        let s = self.build_allreduce(comm, rank, size, alg, own, kind, count, op)?;
+        self.sched_cache_put(key, &s);
+        self.coll_start(comm, s)
+    }
+
+    /// Build the templatable allreduce schedules (everything but ring,
+    /// which the dispatcher keeps on the uncached path).
+    #[allow(clippy::too_many_arguments)]
+    fn build_allreduce(
+        &mut self,
+        comm: CommHandle,
+        rank: usize,
+        size: usize,
+        alg: CollAlgorithm,
+        payload: Vec<u8>,
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<CollSchedule> {
         let mut s = CollSchedule::new();
-        let out = match self.choose(CollOp::Allreduce, size, need, policy, hint) {
+        let own = s.input(payload);
+        let out = match alg {
             CollAlgorithm::Hierarchical => {
                 let topo = self.comm_topology(comm)?;
-                let w_in = self.alloc_tag_window(comm);
-                let w_lead_a = self.alloc_tag_window(comm);
-                let w_lead_b = self.alloc_tag_window(comm);
-                let w_out = self.alloc_tag_window(comm);
-                let own = s.filled(send[..need].to_vec());
+                let w_in = self.sched_window(comm, &mut s);
+                let w_lead_a = self.sched_window(comm, &mut s);
+                let w_lead_b = self.sched_window(comm, &mut s);
+                let w_out = self.sched_window(comm, &mut s);
                 hier::allreduce(
                     &mut s,
                     w_in,
@@ -548,47 +751,22 @@ impl Engine {
                 )
             }
             CollAlgorithm::RecursiveDoubling => {
-                let win = self.alloc_tag_window(comm);
-                let own = s.filled(send[..need].to_vec());
+                let win = self.sched_window(comm, &mut s);
                 rd::allreduce(&mut s, win, rank, size, own, kind, count, op.clone())
             }
-            CollAlgorithm::Ring => {
-                // Ring allreduce: reduce-scatter into P near-equal
-                // segments, then ring-allgather the reduced segments back
-                // — the classic bandwidth-optimal large-payload allreduce.
-                let w1 = self.alloc_tag_window(comm);
-                let w2 = self.alloc_tag_window(comm);
-                let base = count / size;
-                let extra = count % size;
-                let counts: Vec<usize> = (0..size).map(|i| base + usize::from(i < extra)).collect();
-                let segs =
-                    ring::reduce_scatter(&mut s, w1, rank, size, &send[..need], &counts, kind, op);
-                let parts = ring::allgather(&mut s, w2, rank, size, segs[rank]);
-                let joined = s.empty();
-                s.push(Round::new().compute(move |ctx| {
-                    let mut out = Vec::new();
-                    for slot in parts {
-                        out.extend_from_slice(&ctx.take(slot)?);
-                    }
-                    ctx.put(joined, out);
-                    Ok(())
-                }));
-                joined
-            }
             CollAlgorithm::BinomialTree => {
-                let w1 = self.alloc_tag_window(comm);
-                let w2 = self.alloc_tag_window(comm);
-                let own = s.filled(send[..need].to_vec());
+                let w1 = self.sched_window(comm, &mut s);
+                let w2 = self.sched_window(comm, &mut s);
                 let reduced = tree::reduce(&mut s, w1, rank, size, 0, own, kind, count, op.clone());
                 tree::bcast(&mut s, w2, rank, size, 0, reduced);
                 reduced
             }
-            // `supported` never offers Pipelined for allreduce, so only
-            // the linear composite remains.
-            CollAlgorithm::Linear | CollAlgorithm::Pipelined => {
-                let w1 = self.alloc_tag_window(comm);
-                let w2 = self.alloc_tag_window(comm);
-                let own = s.filled(send[..need].to_vec());
+            // `supported` never offers Pipelined or Ring here (ring is
+            // handled by the dispatcher), so only the linear composite
+            // remains.
+            _ => {
+                let w1 = self.sched_window(comm, &mut s);
+                let w2 = self.sched_window(comm, &mut s);
                 let reduced =
                     linear::reduce(&mut s, w1, rank, size, 0, own, kind, count, op.clone());
                 linear::bcast(&mut s, w2, rank, size, 0, reduced);
@@ -596,7 +774,7 @@ impl Engine {
             }
         };
         finalize_buffer(&mut s, out);
-        self.coll_start(comm, s)
+        Ok(s)
     }
 
     // ---------------------------------------------------------------------
@@ -829,11 +1007,25 @@ impl Engine {
             return self.coll_immediate(CollOutcome::Buffer(send[..need].to_vec()));
         }
         let rank = self.comm_rank(comm)?;
+        let key = SchedKey {
+            comm,
+            alg: CollAlgorithm::Linear,
+            shape: OpShape::Scan {
+                kind,
+                count,
+                op: OpKey::of(op),
+            },
+        };
+        let own = match self.sched_cache_get(&key, vec![send[..need].to_vec()])? {
+            CacheLookup::Hit(s) => return self.coll_start(comm, s),
+            CacheLookup::Miss(mut inputs) => inputs.pop().expect("one input"),
+        };
         let mut s = CollSchedule::new();
-        let win = self.alloc_tag_window(comm);
-        let own = s.filled(send[..need].to_vec());
+        let win = self.sched_window(comm, &mut s);
+        let own = s.input(own);
         let acc = linear::scan(&mut s, win, rank, size, own, kind, count, op.clone());
         finalize_buffer(&mut s, acc);
+        self.sched_cache_put(key, &s);
         self.coll_start(comm, s)
     }
 
@@ -848,6 +1040,191 @@ impl Engine {
     ) -> Result<Vec<u8>> {
         let req = self.iscan(comm, send, kind, count, op)?;
         Self::expect_buffer(self.coll_wait(req)?)
+    }
+
+    // ---------------------------------------------------------------------
+    // Persistent collectives (`MPI_Barrier_init` family): build the
+    // schedule once at init, start it many times. Init is a collective
+    // call — every member must call it in the same order relative to
+    // other collectives on the communicator, because it consumes tag
+    // windows from the shared sequence (and pins them for reuse by
+    // every subsequent `start()`).
+    // ---------------------------------------------------------------------
+
+    /// `MPI_Barrier_init`: a reusable barrier. Start iterations with
+    /// [`Engine::coll_start_persistent`] (payload ignored).
+    pub fn barrier_init(&mut self, comm: CommHandle) -> Result<PersistentCollId> {
+        self.check_live()?;
+        let size = self.comm_size(comm)?;
+        let spec = PersistentSpec::Barrier;
+        if size == 1 {
+            return Ok(self.register_persistent_spec(comm, spec));
+        }
+        let rank = self.comm_rank(comm)?;
+        let hint = self.topo_hint(comm)?;
+        let alg = self.choose(CollOp::Barrier, size, 0, OrderPolicy::Any, hint);
+        let s = self.build_barrier(comm, rank, size, alg)?;
+        self.register_persistent_template(comm, alg, OpShape::Barrier, spec, s)
+    }
+
+    /// `MPI_Bcast_init`: a reusable broadcast from `root`. `len` is the
+    /// payload length the root will pass to every `start()` (ignored on
+    /// other ranks, which receive whatever arrives).
+    pub fn bcast_init(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        len: usize,
+    ) -> Result<PersistentCollId> {
+        self.check_live()?;
+        self.validate_root(comm, root)?;
+        let size = self.comm_size(comm)?;
+        let rank = self.comm_rank(comm)?;
+        let spec = PersistentSpec::Bcast {
+            root,
+            root_len: (rank == root).then_some(len),
+        };
+        if size == 1 {
+            return Ok(self.register_persistent_spec(comm, spec));
+        }
+        let hint = self.topo_hint(comm)?;
+        let alg = self.choose(CollOp::Bcast, size, 0, OrderPolicy::Any, hint);
+        if alg == CollAlgorithm::Pipelined {
+            // Not templatable (see `ibcast`); every start re-dispatches.
+            // Symmetric: the selection is identical on every rank.
+            return Ok(self.register_persistent_spec(comm, spec));
+        }
+        let s = self.build_bcast(comm, rank, size, root, alg, Vec::new())?;
+        self.register_persistent_template(comm, alg, OpShape::Bcast { root }, spec, s)
+    }
+
+    /// `MPI_Reduce_init`: a reusable rank-order reduction to `root`.
+    pub fn reduce_init(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<PersistentCollId> {
+        self.check_live()?;
+        self.validate_root(comm, root)?;
+        let size = self.comm_size(comm)?;
+        let spec = PersistentSpec::Reduce {
+            root,
+            kind,
+            count,
+            op: op.clone(),
+        };
+        if size == 1 {
+            return Ok(self.register_persistent_spec(comm, spec));
+        }
+        let rank = self.comm_rank(comm)?;
+        let hint = self.topo_hint(comm)?;
+        let policy = tuning::order_policy(op, kind);
+        let need = kind.size() * count;
+        let alg = self.choose(CollOp::Reduce, size, need, policy, hint);
+        let shape = OpShape::Reduce {
+            root,
+            kind,
+            count,
+            op: OpKey::of(op),
+        };
+        let s = self.build_reduce(comm, rank, size, root, alg, Vec::new(), kind, count, op)?;
+        self.register_persistent_template(comm, alg, shape, spec, s)
+    }
+
+    /// `MPI_Allreduce_init`: a reusable allreduce. Each `start()` takes
+    /// this rank's `count * kind.size()`-byte contribution; the wait's
+    /// outcome is the full reduction, as for `iallreduce`.
+    pub fn allreduce_init(
+        &mut self,
+        comm: CommHandle,
+        kind: PrimitiveKind,
+        count: usize,
+        op: &Op,
+    ) -> Result<PersistentCollId> {
+        self.check_live()?;
+        let size = self.comm_size(comm)?;
+        let spec = PersistentSpec::Allreduce {
+            kind,
+            count,
+            op: op.clone(),
+        };
+        if size == 1 {
+            return Ok(self.register_persistent_spec(comm, spec));
+        }
+        let rank = self.comm_rank(comm)?;
+        let hint = self.topo_hint(comm)?;
+        let policy = tuning::order_policy(op, kind);
+        let need = kind.size() * count;
+        let alg = self.choose(CollOp::Allreduce, size, need, policy, hint);
+        if alg == CollAlgorithm::Ring {
+            // Not templatable (see `iallreduce`); every start
+            // re-dispatches. Symmetric: identical selection everywhere.
+            return Ok(self.register_persistent_spec(comm, spec));
+        }
+        let shape = OpShape::Allreduce {
+            kind,
+            count,
+            op: OpKey::of(op),
+        };
+        let s = self.build_allreduce(comm, rank, size, alg, Vec::new(), kind, count, op)?;
+        self.register_persistent_template(comm, alg, shape, spec, s)
+    }
+
+    /// `MPI_Allgather_init`: a reusable allgather (per-rank lengths may
+    /// vary between starts — the wire format is length-independent).
+    pub fn allgather_init(&mut self, comm: CommHandle) -> Result<PersistentCollId> {
+        self.check_live()?;
+        let size = self.comm_size(comm)?;
+        let spec = PersistentSpec::Allgather;
+        if size == 1 {
+            return Ok(self.register_persistent_spec(comm, spec));
+        }
+        let rank = self.comm_rank(comm)?;
+        let hint = self.topo_hint(comm)?;
+        let alg = self.choose(CollOp::Allgather, size, 0, OrderPolicy::Any, hint);
+        let s = self.build_allgather(comm, rank, size, alg, Vec::new())?;
+        self.register_persistent_template(comm, alg, OpShape::Allgather, spec, s)
+    }
+
+    /// Register a persistent collective that re-dispatches its transient
+    /// form on every start (single-rank comms, non-templatable
+    /// algorithms).
+    fn register_persistent_spec(
+        &mut self,
+        comm: CommHandle,
+        spec: PersistentSpec,
+    ) -> PersistentCollId {
+        self.register_persistent_coll(PersistentColl {
+            comm,
+            spec,
+            template: None,
+            active: None,
+        })
+    }
+
+    /// Capture an init-built schedule as the persistent operation's
+    /// pinned template, seeding the transient schedule cache with the
+    /// same image on the way (the built schedule is never started — its
+    /// windows belong to the template).
+    fn register_persistent_template(
+        &mut self,
+        comm: CommHandle,
+        alg: CollAlgorithm,
+        shape: OpShape,
+        spec: PersistentSpec,
+        s: CollSchedule,
+    ) -> Result<PersistentCollId> {
+        let template = SchedTemplate::capture(&s);
+        self.sched_cache_put(SchedKey { comm, alg, shape }, &s);
+        Ok(self.register_persistent_coll(PersistentColl {
+            comm,
+            spec,
+            template,
+            active: None,
+        }))
     }
 
     /// Agree on the maximum of a `u32` across the communicator (used for
@@ -1488,5 +1865,259 @@ mod tests {
             engine.finalize().unwrap();
         })
         .unwrap();
+    }
+
+    /// Repeating a collective with the same shape replays the cached
+    /// schedule template (fresh payload, fresh tag windows) instead of
+    /// rebuilding it, and still computes the right answer.
+    #[test]
+    fn schedule_cache_replays_templates_across_calls() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let sum = Op::Predefined(PredefinedOp::Sum);
+            let rank = engine.world_rank() as i32;
+            let miss0 = engine.stats().sched_cache_misses;
+            for round in 0..5i32 {
+                let got = engine
+                    .allreduce(
+                        COMM_WORLD,
+                        &ints(&[rank * round]),
+                        PrimitiveKind::Int,
+                        1,
+                        &sum,
+                    )
+                    .unwrap();
+                assert_eq!(to_ints(&got), vec![6 * round]);
+            }
+            // One build, four replays.
+            assert_eq!(engine.stats().sched_cache_misses, miss0 + 1);
+            assert!(engine.stats().sched_cache_hits >= 4);
+        })
+        .unwrap();
+    }
+
+    /// Every cacheable collective survives the template round-trip:
+    /// the second call (a cache hit) must agree with the first.
+    #[test]
+    fn cached_schedules_match_fresh_builds_for_all_ops() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let sum = Op::Predefined(PredefinedOp::Sum);
+            for _ in 0..2 {
+                engine.barrier(COMM_WORLD).unwrap();
+                let mut buf = if rank == 1 {
+                    ints(&[42, 43])
+                } else {
+                    Vec::new()
+                };
+                engine.bcast(COMM_WORLD, 1, &mut buf).unwrap();
+                assert_eq!(to_ints(&buf), vec![42, 43]);
+                let gathered = engine.gather(COMM_WORLD, 2, &[rank as u8; 3]).unwrap();
+                if rank == 2 {
+                    let parts = gathered.unwrap();
+                    assert_eq!(parts, (0..4).map(|r| vec![r as u8; 3]).collect::<Vec<_>>());
+                } else {
+                    assert!(gathered.is_none());
+                }
+                let parts = engine.allgather(COMM_WORLD, &[rank as u8]).unwrap();
+                assert_eq!(parts, (0..4).map(|r| vec![r as u8]).collect::<Vec<_>>());
+                let reduced = engine
+                    .reduce(COMM_WORLD, 0, &ints(&[1]), PrimitiveKind::Int, 1, &sum)
+                    .unwrap();
+                if rank == 0 {
+                    assert_eq!(to_ints(&reduced.unwrap()), vec![4]);
+                }
+                let scanned = engine
+                    .scan(COMM_WORLD, &ints(&[1]), PrimitiveKind::Int, 1, &sum)
+                    .unwrap();
+                assert_eq!(to_ints(&scanned), vec![rank as i32 + 1]);
+            }
+            assert!(engine.stats().sched_cache_hits >= 6);
+        })
+        .unwrap();
+    }
+
+    /// Payloads past the cache's input-byte cutoff bypass the template
+    /// store entirely — every call rebuilds (the build cost is noise
+    /// against the transfer at that size) and nothing that large is
+    /// ever captured.
+    #[test]
+    fn large_payloads_bypass_the_schedule_cache() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            // Pin a *cacheable* algorithm: the tuned selector would pick
+            // the ring at this size, which never consults the cache.
+            engine.forced_coll_alg = Some(CollAlgorithm::BinomialTree);
+            let sum = Op::Predefined(PredefinedOp::Sum);
+            let rank = engine.world_rank() as i32;
+            let count = nb::cache::SCHED_CACHE_MAX_INPUT_BYTES / 4 + 1;
+            let send: Vec<i32> = vec![rank; count];
+            let bytes: Vec<u8> = send.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let hits0 = engine.stats().sched_cache_hits;
+            let miss0 = engine.stats().sched_cache_misses;
+            for _ in 0..2 {
+                let got = engine
+                    .allreduce(COMM_WORLD, &bytes, PrimitiveKind::Int, count, &sum)
+                    .unwrap();
+                assert_eq!(to_ints(&got), vec![6i32; count]);
+            }
+            assert_eq!(engine.stats().sched_cache_hits, hits0);
+            assert_eq!(engine.stats().sched_cache_misses, miss0 + 2);
+            assert!(engine.sched_cache.is_empty());
+        })
+        .unwrap();
+    }
+
+    /// Freeing a communicator drops its cached schedule templates (a
+    /// recycled handle must start cold, not replay a dead comm's wiring).
+    #[test]
+    fn comm_free_drops_cached_schedules() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let sub = engine
+                .comm_split(COMM_WORLD, (rank % 2) as i32, rank as i32)
+                .unwrap()
+                .unwrap();
+            let sum = Op::Predefined(PredefinedOp::Sum);
+            for _ in 0..2 {
+                engine
+                    .allreduce(sub, &ints(&[1]), PrimitiveKind::Int, 1, &sum)
+                    .unwrap();
+            }
+            assert!(engine.sched_cache.keys().any(|k| k.comm == sub));
+            engine.comm_free(sub).unwrap();
+            assert!(!engine.sched_cache.keys().any(|k| k.comm == sub));
+        })
+        .unwrap();
+    }
+
+    /// A persistent allreduce built once replays across starts with
+    /// fresh payloads, reusing its pinned template (cache hits, no new
+    /// builds after init).
+    #[test]
+    fn persistent_allreduce_replays_with_fresh_payloads() {
+        Universe::run(4, DeviceKind::ShmFast, |engine| {
+            let sum = Op::Predefined(PredefinedOp::Sum);
+            let rank = engine.world_rank() as i32;
+            let op = engine
+                .allreduce_init(COMM_WORLD, PrimitiveKind::Int, 1, &sum)
+                .unwrap();
+            let misses_after_init = engine.stats().sched_cache_misses;
+            for round in 1..=4i32 {
+                engine
+                    .coll_start_persistent(op, &ints(&[rank * round]))
+                    .unwrap();
+                let outcome = engine.coll_wait_persistent(op).unwrap();
+                assert_eq!(to_ints(&outcome.into_buffer()), vec![6 * round]);
+            }
+            assert_eq!(engine.stats().sched_cache_misses, misses_after_init);
+            engine.coll_free_persistent(op).unwrap();
+            assert_eq!(engine.persistent_colls_registered(), 0);
+        })
+        .unwrap();
+    }
+
+    /// Persistent barrier, bcast and allgather round-trip; bcast
+    /// payloads vary per start on the root.
+    #[test]
+    fn persistent_bcast_barrier_allgather_round_trip() {
+        Universe::run(3, DeviceKind::ShmFast, |engine| {
+            let rank = engine.world_rank();
+            let barrier = engine.barrier_init(COMM_WORLD).unwrap();
+            let bcast = engine.bcast_init(COMM_WORLD, 0, 4).unwrap();
+            let allgather = engine.allgather_init(COMM_WORLD).unwrap();
+            for round in 0..3u8 {
+                engine.coll_start_persistent(barrier, &[]).unwrap();
+                assert_eq!(
+                    engine.coll_wait_persistent(barrier).unwrap(),
+                    CollOutcome::Done
+                );
+                let payload = if rank == 0 {
+                    vec![round; 4]
+                } else {
+                    Vec::new()
+                };
+                engine.coll_start_persistent(bcast, &payload).unwrap();
+                let got = engine.coll_wait_persistent(bcast).unwrap().into_buffer();
+                assert_eq!(got, vec![round; 4]);
+                engine
+                    .coll_start_persistent(allgather, &[rank as u8, round])
+                    .unwrap();
+                let parts = engine
+                    .coll_wait_persistent(allgather)
+                    .unwrap()
+                    .into_parts()
+                    .unwrap();
+                assert_eq!(
+                    parts,
+                    (0..3).map(|r| vec![r as u8, round]).collect::<Vec<_>>()
+                );
+            }
+            for op in [barrier, bcast, allgather] {
+                engine.coll_free_persistent(op).unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    /// Double-start without an intervening wait is refused; an inactive
+    /// persistent op reports `Done` from wait/test, matching `MPI_Test`
+    /// on an inactive persistent request.
+    #[test]
+    fn persistent_double_start_is_refused() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let sum = Op::Predefined(PredefinedOp::Sum);
+            let op = engine
+                .allreduce_init(COMM_WORLD, PrimitiveKind::Int, 1, &sum)
+                .unwrap();
+            assert_eq!(engine.coll_wait_persistent(op).unwrap(), CollOutcome::Done);
+            engine.coll_start_persistent(op, &ints(&[1])).unwrap();
+            assert!(engine.coll_start_persistent(op, &ints(&[1])).is_err());
+            engine.coll_wait_persistent(op).unwrap();
+            engine.coll_free_persistent(op).unwrap();
+        })
+        .unwrap();
+    }
+
+    /// `finalize` refuses while a persistent start is in flight; freeing
+    /// the operation quiesces it so finalize can proceed.
+    #[test]
+    fn finalize_refuses_active_persistent_collectives() {
+        Universe::run(2, DeviceKind::ShmFast, |engine| {
+            let sum = Op::Predefined(PredefinedOp::Sum);
+            let op = engine
+                .allreduce_init(COMM_WORLD, PrimitiveKind::Int, 1, &sum)
+                .unwrap();
+            engine.coll_start_persistent(op, &ints(&[1])).unwrap();
+            assert!(engine.finalize().is_err());
+            engine.coll_free_persistent(op).unwrap();
+            assert_eq!(engine.persistent_colls_active(), 0);
+            engine.finalize().unwrap();
+        })
+        .unwrap();
+    }
+
+    /// Persistent collectives work under every forced algorithm,
+    /// including the non-templatable ones (ring allreduce re-dispatches
+    /// per start).
+    #[test]
+    fn persistent_collectives_under_forced_algorithms() {
+        for alg in CollAlgorithm::ALL {
+            Universe::run(4, DeviceKind::ShmFast, move |engine| {
+                engine.set_coll_algorithm(Some(alg));
+                let sum = Op::Predefined(PredefinedOp::Sum);
+                let rank = engine.world_rank() as i32;
+                let op = engine
+                    .allreduce_init(COMM_WORLD, PrimitiveKind::Int, 4, &sum)
+                    .unwrap();
+                for round in 1..=2i32 {
+                    engine
+                        .coll_start_persistent(op, &ints(&[rank * round; 4]))
+                        .unwrap();
+                    let got = engine.coll_wait_persistent(op).unwrap().into_buffer();
+                    assert_eq!(to_ints(&got), vec![6 * round; 4], "{alg}");
+                }
+                engine.coll_free_persistent(op).unwrap();
+            })
+            .unwrap();
+        }
     }
 }

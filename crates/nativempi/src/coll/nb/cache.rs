@@ -1,0 +1,508 @@
+//! Schedule templates, the per-engine schedule cache, and persistent
+//! collective operations.
+//!
+//! See the [parent module](super)'s "Schedule caching" section for the
+//! design: keying, what is cacheable, tag retargeting and invalidation.
+//! This file holds the mechanics — [`SchedTemplate`] (a reusable,
+//! payload-free image of a built [`CollSchedule`]), [`SchedKey`] (the
+//! per-rank memoization key), and the engine-side registry of
+//! [`PersistentColl`]s created by the `*_init` entry points in
+//! [`crate::coll`].
+
+use std::collections::VecDeque;
+
+use super::{CollOutcome, CollRequestId, CollSchedule, Round, SlotId, ROUND_SPACE};
+use crate::comm::CommHandle;
+use crate::error::{err, ErrorClass, Result};
+use crate::ops::{Op, PredefinedOp};
+use crate::types::PrimitiveKind;
+use crate::{CollAlgorithm, Engine};
+
+/// Upper bound on cached templates per engine; beyond it new shapes are
+/// simply built from scratch (the working set of a real application is
+/// a handful of shapes — the cap only guards against key churn).
+const SCHED_CACHE_CAP: usize = 1024;
+
+/// Transient calls staging more input-payload bytes than this bypass
+/// the schedule cache and rebuild from scratch. The cache amortizes the
+/// payload-independent build cost (rounds, closures, window plumbing),
+/// which dominates small calls; at large payloads that cost is noise
+/// against the transfer itself, and on the collectives bench's modelled
+/// links the template-clone path measures consistently *slower* there
+/// than a fresh build. Persistent operations are exempt — their
+/// templates pin the init-time tag windows (no per-start retargeting),
+/// which is the semantic point of `MPI_Start`, not just a cache.
+pub(crate) const SCHED_CACHE_MAX_INPUT_BYTES: usize = 128 * 1024;
+
+/// Identity of a reduction operation for cache keying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum OpKey {
+    Predefined(PredefinedOp),
+    /// Address of the user function's allocation. Sound as a key only
+    /// while the allocation is pinned: the cached template's compute
+    /// closures hold a clone of the user's `Arc`, so the address cannot
+    /// be recycled by a new allocation while the entry lives.
+    User(usize),
+}
+
+impl OpKey {
+    pub(crate) fn of(op: &Op) -> OpKey {
+        match op {
+            Op::Predefined(p) => OpKey::Predefined(*p),
+            Op::User(f) => OpKey::User(std::sync::Arc::as_ptr(f) as *const () as usize),
+        }
+    }
+}
+
+/// The call shape of a cacheable collective — everything a schedule's
+/// wire structure and baked-in compute closures depend on, *except* the
+/// payload bytes (which travel through input slots). Length-independent
+/// data movers (bcast, gather, allgather) key on root alone; reductions
+/// key on `(kind, count, op)` because their computes capture all three.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum OpShape {
+    Barrier,
+    Bcast {
+        root: usize,
+    },
+    Gather {
+        root: usize,
+    },
+    Reduce {
+        root: usize,
+        kind: PrimitiveKind,
+        count: usize,
+        op: OpKey,
+    },
+    Allreduce {
+        kind: PrimitiveKind,
+        count: usize,
+        op: OpKey,
+    },
+    Allgather,
+    Scan {
+        kind: PrimitiveKind,
+        count: usize,
+        op: OpKey,
+    },
+}
+
+/// Per-rank local memoization key of the schedule cache (see the parent
+/// module docs for why no cross-rank coordination is needed).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct SchedKey {
+    pub(crate) comm: CommHandle,
+    pub(crate) alg: CollAlgorithm,
+    pub(crate) shape: OpShape,
+}
+
+/// A reusable image of a built schedule: rounds (compute closures are
+/// `Arc`-shared, so a clone is cheap), the slot store with the per-call
+/// input slots cleared, and the consecutive tag-window run it was built
+/// over. Instantiating yields a runnable [`CollSchedule`] — on the same
+/// windows (persistent operations, which pin theirs at init) or shifted
+/// onto fresh ones (transient cache hits).
+pub(crate) struct SchedTemplate {
+    rounds: Vec<Round>,
+    slots: Vec<Option<Vec<u8>>>,
+    inputs: Vec<SlotId>,
+    base_window: u32,
+    nwindows: u32,
+}
+
+impl SchedTemplate {
+    /// Capture a template from a freshly built (not yet started)
+    /// schedule. `None` when the schedule cannot be reused: a builder
+    /// marked it uncacheable, or its windows are not one consecutive
+    /// run (the once-per-`NUM_TAG_WINDOWS` sequence wrap).
+    pub(crate) fn capture(s: &CollSchedule) -> Option<SchedTemplate> {
+        if s.uncacheable || s.outcome.is_some() {
+            return None;
+        }
+        let base = s.windows.first().copied().unwrap_or(0);
+        for (i, &w) in s.windows.iter().enumerate() {
+            if w != base + i as u32 {
+                return None;
+            }
+        }
+        let mut slots = s.slots.clone();
+        for &slot in &s.inputs {
+            slots[slot] = None;
+        }
+        Some(SchedTemplate {
+            rounds: s.rounds.iter().cloned().collect(),
+            slots,
+            inputs: s.inputs.clone(),
+            base_window: base,
+            nwindows: s.windows.len() as u32,
+        })
+    }
+
+    pub(crate) fn nwindows(&self) -> u32 {
+        self.nwindows
+    }
+
+    pub(crate) fn n_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    pub(crate) fn base_window(&self) -> u32 {
+        self.base_window
+    }
+
+    /// Clone into a runnable schedule: rounds are reference-bumped, the
+    /// input slots are filled with this call's payload, and — when
+    /// `new_base` differs from the template's — every step tag is
+    /// shifted by the uniform window delta.
+    pub(crate) fn instantiate(&self, new_base: u32, inputs: Vec<Vec<u8>>) -> Result<CollSchedule> {
+        if inputs.len() != self.inputs.len() {
+            return err(ErrorClass::Intern, "schedule template input arity mismatch");
+        }
+        let mut rounds: VecDeque<Round> = self.rounds.iter().cloned().collect();
+        let delta = (self.base_window as i32 - new_base as i32) * ROUND_SPACE as i32;
+        if delta != 0 {
+            for round in &mut rounds {
+                for r in &mut round.recvs {
+                    r.tag += delta;
+                }
+                for s in &mut round.sends {
+                    s.tag += delta;
+                }
+            }
+        }
+        let mut slots = self.slots.clone();
+        for (&slot, data) in self.inputs.iter().zip(inputs) {
+            slots[slot] = Some(data);
+        }
+        Ok(CollSchedule {
+            rounds,
+            slots,
+            outcome: None,
+            windows: (new_base..new_base + self.nwindows).collect(),
+            inputs: self.inputs.clone(),
+            uncacheable: false,
+        })
+    }
+}
+
+/// How a persistent collective reproduces its schedule when the chosen
+/// algorithm was not templatable (ring payload staging, the dynamically
+/// extended pipelined broadcast): `start()` re-dispatches the transient
+/// nonblocking form.
+#[derive(Debug, Clone)]
+pub(crate) enum PersistentSpec {
+    Barrier,
+    Bcast {
+        root: usize,
+        root_len: Option<usize>,
+    },
+    Reduce {
+        root: usize,
+        kind: PrimitiveKind,
+        count: usize,
+        op: Op,
+    },
+    Allreduce {
+        kind: PrimitiveKind,
+        count: usize,
+        op: Op,
+    },
+    Allgather,
+}
+
+/// Engine-side state of one persistent collective operation.
+pub(crate) struct PersistentColl {
+    pub(crate) comm: CommHandle,
+    pub(crate) spec: PersistentSpec,
+    /// Pinned to the tag windows allocated at init time (symmetric:
+    /// init is collective-ordered like every other collective call).
+    /// Sequential `start()`s may reuse those tags — the transport is
+    /// FIFO per pair and a schedule uses its tags in deterministic
+    /// order. `None` → rebuild through `spec` on every start.
+    pub(crate) template: Option<SchedTemplate>,
+    pub(crate) active: Option<CollRequestId>,
+}
+
+/// Handle to a persistent collective operation (the engine analogue of
+/// `MPI_Barrier_init` / `MPI_Bcast_init` / `MPI_Allreduce_init` /…).
+/// Start it with [`Engine::coll_start_persistent`], complete each start
+/// with [`Engine::coll_wait_persistent`] / [`Engine::coll_test_persistent`],
+/// release it with [`Engine::coll_free_persistent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PersistentCollId(pub(crate) u64);
+
+/// Result of a schedule-cache lookup: a runnable schedule on a hit, or
+/// the caller's input payloads handed back untouched on a miss so the
+/// build path can stage them without a second copy.
+pub(crate) enum CacheLookup {
+    Hit(CollSchedule),
+    Miss(Vec<Vec<u8>>),
+}
+
+impl Engine {
+    /// Consult the schedule cache. On a hit the template is instantiated
+    /// onto freshly allocated consecutive tag windows; `None` (a miss —
+    /// unknown key, or the window sequence wrapped mid-allocation) means
+    /// the caller must build from scratch.
+    pub(crate) fn sched_cache_get(
+        &mut self,
+        key: &SchedKey,
+        inputs: Vec<Vec<u8>>,
+    ) -> Result<CacheLookup> {
+        if inputs.iter().map(Vec::len).sum::<usize>() > SCHED_CACHE_MAX_INPUT_BYTES {
+            self.stats.sched_cache_misses += 1;
+            return Ok(CacheLookup::Miss(inputs));
+        }
+        let Some(n) = self.sched_cache.get(key).map(SchedTemplate::nwindows) else {
+            self.stats.sched_cache_misses += 1;
+            return Ok(CacheLookup::Miss(inputs));
+        };
+        // Allocate the windows first (symmetric across ranks: a miss
+        // consumes the same count via the builder's `sched_window`
+        // calls), then re-borrow the template.
+        let mut base = 0u32;
+        let mut consecutive = true;
+        for i in 0..n {
+            let w = self.alloc_tag_window(key.comm).0;
+            if i == 0 {
+                base = w;
+            } else if w != base + i {
+                consecutive = false;
+            }
+        }
+        if !consecutive {
+            // The per-comm sequence wrapped inside this run: the uniform
+            // tag shift doesn't apply. Rebuild (the builder allocates
+            // its own fresh windows — one extra run per 8192
+            // collectives is noise).
+            self.stats.sched_cache_misses += 1;
+            return Ok(CacheLookup::Miss(inputs));
+        }
+        let tpl = self.sched_cache.get(key).expect("checked above");
+        let schedule = tpl.instantiate(if n == 0 { tpl.base_window } else { base }, inputs)?;
+        self.stats.sched_cache_hits += 1;
+        Ok(CacheLookup::Hit(schedule))
+    }
+
+    /// Store a freshly built schedule's template under `key` (no-op if
+    /// the schedule is not templatable or the cache is full).
+    pub(crate) fn sched_cache_put(&mut self, key: SchedKey, s: &CollSchedule) {
+        let staged: usize = s
+            .inputs
+            .iter()
+            .map(|&slot| s.slots[slot].as_ref().map_or(0, Vec::len))
+            .sum();
+        if staged > SCHED_CACHE_MAX_INPUT_BYTES {
+            return;
+        }
+        if self.sched_cache.len() >= SCHED_CACHE_CAP && !self.sched_cache.contains_key(&key) {
+            return;
+        }
+        if let Some(tpl) = SchedTemplate::capture(s) {
+            self.sched_cache.insert(key, tpl);
+        }
+    }
+
+    /// Register a persistent collective built by one of the `*_init`
+    /// entry points in [`crate::coll`].
+    pub(crate) fn register_persistent_coll(&mut self, p: PersistentColl) -> PersistentCollId {
+        let id = self.next_request;
+        self.next_request += 1;
+        self.persistent_colls.insert(id, p);
+        PersistentCollId(id)
+    }
+
+    /// Start one iteration of a persistent collective (`MPI_Start`).
+    /// `payload` is this rank's contribution (ignored by operations
+    /// without local input — barrier, bcast at non-root ranks). Errors
+    /// if the previous start has not been waited/tested to completion.
+    pub fn coll_start_persistent(&mut self, id: PersistentCollId, payload: &[u8]) -> Result<()> {
+        self.check_live()?;
+        let Some(p) = self.persistent_colls.get(&id.0) else {
+            return err(
+                ErrorClass::Request,
+                format!("unknown persistent collective {id:?}"),
+            );
+        };
+        if p.active.is_some() {
+            return err(
+                ErrorClass::Request,
+                "persistent collective is already started; wait on it first",
+            );
+        }
+        let p = self.persistent_colls.remove(&id.0).expect("checked above");
+        let started = self.start_persistent_inner(&p, payload);
+        let p = PersistentColl {
+            active: started.as_ref().ok().copied(),
+            ..p
+        };
+        self.persistent_colls.insert(id.0, p);
+        started.map(|_| ())
+    }
+
+    fn start_persistent_inner(
+        &mut self,
+        p: &PersistentColl,
+        payload: &[u8],
+    ) -> Result<CollRequestId> {
+        if let Some(tpl) = &p.template {
+            let inputs = match &p.spec {
+                PersistentSpec::Reduce { kind, count, .. }
+                | PersistentSpec::Allreduce { kind, count, .. } => {
+                    let need = kind.size() * count;
+                    if payload.len() < need {
+                        return err(
+                            ErrorClass::Count,
+                            format!(
+                                "persistent reduction needs {need} bytes, got {}",
+                                payload.len()
+                            ),
+                        );
+                    }
+                    vec![payload[..need].to_vec()]
+                }
+                PersistentSpec::Bcast { root_len, .. } => {
+                    if let Some(len) = root_len {
+                        if payload.len() != *len {
+                            return err(
+                                ErrorClass::Count,
+                                format!(
+                                    "persistent bcast was initialized for {len} bytes, got {}",
+                                    payload.len()
+                                ),
+                            );
+                        }
+                    }
+                    if tpl.n_inputs() == 0 {
+                        Vec::new()
+                    } else {
+                        vec![payload.to_vec()]
+                    }
+                }
+                _ => {
+                    if tpl.n_inputs() == 0 {
+                        Vec::new()
+                    } else {
+                        vec![payload.to_vec()]
+                    }
+                }
+            };
+            // Reusing the pinned windows is the whole point: no window
+            // allocation, no tag shift, no schedule build.
+            let schedule = tpl.instantiate(tpl.base_window(), inputs)?;
+            self.stats.sched_cache_hits += 1;
+            return self.coll_start(p.comm, schedule);
+        }
+        // Non-templatable algorithm: re-dispatch the transient form
+        // (which allocates fresh windows — symmetric, every rank's init
+        // made the same template-or-not decision).
+        match &p.spec {
+            PersistentSpec::Barrier => self.ibarrier(p.comm),
+            PersistentSpec::Bcast { root, .. } => self.ibcast(p.comm, *root, payload.to_vec()),
+            PersistentSpec::Reduce {
+                root,
+                kind,
+                count,
+                op,
+            } => {
+                let op = op.clone();
+                self.ireduce(p.comm, *root, payload, *kind, *count, &op)
+            }
+            PersistentSpec::Allreduce { kind, count, op } => {
+                let op = op.clone();
+                self.iallreduce(p.comm, payload, *kind, *count, &op)
+            }
+            PersistentSpec::Allgather => self.iallgather(p.comm, payload),
+        }
+    }
+
+    /// Non-parking test of a persistent collective's current start. An
+    /// inactive operation (never started, or already completed and
+    /// claimed) reports `Done` immediately, matching `MPI_Test` on an
+    /// inactive persistent request.
+    pub fn coll_test_persistent(&mut self, id: PersistentCollId) -> Result<Option<CollOutcome>> {
+        let req = match self.persistent_colls.get(&id.0) {
+            None => {
+                return err(
+                    ErrorClass::Request,
+                    format!("unknown persistent collective {id:?}"),
+                )
+            }
+            Some(p) => match p.active {
+                None => return Ok(Some(CollOutcome::Done)),
+                Some(req) => req,
+            },
+        };
+        match self.coll_test(req) {
+            Ok(Some(outcome)) => {
+                self.clear_persistent_coll_active(id);
+                Ok(Some(outcome))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => {
+                // The underlying request is consumed on failure.
+                self.clear_persistent_coll_active(id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Block until the persistent collective's current start completes
+    /// (`MPI_Wait`); inactive operations report `Done` immediately.
+    pub fn coll_wait_persistent(&mut self, id: PersistentCollId) -> Result<CollOutcome> {
+        let req = match self.persistent_colls.get(&id.0) {
+            None => {
+                return err(
+                    ErrorClass::Request,
+                    format!("unknown persistent collective {id:?}"),
+                )
+            }
+            Some(p) => match p.active {
+                None => return Ok(CollOutcome::Done),
+                Some(req) => req,
+            },
+        };
+        let outcome = self.coll_wait(req);
+        self.clear_persistent_coll_active(id);
+        outcome
+    }
+
+    /// Release a persistent collective (`MPI_Request_free` on a
+    /// persistent handle). An in-flight start is quiesced first — driven
+    /// to completion and discarded — because a collective cannot be
+    /// withdrawn once every rank participates.
+    pub fn coll_free_persistent(&mut self, id: PersistentCollId) -> Result<()> {
+        let Some(p) = self.persistent_colls.remove(&id.0) else {
+            return err(
+                ErrorClass::Request,
+                format!("unknown persistent collective {id:?}"),
+            );
+        };
+        if let Some(req) = p.active {
+            // Quiesce; a drive failure was the start's outcome, not the
+            // free's — swallow it like a dropped handle does.
+            let _ = self.coll_abandon(req);
+        }
+        Ok(())
+    }
+
+    /// Number of persistent collectives with an unwaited `start()` —
+    /// `finalize` refuses while this is non-zero.
+    pub fn persistent_colls_active(&self) -> usize {
+        self.persistent_colls
+            .values()
+            .filter(|p| p.active.is_some())
+            .count()
+    }
+
+    /// Number of registered persistent collectives (active or not).
+    pub fn persistent_colls_registered(&self) -> usize {
+        self.persistent_colls.len()
+    }
+
+    fn clear_persistent_coll_active(&mut self, id: PersistentCollId) {
+        if let Some(p) = self.persistent_colls.get_mut(&id.0) {
+            p.active = None;
+        }
+    }
+}

@@ -69,8 +69,53 @@
 //! wrap within their window; both reuses are safe because by then the
 //! frames flow between the same ordered rank pair in the same order on
 //! both sides, and the transport is FIFO per pair.
+//!
+//! ## Schedule caching
+//!
+//! Building a schedule is pure local work — O(P) rounds, slot
+//! allocation, closure construction — repeated identically for every
+//! call of a tight iteration loop. The `cache` submodule turns that
+//! into a one-time cost: after the first build of a cacheable operation
+//! the engine stores a `SchedTemplate` and later calls clone it
+//! instead of rebuilding.
+//!
+//! **Keying.** The cache is *per-rank local memoization*: each engine
+//! keys on its own local call parameters — `(communicator, operation +
+//! root/count/kind/op, chosen algorithm)`, the `SchedKey`. No
+//! coordination is needed because MPI already requires every rank to
+//! issue collectives on a communicator in the same order and the
+//! algorithm choice is deterministic, so hits and misses line up across
+//! ranks and both paths consume the same number of tag windows.
+//! User-defined reduction ops key on the `Arc` identity of the function;
+//! the template's compute closures hold a clone of that `Arc`, so the
+//! address cannot be recycled while the entry lives.
+//!
+//! **What is cacheable.** A template captures everything about a
+//! schedule except the per-call payload, which lives in dedicated
+//! *input* slots (`CollSchedule::input`) stored empty and refilled on
+//! every instantiation. Builders that bake payload into ordinary slots
+//! at build time (ring reduce-scatter segments, alltoall/scatter
+//! chunks) mark themselves `Sched::uncacheable`; dynamically extended
+//! schedules (the pipelined broadcast) are excluded by the dispatcher.
+//!
+//! **Tag retargeting.** A cached clone must not reuse the template's
+//! tag windows while another transient collective might occupy them, so
+//! every instantiation allocates fresh consecutive windows from the
+//! communicator's sequence and shifts each step tag by the uniform
+//! window delta. If the sequence wraps mid-allocation (non-consecutive
+//! windows, once per `NUM_TAG_WINDOWS` collectives) the call falls back
+//! to a full rebuild and counts as a miss. Persistent collectives pin
+//! the windows allocated at `*_init` time instead — strictly sequential
+//! `start()`s may reuse the same tags because the transport is FIFO per
+//! pair and a schedule uses its tags in a deterministic order.
+//!
+//! **Invalidation.** Freeing a communicator drops every template keyed
+//! to it ([`Engine::comm_free`]); templates never outlive the tag-window
+//! sequence or context they were built against. Hit/miss counts are
+//! surfaced through `EngineStats::sched_cache_hits`/`_misses`.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::comm::CommHandle;
 use crate::error::{err, ErrorClass, MpiError, Result};
@@ -78,6 +123,10 @@ use crate::p2p::COLLECTIVE_TAG_BASE;
 use crate::request::RequestId;
 use crate::types::SendMode;
 use crate::Engine;
+
+pub(crate) mod cache;
+
+pub use cache::PersistentCollId;
 
 /// Tags reserved per collective schedule phase (one per round).
 pub(crate) const ROUND_SPACE: usize = 64;
@@ -116,7 +165,7 @@ pub(crate) enum SendData {
 }
 
 /// One posted send of a round.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct SendStep {
     pub peer: usize,
     pub tag: i32,
@@ -124,7 +173,7 @@ pub(crate) struct SendStep {
 }
 
 /// One posted receive of a round; the arrived payload lands in `slot`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct RecvStep {
     pub peer: usize,
     pub tag: i32,
@@ -134,12 +183,19 @@ pub(crate) struct RecvStep {
 /// A local computation that runs once all transfers of its round have
 /// completed. It may read/write slots, set the final outcome, and extend
 /// the schedule with further rounds.
-pub(crate) type ComputeFn = Box<dyn FnOnce(&mut SchedCtx<'_>) -> Result<()> + Send>;
+///
+/// Shared (`Arc` + `Fn`) rather than owned-once so a built schedule is
+/// cheaply cloneable: the schedule cache stores one template per
+/// (comm, op, algorithm, shape) key and every instantiation clones the
+/// rounds — compute closures are reference-bumped, never re-built. Each
+/// clone still runs its compute exactly once (the driver consumes the
+/// round), so `Fn` is a capability requirement, not a semantic change.
+pub(crate) type ComputeFn = Arc<dyn Fn(&mut SchedCtx<'_>) -> Result<()> + Send + Sync>;
 
 /// One round of a schedule: receives are posted before sends (the
 /// deadlock-free exchange order), the compute runs after everything in
 /// the round has completed.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub(crate) struct Round {
     pub recvs: Vec<RecvStep>,
     pub sends: Vec<SendStep>,
@@ -183,9 +239,9 @@ impl Round {
 
     pub(crate) fn compute(
         mut self,
-        f: impl FnOnce(&mut SchedCtx<'_>) -> Result<()> + Send + 'static,
+        f: impl Fn(&mut SchedCtx<'_>) -> Result<()> + Send + Sync + 'static,
     ) -> Round {
-        self.compute = Some(Box::new(f));
+        self.compute = Some(Arc::new(f));
         self
     }
 
@@ -292,6 +348,19 @@ pub(crate) struct CollSchedule {
     pub(crate) rounds: VecDeque<Round>,
     pub(crate) slots: Vec<Option<Vec<u8>>>,
     pub(crate) outcome: Option<CollOutcome>,
+    /// Tag windows this schedule was built over, in allocation order —
+    /// what [`cache::SchedTemplate`] retags when a cached clone runs on
+    /// fresh windows.
+    pub(crate) windows: Vec<u32>,
+    /// Slots registered through [`CollSchedule::input`]: the dispatcher's
+    /// per-call payload. A template stores these slots *empty* and every
+    /// instantiation refills them — everything else in the slot store is
+    /// call-invariant by construction.
+    pub(crate) inputs: Vec<SlotId>,
+    /// Set by builders that bake per-call payload into ordinary
+    /// (non-input) slots at build time — such a schedule must never
+    /// become a template (see [`Sched::uncacheable`]).
+    pub(crate) uncacheable: bool,
 }
 
 impl CollSchedule {
@@ -332,6 +401,14 @@ impl CollSchedule {
             self.rounds.push_back(round);
         }
     }
+
+    /// Allocate a slot holding the caller's per-call payload and register
+    /// it as a template input (refilled on every cache instantiation).
+    pub(crate) fn input(&mut self, data: Vec<u8>) -> SlotId {
+        let slot = self.filled(data);
+        self.inputs.push(slot);
+        slot
+    }
 }
 
 /// What the algorithm modules need from a schedule under construction.
@@ -365,6 +442,13 @@ pub(crate) trait Sched {
     fn len_of(&self, slot: SlotId) -> usize;
     /// Append a round (empty rounds are dropped).
     fn push(&mut self, round: Round);
+    /// Declare that this schedule bakes per-call payload into ordinary
+    /// slots at build time (ring reduce-scatter segments, alltoall
+    /// chunks): it must not be stored as a cache template. Constant
+    /// builder-filled slots — zero-byte signals, the pipelined root's
+    /// length header for a fixed payload length — do *not* need this:
+    /// they are identical for every call with the same cache key.
+    fn uncacheable(&mut self);
 }
 
 impl Sched for CollSchedule {
@@ -382,6 +466,9 @@ impl Sched for CollSchedule {
     }
     fn push(&mut self, round: Round) {
         CollSchedule::push(self, round)
+    }
+    fn uncacheable(&mut self) {
+        self.uncacheable = true;
     }
 }
 
@@ -421,6 +508,9 @@ impl Sched for Subgroup<'_> {
     }
     fn len_of(&self, slot: SlotId) -> usize {
         self.inner.len_of(slot)
+    }
+    fn uncacheable(&mut self) {
+        self.inner.uncacheable();
     }
     fn push(&mut self, mut round: Round) {
         for recv in &mut round.recvs {
@@ -471,6 +561,15 @@ impl Engine {
         let window = (*seq % NUM_TAG_WINDOWS) as u32;
         *seq += 1;
         TagWindow(window)
+    }
+
+    /// [`Engine::alloc_tag_window`], recorded on the schedule under
+    /// construction so the cache layer knows which windows a template was
+    /// built over (and how many a fresh instantiation must allocate).
+    pub(crate) fn sched_window(&mut self, comm: CommHandle, s: &mut CollSchedule) -> TagWindow {
+        let win = self.alloc_tag_window(comm);
+        s.windows.push(win.0);
+        win
     }
 
     /// Register a schedule and start it: round 0 is posted immediately
@@ -575,7 +674,7 @@ impl Engine {
                     outcome: &mut st.schedule.outcome,
                     extension: &mut extension,
                 };
-                compute(&mut ctx)?;
+                (*compute)(&mut ctx)?;
                 for round in extension.into_iter().rev() {
                     if !round.is_empty() {
                         st.schedule.rounds.push_front(round);

@@ -172,10 +172,10 @@ impl Engine {
         }
         round = round.compute(move |ctx| {
             let assembled = parts
-                .into_iter()
+                .iter()
                 .map(|src| match src {
-                    PartSrc::Recv(slot) => ctx.take(slot),
-                    PartSrc::Local(data) => Ok(data),
+                    PartSrc::Recv(slot) => ctx.take(*slot),
+                    PartSrc::Local(data) => Ok(data.clone()),
                     PartSrc::Null => Ok(Vec::new()),
                 })
                 .collect::<Result<Vec<_>>>()?;

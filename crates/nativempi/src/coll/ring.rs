@@ -67,6 +67,9 @@ pub(crate) fn reduce_scatter(
     let next = (rank + 1) % size;
     let prev = (rank + size - 1) % size;
     let elem = kind.size();
+    // The per-destination segments are staged into build-time slots:
+    // payload baked into the schedule, never reusable as a template.
+    s.uncacheable();
     // Split the local contribution into per-destination segments.
     let mut segs: Vec<SlotId> = Vec::with_capacity(size);
     let mut cursor = 0usize;

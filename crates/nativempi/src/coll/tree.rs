@@ -159,7 +159,7 @@ pub(crate) fn gather(
     // `mask` is now the lowest set bit of `relative` (when non-zero).
     collect = collect.compute(move |ctx| {
         let mut entries: Vec<(u32, Vec<u8>)> = vec![(rank as u32, ctx.take(send)?)];
-        for slot in children {
+        for &slot in &children {
             entries.extend(unframe_entries(&ctx.take(slot)?)?);
         }
         ctx.put(out, frame_entries(&entries));
@@ -186,6 +186,9 @@ pub(crate) fn scatter(
     chunks: Option<&[Vec<u8>]>,
     out: SlotId,
 ) {
+    // The root frames the caller's chunks into a build-time slot:
+    // payload baked into the schedule, never reusable as a template.
+    s.uncacheable();
     let relative = (rank + size - root) % size;
     let incoming = s.empty();
     let top_mask = if relative == 0 {
@@ -291,7 +294,7 @@ pub(crate) fn reduce(
     let need = kind.size() * count;
     collect = collect.compute(move |ctx| {
         let mut folded = ctx.take(send)?;
-        for slot in children {
+        for &slot in &children {
             let data = ctx.take(slot)?;
             if data.len() < need {
                 return err(ErrorClass::Count, "reduce contribution too short");

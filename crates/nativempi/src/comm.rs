@@ -172,6 +172,12 @@ impl Engine {
             self.unexpected.remove(&context);
             self.freed_contexts.insert(context);
         }
+        // Cached schedule templates are keyed to the communicator and
+        // reference its tag-window sequence — drop them with it. A
+        // handle can be recycled by a later communicator, which must
+        // start with a cold cache.
+        self.sched_cache.retain(|key, _| key.comm != comm);
+        self.coll_seqs.remove(&comm);
         Ok(())
     }
 

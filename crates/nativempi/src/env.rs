@@ -18,9 +18,23 @@
 //! | [`SEGMENT_BYTES_ENV`] (`MPIJAVA_SEGMENT_BYTES`) | pipeline segment size for large transfers (unset = no segmentation) |
 //! | `MPIJAVA_COLL_ALG` | pin the collective wire pattern (`linear`/`tree`/`rd`/`ring`/`pipelined`/`hier`) |
 //! | [`NODES_ENV`] (`MPIJAVA_NODES`) | rank → node placement for the launchers (see below) |
+//! | [`PROGRESS_ENV`] (`MPIJAVA_PROGRESS`) | `thread` = background progress thread per rank, `manual` = progress only inside MPI calls (default) |
 //!
 //! Sizes accept an optional `k`/`K` (KiB) or `m`/`M` (MiB) suffix:
 //! `MPIJAVA_EAGER_LIMIT=64k`, `MPIJAVA_SEGMENT_BYTES=1M`.
+//!
+//! ## `MPIJAVA_PROGRESS`
+//!
+//! Read by the launchers when no explicit mode was configured
+//! (`UniverseConfig::with_progress` / `MpiRuntime::progress` take
+//! precedence). `thread` (aliases `background`, `async`) spawns one
+//! background progress thread per rank that keeps draining the
+//! nonblocking-collective engine, the rendezvous/segment pipeline and
+//! the RMA windows while application code computes; `manual` (alias
+//! `none`) keeps the classic behavior where progress happens only
+//! inside MPI calls. Anything else warns loudly on stderr and falls
+//! back to `manual`, so a typo cannot silently change the concurrency
+//! profile of a job.
 //!
 //! ## `MPIJAVA_NODES`
 //!
@@ -69,6 +83,68 @@ pub const SEGMENT_BYTES_ENV: &str = "MPIJAVA_SEGMENT_BYTES";
 /// `MPIJAVA_NODES=<nodes>|<nodes>x<ranks-per-node>|<id,id,…>` (see the
 /// module docs for the grammar and precedence rules).
 pub const NODES_ENV: &str = "MPIJAVA_NODES";
+
+/// Environment variable selecting the progress model for the launchers:
+/// `MPIJAVA_PROGRESS=thread|manual` (see the module docs for aliases and
+/// precedence). Malformed values warn on stderr and fall back to
+/// [`ProgressMode::Manual`].
+pub const PROGRESS_ENV: &str = "MPIJAVA_PROGRESS";
+
+/// How a rank's engine is progressed between MPI calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ProgressMode {
+    /// Progress happens only inside MPI calls (test/wait/probe and the
+    /// blocking entry points) — the classic single-threaded model.
+    #[default]
+    Manual,
+    /// A background thread per rank drives the progress engine
+    /// continuously: nonblocking collectives, rendezvous and segment
+    /// pipelines, and passive-target RMA advance while the application
+    /// computes, with zero manual `test()` calls.
+    Thread,
+}
+
+impl ProgressMode {
+    /// Parse the [`PROGRESS_ENV`] grammar: `manual`/`none` and
+    /// `thread`/`background`/`async` (ASCII case-insensitive).
+    pub fn parse(raw: &str) -> Option<ProgressMode> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "manual" | "none" => Some(ProgressMode::Manual),
+            "thread" | "background" | "async" => Some(ProgressMode::Thread),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ProgressMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ProgressMode::Manual => "manual",
+            ProgressMode::Thread => "thread",
+        })
+    }
+}
+
+/// Read the [`PROGRESS_ENV`] override. Unset (or empty) means no
+/// override; a malformed value warns on stderr and falls back to
+/// [`ProgressMode::Manual`] rather than silently changing the job's
+/// concurrency profile.
+pub fn progress_from_env() -> Option<ProgressMode> {
+    let raw = std::env::var(PROGRESS_ENV).ok()?;
+    if raw.trim().is_empty() {
+        return None;
+    }
+    match ProgressMode::parse(&raw) {
+        Some(mode) => Some(mode),
+        None => {
+            eprintln!(
+                "warning: {PROGRESS_ENV}={raw:?} is not a known progress mode \
+                 (expected `thread` or `manual`); running manual"
+            );
+            Some(ProgressMode::Manual)
+        }
+    }
+}
 
 /// Read the [`NODES_ENV`] placement override for a job of `size` ranks.
 /// Unset (or empty) means no override; a malformed or size-inconsistent
@@ -239,6 +315,35 @@ mod tests {
         assert_eq!(parse_byte_size("-5"), None);
         // Overflow guarded, not wrapped.
         assert_eq!(parse_byte_size(&format!("{}m", usize::MAX)), None);
+    }
+
+    #[test]
+    fn progress_modes_parse_with_aliases() {
+        assert_eq!(ProgressMode::parse("manual"), Some(ProgressMode::Manual));
+        assert_eq!(ProgressMode::parse("none"), Some(ProgressMode::Manual));
+        assert_eq!(ProgressMode::parse("thread"), Some(ProgressMode::Thread));
+        assert_eq!(ProgressMode::parse(" THREAD "), Some(ProgressMode::Thread));
+        assert_eq!(
+            ProgressMode::parse("background"),
+            Some(ProgressMode::Thread)
+        );
+        assert_eq!(ProgressMode::parse("async"), Some(ProgressMode::Thread));
+        assert_eq!(ProgressMode::parse(""), None);
+        assert_eq!(ProgressMode::parse("threads"), None);
+        assert_eq!(ProgressMode::parse("yes"), None);
+    }
+
+    #[test]
+    fn malformed_progress_env_falls_back_to_manual() {
+        // Serialized against itself only: no other test reads PROGRESS_ENV.
+        std::env::set_var(PROGRESS_ENV, "turbo");
+        assert_eq!(progress_from_env(), Some(ProgressMode::Manual));
+        std::env::set_var(PROGRESS_ENV, "thread");
+        assert_eq!(progress_from_env(), Some(ProgressMode::Thread));
+        std::env::set_var(PROGRESS_ENV, "  ");
+        assert_eq!(progress_from_env(), None);
+        std::env::remove_var(PROGRESS_ENV);
+        assert_eq!(progress_from_env(), None);
     }
 
     #[test]

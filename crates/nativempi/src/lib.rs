@@ -51,7 +51,7 @@ pub mod topology;
 pub mod types;
 pub mod universe;
 
-pub use coll::nb::{CollOutcome, CollRequestId};
+pub use coll::nb::{CollOutcome, CollRequestId, PersistentCollId};
 pub use coll::{CollAlgorithm, CollOp, COLL_ALG_ENV};
 pub use comm::{CommHandle, COMM_SELF, COMM_WORLD};
 pub use datatype::DatatypeDef;
@@ -111,6 +111,18 @@ pub struct EngineStats {
     /// returned [`Engine::win_fence`], plus one per completed
     /// [`Engine::win_unlock`] passive-target epoch.
     pub epochs: u64,
+    /// Collective calls served from the schedule cache (template
+    /// instantiated instead of rebuilt — persistent `start()`s count
+    /// here too; see the schedule-caching section of [`coll::nb`]).
+    pub sched_cache_hits: u64,
+    /// Cacheable collective calls that had to build their schedule from
+    /// scratch (cold key, or the tag-window sequence wrapped
+    /// mid-allocation).
+    pub sched_cache_misses: u64,
+    /// Progress-poll iterations executed by a background progress thread
+    /// on this engine's behalf (see the `MPIJAVA_PROGRESS` grammar in
+    /// [`mod@env`]).
+    pub progress_thread_polls: u64,
 }
 
 /// Per-rank MPI engine. See the crate documentation.
@@ -168,6 +180,12 @@ pub struct Engine {
     /// Per-communicator collective sequence counters for tag-window
     /// allocation (see [`coll::nb`]'s tag-window accounting).
     pub(crate) coll_seqs: HashMap<comm::CommHandle, u64>,
+    /// Built-schedule templates, keyed per rank on the local call shape
+    /// (see the schedule-caching section of [`coll::nb`]).
+    pub(crate) sched_cache: HashMap<coll::nb::cache::SchedKey, coll::nb::cache::SchedTemplate>,
+    /// Persistent collective operations created by the `*_init` entry
+    /// points, keyed by [`coll::nb::cache::PersistentCollId`] value.
+    pub(crate) persistent_colls: HashMap<u64, coll::nb::cache::PersistentColl>,
     /// Open one-sided memory windows, keyed by [`rma::WinHandle`] value
     /// (see [`rma`]'s epoch model and tag accounting).
     pub(crate) windows: HashMap<u64, rma::WindowState>,
@@ -227,6 +245,8 @@ impl Engine {
             forced_coll_alg: coll::CollAlgorithm::from_env(),
             coll_requests: HashMap::new(),
             coll_seqs: HashMap::new(),
+            sched_cache: HashMap::new(),
+            persistent_colls: HashMap::new(),
             windows: HashMap::new(),
             next_win: 1,
             win_seqs: HashMap::new(),
@@ -359,8 +379,32 @@ impl Engine {
                 "finalize called with outstanding communication",
             );
         }
+        if self.persistent_colls_active() > 0 || self.persistent_p2p_active() > 0 {
+            return error::err(
+                ErrorClass::Other,
+                "finalize called with started persistent operations (wait them first)",
+            );
+        }
         self.finalized = true;
         Ok(())
+    }
+
+    /// True while background-completable work is in flight on this
+    /// engine: an outstanding collective schedule, an un-acked
+    /// rendezvous handshake, or an open RMA epoch. A background
+    /// progress thread polls *hot* (yielding, microsecond cadence)
+    /// while this holds — the due-time link models release frames at
+    /// their arrival instants, and a sleeping poller would add its
+    /// whole sleep quantum of latency to every serial hop of a
+    /// schedule — and falls back to sleeping between polls otherwise.
+    pub fn background_work_pending(&self) -> bool {
+        self.coll_outstanding() > 0 || !self.pending_rendezvous.is_empty() || self.rma_open_epoch()
+    }
+
+    /// Record one background progress-thread poll against this engine
+    /// (drives [`EngineStats::progress_thread_polls`]).
+    pub fn note_progress_thread_poll(&mut self) {
+        self.stats.progress_thread_polls += 1;
     }
 
     pub(crate) fn check_live(&self) -> Result<()> {

@@ -12,7 +12,7 @@ use crate::error::{err, ErrorClass, Result};
 use crate::types::PrimitiveKind;
 
 /// The MPI predefined reduction operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PredefinedOp {
     Max,
     Min,

@@ -152,6 +152,26 @@ impl Engine {
         }
     }
 
+    /// Number of persistent point-to-point requests with an unwaited
+    /// `start()` — `finalize` refuses while this is non-zero.
+    pub fn persistent_p2p_active(&self) -> usize {
+        self.requests
+            .values()
+            .filter(|state| {
+                matches!(
+                    state,
+                    RequestState::PersistentSend {
+                        active: Some(_),
+                        ..
+                    } | RequestState::PersistentRecv {
+                        active: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+
     /// Drive the engine until `req` is complete (`MPI_Wait`). Also
     /// advances any in-flight nonblocking collectives while blocked (the
     /// background progress hook of [`crate::coll::nb`]).

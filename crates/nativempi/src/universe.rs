@@ -48,6 +48,13 @@ pub struct UniverseConfig {
     pub inter_network: NetworkModel,
     /// Processor-name prefix; rank `i` is named `<prefix><i>`.
     pub processor_name_prefix: Option<String>,
+    /// Progress model (`None` falls back to the `MPIJAVA_PROGRESS`
+    /// environment override, then to [`crate::env::ProgressMode::Manual`]). The
+    /// `Universe` launcher hands each rank's engine to the closure by
+    /// exclusive reference, so the thread mode is honored by launchers
+    /// that share the engine behind a lock (`MpiRuntime`); here it is
+    /// carried for them to consume.
+    pub progress: Option<crate::env::ProgressMode>,
 }
 
 impl UniverseConfig {
@@ -65,6 +72,7 @@ impl UniverseConfig {
             inter_profile: DeviceProfile::default(),
             inter_network: NetworkModel::unshaped(),
             processor_name_prefix: None,
+            progress: None,
         }
     }
 
@@ -118,6 +126,13 @@ impl UniverseConfig {
         self
     }
 
+    /// Select the progress model. Takes precedence over the
+    /// `MPIJAVA_PROGRESS` environment override.
+    pub fn with_progress(mut self, mode: crate::env::ProgressMode) -> Self {
+        self.progress = Some(mode);
+        self
+    }
+
     /// The placement this configuration resolves to: the explicit map,
     /// else the `MPIJAVA_NODES` environment override, else flat.
     pub fn resolved_nodes(&self) -> NodeMap {
@@ -125,6 +140,15 @@ impl UniverseConfig {
             .clone()
             .or_else(|| crate::env::nodes_from_env(self.size))
             .unwrap_or_else(|| NodeMap::flat(self.size))
+    }
+
+    /// The progress model this configuration resolves to: the explicit
+    /// mode, else the `MPIJAVA_PROGRESS` environment override, else
+    /// manual.
+    pub fn resolved_progress(&self) -> crate::env::ProgressMode {
+        self.progress
+            .or_else(crate::env::progress_from_env)
+            .unwrap_or_default()
     }
 }
 

@@ -343,6 +343,55 @@ fn rma_counters_track_operations_and_epochs() {
     .unwrap();
 }
 
+/// A persistent allreduce's `start()`/`wait()` cycle stages no new
+/// copies over its transient twin: the pre-built template re-binds the
+/// payload through exactly the same staging path, so the steady-state
+/// `bytes_copied` delta per iteration must not exceed the transient
+/// collective's.
+#[test]
+fn persistent_allreduce_stages_no_new_copies_over_transient() {
+    use mpi_native::{Op, PredefinedOp, PrimitiveKind};
+    for device in DEVICES {
+        Universe::run(2, device, |engine| {
+            let sum = Op::Predefined(PredefinedOp::Sum);
+            let count = 1024usize;
+            let payload: Vec<u8> = (0..count as i32).flat_map(|i| i.to_le_bytes()).collect();
+
+            // Warm both paths so the schedule cache and staging pools
+            // are in steady state before anything is measured.
+            let req = engine
+                .iallreduce(COMM_WORLD, &payload, PrimitiveKind::Int, count, &sum)
+                .unwrap();
+            engine.coll_wait(req).unwrap();
+            let pid = engine
+                .allreduce_init(COMM_WORLD, PrimitiveKind::Int, count, &sum)
+                .unwrap();
+            engine.coll_start_persistent(pid, &payload).unwrap();
+            engine.coll_wait_persistent(pid).unwrap();
+
+            let base = engine.stats().bytes_copied;
+            let req = engine
+                .iallreduce(COMM_WORLD, &payload, PrimitiveKind::Int, count, &sum)
+                .unwrap();
+            engine.coll_wait(req).unwrap();
+            let transient = engine.stats().bytes_copied - base;
+
+            let base = engine.stats().bytes_copied;
+            engine.coll_start_persistent(pid, &payload).unwrap();
+            engine.coll_wait_persistent(pid).unwrap();
+            let persistent = engine.stats().bytes_copied - base;
+
+            assert!(
+                persistent <= transient,
+                "persistent start()+wait() copied {persistent} bytes vs \
+                 transient {transient} ({device:?})"
+            );
+            engine.coll_free_persistent(pid).unwrap();
+        })
+        .unwrap();
+    }
+}
+
 /// The staging pool recycles buffers: after a warm-up round trip, a
 /// steady-state ping-pong on the shared-memory device reuses the pooled
 /// staging allocation instead of growing it (observable indirectly: the

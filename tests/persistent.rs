@@ -1,0 +1,241 @@
+//! Persistent-operation integration suite: `send_init`/`recv_init` and
+//! the persistent collectives (`MPI_*_init` of the MPI-4 persistent
+//! collective chapter) through the `rs` surface, on every transport
+//! device.
+//!
+//! The drop-safety and finalize-refusal tests mirror the nonblocking
+//! suite's pattern: `finalize()` doubles as the leak probe — it fails
+//! if a dropped handle left engine-side state behind — and refuses to
+//! run while a started persistent operation has not been waited on.
+
+use mpijava::rs::Communicator;
+use mpijava::{MpiRuntime, Op};
+use mpijava_suite::test_runtimes;
+
+/// Persistent point-to-point: one `send_init`/`recv_init` pair reused
+/// across several `start()`/`wait()` iterations, on every device.
+#[test]
+fn persistent_p2p_round_trips_on_every_device() {
+    for (name, runtime) in test_runtimes(2) {
+        runtime
+            .run(|mpi| {
+                let world = mpi.comm_world();
+                let rank = world.rank()?;
+                const ROUNDS: usize = 3;
+                if rank == 0 {
+                    let send = vec![7i32, 8, 9, 10];
+                    let mut req = world.send_init(&send, 1, 42)?;
+                    for _ in 0..ROUNDS {
+                        req.start()?;
+                        req.wait()?;
+                    }
+                    req.free()?;
+                } else {
+                    let mut buf = vec![0i32; 4];
+                    {
+                        let mut req = world.recv_init(&mut buf, 0, 42)?;
+                        for _ in 0..ROUNDS {
+                            req.start()?;
+                            let status = req.wait()?;
+                            assert_eq!(status.count_bytes(), 16);
+                        }
+                        req.free()?;
+                    }
+                    assert_eq!(buf, vec![7, 8, 9, 10]);
+                }
+                mpi.finalize()
+            })
+            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+    }
+}
+
+/// Every persistent collective, reused across iterations, produces the
+/// same results as its transient twin — on every device.
+#[test]
+fn persistent_collectives_match_their_transient_twins_on_every_device() {
+    for (name, runtime) in test_runtimes(4) {
+        runtime
+            .run(|mpi| {
+                let world = mpi.comm_world();
+                let rank = world.rank()?;
+                let size = world.size()?;
+                const ROUNDS: usize = 3;
+
+                // Transient twins first, into separate buffers.
+                let mut bcast_t = if rank == 0 {
+                    vec![11i32, 22, 33]
+                } else {
+                    vec![0i32; 3]
+                };
+                world.broadcast(&mut bcast_t, 0)?;
+                let send: Vec<i32> = (0..8).map(|i| i * (rank as i32 + 1)).collect();
+                let mut reduce_t = vec![0i32; 8];
+                world.reduce_into(&send, &mut reduce_t, Op::sum(), 0)?;
+                let mut allreduce_t = vec![0i32; 8];
+                world.all_reduce(&send, &mut allreduce_t, Op::sum())?;
+                let contrib = vec![rank as i32; 2];
+                let mut gather_t = vec![0i32; 2 * size];
+                world.all_gather(&contrib, &mut gather_t)?;
+
+                // Persistent editions: init once, start/wait ROUNDS times.
+                let mut bcast_p = if rank == 0 {
+                    vec![11i32, 22, 33]
+                } else {
+                    vec![0i32; 3]
+                };
+                let mut reduce_p = vec![0i32; 8];
+                let mut allreduce_p = vec![0i32; 8];
+                let mut gather_p = vec![0i32; 2 * size];
+                {
+                    let mut barrier = world.barrier_init()?;
+                    let mut bcast = world.broadcast_init(&mut bcast_p, 0)?;
+                    let mut reduce = world.reduce_init_into(&send, &mut reduce_p, Op::sum(), 0)?;
+                    let mut allreduce =
+                        world.all_reduce_init(&send, &mut allreduce_p, Op::sum())?;
+                    let mut gather = world.all_gather_init(&contrib, &mut gather_p)?;
+                    for _ in 0..ROUNDS {
+                        for req in [
+                            &mut barrier,
+                            &mut bcast,
+                            &mut reduce,
+                            &mut allreduce,
+                            &mut gather,
+                        ] {
+                            req.start()?;
+                            req.wait()?;
+                        }
+                    }
+                }
+                assert_eq!(bcast_p, bcast_t, "bcast");
+                if rank == 0 {
+                    assert_eq!(reduce_p, reduce_t, "reduce");
+                }
+                assert_eq!(allreduce_p, allreduce_t, "allreduce");
+                assert_eq!(gather_p, gather_t, "allgather");
+                mpi.finalize()
+            })
+            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+    }
+}
+
+/// `start_all` launches a batch; the requests complete independently.
+#[test]
+fn start_all_launches_a_persistent_batch() {
+    MpiRuntime::new(3)
+        .run(|mpi| {
+            use mpijava::PersistentRequest;
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+            let send = vec![rank as i32 + 1; 4];
+            let mut recv = vec![0i32; 4];
+            {
+                let barrier = world.barrier_init()?;
+                let allreduce = world.all_reduce_init(&send, &mut recv, Op::sum())?;
+                let mut batch = [barrier, allreduce];
+                for _ in 0..2 {
+                    PersistentRequest::start_all(&mut batch)?;
+                    for req in &mut batch {
+                        req.wait()?;
+                        assert!(!req.is_active());
+                    }
+                }
+            }
+            assert_eq!(recv, vec![6i32; 4]); // 1 + 2 + 3
+            mpi.finalize()
+        })
+        .unwrap();
+}
+
+/// Starting an already-active persistent request is an error; waiting
+/// (or testing) an inactive one is a no-op with an empty status, per
+/// the standard's `MPI_Wait` on an inactive request.
+#[test]
+fn start_while_active_errors_and_wait_while_inactive_is_empty() {
+    MpiRuntime::new(1)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let mut req = world.barrier_init()?;
+            // Inactive: wait and test both succeed vacuously.
+            let status = req.wait()?;
+            assert_eq!(status.count_bytes(), 0);
+            assert!(req.test()?.is_some());
+            req.start()?;
+            let err = req.start();
+            assert!(
+                err.is_err(),
+                "second start() on an active request must fail"
+            );
+            req.wait()?;
+            req.free()?;
+            mpi.finalize()
+        })
+        .unwrap();
+}
+
+/// Dropping a persistent request with an in-flight `start()` quiesces
+/// the operation — engine state is released, and `finalize()` (the leak
+/// probe) succeeds afterwards. On every device.
+#[test]
+fn dropping_in_flight_persistent_requests_quiesces_on_every_device() {
+    for (name, runtime) in test_runtimes(3) {
+        runtime
+            .run(|mpi| {
+                let world = mpi.comm_world();
+                let rank = world.rank()?;
+
+                // Collective: every rank starts, nobody waits — the
+                // drops themselves must drive the schedule to completion.
+                let send = vec![rank as i32 + 1; 8];
+                let mut recv = vec![0i32; 8];
+                {
+                    let mut req = world.all_reduce_init(&send, &mut recv, Op::sum())?;
+                    req.start()?;
+                }
+
+                // Point-to-point: the sender drops an in-flight
+                // persistent send; a plain receive completes it.
+                if rank == 0 {
+                    let payload = vec![5i32; 16];
+                    let mut req = world.send_init(&payload, 1, 9)?;
+                    req.start()?;
+                    drop(req);
+                } else if rank == 1 {
+                    let mut buf = vec![0i32; 16];
+                    world.recv_into(&mut buf, 0, 9)?;
+                    assert_eq!(buf, vec![5i32; 16]);
+                }
+
+                // A never-started handle just unregisters on drop.
+                {
+                    let _idle = world.barrier_init()?;
+                }
+
+                world.barrier()?;
+                mpi.finalize()
+            })
+            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+    }
+}
+
+/// `finalize()` refuses to run while a persistent operation is started
+/// but not yet waited on — and succeeds once it is quiesced. On every
+/// device.
+#[test]
+fn finalize_refuses_started_persistent_operations_on_every_device() {
+    for (name, runtime) in test_runtimes(2) {
+        runtime
+            .run(|mpi| {
+                let world = mpi.comm_world();
+                let mut req = world.barrier_init()?;
+                req.start()?;
+                assert!(
+                    mpi.finalize().is_err(),
+                    "finalize must refuse a started persistent operation"
+                );
+                req.wait()?;
+                req.free()?;
+                mpi.finalize()
+            })
+            .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+    }
+}
