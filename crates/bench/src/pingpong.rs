@@ -325,6 +325,9 @@ fn native_pingpong(spec: &PingPongSpec, config: &StackConfig) -> Vec<PingPongPoi
         inter_network: mpi_transport::NetworkModel::unshaped(),
         processor_name_prefix: None,
         progress: None,
+        spool_dir: None,
+        lease: None,
+        faults: None,
     };
     let sizes = spec.sizes.clone();
     let reps = spec.reps;

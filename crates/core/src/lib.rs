@@ -203,9 +203,11 @@ pub use status::Status;
 pub use window::{GetToken, Window};
 
 // Re-export the pieces of the lower layers that appear in this crate's API.
-pub use mpi_native::env::{ProgressMode, PROGRESS_ENV};
+pub use mpi_native::env::{ProgressMode, FAULT_ENV, LEASE_MS_ENV, PROGRESS_ENV, SPOOL_DIR_ENV};
 pub use mpi_native::{CollAlgorithm, CompareResult, EngineStats, ErrorClass, PrimitiveKind};
-pub use mpi_transport::{DeviceKind, DeviceProfile, NetworkModel, NodeMap};
+pub use mpi_transport::{
+    DeviceKind, DeviceProfile, FaultAction, FaultPlan, NetworkModel, NodeMap, DEFAULT_LEASE,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -463,6 +465,9 @@ pub struct MpiRuntime {
     segment_bytes: Option<usize>,
     coll_algorithm: Option<CollAlgorithm>,
     progress: Option<ProgressMode>,
+    spool_dir: Option<std::path::PathBuf>,
+    lease: Option<std::time::Duration>,
+    faults: Option<FaultPlan>,
     thread_level: ThreadLevel,
     jni: JniConfig,
 }
@@ -482,6 +487,9 @@ impl MpiRuntime {
             segment_bytes: None,
             coll_algorithm: None,
             progress: None,
+            spool_dir: None,
+            lease: None,
+            faults: None,
             thread_level: ThreadLevel::Single,
             jni: JniConfig::default(),
         }
@@ -565,6 +573,35 @@ impl MpiRuntime {
         self
     }
 
+    /// Keep spooled frames under `dir` across process lifetimes
+    /// ([`DeviceKind::Spool`] only) — the substrate for late-join and
+    /// checkpoint/restart. Takes precedence over the
+    /// `MPIJAVA_SPOOL_DIR` environment override; unset means an
+    /// ephemeral per-job temp directory.
+    pub fn spool_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.spool_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the heartbeat lease for failure detection: a rank whose lease
+    /// goes unrefreshed for longer than this is reported dead to its
+    /// peers, and blocking calls naming it error with
+    /// [`ErrorClass::RankFailed`] instead of hanging. Takes precedence
+    /// over the `MPIJAVA_LEASE_MS` environment override; unset keeps
+    /// [`DEFAULT_LEASE`].
+    pub fn lease(mut self, lease: std::time::Duration) -> Self {
+        self.lease = Some(lease);
+        self
+    }
+
+    /// Inject a deterministic [`FaultPlan`] (kill/drop/delay — testing
+    /// tool). Takes precedence over the `MPIJAVA_FAULT` environment
+    /// override.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Request a thread support level (`MPI_Init_thread`'s `required`).
     /// The binding always provides [`ThreadLevel::Multiple`] (the engine
     /// is mutex-serialized), so every request is honored;
@@ -600,13 +637,21 @@ impl MpiRuntime {
             inter_network: self.inter_network,
             progress: self.progress,
             processor_name_prefix: None,
+            spool_dir: self.spool_dir.clone(),
+            lease: self.lease,
+            faults: self.faults.clone(),
         };
-        let fabric_config = mpi_transport::FabricConfig::new(self.size, self.device)
+        let mut fabric_config = mpi_transport::FabricConfig::new(self.size, self.device)
             .with_network(self.network)
             .with_profile(self.profile)
             .with_nodes(config.resolved_nodes())
             .with_inter_network(self.inter_network)
-            .with_inter_profile(self.inter_profile);
+            .with_inter_profile(self.inter_profile)
+            .with_lease(config.resolved_lease())
+            .with_faults(config.resolved_faults());
+        if let Some(dir) = config.resolved_spool_dir() {
+            fabric_config = fabric_config.with_spool_dir(dir);
+        }
         let progress = config.resolved_progress();
         let _ = config; // UniverseConfig documents the mapping; we build directly.
         let endpoints = mpi_transport::Fabric::build(fabric_config)

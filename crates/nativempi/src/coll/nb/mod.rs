@@ -552,6 +552,20 @@ pub(crate) struct NbColl {
     failed: Option<MpiError>,
 }
 
+impl NbColl {
+    /// True once the schedule ran (or failed) to completion.
+    pub(crate) fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The communicator the schedule runs over (the failure sweep of
+    /// [`crate::failure`] quiesces schedules whose communicator contains
+    /// a dead rank).
+    pub(crate) fn comm_handle(&self) -> CommHandle {
+        self.comm
+    }
+}
+
 impl Engine {
     /// Allocate the next tag window of `comm`'s collective sequence (see
     /// the module docs). Every rank calls collectives in the same order,
@@ -624,7 +638,7 @@ impl Engine {
     /// in-flight transfers, drop its remaining rounds, and park the
     /// error for the owner to claim. The request stays claimable (so
     /// `coll_wait` reports the failure) and no posted receive leaks.
-    fn fail_nb(&mut self, st: &mut NbColl, error: MpiError) {
+    pub(crate) fn fail_nb(&mut self, st: &mut NbColl, error: MpiError) {
         for flight in st.in_flight.drain(..) {
             let req = match flight {
                 Flight::Send(r) | Flight::Recv(r, _) => r,
@@ -815,8 +829,7 @@ impl Engine {
             if self.aborted {
                 return err(ErrorClass::Aborted, "job aborted while waiting");
             }
-            let frame = self.endpoint.recv()?;
-            self.on_frame(frame)?;
+            self.blocking_pump()?;
         }
     }
 
@@ -828,6 +841,10 @@ impl Engine {
     /// [`Engine::coll_is_complete`], and only then decide whether to
     /// harvest anything.
     pub fn progress_poll(&mut self) -> Result<()> {
+        // Liveness first: a background progress thread calling this is
+        // what drives failure detection while the application computes
+        // (see `crate::failure`).
+        self.poll_failures()?;
         while let Some(frame) = self.endpoint.try_recv()? {
             self.on_frame(frame)?;
         }
@@ -843,8 +860,7 @@ impl Engine {
         if self.aborted {
             return err(ErrorClass::Aborted, "job aborted while waiting");
         }
-        let frame = self.endpoint.recv()?;
-        self.on_frame(frame)?;
+        self.blocking_pump()?;
         self.nb_progress()
     }
 

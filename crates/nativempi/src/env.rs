@@ -19,6 +19,9 @@
 //! | `MPIJAVA_COLL_ALG` | pin the collective wire pattern (`linear`/`tree`/`rd`/`ring`/`pipelined`/`hier`) |
 //! | [`NODES_ENV`] (`MPIJAVA_NODES`) | rank → node placement for the launchers (see below) |
 //! | [`PROGRESS_ENV`] (`MPIJAVA_PROGRESS`) | `thread` = background progress thread per rank, `manual` = progress only inside MPI calls (default) |
+//! | [`SPOOL_DIR_ENV`] (`MPIJAVA_SPOOL_DIR`) | persistent spool root for the `spool` device (unset = ephemeral temp dir) |
+//! | [`LEASE_MS_ENV`] (`MPIJAVA_LEASE_MS`) | heartbeat lease in milliseconds for failure detection |
+//! | [`FAULT_ENV`] (`MPIJAVA_FAULT`) | fault-injection plan for the test harness (see below) |
 //!
 //! Sizes accept an optional `k`/`K` (KiB) or `m`/`M` (MiB) suffix:
 //! `MPIJAVA_EAGER_LIMIT=64k`, `MPIJAVA_SEGMENT_BYTES=1M`.
@@ -57,10 +60,44 @@
 //! only affects the topology queries. A malformed or size-inconsistent
 //! value warns loudly on stderr and is ignored, so a typo cannot
 //! silently reshape a job.
+//!
+//! ## `MPIJAVA_SPOOL_DIR` and `MPIJAVA_LEASE_MS`
+//!
+//! Read by the launchers when no explicit spool root / lease was
+//! configured (`UniverseConfig::with_spool_dir` / `with_lease` take
+//! precedence). The spool root only matters on the `spool` device: set
+//! it to keep undelivered frames on disk across process lifetimes (the
+//! substrate for late-join and checkpoint/restart); unset, each job
+//! spins up an ephemeral temp-dir spool that is removed when the last
+//! rank detaches. The lease is the heartbeat timeout used by every
+//! failure-detecting device: a rank whose lease file goes unrefreshed
+//! for longer than the lease is reported dead to its peers. Malformed
+//! lease values warn on stderr and fall back to the default
+//! ([`mpi_transport::DEFAULT_LEASE`], 1000 ms); `0` is rejected the
+//! same way because a zero lease would declare every rank dead on
+//! arrival.
+//!
+//! ## `MPIJAVA_FAULT`
+//!
+//! Read by the launchers when no explicit [`FaultPlan`] was configured
+//! (`UniverseConfig::with_faults` takes precedence). A comma-separated
+//! list of fault actions for deterministic failure testing:
+//!
+//! * `kill:<rank>@<n>` — rank `<rank>`'s transport dies at its `<n>`-th
+//!   send (1-based); peers see the death via the lease mechanism;
+//! * `drop:<src>-><dst>@<n>` — silently drop the `<n>`-th frame from
+//!   `src` to `dst`;
+//! * `delay:<src>-><dst>@<n>:<ms>` — delay that frame by `<ms>`
+//!   milliseconds (an optional `ms` suffix is accepted).
+//!
+//! Example: `MPIJAVA_FAULT=kill:2@5,delay:0->1@3:50ms`. A malformed
+//! plan warns loudly on stderr and is ignored — fault injection is a
+//! testing tool, and a typo must not take down a production job.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
-use mpi_transport::{Frame, FrameHeader, FrameKind, NodeMap};
+use mpi_transport::{FaultPlan, Frame, FrameHeader, FrameKind, NodeMap};
 
 use crate::comm::CommHandle;
 use crate::error::{err, ErrorClass, Result};
@@ -89,6 +126,23 @@ pub const NODES_ENV: &str = "MPIJAVA_NODES";
 /// precedence). Malformed values warn on stderr and fall back to
 /// [`ProgressMode::Manual`].
 pub const PROGRESS_ENV: &str = "MPIJAVA_PROGRESS";
+
+/// Environment variable naming a persistent spool root for the `spool`
+/// device: `MPIJAVA_SPOOL_DIR=<path>` (see the module docs). Unset means
+/// an ephemeral per-job temp directory.
+pub const SPOOL_DIR_ENV: &str = "MPIJAVA_SPOOL_DIR";
+
+/// Environment variable overriding the heartbeat lease used for failure
+/// detection: `MPIJAVA_LEASE_MS=<milliseconds>` (see the module docs).
+/// Malformed or zero values warn on stderr and keep
+/// [`mpi_transport::DEFAULT_LEASE`].
+pub const LEASE_MS_ENV: &str = "MPIJAVA_LEASE_MS";
+
+/// Environment variable injecting a deterministic fault plan:
+/// `MPIJAVA_FAULT=kill:<rank>@<n>,drop:<src>-><dst>@<n>,delay:<src>-><dst>@<n>:<ms>`
+/// (see the module docs for the full grammar). Malformed plans warn on
+/// stderr and are ignored.
+pub const FAULT_ENV: &str = "MPIJAVA_FAULT";
 
 /// How a rank's engine is progressed between MPI calls.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -161,6 +215,58 @@ pub fn nodes_from_env(size: usize) -> Option<NodeMap> {
             eprintln!(
                 "warning: {NODES_ENV}={raw:?} is not a usable node placement for a \
                  {size}-rank job ({reason}); running single-node"
+            );
+            None
+        }
+    }
+}
+
+/// Read the [`SPOOL_DIR_ENV`] override. Unset (or empty) means an
+/// ephemeral spool; no validation happens here — the spool device itself
+/// reports a root it cannot create or attach to.
+pub fn spool_dir_from_env() -> Option<PathBuf> {
+    let raw = std::env::var(SPOOL_DIR_ENV).ok()?;
+    if raw.trim().is_empty() {
+        return None;
+    }
+    Some(PathBuf::from(raw))
+}
+
+/// Read the [`LEASE_MS_ENV`] override. Unset (or empty) means no
+/// override; a malformed or zero value warns on stderr and falls back to
+/// the default lease rather than silently changing (or breaking) the
+/// job's failure-detection window.
+pub fn lease_from_env() -> Option<Duration> {
+    let raw = std::env::var(LEASE_MS_ENV).ok()?;
+    if raw.trim().is_empty() {
+        return None;
+    }
+    match raw.trim().parse::<u64>() {
+        Ok(ms) if ms > 0 => Some(Duration::from_millis(ms)),
+        _ => {
+            eprintln!(
+                "warning: {LEASE_MS_ENV}={raw:?} is not a usable lease \
+                 (expected a positive number of milliseconds); keeping the default"
+            );
+            None
+        }
+    }
+}
+
+/// Read the [`FAULT_ENV`] fault-injection plan. Unset (or empty) means
+/// no faults; a malformed plan warns on stderr and is ignored rather
+/// than letting a typo inject (or suppress) failures silently.
+pub fn faults_from_env() -> Option<FaultPlan> {
+    let raw = std::env::var(FAULT_ENV).ok()?;
+    if raw.trim().is_empty() {
+        return None;
+    }
+    match FaultPlan::parse(&raw) {
+        Ok(plan) => Some(plan),
+        Err(reason) => {
+            eprintln!(
+                "warning: {FAULT_ENV}={raw:?} is not a usable fault plan ({reason}); \
+                 running without fault injection"
             );
             None
         }
@@ -344,6 +450,41 @@ mod tests {
         assert_eq!(progress_from_env(), None);
         std::env::remove_var(PROGRESS_ENV);
         assert_eq!(progress_from_env(), None);
+    }
+
+    #[test]
+    fn lease_env_rejects_zero_and_garbage() {
+        // Serialized against itself only: no other test reads LEASE_MS_ENV.
+        std::env::set_var(LEASE_MS_ENV, "250");
+        assert_eq!(lease_from_env(), Some(Duration::from_millis(250)));
+        std::env::set_var(LEASE_MS_ENV, "0");
+        assert_eq!(lease_from_env(), None);
+        std::env::set_var(LEASE_MS_ENV, "fast");
+        assert_eq!(lease_from_env(), None);
+        std::env::set_var(LEASE_MS_ENV, "  ");
+        assert_eq!(lease_from_env(), None);
+        std::env::remove_var(LEASE_MS_ENV);
+        assert_eq!(lease_from_env(), None);
+    }
+
+    #[test]
+    fn spool_and_fault_envs_parse_or_fall_back() {
+        // Serialized against themselves only: no other test reads these.
+        std::env::set_var(SPOOL_DIR_ENV, "/tmp/spool-here");
+        assert_eq!(spool_dir_from_env(), Some(PathBuf::from("/tmp/spool-here")));
+        std::env::set_var(SPOOL_DIR_ENV, "   ");
+        assert_eq!(spool_dir_from_env(), None);
+        std::env::remove_var(SPOOL_DIR_ENV);
+        assert_eq!(spool_dir_from_env(), None);
+
+        std::env::set_var(FAULT_ENV, "kill:2@5,drop:0->1@3");
+        let plan = faults_from_env().expect("valid plan");
+        assert_eq!(plan.actions.len(), 2);
+        assert_eq!(plan.max_rank(), Some(2));
+        std::env::set_var(FAULT_ENV, "explode:everything");
+        assert_eq!(faults_from_env(), None);
+        std::env::remove_var(FAULT_ENV);
+        assert_eq!(faults_from_env(), None);
     }
 
     #[test]

@@ -55,6 +55,12 @@ pub enum ErrorClass {
     Unsupported,
     /// MPI was not initialized / already finalized.
     NotInitialized,
+    /// A peer rank was declared dead (heartbeat lease expired or the
+    /// fault plan killed it); the operation required that rank. ULFM's
+    /// `MPI_ERR_PROC_FAILED`, in spirit.
+    RankFailed,
+    /// A bounded wait ran out of time before completing.
+    Timeout,
 }
 
 impl ErrorClass {
@@ -83,6 +89,8 @@ impl ErrorClass {
             ErrorClass::Transport => 19,
             ErrorClass::Unsupported => 20,
             ErrorClass::NotInitialized => 21,
+            ErrorClass::RankFailed => 22,
+            ErrorClass::Timeout => 23,
         }
     }
 }
@@ -125,7 +133,12 @@ impl std::error::Error for MpiError {}
 
 impl From<mpi_transport::TransportError> for MpiError {
     fn from(e: mpi_transport::TransportError) -> Self {
-        MpiError::new(ErrorClass::Transport, e.to_string())
+        let class = match &e {
+            mpi_transport::TransportError::RankFailed { .. } => ErrorClass::RankFailed,
+            mpi_transport::TransportError::Timeout { .. } => ErrorClass::Timeout,
+            _ => ErrorClass::Transport,
+        };
+        MpiError::new(class, e.to_string())
     }
 }
 
@@ -161,6 +174,8 @@ mod tests {
             ErrorClass::Transport,
             ErrorClass::Unsupported,
             ErrorClass::NotInitialized,
+            ErrorClass::RankFailed,
+            ErrorClass::Timeout,
         ];
         let codes: std::collections::HashSet<i32> = classes.iter().map(|c| c.code()).collect();
         assert_eq!(codes.len(), classes.len());
@@ -178,5 +193,17 @@ mod tests {
         let te = mpi_transport::TransportError::Disconnected;
         let e: MpiError = te.into();
         assert_eq!(e.class, ErrorClass::Transport);
+    }
+
+    #[test]
+    fn failure_variants_keep_their_class_across_the_layers() {
+        let e: MpiError = mpi_transport::TransportError::RankFailed { rank: 2 }.into();
+        assert_eq!(e.class, ErrorClass::RankFailed);
+        assert!(e.message.contains('2'));
+        let e: MpiError = mpi_transport::TransportError::Timeout {
+            waited: std::time::Duration::from_millis(10),
+        }
+        .into();
+        assert_eq!(e.class, ErrorClass::Timeout);
     }
 }

@@ -1,0 +1,324 @@
+//! Failure detection and surfacing: the engine-side half of the
+//! fault-tolerance tier.
+//!
+//! The transport reports dead peers through
+//! [`Endpoint::poll_failures`](mpi_transport::Endpoint::poll_failures)
+//! (heartbeat lease expiry on the spool device, fault-plan kills on any
+//! device). This module turns those reports into *errors instead of
+//! hangs*, in the spirit of ULFM's `MPI_ERR_PROC_FAILED`:
+//!
+//! * every blocking loop pumps frames through `Engine::blocking_pump`,
+//!   which polls for failures on a bounded-timeout receive instead of
+//!   parking forever;
+//! * when a rank is declared dead, `Engine::on_rank_failed` sweeps the
+//!   engine: posted receives that can only be satisfied by the dead rank
+//!   (specific-source matches, and — conservatively — `ANY_SOURCE`
+//!   receives on any communicator containing it) fail, un-acked
+//!   rendezvous sends to it fail, in-flight collective schedules on any
+//!   communicator containing it are quiesced with the error, and RMA
+//!   epochs over such communicators refuse to sync;
+//! * new operations naming a dead rank fail immediately at the posting
+//!   entry points;
+//! * failure is permanent: a restarted process re-attaches to its spool
+//!   as a *new* endpoint (see [`mpi_transport::spool`]), it does not
+//!   rejoin the old membership.
+//!
+//! Detection latency is bounded by the lease window plus the engine's
+//! poll throttle plus one pump quantum — comfortably under twice the
+//! lease for any realistic lease (the acceptance bound of the
+//! fault-tolerance suite).
+
+use std::time::{Duration, Instant};
+
+use crate::comm::CommHandle;
+use crate::error::{ErrorClass, MpiError, Result};
+use crate::request::RequestState;
+use crate::types::ANY_SOURCE;
+use crate::Engine;
+
+/// Bounded park used by every blocking loop: long enough to keep the
+/// hot path cheap (one timeout per quantum, frames still delivered
+/// immediately), short enough to keep failure-detection latency far
+/// below the lease window.
+pub(crate) const PUMP_QUANTUM: Duration = Duration::from_millis(5);
+
+/// Throttle on [`Engine::poll_failures`]: transports cache their own
+/// lease checks, but even the call itself is kept off the per-frame
+/// fast path.
+const FAILURE_POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+impl Engine {
+    /// World ranks this engine has observed to be dead, in ascending
+    /// order.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.failed_ranks.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Ask the transport for newly-dead ranks and sweep the engine for
+    /// each (throttled; cheap to call from any progress loop).
+    pub(crate) fn poll_failures(&mut self) -> Result<()> {
+        let due = self
+            .last_failure_poll
+            .is_none_or(|at| at.elapsed() >= FAILURE_POLL_INTERVAL);
+        if !due {
+            return Ok(());
+        }
+        self.last_failure_poll = Some(Instant::now());
+        for rank in self.endpoint.poll_failures() {
+            if !self.failed_ranks.contains(&rank) {
+                self.on_rank_failed(rank)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bounded blocking pump: poll for failures, then wait up to one
+    /// quantum for a frame. Every formerly-unbounded `endpoint.recv()`
+    /// loop goes through this, which is what turns a dead peer into an
+    /// error instead of a hang.
+    pub(crate) fn blocking_pump(&mut self) -> Result<()> {
+        self.poll_failures()?;
+        if let Some(frame) = self.endpoint.recv_timeout(PUMP_QUANTUM)? {
+            self.on_frame(frame)?;
+        }
+        Ok(())
+    }
+
+    fn rank_failed_error(rank: usize) -> MpiError {
+        MpiError::new(
+            ErrorClass::RankFailed,
+            format!("rank {rank} failed (heartbeat lease expired or killed)"),
+        )
+    }
+
+    /// Sweep the engine after `dead` (a world rank) is declared failed.
+    pub(crate) fn on_rank_failed(&mut self, dead: usize) -> Result<()> {
+        self.failed_ranks.insert(dead);
+
+        // Posted receives that can only (or, for ANY_SOURCE, might only)
+        // be satisfied by the dead rank fail in place.
+        let contexts: Vec<u32> = self.posted.keys().copied().collect();
+        let mut doomed: Vec<u64> = Vec::new();
+        for context in contexts {
+            let queue = self.posted.get(&context).expect("context listed");
+            let mut keep: Vec<bool> = Vec::with_capacity(queue.len());
+            for p in queue.iter() {
+                let fails = if p.src == ANY_SOURCE {
+                    self.comm_rank_of_world(p.comm, dead)?.is_some()
+                } else {
+                    self.world_rank_of(p.comm, p.src as usize)? == dead
+                };
+                if fails {
+                    doomed.push(p.req);
+                }
+                keep.push(!fails);
+            }
+            let mut keep = keep.into_iter();
+            self.posted
+                .get_mut(&context)
+                .expect("context listed")
+                .retain(|_| keep.next().unwrap_or(true));
+        }
+
+        // Un-acked rendezvous sends to the dead rank, and granted
+        // rendezvous receives awaiting its data frames.
+        let dead_u32 = dead as u32;
+        let tokens: Vec<u64> = self
+            .pending_rendezvous
+            .iter()
+            .filter(|(_, p)| p.dst_world == dead_u32)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in tokens {
+            let p = self.pending_rendezvous.remove(&token).expect("listed");
+            doomed.push(p.req);
+        }
+        let keys: Vec<(u32, u64)> = self
+            .awaiting_rendezvous_data
+            .keys()
+            .filter(|(src, _)| *src == dead_u32)
+            .copied()
+            .collect();
+        for key in keys {
+            let a = self.awaiting_rendezvous_data.remove(&key).expect("listed");
+            doomed.push(a.req);
+        }
+        for req in doomed {
+            self.requests
+                .insert(req, RequestState::Failed(Self::rank_failed_error(dead)));
+        }
+
+        // In-flight collective schedules on any communicator containing
+        // the dead rank are quiesced with the error; their owner sees it
+        // on the next test/wait.
+        let ids: Vec<u64> = self.coll_requests.keys().copied().collect();
+        for id in ids {
+            if let Some(mut st) = self.coll_requests.remove(&id) {
+                let involved = !st.is_finished() && {
+                    let comm = st.comm_handle();
+                    self.comm(comm).is_ok() && self.comm_rank_of_world(comm, dead)?.is_some()
+                };
+                if involved {
+                    self.fail_nb(&mut st, Self::rank_failed_error(dead));
+                }
+                self.coll_requests.insert(id, st);
+            }
+        }
+        Ok(())
+    }
+
+    /// Error out if `peer` (a rank in `comm`, or [`ANY_SOURCE`]) can no
+    /// longer be communicated with. `ANY_SOURCE` fails whenever *any*
+    /// member of `comm` is dead (conservative, like ULFM's
+    /// `MPI_ERR_PROC_FAILED_PENDING`: a wildcard might have been
+    /// destined for the dead rank, and reporting beats hanging).
+    pub(crate) fn check_peer_alive(&self, comm: CommHandle, peer: i32) -> Result<()> {
+        if self.failed_ranks.is_empty() {
+            return Ok(());
+        }
+        if peer == ANY_SOURCE {
+            if let Some(&dead) = self
+                .failed_ranks
+                .iter()
+                .find(|&&d| matches!(self.comm_rank_of_world(comm, d), Ok(Some(_))))
+            {
+                return Err(Self::rank_failed_error(dead));
+            }
+            return Ok(());
+        }
+        if peer >= 0 {
+            let world = self.world_rank_of(comm, peer as usize)?;
+            if self.failed_ranks.contains(&world) {
+                return Err(Self::rank_failed_error(world));
+            }
+        }
+        Ok(())
+    }
+
+    /// Error out of an RMA synchronization loop when any member of the
+    /// window's communicator is dead (an epoch cannot close without
+    /// every member's markers).
+    pub(crate) fn rma_check_failed(&self, comm: CommHandle) -> Result<()> {
+        if self.failed_ranks.is_empty() {
+            return Ok(());
+        }
+        if let Some(&dead) = self
+            .failed_ranks
+            .iter()
+            .find(|&&d| matches!(self.comm_rank_of_world(comm, d), Ok(Some(_))))
+        {
+            return Err(Self::rank_failed_error(dead));
+        }
+        Ok(())
+    }
+
+    /// Tear down every outstanding operation so a survivor can
+    /// [`Engine::finalize`] after a peer died: posted receives,
+    /// rendezvous state, collective schedules, persistent definitions
+    /// and windows are dropped, and every incomplete request is marked
+    /// failed so a late `wait` on it errors instead of hanging.
+    pub(crate) fn abort_outstanding(&mut self) {
+        self.posted.clear();
+        self.pending_rendezvous.clear();
+        self.awaiting_rendezvous_data.clear();
+        self.coll_requests.clear();
+        self.persistent_colls.clear();
+        self.windows.clear();
+        let error = MpiError::new(
+            ErrorClass::RankFailed,
+            "operation aborted: the job shut down after a rank failure",
+        );
+        for state in self.requests.values_mut() {
+            let incomplete = matches!(
+                state,
+                RequestState::RecvPending
+                    | RequestState::RecvAwaitingData { .. }
+                    | RequestState::SendPendingRendezvous
+                    | RequestState::PersistentSend {
+                        active: Some(_),
+                        ..
+                    }
+                    | RequestState::PersistentRecv {
+                        active: Some(_),
+                        ..
+                    }
+            );
+            if incomplete {
+                *state = RequestState::Failed(error.clone());
+            }
+        }
+    }
+
+    /// Shared guard for blocking probe loops.
+    pub(crate) fn probe_check_failed(&self, comm: CommHandle, src: i32) -> Result<()> {
+        self.check_peer_alive(comm, src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::COMM_WORLD;
+    use mpi_transport::{DeviceKind, Fabric, FabricConfig, FaultPlan};
+
+    fn fault_pair(plan: &str) -> Vec<Engine> {
+        let lease = Duration::from_millis(40);
+        let eps = Fabric::build(
+            FabricConfig::new(2, DeviceKind::ShmFast)
+                .with_faults(FaultPlan::parse(plan).unwrap())
+                .with_lease(lease),
+        )
+        .unwrap()
+        .into_endpoints();
+        eps.into_iter().map(Engine::new).collect()
+    }
+
+    #[test]
+    fn posted_recv_from_a_dead_rank_fails_instead_of_hanging() {
+        let mut engines = fault_pair("kill:1@1");
+        let mut survivor = engines.remove(0);
+        let req = survivor.irecv(COMM_WORLD, 1, 7, None).unwrap();
+        // Nothing from rank 1 will ever arrive; its death is injected
+        // directly (the transport-level lease path is covered in the
+        // integration suite).
+        survivor.on_rank_failed(1).unwrap();
+        let e = survivor.wait(req).unwrap_err();
+        assert_eq!(e.class, ErrorClass::RankFailed);
+        assert_eq!(survivor.failed_ranks(), vec![1]);
+    }
+
+    #[test]
+    fn new_operations_naming_a_dead_rank_fail_immediately() {
+        let mut engines = fault_pair("kill:1@1");
+        let mut survivor = engines.remove(0);
+        survivor.on_rank_failed(1).unwrap();
+        let e = survivor
+            .isend(COMM_WORLD, 1, 3, b"x", crate::types::SendMode::Standard)
+            .unwrap_err();
+        assert_eq!(e.class, ErrorClass::RankFailed);
+        let e = survivor.irecv(COMM_WORLD, 1, 3, None).unwrap_err();
+        assert_eq!(e.class, ErrorClass::RankFailed);
+        // ANY_SOURCE is conservative: world contains the dead rank.
+        let e = survivor.irecv(COMM_WORLD, ANY_SOURCE, 3, None).unwrap_err();
+        assert_eq!(e.class, ErrorClass::RankFailed);
+        // COMM_SELF does not contain the dead rank; self-traffic still works.
+        assert!(survivor
+            .irecv(crate::comm::COMM_SELF, ANY_SOURCE, 3, None)
+            .is_ok());
+    }
+
+    #[test]
+    fn finalize_succeeds_after_a_failure_with_outstanding_operations() {
+        let mut engines = fault_pair("kill:1@1");
+        let mut survivor = engines.remove(0);
+        let req = survivor.irecv(COMM_WORLD, ANY_SOURCE, 7, None).unwrap();
+        survivor.on_rank_failed(1).unwrap();
+        // The posted receive failed; finalize must clean up, not refuse.
+        survivor.finalize().unwrap();
+        assert!(survivor.is_finalized());
+        let e = survivor.wait(req).unwrap_err();
+        assert_eq!(e.class, ErrorClass::RankFailed);
+    }
+}

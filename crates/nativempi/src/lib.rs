@@ -36,11 +36,13 @@
 //! through it. The object-oriented binding of the paper is implemented in
 //! the `mpijava` crate on top of this engine.
 
+pub mod checkpoint;
 pub mod coll;
 pub mod comm;
 pub mod datatype;
 pub mod env;
 pub mod error;
+pub mod failure;
 pub mod group;
 pub mod ops;
 pub mod p2p;
@@ -195,6 +197,11 @@ pub struct Engine {
     /// every rank, which is what makes the per-window RMA tag channels
     /// line up without communication.
     pub(crate) win_seqs: HashMap<comm::CommHandle, u64>,
+    /// World ranks declared dead (lease expiry or fault-plan kill).
+    /// Membership is permanent; see [`mod@failure`].
+    pub(crate) failed_ranks: std::collections::HashSet<usize>,
+    /// Throttle clock for [`mod@failure`]'s transport liveness polls.
+    pub(crate) last_failure_poll: Option<Instant>,
 }
 
 /// Default payload size (bytes) above which standard-mode sends switch from
@@ -250,6 +257,8 @@ impl Engine {
             windows: HashMap::new(),
             next_win: 1,
             win_seqs: HashMap::new(),
+            failed_ranks: std::collections::HashSet::new(),
+            last_failure_poll: None,
         };
         engine.install_builtin_comms();
         engine
@@ -357,9 +366,20 @@ impl Engine {
     /// The engine checks that no receive is still posted and no rendezvous
     /// is still outstanding, mirroring the standard's requirement that all
     /// pending communication is completed before finalizing.
+    ///
+    /// After a rank failure (or an abort) the usual leak checks would
+    /// refuse forever — a survivor's outstanding operations toward the
+    /// dead rank can never complete — so this path instead tears them
+    /// down and finalizes cleanly (see [`mod@failure`]); requests left
+    /// behind report the failure on a late `wait` instead of hanging.
     pub fn finalize(&mut self) -> Result<()> {
         if self.finalized {
             return error::err(ErrorClass::NotInitialized, "finalize called twice");
+        }
+        if !self.failed_ranks.is_empty() || self.aborted {
+            self.abort_outstanding();
+            self.finalized = true;
+            return Ok(());
         }
         if self.rma_open_epoch() {
             return error::err(

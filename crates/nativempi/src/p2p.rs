@@ -354,6 +354,9 @@ impl Engine {
                 format!("destination rank {dest} out of range for communicator of size {size}"),
             );
         }
+        // Fail fast instead of spooling traffic a dead rank will never
+        // drain (see `crate::failure`).
+        self.check_peer_alive(comm, dest as i32)?;
         if matches!(mode, SendMode::Buffered) {
             let available = self
                 .attached_buffer
@@ -475,6 +478,10 @@ impl Engine {
                 );
             }
         }
+        // A receive that can only (specific source) or might only
+        // (ANY_SOURCE, conservatively) be satisfied by a dead rank fails
+        // at posting time (see `crate::failure`).
+        self.check_peer_alive(comm, src)?;
         let record = self.comm(comm)?;
         let context = if collective {
             record.context_coll
@@ -687,7 +694,10 @@ impl Engine {
         Ok(None)
     }
 
-    /// `MPI_Probe`: block until a matching message is available.
+    /// `MPI_Probe`: block until a matching message is available. Errors
+    /// with [`ErrorClass::RankFailed`] instead of hanging when the probed
+    /// source (or, for `ANY_SOURCE`, any member of `comm`) is declared
+    /// dead (see [`crate::failure`]).
     pub fn probe(&mut self, comm: CommHandle, src: i32, tag: i32) -> Result<StatusInfo> {
         loop {
             if let Some(status) = self.iprobe(comm, src, tag)? {
@@ -696,8 +706,8 @@ impl Engine {
             if self.aborted {
                 return err(ErrorClass::Aborted, "job aborted while probing");
             }
-            let frame = self.endpoint.recv()?;
-            self.on_frame(frame)?;
+            self.probe_check_failed(comm, src)?;
+            self.blocking_pump()?;
         }
     }
 

@@ -47,6 +47,10 @@ pub(crate) enum RequestState {
     SendComplete,
     /// Receive cancelled before it matched.
     Cancelled,
+    /// The operation can never complete — its peer rank was declared
+    /// dead, or the job tore down after a failure (see
+    /// [`crate::failure`]). Complete; claiming it yields the error.
+    Failed(MpiError),
     /// Persistent send definition (inactive between `start`s).
     PersistentSend {
         comm: CommHandle,
@@ -78,7 +82,8 @@ impl Engine {
         Ok(match self.state(req)? {
             RequestState::RecvComplete { .. }
             | RequestState::SendComplete
-            | RequestState::Cancelled => true,
+            | RequestState::Cancelled
+            | RequestState::Failed(_) => true,
             RequestState::PersistentSend { active, .. }
             | RequestState::PersistentRecv { active, .. } => match active {
                 Some(inner) => self.is_complete(*inner)?,
@@ -136,6 +141,7 @@ impl Engine {
                 status.cancelled = true;
                 Ok(Completion { status, data: None })
             }
+            RequestState::Failed(error) => Err(error),
             other => {
                 // Not complete: put it back and report the logic error.
                 self.requests.insert(req.0, other);
@@ -184,8 +190,7 @@ impl Engine {
             if self.aborted {
                 return err(ErrorClass::Aborted, "job aborted while waiting");
             }
-            let frame = self.endpoint.recv()?;
-            self.on_frame(frame)?;
+            self.blocking_pump()?;
         }
     }
 
@@ -229,8 +234,7 @@ impl Engine {
             if self.aborted {
                 return err(ErrorClass::Aborted, "job aborted while waiting");
             }
-            let frame = self.endpoint.recv()?;
-            self.on_frame(frame)?;
+            self.blocking_pump()?;
         }
     }
 
@@ -249,8 +253,7 @@ impl Engine {
             if self.aborted {
                 return err(ErrorClass::Aborted, "job aborted while waiting");
             }
-            let frame = self.endpoint.recv()?;
-            self.on_frame(frame)?;
+            self.blocking_pump()?;
         }
     }
 

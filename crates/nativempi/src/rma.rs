@@ -541,7 +541,11 @@ impl Engine {
             st.fences_started += 1;
             st.unsynced_ops = 0;
         }
+        let comm = self.win_state(win)?.comm;
         loop {
+            // A fence cannot close once any member of the window's
+            // communicator is dead: error instead of spinning forever.
+            self.rma_check_failed(comm)?;
             self.rma_progress()?;
             if self.fence_done(win)? {
                 break;
@@ -581,6 +585,7 @@ impl Engine {
             } else {
                 st.lock.waiters.push_back(my_rank);
                 loop {
+                    self.rma_check_failed(comm)?;
                     self.rma_progress()?;
                     if self.win_state(win)?.lock.granted_self {
                         break;
@@ -635,6 +640,7 @@ impl Engine {
                 .queue
                 .push_back(RmaEntry::Flush { release });
             loop {
+                self.rma_check_failed(comm)?;
                 self.rma_progress()?;
                 if self.win_state(win)?.lock.self_flush_done {
                     break;
@@ -655,6 +661,7 @@ impl Engine {
         // transport-level sends and any get replies from this target
         // (a large reply can trail the ack on the rendezvous path).
         loop {
+            self.rma_check_failed(comm)?;
             self.rma_progress()?;
             let st = self.win_state(win)?;
             let sends_done = st.send_reqs.is_empty();

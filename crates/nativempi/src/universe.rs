@@ -7,8 +7,12 @@
 //! faithful stand-in for its two-workstation Distributed-Memory mode.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::Duration;
 
-use mpi_transport::{DeviceKind, DeviceProfile, Fabric, FabricConfig, NetworkModel, NodeMap};
+use mpi_transport::{
+    DeviceKind, DeviceProfile, Fabric, FabricConfig, FaultPlan, NetworkModel, NodeMap,
+};
 
 use crate::comm::COMM_WORLD;
 use crate::error::{ErrorClass, MpiError, Result};
@@ -55,6 +59,21 @@ pub struct UniverseConfig {
     /// that share the engine behind a lock (`MpiRuntime`); here it is
     /// carried for them to consume.
     pub progress: Option<crate::env::ProgressMode>,
+    /// Persistent spool root for the [`DeviceKind::Spool`] device (`None`
+    /// falls back to the `MPIJAVA_SPOOL_DIR` environment override, then
+    /// to an ephemeral per-job temp directory). A persistent root is the
+    /// substrate for late-join and checkpoint/restart.
+    pub spool_dir: Option<PathBuf>,
+    /// Heartbeat lease for failure detection (`None` falls back to the
+    /// `MPIJAVA_LEASE_MS` environment override, then to
+    /// [`mpi_transport::DEFAULT_LEASE`]). A rank whose lease goes
+    /// unrefreshed for longer than this is reported dead to its peers.
+    pub lease: Option<Duration>,
+    /// Deterministic fault-injection plan (`None` falls back to the
+    /// `MPIJAVA_FAULT` environment override, then to no faults). Testing
+    /// tool: kills a rank's transport at a chosen operation, or
+    /// drops/delays chosen frames.
+    pub faults: Option<FaultPlan>,
 }
 
 impl UniverseConfig {
@@ -73,6 +92,9 @@ impl UniverseConfig {
             inter_network: NetworkModel::unshaped(),
             processor_name_prefix: None,
             progress: None,
+            spool_dir: None,
+            lease: None,
+            faults: None,
         }
     }
 
@@ -133,6 +155,28 @@ impl UniverseConfig {
         self
     }
 
+    /// Keep spooled frames under `dir` across process lifetimes (spool
+    /// device). Takes precedence over the `MPIJAVA_SPOOL_DIR`
+    /// environment override.
+    pub fn with_spool_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spool_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the heartbeat lease for failure detection. Takes precedence
+    /// over the `MPIJAVA_LEASE_MS` environment override.
+    pub fn with_lease(mut self, lease: Duration) -> Self {
+        self.lease = Some(lease);
+        self
+    }
+
+    /// Inject a deterministic fault plan (testing). Takes precedence
+    /// over the `MPIJAVA_FAULT` environment override.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// The placement this configuration resolves to: the explicit map,
     /// else the `MPIJAVA_NODES` environment override, else flat.
     pub fn resolved_nodes(&self) -> NodeMap {
@@ -148,6 +192,33 @@ impl UniverseConfig {
     pub fn resolved_progress(&self) -> crate::env::ProgressMode {
         self.progress
             .or_else(crate::env::progress_from_env)
+            .unwrap_or_default()
+    }
+
+    /// The spool root this configuration resolves to: the explicit path,
+    /// else the `MPIJAVA_SPOOL_DIR` environment override, else `None`
+    /// (ephemeral).
+    pub fn resolved_spool_dir(&self) -> Option<PathBuf> {
+        self.spool_dir
+            .clone()
+            .or_else(crate::env::spool_dir_from_env)
+    }
+
+    /// The heartbeat lease this configuration resolves to: the explicit
+    /// value, else the `MPIJAVA_LEASE_MS` environment override, else
+    /// [`mpi_transport::DEFAULT_LEASE`].
+    pub fn resolved_lease(&self) -> Duration {
+        self.lease
+            .or_else(crate::env::lease_from_env)
+            .unwrap_or(mpi_transport::DEFAULT_LEASE)
+    }
+
+    /// The fault plan this configuration resolves to: the explicit plan,
+    /// else the `MPIJAVA_FAULT` environment override, else no faults.
+    pub fn resolved_faults(&self) -> FaultPlan {
+        self.faults
+            .clone()
+            .or_else(crate::env::faults_from_env)
             .unwrap_or_default()
     }
 }
@@ -180,12 +251,17 @@ impl Universe {
                 "universe size must be at least 1",
             ));
         }
-        let fabric_config = FabricConfig::new(config.size, config.device)
+        let mut fabric_config = FabricConfig::new(config.size, config.device)
             .with_network(config.network)
             .with_profile(config.profile)
             .with_nodes(config.resolved_nodes())
             .with_inter_network(config.inter_network)
-            .with_inter_profile(config.inter_profile);
+            .with_inter_profile(config.inter_profile)
+            .with_lease(config.resolved_lease())
+            .with_faults(config.resolved_faults());
+        if let Some(dir) = config.resolved_spool_dir() {
+            fabric_config = fabric_config.with_spool_dir(dir);
+        }
         let endpoints = Fabric::build(fabric_config)?.into_endpoints();
         let f = &f;
         let config = &config;
@@ -238,6 +314,24 @@ impl Universe {
         });
 
         results.into_iter().collect()
+    }
+
+    /// Write a checkpoint record for `engine`'s rank (see
+    /// [`Engine::checkpoint`]). Only meaningful over a persistent
+    /// [`DeviceKind::Spool`] fabric — on every other device this errors
+    /// with [`ErrorClass::Unsupported`].
+    pub fn checkpoint(engine: &mut Engine) -> Result<PathBuf> {
+        engine.checkpoint()
+    }
+
+    /// Rebuild a rank's engine from the checkpoint record in its spool
+    /// (see [`Engine::restore`]). Pair with
+    /// [`mpi_transport::spool::SpoolDevice::attach`] to re-join a
+    /// persistent spool after a crash: the restored engine's allocators
+    /// resume past every checkpointed counter and pending frames are
+    /// still in the inbox, ready to drain.
+    pub fn restore(endpoint: Box<dyn mpi_transport::Endpoint>) -> Result<Engine> {
+        Engine::restore(endpoint)
     }
 }
 
@@ -330,6 +424,47 @@ mod tests {
     fn mismatched_node_map_is_rejected_at_launch() {
         let config = UniverseConfig::new(4, DeviceKind::Hybrid).with_nodes(NodeMap::regular(2, 3));
         assert!(Universe::run_with_config(config, |_| ()).is_err());
+    }
+
+    #[test]
+    fn works_over_the_spool_device() {
+        Universe::run(2, DeviceKind::Spool, |engine| {
+            let rank = engine.world_rank();
+            let peer = (1 - rank) as i32;
+            let (data, _) = engine
+                .sendrecv(
+                    crate::comm::COMM_WORLD,
+                    peer,
+                    5,
+                    &[rank as u8; 8],
+                    peer,
+                    5,
+                    None,
+                )
+                .unwrap();
+            assert!(data.iter().all(|&b| b == (1 - rank) as u8));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn config_resolves_spool_lease_and_faults() {
+        let config = UniverseConfig::new(2, DeviceKind::Spool)
+            .with_spool_dir("/tmp/spool-x")
+            .with_lease(Duration::from_millis(42))
+            .with_faults(FaultPlan::parse("drop:0->1@1").unwrap());
+        assert_eq!(
+            config.resolved_spool_dir(),
+            Some(PathBuf::from("/tmp/spool-x"))
+        );
+        assert_eq!(config.resolved_lease(), Duration::from_millis(42));
+        assert_eq!(config.resolved_faults().actions.len(), 1);
+
+        // Defaults: no spool dir, the stock lease, no faults.
+        let plain = UniverseConfig::new(2, DeviceKind::ShmFast);
+        assert_eq!(plain.resolved_spool_dir(), None);
+        assert_eq!(plain.resolved_lease(), mpi_transport::DEFAULT_LEASE);
+        assert!(plain.resolved_faults().is_empty());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Error type shared by all transport devices.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, TransportError>;
@@ -18,6 +19,14 @@ pub enum TransportError {
     Io(std::io::Error),
     /// A frame arrived with a malformed header (TCP framing only).
     Corrupt(String),
+    /// A peer rank was declared dead: its heartbeat lease expired (spool
+    /// device) or a fault-injection plan killed it (see [`crate::fault`]).
+    /// Operations that require the dead rank fail with this instead of
+    /// hanging.
+    RankFailed { rank: usize },
+    /// A bounded wait ran out of time (e.g. a late-joining rank waiting
+    /// for its spool directory to appear).
+    Timeout { waited: Duration },
 }
 
 impl fmt::Display for TransportError {
@@ -30,6 +39,12 @@ impl fmt::Display for TransportError {
             TransportError::Disconnected => write!(f, "transport disconnected"),
             TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
             TransportError::Corrupt(msg) => write!(f, "corrupt frame: {msg}"),
+            TransportError::RankFailed { rank } => {
+                write!(f, "rank {rank} failed (heartbeat lease expired or killed)")
+            }
+            TransportError::Timeout { waited } => {
+                write!(f, "transport wait timed out after {waited:?}")
+            }
         }
     }
 }
@@ -64,6 +79,21 @@ mod tests {
         assert!(TransportError::InvalidConfig("x".into())
             .to_string()
             .contains("invalid"));
+    }
+
+    #[test]
+    fn rank_failed_and_timeout_display_their_details() {
+        let e = TransportError::RankFailed { rank: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains("failed"));
+        // Failure variants carry no inner error to chain.
+        assert!(std::error::Error::source(&e).is_none());
+        let t = TransportError::Timeout {
+            waited: Duration::from_millis(250),
+        };
+        let msg = t.to_string();
+        assert!(msg.contains("timed out") && msg.contains("250"));
+        assert!(std::error::Error::source(&t).is_none());
     }
 
     #[test]

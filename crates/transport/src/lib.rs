@@ -24,6 +24,13 @@
 //!   jobs: a [`NodeMap`] places ranks on nodes, intra-node traffic takes
 //!   the shm-class path and inter-node traffic the modelled link, each
 //!   class with its own [`DeviceProfile`]/[`NetworkModel`].
+//! * [`spool::SpoolDevice`] — a MatlabMPI-style file-spool device:
+//!   frames are files published by atomic rename into per-rank inbox
+//!   directories, with heartbeat lease files providing failure
+//!   detection and natural persistence (checkpoint/restart, late join).
+//! * [`fault::FaultEndpoint`] — a deterministic fault-injection wrapper
+//!   (kill/drop/delay) available on every device via
+//!   [`FabricConfig::with_faults`].
 //!
 //! All devices expose the same [`Endpoint`] interface: ordered,
 //! reliable point-to-point delivery of [`frame::Frame`]s between a fixed
@@ -32,6 +39,7 @@
 //! exactly as a real MPI implementation layers matching over its devices.
 
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod hybrid;
 pub mod mailbox;
@@ -40,15 +48,25 @@ pub mod nodemap;
 pub mod p4;
 pub mod ring;
 pub mod shm;
+pub mod spool;
 pub mod tcp;
 
 pub use error::{Result, TransportError};
+pub use fault::{FaultAction, FaultPlan};
 pub use frame::{Frame, FrameHeader, FrameKind};
 pub use netmodel::NetworkModel;
 pub use nodemap::NodeMap;
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Default heartbeat lease: a rank whose lease file has not been renewed
+/// for this long is declared dead by its peers (spool device; also the
+/// delay fault-injected kills take to become visible to survivors).
+/// Tunable per fabric via [`FabricConfig::with_lease`] and, at the engine
+/// layer, via the `MPIJAVA_LEASE_MS` environment variable.
+pub const DEFAULT_LEASE: Duration = Duration::from_millis(1000);
 
 /// Which device backs a fabric. Mirrors the paper's platforms:
 /// `ShmFast` ~ WMPI shared memory, `ShmP4` ~ MPICH/ch_p4 on one host,
@@ -66,6 +84,11 @@ pub enum DeviceKind {
     /// inter-node traffic over a modelled network link, routed by the
     /// fabric's [`NodeMap`] (see [`hybrid`]).
     Hybrid,
+    /// File-spool device: frames are files in a shared spool directory,
+    /// published by atomic rename, with per-rank heartbeat lease files
+    /// for failure detection (see [`spool`]). The persistence substrate
+    /// for checkpoint/restart and late-joining ranks.
+    Spool,
 }
 
 impl DeviceKind {
@@ -77,6 +100,7 @@ impl DeviceKind {
             DeviceKind::ShmP4 => "shm-p4",
             DeviceKind::Tcp => "tcp",
             DeviceKind::Hybrid => "hybrid",
+            DeviceKind::Spool => "spool",
         }
     }
 }
@@ -169,6 +193,18 @@ pub struct FabricConfig {
     pub inter_network: NetworkModel,
     /// Capacity (in frames) of each rank's inbox before senders block.
     pub inbox_capacity: usize,
+    /// Spool root directory ([`DeviceKind::Spool`] only). `None` means a
+    /// fresh per-fabric directory under the system temp dir, removed when
+    /// the last endpoint drops; an explicit path persists after the run
+    /// (this is what checkpoint/restart and late-join tests rely on).
+    pub spool_dir: Option<PathBuf>,
+    /// Heartbeat lease: a rank silent for longer than this is declared
+    /// dead by [`Endpoint::poll_failures`]. See [`DEFAULT_LEASE`].
+    pub lease: Duration,
+    /// Deterministic fault-injection plan (see [`fault`]). Empty by
+    /// default; when non-empty every endpoint of the fabric is wrapped in
+    /// a [`fault::FaultEndpoint`].
+    pub faults: FaultPlan,
 }
 
 impl FabricConfig {
@@ -183,6 +219,9 @@ impl FabricConfig {
             inter_profile: DeviceProfile::default(),
             inter_network: NetworkModel::unshaped(),
             inbox_capacity: 64 * 1024,
+            spool_dir: None,
+            lease: DEFAULT_LEASE,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -213,6 +252,26 @@ impl FabricConfig {
     /// Attach an inter-node link model (hybrid device).
     pub fn with_inter_network(mut self, network: NetworkModel) -> Self {
         self.inter_network = network;
+        self
+    }
+
+    /// Attach an explicit spool root directory (spool device). The
+    /// directory persists after the run, unlike the default ephemeral
+    /// temp directory.
+    pub fn with_spool_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spool_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the heartbeat lease driving failure detection.
+    pub fn with_lease(mut self, lease: Duration) -> Self {
+        self.lease = lease;
+        self
+    }
+
+    /// Attach a deterministic fault-injection plan (see [`fault`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -247,6 +306,19 @@ pub trait Endpoint: Send {
     /// queries and the hierarchical collective tuning read this; only
     /// the hybrid device also routes by it).
     fn node_map(&self) -> &NodeMap;
+    /// Ranks this endpoint has observed to be dead (heartbeat lease
+    /// expired, or killed by a fault plan). Cheap enough to call from a
+    /// progress loop; devices without failure detection return nothing.
+    /// A rank reported once stays dead — there is no resurrection.
+    fn poll_failures(&self) -> Vec<usize> {
+        Vec::new()
+    }
+    /// Spool root directory backing this endpoint, if any (spool device
+    /// only). The engine's checkpoint/restart layer writes its state
+    /// under this root.
+    fn spool_dir(&self) -> Option<&std::path::Path> {
+        None
+    }
 }
 
 /// A fully-connected set of endpoints over one device.
@@ -272,6 +344,14 @@ impl Fabric {
                 config.size
             )));
         }
+        if let Some(max) = config.faults.max_rank() {
+            if max >= config.size {
+                return Err(TransportError::InvalidConfig(format!(
+                    "fault plan names rank {max} but the fabric has {} ranks",
+                    config.size
+                )));
+            }
+        }
         let endpoints: Vec<Box<dyn Endpoint>> = match config.kind {
             DeviceKind::ShmFast => shm::ShmDevice::build(&config)?
                 .into_iter()
@@ -289,6 +369,15 @@ impl Fabric {
                 .into_iter()
                 .map(|e| Box::new(e) as Box<dyn Endpoint>)
                 .collect(),
+            DeviceKind::Spool => spool::SpoolDevice::build(&config)?
+                .into_iter()
+                .map(|e| Box::new(e) as Box<dyn Endpoint>)
+                .collect(),
+        };
+        let endpoints = if config.faults.is_empty() {
+            endpoints
+        } else {
+            fault::FaultEndpoint::wrap(endpoints, config.faults.clone(), config.lease)
         };
         Ok(Fabric {
             endpoints,
@@ -326,6 +415,7 @@ mod tests {
             DeviceKind::ShmP4.label(),
             DeviceKind::Tcp.label(),
             DeviceKind::Hybrid.label(),
+            DeviceKind::Spool.label(),
         ];
         assert_eq!(
             labels.len(),

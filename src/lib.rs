@@ -13,7 +13,9 @@ use mpijava::{DeviceKind, MpiRuntime, NodeMap};
 /// (§3.4 runs the whole suite in both) plus the multi-fabric hybrid
 /// configuration (ranks block-split across two nodes; intra-node
 /// traffic over the shm-class path, inter-node over the modelled link,
-/// with the tuned selector auto-picking the hierarchical collectives).
+/// with the tuned selector auto-picking the hierarchical collectives)
+/// and the fault-tolerant spool device (filesystem frames with
+/// heartbeat leases — the failure-detection substrate).
 pub fn test_runtimes(size: usize) -> Vec<(&'static str, MpiRuntime)> {
     vec![
         ("SM/shm-fast", MpiRuntime::new(size)),
@@ -25,6 +27,7 @@ pub fn test_runtimes(size: usize) -> Vec<(&'static str, MpiRuntime)> {
                 .device(DeviceKind::Hybrid)
                 .nodes(NodeMap::split(size, 2)),
         ),
+        ("FT/spool", MpiRuntime::new(size).device(DeviceKind::Spool)),
     ]
 }
 
@@ -46,10 +49,11 @@ mod tests {
     #[test]
     fn runtimes_cover_both_modes() {
         let runtimes = test_runtimes(2);
-        assert_eq!(runtimes.len(), 4);
+        assert_eq!(runtimes.len(), 5);
         assert!(runtimes.iter().any(|(name, _)| name.starts_with("SM")));
         assert!(runtimes.iter().any(|(name, _)| name.starts_with("DM")));
         assert!(runtimes.iter().any(|(name, _)| name.starts_with("MM")));
+        assert!(runtimes.iter().any(|(name, _)| name.starts_with("FT")));
     }
 
     #[test]
