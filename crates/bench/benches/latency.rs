@@ -25,6 +25,7 @@ fn bench_table1_sm(c: &mut Criterion) {
                     sizes: vec![1],
                     reps: 50,
                     warmup: 5,
+                    trace: None,
                 })
             });
         });

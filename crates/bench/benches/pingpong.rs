@@ -22,6 +22,7 @@ fn spec(stack: Stack, mode: Mode, size: usize) -> PingPongSpec {
         sizes: vec![size],
         reps: 20,
         warmup: 2,
+        trace: None,
     }
 }
 

@@ -246,6 +246,7 @@ fn ablation_collectives() {
         reps: 10,
         warmup: 3,
         link: mpi_bench::collbench::modelled_link(),
+        trace_modes: Vec::new(),
     };
     let records = run_suite(&spec, |_| ());
     for op in ["bcast", "allreduce", "allgather", "barrier"] {

@@ -89,6 +89,11 @@ fn main() {
             algorithms: vec![None, Some(mpijava::CollAlgorithm::BinomialTree)],
             payloads: vec![4 * 1024],
             link: mpijava::DeviceProfile::free(),
+            trace_modes: vec![
+                mpijava::TraceMode::Off,
+                mpijava::TraceMode::Counters,
+                mpijava::TraceMode::Events,
+            ],
         }
     } else {
         CollBenchSpec {

@@ -47,6 +47,7 @@ fn main() {
                     reps
                 },
                 warmup: 5,
+                trace: None,
             };
             let points = run_pingpong(&spec);
             entries.push((stack, points[0].one_way_us));

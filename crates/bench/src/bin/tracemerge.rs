@@ -1,0 +1,53 @@
+//! Merge per-rank `trace-rank*.jsonl` dumps (written by
+//! `MPIJAVA_TRACE=events` runs at finalize) into one Chrome
+//! `trace_event` JSON timeline — one track per rank, wall-clock
+//! aligned — loadable in `chrome://tracing` or Perfetto.
+//!
+//! ```text
+//! cargo run --release -p mpi-bench --bin tracemerge -- TRACE_DIR [-o OUT.json]
+//! ```
+//!
+//! `TRACE_DIR` is the directory holding the per-rank dumps (the
+//! `MPIJAVA_TRACE_DIR`, or `<spool>/trace` on the spool device).
+//! Default output is `TRACE_DIR/trace.json`. The merged file is
+//! re-parsed before being reported, so a zero exit status means the
+//! output is well-formed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mpi_bench::tracemerge::merge_dir_to_file;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let dir = match args.get(1).filter(|a| !a.starts_with('-')) {
+        Some(dir) => PathBuf::from(dir),
+        None => {
+            eprintln!("usage: tracemerge TRACE_DIR [-o OUT.json]");
+            return ExitCode::from(2);
+        }
+    };
+    let out = args
+        .iter()
+        .position(|a| a == "-o" || a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| dir.join("trace.json"));
+
+    match merge_dir_to_file(&dir, &out) {
+        Ok(summary) => {
+            println!(
+                "{}: {} events across {} rank track(s): {}",
+                out.display(),
+                summary.events,
+                summary.tracks.len(),
+                summary.names.iter().cloned().collect::<Vec<_>>().join(", ")
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("tracemerge: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

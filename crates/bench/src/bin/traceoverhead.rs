@@ -1,0 +1,91 @@
+//! CI gate for the observability subsystem's overhead claims: on the
+//! shared-memory PingPong (the paper's §4.2 microbenchmark, wrapper
+//! stack), tracing must be effectively free when `off` and cheap when
+//! `counters`.
+//!
+//! ```text
+//! cargo run --release -p mpi-bench --bin traceoverhead [-- REPS]
+//! ```
+//!
+//! Method: the 1-byte latency (the regime where a per-message hook cost
+//! would show) is measured round-robin — baseline `off`, a second
+//! independent `off`, `counters`, `events` — for several rounds, and
+//! each mode keeps its best (minimum) time. Gating on minima of
+//! interleaved rounds cancels warm-up and host-load drift. Gates:
+//!
+//! * `off` vs `off` baseline within **3%** — the branch-on-enum hooks
+//!   must leave the disabled path at measurement-noise cost;
+//! * `counters` vs `off` within **10%** — two clock reads and a
+//!   histogram bucket per message;
+//! * `events` is reported (ring writes are bounded but not gated here;
+//!   the trace smoke covers correctness).
+
+use mpi_bench::{run_pingpong, Mode, PingPongSpec, Stack};
+use mpijava::TraceConfig;
+
+const ROUNDS: usize = 7;
+const OFF_TOLERANCE: f64 = 1.03;
+const COUNTERS_TOLERANCE: f64 = 1.10;
+
+fn one_byte_latency_us(trace: TraceConfig, reps: usize) -> f64 {
+    let spec = PingPongSpec::new(Stack::WmpiJava, Mode::SharedMemory)
+        .cap_size(1)
+        .reps(reps)
+        .trace(trace);
+    run_pingpong(&spec)[0].one_way_us
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("REPS must be a number"))
+        .unwrap_or(2000);
+
+    let mut best = [f64::INFINITY; 4];
+    let modes = [
+        ("off (baseline)", TraceConfig::off()),
+        ("off", TraceConfig::off()),
+        ("counters", TraceConfig::counters()),
+        ("events", TraceConfig::events()),
+    ];
+    for round in 0..ROUNDS {
+        for (slot, (_, trace)) in modes.iter().enumerate() {
+            let us = one_byte_latency_us(*trace, reps);
+            if us < best[slot] {
+                best[slot] = us;
+            }
+        }
+        println!(
+            "round {}/{ROUNDS}: best us/msg = {:.3} | {:.3} | {:.3} | {:.3}",
+            round + 1,
+            best[0],
+            best[1],
+            best[2],
+            best[3]
+        );
+    }
+
+    let baseline = best[0];
+    for (slot, (label, _)) in modes.iter().enumerate().skip(1) {
+        println!(
+            "{label:>14}: {:.3} us/msg ({:+.1}% vs baseline)",
+            best[slot],
+            (best[slot] / baseline - 1.0) * 100.0
+        );
+    }
+    let off_ratio = best[1] / baseline;
+    let counters_ratio = best[2] / baseline;
+    assert!(
+        off_ratio <= OFF_TOLERANCE,
+        "off-mode pingpong regressed: {off_ratio:.3}x the off baseline (gate {OFF_TOLERANCE}x)"
+    );
+    assert!(
+        counters_ratio <= COUNTERS_TOLERANCE,
+        "counters-mode pingpong costs {counters_ratio:.3}x the off baseline (gate {COUNTERS_TOLERANCE}x)"
+    );
+    println!(
+        "gate passed: off within {:.0}%, counters within {:.0}%",
+        (OFF_TOLERANCE - 1.0) * 100.0,
+        (COUNTERS_TOLERANCE - 1.0) * 100.0
+    );
+}

@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 
 use mpijava::{
     CollAlgorithm, Datatype, DeviceKind, DeviceProfile, MpiRuntime, NetworkModel, NodeMap, Op,
-    ProgressMode,
+    ProgressMode, TraceConfig, TraceMode,
 };
 
 /// Modelled link cost per payload byte (4 ns/B ≈ a 256 MB/s link — the
@@ -89,6 +89,9 @@ pub struct CollRecord {
     pub us_per_op: f64,
     /// Modelled link cost applied during the run (0 = raw wall clock).
     pub link_ns_per_byte: f64,
+    /// Observability mode pinned during the run (`off`, `counters`,
+    /// `events`) — the trace-overhead axis.
+    pub trace_mode: String,
 }
 
 /// One measured cell of the communication/computation overlap bench:
@@ -377,6 +380,11 @@ pub struct CollBenchSpec {
     /// Synthetic link model charged per frame ([`modelled_link`] by
     /// default; [`DeviceProfile::free`] for raw wall clock).
     pub link: DeviceProfile,
+    /// Observability modes for the `trace_mode` axis: the tuned
+    /// allreduce re-measured under each mode at one representative
+    /// payload (the main sweep itself is pinned to `off`). Empty
+    /// disables the axis.
+    pub trace_modes: Vec<TraceMode>,
 }
 
 impl Default for CollBenchSpec {
@@ -396,6 +404,7 @@ impl Default for CollBenchSpec {
             reps: 10,
             warmup: 3,
             link: modelled_link(),
+            trace_modes: vec![TraceMode::Off, TraceMode::Counters, TraceMode::Events],
         }
     }
 }
@@ -427,11 +436,16 @@ pub fn measure(
     reps: usize,
     warmup: usize,
     link: DeviceProfile,
+    trace: TraceConfig,
 ) -> f64 {
+    // Pinned per cell so an ambient MPIJAVA_TRACE cannot relabel a row
+    // (same rule as the algorithm axis: every row measures what it
+    // names).
     let mut runtime = MpiRuntime::new(ranks)
         .device(device)
         .profile(link)
-        .eager_threshold(1 << 20);
+        .eager_threshold(1 << 20)
+        .trace(trace);
     if let Some(alg) = alg {
         runtime = runtime.coll_algorithm(alg);
     }
@@ -648,6 +662,7 @@ pub fn run_hier_suite(
                         ranks: spec.ranks,
                         us_per_op: us,
                         link_ns_per_byte: 1e9 / modelled_internode_link().peak_bandwidth(),
+                        trace_mode: TraceMode::Off.label().to_string(),
                     };
                     progress(&record);
                     records.push(record);
@@ -684,6 +699,7 @@ pub fn run_suite(spec: &CollBenchSpec, mut progress: impl FnMut(&CollRecord)) ->
                         spec.reps,
                         spec.warmup,
                         spec.link,
+                        TraceConfig::off(),
                     );
                     let record = CollRecord {
                         op: op.to_string(),
@@ -693,11 +709,48 @@ pub fn run_suite(spec: &CollBenchSpec, mut progress: impl FnMut(&CollRecord)) ->
                         ranks: spec.ranks,
                         us_per_op: us,
                         link_ns_per_byte: spec.link.per_byte_cost_ns,
+                        trace_mode: TraceMode::Off.label().to_string(),
                     };
                     progress(&record);
                     records.push(record);
                 }
             }
+        }
+    }
+    // The trace_mode axis: the tuned allreduce at one representative
+    // payload, re-measured under each observability mode (including a
+    // fresh `off` cell so all three share one host regime).
+    if !spec.trace_modes.is_empty() {
+        let device = spec.devices[0];
+        let payload = spec.payloads[spec.payloads.len() / 2];
+        for &mode in &spec.trace_modes {
+            let trace = TraceConfig {
+                mode,
+                ..TraceConfig::default()
+            };
+            let us = measure(
+                "allreduce",
+                device,
+                None,
+                spec.ranks,
+                payload,
+                spec.reps,
+                spec.warmup,
+                spec.link,
+                trace,
+            );
+            let record = CollRecord {
+                op: "allreduce".to_string(),
+                device: device.label().to_string(),
+                algorithm: algorithm_label(None),
+                payload_bytes: payload,
+                ranks: spec.ranks,
+                us_per_op: us,
+                link_ns_per_byte: spec.link.per_byte_cost_ns,
+                trace_mode: mode.label().to_string(),
+            };
+            progress(&record);
+            records.push(record);
         }
     }
     records
@@ -720,7 +773,7 @@ pub fn to_json(
         out.push_str(&format!(
             "  {{\"op\": \"{}\", \"device\": \"{}\", \"algorithm\": \"{}\", \
              \"payload_bytes\": {}, \"ranks\": {}, \"us_per_op\": {:.3}, \
-             \"link_ns_per_byte\": {}}}{}\n",
+             \"link_ns_per_byte\": {}, \"trace_mode\": \"{}\"}}{}\n",
             r.op,
             r.device,
             r.algorithm,
@@ -728,6 +781,7 @@ pub fn to_json(
             r.ranks,
             r.us_per_op,
             r.link_ns_per_byte,
+            r.trace_mode,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -802,6 +856,7 @@ mod tests {
                 ranks: 8,
                 us_per_op: 12.345,
                 link_ns_per_byte: 1.0,
+                trace_mode: "off".into(),
             },
             CollRecord {
                 op: "barrier".into(),
@@ -811,6 +866,7 @@ mod tests {
                 ranks: 8,
                 us_per_op: 3.0,
                 link_ns_per_byte: 0.0,
+                trace_mode: "counters".into(),
             },
         ];
         let overlap = vec![OverlapRecord {
@@ -842,6 +898,7 @@ mod tests {
         assert!(json.contains("\"payload_bytes\": 65536"));
         assert!(json.contains("\"us_per_op\": 12.345"));
         assert!(json.contains("\"link_ns_per_byte\": 1"));
+        assert!(json.contains("\"trace_mode\": \"counters\""));
         assert!(json.contains("\"overlap\": ["));
         assert!(json.contains("\"op\": \"iallreduce\""));
         assert!(json.contains("\"progress\": \"thread\""));
@@ -912,12 +969,17 @@ mod tests {
             reps: 2,
             warmup: 1,
             link: DeviceProfile::free(),
+            trace_modes: vec![TraceMode::Off, TraceMode::Events],
         };
         let records = run_suite(&spec, |_| ());
         // auto covers all 4 ops; the pinned binomial tree implements
         // barrier/bcast/allreduce but not allgather, whose cell must be
-        // skipped rather than mislabeled: 4 + 3 = 7 cells.
-        assert_eq!(records.len(), 7);
+        // skipped rather than mislabeled: 4 + 3 = 7 cells, plus the two
+        // trace-axis allreduce cells.
+        assert_eq!(records.len(), 9);
+        assert!(records
+            .iter()
+            .any(|r| r.trace_mode == "events" && r.op == "allreduce"));
         assert!(records.iter().all(|r| r.us_per_op > 0.0));
         assert!(records.iter().any(|r| r.algorithm == "auto"));
         assert!(records

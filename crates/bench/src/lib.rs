@@ -38,6 +38,7 @@ pub mod linpack;
 pub mod p2pbench;
 pub mod pingpong;
 pub mod report;
+pub mod tracemerge;
 
 pub use collbench::{run_suite as run_collective_suite, CollBenchSpec, CollRecord};
 pub use halobench::{run_halo_suite, HaloBenchSpec, HaloFabric, HaloMethod, HaloRecord};
@@ -45,3 +46,7 @@ pub use linpack::{linpack_compiled, linpack_interpreted, LinpackResult};
 pub use p2pbench::{run_suite as run_p2p_suite, P2pBenchSpec, P2pRecord};
 pub use pingpong::{run_pingpong, Calibration, Mode, PingPongPoint, PingPongSpec, Stack};
 pub use report::{format_bandwidth_table, format_table1, Series};
+pub use tracemerge::{
+    load_trace_dir, merge as merge_traces, merge_dir_to_file, parse_rank_trace,
+    validate_chrome_trace, ChromeSummary, RankTrace,
+};

@@ -31,7 +31,7 @@
 use std::time::Instant;
 
 use bytes::Bytes;
-use mpi_native::{SendMode, Universe, UniverseConfig, COMM_WORLD};
+use mpi_native::{SendMode, TraceConfig, TraceMode, Universe, UniverseConfig, COMM_WORLD};
 use mpi_transport::DeviceKind;
 
 /// Which copy chain a measurement exercises (see the module docs).
@@ -67,6 +67,9 @@ pub struct P2pRecord {
     pub eager_limit: usize,
     /// Pipeline segment size (0 = segmentation off).
     pub segment_bytes: usize,
+    /// Observability mode pinned during the run (`off`, `counters`,
+    /// `events`) — the trace-overhead axis.
+    pub trace_mode: String,
     /// One-way microseconds per message (ping-pong round trip / 2).
     pub us_per_msg: f64,
     /// One-way bandwidth in MB/s.
@@ -88,6 +91,11 @@ pub struct P2pBenchSpec {
     pub warmup: usize,
     /// Segment size used by the `segmented` datapath.
     pub segment_bytes: usize,
+    /// Observability modes for the `trace_mode` axis: the zerocopy
+    /// datapath re-measured under each mode at one representative
+    /// payload (the main sweep itself is pinned to `off`). Empty
+    /// disables the axis.
+    pub trace_modes: Vec<TraceMode>,
 }
 
 impl Default for P2pBenchSpec {
@@ -100,6 +108,7 @@ impl Default for P2pBenchSpec {
             reps: 64,
             warmup: 4,
             segment_bytes: 64 * 1024,
+            trace_modes: vec![TraceMode::Off, TraceMode::Counters, TraceMode::Events],
         }
     }
 }
@@ -116,6 +125,7 @@ impl P2pBenchSpec {
             reps: 4,
             warmup: 1,
             segment_bytes: 64 * 1024,
+            trace_modes: vec![TraceMode::Off, TraceMode::Counters, TraceMode::Events],
         }
     }
 }
@@ -130,6 +140,7 @@ pub fn reps_for(payload: usize, base: usize) -> usize {
 /// Measure one cell: one-way seconds per message over a rank-0 ↔ rank-1
 /// ping-pong (both directions run the same datapath, so a round trip is
 /// two one-way transfers).
+#[allow(clippy::too_many_arguments)]
 pub fn measure(
     device: DeviceKind,
     datapath: Datapath,
@@ -138,8 +149,13 @@ pub fn measure(
     payload_bytes: usize,
     reps: usize,
     warmup: usize,
+    trace: TraceConfig,
 ) -> f64 {
-    let config = UniverseConfig::new(2, device).with_eager_threshold(eager_limit);
+    // The trace mode is pinned per cell for the same reason segmentation
+    // is below: an ambient MPIJAVA_TRACE must not relabel a cell.
+    let config = UniverseConfig::new(2, device)
+        .with_eager_threshold(eager_limit)
+        .with_trace(trace);
     // Segmentation is pinned per cell *inside* the closure (not via the
     // config, which can only enable it): an ambient MPIJAVA_SEGMENT_BYTES
     // in the developer's environment must not silently turn the zerocopy
@@ -242,6 +258,7 @@ pub fn run_suite(spec: &P2pBenchSpec, mut progress: impl FnMut(&P2pRecord)) -> V
                                 payload,
                                 reps,
                                 spec.warmup,
+                                TraceConfig::off(),
                             )
                         })
                         .fold(f64::INFINITY, f64::min);
@@ -255,6 +272,7 @@ pub fn run_suite(spec: &P2pBenchSpec, mut progress: impl FnMut(&P2pRecord)) -> V
                         } else {
                             0
                         },
+                        trace_mode: TraceMode::Off.label().to_string(),
                         us_per_msg: best * 1e6,
                         mb_per_s: payload as f64 / best / 1e6,
                     };
@@ -262,6 +280,49 @@ pub fn run_suite(spec: &P2pBenchSpec, mut progress: impl FnMut(&P2pRecord)) -> V
                     records.push(record);
                 }
             }
+        }
+    }
+    // The trace_mode axis: the zerocopy datapath at one representative
+    // payload, re-measured under each observability mode so the JSON
+    // carries the overhead trajectory of the trace subsystem. Only the
+    // `off` cell duplicates a main-sweep shape; it is re-measured here
+    // anyway so all three cells share one host regime.
+    if !spec.trace_modes.is_empty() {
+        let device = spec.devices[0];
+        let eager_limit = spec.eager_limits[0];
+        let payload = spec.payloads[spec.payloads.len() / 2];
+        let reps = reps_for(payload, spec.reps);
+        for &mode in &spec.trace_modes {
+            let trace = TraceConfig {
+                mode,
+                ..TraceConfig::default()
+            };
+            let best = (0..3)
+                .map(|_| {
+                    measure(
+                        device,
+                        Datapath::ZeroCopy,
+                        eager_limit,
+                        spec.segment_bytes,
+                        payload,
+                        reps,
+                        spec.warmup,
+                        trace,
+                    )
+                })
+                .fold(f64::INFINITY, f64::min);
+            let record = P2pRecord {
+                device: device.label().to_string(),
+                datapath: Datapath::ZeroCopy.label().to_string(),
+                payload_bytes: payload,
+                eager_limit,
+                segment_bytes: 0,
+                trace_mode: mode.label().to_string(),
+                us_per_msg: best * 1e6,
+                mb_per_s: payload as f64 / best / 1e6,
+            };
+            progress(&record);
+            records.push(record);
         }
     }
     records
@@ -274,13 +335,14 @@ pub fn to_json(records: &[P2pRecord]) -> String {
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"device\": \"{}\", \"datapath\": \"{}\", \"payload_bytes\": {}, \
-             \"eager_limit\": {}, \"segment_bytes\": {}, \"us_per_msg\": {:.3}, \
-             \"mb_per_s\": {:.2}}}{}\n",
+             \"eager_limit\": {}, \"segment_bytes\": {}, \"trace_mode\": \"{}\", \
+             \"us_per_msg\": {:.3}, \"mb_per_s\": {:.2}}}{}\n",
             r.device,
             r.datapath,
             r.payload_bytes,
             r.eager_limit,
             r.segment_bytes,
+            r.trace_mode,
             r.us_per_msg,
             r.mb_per_s,
             if i + 1 < records.len() { "," } else { "" }
@@ -324,6 +386,7 @@ mod tests {
                 payload_bytes: 262144,
                 eager_limit: 1024,
                 segment_bytes: 0,
+                trace_mode: "off".into(),
                 us_per_msg: 42.5,
                 mb_per_s: 6168.1,
             },
@@ -333,6 +396,7 @@ mod tests {
                 payload_bytes: 64,
                 eager_limit: 2097152,
                 segment_bytes: 0,
+                trace_mode: "events".into(),
                 us_per_msg: 3.0,
                 mb_per_s: 21.3,
             },
@@ -343,6 +407,7 @@ mod tests {
         assert!(json.contains("\"datapath\": \"zerocopy\""));
         assert!(json.contains("\"payload_bytes\": 262144"));
         assert!(json.contains("\"eager_limit\": 1024"));
+        assert!(json.contains("\"trace_mode\": \"events\""));
         assert!(json.contains("\"mb_per_s\": 6168.10"));
         assert_eq!(json.matches("},").count(), 1);
     }
@@ -365,11 +430,38 @@ mod tests {
             reps: 4,
             warmup: 1,
             segment_bytes: 256,
+            trace_modes: Vec::new(),
         };
         let records = run_suite(&spec, |_| ());
         assert_eq!(records.len(), 2);
         assert!(records.iter().all(|r| r.us_per_msg > 0.0));
         assert!(records.iter().all(|r| r.mb_per_s > 0.0));
         assert!(records.iter().any(|r| r.datapath == "zerocopy"));
+        assert!(records.iter().all(|r| r.trace_mode == "off"));
+    }
+
+    #[test]
+    fn trace_axis_adds_one_cell_per_mode() {
+        let spec = P2pBenchSpec {
+            devices: vec![DeviceKind::ShmFast],
+            datapaths: vec![Datapath::ZeroCopy],
+            eager_limits: vec![1024],
+            payloads: vec![512],
+            reps: 4,
+            warmup: 1,
+            segment_bytes: 256,
+            trace_modes: vec![TraceMode::Off, TraceMode::Counters, TraceMode::Events],
+        };
+        let records = run_suite(&spec, |_| ());
+        // 1 main-sweep cell + 3 trace-axis cells.
+        assert_eq!(records.len(), 4);
+        for mode in ["off", "counters", "events"] {
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.trace_mode == mode && r.us_per_msg > 0.0),
+                "missing trace_mode {mode}"
+            );
+        }
     }
 }

@@ -98,6 +98,11 @@ pub struct PingPongSpec {
     pub reps: usize,
     /// Warm-up round trips excluded from timing.
     pub warmup: usize,
+    /// Observability mode under test (`None` = engine default, i.e.
+    /// `off` unless `MPIJAVA_TRACE` says otherwise). Lets the overhead
+    /// gate compare `off` vs `counters` vs `events` on the identical
+    /// workload.
+    pub trace: Option<mpijava::TraceConfig>,
 }
 
 impl PingPongSpec {
@@ -111,6 +116,7 @@ impl PingPongSpec {
             sizes: default_sizes(1 << 20),
             reps: 50,
             warmup: 5,
+            trace: None,
         }
     }
 
@@ -129,6 +135,12 @@ impl PingPongSpec {
     /// Use the 1999 calibration.
     pub fn calibration(mut self, calibration: Calibration) -> Self {
         self.calibration = calibration;
+        self
+    }
+
+    /// Pin the observability mode for the run (overhead gating).
+    pub fn trace(mut self, trace: mpijava::TraceConfig) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -328,6 +340,8 @@ fn native_pingpong(spec: &PingPongSpec, config: &StackConfig) -> Vec<PingPongPoi
         spool_dir: None,
         lease: None,
         faults: None,
+        trace: spec.trace,
+        trace_dir: None,
     };
     let sizes = spec.sizes.clone();
     let reps = spec.reps;
@@ -370,11 +384,14 @@ fn native_pingpong(spec: &PingPongSpec, config: &StackConfig) -> Vec<PingPongPoi
 /// The "mpiJava" series: every message crosses the wrapper and its
 /// simulated JNI boundary.
 fn wrapper_pingpong(spec: &PingPongSpec, config: &StackConfig) -> Vec<PingPongPoint> {
-    let runtime = MpiRuntime::new(2)
+    let mut runtime = MpiRuntime::new(2)
         .device(config.device)
         .network(config.network)
         .profile(config.profile)
         .jni(config.jni);
+    if let Some(trace) = spec.trace {
+        runtime = runtime.trace(trace);
+    }
     let sizes = spec.sizes.clone();
     let reps = spec.reps;
     let warmup = spec.warmup;
@@ -423,6 +440,7 @@ mod tests {
             sizes: vec![1, 1024],
             reps: 10,
             warmup: 2,
+            trace: None,
         }
     }
 
@@ -466,6 +484,7 @@ mod tests {
             sizes: vec![1],
             reps: 5,
             warmup: 1,
+            trace: None,
         });
         // The 10BaseT model has a 200 µs one-way latency; the measured
         // 1-byte time must be at least that.

@@ -170,6 +170,51 @@
 //! provides [`ThreadLevel::Multiple`] regardless of the level requested
 //! via [`MpiRuntime::thread_level`] (the progress thread itself only
 //! needs `Serialized`).
+//!
+//! ### Observability: counters, metrics, and cross-rank timelines
+//!
+//! The engine underneath every communicator carries an MPI_T-style
+//! observability subsystem (mpiJava predates the MPI_T tools interface
+//! by over a decade; this is the one deliberate modernization). Three
+//! modes, selected per run by [`MpiRuntime::trace`] /
+//! [`UniverseConfig::with_trace`](mpi_native::UniverseConfig) or the
+//! `MPIJAVA_TRACE` environment variable
+//! (`off | counters | events[:capacity]`; programmatic wins):
+//!
+//! | mode | cost | what you get |
+//! |---|---|---|
+//! | `off` (default) | one branch per hook | [`EngineStats`] counters only |
+//! | `counters` | + clock reads | latency/duration histograms, transport frame counters |
+//! | `events` | + ring writes | per-rank event ring, dumped to JSONL at finalize |
+//!
+//! Reading them, cheapest to richest:
+//!
+//! * [`rs::Communicator::stats`] (or [`MPI::engine_stats`]) — the raw
+//!   [`EngineStats`] counters: eager vs rendezvous sends, posted vs
+//!   unexpected matches, bytes moved/copied, RMA and schedule-cache
+//!   activity. Always on.
+//! * [`rs::Communicator::metrics_snapshot`] (or
+//!   [`MPI::metrics_snapshot`]) — a [`MetricsSnapshot`] of named
+//!   performance variables: every counter as an `engine.*` pvar,
+//!   queue-depth gauges (`p2p.posted_depth`, `coll.outstanding`, …),
+//!   per-peer liveness gauges (`failure.peer<N>.heartbeat_age_ms`),
+//!   `transport.*` frame counters, and the `p2p.latency` /
+//!   `coll.round_duration` histograms.
+//!   [`rs::Communicator::metrics_reset`] clears the resettables;
+//!   monotonic counters are never reset.
+//! * In `events` mode every rank records p2p protocol intervals,
+//!   collective rounds, RMA epochs, and failure-detector observations
+//!   into a fixed-capacity ring (allocation-free, overwrite-oldest).
+//!   [`MPI::finalize`] dumps it as `trace-rank<NNNNN>.jsonl` into
+//!   `MPIJAVA_TRACE_DIR` / [`MpiRuntime::trace_dir`] (on the spool
+//!   device, `<spool>/trace` by default), and the `tracemerge` binary
+//!   in `mpi-bench` merges all ranks into one wall-clock-aligned Chrome
+//!   `trace_event` timeline — one track per rank, loadable in
+//!   `chrome://tracing` or Perfetto. A rank that dies without
+//!   finalizing can still be post-mortemed: survivors' dumps record its
+//!   last observed heartbeats and the `rank_failed` declaration, and
+//!   [`MPI::dump_trace_to`] force-dumps from a signal-handler-style
+//!   escape hatch.
 
 pub mod buffer;
 pub mod cartcomm;
@@ -203,8 +248,13 @@ pub use status::Status;
 pub use window::{GetToken, Window};
 
 // Re-export the pieces of the lower layers that appear in this crate's API.
-pub use mpi_native::env::{ProgressMode, FAULT_ENV, LEASE_MS_ENV, PROGRESS_ENV, SPOOL_DIR_ENV};
-pub use mpi_native::{CollAlgorithm, CompareResult, EngineStats, ErrorClass, PrimitiveKind};
+pub use mpi_native::env::{
+    ProgressMode, FAULT_ENV, LEASE_MS_ENV, PROGRESS_ENV, SPOOL_DIR_ENV, TRACE_DIR_ENV, TRACE_ENV,
+};
+pub use mpi_native::{
+    CollAlgorithm, CompareResult, EngineStats, ErrorClass, EventKind, EventPhase, HistSnapshot,
+    MetricsSnapshot, PrimitiveKind, Pvar, PvarClass, TraceConfig, TraceEvent, TraceMode,
+};
 pub use mpi_transport::{
     DeviceKind, DeviceProfile, FaultAction, FaultPlan, NetworkModel, NodeMap, DEFAULT_LEASE,
 };
@@ -443,6 +493,32 @@ impl MPI {
         self.env.engine.lock().stats().clone()
     }
 
+    /// MPI_T-style snapshot of this rank's performance variables:
+    /// every [`EngineStats`] counter as a named pvar, queue-depth and
+    /// liveness gauges, transport frame counters (when enabled), and the
+    /// latency histograms. See `mpi_native::trace` for the registry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.env.engine.lock().metrics_snapshot()
+    }
+
+    /// Reset the resettable metrics (histograms and the trace ring);
+    /// monotonic engine counters are unaffected.
+    pub fn metrics_reset(&self) {
+        self.env.engine.lock().metrics_reset()
+    }
+
+    /// Dump this rank's trace ring as JSONL into `dir`
+    /// (`trace-rank{NNNNN}.jsonl`), regardless of whether a trace
+    /// directory was configured — the escape hatch for a rank that will
+    /// never reach `finalize` (e.g. a fault-drill victim). Returns the
+    /// file written.
+    pub fn dump_trace_to(
+        &self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> MpiResult<std::path::PathBuf> {
+        Ok(self.env.engine.lock().dump_trace_to(dir)?)
+    }
+
     /// Direct access to the engine, used by the benchmark harness to run
     /// the "native C MPI" baseline on exactly the same substrate the
     /// wrapper uses (the paper's WMPI-C / MPICH-C series).
@@ -468,6 +544,8 @@ pub struct MpiRuntime {
     spool_dir: Option<std::path::PathBuf>,
     lease: Option<std::time::Duration>,
     faults: Option<FaultPlan>,
+    trace: Option<TraceConfig>,
+    trace_dir: Option<std::path::PathBuf>,
     thread_level: ThreadLevel,
     jni: JniConfig,
 }
@@ -490,6 +568,8 @@ impl MpiRuntime {
             spool_dir: None,
             lease: None,
             faults: None,
+            trace: None,
+            trace_dir: None,
             thread_level: ThreadLevel::Single,
             jni: JniConfig::default(),
         }
@@ -602,6 +682,26 @@ impl MpiRuntime {
         self
     }
 
+    /// Select the observability mode on every rank (see [`TraceConfig`]):
+    /// `counters` adds latency histograms and transport frame counters
+    /// to the always-on [`EngineStats`]; `events` additionally records
+    /// begin/end/instant events into a per-rank ring dumped as JSONL at
+    /// finalize. Takes precedence over the `MPIJAVA_TRACE` environment
+    /// override; unset defaults to [`TraceMode::Off`].
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Directory for the per-rank JSONL trace dumps (created if
+    /// needed). Takes precedence over the `MPIJAVA_TRACE_DIR`
+    /// environment override; unset falls back to `<spool>/trace` on the
+    /// spool device, else no automatic dump.
+    pub fn trace_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
     /// Request a thread support level (`MPI_Init_thread`'s `required`).
     /// The binding always provides [`ThreadLevel::Multiple`] (the engine
     /// is mutex-serialized), so every request is honored;
@@ -640,6 +740,8 @@ impl MpiRuntime {
             spool_dir: self.spool_dir.clone(),
             lease: self.lease,
             faults: self.faults.clone(),
+            trace: self.trace,
+            trace_dir: self.trace_dir.clone(),
         };
         let mut fabric_config = mpi_transport::FabricConfig::new(self.size, self.device)
             .with_network(self.network)
@@ -652,6 +754,13 @@ impl MpiRuntime {
         if let Some(dir) = config.resolved_spool_dir() {
             fabric_config = fabric_config.with_spool_dir(dir);
         }
+        let trace = config.resolved_trace();
+        let trace_dir = config.resolved_trace_dir();
+        if trace.mode != TraceMode::Off {
+            // Any observability beyond the engine counters also turns on
+            // the transport-level frame counters.
+            fabric_config = fabric_config.with_frame_counters(true);
+        }
         let progress = config.resolved_progress();
         let _ = config; // UniverseConfig documents the mapping; we build directly.
         let endpoints = mpi_transport::Fabric::build(fabric_config)
@@ -663,6 +772,8 @@ impl MpiRuntime {
         let segment = self.segment_bytes;
         let coll = self.coll_algorithm;
         let thread_level = self.thread_level;
+        let trace_set = self.trace.is_some();
+        let trace_dir = &trace_dir;
 
         let results: Vec<MpiResult<T>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.size);
@@ -677,6 +788,14 @@ impl MpiRuntime {
                     }
                     if coll.is_some() {
                         engine.set_coll_algorithm(coll);
+                    }
+                    // Engine::new already folded the MPIJAVA_TRACE env in;
+                    // only override when configured programmatically.
+                    if trace_set {
+                        engine.set_trace(trace);
+                    }
+                    if let Some(dir) = trace_dir {
+                        engine.set_trace_dir(dir.clone());
                     }
                     let (mpi, _provided) = MPI::init_thread(engine, jni, thread_level);
                     // Background progress: one thread per rank, stopped

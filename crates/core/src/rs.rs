@@ -190,6 +190,30 @@ pub trait Communicator {
     }
 
     // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Counters of this rank's engine (eager vs rendezvous sends, bytes,
+    /// collective and RMA activity) — always on, at every trace mode.
+    fn stats(&self) -> crate::EngineStats {
+        self.as_comm().env.engine.lock().stats().clone()
+    }
+
+    /// MPI_T-style snapshot of this rank's performance variables: the
+    /// [`EngineStats`](crate::EngineStats) counters as named pvars,
+    /// queue-depth and peer-liveness gauges, transport frame counters
+    /// (when enabled), and the latency histograms.
+    fn metrics_snapshot(&self) -> crate::MetricsSnapshot {
+        self.as_comm().env.engine.lock().metrics_snapshot()
+    }
+
+    /// Reset the resettable metrics (histograms and the event ring);
+    /// monotonic engine counters are unaffected.
+    fn metrics_reset(&self) {
+        self.as_comm().env.engine.lock().metrics_reset()
+    }
+
+    // ------------------------------------------------------------------
     // Blocking point-to-point
     // ------------------------------------------------------------------
 

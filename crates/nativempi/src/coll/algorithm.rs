@@ -72,6 +72,11 @@ impl CollAlgorithm {
         CollAlgorithm::Hierarchical,
     ];
 
+    /// Position in [`CollAlgorithm::ALL`] (the trace-event encoding).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&a| a == self).unwrap_or(0)
+    }
+
     /// Stable label used in benchmark output and accepted by [`FromStr`].
     pub fn label(self) -> &'static str {
         match self {

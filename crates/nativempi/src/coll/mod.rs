@@ -196,7 +196,13 @@ impl Engine {
         policy: OrderPolicy,
         topo: TopoHint,
     ) -> CollAlgorithm {
-        tuning::select(op, size, bytes, policy, topo, self.forced_coll_alg)
+        let alg = tuning::select(op, size, bytes, policy, topo, self.forced_coll_alg);
+        // Remembered for the `coll` trace event the upcoming
+        // `coll_start` emits — selection and schedule start are separate
+        // layers, and threading (op, alg) through every schedule builder
+        // just for observability would be noise.
+        self.last_choice.set(Some((op, alg)));
+        alg
     }
 
     /// The node-grouping of a communicator's members (see

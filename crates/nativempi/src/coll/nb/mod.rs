@@ -121,6 +121,7 @@ use crate::comm::CommHandle;
 use crate::error::{err, ErrorClass, MpiError, Result};
 use crate::p2p::COLLECTIVE_TAG_BASE;
 use crate::request::RequestId;
+use crate::trace::{EventKind, EventPhase};
 use crate::types::SendMode;
 use crate::Engine;
 
@@ -533,6 +534,31 @@ enum Flight {
     Recv(RequestId, SlotId),
 }
 
+/// Observability bookkeeping for one schedule (see [`crate::trace`]):
+/// the identity stamped on its `coll` begin/end events and the state of
+/// the currently open `coll_round` bracket.
+#[derive(Default)]
+pub(crate) struct CollTraceState {
+    /// Schedule id (the collective request id) in event argument form.
+    id: i64,
+    /// [`crate::coll::CollOp`] index, or -1 when unknown (persistent
+    /// restarts instantiate a stored template without re-selecting).
+    op: i64,
+    /// [`crate::coll::CollAlgorithm`] index, or -1 when unknown.
+    alg: i64,
+    /// A `coll` Begin was emitted, so an End must close it.
+    traced: bool,
+    /// Rounds completed so far (the `round` event argument).
+    round_idx: i64,
+    /// A `coll_round` Begin is open.
+    round_open: bool,
+    /// Monotonic open timestamp of the current round (feeds the
+    /// `coll.round_duration` histogram).
+    round_started_ns: u64,
+    /// Transfers posted in the current round.
+    round_transfers: i64,
+}
+
 /// Engine-side state of one in-flight collective schedule.
 pub(crate) struct NbColl {
     comm: CommHandle,
@@ -550,6 +576,8 @@ pub(crate) struct NbColl {
     /// withdrawn) so it cannot corrupt later rounds or block finalize
     /// forever.
     failed: Option<MpiError>,
+    /// Trace identity and open-bracket state (see [`crate::trace`]).
+    trace: CollTraceState,
 }
 
 impl NbColl {
@@ -596,6 +624,24 @@ impl Engine {
     ) -> Result<CollRequestId> {
         let id = self.next_request;
         self.next_request += 1;
+        // `choose` parked the (op, algorithm) pair for this start;
+        // consume it so a start that bypassed selection (persistent
+        // template instantiation) reports "unknown" instead of a stale
+        // label from an earlier call.
+        let (op_idx, alg_idx) = match self.last_choice.take() {
+            Some((op, alg)) => (op.index() as i64, alg.index() as i64),
+            None => (-1, -1),
+        };
+        let traced = self.tracer.events_on();
+        if traced {
+            self.emit(
+                EventKind::Coll,
+                EventPhase::Begin,
+                op_idx,
+                alg_idx,
+                id as i64,
+            );
+        }
         let mut state = NbColl {
             comm,
             schedule,
@@ -603,6 +649,13 @@ impl Engine {
             pending_compute: None,
             finished: false,
             failed: None,
+            trace: CollTraceState {
+                id: id as i64,
+                op: op_idx,
+                alg: alg_idx,
+                traced,
+                ..CollTraceState::default()
+            },
         };
         if let Err(error) = self.drive_nb(&mut state) {
             self.fail_nb(&mut state, error);
@@ -629,6 +682,8 @@ impl Engine {
                 pending_compute: None,
                 finished: true,
                 failed: None,
+                // No schedule, no rounds, nothing to bracket.
+                trace: CollTraceState::default(),
             },
         );
         Ok(CollRequestId(id))
@@ -644,6 +699,16 @@ impl Engine {
                 Flight::Send(r) | Flight::Recv(r, _) => r,
             };
             let _ = self.request_free(req);
+        }
+        if st.trace.round_open {
+            st.trace.round_open = false;
+            self.emit(
+                EventKind::CollRound,
+                EventPhase::End,
+                st.trace.id,
+                st.trace.round_idx,
+                st.trace.round_transfers,
+            );
         }
         st.schedule.rounds.clear();
         st.pending_compute = None;
@@ -679,6 +744,24 @@ impl Engine {
             if !st.in_flight.is_empty() {
                 return Ok(()); // blocked on the transport
             }
+            if st.trace.round_open {
+                st.trace.round_open = false;
+                if self.tracer.timing_on() {
+                    let now = self.clock_ns();
+                    self.tracer
+                        .coll_round
+                        .record(now.saturating_sub(st.trace.round_started_ns));
+                    self.emit_at(
+                        now,
+                        EventKind::CollRound,
+                        EventPhase::End,
+                        st.trace.id,
+                        st.trace.round_idx,
+                        st.trace.round_transfers,
+                    );
+                }
+                st.trace.round_idx += 1;
+            }
             // The round's transfers are done: run its compute (which may
             // extend the schedule with rounds that run next).
             if let Some(compute) = st.pending_compute.take() {
@@ -708,6 +791,20 @@ impl Engine {
     /// Post one round: receives first, then sends (the deadlock-free
     /// order the blocking exchanges always used).
     fn post_round(&mut self, st: &mut NbColl, mut round: Round) -> Result<()> {
+        st.trace.round_transfers = (round.recvs.len() + round.sends.len()) as i64;
+        st.trace.round_open = true;
+        if self.tracer.timing_on() {
+            let now = self.clock_ns();
+            st.trace.round_started_ns = now;
+            self.emit_at(
+                now,
+                EventKind::CollRound,
+                EventPhase::Begin,
+                st.trace.id,
+                st.trace.round_idx,
+                st.trace.round_transfers,
+            );
+        }
         for r in round.recvs.drain(..) {
             let req = self.irecv_on_context(st.comm, r.peer as i32, r.tag, None, true)?;
             st.in_flight.push(Flight::Recv(req, r.slot));
@@ -782,6 +879,15 @@ impl Engine {
             ),
             Some(st) if st.finished => {
                 let st = self.coll_requests.remove(&req.0).expect("checked above");
+                if st.trace.traced {
+                    self.emit(
+                        EventKind::Coll,
+                        EventPhase::End,
+                        st.trace.op,
+                        st.trace.alg,
+                        st.trace.id,
+                    );
+                }
                 match st.failed {
                     Some(error) => Err(error),
                     None => Ok(Some(st.schedule.outcome.unwrap_or(CollOutcome::Done))),

@@ -83,6 +83,45 @@ pub enum CollOp {
     Scan,
 }
 
+impl CollOp {
+    /// Every operation, in declaration order. Index positions are stable
+    /// (trace events store `op as usize` and resolve labels at dump
+    /// time through this table).
+    pub const ALL: [CollOp; 10] = [
+        CollOp::Barrier,
+        CollOp::Bcast,
+        CollOp::Gather,
+        CollOp::Scatter,
+        CollOp::Allgather,
+        CollOp::Alltoall,
+        CollOp::Reduce,
+        CollOp::Allreduce,
+        CollOp::ReduceScatter,
+        CollOp::Scan,
+    ];
+
+    /// Stable lowercase label (used in trace dumps and bench output).
+    pub fn label(self) -> &'static str {
+        match self {
+            CollOp::Barrier => "barrier",
+            CollOp::Bcast => "bcast",
+            CollOp::Gather => "gather",
+            CollOp::Scatter => "scatter",
+            CollOp::Allgather => "allgather",
+            CollOp::Alltoall => "alltoall",
+            CollOp::Reduce => "reduce",
+            CollOp::Allreduce => "allreduce",
+            CollOp::ReduceScatter => "reduce_scatter",
+            CollOp::Scan => "scan",
+        }
+    }
+
+    /// Position in [`CollOp::ALL`] (the trace-event encoding).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&o| o == self).unwrap_or(0)
+    }
+}
+
 /// How freely a reduction may be re-associated and commuted while staying
 /// byte-identical to the rank-ordered sequential fold of the linear
 /// baseline.

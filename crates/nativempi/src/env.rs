@@ -22,6 +22,8 @@
 //! | [`SPOOL_DIR_ENV`] (`MPIJAVA_SPOOL_DIR`) | persistent spool root for the `spool` device (unset = ephemeral temp dir) |
 //! | [`LEASE_MS_ENV`] (`MPIJAVA_LEASE_MS`) | heartbeat lease in milliseconds for failure detection |
 //! | [`FAULT_ENV`] (`MPIJAVA_FAULT`) | fault-injection plan for the test harness (see below) |
+//! | [`TRACE_ENV`] (`MPIJAVA_TRACE`) | observability level: `off`, `counters`, or `events[:capacity]` (see below) |
+//! | [`TRACE_DIR_ENV`] (`MPIJAVA_TRACE_DIR`) | directory for the per-rank JSONL trace dumps (see below) |
 //!
 //! Sizes accept an optional `k`/`K` (KiB) or `m`/`M` (MiB) suffix:
 //! `MPIJAVA_EAGER_LIMIT=64k`, `MPIJAVA_SEGMENT_BYTES=1M`.
@@ -93,6 +95,31 @@
 //! Example: `MPIJAVA_FAULT=kill:2@5,delay:0->1@3:50ms`. A malformed
 //! plan warns loudly on stderr and is ignored — fault injection is a
 //! testing tool, and a typo must not take down a production job.
+//!
+//! ## `MPIJAVA_TRACE` and `MPIJAVA_TRACE_DIR`
+//!
+//! The observability level of the [`crate::trace`] subsystem, read once
+//! per engine at construction time (`UniverseConfig::with_trace` /
+//! `MpiRuntime::trace` take precedence):
+//!
+//! * `off` (aliases `none`, `0`, the default) — the always-compiled
+//!   [`crate::EngineStats`] counters only; every trace hook is one enum
+//!   compare;
+//! * `counters` (alias `count`) — plus latency/duration histograms and
+//!   transport frame counters in the metrics registry;
+//! * `events` (alias `trace`) — plus the fixed-capacity per-rank event
+//!   ring buffer, dumped as JSONL at finalize. An optional
+//!   `events:<capacity>` sets the ring size in records (default
+//!   [`crate::trace::DEFAULT_TRACE_CAPACITY`]).
+//!
+//! A malformed value warns loudly on stderr and falls back to `off`, so
+//! a typo cannot silently record (or discard) a job's trace.
+//!
+//! `MPIJAVA_TRACE_DIR` names the directory the per-rank JSONL dumps go
+//! to (created on demand). Unset, the dump lands in `<spool root>/trace`
+//! when the job runs on the `spool` device, and nowhere otherwise — the
+//! in-memory ring is still available programmatically through
+//! `Engine::trace_events` / `Engine::dump_trace_to`.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -143,6 +170,17 @@ pub const LEASE_MS_ENV: &str = "MPIJAVA_LEASE_MS";
 /// (see the module docs for the full grammar). Malformed plans warn on
 /// stderr and are ignored.
 pub const FAULT_ENV: &str = "MPIJAVA_FAULT";
+
+/// Environment variable selecting the observability level:
+/// `MPIJAVA_TRACE=off|counters|events[:capacity]` (see the module docs
+/// and [`crate::trace`]). Malformed values warn on stderr and fall back
+/// to `off`.
+pub const TRACE_ENV: &str = "MPIJAVA_TRACE";
+
+/// Environment variable naming the directory for per-rank JSONL trace
+/// dumps: `MPIJAVA_TRACE_DIR=<path>` (see the module docs). Unset, the
+/// dump falls back to `<spool root>/trace` on the `spool` device.
+pub const TRACE_DIR_ENV: &str = "MPIJAVA_TRACE_DIR";
 
 /// How a rank's engine is progressed between MPI calls.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -271,6 +309,37 @@ pub fn faults_from_env() -> Option<FaultPlan> {
             None
         }
     }
+}
+
+/// Read the [`TRACE_ENV`] override. Unset (or empty) means no override;
+/// a malformed value warns on stderr and falls back to tracing `off`
+/// rather than silently recording (or discarding) a job's trace.
+pub fn trace_from_env() -> Option<crate::trace::TraceConfig> {
+    let raw = std::env::var(TRACE_ENV).ok()?;
+    if raw.trim().is_empty() {
+        return None;
+    }
+    match crate::trace::TraceConfig::parse(&raw) {
+        Some(cfg) => Some(cfg),
+        None => {
+            eprintln!(
+                "warning: {TRACE_ENV}={raw:?} is not a usable trace level \
+                 (expected off|counters|events[:capacity]); tracing off"
+            );
+            Some(crate::trace::TraceConfig::off())
+        }
+    }
+}
+
+/// Read the [`TRACE_DIR_ENV`] override. Unset (or empty) means no
+/// override; no validation happens here — the dump path reports a
+/// directory it cannot create.
+pub fn trace_dir_from_env() -> Option<PathBuf> {
+    let raw = std::env::var(TRACE_DIR_ENV).ok()?;
+    if raw.trim().is_empty() {
+        return None;
+    }
+    Some(PathBuf::from(raw))
 }
 
 /// Parse a byte size with an optional `k`/`K` (KiB) or `m`/`M` (MiB)
@@ -485,6 +554,36 @@ mod tests {
         assert_eq!(faults_from_env(), None);
         std::env::remove_var(FAULT_ENV);
         assert_eq!(faults_from_env(), None);
+    }
+
+    #[test]
+    fn trace_env_parses_grammar_or_falls_back_to_off() {
+        use crate::trace::TraceConfig;
+        // Serialized against itself only: no other test reads TRACE_ENV.
+        std::env::set_var(TRACE_ENV, "events:1024");
+        assert_eq!(
+            trace_from_env(),
+            Some(TraceConfig::events().with_capacity(1024))
+        );
+        std::env::set_var(TRACE_ENV, "counters");
+        assert_eq!(trace_from_env(), Some(TraceConfig::counters()));
+        std::env::set_var(TRACE_ENV, "everything");
+        assert_eq!(trace_from_env(), Some(TraceConfig::off()));
+        std::env::set_var(TRACE_ENV, "  ");
+        assert_eq!(trace_from_env(), None);
+        std::env::remove_var(TRACE_ENV);
+        assert_eq!(trace_from_env(), None);
+
+        // Serialized against itself only: no other test reads TRACE_DIR_ENV.
+        std::env::set_var(TRACE_DIR_ENV, "/tmp/traces-here");
+        assert_eq!(
+            trace_dir_from_env(),
+            Some(PathBuf::from("/tmp/traces-here"))
+        );
+        std::env::set_var(TRACE_DIR_ENV, "  ");
+        assert_eq!(trace_dir_from_env(), None);
+        std::env::remove_var(TRACE_DIR_ENV);
+        assert_eq!(trace_dir_from_env(), None);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 use crate::comm::CommHandle;
 use crate::error::{ErrorClass, MpiError, Result};
 use crate::request::RequestState;
+use crate::trace::{millis_i64, EventKind, EventPhase};
 use crate::types::ANY_SOURCE;
 use crate::Engine;
 
@@ -66,6 +67,25 @@ impl Engine {
             return Ok(());
         }
         self.last_failure_poll = Some(Instant::now());
+        if self.tracer.events_on() {
+            // One lease observation per peer per due poll: the merged
+            // timeline shows each heartbeat age marching toward (or
+            // past) the lease, including the victim's last beat.
+            let peers = self.endpoint.peer_liveness();
+            let now = self.clock_ns();
+            for p in peers {
+                if let Some(age) = p.heartbeat_age {
+                    self.emit_at(
+                        now,
+                        EventKind::LeaseObserved,
+                        EventPhase::Instant,
+                        p.rank as i64,
+                        millis_i64(age),
+                        millis_i64(p.lease),
+                    );
+                }
+            }
+        }
         for rank in self.endpoint.poll_failures() {
             if !self.failed_ranks.contains(&rank) {
                 self.on_rank_failed(rank)?;
@@ -86,16 +106,63 @@ impl Engine {
         Ok(())
     }
 
-    fn rank_failed_error(rank: usize) -> MpiError {
+    /// The `RankFailed` error for `rank`, carrying the observed
+    /// heartbeat staleness when the transport tracks leases (how long
+    /// past its lease the last beat was when we looked).
+    fn rank_failed_error(&self, rank: usize) -> MpiError {
+        let detail = self
+            .endpoint
+            .peer_liveness()
+            .into_iter()
+            .find(|p| p.rank == rank)
+            .and_then(|p| {
+                let age = p.heartbeat_age?;
+                Some(match p.staleness() {
+                    Some(stale) => format!(
+                        "; last heartbeat {}ms ago, {}ms past its {}ms lease",
+                        age.as_millis(),
+                        stale.as_millis(),
+                        p.lease.as_millis()
+                    ),
+                    None => format!(
+                        "; last heartbeat {}ms ago within a {}ms lease",
+                        age.as_millis(),
+                        p.lease.as_millis()
+                    ),
+                })
+            })
+            .unwrap_or_default();
         MpiError::new(
             ErrorClass::RankFailed,
-            format!("rank {rank} failed (heartbeat lease expired or killed)"),
+            format!("rank {rank} failed (heartbeat lease expired or killed{detail})"),
         )
     }
 
     /// Sweep the engine after `dead` (a world rank) is declared failed.
     pub(crate) fn on_rank_failed(&mut self, dead: usize) -> Result<()> {
         self.failed_ranks.insert(dead);
+        if self.tracer.events_on() {
+            let liveness = self
+                .endpoint
+                .peer_liveness()
+                .into_iter()
+                .find(|p| p.rank == dead);
+            let (staleness_ms, lease_ms) = liveness
+                .map(|p| {
+                    (
+                        p.staleness().map(millis_i64).unwrap_or(-1),
+                        millis_i64(p.lease),
+                    )
+                })
+                .unwrap_or((-1, -1));
+            self.emit(
+                EventKind::RankFailed,
+                EventPhase::Instant,
+                dead as i64,
+                staleness_ms,
+                lease_ms,
+            );
+        }
 
         // Posted receives that can only (or, for ANY_SOURCE, might only)
         // be satisfied by the dead rank fail in place.
@@ -145,9 +212,10 @@ impl Engine {
             let a = self.awaiting_rendezvous_data.remove(&key).expect("listed");
             doomed.push(a.req);
         }
+        let error = self.rank_failed_error(dead);
         for req in doomed {
             self.requests
-                .insert(req, RequestState::Failed(Self::rank_failed_error(dead)));
+                .insert(req, RequestState::Failed(error.clone()));
         }
 
         // In-flight collective schedules on any communicator containing
@@ -161,7 +229,7 @@ impl Engine {
                     self.comm(comm).is_ok() && self.comm_rank_of_world(comm, dead)?.is_some()
                 };
                 if involved {
-                    self.fail_nb(&mut st, Self::rank_failed_error(dead));
+                    self.fail_nb(&mut st, error.clone());
                 }
                 self.coll_requests.insert(id, st);
             }
@@ -184,14 +252,14 @@ impl Engine {
                 .iter()
                 .find(|&&d| matches!(self.comm_rank_of_world(comm, d), Ok(Some(_))))
             {
-                return Err(Self::rank_failed_error(dead));
+                return Err(self.rank_failed_error(dead));
             }
             return Ok(());
         }
         if peer >= 0 {
             let world = self.world_rank_of(comm, peer as usize)?;
             if self.failed_ranks.contains(&world) {
-                return Err(Self::rank_failed_error(world));
+                return Err(self.rank_failed_error(world));
             }
         }
         Ok(())
@@ -209,7 +277,7 @@ impl Engine {
             .iter()
             .find(|&&d| matches!(self.comm_rank_of_world(comm, d), Ok(Some(_))))
         {
-            return Err(Self::rank_failed_error(dead));
+            return Err(self.rank_failed_error(dead));
         }
         Ok(())
     }

@@ -29,6 +29,12 @@
 //! * **virtual topologies** (cartesian and graph, [`topology`]),
 //! * environment services — `Wtime`, processor name, attributes, abort
 //!   ([`mod@env`]),
+//! * an MPI_T-flavored **observability subsystem** ([`trace`]): per-rank
+//!   event tracing into a preallocated ring, a named-variable metrics
+//!   registry ([`Engine::metrics_snapshot`]), and finalize-time JSONL
+//!   dumps that the benchmark crate's `tracemerge` tool folds into one
+//!   Chrome-traceable cross-rank timeline (`MPIJAVA_TRACE` grammar in
+//!   [`mod@env`]),
 //! * a [`universe::Universe`] launcher that plays `mpirun`, creating one
 //!   engine per rank over a shared fabric and running them on threads.
 //!
@@ -50,6 +56,7 @@ pub mod pack;
 pub mod request;
 pub mod rma;
 pub mod topology;
+pub mod trace;
 pub mod types;
 pub mod universe;
 
@@ -63,6 +70,10 @@ pub use mpi_transport::NodeMap;
 pub use ops::{Op, PredefinedOp};
 pub use request::RequestId;
 pub use rma::{RmaGetId, WinHandle};
+pub use trace::{
+    EventKind, EventPhase, HistSnapshot, MetricsSnapshot, Pvar, PvarClass, TraceConfig, TraceEvent,
+    TraceMode,
+};
 pub use types::{PrimitiveKind, SendMode, StatusInfo, ANY_SOURCE, ANY_TAG, PROC_NULL, UNDEFINED};
 pub use universe::{Universe, UniverseConfig};
 
@@ -202,6 +213,21 @@ pub struct Engine {
     pub(crate) failed_ranks: std::collections::HashSet<usize>,
     /// Throttle clock for [`mod@failure`]'s transport liveness polls.
     pub(crate) last_failure_poll: Option<Instant>,
+    /// Observability state: mode flags, the preallocated event ring and
+    /// the latency histograms (see [`trace`]).
+    pub(crate) tracer: trace::Tracer,
+    /// Programmatic trace-dump directory; takes precedence over
+    /// `MPIJAVA_TRACE_DIR` and the spool-root fallback (see
+    /// [`Engine::dump_trace`]).
+    trace_dir: Option<std::path::PathBuf>,
+    /// Wall-clock anchor for the engine's monotonic event timestamps,
+    /// written into every trace dump's meta line so `tracemerge` can
+    /// align per-rank timelines.
+    start_unix_ns: u128,
+    /// The (op, algorithm) pair the most recent [`coll`] `choose()` call
+    /// picked, parked here for the `coll` trace event `coll_start` emits
+    /// (`choose` runs under `&self`, hence the `Cell`).
+    pub(crate) last_choice: std::cell::Cell<Option<(coll::CollOp, coll::CollAlgorithm)>>,
 }
 
 /// Default payload size (bytes) above which standard-mode sends switch from
@@ -259,6 +285,13 @@ impl Engine {
             win_seqs: HashMap::new(),
             failed_ranks: std::collections::HashSet::new(),
             last_failure_poll: None,
+            tracer: trace::Tracer::new(env::trace_from_env().unwrap_or_default()),
+            trace_dir: env::trace_dir_from_env(),
+            start_unix_ns: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0),
+            last_choice: std::cell::Cell::new(None),
         };
         engine.install_builtin_comms();
         engine
@@ -340,6 +373,228 @@ impl Engine {
         &self.stats
     }
 
+    // ---- observability (see the [`trace`] module) -------------------
+
+    /// Reconfigure tracing, replacing any `MPIJAVA_TRACE` setting the
+    /// engine read at construction. Rebuilds the event ring (preallocated
+    /// for [`TraceMode::Events`], empty otherwise), so events and
+    /// histograms recorded so far are discarded.
+    pub fn set_trace(&mut self, config: trace::TraceConfig) {
+        self.tracer = trace::Tracer::new(config);
+    }
+
+    /// The active trace configuration.
+    pub fn trace_config(&self) -> trace::TraceConfig {
+        self.tracer.config()
+    }
+
+    /// Set the directory trace dumps go to, overriding
+    /// `MPIJAVA_TRACE_DIR` and the spool-root fallback (see
+    /// [`Engine::dump_trace`]).
+    pub fn set_trace_dir(&mut self, dir: impl Into<std::path::PathBuf>) {
+        self.trace_dir = Some(dir.into());
+    }
+
+    /// The directory [`Engine::dump_trace`] would write to, if any:
+    /// programmatic setting first, then `MPIJAVA_TRACE_DIR`, then
+    /// `<spool root>/trace` when the fabric has a spool.
+    pub fn trace_dir(&self) -> Option<std::path::PathBuf> {
+        self.trace_dir
+            .clone()
+            .or_else(|| self.endpoint.spool_dir().map(|root| root.join("trace")))
+    }
+
+    /// The recorded events, oldest first (empty unless the mode is
+    /// [`TraceMode::Events`]). Timestamps are nanoseconds on the
+    /// engine's private monotonic clock.
+    pub fn trace_events(&self) -> Vec<trace::TraceEvent> {
+        self.tracer.events()
+    }
+
+    /// A point-in-time read of the metrics registry: every
+    /// [`EngineStats`] counter as an `engine.*` pvar, queue-depth and
+    /// in-flight gauges, per-peer `failure.*` liveness gauges when the
+    /// device tracks leases, `transport.*` frame counters when the
+    /// fabric was built with frame counters, and the latency histograms
+    /// (recorded only when the mode is at least
+    /// [`TraceMode::Counters`]).
+    pub fn metrics_snapshot(&self) -> trace::MetricsSnapshot {
+        use trace::{Pvar, PvarClass};
+        let s = &self.stats;
+        let counter = |name: &str, value: u64| Pvar {
+            name: name.to_string(),
+            class: PvarClass::Counter,
+            value: value as i64,
+        };
+        let gauge = |name: String, value: i64| Pvar {
+            name,
+            class: PvarClass::Gauge,
+            value,
+        };
+        let mut pvars = vec![
+            counter("engine.eager_sends", s.eager_sends),
+            counter("engine.rendezvous_sends", s.rendezvous_sends),
+            counter("engine.segmented_sends", s.segmented_sends),
+            counter("engine.unexpected_hits", s.unexpected_hits),
+            counter("engine.posted_hits", s.posted_hits),
+            counter("engine.bytes_sent", s.bytes_sent),
+            counter("engine.bytes_received", s.bytes_received),
+            counter("engine.bytes_copied", s.bytes_copied),
+            counter("engine.rma_puts", s.rma_puts),
+            counter("engine.rma_gets", s.rma_gets),
+            counter("engine.rma_bytes", s.rma_bytes),
+            counter("engine.epochs", s.epochs),
+            counter("engine.sched_cache_hits", s.sched_cache_hits),
+            counter("engine.sched_cache_misses", s.sched_cache_misses),
+            counter("engine.progress_thread_polls", s.progress_thread_polls),
+            counter("trace.events_dropped", self.tracer.dropped()),
+            gauge(
+                "p2p.posted_depth".to_string(),
+                self.posted.values().map(|q| q.len()).sum::<usize>() as i64,
+            ),
+            gauge(
+                "p2p.unexpected_depth".to_string(),
+                self.unexpected.values().map(|q| q.len()).sum::<usize>() as i64,
+            ),
+            gauge(
+                "coll.outstanding".to_string(),
+                self.coll_outstanding() as i64,
+            ),
+            gauge("rma.windows_open".to_string(), self.windows.len() as i64),
+        ];
+        for peer in self.endpoint.peer_liveness() {
+            let prefix = format!("failure.peer{}", peer.rank);
+            if let Some(age) = peer.heartbeat_age {
+                pvars.push(gauge(
+                    format!("{prefix}.heartbeat_age_ms"),
+                    trace::millis_i64(age),
+                ));
+            }
+            pvars.push(gauge(
+                format!("{prefix}.lease_ms"),
+                trace::millis_i64(peer.lease),
+            ));
+            pvars.push(gauge(format!("{prefix}.dead"), peer.dead as i64));
+        }
+        if let Some(f) = self.endpoint.frame_stats() {
+            pvars.push(counter("transport.frames_sent", f.frames_sent));
+            pvars.push(counter("transport.frames_received", f.frames_received));
+            pvars.push(counter("transport.bytes_sent", f.bytes_sent));
+            pvars.push(counter("transport.bytes_received", f.bytes_received));
+        }
+        trace::MetricsSnapshot {
+            rank: self.world_rank,
+            pvars,
+            histograms: vec![
+                self.tracer.p2p_latency.snapshot("p2p.latency"),
+                self.tracer.coll_round.snapshot("coll.round_duration"),
+            ],
+        }
+    }
+
+    /// Reset the trace ring and the latency histograms. [`EngineStats`]
+    /// counters are cumulative and are not touched.
+    pub fn metrics_reset(&mut self) {
+        self.tracer.reset();
+    }
+
+    /// Dump the recorded events as JSONL into the resolved trace
+    /// directory (see [`Engine::trace_dir`]), one file per rank named
+    /// `trace-rank<r>.jsonl`. Returns the written path, or `None` when
+    /// the mode is not [`TraceMode::Events`] or no directory is
+    /// configured. Runs automatically from [`Engine::finalize`].
+    pub fn dump_trace(&self) -> Result<Option<std::path::PathBuf>> {
+        if !self.tracer.events_on() {
+            return Ok(None);
+        }
+        match self.trace_dir() {
+            Some(dir) => self.dump_trace_to(dir).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Dump the recorded events as JSONL into `dir` (created if needed),
+    /// regardless of whether a trace directory is configured. This is
+    /// how a rank that will never reach [`Engine::finalize`] — e.g. one
+    /// about to die in a fault drill — preserves its timeline.
+    pub fn dump_trace_to(&self, dir: impl Into<std::path::PathBuf>) -> Result<std::path::PathBuf> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            error::MpiError::new(
+                ErrorClass::Other,
+                format!("creating trace dir {}: {e}", dir.display()),
+            )
+        })?;
+        let path = dir.join(format!("trace-rank{:05}.jsonl", self.world_rank));
+        let meta = trace::DumpMeta {
+            rank: self.world_rank,
+            size: self.world_size,
+            device: self.endpoint.kind().label().to_string(),
+            start_unix_ns: self.start_unix_ns,
+        };
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path).map_err(|e| {
+            error::MpiError::new(
+                ErrorClass::Other,
+                format!("creating {}: {e}", path.display()),
+            )
+        })?);
+        self.tracer.write_jsonl(&mut file, &meta).map_err(|e| {
+            error::MpiError::new(
+                ErrorClass::Other,
+                format!("writing {}: {e}", path.display()),
+            )
+        })?;
+        use std::io::Write as _;
+        file.flush().map_err(|e| {
+            error::MpiError::new(
+                ErrorClass::Other,
+                format!("flushing {}: {e}", path.display()),
+            )
+        })?;
+        Ok(path)
+    }
+
+    /// Nanoseconds on the engine's private monotonic clock (the same
+    /// clock event timestamps use).
+    #[inline]
+    pub(crate) fn clock_ns(&self) -> u64 {
+        self.start_time.elapsed().as_nanos() as u64
+    }
+
+    /// Record a trace event stamped now. One branch when events are off
+    /// — the hot-path cost the `MPIJAVA_TRACE=off` overhead gate pins.
+    #[inline]
+    pub(crate) fn emit(
+        &mut self,
+        kind: trace::EventKind,
+        phase: trace::EventPhase,
+        a: i64,
+        b: i64,
+        c: i64,
+    ) {
+        if self.tracer.events_on() {
+            let ts = self.clock_ns();
+            self.tracer.record(ts, kind, phase, a, b, c);
+        }
+    }
+
+    /// Record a trace event with a caller-supplied timestamp (for sites
+    /// that already read the clock for a histogram sample).
+    #[inline]
+    pub(crate) fn emit_at(
+        &mut self,
+        ts_ns: u64,
+        kind: trace::EventKind,
+        phase: trace::EventPhase,
+        a: i64,
+        b: i64,
+        c: i64,
+    ) {
+        if self.tracer.events_on() {
+            self.tracer.record(ts_ns, kind, phase, a, b, c);
+        }
+    }
+
     /// Record a payload copy a binding layer performed on the engine's
     /// behalf — the delivery copy of a zero-copy receive completed
     /// outside the engine (e.g. unpacking a [`p2p`] completion `Bytes`
@@ -378,6 +633,7 @@ impl Engine {
         }
         if !self.failed_ranks.is_empty() || self.aborted {
             self.abort_outstanding();
+            self.autodump_trace();
             self.finalized = true;
             return Ok(());
         }
@@ -405,8 +661,21 @@ impl Engine {
                 "finalize called with started persistent operations (wait them first)",
             );
         }
+        self.autodump_trace();
         self.finalized = true;
         Ok(())
+    }
+
+    /// Finalize-time trace dump: best-effort, never turns a clean
+    /// shutdown into an error (a rank dying in a fault drill still wants
+    /// the survivors' dumps to land).
+    fn autodump_trace(&self) {
+        if let Err(e) = self.dump_trace() {
+            eprintln!(
+                "warning: rank {} could not dump its trace: {e}",
+                self.world_rank
+            );
+        }
     }
 
     /// True while background-completable work is in flight on this
@@ -422,9 +691,21 @@ impl Engine {
     }
 
     /// Record one background progress-thread poll against this engine
-    /// (drives [`EngineStats::progress_thread_polls`]).
+    /// (drives [`EngineStats::progress_thread_polls`]). Every 1024th
+    /// poll drops a `progress_burst` instant into the trace so merged
+    /// timelines show where the background thread was spinning.
     pub fn note_progress_thread_poll(&mut self) {
         self.stats.progress_thread_polls += 1;
+        if self.stats.progress_thread_polls.is_multiple_of(1024) {
+            let total = self.stats.progress_thread_polls as i64;
+            self.emit(
+                trace::EventKind::ProgressBurst,
+                trace::EventPhase::Instant,
+                total,
+                1024,
+                0,
+            );
+        }
     }
 
     pub(crate) fn check_live(&self) -> Result<()> {

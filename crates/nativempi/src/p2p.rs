@@ -66,6 +66,7 @@ use mpi_transport::{Frame, FrameHeader, FrameKind};
 use crate::comm::CommHandle;
 use crate::error::{err, ErrorClass, MpiError, Result};
 use crate::request::{RequestId, RequestState};
+use crate::trace::{EventKind, EventPhase};
 use crate::types::{SendMode, StatusInfo, ANY_SOURCE, ANY_TAG, PROC_NULL};
 use crate::Engine;
 
@@ -100,6 +101,9 @@ pub(crate) struct PostedRecv {
     pub src: i32,
     pub tag: i32,
     pub max_len: Option<usize>,
+    /// Engine clock at posting time, feeding the `p2p.latency`
+    /// histogram when the arrival matches (0 when timing is off).
+    pub posted_ns: u64,
 }
 
 /// What kind of unexpected arrival is parked in the queue.
@@ -121,6 +125,10 @@ pub(crate) struct UnexpectedMsg {
     pub token: u64,
     pub msg_len: u64,
     pub kind: UnexpectedKind,
+    /// Engine clock at parking time, feeding the `p2p.latency`
+    /// histogram with queue residency when a receive matches (0 when
+    /// timing is off).
+    pub arrived_ns: u64,
 }
 
 /// Payload parked on the sender side until the receiver grants the
@@ -392,6 +400,7 @@ impl Engine {
             SendMode::Standard => payload.len() > self.eager_threshold,
         };
         self.stats.bytes_sent += payload.len() as u64;
+        let len = payload.len() as i64;
 
         if use_rendezvous {
             let token = self.next_token();
@@ -406,6 +415,7 @@ impl Engine {
                 payload.len() as u64,
                 collective,
             )?;
+            let dst = header.dst as i64;
             self.pending_rendezvous.insert(
                 token,
                 PendingRendezvous {
@@ -418,6 +428,15 @@ impl Engine {
             );
             self.endpoint.send(Frame::control(header))?;
             self.stats.rendezvous_sends += 1;
+            // The matching End is emitted when the data ships on ACK
+            // (`on_rendezvous_ack`), bracketing the handshake.
+            self.emit(
+                EventKind::SendRendezvous,
+                EventPhase::Begin,
+                dst,
+                tag as i64,
+                len,
+            );
             Ok(req)
         } else {
             let token = self.next_token();
@@ -430,8 +449,17 @@ impl Engine {
                 payload.len() as u64,
                 collective,
             )?;
+            let dst = header.dst as i64;
+            self.emit(
+                EventKind::SendEager,
+                EventPhase::Begin,
+                dst,
+                tag as i64,
+                len,
+            );
             self.endpoint.send(Frame::new(header, payload))?;
             self.stats.eager_sends += 1;
+            self.emit(EventKind::SendEager, EventPhase::End, dst, tag as i64, len);
             Ok(self.alloc_request(RequestState::SendComplete))
         }
     }
@@ -515,6 +543,20 @@ impl Engine {
                 .remove(idx)
                 .expect("index valid");
             self.stats.unexpected_hits += 1;
+            if self.tracer.timing_on() {
+                let now = self.clock_ns();
+                self.tracer
+                    .p2p_latency
+                    .record(now.saturating_sub(msg.arrived_ns));
+                self.emit_at(
+                    now,
+                    EventKind::RecvUnexpected,
+                    EventPhase::Instant,
+                    msg.src_world as i64,
+                    msg.tag as i64,
+                    msg.msg_len as i64,
+                );
+            }
             let src_comm = self
                 .comm_rank_of_world(comm, msg.src_world as usize)?
                 .expect("matched above") as i32;
@@ -525,6 +567,13 @@ impl Engine {
                 UnexpectedKind::Rendezvous => {
                     // Grant the rendezvous; completion happens when the data
                     // frame(s) arrive.
+                    self.emit(
+                        EventKind::RendezvousGrant,
+                        EventPhase::Instant,
+                        msg.src_world as i64,
+                        msg.token as i64,
+                        msg.msg_len as i64,
+                    );
                     self.awaiting_rendezvous_data.insert(
                         (msg.src_world, msg.token),
                         RdvAssembly {
@@ -556,6 +605,11 @@ impl Engine {
             return Ok(req);
         }
 
+        let posted_ns = if self.tracer.timing_on() {
+            self.clock_ns()
+        } else {
+            0
+        };
         self.posted
             .entry(context)
             .or_default()
@@ -565,6 +619,7 @@ impl Engine {
                 src,
                 tag,
                 max_len,
+                posted_ns,
             });
         Ok(req)
     }
@@ -809,6 +864,25 @@ impl Engine {
         Ok(None)
     }
 
+    /// Histogram + trace bookkeeping for an arrival that matched an
+    /// already-posted receive: the sample is post-to-match latency.
+    fn note_posted_hit(&mut self, posted: &PostedRecv, header: &FrameHeader) {
+        if self.tracer.timing_on() {
+            let now = self.clock_ns();
+            self.tracer
+                .p2p_latency
+                .record(now.saturating_sub(posted.posted_ns));
+            self.emit_at(
+                now,
+                EventKind::RecvPosted,
+                EventPhase::Instant,
+                header.src as i64,
+                header.tag as i64,
+                header.msg_len as i64,
+            );
+        }
+    }
+
     fn take_posted(&mut self, context: u32, idx: usize) -> PostedRecv {
         self.posted
             .get_mut(&context)
@@ -826,6 +900,11 @@ impl Engine {
         if self.freed_contexts.contains(&header.context) {
             return;
         }
+        let arrived_ns = if self.tracer.timing_on() {
+            self.clock_ns()
+        } else {
+            0
+        };
         self.unexpected
             .entry(header.context)
             .or_default()
@@ -835,6 +914,7 @@ impl Engine {
                 token: header.token,
                 msg_len: header.msg_len,
                 kind,
+                arrived_ns,
             });
     }
 
@@ -844,6 +924,7 @@ impl Engine {
             Some(idx) => {
                 let posted = self.take_posted(header.context, idx);
                 self.stats.posted_hits += 1;
+                self.note_posted_hit(&posted, &header);
                 let src_comm = self
                     .comm_rank_of_world(posted.comm, header.src as usize)?
                     .expect("matched above") as i32;
@@ -869,6 +950,14 @@ impl Engine {
             Some(idx) => {
                 let posted = self.take_posted(header.context, idx);
                 self.stats.posted_hits += 1;
+                self.note_posted_hit(&posted, &header);
+                self.emit(
+                    EventKind::RendezvousGrant,
+                    EventPhase::Instant,
+                    header.src as i64,
+                    header.token as i64,
+                    header.msg_len as i64,
+                );
                 let src_comm = self
                     .comm_rank_of_world(posted.comm, header.src as usize)?
                     .expect("matched above") as i32;
@@ -921,6 +1010,7 @@ impl Engine {
             );
         };
         let total = pending.data.len();
+        let (rdv_dst, rdv_tag) = (pending.dst_world as i64, pending.tag as i64);
         let header = |_offset: usize| FrameHeader {
             kind: FrameKind::RendezvousData,
             src: self.world_rank as u32,
@@ -947,6 +1037,13 @@ impl Engine {
         }
         self.requests
             .insert(pending.req, RequestState::SendComplete);
+        self.emit(
+            EventKind::SendRendezvous,
+            EventPhase::End,
+            rdv_dst,
+            rdv_tag,
+            total as i64,
+        );
         Ok(())
     }
 
@@ -1008,6 +1105,13 @@ impl Engine {
             }
         }
         self.awaiting_rendezvous_data.remove(&key);
+        self.emit(
+            EventKind::RendezvousData,
+            EventPhase::Instant,
+            key.0 as i64,
+            key.1 as i64,
+            total as i64,
+        );
         if live {
             let (src, tag, max_len) = match self.requests.get(&req) {
                 Some(RequestState::RecvAwaitingData { src, tag, max_len }) => {

@@ -384,6 +384,13 @@ impl Engine {
         self.rma_issue(win, target, header, Some(data))?;
         self.stats.rma_puts += 1;
         self.stats.rma_bytes += len as u64;
+        self.emit(
+            crate::trace::EventKind::RmaPut,
+            crate::trace::EventPhase::Instant,
+            target as i64,
+            len as i64,
+            win.0 as i64,
+        );
         Ok(())
     }
 
@@ -421,6 +428,13 @@ impl Engine {
         self.rma_issue(win, target, header, Some(staged))?;
         self.stats.rma_puts += 1;
         self.stats.rma_bytes += data.len() as u64;
+        self.emit(
+            crate::trace::EventKind::RmaPut,
+            crate::trace::EventPhase::Instant,
+            target as i64,
+            data.len() as i64,
+            win.0 as i64,
+        );
         Ok(())
     }
 
@@ -465,6 +479,13 @@ impl Engine {
         });
         self.stats.rma_gets += 1;
         self.stats.rma_bytes += len as u64;
+        self.emit(
+            crate::trace::EventKind::RmaGet,
+            crate::trace::EventPhase::Instant,
+            target as i64,
+            len as i64,
+            win.0 as i64,
+        );
         Ok(RmaGetId(id))
     }
 
@@ -562,6 +583,14 @@ impl Engine {
             g.synced = true;
         }
         self.stats.epochs += 1;
+        let epochs = self.stats.epochs as i64;
+        self.emit(
+            crate::trace::EventKind::RmaEpoch,
+            crate::trace::EventPhase::Instant,
+            win.0 as i64,
+            0,
+            epochs,
+        );
         Ok(())
     }
 
@@ -619,6 +648,14 @@ impl Engine {
         self.passive_sync(win, target, true)?;
         self.win_state_mut(win)?.locks_held.remove(&target);
         self.stats.epochs += 1;
+        let epochs = self.stats.epochs as i64;
+        self.emit(
+            crate::trace::EventKind::RmaEpoch,
+            crate::trace::EventPhase::Instant,
+            win.0 as i64,
+            1,
+            epochs,
+        );
         Ok(())
     }
 

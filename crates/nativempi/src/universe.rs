@@ -74,6 +74,15 @@ pub struct UniverseConfig {
     /// tool: kills a rank's transport at a chosen operation, or
     /// drops/delays chosen frames.
     pub faults: Option<FaultPlan>,
+    /// Observability level on every rank (`None` falls back to the
+    /// `MPIJAVA_TRACE` environment override, then to off; see
+    /// [`crate::trace`]). `counters` and `events` additionally enable
+    /// the transport's frame counters.
+    pub trace: Option<crate::trace::TraceConfig>,
+    /// Directory for finalize-time trace dumps (`None` falls back to
+    /// the `MPIJAVA_TRACE_DIR` environment override, then to
+    /// `<spool root>/trace` when the device has a spool).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl UniverseConfig {
@@ -95,6 +104,8 @@ impl UniverseConfig {
             spool_dir: None,
             lease: None,
             faults: None,
+            trace: None,
+            trace_dir: None,
         }
     }
 
@@ -177,6 +188,20 @@ impl UniverseConfig {
         self
     }
 
+    /// Set the observability level on every rank. Takes precedence over
+    /// the `MPIJAVA_TRACE` environment override.
+    pub fn with_trace(mut self, trace: crate::trace::TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Set the trace-dump directory on every rank. Takes precedence
+    /// over the `MPIJAVA_TRACE_DIR` environment override.
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
     /// The placement this configuration resolves to: the explicit map,
     /// else the `MPIJAVA_NODES` environment override, else flat.
     pub fn resolved_nodes(&self) -> NodeMap {
@@ -221,6 +246,25 @@ impl UniverseConfig {
             .or_else(crate::env::faults_from_env)
             .unwrap_or_default()
     }
+
+    /// The trace configuration this configuration resolves to: the
+    /// explicit config, else the `MPIJAVA_TRACE` environment override,
+    /// else off.
+    pub fn resolved_trace(&self) -> crate::trace::TraceConfig {
+        self.trace
+            .or_else(crate::env::trace_from_env)
+            .unwrap_or_default()
+    }
+
+    /// The trace-dump directory this configuration resolves to: the
+    /// explicit path, else the `MPIJAVA_TRACE_DIR` environment
+    /// override, else `None` (each engine then falls back to
+    /// `<spool root>/trace` when the device has one).
+    pub fn resolved_trace_dir(&self) -> Option<PathBuf> {
+        self.trace_dir
+            .clone()
+            .or_else(crate::env::trace_dir_from_env)
+    }
 }
 
 /// Launcher for SPMD jobs over the engine. See the module documentation.
@@ -262,6 +306,10 @@ impl Universe {
         if let Some(dir) = config.resolved_spool_dir() {
             fabric_config = fabric_config.with_spool_dir(dir);
         }
+        let trace = config.resolved_trace();
+        if trace.mode != crate::trace::TraceMode::Off {
+            fabric_config = fabric_config.with_frame_counters(true);
+        }
         let endpoints = Fabric::build(fabric_config)?.into_endpoints();
         let f = &f;
         let config = &config;
@@ -279,6 +327,12 @@ impl Universe {
                     }
                     if config.coll_algorithm.is_some() {
                         engine.set_coll_algorithm(config.coll_algorithm);
+                    }
+                    if config.trace.is_some() {
+                        engine.set_trace(trace);
+                    }
+                    if let Some(dir) = config.resolved_trace_dir() {
+                        engine.set_trace_dir(dir);
                     }
                     if let Some(prefix) = &config.processor_name_prefix {
                         let name = format!("{prefix}{}", engine.world_rank());

@@ -43,7 +43,7 @@ use std::time::{Duration, Instant};
 use crate::error::{Result, TransportError};
 use crate::frame::Frame;
 use crate::nodemap::NodeMap;
-use crate::{DeviceKind, Endpoint};
+use crate::{DeviceKind, Endpoint, PeerLiveness};
 
 /// One deterministic fault. Operation counts are 1-based.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -335,6 +335,39 @@ impl Endpoint for FaultEndpoint {
 
     fn spool_dir(&self) -> Option<&std::path::Path> {
         self.inner.spool_dir()
+    }
+
+    fn peer_liveness(&self) -> Vec<PeerLiveness> {
+        let mut peers = self.inner.peer_liveness();
+        let killed = self.state.killed.lock().expect("fault ledger poisoned");
+        for (&rank, &at) in killed.iter() {
+            if rank == self.inner.rank() {
+                continue;
+            }
+            // A fault-plan kill silences the rank's heartbeat from the
+            // kill instant, whatever the inner device thinks it saw.
+            let age = at.elapsed();
+            let dead = age >= self.lease;
+            match peers.iter_mut().find(|p| p.rank == rank) {
+                Some(p) => {
+                    if p.heartbeat_age.is_none_or(|a| a < age) {
+                        p.heartbeat_age = Some(age);
+                    }
+                    p.dead = p.dead || dead;
+                }
+                None => peers.push(PeerLiveness {
+                    rank,
+                    heartbeat_age: Some(age),
+                    lease: self.lease,
+                    dead,
+                }),
+            }
+        }
+        peers
+    }
+
+    fn frame_stats(&self) -> Option<crate::FrameStats> {
+        self.inner.frame_stats()
     }
 }
 

@@ -38,6 +38,7 @@
 //! done here — that is the job of the `mpi-native` engine layered on top,
 //! exactly as a real MPI implementation layers matching over its devices.
 
+pub mod counters;
 pub mod error;
 pub mod fault;
 pub mod frame;
@@ -51,6 +52,7 @@ pub mod shm;
 pub mod spool;
 pub mod tcp;
 
+pub use counters::FrameStats;
 pub use error::{Result, TransportError};
 pub use fault::{FaultAction, FaultPlan};
 pub use frame::{Frame, FrameHeader, FrameKind};
@@ -205,6 +207,11 @@ pub struct FabricConfig {
     /// default; when non-empty every endpoint of the fabric is wrapped in
     /// a [`fault::FaultEndpoint`].
     pub faults: FaultPlan,
+    /// Wrap every endpoint in a [`counters::CountingEndpoint`] so the
+    /// engine's metrics registry can report per-rank frame traffic
+    /// (see [`Endpoint::frame_stats`]). Off by default — the observing
+    /// layers enable it for `counters`/`events` trace modes.
+    pub frame_counters: bool,
 }
 
 impl FabricConfig {
@@ -222,6 +229,7 @@ impl FabricConfig {
             spool_dir: None,
             lease: DEFAULT_LEASE,
             faults: FaultPlan::none(),
+            frame_counters: false,
         }
     }
 
@@ -274,6 +282,41 @@ impl FabricConfig {
         self.faults = faults;
         self
     }
+
+    /// Enable (or disable) per-endpoint frame counters (see
+    /// [`counters::CountingEndpoint`]).
+    pub fn with_frame_counters(mut self, on: bool) -> Self {
+        self.frame_counters = on;
+        self
+    }
+}
+
+/// One peer's liveness as seen by a failure-detecting endpoint: how
+/// stale its heartbeat is and the lease it is measured against. Devices
+/// without failure detection report nothing (see
+/// [`Endpoint::peer_liveness`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerLiveness {
+    /// The peer's world rank.
+    pub rank: usize,
+    /// Time since the peer's last observed heartbeat. `None` when no
+    /// heartbeat has been observed at all (e.g. its lease file is gone).
+    pub heartbeat_age: Option<Duration>,
+    /// The lease the age is judged against: the peer is declared dead
+    /// once `heartbeat_age > lease`.
+    pub lease: Duration,
+    /// Whether this endpoint considers the peer dead.
+    pub dead: bool,
+}
+
+impl PeerLiveness {
+    /// How far past its lease deadline the peer's heartbeat is
+    /// (`None` while the heartbeat is within the lease, or when no
+    /// heartbeat age is known).
+    pub fn staleness(&self) -> Option<Duration> {
+        self.heartbeat_age
+            .and_then(|age| age.checked_sub(self.lease))
+    }
 }
 
 /// One rank's attachment to a fabric: ordered, reliable point-to-point
@@ -317,6 +360,19 @@ pub trait Endpoint: Send {
     /// only). The engine's checkpoint/restart layer writes its state
     /// under this root.
     fn spool_dir(&self) -> Option<&std::path::Path> {
+        None
+    }
+    /// Per-peer heartbeat state (age of the last observed beat, lease
+    /// deadline, verdict) for the engine's failure-visibility gauges and
+    /// error messages. Devices without failure detection return nothing;
+    /// wrappers delegate.
+    fn peer_liveness(&self) -> Vec<PeerLiveness> {
+        Vec::new()
+    }
+    /// Frame-level traffic counters, when the fabric was built with
+    /// [`FabricConfig::with_frame_counters`] (the [`counters`] wrapper
+    /// implements this; plain devices report `None`).
+    fn frame_stats(&self) -> Option<FrameStats> {
         None
     }
 }
@@ -378,6 +434,13 @@ impl Fabric {
             endpoints
         } else {
             fault::FaultEndpoint::wrap(endpoints, config.faults.clone(), config.lease)
+        };
+        // Counting goes outermost so it sees exactly the traffic the
+        // engine sees — fault-injected drops and kills included.
+        let endpoints = if config.frame_counters {
+            counters::CountingEndpoint::wrap(endpoints)
+        } else {
+            endpoints
         };
         Ok(Fabric {
             endpoints,

@@ -79,7 +79,7 @@ use bytes::Bytes;
 use crate::error::{Result, TransportError};
 use crate::frame::{Frame, FrameHeader};
 use crate::nodemap::NodeMap;
-use crate::{DeviceKind, DeviceProfile, Endpoint, FabricConfig};
+use crate::{DeviceKind, DeviceProfile, Endpoint, FabricConfig, PeerLiveness};
 
 /// Distinguishes concurrently-built ephemeral spool roots within one
 /// process (the pid alone is not enough when tests build fabrics in
@@ -460,6 +460,32 @@ impl Endpoint for SpoolEndpoint {
 
     fn spool_dir(&self) -> Option<&Path> {
         Some(self.root())
+    }
+
+    fn peer_liveness(&self) -> Vec<PeerLiveness> {
+        // Lease-file mtimes are the ground truth poll_failures judges
+        // against; report them raw (unthrottled) so the observability
+        // layer can gauge how close each peer is to its lease deadline.
+        let dead: BTreeSet<usize> = {
+            let cache = self.fail_cache.lock().expect("failure cache poisoned");
+            cache.dead.clone()
+        };
+        let now = SystemTime::now();
+        (0..self.size)
+            .filter(|&peer| peer != self.rank)
+            .map(|peer| {
+                let heartbeat_age = fs::metadata(lease_path(self.root(), peer))
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|modified| now.duration_since(modified).ok());
+                PeerLiveness {
+                    rank: peer,
+                    heartbeat_age,
+                    lease: self.lease,
+                    dead: dead.contains(&peer),
+                }
+            })
+            .collect()
     }
 }
 

@@ -61,6 +61,9 @@ fn compute_pi(mpi: &MPI) -> MpiResult<f64> {
             size
         );
     }
+    // MPI.Finalize() — also the moment a traced run (MPIJAVA_TRACE=events)
+    // dumps this rank's event ring for tracemerge.
+    mpi.finalize()?;
     Ok(global[0])
 }
 
