@@ -1,0 +1,80 @@
+//! Compare two benchmark or causal-analysis JSON files — the
+//! perf-regression gate.
+//!
+//! ```text
+//! cargo run -p mpi-bench --bin benchdiff -- BEFORE.json AFTER.json \
+//!     [--mode bench|analysis] [--threshold F] [--gate]
+//! ```
+//!
+//! `--mode bench` (default) compares `BENCH_*.json` row files: rows are
+//! matched by their identifying fields and every numeric measurement is
+//! compared as a relative change; `--threshold 0.25` flags anything
+//! that moved more than 25% either way. `--mode analysis` compares two
+//! `traceanalyze --json` outputs as *shares*: critical-path
+//! composition, per-rank path shares, and dominant wait-class flips,
+//! with the threshold read as an absolute share delta.
+//!
+//! Without `--gate` the diff is informational (exit 0 unless the files
+//! are unreadable or schema-incompatible). With `--gate`, any entry
+//! beyond the threshold exits nonzero — that is the CI hook.
+
+use std::process::ExitCode;
+
+use mpi_bench::benchdiff::{diff_analysis_json, diff_bench_json};
+
+fn run() -> Result<bool, String> {
+    let mut before = None;
+    let mut after = None;
+    let mut mode = "bench".to_string();
+    let mut threshold = 0.25f64;
+    let mut gate = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => mode = it.next().ok_or("--mode needs bench|analysis")?,
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or("--threshold needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?;
+            }
+            "--gate" => gate = true,
+            "--help" | "-h" => {
+                return Err("usage: benchdiff BEFORE.json AFTER.json \
+                            [--mode bench|analysis] [--threshold F] [--gate]"
+                    .into())
+            }
+            other if before.is_none() => before = Some(other.to_string()),
+            other if after.is_none() => after = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let (before, after) = (
+        before.ok_or("missing BEFORE.json")?,
+        after.ok_or("missing AFTER.json")?,
+    );
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
+    let (btext, atext) = (read(&before)?, read(&after)?);
+    let report = match mode.as_str() {
+        "bench" => diff_bench_json(&btext, &atext, threshold)?,
+        "analysis" => diff_analysis_json(&btext, &atext, threshold)?,
+        other => return Err(format!("unknown mode {other:?} (bench|analysis)")),
+    };
+    print!("{}", report.render());
+    Ok(!gate || report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("benchdiff: gate failed — changes beyond threshold");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("benchdiff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -206,7 +206,11 @@ fn main() {
         persistent.push(record);
     }
 
-    let json = to_json(&records, &overlap, &persistent);
+    let json = mpi_bench::RunMeta::collect("collectives").wrap_object(&to_json(
+        &records,
+        &overlap,
+        &persistent,
+    ));
     fs::write("BENCH_collectives.json", &json).expect("write BENCH_collectives.json");
     println!("{}", format_table(&records));
     println!(

@@ -60,7 +60,7 @@ fn main() {
     println!("{}", format_halo_table(&records));
 
     if !quick {
-        let json = to_json(&records);
+        let json = mpi_bench::RunMeta::collect("halo").wrap_rows(&to_json(&records));
         fs::write("BENCH_halo.json", &json).expect("write BENCH_halo.json");
         println!("wrote BENCH_halo.json ({} cells)", records.len());
 

@@ -58,7 +58,7 @@ fn main() {
         );
     });
 
-    let json = to_json(&records);
+    let json = mpi_bench::RunMeta::collect("p2p").wrap_rows(&to_json(&records));
     fs::write("BENCH_p2p.json", &json).expect("write BENCH_p2p.json");
     println!("{}", format_table(&records));
     println!("wrote BENCH_p2p.json ({} cells)", records.len());

@@ -32,21 +32,30 @@
 //!   the same few-hundred-microsecond regime as Table 1, for side-by-side
 //!   reading with the paper.
 
+pub mod benchdiff;
+pub mod causal;
 pub mod collbench;
 pub mod halobench;
 pub mod linpack;
 pub mod p2pbench;
 pub mod pingpong;
 pub mod report;
+pub mod runmeta;
 pub mod tracemerge;
 
+pub use benchdiff::{diff_analysis_json, diff_bench_json, DiffReport};
+pub use causal::{
+    analyze, analyze_dir, check_straggler_attribution, estimate_clock_offsets, run_killcoll_drill,
+    run_straggler_drill, Analysis, ClockAlignment, CriticalPath, StragglerDrillSpec,
+};
 pub use collbench::{run_suite as run_collective_suite, CollBenchSpec, CollRecord};
 pub use halobench::{run_halo_suite, HaloBenchSpec, HaloFabric, HaloMethod, HaloRecord};
 pub use linpack::{linpack_compiled, linpack_interpreted, LinpackResult};
 pub use p2pbench::{run_suite as run_p2p_suite, P2pBenchSpec, P2pRecord};
 pub use pingpong::{run_pingpong, Calibration, Mode, PingPongPoint, PingPongSpec, Stack};
 pub use report::{format_bandwidth_table, format_table1, Series};
+pub use runmeta::{RunMeta, BENCH_SCHEMA};
 pub use tracemerge::{
-    load_trace_dir, merge as merge_traces, merge_dir_to_file, parse_rank_trace,
-    validate_chrome_trace, ChromeSummary, RankTrace,
+    load_trace_dir, merge as merge_traces, merge_dir_to_file, merge_with_corrections,
+    parse_rank_trace, validate_chrome_trace, ChromeSummary, RankTrace,
 };

@@ -1,0 +1,176 @@
+//! Schema-versioned run metadata for benchmark JSON emitters.
+//!
+//! Every `BENCH_*.json` file the bench binaries write opens with the
+//! same header object so that [`crate::benchdiff`] can refuse to
+//! compare apples to oranges: a schema tag, the bench name, the commit
+//! the numbers were measured at, the UTC date, and a coarse host
+//! profile (OS, architecture, logical CPUs). Everything is collected
+//! with the standard library only — the commit via a best-effort
+//! `git rev-parse HEAD` (falling back to `unknown` outside a checkout)
+//! and the date via a hand-rolled civil-from-days conversion, so no
+//! chrono-style dependency is needed.
+
+use std::fmt::Write as _;
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Schema tag stamped into every bench JSON header. Bump on any
+/// incompatible change to the *row* shapes the benches emit.
+pub const BENCH_SCHEMA: &str = "bench-v1";
+
+/// The header fields (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// [`BENCH_SCHEMA`].
+    pub schema: String,
+    /// Which bench wrote the file (`p2p`, `collectives`, `halo`, ...).
+    pub bench: String,
+    /// `git rev-parse HEAD` at measurement time, or `unknown`.
+    pub commit: String,
+    /// UTC date of the run, `YYYY-MM-DD`.
+    pub date: String,
+    /// `os/arch/Ncpu`, e.g. `linux/x86_64/16cpu`.
+    pub host: String,
+}
+
+impl RunMeta {
+    /// Collect the metadata for one bench run.
+    pub fn collect(bench: &str) -> RunMeta {
+        RunMeta {
+            schema: BENCH_SCHEMA.to_string(),
+            bench: bench.to_string(),
+            commit: git_commit().unwrap_or_else(|| "unknown".into()),
+            date: utc_date(
+                SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0),
+            ),
+            host: format!(
+                "{}/{}/{}cpu",
+                std::env::consts::OS,
+                std::env::consts::ARCH,
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            ),
+        }
+    }
+
+    /// The header as JSON object members (no surrounding braces), ready
+    /// to splice into an emitter's top-level object.
+    pub fn json_members(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "\"schema\": \"{}\", \"bench\": \"{}\", \"commit\": \"{}\", \
+             \"date\": \"{}\", \"host\": \"{}\"",
+            self.schema, self.bench, self.commit, self.date, self.host
+        );
+        out
+    }
+
+    /// Wrap a legacy top-level JSON *array* of rows into the versioned
+    /// envelope: `{header..., "rows": [...]}`.
+    pub fn wrap_rows(&self, rows_array: &str) -> String {
+        format!(
+            "{{\n  {},\n  \"rows\": {}\n}}\n",
+            self.json_members(),
+            rows_array.trim_end()
+        )
+    }
+
+    /// Splice the header members into an existing top-level JSON
+    /// *object* (e.g. the collectives bench's
+    /// `{"cells": [...], "overlap": [...], ...}` shape), preserving its
+    /// members after the header.
+    pub fn wrap_object(&self, object: &str) -> String {
+        let body = object
+            .trim_start()
+            .strip_prefix('{')
+            .unwrap_or(object)
+            .trim_start_matches(['\n', ' ']);
+        format!("{{\n  {},\n{body}", self.json_members())
+    }
+}
+
+fn git_commit() -> Option<String> {
+    let out = Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let commit = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!commit.is_empty()).then_some(commit)
+}
+
+/// Civil date from a Unix timestamp (Howard Hinnant's days-from-civil
+/// algorithm, inverted), UTC.
+fn utc_date(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_dates_are_correct() {
+        assert_eq!(utc_date(0), "1970-01-01");
+        assert_eq!(utc_date(86_399), "1970-01-01");
+        assert_eq!(utc_date(86_400), "1970-01-02");
+        // 2000-02-29 00:00:00 UTC (leap day).
+        assert_eq!(utc_date(951_782_400), "2000-02-29");
+        assert_eq!(utc_date(1_786_406_400), "2026-08-11");
+    }
+
+    #[test]
+    fn header_is_valid_json_and_wraps_rows() {
+        let meta = RunMeta::collect("p2p");
+        let wrapped = meta.wrap_rows("[{\"x\": 1}]");
+        let doc = crate::tracemerge::Json::parse(&wrapped).expect("envelope parses");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some(BENCH_SCHEMA)
+        );
+        assert_eq!(doc.get("bench").and_then(|s| s.as_str()), Some("p2p"));
+        assert_eq!(
+            doc.get("rows").and_then(|r| r.as_arr()).map(|a| a.len()),
+            Some(1)
+        );
+        let date = doc.get("date").and_then(|s| s.as_str()).unwrap();
+        assert_eq!(date.len(), 10, "YYYY-MM-DD: {date}");
+    }
+
+    #[test]
+    fn header_splices_into_an_existing_object() {
+        let meta = RunMeta::collect("collectives");
+        let wrapped = meta.wrap_object("{\n\"cells\": [\n  {\"x\": 1}\n],\n\"overlap\": []\n}");
+        let doc = crate::tracemerge::Json::parse(&wrapped).expect("spliced envelope parses");
+        assert_eq!(
+            doc.get("bench").and_then(|s| s.as_str()),
+            Some("collectives")
+        );
+        assert_eq!(
+            doc.get("cells").and_then(|r| r.as_arr()).map(|a| a.len()),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("overlap").and_then(|r| r.as_arr()).map(|a| a.len()),
+            Some(0)
+        );
+    }
+}

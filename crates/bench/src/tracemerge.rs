@@ -11,6 +11,13 @@
 //! track per rank, `B`/`E` duration events and `i` instants — loadable
 //! in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
 //!
+//! The wall-clock anchors only say what each host *believed* the time
+//! was; [`merge_dir_to_file`] additionally applies the message-pair
+//! clock estimate from [`crate::causal`] so cross-rank arrows stay
+//! causally ordered even when the hosts' clocks disagree. Ranks whose
+//! ring overflowed get a `ring_dropped` instant marking where their
+//! surviving window begins.
+//!
 //! Everything here is dependency-free: the output is assembled by hand
 //! and [`validate_chrome_trace`] re-parses it with the minimal JSON
 //! parser in [`Json`], so the CI smoke test proves the merged file is
@@ -411,11 +418,35 @@ pub fn load_trace_dir(dir: &Path) -> Result<Vec<RankTrace>, String> {
 /// microseconds aligned via each rank's `start_unix_ns` wall-clock
 /// anchor (the earliest anchor becomes t=0 of the merged timeline).
 pub fn merge(traces: &[RankTrace]) -> String {
+    merge_with_corrections(traces, &[])
+}
+
+/// [`merge`], with a per-trace clock correction (nanoseconds, parallel
+/// to `traces`, missing entries read as 0) applied on top of the
+/// wall-clock anchors — the corrections come from
+/// [`crate::causal::estimate_clock_offsets`], which measures matched
+/// symmetric message pairs instead of trusting each host's idea of
+/// `SystemTime`. If a negative correction would push a rank's events
+/// before t=0, the whole timeline is rebased so the earliest event
+/// stays at a non-negative timestamp.
+///
+/// Ranks that dropped events to ring overflow get a `ring_dropped`
+/// instant at the start of their surviving window, so a gap in the
+/// merged timeline is labelled rather than silently truncated.
+pub fn merge_with_corrections(traces: &[RankTrace], corrections_ns: &[i64]) -> String {
     let base = traces
         .iter()
         .map(|t| t.start_unix_ns)
         .min()
         .unwrap_or_default();
+    let offsets: Vec<i128> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            (t.start_unix_ns - base) as i128 + corrections_ns.get(i).copied().unwrap_or(0) as i128
+        })
+        .collect();
+    let rebase = offsets.iter().copied().min().unwrap_or(0).min(0);
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
     let mut push = |event: String, out: &mut String| {
@@ -426,7 +457,7 @@ pub fn merge(traces: &[RankTrace]) -> String {
         out.push('\n');
         out.push_str(&event);
     };
-    for trace in traces {
+    for (trace, &offset) in traces.iter().zip(&offsets) {
         // A metadata event names the track after the rank + device.
         push(
             format!(
@@ -436,9 +467,23 @@ pub fn merge(traces: &[RankTrace]) -> String {
             ),
             &mut out,
         );
-        let offset_ns = trace.start_unix_ns - base;
+        let offset_ns = offset - rebase;
+        if trace.dropped > 0 {
+            // The ring overwrote its oldest events: mark where the
+            // surviving window begins so the reader sees the gap.
+            let first_ts = trace.events.first().map(|e| e.ts_ns).unwrap_or(0);
+            let ts_us = (offset_ns + first_ts as i128) as f64 / 1000.0;
+            push(
+                format!(
+                    "{{\"name\":\"ring_dropped\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":0,\
+                     \"tid\":{},\"s\":\"t\",\"args\":{{\"dropped\":{}}}}}",
+                    ts_us, trace.rank, trace.dropped
+                ),
+                &mut out,
+            );
+        }
         for ev in &trace.events {
-            let ts_us = (offset_ns + ev.ts_ns as u128) as f64 / 1000.0;
+            let ts_us = (offset_ns + ev.ts_ns as i128) as f64 / 1000.0;
             let mut args = String::new();
             for (i, (key, value)) in ev.args.iter().enumerate() {
                 if i > 0 {
@@ -570,9 +615,15 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
 /// Load a trace directory, merge it, and write `out` (convenience used
 /// by the `tracemerge` binary and the integration tests). Returns the
 /// parse-back summary of the file just written.
+///
+/// The merge applies the message-pair clock estimate
+/// ([`crate::causal::estimate_clock_offsets`]) on top of the wall-clock
+/// anchors, so ranks whose `SystemTime` disagrees still land causally
+/// ordered (no receive drawn before its matched send).
 pub fn merge_dir_to_file(dir: &Path, out: &Path) -> Result<ChromeSummary, String> {
     let traces = load_trace_dir(dir)?;
-    let merged = merge(&traces);
+    let alignment = crate::causal::estimate_clock_offsets(&traces);
+    let merged = merge_with_corrections(&traces, &alignment.corrections_ns);
     let summary = validate_chrome_trace(&merged)?;
     fs::write(out, merged).map_err(|e| format!("writing {}: {e}", out.display()))?;
     Ok(summary)
@@ -646,6 +697,80 @@ mod tests {
             .unwrap();
         assert_eq!(rank1_ev.get("ts").unwrap().as_f64(), Some(1000.5));
         assert_eq!(rank1_ev.get("tid").unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn corrections_shift_tracks_and_rebase_keeps_time_non_negative() {
+        let traces = vec![
+            parse_rank_trace(RANK0).unwrap(),
+            parse_rank_trace(RANK1).unwrap(),
+        ];
+        // Pull rank 1 back 1.2ms: its anchor offset is +1ms, so its
+        // events would land negative — the whole timeline must rebase
+        // by 200us and rank 0 shifts right instead.
+        let merged = merge_with_corrections(&traces, &[0, -1_200_000]);
+        validate_chrome_trace(&merged).unwrap();
+        let doc = Json::parse(&merged).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let ts_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .unwrap()
+                .get("ts")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        // Rank 1's 500ns event: 1ms anchor - 1.2ms correction + 200us
+        // rebase + 0.5us = 0.5us. Rank 0's first event: 200us rebase +
+        // 1us = 201us.
+        assert_eq!(ts_of("recv_posted"), 0.5);
+        assert_eq!(ts_of("send_eager"), 201.0);
+        // Empty corrections slice behaves exactly like merge().
+        assert_eq!(merge_with_corrections(&traces, &[]), merge(&traces));
+    }
+
+    #[test]
+    fn empty_ring_merges_to_a_named_track_with_no_events() {
+        let meta_only = "{\"meta\":true,\"rank\":0,\"size\":1,\"device\":\"shm\",\
+                         \"mode\":\"events\",\"capacity\":1024,\"recorded\":0,\
+                         \"dropped\":0,\"start_unix_ns\":1000000}\n";
+        let traces = vec![parse_rank_trace(meta_only).unwrap()];
+        assert!(traces[0].events.is_empty());
+        let summary = validate_chrome_trace(&merge(&traces)).unwrap();
+        assert_eq!(summary.events, 0);
+        assert!(summary.tracks.is_empty());
+    }
+
+    #[test]
+    fn dropped_events_surface_as_a_ring_dropped_marker() {
+        let overflowed = concat!(
+            "{\"meta\":true,\"rank\":0,\"size\":1,\"device\":\"shm\",\"mode\":\"events\",",
+            "\"capacity\":2,\"recorded\":2,\"dropped\":17,\"start_unix_ns\":1000000}\n",
+            "{\"ts_ns\":5000,\"name\":\"coll\",\"ph\":\"i\",\"args\":{\"op\":\"barrier\",\"alg\":\"rd\",\"id\":9}}\n",
+        );
+        let traces = vec![parse_rank_trace(overflowed).unwrap()];
+        let merged = merge(&traces);
+        let summary = validate_chrome_trace(&merged).unwrap();
+        assert!(summary.names.contains("ring_dropped"));
+        let doc = Json::parse(&merged).unwrap();
+        let marker = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("ring_dropped"))
+            .unwrap()
+            .clone();
+        // The marker sits at the first surviving event and carries the
+        // drop count.
+        assert_eq!(marker.get("ts").unwrap().as_f64(), Some(5.0));
+        assert_eq!(
+            marker.get("args").unwrap().get("dropped").unwrap().as_i64(),
+            Some(17)
+        );
     }
 
     #[test]

@@ -253,7 +253,7 @@ pub use mpi_native::env::{
 };
 pub use mpi_native::{
     CollAlgorithm, CompareResult, EngineStats, ErrorClass, EventKind, EventPhase, HistSnapshot,
-    MetricsSnapshot, PrimitiveKind, Pvar, PvarClass, TraceConfig, TraceEvent, TraceMode,
+    MetricsSnapshot, PrimitiveKind, Pvar, PvarClass, TraceConfig, TraceEvent, TraceMode, WaitClass,
 };
 pub use mpi_transport::{
     DeviceKind, DeviceProfile, FaultAction, FaultPlan, NetworkModel, NodeMap, DEFAULT_LEASE,

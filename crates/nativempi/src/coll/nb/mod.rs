@@ -550,6 +550,12 @@ pub(crate) struct CollTraceState {
     traced: bool,
     /// Rounds completed so far (the `round` event argument).
     round_idx: i64,
+    /// Communicator collective context id — identical on every member,
+    /// half of the cross-rank join key stamped on `coll`/`coll_round`.
+    ctx: i64,
+    /// Per-communicator causal sequence (bumped once per collective
+    /// start, symmetric across ranks) — the other half of the join key.
+    cseq: i64,
     /// A `coll_round` Begin is open.
     round_open: bool,
     /// Monotonic open timestamp of the current round (feeds the
@@ -632,14 +638,27 @@ impl Engine {
             Some((op, alg)) => (op.index() as i64, alg.index() as i64),
             None => (-1, -1),
         };
+        // Causal stamp: every member calls collectives on a communicator
+        // in the same order, so (collective context id, start counter) is
+        // identical on every rank for the same logical operation — the
+        // join key the cross-rank analyzer matches round brackets with.
+        // The local `id` is a per-rank request number and is not.
+        let ctx = self.comm(comm)?.context_coll as i64;
+        let cseq = {
+            let seq = self.coll_causal_seqs.entry(comm).or_insert(0);
+            *seq += 1;
+            *seq as i64
+        };
         let traced = self.tracer.events_on();
         if traced {
-            self.emit(
+            self.emit_full(
                 EventKind::Coll,
                 EventPhase::Begin,
                 op_idx,
                 alg_idx,
                 id as i64,
+                ctx,
+                cseq,
             );
         }
         let mut state = NbColl {
@@ -653,6 +672,8 @@ impl Engine {
                 id: id as i64,
                 op: op_idx,
                 alg: alg_idx,
+                ctx,
+                cseq,
                 traced,
                 ..CollTraceState::default()
             },
@@ -702,12 +723,14 @@ impl Engine {
         }
         if st.trace.round_open {
             st.trace.round_open = false;
-            self.emit(
+            self.emit_full(
                 EventKind::CollRound,
                 EventPhase::End,
                 st.trace.id,
                 st.trace.round_idx,
                 st.trace.round_transfers,
+                st.trace.ctx,
+                st.trace.cseq,
             );
         }
         st.schedule.rounds.clear();
@@ -751,13 +774,15 @@ impl Engine {
                     self.tracer
                         .coll_round
                         .record(now.saturating_sub(st.trace.round_started_ns));
-                    self.emit_at(
+                    self.emit_at_full(
                         now,
                         EventKind::CollRound,
                         EventPhase::End,
                         st.trace.id,
                         st.trace.round_idx,
                         st.trace.round_transfers,
+                        st.trace.ctx,
+                        st.trace.cseq,
                     );
                 }
                 st.trace.round_idx += 1;
@@ -796,13 +821,15 @@ impl Engine {
         if self.tracer.timing_on() {
             let now = self.clock_ns();
             st.trace.round_started_ns = now;
-            self.emit_at(
+            self.emit_at_full(
                 now,
                 EventKind::CollRound,
                 EventPhase::Begin,
                 st.trace.id,
                 st.trace.round_idx,
                 st.trace.round_transfers,
+                st.trace.ctx,
+                st.trace.cseq,
             );
         }
         for r in round.recvs.drain(..) {
@@ -880,12 +907,14 @@ impl Engine {
             Some(st) if st.finished => {
                 let st = self.coll_requests.remove(&req.0).expect("checked above");
                 if st.trace.traced {
-                    self.emit(
+                    self.emit_full(
                         EventKind::Coll,
                         EventPhase::End,
                         st.trace.op,
                         st.trace.alg,
                         st.trace.id,
+                        st.trace.ctx,
+                        st.trace.cseq,
                     );
                 }
                 match st.failed {

@@ -72,7 +72,7 @@ pub use request::RequestId;
 pub use rma::{RmaGetId, WinHandle};
 pub use trace::{
     EventKind, EventPhase, HistSnapshot, MetricsSnapshot, Pvar, PvarClass, TraceConfig, TraceEvent,
-    TraceMode,
+    TraceMode, WaitClass,
 };
 pub use types::{PrimitiveKind, SendMode, StatusInfo, ANY_SOURCE, ANY_TAG, PROC_NULL, UNDEFINED};
 pub use universe::{Universe, UniverseConfig};
@@ -193,6 +193,13 @@ pub struct Engine {
     /// Per-communicator collective sequence counters for tag-window
     /// allocation (see [`coll::nb`]'s tag-window accounting).
     pub(crate) coll_seqs: HashMap<comm::CommHandle, u64>,
+    /// Per-communicator *causal* collective sequence: bumped exactly once
+    /// per collective start. Collectives are called in the same order on
+    /// every member, so `(comm context, this counter)` is a cross-rank
+    /// join key for the `coll`/`coll_round` trace brackets — unlike
+    /// [`Engine::coll_seqs`] (several bumps per op for tag windows) or
+    /// the local schedule id (a per-rank request number).
+    pub(crate) coll_causal_seqs: HashMap<comm::CommHandle, u64>,
     /// Built-schedule templates, keyed per rank on the local call shape
     /// (see the schedule-caching section of [`coll::nb`]).
     pub(crate) sched_cache: HashMap<coll::nb::cache::SchedKey, coll::nb::cache::SchedTemplate>,
@@ -278,6 +285,7 @@ impl Engine {
             forced_coll_alg: coll::CollAlgorithm::from_env(),
             coll_requests: HashMap::new(),
             coll_seqs: HashMap::new(),
+            coll_causal_seqs: HashMap::new(),
             sched_cache: HashMap::new(),
             persistent_colls: HashMap::new(),
             windows: HashMap::new(),
@@ -447,7 +455,7 @@ impl Engine {
             counter("engine.sched_cache_hits", s.sched_cache_hits),
             counter("engine.sched_cache_misses", s.sched_cache_misses),
             counter("engine.progress_thread_polls", s.progress_thread_polls),
-            counter("trace.events_dropped", self.tracer.dropped()),
+            counter("engine.trace.dropped", self.tracer.dropped()),
             gauge(
                 "p2p.posted_depth".to_string(),
                 self.posted.values().map(|q| q.len()).sum::<usize>() as i64,
@@ -482,13 +490,26 @@ impl Engine {
             pvars.push(counter("transport.bytes_sent", f.bytes_sent));
             pvars.push(counter("transport.bytes_received", f.bytes_received));
         }
+        let mut histograms = vec![
+            self.tracer.p2p_latency.snapshot("p2p.latency"),
+            self.tracer.coll_round.snapshot("coll.round_duration"),
+        ];
+        for class in trace::WaitClass::ALL {
+            let h = self.tracer.wait_hist(class);
+            pvars.push(counter(
+                &format!("engine.wait.{}_count", class.label()),
+                h.count(),
+            ));
+            pvars.push(counter(
+                &format!("engine.wait.{}_ns", class.label()),
+                h.total_ns(),
+            ));
+            histograms.push(h.snapshot(&format!("wait.{}", class.label())));
+        }
         trace::MetricsSnapshot {
             rank: self.world_rank,
             pvars,
-            histograms: vec![
-                self.tracer.p2p_latency.snapshot("p2p.latency"),
-                self.tracer.coll_round.snapshot("coll.round_duration"),
-            ],
+            histograms,
         }
     }
 
@@ -572,9 +593,26 @@ impl Engine {
         b: i64,
         c: i64,
     ) {
+        self.emit_full(kind, phase, a, b, c, 0, 0);
+    }
+
+    /// [`Engine::emit`] with the causal-stamp slots (`d`/`e`) — tokens
+    /// on p2p intervals, `(ctx, cseq)` on collective brackets.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn emit_full(
+        &mut self,
+        kind: trace::EventKind,
+        phase: trace::EventPhase,
+        a: i64,
+        b: i64,
+        c: i64,
+        d: i64,
+        e: i64,
+    ) {
         if self.tracer.events_on() {
             let ts = self.clock_ns();
-            self.tracer.record(ts, kind, phase, a, b, c);
+            self.tracer.record(ts, kind, phase, a, b, c, d, e);
         }
     }
 
@@ -590,8 +628,25 @@ impl Engine {
         b: i64,
         c: i64,
     ) {
+        self.emit_at_full(ts_ns, kind, phase, a, b, c, 0, 0);
+    }
+
+    /// [`Engine::emit_at`] with the causal-stamp slots (`d`/`e`).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn emit_at_full(
+        &mut self,
+        ts_ns: u64,
+        kind: trace::EventKind,
+        phase: trace::EventPhase,
+        a: i64,
+        b: i64,
+        c: i64,
+        d: i64,
+        e: i64,
+    ) {
         if self.tracer.events_on() {
-            self.tracer.record(ts_ns, kind, phase, a, b, c);
+            self.tracer.record(ts_ns, kind, phase, a, b, c, d, e);
         }
     }
 

@@ -66,7 +66,7 @@ use mpi_transport::{Frame, FrameHeader, FrameKind};
 use crate::comm::CommHandle;
 use crate::error::{err, ErrorClass, MpiError, Result};
 use crate::request::{RequestId, RequestState};
-use crate::trace::{EventKind, EventPhase};
+use crate::trace::{EventKind, EventPhase, WaitClass};
 use crate::types::{SendMode, StatusInfo, ANY_SOURCE, ANY_TAG, PROC_NULL};
 use crate::Engine;
 
@@ -429,13 +429,16 @@ impl Engine {
             self.endpoint.send(Frame::control(header))?;
             self.stats.rendezvous_sends += 1;
             // The matching End is emitted when the data ships on ACK
-            // (`on_rendezvous_ack`), bracketing the handshake.
-            self.emit(
+            // (`on_rendezvous_ack`), bracketing the handshake. The token
+            // stamp joins this interval with the receiver's events.
+            self.emit_full(
                 EventKind::SendRendezvous,
                 EventPhase::Begin,
                 dst,
                 tag as i64,
                 len,
+                token as i64,
+                0,
             );
             Ok(req)
         } else {
@@ -450,16 +453,26 @@ impl Engine {
                 collective,
             )?;
             let dst = header.dst as i64;
-            self.emit(
+            self.emit_full(
                 EventKind::SendEager,
                 EventPhase::Begin,
                 dst,
                 tag as i64,
                 len,
+                token as i64,
+                0,
             );
             self.endpoint.send(Frame::new(header, payload))?;
             self.stats.eager_sends += 1;
-            self.emit(EventKind::SendEager, EventPhase::End, dst, tag as i64, len);
+            self.emit_full(
+                EventKind::SendEager,
+                EventPhase::End,
+                dst,
+                tag as i64,
+                len,
+                token as i64,
+                0,
+            );
             Ok(self.alloc_request(RequestState::SendComplete))
         }
     }
@@ -545,16 +558,27 @@ impl Engine {
             self.stats.unexpected_hits += 1;
             if self.tracer.timing_on() {
                 let now = self.clock_ns();
-                self.tracer
-                    .p2p_latency
-                    .record(now.saturating_sub(msg.arrived_ns));
-                self.emit_at(
+                // The payload beat the matching receive to this rank;
+                // whose fault that is depends on the tag space — a rank
+                // late to its own collective round is imbalance, not a
+                // user-level late receiver.
+                let wait = now.saturating_sub(msg.arrived_ns);
+                self.tracer.p2p_latency.record(wait);
+                let class = WaitClass::for_unexpected_tag(
+                    msg.tag,
+                    COLLECTIVE_TAG_BASE,
+                    crate::rma::RMA_TAG_BASE,
+                );
+                self.tracer.note_wait(class, wait);
+                self.emit_at_full(
                     now,
                     EventKind::RecvUnexpected,
                     EventPhase::Instant,
                     msg.src_world as i64,
                     msg.tag as i64,
                     msg.msg_len as i64,
+                    msg.token as i64,
+                    wait as i64,
                 );
             }
             let src_comm = self
@@ -869,16 +893,26 @@ impl Engine {
     fn note_posted_hit(&mut self, posted: &PostedRecv, header: &FrameHeader) {
         if self.tracer.timing_on() {
             let now = self.clock_ns();
-            self.tracer
-                .p2p_latency
-                .record(now.saturating_sub(posted.posted_ns));
-            self.emit_at(
+            let wait = now.saturating_sub(posted.posted_ns);
+            self.tracer.p2p_latency.record(wait);
+            // A posted receive that waited was held up by its peer;
+            // which *kind* of wait depends on the tag space the message
+            // travelled in (user p2p, collective round, RMA channel).
+            let class = WaitClass::for_posted_tag(
+                header.tag,
+                COLLECTIVE_TAG_BASE,
+                crate::rma::RMA_TAG_BASE,
+            );
+            self.tracer.note_wait(class, wait);
+            self.emit_at_full(
                 now,
                 EventKind::RecvPosted,
                 EventPhase::Instant,
                 header.src as i64,
                 header.tag as i64,
                 header.msg_len as i64,
+                header.token as i64,
+                wait as i64,
             );
         }
     }
@@ -1037,12 +1071,14 @@ impl Engine {
         }
         self.requests
             .insert(pending.req, RequestState::SendComplete);
-        self.emit(
+        self.emit_full(
             EventKind::SendRendezvous,
             EventPhase::End,
             rdv_dst,
             rdv_tag,
             total as i64,
+            token as i64,
+            0,
         );
         Ok(())
     }

@@ -53,6 +53,17 @@
 //! transport's non-overtaking guarantee, which is the only ordering the
 //! epoch machinery relies on.
 //!
+//! Because RMA rides the p2p datapath, its waits are classified for
+//! free by the [`crate::trace`] wait-state machinery: any posted
+//! receive that blocks on a tag at or below `RMA_TAG_BASE` — a lock
+//! grant, a flush-ack, a `get` reply — is counted as a
+//! *progress-starved RMA target* wait
+//! ([`crate::trace::WaitClass::RmaTarget`]), distinct from user-tag
+//! late-sender waits and collective-window imbalance waits. A passive
+//! target that never enters the library starves its origins, and the
+//! `engine.wait.rma_target_*` pvars (and the offline `traceanalyze`
+//! report) make that visible.
+//!
 //! # Copy inventory (extends the table in [`crate::p2p`])
 //!
 //! | operation                        | copies | where                      |

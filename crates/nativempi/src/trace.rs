@@ -26,25 +26,104 @@
 //!
 //! # Event schema
 //!
-//! Events are fixed-size (`ts_ns`, kind, phase, three `i64` argument
-//! slots); argument names are applied at dump time, off the hot path:
+//! Events are fixed-size (`ts_ns`, kind, phase, five `i64` argument
+//! slots); argument names are applied at dump time, off the hot path.
+//! Kinds use only as many slots as their schema names:
 //!
-//! | kind | phase | `a` | `b` | `c` |
-//! |---|---|---|---|---|
-//! | `send_eager` | B/E | peer | tag | bytes |
-//! | `send_rendezvous` | B/E | peer | tag/token | bytes |
-//! | `recv_posted` | i | peer | tag | bytes |
-//! | `recv_unexpected` | i | peer | tag | bytes |
-//! | `rendezvous_grant` | i | peer | token | bytes |
-//! | `rendezvous_data` | i | peer | token | bytes |
-//! | `coll` | B/E | op index | algorithm index | schedule id |
-//! | `coll_round` | B/E | schedule id | round index | transfers |
-//! | `rma_put` | i | target | bytes | window |
-//! | `rma_get` | i | target | bytes | window |
-//! | `rma_epoch` | i | window | passive (0/1) | epochs so far |
-//! | `lease_observed` | i | peer | heartbeat age (ms) | lease (ms) |
-//! | `rank_failed` | i | peer | staleness (ms) | lease (ms) |
-//! | `progress_burst` | i | total polls | burst size | 0 |
+//! | kind | phase | `a` | `b` | `c` | `d` | `e` |
+//! |---|---|---|---|---|---|---|
+//! | `send_eager` | B/E | peer | tag | bytes | token | |
+//! | `send_rendezvous` | B/E | peer | tag | bytes | token | |
+//! | `recv_posted` | i | peer | tag | bytes | token | wait_ns |
+//! | `recv_unexpected` | i | peer | tag | bytes | token | wait_ns |
+//! | `rendezvous_grant` | i | peer | token | bytes | | |
+//! | `rendezvous_data` | i | peer | token | bytes | | |
+//! | `coll` | B/E | op index | algorithm index | schedule id | ctx | cseq |
+//! | `coll_round` | B/E | schedule id | round index | transfers | ctx | cseq |
+//! | `rma_put` | i | target | bytes | window | | |
+//! | `rma_get` | i | target | bytes | window | | |
+//! | `rma_epoch` | i | window | passive (0/1) | epochs so far | | |
+//! | `lease_observed` | i | peer | heartbeat age (ms) | lease (ms) | | |
+//! | `rank_failed` | i | peer | staleness (ms) | lease (ms) | | |
+//! | `progress_burst` | i | total polls | burst size | 0 | | |
+//!
+//! # Causal stamps
+//!
+//! The `d`/`e` slots carry *matchable identifiers* so events join across
+//! ranks without guessing:
+//!
+//! * **p2p**: every frame a sender dispatches carries a per-sender
+//!   sequence token (allocated for eager and rendezvous alike). The
+//!   token is stamped on the send interval and echoed on the receiver's
+//!   `recv_posted`/`recv_unexpected` instant, so `(sender, token)` is a
+//!   globally unique join key for one message. `wait_ns` on the receive
+//!   side records how long the receiver waited (posted → arrival) or
+//!   how long the payload sat unclaimed (arrival → match).
+//! * **collectives**: the local schedule `id` is a per-rank request
+//!   number and is *not* comparable across ranks. The `(ctx, cseq)`
+//!   stamp is: the communicator's collective context id (identical on
+//!   every member) and a per-communicator causal sequence number bumped
+//!   once per collective start. MPI semantics require every member to
+//!   call collectives on a communicator in the same order, so
+//!   `(ctx, cseq, round)` matches round brackets rank-to-rank.
+//!
+//! # Wait-state classes
+//!
+//! When interval sampling is on, every matched receive also classifies
+//! *why* the rank waited, keyed off the engine's tag-space layout (user
+//! tags ≥ 0; collective tag windows at or below the collective base;
+//! RMA window channels at or below the RMA base):
+//!
+//! * `late_sender` — a posted user-tag receive waited for the arrival.
+//! * `late_receiver` — a user-tag payload arrived before the receive
+//!   was posted and sat in the unexpected queue.
+//! * `coll_imbalance` — collective-tag waiting on either side: a posted
+//!   round receive waited for a peer that entered late, or the rank
+//!   itself reached its round after the peer's data had already
+//!   arrived (unexpected residency — the rank *is* the straggler's
+//!   victim-turned-latecomer).
+//! * `rma_target` — an RMA-channel receive or residency (lock grants,
+//!   fetch replies): the passive target is starved of progress.
+//!
+//! Totals and log₂ histograms per class surface as `engine.wait.*`
+//! pvars/histograms in [`MetricsSnapshot`], and the per-event `wait_ns`
+//! stamp lets the offline analyzer recompute the same classification.
+//!
+//! # End-to-end walkthrough: trace → merge → analyze → benchdiff
+//!
+//! 1. **Trace**: run with `MPIJAVA_TRACE=events` (optionally
+//!    `events:<capacity>`) and `MPIJAVA_TRACE_DIR=<dir>`; each rank dumps
+//!    `trace-rank<k>.jsonl` at finalize (or on demand via
+//!    `dump_trace_to`). The meta line carries `dropped` — if it is
+//!    nonzero the ring wrapped and the oldest history is gone; grow the
+//!    capacity before trusting whole-run analysis.
+//! 2. **Merge**: `tracemerge <dir> -o trace.json` produces one Chrome
+//!    `trace_event` timeline (load in `chrome://tracing` or Perfetto),
+//!    one track per rank, clock-corrected (see caveats below).
+//! 3. **Analyze**: `traceanalyze <dir> --json analysis.json` matches
+//!    sends to receives by `(sender, token)` and collective rounds by
+//!    `(ctx, cseq, round)`, classifies wait states, attributes blame to
+//!    the rank that was waited on, and extracts the global critical path
+//!    with a compute / send / wait / transport breakdown. The
+//!    human-readable report always prints; `--json` adds the
+//!    schema-versioned machine output. `--drill straggler|killcoll`
+//!    runs the CI acceptance workloads end to end and gates on them.
+//! 4. **Diff**: `benchdiff old.json new.json [--mode analysis] --gate`
+//!    compares two bench result files (or two analysis reports) cell by
+//!    cell and exits nonzero on changes past a threshold — the CI gate
+//!    glue.
+//!
+//! **Clock-alignment caveats**: each rank's events are timestamped on
+//! its own monotonic clock, anchored to the wall clock once at engine
+//! construction (`start_unix_ns`). The analyzer refines that anchor by
+//! pingpong-style midpoint estimation over matched message pairs, which
+//! assumes roughly symmetric link delay; asymmetric paths bias offsets
+//! by half the asymmetry, and one-way minimum delay puts a floor on the
+//! achievable precision. In-process (thread-per-rank) runs share one
+//! clock, so offsets there are near zero and mostly validate the
+//! estimator. Cross-rank interval comparisons finer than the estimated
+//! offset error are noise; the analyzer reports its per-rank offsets so
+//! you can judge.
 //!
 //! Begin/End pairs are emitted only where closure is provable from the
 //! engine's own state machine (an eager send completes within its
@@ -236,23 +315,28 @@ impl EventKind {
         self.meta().0
     }
 
-    /// Dump-time argument names for the `a`/`b`/`c` slots.
-    fn meta(self) -> (&'static str, [&'static str; 3]) {
+    /// Dump-time argument names for the argument slots (`a` onward).
+    /// A kind uses exactly as many slots as it has names; the rest stay
+    /// zero and are not written to the dump.
+    fn meta(self) -> (&'static str, &'static [&'static str]) {
         match self {
-            EventKind::SendEager => ("send_eager", ["peer", "tag", "bytes"]),
-            EventKind::SendRendezvous => ("send_rendezvous", ["peer", "tag", "bytes"]),
-            EventKind::RecvPosted => ("recv_posted", ["peer", "tag", "bytes"]),
-            EventKind::RecvUnexpected => ("recv_unexpected", ["peer", "tag", "bytes"]),
-            EventKind::RendezvousGrant => ("rendezvous_grant", ["peer", "token", "bytes"]),
-            EventKind::RendezvousData => ("rendezvous_data", ["peer", "token", "bytes"]),
-            EventKind::Coll => ("coll", ["op", "alg", "id"]),
-            EventKind::CollRound => ("coll_round", ["id", "round", "transfers"]),
-            EventKind::RmaPut => ("rma_put", ["target", "bytes", "win"]),
-            EventKind::RmaGet => ("rma_get", ["target", "bytes", "win"]),
-            EventKind::RmaEpoch => ("rma_epoch", ["win", "passive", "epochs"]),
-            EventKind::LeaseObserved => ("lease_observed", ["peer", "age_ms", "lease_ms"]),
-            EventKind::RankFailed => ("rank_failed", ["peer", "staleness_ms", "lease_ms"]),
-            EventKind::ProgressBurst => ("progress_burst", ["polls", "burst", "_"]),
+            EventKind::SendEager => ("send_eager", &["peer", "tag", "bytes", "token"]),
+            EventKind::SendRendezvous => ("send_rendezvous", &["peer", "tag", "bytes", "token"]),
+            EventKind::RecvPosted => ("recv_posted", &["peer", "tag", "bytes", "token", "wait_ns"]),
+            EventKind::RecvUnexpected => (
+                "recv_unexpected",
+                &["peer", "tag", "bytes", "token", "wait_ns"],
+            ),
+            EventKind::RendezvousGrant => ("rendezvous_grant", &["peer", "token", "bytes"]),
+            EventKind::RendezvousData => ("rendezvous_data", &["peer", "token", "bytes"]),
+            EventKind::Coll => ("coll", &["op", "alg", "id", "ctx", "cseq"]),
+            EventKind::CollRound => ("coll_round", &["id", "round", "transfers", "ctx", "cseq"]),
+            EventKind::RmaPut => ("rma_put", &["target", "bytes", "win"]),
+            EventKind::RmaGet => ("rma_get", &["target", "bytes", "win"]),
+            EventKind::RmaEpoch => ("rma_epoch", &["win", "passive", "epochs"]),
+            EventKind::LeaseObserved => ("lease_observed", &["peer", "age_ms", "lease_ms"]),
+            EventKind::RankFailed => ("rank_failed", &["peer", "staleness_ms", "lease_ms"]),
+            EventKind::ProgressBurst => ("progress_burst", &["polls", "burst", "_"]),
         }
     }
 }
@@ -298,6 +382,72 @@ pub struct TraceEvent {
     pub b: i64,
     /// Third argument slot.
     pub c: i64,
+    /// Fourth argument slot (causal stamp: p2p token, coll ctx).
+    pub d: i64,
+    /// Fifth argument slot (causal stamp: recv wait, coll cseq).
+    pub e: i64,
+}
+
+/// Why a rank waited in a matched receive — the cross-rank wait-state
+/// taxonomy (Scalasca's vocabulary) classified live at the match site
+/// from the engine's tag-space layout. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitClass {
+    /// Posted user-tag receive waited for the matching arrival.
+    LateSender,
+    /// Arrival sat in the unexpected queue before the receive was posted.
+    LateReceiver,
+    /// Collective-tag receive waited: a peer entered its round late.
+    CollImbalance,
+    /// RMA-channel receive waited: passive target starved of progress.
+    RmaTarget,
+}
+
+impl WaitClass {
+    /// All classes, in pvar/report order.
+    pub const ALL: [WaitClass; 4] = [
+        WaitClass::LateSender,
+        WaitClass::LateReceiver,
+        WaitClass::CollImbalance,
+        WaitClass::RmaTarget,
+    ];
+
+    /// Pvar/report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WaitClass::LateSender => "late_sender",
+            WaitClass::LateReceiver => "late_receiver",
+            WaitClass::CollImbalance => "coll_imbalance",
+            WaitClass::RmaTarget => "rma_target",
+        }
+    }
+
+    /// Classify a *posted-receive* wait by the tag space the message
+    /// travelled in.
+    pub fn for_posted_tag(tag: i32, coll_tag_base: i32, rma_tag_base: i32) -> WaitClass {
+        if tag <= rma_tag_base {
+            WaitClass::RmaTarget
+        } else if tag <= coll_tag_base {
+            WaitClass::CollImbalance
+        } else {
+            WaitClass::LateSender
+        }
+    }
+
+    /// Classify an *unexpected-queue* residency by the same tag spaces.
+    /// Only user-tag traffic is a true [`WaitClass::LateReceiver`]; in
+    /// the collective and RMA channels the "receiver" is a rank arriving
+    /// late to its own round (imbalance) or a target starved of progress
+    /// — blaming the user's receive order there would be misdirection.
+    pub fn for_unexpected_tag(tag: i32, coll_tag_base: i32, rma_tag_base: i32) -> WaitClass {
+        if tag <= rma_tag_base {
+            WaitClass::RmaTarget
+        } else if tag <= coll_tag_base {
+            WaitClass::CollImbalance
+        } else {
+            WaitClass::LateReceiver
+        }
+    }
 }
 
 /// Log₂-bucketed duration histogram: bucket *i* holds samples whose
@@ -335,6 +485,11 @@ impl LogHistogram {
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all samples (ns).
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
     }
 
     /// Upper bound (ns) of the bucket where the cumulative count crosses
@@ -452,6 +607,8 @@ pub struct Tracer {
     pub(crate) p2p_latency: LogHistogram,
     /// Collective round duration (transfers posted → transfers drained).
     pub(crate) coll_round: LogHistogram,
+    /// Per-class wait time, indexed by [`WaitClass::ALL`] order.
+    pub(crate) waits: [LogHistogram; 4],
 }
 
 impl Tracer {
@@ -472,6 +629,7 @@ impl Tracer {
             dropped: 0,
             p2p_latency: LogHistogram::default(),
             coll_round: LogHistogram::default(),
+            waits: Default::default(),
         }
     }
 
@@ -506,9 +664,22 @@ impl Tracer {
         self.dropped
     }
 
+    /// Record one classified wait sample (the caller has already checked
+    /// [`Tracer::timing_on`]).
+    #[inline]
+    pub(crate) fn note_wait(&mut self, class: WaitClass, ns: u64) {
+        self.waits[class as usize].record(ns);
+    }
+
+    /// Per-class wait histogram, read-only.
+    pub fn wait_hist(&self, class: WaitClass) -> &LogHistogram {
+        &self.waits[class as usize]
+    }
+
     /// Append one record. The caller has already checked
     /// [`Tracer::events_on`] and read the clock.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record(
         &mut self,
         ts_ns: u64,
@@ -517,6 +688,8 @@ impl Tracer {
         a: i64,
         b: i64,
         c: i64,
+        d: i64,
+        e: i64,
     ) {
         let ev = TraceEvent {
             ts_ns,
@@ -525,6 +698,8 @@ impl Tracer {
             a,
             b,
             c,
+            d,
+            e,
         };
         if self.ring.len() < self.capacity {
             self.ring.push(ev);
@@ -560,6 +735,9 @@ impl Tracer {
         self.dropped = 0;
         self.p2p_latency.reset();
         self.coll_round.reset();
+        for h in &mut self.waits {
+            h.reset();
+        }
     }
 
     /// Write the ring as JSONL: one meta line, then one line per event
@@ -588,6 +766,7 @@ impl Tracer {
                 name,
                 ev.phase.letter()
             )?;
+            let slots = [ev.a, ev.b, ev.c, ev.d, ev.e];
             match ev.kind {
                 EventKind::Coll => {
                     // Resolve op/algorithm indices to their labels so the
@@ -595,18 +774,21 @@ impl Tracer {
                     // instead of a pair of enum ordinals.
                     write!(
                         w,
-                        "\"op\":\"{}\",\"alg\":\"{}\",\"id\":{}",
+                        "\"op\":\"{}\",\"alg\":\"{}\",\"id\":{},\"ctx\":{},\"cseq\":{}",
                         op_label(ev.a),
                         alg_label(ev.b),
-                        ev.c
+                        ev.c,
+                        ev.d,
+                        ev.e
                     )?;
                 }
                 _ => {
-                    write!(
-                        w,
-                        "\"{}\":{},\"{}\":{},\"{}\":{}",
-                        args[0], ev.a, args[1], ev.b, args[2], ev.c
-                    )?;
+                    for (i, name) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(w, ",")?;
+                        }
+                        write!(w, "\"{}\":{}", name, slots[i])?;
+                    }
                 }
             }
             writeln!(w, "}}}}")?;
@@ -695,6 +877,8 @@ mod tests {
                 i as i64,
                 0,
                 0,
+                0,
+                0,
             );
         }
         let evs = t.events();
@@ -709,7 +893,7 @@ mod tests {
         let mut t = Tracer::new(TraceConfig::events().with_capacity(8));
         let cap_before = t.ring.capacity();
         for i in 0..100 {
-            t.record(i, EventKind::SendEager, EventPhase::Instant, 0, 0, 0);
+            t.record(i, EventKind::SendEager, EventPhase::Instant, 0, 0, 0, 0, 0);
         }
         assert_eq!(t.ring.capacity(), cap_before);
     }
@@ -742,9 +926,9 @@ mod tests {
     #[test]
     fn jsonl_dump_has_meta_and_named_args() {
         let mut t = Tracer::new(TraceConfig::events().with_capacity(8));
-        t.record(10, EventKind::SendEager, EventPhase::Begin, 1, 7, 64);
-        t.record(20, EventKind::SendEager, EventPhase::End, 1, 7, 64);
-        t.record(30, EventKind::Coll, EventPhase::Begin, 7, 2, 42);
+        t.record(10, EventKind::SendEager, EventPhase::Begin, 1, 7, 64, 5, 0);
+        t.record(20, EventKind::SendEager, EventPhase::End, 1, 7, 64, 5, 0);
+        t.record(30, EventKind::Coll, EventPhase::Begin, 7, 2, 42, 9, 3);
         let mut buf = Vec::new();
         t.write_jsonl(
             &mut buf,
@@ -765,7 +949,54 @@ mod tests {
         assert!(lines[1].contains("\"name\":\"send_eager\""));
         assert!(lines[1].contains("\"ph\":\"B\""));
         assert!(lines[1].contains("\"peer\":1"));
+        assert!(lines[1].contains("\"token\":5"));
         assert!(lines[3].contains("\"op\":\"allreduce\""));
         assert!(lines[3].contains("\"id\":42"));
+        assert!(lines[3].contains("\"ctx\":9"));
+        assert!(lines[3].contains("\"cseq\":3"));
+    }
+
+    #[test]
+    fn wait_class_tag_space() {
+        const COLL: i32 = -1000;
+        const RMA: i32 = -1_048_576;
+        assert_eq!(
+            WaitClass::for_posted_tag(0, COLL, RMA),
+            WaitClass::LateSender
+        );
+        assert_eq!(
+            WaitClass::for_posted_tag(99, COLL, RMA),
+            WaitClass::LateSender
+        );
+        assert_eq!(
+            WaitClass::for_posted_tag(-1000, COLL, RMA),
+            WaitClass::CollImbalance
+        );
+        assert_eq!(
+            WaitClass::for_posted_tag(-5000, COLL, RMA),
+            WaitClass::CollImbalance
+        );
+        assert_eq!(
+            WaitClass::for_posted_tag(RMA, COLL, RMA),
+            WaitClass::RmaTarget
+        );
+        assert_eq!(
+            WaitClass::for_posted_tag(RMA - 2, COLL, RMA),
+            WaitClass::RmaTarget
+        );
+    }
+
+    #[test]
+    fn wait_histograms_accumulate_per_class() {
+        let mut t = Tracer::new(TraceConfig::counters());
+        t.note_wait(WaitClass::LateSender, 100);
+        t.note_wait(WaitClass::LateSender, 200);
+        t.note_wait(WaitClass::CollImbalance, 50);
+        assert_eq!(t.wait_hist(WaitClass::LateSender).count(), 2);
+        assert_eq!(t.wait_hist(WaitClass::LateSender).total_ns(), 300);
+        assert_eq!(t.wait_hist(WaitClass::CollImbalance).count(), 1);
+        assert_eq!(t.wait_hist(WaitClass::RmaTarget).count(), 0);
+        t.reset();
+        assert_eq!(t.wait_hist(WaitClass::LateSender).count(), 0);
     }
 }

@@ -407,3 +407,48 @@ fn killed_rank_mid_allreduce_leaves_a_mergeable_timeline() {
     );
     std::fs::remove_dir_all(&root).unwrap();
 }
+
+/// A dump directory with a rank's file missing (lost scratch volume,
+/// crashed before its signal handler ran) must still merge and analyze:
+/// the surviving tracks render, the causal pass tolerates the hole, and
+/// the absent rank simply has no profile.
+#[test]
+fn merge_and_analysis_tolerate_a_missing_rank_dump() {
+    let root = scratch_dir("missingrank");
+    let trace_dir = root.join("trace");
+    MpiRuntime::new(3)
+        .eager_threshold(1024)
+        .trace(TraceConfig::events())
+        .trace_dir(&trace_dir)
+        .run(|mpi| {
+            let world = mpi.comm_world();
+            let rank = world.rank()?;
+            let size = world.size()?;
+            traced_workload(&world, rank, size)?;
+            mpi.finalize()?;
+            Ok(())
+        })
+        .unwrap();
+
+    // Lose rank 1's dump.
+    let victim = trace_dir.join("trace-rank00001.jsonl");
+    assert!(victim.exists(), "expected {}", victim.display());
+    std::fs::remove_file(&victim).unwrap();
+
+    let out = root.join("trace.json");
+    let summary = tracemerge::merge_dir_to_file(&trace_dir, &out).expect("merge survives the hole");
+    assert_eq!(
+        summary.tracks.into_iter().collect::<Vec<_>>(),
+        vec![0, 2],
+        "only the surviving ranks have tracks"
+    );
+
+    let analysis = mpi_bench::causal::analyze_dir(&trace_dir).expect("analysis survives the hole");
+    assert_eq!(analysis.ranks, vec![0, 2]);
+    assert_eq!(analysis.world_size, 3, "meta still names the full world");
+    assert!(analysis.profile(0).is_some() && analysis.profile(2).is_some());
+    assert!(analysis.profile(1).is_none(), "no dump, no profile");
+    // The report renders without panicking on the gap.
+    let _ = analysis.render_report();
+    std::fs::remove_dir_all(&root).unwrap();
+}
